@@ -1,0 +1,195 @@
+// Extension bench (paper Sec. VII future work): modeling system context as
+// an optimizer parameter. The workload's memory pressure drifts over time
+// (a slow random walk), moving plan boundaries. Two online predictors
+// compete:
+//
+//   context-blind : the paper's baseline — r plan-space dimensions; the
+//                   context shifts the plan space under the predictor.
+//   context-aware : r + 1 dimensions, memory pressure appended as an extra
+//                   coordinate, so context-dependent plan choices separate
+//                   into distinct clusters.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/math_utils.h"
+#include "optimizer/contextual_optimizer.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+constexpr size_t kQueries = 2000;
+constexpr size_t kWindow = 500;
+
+struct Outcome {
+  MetricsAccumulator metrics;
+  size_t optimizer_calls = 0;
+  double suboptimality_sum = 0.0;
+  size_t executed = 0;
+};
+
+OnlinePpcPredictor::Config MakeConfig(int dims, uint64_t seed) {
+  OnlinePpcPredictor::Config cfg;
+  cfg.predictor.dimensions = dims;
+  cfg.predictor.transform_count = 5;
+  cfg.predictor.histogram_buckets = 40;
+  cfg.predictor.radius = 0.2;
+  cfg.predictor.confidence_threshold = 0.8;
+  cfg.predictor.noise_fraction = 0.0005;
+  cfg.negative_feedback = true;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Runs one predictor over the workload; `context_aware` selects whether
+/// the predictor sees the extended (r+1)-dim point or just selectivities.
+Outcome Drive(const ContextualOptimizer& optimizer,
+              const PreparedTemplate& prep,
+              const std::vector<std::vector<double>>& selectivity_points,
+              const std::vector<double>& pressures, bool context_aware,
+              uint64_t seed) {
+  const int r = static_cast<int>(prep.tmpl->params.size());
+  OnlinePpcPredictor online(MakeConfig(context_aware ? r + 1 : r, seed));
+  std::map<PlanId, std::unique_ptr<PlanNode>> plan_trees;
+  Outcome outcome;
+
+  for (size_t i = 0; i < selectivity_points.size(); ++i) {
+    std::vector<double> extended = selectivity_points[i];
+    extended.push_back(pressures[i]);
+    const std::vector<double>& predictor_point =
+        context_aware ? extended : selectivity_points[i];
+
+    auto truth = optimizer.OptimizeExtended(prep, extended);
+    PPC_CHECK(truth.ok());
+    const PlanId true_plan = truth.value().plan_id;
+    const double true_cost = truth.value().estimated_cost;
+
+    auto decision = online.Decide(predictor_point);
+    const PlanNode* tree =
+        decision.use_prediction
+            ? plan_trees.try_emplace(decision.prediction.plan, nullptr)
+                  .first->second.get()
+            : nullptr;
+    if (decision.use_prediction && tree != nullptr) {
+      outcome.metrics.Record(decision.prediction.plan, true_plan);
+      auto actual = optimizer.CostAtExtended(prep, *tree, extended);
+      PPC_CHECK(actual.ok());
+      outcome.suboptimality_sum +=
+          true_cost > 0 ? actual.value() / true_cost : 1.0;
+      ++outcome.executed;
+      if (online.ReportPredictionExecuted(predictor_point,
+                                          decision.prediction,
+                                          actual.value())) {
+        ++outcome.optimizer_calls;
+        online.ObserveOptimized({predictor_point, true_plan, true_cost});
+        plan_trees[true_plan] = truth.value().plan->Clone();
+      }
+    } else {
+      outcome.metrics.Record(kNullPlanId, true_plan);
+      outcome.suboptimality_sum += 1.0;
+      ++outcome.executed;
+      ++outcome.optimizer_calls;
+      online.ObserveOptimized({predictor_point, true_plan, true_cost});
+      plan_trees[true_plan] = truth.value().plan->Clone();
+    }
+  }
+  return outcome;
+}
+
+void Run() {
+  PrintHeader("Extension: system context as an optimizer parameter (Q5)");
+  std::printf("%zu queries; memory pressure follows a slow random walk; "
+              "d = 0.2, gamma = 0.8\n\n",
+              kQueries);
+
+  ContextualOptimizer optimizer(&BenchCatalog());
+  const QueryTemplate tmpl = EvaluationTemplate("Q5");
+  auto prep = optimizer.Prepare(tmpl);
+  PPC_CHECK(prep.ok());
+
+  // Workload: selectivity trajectories + a drifting context.
+  TrajectoryConfig traj;
+  traj.dimensions = tmpl.ParameterDegree();
+  traj.total_points = kQueries;
+  traj.scatter = 0.01;
+  Rng rng(31337);
+  auto points = RandomTrajectoriesWorkload(traj, &rng);
+  std::vector<double> pressures(kQueries);
+  double pressure = 0.8;
+  for (size_t i = 0; i < kQueries; ++i) {
+    pressure = Clamp(pressure + rng.Gaussian(0.0, 0.03), 0.0, 1.0);
+    pressures[i] = pressure;
+  }
+
+  std::printf("%-16s %10s %10s %12s %14s\n", "predictor", "precision",
+              "recall", "opt calls", "suboptimality");
+  PrintRule();
+  for (bool aware : {false, true}) {
+    auto outcome = Drive(optimizer, prep.value(), points, pressures, aware,
+                         aware ? 11 : 13);
+    std::printf("%-16s %10.3f %10.3f %12zu %14.3f\n",
+                aware ? "context-aware" : "context-blind",
+                outcome.metrics.Precision(), outcome.metrics.Recall(),
+                outcome.optimizer_calls,
+                outcome.suboptimality_sum /
+                    static_cast<double>(outcome.executed));
+  }
+  std::printf("%-16s window precision under drifting context:\n", "");
+  for (bool aware : {false, true}) {
+    // Re-run with window accounting for a per-phase view.
+    const int r = tmpl.ParameterDegree();
+    OnlinePpcPredictor online(MakeConfig(aware ? r + 1 : r, aware ? 11 : 13));
+    std::map<PlanId, std::unique_ptr<PlanNode>> trees;
+    std::vector<MetricsAccumulator> windows(kQueries / kWindow);
+    for (size_t i = 0; i < kQueries; ++i) {
+      std::vector<double> extended = points[i];
+      extended.push_back(pressures[i]);
+      const std::vector<double>& pp = aware ? extended : points[i];
+      auto truth = optimizer.OptimizeExtended(prep.value(), extended);
+      PPC_CHECK(truth.ok());
+      auto decision = online.Decide(pp);
+      const PlanNode* tree =
+          decision.use_prediction
+              ? trees.try_emplace(decision.prediction.plan, nullptr)
+                    .first->second.get()
+              : nullptr;
+      MetricsAccumulator& w = windows[i / kWindow];
+      if (decision.use_prediction && tree != nullptr) {
+        w.Record(decision.prediction.plan, truth.value().plan_id);
+        auto actual = optimizer.CostAtExtended(prep.value(), *tree, extended);
+        PPC_CHECK(actual.ok());
+        if (online.ReportPredictionExecuted(pp, decision.prediction,
+                                            actual.value())) {
+          online.ObserveOptimized({pp, truth.value().plan_id,
+                                   truth.value().estimated_cost});
+          trees[truth.value().plan_id] = truth.value().plan->Clone();
+        }
+      } else {
+        w.Record(kNullPlanId, truth.value().plan_id);
+        online.ObserveOptimized(
+            {pp, truth.value().plan_id, truth.value().estimated_cost});
+        trees[truth.value().plan_id] = truth.value().plan->Clone();
+      }
+    }
+    std::printf("%-16s", aware ? "context-aware" : "context-blind");
+    for (const auto& w : windows) {
+      std::printf("  %.3f/%.3f", w.Precision(), w.Recall());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected: the context-aware predictor separates plan choices that\n"
+      "the blind one conflates, yielding higher precision and lower\n"
+      "suboptimality under a drifting context — the robustness the paper's\n"
+      "future-work section anticipates.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Extension bench: exact Z-order range decomposition vs the paper's single
+// interval [T(x) - delta, T(x) + delta].
+//
+// The Z-order curve interleaves distant cells into any single interval
+// wide enough to cover the query ball; their counts smear into the density
+// estimate. Decomposing the query box into exact curve ranges (quadtree
+// descent, up to max_z_intervals ranges) removes that smear: measurably
+// higher precision, some recall given back to the confidence gate.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ppc/lsh_histograms_predictor.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+constexpr size_t kSampleSize = 3200;
+constexpr size_t kTestSize = 800;
+
+void Run() {
+  PrintHeader("Extension: Z-order interval decomposition (offline)");
+  std::printf("|X| = %zu, t = 5, b_h = 40, gamma = 0.7, d = 0.1\n\n",
+              kSampleSize);
+
+  std::printf("%-10s | %12s %12s | %12s %12s\n", "template", "prec:single",
+              "prec:decomp", "rec:single", "rec:decomp");
+  PrintRule();
+  for (const char* name : {"Q1", "Q3", "Q5", "Q7"}) {
+    Experiment exp(name);
+    Rng rng(271);
+    auto sample = exp.LabeledSample(kSampleSize, &rng);
+    auto test = UniformPlanSpaceSample(exp.dims(), kTestSize, &rng);
+
+    LshHistogramsPredictor::Config base;
+    base.dimensions = exp.dims();
+    base.transform_count = 5;
+    base.histogram_buckets = 40;
+    base.radius = 0.1;
+    base.confidence_threshold = 0.7;
+    auto decomposed_cfg = base;
+    decomposed_cfg.interval_decomposition = true;
+    decomposed_cfg.max_z_intervals = 32;
+
+    LshHistogramsPredictor single(base, sample);
+    LshHistogramsPredictor decomposed(decomposed_cfg, sample);
+    const auto single_m = exp.Evaluate(single, test);
+    const auto decomposed_m = exp.Evaluate(decomposed, test);
+    std::printf("%-10s | %12.3f %12.3f | %12.3f %12.3f\n", name,
+                single_m.Precision(), decomposed_m.Precision(),
+                single_m.Recall(), decomposed_m.Recall());
+  }
+  std::printf(
+      "\nExpected: the decomposed variant's precision is at least the\n"
+      "single-interval variant's on multi-dimensional templates, with a\n"
+      "recall trade-off that grows with the query box (larger d => more\n"
+      "merged-away exactness).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces paper Fig. 12: the effect of noise elimination and negative
+// feedback on online precision over time. Four variants of
+// ONLINE-APPROXIMATE-LSH-HISTOGRAMS run on the same workloads:
+// neither, noise elimination only, negative feedback only, both.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+constexpr size_t kWorkloads = 10;
+constexpr size_t kQueries = 1000;
+constexpr size_t kWindow = 200;
+
+OnlinePpcPredictor::Config Variant(int dims, bool noise_elim,
+                                   bool negative_feedback, uint64_t seed) {
+  OnlinePpcPredictor::Config cfg;
+  cfg.predictor.dimensions = dims;
+  cfg.predictor.transform_count = 5;
+  cfg.predictor.histogram_buckets = 40;
+  cfg.predictor.radius = 0.1;
+  cfg.predictor.confidence_threshold = 0.8;
+  cfg.predictor.noise_fraction = noise_elim ? 0.002 : 0.0;
+  cfg.predictor.seed = seed;
+  cfg.negative_feedback = negative_feedback;
+  cfg.mean_invocation_probability = 0.0;
+  cfg.estimator_window = 100;
+  return cfg;
+}
+
+void Run() {
+  PrintHeader("Fig. 12: noise elimination & negative feedback (Q5)");
+  std::printf("%zu workloads x %zu queries, windows of %zu, d = 0.1, "
+              "gamma = 0.8\n\n",
+              kWorkloads, kQueries, kWindow);
+  Experiment exp("Q5");
+
+  struct VariantSpec {
+    const char* name;
+    bool noise_elim;
+    bool negative_feedback;
+  };
+  const VariantSpec variants[] = {
+      {"base (neither)", false, false},
+      {"+noise elimination", true, false},
+      {"+negative feedback", false, true},
+      {"+both", true, true},
+  };
+
+  const size_t num_windows = kQueries / kWindow;
+  std::printf("%-22s", "precision per window");
+  for (size_t w = 0; w < num_windows; ++w) {
+    std::printf("   w%-6zu", w);
+  }
+  std::printf("%9s %9s\n", "overall", "recall");
+  PrintRule();
+
+  for (const VariantSpec& variant : variants) {
+    std::vector<MetricsAccumulator> windows(num_windows);
+    MetricsAccumulator overall;
+    for (size_t i = 0; i < kWorkloads; ++i) {
+      TrajectoryConfig traj;
+      traj.dimensions = exp.dims();
+      traj.total_points = kQueries;
+      traj.scatter = 0.02;
+      Rng rng(500 + i);
+      auto workload = RandomTrajectoriesWorkload(traj, &rng);
+      OnlinePpcPredictor online(Variant(exp.dims(), variant.noise_elim,
+                                        variant.negative_feedback, 600 + i));
+      auto outcome = RunOnlineWorkload(&online, workload, kWindow, exp);
+      for (size_t w = 0; w < num_windows && w < outcome.windows.size();
+           ++w) {
+        windows[w].Merge(outcome.windows[w]);
+      }
+      overall.Merge(outcome.overall);
+    }
+    std::printf("%-22s", variant.name);
+    for (const auto& w : windows) std::printf("   %6.3f", w.Precision());
+    std::printf("%9.3f %9.3f\n", overall.Precision(), overall.Recall());
+  }
+  std::printf(
+      "\nExpected shape (paper): without noise elimination precision drifts\n"
+      "down as false bucket co-residents accumulate; with it, precision\n"
+      "holds steady; negative feedback improves precision (and can help\n"
+      "recall) by erasing support for mispredicted plans.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces paper Fig. 13: end-to-end runtime of plan-caching strategies
+// on random-trajectory workloads (r_d = 0.01): ALWAYS-OPTIMIZE,
+// CONVENTIONAL-CACHE (least-specific-cost plan reused), the paper's
+// ONLINE-LSH-HISTOGRAMS, and the hypothetical IDEAL predictor.
+// Optimizer and predictor overheads are measured wall time; execution time
+// is the cost model replayed at the true point (the paper's own simulation
+// methodology, Sec. V-C).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ppc/runtime_simulator.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+constexpr size_t kQueries = 1000;
+
+void Run() {
+  PrintHeader("Fig. 13: end-to-end runtime by caching strategy");
+  std::printf("%zu queries, random trajectories r_d = 0.01, b_h = 40, "
+              "t = 5, gamma = 0.8,\nnoise elimination on, d = 0.15; "
+              "execution charged at 10ns/cost-unit (cheap-query regime)\n",
+              kQueries);
+
+  for (const char* name : {"Q1", "Q5", "Q7", "Q8"}) {
+    const QueryTemplate tmpl = EvaluationTemplate(name);
+    RuntimeSimulator::Options options;
+    options.cost_to_seconds = 1e-8;
+    options.online.predictor.transform_count = 5;
+    options.online.predictor.histogram_buckets = 40;
+    options.online.predictor.radius = 0.2;
+    options.online.predictor.confidence_threshold = 0.8;
+    options.online.predictor.noise_fraction = 0.0005;
+    options.online.negative_feedback = true;
+    RuntimeSimulator simulator(&BenchCatalog(), tmpl, options);
+
+    TrajectoryConfig traj;
+    traj.dimensions = tmpl.ParameterDegree();
+    traj.total_points = kQueries;
+    traj.scatter = 0.01;
+    Rng rng(42);
+    auto workload = RandomTrajectoriesWorkload(traj, &rng);
+
+    std::printf("\n--- template %s (r = %d) ---\n", name,
+                tmpl.ParameterDegree());
+    std::printf("%-24s %9s %9s %9s %9s %8s %8s %8s\n", "strategy",
+                "total(ms)", "opt(ms)", "pred(ms)", "exec(ms)", "#opt",
+                "#pred", "subopt");
+    PrintRule();
+    for (CachingStrategy strategy :
+         {CachingStrategy::kAlwaysOptimize,
+          CachingStrategy::kConventionalCache,
+          CachingStrategy::kRobustCache,
+          CachingStrategy::kParametricCache, CachingStrategy::kIdeal}) {
+      auto result = simulator.Run(strategy, workload);
+      PPC_CHECK(result.ok());
+      const RuntimeSimResult& r = result.value();
+      std::printf("%-24s %9.2f %9.2f %9.2f %9.2f %8zu %8zu %8.3f\n",
+                  CachingStrategyName(strategy), r.TotalSeconds() * 1e3,
+                  r.optimize_seconds * 1e3, r.predict_seconds * 1e3,
+                  r.execute_seconds * 1e3, r.optimizer_calls,
+                  r.predictions_used, r.MeanSuboptimality());
+    }
+  }
+  std::printf(
+      "\nExpected shape (paper): the parametric cache lands between\n"
+      "ALWAYS-OPTIMIZE and IDEAL, approaching IDEAL as optimization cost\n"
+      "dominates (higher-degree templates); the conventional cache's single\n"
+      "plan accrues suboptimal executions as the workload wanders.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Reproduces paper Fig. 14 (Appendix B): experimental validation of
+// Assumption 1 (plan choice predictability) — the probability that two
+// plan-space points within distance d share the same optimal plan,
+// reported at the 95% one-sided lower confidence bound, for Q0..Q5.
+// Also validates Assumption 2 (plan cost predictability): for same-plan
+// pairs, the fraction whose costs agree within (1 + epsilon).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/math_utils.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+constexpr size_t kTestPoints = 200;
+constexpr size_t kPairsPerPoint = 50;  // paper uses 1000; 50 keeps runtime sane
+
+/// A random point at distance <= d from `center`, clamped to [0,1]^r.
+std::vector<double> NearbyPoint(const std::vector<double>& center, double d,
+                                Rng* rng) {
+  std::vector<double> direction(center.size());
+  double norm = 0.0;
+  for (double& v : direction) {
+    v = rng->Gaussian();
+    norm += v * v;
+  }
+  norm = std::sqrt(std::max(norm, 1e-12));
+  const double radius = d * std::pow(rng->Uniform(), 1.0 / center.size());
+  std::vector<double> point(center.size());
+  for (size_t i = 0; i < center.size(); ++i) {
+    point[i] = Clamp(center[i] + direction[i] / norm * radius, 0.0, 1.0);
+  }
+  return point;
+}
+
+void Run() {
+  PrintHeader("Fig. 14 / Appendix B: validating Assumptions 1 and 2");
+  std::printf("%zu test points x %zu pairs per point; 95%% one-sided lower "
+              "bound\n\n",
+              kTestPoints, kPairsPerPoint);
+
+  const std::vector<double> distances = {0.01, 0.02, 0.04, 0.08, 0.16};
+  std::printf("Assumption 1: Pr(plan(x1) == plan(x2) | dist <= d), lower "
+              "bound\n");
+  std::printf("%-10s", "template");
+  for (double d : distances) std::printf("  d=%-6.2f", d);
+  std::printf("\n");
+  PrintRule();
+
+  std::vector<std::vector<double>> same_plan_cost_ratio_ok(6);
+  for (int q = 0; q <= 5; ++q) {
+    const std::string name = "Q" + std::to_string(q);
+    Experiment exp(name);
+    Rng rng(1000 + static_cast<uint64_t>(q));
+    std::printf("%-10s", name.c_str());
+    for (double d : distances) {
+      size_t same = 0, total = 0;
+      size_t cost_ok = 0, cost_total = 0;
+      for (size_t i = 0; i < kTestPoints; ++i) {
+        std::vector<double> center(static_cast<size_t>(exp.dims()));
+        for (double& v : center) v = rng.Uniform();
+        const LabeledPoint base = exp.Label(center);
+        for (size_t p = 0; p < kPairsPerPoint; ++p) {
+          const LabeledPoint other =
+              exp.Label(NearbyPoint(center, d, &rng));
+          ++total;
+          if (other.plan == base.plan) {
+            ++same;
+            ++cost_total;
+            const double ratio =
+                std::max(base.cost, other.cost) /
+                std::max(1e-12, std::min(base.cost, other.cost));
+            if (ratio <= 1.25) ++cost_ok;  // epsilon = 0.25
+          }
+        }
+      }
+      std::printf("  %8.3f", ProportionLowerBound95(same, total));
+      if (d == 0.04) {
+        same_plan_cost_ratio_ok[static_cast<size_t>(q)].push_back(
+            cost_total > 0 ? static_cast<double>(cost_ok) / cost_total : 0.0);
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nAssumption 2: fraction of same-plan pairs (d = 0.04) with "
+              "cost within (1 + 0.25):\n");
+  PrintRule();
+  for (int q = 0; q <= 5; ++q) {
+    std::printf("Q%-9d %8.3f\n", q,
+                same_plan_cost_ratio_ok[static_cast<size_t>(q)].empty()
+                    ? 0.0
+                    : same_plan_cost_ratio_ok[static_cast<size_t>(q)][0]);
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 14): probabilities near 1 at small d,\n"
+      "decaying gently as d grows — the basis for density-based plan\n"
+      "prediction.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

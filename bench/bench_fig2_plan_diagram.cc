@@ -1,0 +1,65 @@
+// Reproduces paper Fig. 2: the plan diagram of query template Q1 over the
+// selectivities of its two parameterized predicates (s_date, l_partkey).
+// Each letter is a distinct optimal plan; the legend shows plan structure.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "plan/fingerprint.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+constexpr int kGrid = 48;
+
+void Run() {
+  PrintHeader("Fig. 2: plan space of Q1 (x = sel(s_date), y = sel(l_partkey))");
+  Experiment exp("Q1");
+  std::printf("SQL: %s\n\n", exp.tmpl().ToSql().c_str());
+
+  std::map<PlanId, char> symbol;
+  std::map<PlanId, int> region_size;
+  std::map<PlanId, std::string> plan_text;
+
+  for (int y = kGrid - 1; y >= 0; --y) {
+    for (int x = 0; x < kGrid; ++x) {
+      const std::vector<double> point = {(x + 0.5) / kGrid,
+                                         (y + 0.5) / kGrid};
+      auto result = exp.optimizer().Optimize(exp.prepared(), point);
+      PPC_CHECK(result.ok());
+      const PlanId id = result.value().plan_id;
+      if (symbol.find(id) == symbol.end()) {
+        symbol[id] = static_cast<char>('A' + symbol.size());
+        plan_text[id] = PrintPlan(*result.value().plan);
+      }
+      ++region_size[id];
+      std::putchar(symbol[id]);
+    }
+    std::putchar('\n');
+  }
+
+  std::printf("\ndistinct plans on the %dx%d grid: %zu\n\n", kGrid, kGrid,
+              symbol.size());
+  std::printf("%-6s %-18s %-10s\n", "plan", "fingerprint", "area%");
+  PrintRule();
+  for (const auto& [id, sym] : symbol) {
+    std::printf("%-6c %016llx %6.1f%%\n", sym,
+                static_cast<unsigned long long>(id),
+                100.0 * region_size[id] / (kGrid * kGrid));
+  }
+  std::printf("\nplan trees:\n");
+  for (const auto& [id, sym] : symbol) {
+    std::printf("\n[%c]\n%s", sym, plan_text[id].c_str());
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces paper Fig. 8: precision and recall of NAIVE vs
+// APPROXIMATE-LSH vs BASELINE as the sample size |X| grows, on a
+// low-dimensional template (Q1, r=2) and a high-dimensional one (Q7, r=5).
+// gamma = 0.7, d = 0.05 (paper Sec. V-A), grid budgets matched so that
+// NAIVE's single grid gets t times the cells of each LSH grid.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "clustering/approximate_lsh_predictor.h"
+#include "clustering/density_predictor.h"
+#include "clustering/naive_grid_predictor.h"
+#include "lsh/transform.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+constexpr double kGamma = 0.7;
+constexpr double kRadius = 0.05;
+constexpr int kTransforms = 5;
+constexpr int kBitsPerDim = 4;
+constexpr size_t kTestSize = 1000;
+
+void RunTemplate(const std::string& name) {
+  Experiment exp(name);
+  const int s = DefaultOutputDims(exp.dims());  // s = r
+  uint64_t lsh_grid_cells = 1;
+  for (int i = 0; i < s; ++i) lsh_grid_cells *= (1u << kBitsPerDim);
+  const uint64_t naive_budget = lsh_grid_cells * kTransforms;
+
+  std::printf("\n--- template %s (r = %d, s = %d) ---\n", name.c_str(),
+              exp.dims(), s);
+  std::printf("NAIVE b_g = %llu cells, A-LSH: %d grids x %llu cells\n\n",
+              static_cast<unsigned long long>(naive_budget), kTransforms,
+              static_cast<unsigned long long>(lsh_grid_cells));
+  std::printf("%-8s | %9s %9s %9s | %9s %9s %9s\n", "|X|", "prec:BASE",
+              "prec:NAIV", "prec:ALSH", "rec:BASE", "rec:NAIV", "rec:ALSH");
+  PrintRule();
+
+  for (size_t n : {200u, 400u, 800u, 1600u, 3200u, 6400u}) {
+    Rng rng(31 + n);
+    auto sample = exp.LabeledSample(n, &rng);
+    auto test = UniformPlanSpaceSample(exp.dims(), kTestSize, &rng);
+
+    DensityPredictor::Config bc;
+    bc.radius = kRadius;
+    bc.confidence_threshold = kGamma;
+    DensityPredictor baseline(bc, sample);
+
+    NaiveGridPredictor::Config nc;
+    nc.dimensions = exp.dims();
+    nc.bucket_budget = naive_budget;
+    nc.radius = kRadius;
+    nc.confidence_threshold = kGamma;
+    NaiveGridPredictor naive(nc, sample);
+
+    ApproximateLshPredictor::Config ac;
+    ac.dimensions = exp.dims();
+    ac.transform_count = kTransforms;
+    ac.bits_per_dim = kBitsPerDim;
+    ac.radius = kRadius;
+    ac.confidence_threshold = kGamma;
+    ApproximateLshPredictor lsh(ac, sample);
+
+    const auto base_m = exp.Evaluate(baseline, test);
+    const auto naive_m = exp.Evaluate(naive, test);
+    const auto lsh_m = exp.Evaluate(lsh, test);
+    std::printf("%-8zu | %9.3f %9.3f %9.3f | %9.3f %9.3f %9.3f\n", n,
+                base_m.Precision(), naive_m.Precision(), lsh_m.Precision(),
+                base_m.Recall(), naive_m.Recall(), lsh_m.Recall());
+  }
+}
+
+void Run() {
+  PrintHeader("Fig. 8: NAIVE vs APPROXIMATE-LSH vs BASELINE across |X|");
+  std::printf("gamma = %.2f, d = %.2f\n", kGamma, kRadius);
+  RunTemplate("Q1");
+  RunTemplate("Q7");
+  std::printf(
+      "\nExpected shape (paper): on the low-dimensional template the three\n"
+      "are close; on the high-dimensional one NAIVE's precision collapses\n"
+      "while APPROXIMATE-LSH stays near BASELINE at reduced recall.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Plan-diagram complexity report (Picasso-style, per Reddy & Haritsa whom
+// the paper cites): how complex are this substrate's plan diagrams, per
+// template? These metrics contextualize every prediction experiment — the
+// boundary fraction at a given distance is precisely the complement of the
+// paper's Assumption-1 probability.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/plan_diagram.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+constexpr size_t kProbes = 3000;
+
+void Run() {
+  PrintHeader("Plan-diagram complexity per template (Picasso-style)");
+  std::printf("%zu uniform probes + %zu neighbor pairs at distance 0.04\n\n",
+              kProbes, kProbes);
+  std::printf("%-8s %7s %8s %8s %9s %9s %10s %12s\n", "query", "plans",
+              "top1%", "gini", "entropy", "bnd@.04", "cover 80%",
+              "cover 95%");
+  PrintRule();
+  for (const char* name :
+       {"Q0", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8"}) {
+    Experiment exp(name);
+    auto stats = AnalyzePlanSpace(
+        [&](const std::vector<double>& x) { return exp.Label(x).plan; },
+        exp.dims(), kProbes, 0.04, 1001);
+    std::printf("%-8s %7zu %7.1f%% %8.3f %9.3f %9.3f %10zu %12zu\n", name,
+                stats.distinct_plans,
+                100.0 * stats.largest_region_fraction, stats.gini,
+                stats.entropy_bits, stats.boundary_fraction,
+                stats.PlansCoveringFraction(0.8),
+                stats.PlansCoveringFraction(0.95));
+  }
+  std::printf(
+      "\nReading: 'plans' is a probe-count lower bound (Table III);\n"
+      "'bnd@.04' = 1 - Pr(same plan | dist <= 0.04) (Fig. 14's complement);\n"
+      "'cover k%%' = how few plans dominate the space — the skew that makes\n"
+      "a small plan cache effective even when total plan counts are large.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces paper Table III (Appendix A): the evaluation query templates,
+// their parameter degrees, and estimated plan counts — obtained, like the
+// paper, "by probing the optimizer at a finite number of plan space
+// points; hence, these numbers show a lower bound on the number of plans".
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+
+#include "bench_util.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+constexpr size_t kRandomProbes = 4000;
+
+void Run() {
+  PrintHeader("Table III: query templates and estimated plan counts");
+  std::printf("%zu random probes per template (plan counts are lower "
+              "bounds)\n\n",
+              kRandomProbes);
+  std::printf("%-6s %-7s %-7s %-7s %-10s %-12s\n", "query", "tables",
+              "degree", "plans", "opt us", "SQL");
+  PrintRule();
+
+  for (const char* name :
+       {"Q0", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8"}) {
+    Experiment exp(name);
+    Rng rng(1234);
+    std::set<PlanId> plans;
+    const auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < kRandomProbes; ++i) {
+      std::vector<double> point(static_cast<size_t>(exp.dims()));
+      for (double& v : point) v = rng.Uniform();
+      plans.insert(exp.Label(point).plan);
+    }
+    const double micros =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count() /
+        kRandomProbes;
+    std::printf("%-6s %-7zu %-7d %-7zu %-10.1f %s\n", name,
+                exp.tmpl().tables.size(), exp.dims(), plans.size(), micros,
+                exp.tmpl().ToSql().c_str());
+  }
+  std::printf(
+      "\nExpected shape (paper Table III): parameter degrees 2..6; plan\n"
+      "counts grow with dimensionality and join count.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

@@ -1,0 +1,224 @@
+#ifndef PPC_BENCH_BENCH_UTIL_H_
+#define PPC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clustering/predictor.h"
+#include "ppc/online_predictor.h"
+#include "common/rng.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_evaluator.h"
+#include "ppc/metrics.h"
+#include "storage/tpch_generator.h"
+#include "workload/templates.h"
+#include "workload/workload_generator.h"
+
+namespace ppc {
+namespace bench {
+
+/// Shared TPC-H catalog for the experiment harnesses (scale 0.002, the
+/// same configuration the unit tests use; plan-space *shape* is what the
+/// experiments measure and it is scale-invariant).
+inline const Catalog& BenchCatalog() {
+  static const Catalog* catalog = [] {
+    TpchConfig cfg;
+    cfg.scale_factor = 0.002;
+    cfg.seed = 42;
+    return BuildTpchCatalog(cfg).release();
+  }();
+  return *catalog;
+}
+
+/// One experiment context: a query template bound to the optimizer, acting
+/// as the ground-truth oracle for the plan space (the paper's "probing the
+/// optimizer").
+class Experiment {
+ public:
+  explicit Experiment(const std::string& template_name,
+                      CostModelParams cost_params = CostModelParams())
+      : optimizer_(&BenchCatalog(), cost_params),
+        tmpl_(EvaluationTemplate(template_name)) {
+    auto prep = optimizer_.Prepare(tmpl_);
+    PPC_CHECK_MSG(prep.ok(), prep.status().ToString().c_str());
+    prep_ = std::move(prep).value();
+  }
+
+  const QueryTemplate& tmpl() const { return tmpl_; }
+  const PreparedTemplate& prepared() const { return prep_; }
+  const Optimizer& optimizer() const { return optimizer_; }
+  int dims() const { return tmpl_.ParameterDegree(); }
+
+  /// Ground truth at `point`: the optimizer's plan and its cost there.
+  LabeledPoint Label(const std::vector<double>& point) const {
+    auto result = optimizer_.Optimize(prep_, point);
+    PPC_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+    return LabeledPoint{point, result.value().plan_id,
+                        result.value().estimated_cost};
+  }
+
+  /// Cost of executing `plan` at `point` (for suboptimality accounting).
+  double CostOf(const PlanNode& plan, const std::vector<double>& point) const {
+    auto eval =
+        EvaluatePlanAtPoint(prep_, optimizer_.cost_model(), plan, point);
+    PPC_CHECK_MSG(eval.ok(), eval.status().ToString().c_str());
+    return eval.value().cost;
+  }
+
+  /// Uniformly sampled labeled points (the offline workflow's X / T sets).
+  std::vector<LabeledPoint> LabeledSample(size_t count, Rng* rng) const {
+    std::vector<LabeledPoint> points;
+    points.reserve(count);
+    for (auto& p : UniformPlanSpaceSample(dims(), count, rng)) {
+      points.push_back(Label(p));
+    }
+    return points;
+  }
+
+  /// Precision/recall of `predictor` against the optimizer oracle over
+  /// `test` points (paper Definition 4).
+  MetricsAccumulator Evaluate(
+      const PlanPredictor& predictor,
+      const std::vector<std::vector<double>>& test) const {
+    MetricsAccumulator metrics;
+    for (const auto& x : test) {
+      metrics.Record(predictor.Predict(x).plan, Label(x).plan);
+    }
+    return metrics;
+  }
+
+ private:
+  Optimizer optimizer_;
+  QueryTemplate tmpl_;
+  PreparedTemplate prep_;
+};
+
+/// Outcome of driving an online predictor over a workload with the
+/// optimizer as ground truth.
+struct OnlineOutcome {
+  /// True precision/recall of every query decision (NULL / optimizer
+  /// fallback counts as a missed prediction, per Definition 4).
+  MetricsAccumulator overall;
+  /// Same, bucketed into consecutive windows (learning curves).
+  std::vector<MetricsAccumulator> windows;
+  size_t optimizer_calls = 0;
+  size_t predictions_used = 0;
+  size_t negative_feedback_events = 0;
+  /// Binary cost-based estimator vs ground truth (the paper's ~72% claim).
+  size_t estimator_agreements = 0;
+  size_t estimator_total = 0;
+  /// The online tracker's own windowed precision estimate, sampled at the
+  /// end of each window (the signal Sec. IV-E uses for drift detection).
+  std::vector<double> estimated_precision;
+  /// Cumulative reset count sampled at the end of each window.
+  std::vector<size_t> resets;
+
+  double EstimatorAccuracy() const {
+    return estimator_total == 0 ? 0.0
+                                : static_cast<double>(estimator_agreements) /
+                                      static_cast<double>(estimator_total);
+  }
+};
+
+/// Drives `online` over `workload`, one query at a time, emulating the full
+/// execution loop: predict -> (execute predicted plan | optimize) ->
+/// negative feedback -> sample-pool insertion. `oracle_for(i)` supplies the
+/// ground-truth experiment for query i, letting drift experiments swap the
+/// underlying plan space mid-workload.
+inline OnlineOutcome RunOnlineWorkload(
+    OnlinePpcPredictor* online,
+    const std::vector<std::vector<double>>& workload, size_t window_size,
+    const std::function<const Experiment&(size_t)>& oracle_for) {
+  OnlineOutcome outcome;
+  std::map<PlanId, std::unique_ptr<PlanNode>> plan_trees;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    const Experiment& exp = oracle_for(i);
+    const std::vector<double>& x = workload[i];
+    auto truth = exp.optimizer().Optimize(exp.prepared(), x);
+    PPC_CHECK(truth.ok());
+    const PlanId true_plan = truth.value().plan_id;
+    const double true_cost = truth.value().estimated_cost;
+
+    const size_t window = i / window_size;
+    if (outcome.windows.size() <= window) {
+      outcome.windows.resize(window + 1);
+    }
+
+    auto decision = online->Decide(x);
+    const PlanNode* predicted_tree =
+        decision.use_prediction
+            ? plan_trees
+                  .try_emplace(decision.prediction.plan, nullptr)
+                  .first->second.get()
+            : nullptr;
+    if (decision.use_prediction && predicted_tree != nullptr) {
+      ++outcome.predictions_used;
+      outcome.overall.Record(decision.prediction.plan, true_plan);
+      outcome.windows[window].Record(decision.prediction.plan, true_plan);
+      const double actual_cost = exp.CostOf(*predicted_tree, x);
+      const bool suspected = online->ReportPredictionExecuted(
+          x, decision.prediction, actual_cost);
+      // Score the binary estimator against ground truth (meaningful when
+      // negative feedback is enabled; then `suspected` is exactly the
+      // estimator's "wrong" verdict).
+      ++outcome.estimator_total;
+      const bool actually_wrong = decision.prediction.plan != true_plan;
+      if (suspected == actually_wrong) ++outcome.estimator_agreements;
+      if (suspected) {
+        ++outcome.negative_feedback_events;
+        ++outcome.optimizer_calls;
+        online->ObserveOptimized({x, true_plan, true_cost});
+        plan_trees[true_plan] = truth.value().plan->Clone();
+      }
+    } else {
+      // NULL prediction, random invocation, or plan missing from the
+      // cache: the optimizer answers the query.
+      outcome.overall.Record(kNullPlanId, true_plan);
+      outcome.windows[window].Record(kNullPlanId, true_plan);
+      ++outcome.optimizer_calls;
+      online->ObserveOptimized({x, true_plan, true_cost});
+      plan_trees[true_plan] = truth.value().plan->Clone();
+    }
+
+    if ((i + 1) % window_size == 0 || i + 1 == workload.size()) {
+      if (outcome.estimated_precision.size() <= window) {
+        outcome.estimated_precision.resize(window + 1, 0.0);
+        outcome.resets.resize(window + 1, 0);
+      }
+      outcome.estimated_precision[window] =
+          online->tracker().TemplatePrecision();
+      outcome.resets[window] = online->reset_count();
+    }
+  }
+  return outcome;
+}
+
+/// Convenience overload with a fixed oracle.
+inline OnlineOutcome RunOnlineWorkload(
+    OnlinePpcPredictor* online,
+    const std::vector<std::vector<double>>& workload, size_t window_size,
+    const Experiment& exp) {
+  return RunOnlineWorkload(online, workload, window_size,
+                           [&exp](size_t) -> const Experiment& {
+                             return exp;
+                           });
+}
+
+/// Prints a header in the format the harnesses share.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintRule() {
+  std::printf(
+      "--------------------------------------------------------------\n");
+}
+
+}  // namespace bench
+}  // namespace ppc
+
+#endif  // PPC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,81 @@
+// Plan-space explorer: renders the plan diagram of any evaluation template
+// (the paper's Fig. 2) by probing the optimizer over a 2-D slice of the
+// selectivity space, and prints each region's physical plan tree.
+//
+// Usage:
+//   ./build/examples/plan_space_explorer [template] [grid] [dim_x] [dim_y]
+//
+//   template : Q0..Q8 (default Q1)
+//   grid     : cells per axis (default 32)
+//   dim_x/y  : which parameters to sweep for templates with degree > 2;
+//              all other parameters are pinned at selectivity 0.5.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "optimizer/optimizer.h"
+#include "plan/fingerprint.h"
+#include "storage/tpch_generator.h"
+#include "workload/templates.h"
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "Q1";
+  const int grid = argc > 2 ? std::atoi(argv[2]) : 32;
+  const int dim_x = argc > 3 ? std::atoi(argv[3]) : 0;
+  const int dim_y = argc > 4 ? std::atoi(argv[4]) : 1;
+
+  ppc::TpchConfig db_config;
+  db_config.scale_factor = 0.002;
+  auto catalog = ppc::BuildTpchCatalog(db_config);
+  ppc::Optimizer optimizer(catalog.get());
+
+  const ppc::QueryTemplate tmpl = ppc::EvaluationTemplate(name);
+  auto prep = optimizer.Prepare(tmpl);
+  PPC_CHECK_MSG(prep.ok(), prep.status().ToString().c_str());
+  const int degree = tmpl.ParameterDegree();
+  if (dim_x >= degree || dim_y >= degree || dim_x == dim_y) {
+    std::fprintf(stderr, "invalid dimensions for degree-%d template\n",
+                 degree);
+    return 1;
+  }
+
+  std::printf("%s: %s\n", name.c_str(), tmpl.ToSql().c_str());
+  std::printf("sweeping sel(%s.%s) (x) and sel(%s.%s) (y); "
+              "other parameters pinned at 0.5\n\n",
+              tmpl.params[dim_x].table.c_str(),
+              tmpl.params[dim_x].column.c_str(),
+              tmpl.params[dim_y].table.c_str(),
+              tmpl.params[dim_y].column.c_str());
+
+  std::map<ppc::PlanId, char> symbol;
+  std::map<ppc::PlanId, int> area;
+  std::map<ppc::PlanId, std::string> tree;
+  for (int y = grid - 1; y >= 0; --y) {
+    for (int x = 0; x < grid; ++x) {
+      std::vector<double> point(static_cast<size_t>(degree), 0.5);
+      point[static_cast<size_t>(dim_x)] = (x + 0.5) / grid;
+      point[static_cast<size_t>(dim_y)] = (y + 0.5) / grid;
+      auto result = optimizer.Optimize(prep.value(), point);
+      PPC_CHECK(result.ok());
+      const ppc::PlanId id = result.value().plan_id;
+      if (symbol.find(id) == symbol.end()) {
+        const size_t n = symbol.size();
+        symbol[id] = n < 26 ? static_cast<char>('A' + n)
+                            : static_cast<char>('a' + (n - 26) % 26);
+        tree[id] = PrintPlan(*result.value().plan);
+      }
+      ++area[id];
+      std::putchar(symbol[id]);
+    }
+    std::putchar('\n');
+  }
+
+  std::printf("\n%zu distinct plans on this slice\n", symbol.size());
+  for (const auto& [id, sym] : symbol) {
+    std::printf("\n[%c] %.1f%% of the slice\n%s", sym,
+                100.0 * area[id] / (grid * grid), tree[id].c_str());
+  }
+  return 0;
+}

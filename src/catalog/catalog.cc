@@ -1,0 +1,80 @@
+#include "catalog/catalog.h"
+
+namespace ppc {
+
+Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name);
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::AddIndex(IndexDef index) {
+  auto it = tables_.find(index.table);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + index.table + " for index " +
+                            index.name);
+  }
+  if (it->second->def().ColumnIndex(index.column) < 0) {
+    return Status::NotFound("column " + index.column + " for index " +
+                            index.name);
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+void Catalog::AnalyzeAll(size_t histogram_buckets) {
+  stats_.clear();
+  for (const auto& [name, table] : tables_) {
+    for (size_t c = 0; c < table->column_count(); ++c) {
+      const Column& column = table->column(c);
+      stats_[{name, column.name()}] =
+          ColumnStats::Compute(column, histogram_buckets);
+    }
+  }
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return const_cast<const Table*>(it->second.get());
+}
+
+Result<Table*> Catalog::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return it->second.get();
+}
+
+Result<const ColumnStats*> Catalog::GetColumnStats(
+    const std::string& table, const std::string& column) const {
+  auto it = stats_.find({table, column});
+  if (it == stats_.end()) {
+    return Status::NotFound("stats for " + table + "." + column);
+  }
+  return &it->second;
+}
+
+bool Catalog::HasIndex(const std::string& table,
+                       const std::string& column) const {
+  for (const IndexDef& idx : indexes_) {
+    if (idx.table == table && idx.column == column) return true;
+  }
+  return false;
+}
+
+size_t Catalog::TableRows(const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second->row_count();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ppc

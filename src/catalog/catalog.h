@@ -1,0 +1,66 @@
+#ifndef PPC_CATALOG_CATALOG_H_
+#define PPC_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "stats/column_stats.h"
+#include "storage/table.h"
+
+namespace ppc {
+
+/// The system catalog: base tables (with materialized data), secondary
+/// indexes, and per-column optimizer statistics.
+///
+/// Both the query optimizer and the PPC framework's selectivity
+/// normalization read statistics exclusively through this interface, so they
+/// observe exactly the same estimates — the property the paper's
+/// f : instance -> [0,1]^r mapping depends on.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers a table. Fails with AlreadyExists on duplicate names.
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// Registers a secondary index. The table and column must exist.
+  Status AddIndex(IndexDef index);
+
+  /// Recomputes statistics for every column of every table, using
+  /// `histogram_buckets` buckets per histogram (ANALYZE equivalent).
+  void AnalyzeAll(size_t histogram_buckets = 64);
+
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  /// Statistics for `table`.`column`; NotFound if missing or not analyzed.
+  Result<const ColumnStats*> GetColumnStats(const std::string& table,
+                                            const std::string& column) const;
+
+  /// True if a secondary index exists on `table`.`column`.
+  bool HasIndex(const std::string& table, const std::string& column) const;
+
+  /// Row count of `table` (0 if absent).
+  size_t TableRows(const std::string& table) const;
+
+  const std::vector<IndexDef>& indexes() const { return indexes_; }
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::vector<IndexDef> indexes_;
+  // (table, column) -> stats
+  std::map<std::pair<std::string, std::string>, ColumnStats> stats_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CATALOG_CATALOG_H_

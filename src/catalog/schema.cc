@@ -1,0 +1,24 @@
+#include "catalog/schema.h"
+
+namespace ppc {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDouble:
+      return "DOUBLE";
+    case ColumnType::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+int TableDef::ColumnIndex(const std::string& column) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace ppc

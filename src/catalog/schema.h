@@ -1,0 +1,56 @@
+#ifndef PPC_CATALOG_SCHEMA_H_
+#define PPC_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppc {
+
+/// Storage type of a column. Dates are stored as days since an epoch.
+enum class ColumnType {
+  kInt64,
+  kDouble,
+  kDate,
+};
+
+/// Returns "INT64", "DOUBLE" or "DATE".
+const char* ColumnTypeName(ColumnType type);
+
+/// Definition of a single column within a table.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+};
+
+/// Definition of a secondary index. All indexes in this library are
+/// single-column B+-tree-style indexes (the cost model charges them
+/// logarithmic lookup plus per-matching-row random I/O).
+struct IndexDef {
+  std::string name;
+  std::string table;
+  std::string column;
+  bool unique = false;
+};
+
+/// Definition of a base table: columns, primary key, and foreign keys.
+struct TableDef {
+  /// One foreign-key edge: `column` references `ref_table.ref_column`.
+  struct ForeignKey {
+    std::string column;
+    std::string ref_table;
+    std::string ref_column;
+  };
+
+  std::string name;
+  std::vector<ColumnDef> columns;
+  std::vector<std::string> primary_key;
+  std::vector<ForeignKey> foreign_keys;
+
+  /// Returns the index of `column` within `columns`, or -1 if absent.
+  int ColumnIndex(const std::string& column) const;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CATALOG_SCHEMA_H_

@@ -1,0 +1,115 @@
+#include "clustering/approximate_lsh_predictor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "clustering/confidence.h"
+#include "common/math_utils.h"
+
+namespace ppc {
+
+namespace {
+
+TransformConfig MakeTransformConfig(
+    const ApproximateLshPredictor::Config& config) {
+  TransformConfig tc;
+  tc.input_dims = config.dimensions;
+  tc.output_dims = config.output_dims > 0
+                       ? config.output_dims
+                       : DefaultOutputDims(config.dimensions);
+  tc.bits_per_dim = config.bits_per_dim;
+  return tc;
+}
+
+}  // namespace
+
+ApproximateLshPredictor::ApproximateLshPredictor(Config config)
+    : config_(config),
+      transforms_(MakeTransformConfig(config), config.transform_count,
+                  config.seed) {
+  grids_.reserve(transforms_.size());
+  for (size_t i = 0; i < transforms_.size(); ++i) {
+    const RandomizedTransform& t = transforms_[i];
+    grids_.emplace_back(t.config().output_dims, t.curve().cells_per_dim(),
+                        t.grid_lo(), t.grid_extent());
+  }
+}
+
+ApproximateLshPredictor::ApproximateLshPredictor(
+    Config config, const std::vector<LabeledPoint>& sample)
+    : ApproximateLshPredictor(config) {
+  for (const LabeledPoint& p : sample) Insert(p);
+}
+
+void ApproximateLshPredictor::Insert(const LabeledPoint& point) {
+  for (size_t i = 0; i < transforms_.size(); ++i) {
+    grids_[i].Insert(transforms_[i].Apply(point.coords), point.plan,
+                     point.cost);
+  }
+}
+
+Prediction ApproximateLshPredictor::Predict(
+    const std::vector<double>& x) const {
+  // Per-transform density estimates; the median over t is kept per plan.
+  std::map<PlanId, std::vector<double>> counts;
+  std::map<PlanId, std::vector<double>> costs;
+  std::set<PlanId> plans;
+  std::vector<std::map<PlanId, PlanAggregate>> per_transform;
+  per_transform.reserve(transforms_.size());
+  for (size_t i = 0; i < transforms_.size(); ++i) {
+    // At minimum the containing cell is read ("the grid bucket that
+    // contains x, and the neighboring buckets if necessary", Sec. IV-B):
+    // a query ball smaller than a cell still gets cell-granular counts.
+    const double half_cell =
+        0.5 * transforms_[i].grid_extent() /
+        static_cast<double>(transforms_[i].curve().cells_per_dim());
+    const double scaled_radius = std::max(
+        config_.radius * transforms_[i].distance_scale(), half_cell);
+    per_transform.push_back(
+        grids_[i].QueryBox(transforms_[i].Apply(x), scaled_radius));
+    for (const auto& [plan, agg] : per_transform.back()) plans.insert(plan);
+  }
+  if (plans.empty()) return Prediction{};
+
+  for (PlanId plan : plans) {
+    for (const auto& result : per_transform) {
+      auto it = result.find(plan);
+      counts[plan].push_back(it == result.end() ? 0.0 : it->second.count);
+      costs[plan].push_back(it == result.end() ? 0.0
+                                               : it->second.AverageCost());
+    }
+  }
+
+  double total = 0.0;
+  PlanId max_plan = kNullPlanId;
+  double max_count = 0.0;
+  double max_cost = 0.0;
+  for (PlanId plan : plans) {
+    const double median_count = Median(counts[plan]);
+    total += median_count;
+    if (median_count > max_count) {
+      max_count = median_count;
+      max_plan = plan;
+      max_cost = Median(costs[plan]);
+    }
+  }
+  if (max_count <= 0.0) return Prediction{};
+
+  const double confidence = ConfidenceFromCounts(max_count, total - max_count);
+  if (confidence <= config_.confidence_threshold) return Prediction{};
+
+  Prediction out;
+  out.plan = max_plan;
+  out.confidence = confidence;
+  out.estimated_cost = max_cost;
+  return out;
+}
+
+uint64_t ApproximateLshPredictor::SpaceBytes() const {
+  uint64_t total = 0;
+  for (const PlanGrid& grid : grids_) total += grid.SpaceBytes();
+  return total;
+}
+
+}  // namespace ppc

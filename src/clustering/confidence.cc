@@ -1,0 +1,26 @@
+#include "clustering/confidence.h"
+
+#include "common/math_utils.h"
+
+namespace ppc {
+
+double ConfidenceFromCounts(double max_count, double other_count) {
+  if (max_count <= 0.0) return 0.0;
+  if (other_count <= 0.0) return 1.0;
+  if (max_count < other_count) return 0.0;
+  const double minority_fraction = other_count / (max_count + other_count);
+  // Chord distance for the minority segment; with minority_fraction <= 0.5
+  // the distance is >= 0 and equals d*sin(theta) on the unit circle.
+  const double h = ChordDistanceForAreaFraction(minority_fraction);
+  return Clamp(h, 0.0, 1.0);
+}
+
+double ConfidenceFromTotalRatio(double total_over_max) {
+  if (total_over_max < 1.0) return 0.0;
+  // total = max + other => other/max = ratio - 1.
+  const double max_count = 1.0;
+  const double other_count = total_over_max - 1.0;
+  return ConfidenceFromCounts(max_count, other_count);
+}
+
+}  // namespace ppc

@@ -1,0 +1,63 @@
+#include "clustering/density_predictor.h"
+
+#include <map>
+
+#include "clustering/confidence.h"
+#include "common/math_utils.h"
+
+namespace ppc {
+
+DensityPredictor::DensityPredictor(Config config,
+                                   std::vector<LabeledPoint> sample)
+    : config_(config), points_(std::move(sample)) {}
+
+Prediction DensityPredictor::Predict(const std::vector<double>& x) const {
+  // Algorithm 1, lines 1-5: per-plan densities within radius d.
+  const double radius2 = config_.radius * config_.radius;
+  struct Agg {
+    double count = 0.0;
+    double cost_sum = 0.0;
+  };
+  std::map<PlanId, Agg> agg;
+  for (const LabeledPoint& p : points_) {
+    if (SquaredDistance(x, p.coords) <= radius2) {
+      Agg& a = agg[p.plan];
+      a.count += 1.0;
+      a.cost_sum += p.cost;
+    }
+  }
+  if (agg.empty()) return Prediction{};
+
+  // Lines 6-11: total density and the max plan.
+  double total = 0.0;
+  PlanId max_plan = kNullPlanId;
+  double max_count = 0.0;
+  for (const auto& [plan, a] : agg) {
+    total += a.count;
+    if (a.count > max_count) {
+      max_count = a.count;
+      max_plan = plan;
+    }
+  }
+
+  // Lines 12-16: confidence sanity check.
+  const double confidence = ConfidenceFromCounts(max_count, total - max_count);
+  if (confidence <= config_.confidence_threshold) return Prediction{};
+
+  Prediction out;
+  out.plan = max_plan;
+  out.confidence = confidence;
+  out.estimated_cost = agg[max_plan].cost_sum / max_count;
+  return out;
+}
+
+void DensityPredictor::Insert(const LabeledPoint& point) {
+  points_.push_back(point);
+}
+
+uint64_t DensityPredictor::SpaceBytes() const {
+  const size_t dims = points_.empty() ? 0 : points_.front().coords.size();
+  return points_.size() * (dims * 8 + 8 + 8);
+}
+
+}  // namespace ppc

@@ -1,0 +1,45 @@
+#ifndef PPC_CLUSTERING_DENSITY_PREDICTOR_H_
+#define PPC_CLUSTERING_DENSITY_PREDICTOR_H_
+
+#include <vector>
+
+#include "clustering/predictor.h"
+
+namespace ppc {
+
+/// "Density Predict" / Algorithm 1 BASELINE.
+///
+/// Stores the entire sample set X. To predict the plan at point x it counts
+/// the samples of each plan within radius d of x, takes the
+/// highest-frequency plan P_max, and applies the confidence sanity check:
+/// predict P_max iff sin(getConfidenceAngle(total/density[max])) > gamma
+/// (Sec. III-A c and Algorithm 1). Exhibits excellent precision but O(|X|)
+/// prediction time and O(|X|) space — the reference the approximation
+/// algorithms (NAIVE, APPROXIMATE-LSH, APPROXIMATE-LSH-HISTOGRAMS) are
+/// measured against.
+class DensityPredictor : public PlanPredictor {
+ public:
+  struct Config {
+    /// Query radius d.
+    double radius = 0.1;
+    /// Confidence threshold gamma in [0, 1].
+    double confidence_threshold = 0.7;
+  };
+
+  DensityPredictor(Config config, std::vector<LabeledPoint> sample);
+
+  Prediction Predict(const std::vector<double>& x) const override;
+  void Insert(const LabeledPoint& point) override;
+  uint64_t SpaceBytes() const override;
+  std::string Name() const override { return "BASELINE"; }
+
+  size_t sample_size() const { return points_.size(); }
+
+ private:
+  Config config_;
+  std::vector<LabeledPoint> points_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CLUSTERING_DENSITY_PREDICTOR_H_

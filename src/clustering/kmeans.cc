@@ -1,0 +1,87 @@
+#include "clustering/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+#include "common/math_utils.h"
+
+namespace ppc {
+
+KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
+                    Rng* rng, int max_iterations) {
+  KMeansResult result;
+  if (points.empty() || k <= 0) return result;
+  PPC_CHECK(rng != nullptr);
+  const size_t n = points.size();
+  const size_t dims = points.front().size();
+  const size_t clusters = std::min<size_t>(static_cast<size_t>(k), n);
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(clusters);
+  centroids.push_back(points[rng->UniformInt(n)]);
+  std::vector<double> dist2(n, std::numeric_limits<double>::infinity());
+  while (centroids.size() < clusters) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      dist2[i] = std::min(dist2[i], SquaredDistance(points[i],
+                                                    centroids.back()));
+      total += dist2[i];
+    }
+    if (total <= 0.0) break;  // all remaining points coincide with centroids
+    double target = rng->Uniform() * total;
+    size_t pick = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      target -= dist2[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.push_back(points[pick]);
+  }
+
+  // Lloyd iterations.
+  std::vector<int> assignment(n, 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = assignment[i];
+      for (size_t c = 0; c < centroids.size(); ++c) {
+        const double d2 = SquaredDistance(points[i], centroids[c]);
+        if (d2 < best) {
+          best = d2;
+          best_c = static_cast<int>(c);
+        }
+      }
+      if (best_c != assignment[i]) {
+        assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    std::vector<std::vector<double>> sums(centroids.size(),
+                                          std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(centroids.size(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t c = static_cast<size_t>(assignment[i]);
+      ++counts[c];
+      for (size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      if (counts[c] == 0) continue;  // keep empty clusters where they were
+      for (size_t d = 0; d < dims; ++d) {
+        centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.centroids = std::move(centroids);
+  result.assignment = std::move(assignment);
+  return result;
+}
+
+}  // namespace ppc

@@ -1,0 +1,27 @@
+#ifndef PPC_CLUSTERING_KMEANS_H_
+#define PPC_CLUSTERING_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppc {
+
+/// Result of a k-means run: centroids and the assignment of each input
+/// point to its centroid index.
+struct KMeansResult {
+  std::vector<std::vector<double>> centroids;
+  std::vector<int> assignment;
+};
+
+/// Lloyd's algorithm with k-means++ seeding.
+///
+/// Clusters `points` (all of equal dimensionality) into at most `k`
+/// clusters; fewer when there are fewer distinct points. Deterministic for
+/// a fixed `rng` state. `max_iterations` bounds the Lloyd refinement.
+KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
+                    Rng* rng, int max_iterations = 50);
+
+}  // namespace ppc
+
+#endif  // PPC_CLUSTERING_KMEANS_H_

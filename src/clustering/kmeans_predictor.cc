@@ -1,0 +1,67 @@
+#include "clustering/kmeans_predictor.h"
+
+#include <cmath>
+#include <limits>
+
+#include "clustering/kmeans.h"
+#include "common/math_utils.h"
+
+namespace ppc {
+
+KMeansPredictor::KMeansPredictor(Config config,
+                                 std::vector<LabeledPoint> sample)
+    : config_(config), points_(std::move(sample)), rng_(config.seed) {}
+
+void KMeansPredictor::Rebuild() const {
+  centroids_.clear();
+  std::map<PlanId, std::vector<std::vector<double>>> groups;
+  for (const LabeledPoint& p : points_) {
+    groups[p.plan].push_back(p.coords);
+  }
+  for (auto& [plan, group] : groups) {
+    KMeansResult result =
+        KMeans(group, config_.clusters_per_plan, &rng_);
+    centroids_[plan] = std::move(result.centroids);
+  }
+  dirty_ = false;
+}
+
+Prediction KMeansPredictor::Predict(const std::vector<double>& x) const {
+  if (dirty_) Rebuild();
+  Prediction out;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [plan, centroids] : centroids_) {
+    for (const auto& centroid : centroids) {
+      const double d2 = SquaredDistance(x, centroid);
+      if (d2 < best) {
+        best = d2;
+        out.plan = plan;
+      }
+    }
+  }
+  if (out.plan == kNullPlanId || std::sqrt(best) > config_.radius) {
+    return Prediction{};
+  }
+  // Distance-based sanity check only; report proximity as confidence.
+  out.confidence = Clamp(1.0 - std::sqrt(best) / config_.radius, 0.0, 1.0);
+  return out;
+}
+
+void KMeansPredictor::Insert(const LabeledPoint& point) {
+  points_.push_back(point);
+  dirty_ = true;
+}
+
+uint64_t KMeansPredictor::SpaceBytes() const {
+  if (dirty_) Rebuild();
+  uint64_t centroid_count = 0;
+  size_t dims = 0;
+  for (const auto& [plan, centroids] : centroids_) {
+    centroid_count += centroids.size();
+    if (!centroids.empty()) dims = centroids.front().size();
+  }
+  // Each centroid stores r coordinates (8 bytes each) plus its plan label.
+  return centroid_count * (dims * 8 + 8);
+}
+
+}  // namespace ppc

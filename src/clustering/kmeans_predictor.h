@@ -1,0 +1,50 @@
+#ifndef PPC_CLUSTERING_KMEANS_PREDICTOR_H_
+#define PPC_CLUSTERING_KMEANS_PREDICTOR_H_
+
+#include <map>
+#include <vector>
+
+#include "clustering/predictor.h"
+#include "common/rng.h"
+
+namespace ppc {
+
+/// "K-Means Predict" (paper Sec. III-A a): sample points are grouped by
+/// plan label; each group is independently clustered into c clusters with
+/// k-means; a test point is assigned the plan of the nearest centroid, or
+/// NULL if that centroid is farther than radius d.
+///
+/// Included as a Section III comparison baseline (Fig. 3); its centroid
+/// model handles the non-convex optimality regions of real plan diagrams
+/// poorly, which is the paper's argument for density-based clustering.
+class KMeansPredictor : public PlanPredictor {
+ public:
+  struct Config {
+    /// Clusters per plan group (the paper's c; Fig. 3 uses c = 40).
+    int clusters_per_plan = 40;
+    /// Maximum centroid distance d for a non-NULL prediction.
+    double radius = 0.1;
+    uint64_t seed = 11;
+  };
+
+  KMeansPredictor(Config config, std::vector<LabeledPoint> sample);
+
+  Prediction Predict(const std::vector<double>& x) const override;
+  void Insert(const LabeledPoint& point) override;
+  uint64_t SpaceBytes() const override;
+  std::string Name() const override { return "KMEANS-PREDICT"; }
+
+ private:
+  void Rebuild() const;
+
+  Config config_;
+  std::vector<LabeledPoint> points_;
+  mutable bool dirty_ = true;
+  mutable Rng rng_;
+  /// plan -> centroids of that plan's groups.
+  mutable std::map<PlanId, std::vector<std::vector<double>>> centroids_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CLUSTERING_KMEANS_PREDICTOR_H_

@@ -1,0 +1,62 @@
+#include "clustering/naive_grid_predictor.h"
+
+#include "clustering/confidence.h"
+
+namespace ppc {
+
+uint32_t CellsPerDimForBudget(uint64_t bucket_budget, int dimensions) {
+  // The epsilon absorbs pow() rounding (e.g. 100^(1/2) = 9.999...).
+  const double per_dim = std::pow(static_cast<double>(bucket_budget),
+                                  1.0 / static_cast<double>(dimensions));
+  return static_cast<uint32_t>(std::max(1.0, std::floor(per_dim + 1e-9)));
+}
+
+NaiveGridPredictor::NaiveGridPredictor(Config config)
+    : config_(config),
+      grid_(config.dimensions,
+            CellsPerDimForBudget(config.bucket_budget, config.dimensions),
+            /*lo=*/0.0, /*extent=*/1.0) {}
+
+NaiveGridPredictor::NaiveGridPredictor(Config config,
+                                       const std::vector<LabeledPoint>& sample)
+    : NaiveGridPredictor(config) {
+  for (const LabeledPoint& p : sample) Insert(p);
+}
+
+void NaiveGridPredictor::Insert(const LabeledPoint& point) {
+  grid_.Insert(point.coords, point.plan, point.cost);
+}
+
+Prediction NaiveGridPredictor::Predict(const std::vector<double>& x) const {
+  // "Locating the grid bucket that contains x (and the neighboring buckets
+  // if necessary)": the effective region is at least the containing cell.
+  const double half_cell = 0.5 / static_cast<double>(grid_.cells_per_dim());
+  const auto counts =
+      grid_.QueryBox(x, std::max(config_.radius, half_cell));
+  if (counts.empty()) return Prediction{};
+
+  double total = 0.0;
+  PlanId max_plan = kNullPlanId;
+  double max_count = 0.0;
+  double max_cost_sum = 0.0;
+  for (const auto& [plan, agg] : counts) {
+    total += agg.count;
+    if (agg.count > max_count) {
+      max_count = agg.count;
+      max_plan = plan;
+      max_cost_sum = agg.cost_sum;
+    }
+  }
+  if (max_count <= 0.0) return Prediction{};
+
+  const double confidence = ConfidenceFromCounts(max_count, total - max_count);
+  if (confidence <= config_.confidence_threshold) return Prediction{};
+
+  Prediction out;
+  out.plan = max_plan;
+  out.confidence = confidence;
+  out.estimated_cost = max_cost_sum / max_count;
+  return out;
+}
+
+}  // namespace ppc

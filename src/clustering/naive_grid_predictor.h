@@ -1,0 +1,52 @@
+#ifndef PPC_CLUSTERING_NAIVE_GRID_PREDICTOR_H_
+#define PPC_CLUSTERING_NAIVE_GRID_PREDICTOR_H_
+
+#include <cmath>
+#include <vector>
+
+#include "clustering/predictor.h"
+#include "lsh/grid.h"
+
+namespace ppc {
+
+/// The NAIVE algorithm (paper Sec. IV-B): the plan space is partitioned by
+/// a single fixed-orientation grid; each bucket records, per plan, the
+/// sample count (32-bit int) and average cost (32-bit float). Densities
+/// around a query point come from the containing bucket and its neighbors.
+/// O(1) prediction and n * b_g * 8 bytes of space, but a single rigid grid
+/// approximates circular neighborhoods poorly — the motivation for
+/// APPROXIMATE-LSH's randomized multi-grid scheme.
+class NaiveGridPredictor : public PlanPredictor {
+ public:
+  struct Config {
+    /// Plan-space dimensionality r.
+    int dimensions = 2;
+    /// Total bucket budget b_g; cells per axis = floor(b_g^(1/r)).
+    uint64_t bucket_budget = 4096;
+    /// Query radius d.
+    double radius = 0.1;
+    /// Confidence threshold gamma.
+    double confidence_threshold = 0.7;
+  };
+
+  explicit NaiveGridPredictor(Config config);
+  NaiveGridPredictor(Config config, const std::vector<LabeledPoint>& sample);
+
+  Prediction Predict(const std::vector<double>& x) const override;
+  void Insert(const LabeledPoint& point) override;
+  uint64_t SpaceBytes() const override { return grid_.SpaceBytes(); }
+  std::string Name() const override { return "NAIVE"; }
+
+  uint32_t cells_per_dim() const { return grid_.cells_per_dim(); }
+
+ private:
+  Config config_;
+  PlanGrid grid_;
+};
+
+/// Cells per axis for a total bucket budget over r dimensions (>= 1).
+uint32_t CellsPerDimForBudget(uint64_t bucket_budget, int dimensions);
+
+}  // namespace ppc
+
+#endif  // PPC_CLUSTERING_NAIVE_GRID_PREDICTOR_H_

@@ -1,0 +1,60 @@
+#ifndef PPC_CLUSTERING_PREDICTOR_H_
+#define PPC_CLUSTERING_PREDICTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/fingerprint.h"
+
+namespace ppc {
+
+/// A labeled plan-space point: coordinates in [0,1]^r, the optimal plan at
+/// those coordinates, and that plan's execution cost there (paper Sec. I:
+/// "each plan space point is labeled with both the optimal query plan and
+/// that plan's execution cost at that point").
+struct LabeledPoint {
+  std::vector<double> coords;
+  PlanId plan = kNullPlanId;
+  double cost = 0.0;
+};
+
+/// Output of a plan predictor: either a plan id with the confidence that
+/// backed the decision, or NULL (kNullPlanId) when prediction is unsafe.
+struct Prediction {
+  PlanId plan = kNullPlanId;
+  /// Confidence value sin(theta) in [0,1]; meaningful iff has_value().
+  double confidence = 0.0;
+  /// Estimated execution cost of the predicted plan near the query point
+  /// (populated by the histogram-backed predictors; 0 when unavailable).
+  double estimated_cost = 0.0;
+
+  bool has_value() const { return plan != kNullPlanId; }
+};
+
+/// Interface shared by every plan-space clustering predictor in the paper:
+/// the Section III candidates (k-means / single-linkage / density), the
+/// Section IV BASELINE and its approximations (NAIVE, APPROXIMATE-LSH,
+/// APPROXIMATE-LSH-HISTOGRAMS).
+class PlanPredictor {
+ public:
+  virtual ~PlanPredictor() = default;
+
+  /// Predicts the optimal plan at plan-space point `x`, or NULL.
+  virtual Prediction Predict(const std::vector<double>& x) const = 0;
+
+  /// Adds a labeled sample (online workflow). Predictors built from a
+  /// fixed offline sample may keep this unimplemented-as-no-op only if
+  /// documented; all predictors in this library support insertion.
+  virtual void Insert(const LabeledPoint& point) = 0;
+
+  /// Space consumption under the paper's Table I accounting.
+  virtual uint64_t SpaceBytes() const = 0;
+
+  /// Algorithm name as used in the paper ("BASELINE", "NAIVE", ...).
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CLUSTERING_PREDICTOR_H_

@@ -1,0 +1,43 @@
+#include "clustering/single_linkage_predictor.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+
+namespace ppc {
+
+SingleLinkagePredictor::SingleLinkagePredictor(Config config,
+                                               std::vector<LabeledPoint> sample)
+    : config_(config), points_(std::move(sample)) {}
+
+Prediction SingleLinkagePredictor::Predict(
+    const std::vector<double>& x) const {
+  Prediction out;
+  double best = std::numeric_limits<double>::infinity();
+  for (const LabeledPoint& p : points_) {
+    const double d2 = SquaredDistance(x, p.coords);
+    if (d2 < best) {
+      best = d2;
+      out.plan = p.plan;
+      out.estimated_cost = p.cost;
+    }
+  }
+  if (out.plan == kNullPlanId || std::sqrt(best) > config_.radius) {
+    return Prediction{};
+  }
+  out.confidence = Clamp(1.0 - std::sqrt(best) / config_.radius, 0.0, 1.0);
+  return out;
+}
+
+void SingleLinkagePredictor::Insert(const LabeledPoint& point) {
+  points_.push_back(point);
+}
+
+uint64_t SingleLinkagePredictor::SpaceBytes() const {
+  const size_t dims = points_.empty() ? 0 : points_.front().coords.size();
+  // Every sample point is retained: r coordinates, plan label, cost.
+  return points_.size() * (dims * 8 + 8 + 8);
+}
+
+}  // namespace ppc

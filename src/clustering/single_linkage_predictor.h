@@ -1,0 +1,35 @@
+#ifndef PPC_CLUSTERING_SINGLE_LINKAGE_PREDICTOR_H_
+#define PPC_CLUSTERING_SINGLE_LINKAGE_PREDICTOR_H_
+
+#include <vector>
+
+#include "clustering/predictor.h"
+
+namespace ppc {
+
+/// "Single Linkage Predict" (paper Sec. III-A b): a test point takes the
+/// plan label of the nearest sample point, or NULL if the nearest point is
+/// farther than radius d. Handles arbitrarily-shaped clusters but is
+/// sensitive to outliers: it cannot distinguish the middle of a cluster
+/// from a point just across a plan boundary.
+class SingleLinkagePredictor : public PlanPredictor {
+ public:
+  struct Config {
+    double radius = 0.1;
+  };
+
+  SingleLinkagePredictor(Config config, std::vector<LabeledPoint> sample);
+
+  Prediction Predict(const std::vector<double>& x) const override;
+  void Insert(const LabeledPoint& point) override;
+  uint64_t SpaceBytes() const override;
+  std::string Name() const override { return "SINGLE-LINKAGE-PREDICT"; }
+
+ private:
+  Config config_;
+  std::vector<LabeledPoint> points_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_CLUSTERING_SINGLE_LINKAGE_PREDICTOR_H_

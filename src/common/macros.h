@@ -1,0 +1,39 @@
+#ifndef PPC_COMMON_MACROS_H_
+#define PPC_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts the process with a message when `condition` is false.
+///
+/// Used for internal invariants that indicate programmer error rather than
+/// recoverable runtime failures (which are reported via ppc::Status).
+#define PPC_CHECK(condition)                                                \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "PPC_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #condition);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// PPC_CHECK with an explanatory message.
+#define PPC_CHECK_MSG(condition, msg)                                       \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      std::fprintf(stderr, "PPC_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #condition, msg);                    \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+/// Checks that are active only in debug builds.
+#ifdef NDEBUG
+#define PPC_DCHECK(condition) \
+  do {                        \
+  } while (0)
+#else
+#define PPC_DCHECK(condition) PPC_CHECK(condition)
+#endif
+
+#endif  // PPC_COMMON_MACROS_H_

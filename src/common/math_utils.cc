@@ -1,0 +1,103 @@
+#include "common/math_utils.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace ppc {
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+double HypersphereVolume(int r, double radius) {
+  PPC_DCHECK(r >= 1);
+  const double half = static_cast<double>(r) / 2.0;
+  return std::pow(M_PI, half) / std::tgamma(half + 1.0) *
+         std::pow(radius, static_cast<double>(r));
+}
+
+double HypersphereRadiusForVolume(int r, double volume) {
+  PPC_DCHECK(r >= 1 && volume >= 0.0);
+  const double half = static_cast<double>(r) / 2.0;
+  const double unit = std::pow(M_PI, half) / std::tgamma(half + 1.0);
+  return std::pow(volume / unit, 1.0 / static_cast<double>(r));
+}
+
+double UnitCircleSegmentArea(double h) {
+  h = Clamp(h, -1.0, 1.0);
+  // Area beyond the chord at signed distance h:
+  //   A(h) = acos(h) - h * sqrt(1 - h^2).
+  return std::acos(h) - h * std::sqrt(std::max(0.0, 1.0 - h * h));
+}
+
+double ChordDistanceForAreaFraction(double fraction) {
+  fraction = Clamp(fraction, 0.0, 1.0);
+  const double target = fraction * M_PI;
+  // A(h) decreases monotonically from pi at h=-1 to 0 at h=1; bisect.
+  double lo = -1.0, hi = 1.0;
+  for (int i = 0; i < 64; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (UnitCircleSegmentArea(mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  PPC_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double SampleStdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mean = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) {
+    const double diff = x - mean;
+    sum += diff * diff;
+  }
+  return std::sqrt(sum / static_cast<double>(xs.size() - 1));
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  if (xs.size() % 2 == 1) return xs[mid];
+  const double upper = xs[mid];
+  const double lower = *std::max_element(xs.begin(), xs.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double ProportionLowerBound95(size_t successes, size_t trials) {
+  if (trials == 0) return 0.0;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z = 1.645;  // one-sided 95%
+  return Clamp(p - z * std::sqrt(p * (1.0 - p) / n), 0.0, 1.0);
+}
+
+}  // namespace ppc

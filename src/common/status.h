@@ -1,0 +1,134 @@
+#ifndef PPC_COMMON_STATUS_H_
+#define PPC_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace ppc {
+
+/// Error categories used across the library. The public API reports
+/// recoverable failures via Status / Result rather than exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kInternal,
+  kUnimplemented,
+  kResourceExhausted,
+};
+
+/// Returns a human-readable name for a status code ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value.
+///
+/// Mirrors the conventions of large C++ database codebases (Arrow, RocksDB):
+/// functions that can fail return Status (or Result<T>), and callers either
+/// propagate with PPC_RETURN_NOT_OK or assert with ok().
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "<CodeName>: <message>" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union: either holds a T or a non-OK Status. T need not
+/// be default-constructible.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    PPC_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the held value; aborts if this Result holds an error.
+  const T& value() const& {
+    PPC_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    PPC_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    PPC_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when holding an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define PPC_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::ppc::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its error.
+#define PPC_CONCAT_IMPL_(a, b) a##b
+#define PPC_CONCAT_(a, b) PPC_CONCAT_IMPL_(a, b)
+#define PPC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+#define PPC_ASSIGN_OR_RETURN(lhs, expr) \
+  PPC_ASSIGN_OR_RETURN_IMPL_(PPC_CONCAT_(_ppc_res_, __LINE__), lhs, expr)
+
+}  // namespace ppc
+
+#endif  // PPC_COMMON_STATUS_H_

@@ -1,0 +1,26 @@
+#include "exec/execution_simulator.h"
+
+#include <cmath>
+
+namespace ppc {
+
+ExecutionSimulator::ExecutionSimulator(const CostModel* cost_model,
+                                       Options options)
+    : cost_model_(cost_model), options_(options), rng_(options.seed) {
+  PPC_CHECK(cost_model != nullptr);
+}
+
+Result<double> ExecutionSimulator::Execute(
+    const PreparedTemplate& prep, const PlanNode& plan,
+    const std::vector<double>& true_selectivities) {
+  PPC_ASSIGN_OR_RETURN(
+      PlanEvaluation eval,
+      EvaluatePlanAtPoint(prep, *cost_model_, plan, true_selectivities));
+  double cost = eval.cost;
+  if (options_.noise_stddev > 0.0) {
+    cost *= std::exp(rng_.Gaussian(0.0, options_.noise_stddev));
+  }
+  return cost;
+}
+
+}  // namespace ppc

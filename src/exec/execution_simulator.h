@@ -1,0 +1,45 @@
+#ifndef PPC_EXEC_EXECUTION_SIMULATOR_H_
+#define PPC_EXEC_EXECUTION_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/plan_evaluator.h"
+
+namespace ppc {
+
+/// Simulates execution of a plan at a plan-space point.
+///
+/// Execution cost is the cost model replayed at the point's *true*
+/// selectivities (so running a stale cached plan away from its optimality
+/// region is charged its genuinely higher cost), optionally perturbed with
+/// multiplicative log-normal noise to model run-to-run variance of a real
+/// system. This stands in for the paper's black-box commercial DBMS
+/// executor; see DESIGN.md ("substitutions").
+class ExecutionSimulator {
+ public:
+  struct Options {
+    /// Standard deviation of ln(noise factor); 0 disables noise.
+    double noise_stddev = 0.0;
+    uint64_t seed = 7;
+  };
+
+  explicit ExecutionSimulator(const CostModel* cost_model)
+      : ExecutionSimulator(cost_model, Options{}) {}
+  ExecutionSimulator(const CostModel* cost_model, Options options);
+
+  /// Returns the execution cost of `plan` at `true_selectivities`.
+  Result<double> Execute(const PreparedTemplate& prep, const PlanNode& plan,
+                         const std::vector<double>& true_selectivities);
+
+ private:
+  const CostModel* cost_model_;
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_EXEC_EXECUTION_SIMULATOR_H_

@@ -1,0 +1,289 @@
+#include "exec/row_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/macros.h"
+
+namespace ppc {
+
+namespace {
+
+/// An intermediate tuple: one row id per participating table, addressed by
+/// the template's table index. -1 marks tables not yet joined in.
+using TupleRow = std::vector<int64_t>;
+
+struct Relation {
+  std::vector<TupleRow> rows;
+  uint64_t rows_processed = 0;
+};
+
+class Executor {
+ public:
+  Executor(const Catalog* catalog, const QueryTemplate& tmpl,
+           const std::vector<double>& param_values)
+      : catalog_(catalog), tmpl_(tmpl), param_values_(param_values) {}
+
+  Result<Relation> Eval(const PlanNode& node) {
+    switch (node.kind) {
+      case PlanNode::Kind::kScan:
+        return EvalScan(node);
+      case PlanNode::Kind::kJoin:
+        return EvalJoin(node);
+      case PlanNode::Kind::kAggregate: {
+        // Aggregation collapses to a single row but we report the child
+        // cardinality; the caller distinguishes via ExecutionStats.
+        return Eval(*node.left);
+      }
+    }
+    return Status::Internal("unknown plan node kind");
+  }
+
+ private:
+  Result<int> TableIndex(const std::string& name) const {
+    const int t = tmpl_.TableIndex(name);
+    if (t < 0) {
+      return Status::InvalidArgument("plan table " + name +
+                                     " not in template");
+    }
+    return t;
+  }
+
+  /// Value of `column` for the row of `table_idx` inside `tuple`.
+  Result<double> TupleValue(const TupleRow& tuple, int table_idx,
+                            const std::string& column) const {
+    const int64_t row = tuple[static_cast<size_t>(table_idx)];
+    if (row < 0) return Status::Internal("tuple missing table component");
+    PPC_ASSIGN_OR_RETURN(const Table* table,
+                         catalog_->GetTable(tmpl_.tables[
+                             static_cast<size_t>(table_idx)]));
+    PPC_ASSIGN_OR_RETURN(const Column* col, table->FindColumn(column));
+    return col->AsDouble(static_cast<size_t>(row));
+  }
+
+  bool PassesParams(const Table& table, size_t row,
+                    const std::vector<int>& params) const {
+    for (int p : params) {
+      const ParamPredicate& param = tmpl_.params[static_cast<size_t>(p)];
+      auto col = table.FindColumn(param.column);
+      PPC_CHECK(col.ok());
+      const double value = col.value()->AsDouble(row);
+      const double bound = param_values_[static_cast<size_t>(p)];
+      const bool pass = param.op == PredicateOp::kLeq ? value <= bound
+                                                      : value >= bound;
+      if (!pass) return false;
+    }
+    return true;
+  }
+
+  Result<Relation> EvalScan(const PlanNode& node) {
+    PPC_ASSIGN_OR_RETURN(int t, TableIndex(node.table));
+    PPC_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(node.table));
+    Relation rel;
+    // Both access paths produce the same rows; an index scan on the
+    // parameter column could skip non-matching rows, but correctness (the
+    // property this executor checks) is identical, so we scan uniformly.
+    for (size_t row = 0; row < table->row_count(); ++row) {
+      if (!PassesParams(*table, row, node.param_predicates)) continue;
+      TupleRow tuple(tmpl_.tables.size(), -1);
+      tuple[static_cast<size_t>(t)] = static_cast<int64_t>(row);
+      rel.rows.push_back(std::move(tuple));
+    }
+    rel.rows_processed = table->row_count();
+    return rel;
+  }
+
+  /// Join keys for the edges that cross the left/right table sets.
+  struct CrossingEdge {
+    int left_table;
+    std::string left_column;
+    int right_table;
+    std::string right_column;
+  };
+
+  Result<std::vector<CrossingEdge>> CrossingEdges(
+      const Relation& left, const Relation& right) const {
+    auto covered = [](const Relation& rel, int t) {
+      return !rel.rows.empty() &&
+             rel.rows.front()[static_cast<size_t>(t)] >= 0;
+    };
+    std::vector<CrossingEdge> edges;
+    for (const JoinEdge& edge : tmpl_.joins) {
+      const int lt = tmpl_.TableIndex(edge.left_table);
+      const int rt = tmpl_.TableIndex(edge.right_table);
+      PPC_CHECK(lt >= 0 && rt >= 0);
+      if (covered(left, lt) && covered(right, rt)) {
+        edges.push_back({lt, edge.left_column, rt, edge.right_column});
+      } else if (covered(left, rt) && covered(right, lt)) {
+        edges.push_back({rt, edge.right_column, lt, edge.left_column});
+      }
+    }
+    return edges;
+  }
+
+  static TupleRow MergeTuples(const TupleRow& a, const TupleRow& b) {
+    TupleRow merged = a;
+    for (size_t i = 0; i < b.size(); ++i) {
+      if (b[i] >= 0) merged[i] = b[i];
+    }
+    return merged;
+  }
+
+  Result<Relation> EvalJoin(const PlanNode& node) {
+    PPC_ASSIGN_OR_RETURN(Relation left, Eval(*node.left));
+    PPC_ASSIGN_OR_RETURN(Relation right, Eval(*node.right));
+    Relation out;
+    out.rows_processed = left.rows_processed + right.rows_processed;
+    if (left.rows.empty() || right.rows.empty()) return out;
+
+    PPC_ASSIGN_OR_RETURN(std::vector<CrossingEdge> edges,
+                         CrossingEdges(left, right));
+    if (edges.empty()) {
+      return Status::InvalidArgument("plan contains a Cartesian product");
+    }
+
+    // All join methods implement the same semantics; we dispatch to the
+    // plan's method so each algorithm's code path is genuinely exercised.
+    switch (node.join_method) {
+      case JoinMethod::kHashJoin:
+      case JoinMethod::kIndexNestedLoop: {
+        // Hash (or simulated index lookup) on the right side keyed by the
+        // first crossing edge; residual edges verified per match.
+        const CrossingEdge& key = edges.front();
+        std::unordered_multimap<double, size_t> hash;
+        hash.reserve(right.rows.size());
+        for (size_t i = 0; i < right.rows.size(); ++i) {
+          PPC_ASSIGN_OR_RETURN(
+              double v,
+              TupleValue(right.rows[i], key.right_table, key.right_column));
+          hash.emplace(v, i);
+        }
+        for (const TupleRow& ltuple : left.rows) {
+          PPC_ASSIGN_OR_RETURN(
+              double v, TupleValue(ltuple, key.left_table, key.left_column));
+          auto [begin, end] = hash.equal_range(v);
+          for (auto it = begin; it != end; ++it) {
+            const TupleRow& rtuple = right.rows[it->second];
+            bool all = true;
+            for (size_t e = 1; e < edges.size(); ++e) {
+              PPC_ASSIGN_OR_RETURN(
+                  double lv, TupleValue(ltuple, edges[e].left_table,
+                                        edges[e].left_column));
+              PPC_ASSIGN_OR_RETURN(
+                  double rv, TupleValue(rtuple, edges[e].right_table,
+                                        edges[e].right_column));
+              if (lv != rv) {
+                all = false;
+                break;
+              }
+            }
+            if (all) out.rows.push_back(MergeTuples(ltuple, rtuple));
+          }
+        }
+        break;
+      }
+      case JoinMethod::kBlockNestedLoop: {
+        for (const TupleRow& ltuple : left.rows) {
+          for (const TupleRow& rtuple : right.rows) {
+            bool all = true;
+            for (const CrossingEdge& edge : edges) {
+              PPC_ASSIGN_OR_RETURN(
+                  double lv,
+                  TupleValue(ltuple, edge.left_table, edge.left_column));
+              PPC_ASSIGN_OR_RETURN(
+                  double rv,
+                  TupleValue(rtuple, edge.right_table, edge.right_column));
+              if (lv != rv) {
+                all = false;
+                break;
+              }
+            }
+            if (all) out.rows.push_back(MergeTuples(ltuple, rtuple));
+          }
+        }
+        break;
+      }
+      case JoinMethod::kSortMergeJoin: {
+        const CrossingEdge& key = edges.front();
+        auto sort_key = [&](const Relation& rel, int table,
+                            const std::string& column) {
+          std::vector<std::pair<double, size_t>> keys;
+          keys.reserve(rel.rows.size());
+          for (size_t i = 0; i < rel.rows.size(); ++i) {
+            auto v = TupleValue(rel.rows[i], table, column);
+            PPC_CHECK(v.ok());
+            keys.emplace_back(v.value(), i);
+          }
+          std::sort(keys.begin(), keys.end());
+          return keys;
+        };
+        auto lkeys = sort_key(left, key.left_table, key.left_column);
+        auto rkeys = sort_key(right, key.right_table, key.right_column);
+        size_t li = 0, ri = 0;
+        while (li < lkeys.size() && ri < rkeys.size()) {
+          if (lkeys[li].first < rkeys[ri].first) {
+            ++li;
+          } else if (lkeys[li].first > rkeys[ri].first) {
+            ++ri;
+          } else {
+            const double v = lkeys[li].first;
+            size_t lend = li, rend = ri;
+            while (lend < lkeys.size() && lkeys[lend].first == v) ++lend;
+            while (rend < rkeys.size() && rkeys[rend].first == v) ++rend;
+            for (size_t a = li; a < lend; ++a) {
+              for (size_t b = ri; b < rend; ++b) {
+                const TupleRow& ltuple = left.rows[lkeys[a].second];
+                const TupleRow& rtuple = right.rows[rkeys[b].second];
+                bool all = true;
+                for (size_t e = 1; e < edges.size(); ++e) {
+                  PPC_ASSIGN_OR_RETURN(
+                      double lv, TupleValue(ltuple, edges[e].left_table,
+                                            edges[e].left_column));
+                  PPC_ASSIGN_OR_RETURN(
+                      double rv, TupleValue(rtuple, edges[e].right_table,
+                                            edges[e].right_column));
+                  if (lv != rv) {
+                    all = false;
+                    break;
+                  }
+                }
+                if (all) out.rows.push_back(MergeTuples(ltuple, rtuple));
+              }
+            }
+            li = lend;
+            ri = rend;
+          }
+        }
+        break;
+      }
+    }
+    out.rows_processed += out.rows.size();
+    return out;
+  }
+
+  const Catalog* catalog_;
+  const QueryTemplate& tmpl_;
+  const std::vector<double>& param_values_;
+};
+
+}  // namespace
+
+RowExecutor::RowExecutor(const Catalog* catalog) : catalog_(catalog) {
+  PPC_CHECK(catalog != nullptr);
+}
+
+Result<ExecutionStats> RowExecutor::Execute(
+    const QueryTemplate& tmpl, const PlanNode& plan,
+    const std::vector<double>& param_values) {
+  if (param_values.size() != tmpl.params.size()) {
+    return Status::InvalidArgument("parameter arity mismatch");
+  }
+  Executor executor(catalog_, tmpl, param_values);
+  PPC_ASSIGN_OR_RETURN(Relation rel, executor.Eval(plan));
+  ExecutionStats stats;
+  stats.output_rows = rel.rows.size();
+  stats.rows_processed = rel.rows_processed;
+  return stats;
+}
+
+}  // namespace ppc

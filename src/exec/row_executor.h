@@ -1,0 +1,46 @@
+#ifndef PPC_EXEC_ROW_EXECUTOR_H_
+#define PPC_EXEC_ROW_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "plan/plan_node.h"
+#include "workload/query_template.h"
+
+namespace ppc {
+
+/// Result of a row-level plan execution.
+struct ExecutionStats {
+  /// Final output cardinality (pre-aggregation row count for aggregates).
+  uint64_t output_rows = 0;
+  /// Total rows produced across all operators (work measure).
+  uint64_t rows_processed = 0;
+};
+
+/// A materializing row-at-a-time executor over the in-memory catalog.
+///
+/// Executes real physical plans — sequential and index scans, hash,
+/// block-nested-loop, index-nested-loop and sort-merge joins, final
+/// aggregation — against actual table data. Used to validate that (a) every
+/// join method produces identical results, and (b) the optimizer's
+/// cardinality estimates track reality. (End-to-end experiments use the
+/// cost-replay ExecutionSimulator instead; see DESIGN.md.)
+class RowExecutor {
+ public:
+  explicit RowExecutor(const Catalog* catalog);
+
+  /// Executes `plan` for `tmpl` with concrete parameter values
+  /// (`param_values[i]` instantiates `tmpl.params[i]` as `column <= v`).
+  Result<ExecutionStats> Execute(const QueryTemplate& tmpl,
+                                 const PlanNode& plan,
+                                 const std::vector<double>& param_values);
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_EXEC_ROW_EXECUTOR_H_

@@ -1,0 +1,107 @@
+#include "lsh/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/math_utils.h"
+
+namespace ppc {
+
+PlanGrid::PlanGrid(int dimensions, uint32_t cells_per_dim, double lo,
+                   double extent)
+    : dimensions_(dimensions),
+      cells_per_dim_(cells_per_dim),
+      lo_(lo),
+      extent_(extent),
+      cell_width_(extent / static_cast<double>(cells_per_dim)) {
+  PPC_CHECK(dimensions >= 1 && cells_per_dim >= 1 && extent > 0.0);
+}
+
+uint64_t PlanGrid::CellCode(const std::vector<uint32_t>& cell) const {
+  uint64_t code = 0;
+  for (int d = 0; d < dimensions_; ++d) {
+    code = code * cells_per_dim_ + cell[static_cast<size_t>(d)];
+  }
+  return code;
+}
+
+std::vector<uint32_t> PlanGrid::CellOf(
+    const std::vector<double>& coords) const {
+  PPC_DCHECK(static_cast<int>(coords.size()) == dimensions_);
+  std::vector<uint32_t> cell(coords.size());
+  for (size_t d = 0; d < coords.size(); ++d) {
+    const double idx = std::floor((coords[d] - lo_) / cell_width_);
+    cell[d] = static_cast<uint32_t>(
+        Clamp(idx, 0.0, static_cast<double>(cells_per_dim_ - 1)));
+  }
+  return cell;
+}
+
+uint64_t PlanGrid::total_cells() const {
+  uint64_t total = 1;
+  for (int d = 0; d < dimensions_; ++d) total *= cells_per_dim_;
+  return total;
+}
+
+void PlanGrid::Insert(const std::vector<double>& coords, PlanId plan,
+                      double cost) {
+  PlanAggregate& agg = cells_[CellCode(CellOf(coords))][plan];
+  agg.count += 1.0;
+  agg.cost_sum += cost;
+  ++plans_[plan];
+  ++total_count_;
+}
+
+std::map<PlanId, PlanAggregate> PlanGrid::QueryBox(
+    const std::vector<double>& coords, double radius) const {
+  PPC_DCHECK(static_cast<int>(coords.size()) == dimensions_);
+  // Cell index range intersecting the query box, per dimension.
+  std::vector<uint32_t> lo_cell(coords.size()), hi_cell(coords.size());
+  for (size_t d = 0; d < coords.size(); ++d) {
+    const double lo_idx = std::floor((coords[d] - radius - lo_) / cell_width_);
+    const double hi_idx = std::floor((coords[d] + radius - lo_) / cell_width_);
+    lo_cell[d] = static_cast<uint32_t>(
+        Clamp(lo_idx, 0.0, static_cast<double>(cells_per_dim_ - 1)));
+    hi_cell[d] = static_cast<uint32_t>(
+        Clamp(hi_idx, 0.0, static_cast<double>(cells_per_dim_ - 1)));
+  }
+
+  std::map<PlanId, PlanAggregate> result;
+  std::vector<uint32_t> cell = lo_cell;
+  for (;;) {
+    // Volume fraction of this cell covered by the query box.
+    double fraction = 1.0;
+    for (size_t d = 0; d < cell.size(); ++d) {
+      const double cell_lo = lo_ + cell_width_ * static_cast<double>(cell[d]);
+      const double cell_hi = cell_lo + cell_width_;
+      const double overlap = std::max(
+          0.0, std::min(coords[d] + radius, cell_hi) -
+                   std::max(coords[d] - radius, cell_lo));
+      fraction *= overlap / cell_width_;
+    }
+    if (fraction > 0.0) {
+      auto it = cells_.find(CellCode(cell));
+      if (it != cells_.end()) {
+        for (const auto& [plan, agg] : it->second) {
+          PlanAggregate& out = result[plan];
+          out.count += agg.count * fraction;
+          out.cost_sum += agg.cost_sum * fraction;
+        }
+      }
+    }
+    // Advance the multi-dimensional counter.
+    size_t d = 0;
+    for (; d < cell.size(); ++d) {
+      if (cell[d] < hi_cell[d]) {
+        ++cell[d];
+        break;
+      }
+      cell[d] = lo_cell[d];
+    }
+    if (d == cell.size()) break;
+  }
+  return result;
+}
+
+}  // namespace ppc

@@ -1,0 +1,73 @@
+#ifndef PPC_LSH_GRID_H_
+#define PPC_LSH_GRID_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "plan/fingerprint.h"
+
+namespace ppc {
+
+/// Per-plan count and cost aggregates within one region.
+struct PlanAggregate {
+  double count = 0.0;
+  double cost_sum = 0.0;
+
+  double AverageCost() const { return count > 0.0 ? cost_sum / count : 0.0; }
+};
+
+/// A fixed-resolution grid over a box domain, recording per-cell, per-plan
+/// sample counts and cost sums.
+///
+/// This is the storage behind the NAIVE algorithm (one grid over the plan
+/// space itself) and APPROXIMATE-LSH (one grid per randomized intermediate
+/// space). Space accounting follows the paper's Table I: each (plan, cell)
+/// slot charges 8 bytes — a 32-bit count plus a 32-bit average cost.
+class PlanGrid {
+ public:
+  /// A grid over [lo, lo+extent]^dimensions with `cells_per_dim` cells per
+  /// axis.
+  PlanGrid(int dimensions, uint32_t cells_per_dim, double lo, double extent);
+
+  /// Records one sample with coordinates in the grid's domain.
+  void Insert(const std::vector<double>& coords, PlanId plan, double cost);
+
+  /// Per-plan aggregates over the box [coords - radius, coords + radius]
+  /// (intersected with the domain). Partially-overlapped cells contribute
+  /// proportionally to the overlapped volume fraction.
+  std::map<PlanId, PlanAggregate> QueryBox(const std::vector<double>& coords,
+                                           double radius) const;
+
+  /// Number of distinct plans observed.
+  size_t plan_count() const { return plans_.size(); }
+  /// Total cells in the grid (Table I's b_g).
+  uint64_t total_cells() const;
+  /// Samples inserted so far.
+  size_t total_count() const { return total_count_; }
+  /// Table I space accounting: n * b_g * 8 bytes.
+  uint64_t SpaceBytes() const { return plan_count() * total_cells() * 8; }
+
+  int dimensions() const { return dimensions_; }
+  uint32_t cells_per_dim() const { return cells_per_dim_; }
+
+ private:
+  uint64_t CellCode(const std::vector<uint32_t>& cell) const;
+  std::vector<uint32_t> CellOf(const std::vector<double>& coords) const;
+
+  int dimensions_;
+  uint32_t cells_per_dim_;
+  double lo_;
+  double extent_;
+  double cell_width_;
+  /// cell code -> plan -> aggregate. Sparse storage; the space *accounting*
+  /// is dense per the paper's formula.
+  std::unordered_map<uint64_t, std::map<PlanId, PlanAggregate>> cells_;
+  std::map<PlanId, size_t> plans_;
+  size_t total_count_ = 0;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_LSH_GRID_H_

@@ -1,0 +1,136 @@
+#include "lsh/transform.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/math_utils.h"
+
+namespace ppc {
+
+int DefaultOutputDims(int input_dims) {
+  // The paper permits s << r "when dimensionality reduction is necessary";
+  // empirically (bench_ablation_projection) projecting away dimensions
+  // collapses far-apart plan regions onto each other and destroys the
+  // density ratios the confidence model needs, so the default keeps s = r.
+  // Callers that want reduction set output_dims explicitly.
+  return input_dims;
+}
+
+RandomizedTransform::RandomizedTransform(const TransformConfig& config,
+                                         Rng* rng)
+    : config_(config),
+      curve_(config.output_dims, config.bits_per_dim) {
+  PPC_CHECK(rng != nullptr);
+  PPC_CHECK(config.input_dims >= 1 && config.output_dims >= 1);
+  const int r = config.input_dims;
+  const int s = config.output_dims;
+
+  // lambda: radius of the hypersphere with the volume of [-1,1]^r.
+  const double lambda =
+      HypersphereRadiusForVolume(r, std::pow(2.0, static_cast<double>(r)));
+  // Step 1: [0,1]^r - 0.5 -> [-0.5,0.5]^r, scaled so vertices reach S.
+  scale_ = 2.0 * lambda / std::sqrt(static_cast<double>(r));
+
+  // Transformed coordinates satisfy |a_j . x'| <= ||x'|| <= lambda.
+  const uint32_t cells = curve_.cells_per_dim();
+  const double raw_extent = 2.0 * lambda;
+  const double cell_width = raw_extent / static_cast<double>(cells);
+  // Shifts stay within one cell width; widen the grid by one cell so
+  // shifted points cannot fall off the high end.
+  grid_lo_ = -lambda;
+  grid_extent_ = raw_extent + cell_width;
+
+  projections_.resize(static_cast<size_t>(s));
+  shifts_.resize(static_cast<size_t>(s));
+  for (int j = 0; j < s; ++j) {
+    std::vector<double> a(static_cast<size_t>(r));
+    double norm = 0.0;
+    for (double& v : a) {
+      v = rng->Gaussian();
+      norm += v * v;
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (double& v : a) v /= norm;
+    projections_[static_cast<size_t>(j)] = std::move(a);
+    shifts_[static_cast<size_t>(j)] = rng->Uniform(0.0, cell_width);
+  }
+}
+
+std::vector<double> RandomizedTransform::Apply(
+    const std::vector<double>& point) const {
+  PPC_DCHECK(static_cast<int>(point.size()) == config_.input_dims);
+  const size_t r = point.size();
+  const size_t s = projections_.size();
+  std::vector<double> out(s);
+  for (size_t j = 0; j < s; ++j) {
+    double dot = 0.0;
+    for (size_t i = 0; i < r; ++i) {
+      dot += projections_[j][i] * (point[i] - 0.5) * scale_;
+    }
+    out[j] = dot + shifts_[j];
+  }
+  return out;
+}
+
+std::vector<uint32_t> RandomizedTransform::Cell(
+    const std::vector<double>& point) const {
+  const std::vector<double> y = Apply(point);
+  const uint32_t cells = curve_.cells_per_dim();
+  std::vector<uint32_t> cell(y.size());
+  for (size_t j = 0; j < y.size(); ++j) {
+    const double frac = (y[j] - grid_lo_) / grid_extent_;
+    const double idx = std::floor(frac * static_cast<double>(cells));
+    cell[j] = static_cast<uint32_t>(
+        Clamp(idx, 0.0, static_cast<double>(cells - 1)));
+  }
+  return cell;
+}
+
+double RandomizedTransform::LinearizedPosition(
+    const std::vector<double>& point) const {
+  return curve_.Linearize(Cell(point));
+}
+
+void RandomizedTransform::CellBox(const std::vector<double>& point, double d,
+                                  std::vector<uint32_t>* lo,
+                                  std::vector<uint32_t>* hi) const {
+  const std::vector<double> y = Apply(point);
+  const uint32_t cells = curve_.cells_per_dim();
+  const double radius = d * scale_;
+  lo->resize(y.size());
+  hi->resize(y.size());
+  for (size_t j = 0; j < y.size(); ++j) {
+    const double lo_frac = (y[j] - radius - grid_lo_) / grid_extent_;
+    const double hi_frac = (y[j] + radius - grid_lo_) / grid_extent_;
+    (*lo)[j] = static_cast<uint32_t>(
+        Clamp(std::floor(lo_frac * static_cast<double>(cells)), 0.0,
+              static_cast<double>(cells - 1)));
+    (*hi)[j] = static_cast<uint32_t>(
+        Clamp(std::floor(hi_frac * static_cast<double>(cells)), 0.0,
+              static_cast<double>(cells - 1)));
+  }
+}
+
+double RandomizedTransform::RangeHalfWidth(double d) const {
+  const int s = config_.output_dims;
+  // Radius d in the plan space becomes d * scale_ in the transformed space
+  // (unit-vector projections preserve lengths). The Z-order position is a
+  // volume-fraction coordinate over the grid box, so the hypersphere's
+  // share of the box volume gives the interval width 2*delta.
+  const double dt = d * scale_;
+  const double sphere = HypersphereVolume(s, dt);
+  const double box = std::pow(grid_extent_, static_cast<double>(s));
+  return Clamp(0.5 * sphere / box, 0.0, 0.5);
+}
+
+TransformEnsemble::TransformEnsemble(const TransformConfig& config, int count,
+                                     uint64_t seed) {
+  PPC_CHECK(count >= 1);
+  Rng rng(seed);
+  transforms_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    transforms_.emplace_back(config, &rng);
+  }
+}
+
+}  // namespace ppc

@@ -1,0 +1,109 @@
+#ifndef PPC_LSH_TRANSFORM_H_
+#define PPC_LSH_TRANSFORM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "lsh/zorder.h"
+
+namespace ppc {
+
+/// Configuration of one randomized locality-preserving transform
+/// (paper Sec. IV-B, after Tao et al.).
+struct TransformConfig {
+  /// Plan-space dimensionality r.
+  int input_dims = 2;
+  /// Intermediate-space dimensionality s. The paper uses s = r at low
+  /// dimensions and s << r when dimensionality reduction is needed.
+  int output_dims = 2;
+  /// Grid resolution per axis as a power of two: Delta = 2^bits_per_dim.
+  int bits_per_dim = 5;
+};
+
+/// Returns the paper's default projection dimensionality for a plan space
+/// of `input_dims` dimensions: s = r for r <= 3, s = 3 above.
+int DefaultOutputDims(int input_dims);
+
+/// One randomized locality-preserving geometrical transformation of the
+/// plan space (Sec. IV-B):
+///
+///  1. translate points by (-0.5, ..., -0.5) and scale by 2*lambda/sqrt(r),
+///     where lambda is the radius of the hypersphere S whose volume equals
+///     that of [-1,1]^r, placing the hypercube's vertices on S;
+///  2. project onto s random unit vectors a_1..a_s (components drawn from a
+///     normal distribution, then normalized);
+///  3. shift each projection by b_j drawn uniformly from one grid-cell
+///     width — "a much smaller interval" than Tao et al.'s, enough to
+///     randomize bucket boundaries without breaking plan-choice
+///     predictability;
+///  4. bucket each coordinate on a fixed grid and linearize the cell with a
+///     Z-order curve.
+class RandomizedTransform {
+ public:
+  /// Draws the random projection vectors and shifts from `rng`.
+  RandomizedTransform(const TransformConfig& config, Rng* rng);
+
+  /// Steps 1-2-3: the transformed s-dimensional coordinates of `point`.
+  std::vector<double> Apply(const std::vector<double>& point) const;
+
+  /// Step 4 cell coordinates of `point` on the grid.
+  std::vector<uint32_t> Cell(const std::vector<double>& point) const;
+
+  /// Grid-cell index box covered by the transformed ball of plan-space
+  /// radius `d` around `point` (per-dimension inclusive ranges, clamped to
+  /// the grid). Feed to ZOrderCurve::DecomposeBox for exact Z-range
+  /// querying.
+  void CellBox(const std::vector<double>& point, double d,
+               std::vector<uint32_t>* lo, std::vector<uint32_t>* hi) const;
+
+  /// Z-order-linearized grid position of `point`, in [0, 1).
+  double LinearizedPosition(const std::vector<double>& point) const;
+
+  /// Factor by which the transform scales Euclidean distances (projections
+  /// onto unit vectors preserve lengths, so this is the step-1 scale).
+  double distance_scale() const { return scale_; }
+
+  /// Half-width, in normalized Z-order position, of the range covering the
+  /// same volume fraction as a plan-space hypersphere of radius `d`
+  /// (Sec. IV-C: "2*delta is equal to the volume of a hypersphere with
+  /// radius d"), expressed relative to the grid's bounding box.
+  double RangeHalfWidth(double d) const;
+
+  const TransformConfig& config() const { return config_; }
+  const ZOrderCurve& curve() const { return curve_; }
+  /// Grid lower bound / extent along each transformed axis.
+  double grid_lo() const { return grid_lo_; }
+  double grid_extent() const { return grid_extent_; }
+
+ private:
+  TransformConfig config_;
+  ZOrderCurve curve_;
+  double scale_;        // step-1 distance scale
+  double grid_lo_;      // transformed-axis grid origin
+  double grid_extent_;  // transformed-axis grid span
+  std::vector<std::vector<double>> projections_;  // s unit vectors, each r-dim
+  std::vector<double> shifts_;                    // s per-axis shifts
+};
+
+/// An ensemble of t independently randomized transforms sharing one
+/// configuration — the "t randomized transformations producing t
+/// intermediate data spaces I_1..I_t" of Sec. IV-B.
+class TransformEnsemble {
+ public:
+  TransformEnsemble(const TransformConfig& config, int count, uint64_t seed);
+
+  const std::vector<RandomizedTransform>& transforms() const {
+    return transforms_;
+  }
+  size_t size() const { return transforms_.size(); }
+  const RandomizedTransform& operator[](size_t i) const {
+    return transforms_[i];
+  }
+
+ private:
+  std::vector<RandomizedTransform> transforms_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_LSH_TRANSFORM_H_

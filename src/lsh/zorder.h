@@ -1,0 +1,66 @@
+#ifndef PPC_LSH_ZORDER_H_
+#define PPC_LSH_ZORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ppc {
+
+/// A half-open interval [lo, hi) of normalized Z-order curve positions.
+struct ZInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const { return hi - lo; }
+  bool operator==(const ZInterval& other) const = default;
+};
+
+/// Z-order (Morton) space-filling curve over a fixed-resolution grid
+/// (paper Sec. IV-C: intermediate spaces are "linearized on [0,1] according
+/// to their z-orders" so multi-dimensional plan-space distributions can be
+/// stored in unidimensional database histograms).
+class ZOrderCurve {
+ public:
+  /// A curve over `dimensions`-dimensional cells with `bits_per_dim` bits
+  /// of resolution per dimension. dimensions * bits_per_dim must be <= 62.
+  ZOrderCurve(int dimensions, int bits_per_dim);
+
+  /// Bit-interleaves the cell coordinates into a Morton code. Coordinates
+  /// are masked to bits_per_dim bits.
+  uint64_t Interleave(const std::vector<uint32_t>& cells) const;
+
+  /// Inverse of Interleave.
+  std::vector<uint32_t> Deinterleave(uint64_t code) const;
+
+  /// Morton code normalized to [0, 1): Interleave / 2^(total bits).
+  double Linearize(const std::vector<uint32_t>& cells) const;
+
+  /// Decomposes the cell box [lo[d], hi[d]] (inclusive per dimension) into
+  /// disjoint, sorted curve intervals covering exactly the cells inside
+  /// the box — the classic quadtree descent behind BIGMIN-style Z-range
+  /// queries. When the exact decomposition exceeds `max_intervals`,
+  /// adjacent intervals separated by the smallest gaps are merged, so the
+  /// result conservatively over-covers (never under-covers) the box.
+  ///
+  /// This addresses the paper's Sec. IV-C "false negatives phenomenon":
+  /// a contiguous plan-space region split by the Z-order into
+  /// non-contiguous intervals is queried as several ranges instead of one.
+  std::vector<ZInterval> DecomposeBox(const std::vector<uint32_t>& lo,
+                                      const std::vector<uint32_t>& hi,
+                                      size_t max_intervals) const;
+
+  int dimensions() const { return dimensions_; }
+  int bits_per_dim() const { return bits_per_dim_; }
+  int total_bits() const { return dimensions_ * bits_per_dim_; }
+  /// Number of cells along one axis (2^bits_per_dim).
+  uint32_t cells_per_dim() const { return uint32_t{1} << bits_per_dim_; }
+
+ private:
+  int dimensions_;
+  int bits_per_dim_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_LSH_ZORDER_H_

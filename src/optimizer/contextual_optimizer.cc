@@ -1,0 +1,83 @@
+#include "optimizer/contextual_optimizer.h"
+
+#include "common/math_utils.h"
+#include "optimizer/plan_evaluator.h"
+
+namespace ppc {
+
+CostModelParams SystemContext::Apply(const CostModelParams& disk_bound) const {
+  const double p = Clamp(memory_pressure, 0.0, 1.0);
+  CostModelParams params = disk_bound;
+  // Memory-resident anchor: random reads approach sequential cost, hash
+  // builds stay in cache; disk-bound anchor: the configured base values.
+  const double resident_random = 1.05;   // random ~ sequential when cached
+  const double resident_hash = 0.25 * disk_bound.hash_build_cost_per_row;
+  params.random_page_cost =
+      resident_random + p * (disk_bound.random_page_cost - resident_random);
+  params.hash_build_cost_per_row =
+      resident_hash + p * (disk_bound.hash_build_cost_per_row - resident_hash);
+  // Page I/O as a whole scales down when resident: model by shrinking both
+  // page costs proportionally at low pressure.
+  const double io_scale = 0.25 + 0.75 * p;
+  params.seq_page_cost *= io_scale;
+  params.random_page_cost *= io_scale;
+  return params;
+}
+
+ContextualOptimizer::ContextualOptimizer(const Catalog* catalog,
+                                         CostModelParams disk_bound_params,
+                                         OptimizerOptions options)
+    : catalog_(catalog),
+      disk_bound_params_(disk_bound_params),
+      options_(options) {
+  PPC_CHECK(catalog != nullptr);
+}
+
+Optimizer ContextualOptimizer::OptimizerFor(
+    const SystemContext& context) const {
+  return Optimizer(catalog_, context.Apply(disk_bound_params_), options_);
+}
+
+Result<PreparedTemplate> ContextualOptimizer::Prepare(
+    const QueryTemplate& tmpl) const {
+  return Optimizer(catalog_, disk_bound_params_, options_).Prepare(tmpl);
+}
+
+Result<OptimizationResult> ContextualOptimizer::Optimize(
+    const PreparedTemplate& prepared,
+    const std::vector<double>& selectivities,
+    const SystemContext& context) const {
+  return OptimizerFor(context).Optimize(prepared, selectivities);
+}
+
+Result<OptimizationResult> ContextualOptimizer::OptimizeExtended(
+    const PreparedTemplate& prepared,
+    const std::vector<double>& extended_point) const {
+  if (extended_point.size() != prepared.tmpl->params.size() + 1) {
+    return Status::InvalidArgument(
+        "extended point must have r + 1 coordinates");
+  }
+  SystemContext context{extended_point.back()};
+  std::vector<double> selectivities(extended_point.begin(),
+                                    extended_point.end() - 1);
+  return Optimize(prepared, selectivities, context);
+}
+
+Result<double> ContextualOptimizer::CostAtExtended(
+    const PreparedTemplate& prepared, const PlanNode& plan,
+    const std::vector<double>& extended_point) const {
+  if (extended_point.size() != prepared.tmpl->params.size() + 1) {
+    return Status::InvalidArgument(
+        "extended point must have r + 1 coordinates");
+  }
+  SystemContext context{extended_point.back()};
+  std::vector<double> selectivities(extended_point.begin(),
+                                    extended_point.end() - 1);
+  CostModel cost_model(context.Apply(disk_bound_params_));
+  PPC_ASSIGN_OR_RETURN(
+      PlanEvaluation eval,
+      EvaluatePlanAtPoint(prepared, cost_model, plan, selectivities));
+  return eval.cost;
+}
+
+}  // namespace ppc

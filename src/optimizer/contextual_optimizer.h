@@ -1,0 +1,73 @@
+#ifndef PPC_OPTIMIZER_CONTEXTUAL_OPTIMIZER_H_
+#define PPC_OPTIMIZER_CONTEXTUAL_OPTIMIZER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/optimizer.h"
+
+namespace ppc {
+
+/// System context visible to the optimizer — the paper's Sec. VII first
+/// extension: "modeling the system context as optimizer parameters would
+/// make the system more robust and adaptive to context changes."
+///
+/// A single normalized dimension is modeled here: memory pressure. At 0
+/// the working set is memory-resident (random page reads nearly free,
+/// hash tables cheap); at 1 the system is disk-bound (random reads cost
+/// several sequential reads, large hash builds spill).
+struct SystemContext {
+  double memory_pressure = 1.0;
+
+  /// Interpolates a cost model between the memory-resident and disk-bound
+  /// regimes anchored at `disk_bound` (the configured base parameters).
+  CostModelParams Apply(const CostModelParams& disk_bound) const;
+};
+
+/// An optimizer whose plan choice depends on both predicate selectivities
+/// and the current system context. Pairs with the PPC framework by
+/// treating the context as one extra plan-space dimension: a point is
+/// (sel_1, ..., sel_r, memory_pressure) in [0,1]^(r+1).
+///
+/// PreparedTemplate is context-independent (it caches only catalog
+/// statistics), so one Prepare() serves every context.
+class ContextualOptimizer {
+ public:
+  ContextualOptimizer(const Catalog* catalog,
+                      CostModelParams disk_bound_params = CostModelParams(),
+                      OptimizerOptions options = OptimizerOptions());
+
+  /// Resolves a template against the catalog (context-independent).
+  Result<PreparedTemplate> Prepare(const QueryTemplate& tmpl) const;
+
+  /// Optimizes at the given selectivities under the given context.
+  Result<OptimizationResult> Optimize(const PreparedTemplate& prepared,
+                                      const std::vector<double>& selectivities,
+                                      const SystemContext& context) const;
+
+  /// Optimizes at an extended plan-space point whose last coordinate is
+  /// the context dimension: (sel_1..sel_r, memory_pressure).
+  Result<OptimizationResult> OptimizeExtended(
+      const PreparedTemplate& prepared,
+      const std::vector<double>& extended_point) const;
+
+  /// Cost of executing `plan` at the extended point (cost-model replay
+  /// under the point's context) — the contextual analogue of
+  /// EvaluatePlanAtPoint.
+  Result<double> CostAtExtended(const PreparedTemplate& prepared,
+                                const PlanNode& plan,
+                                const std::vector<double>& extended_point)
+      const;
+
+ private:
+  Optimizer OptimizerFor(const SystemContext& context) const;
+
+  const Catalog* catalog_;
+  CostModelParams disk_bound_params_;
+  OptimizerOptions options_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_OPTIMIZER_CONTEXTUAL_OPTIMIZER_H_

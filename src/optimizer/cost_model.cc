@@ -1,0 +1,90 @@
+#include "optimizer/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppc {
+
+double CostModel::Pages(double rows, double row_width) const {
+  return std::max(1.0, std::ceil(rows * row_width / p_.page_size_bytes));
+}
+
+double CostModel::SeqScanCost(double table_rows, double row_width,
+                              size_t predicate_count) const {
+  const double pages = Pages(table_rows, row_width);
+  return pages * p_.seq_page_cost + table_rows * p_.cpu_tuple_cost +
+         table_rows * p_.cpu_operator_cost *
+             static_cast<double>(predicate_count);
+}
+
+double CostModel::IndexScanCost(double table_rows, double row_width,
+                                double index_selectivity,
+                                size_t residual_predicate_count) const {
+  const double matching = std::max(0.0, index_selectivity * table_rows);
+  const double pages = Pages(table_rows, row_width);
+  const double descent =
+      std::max(1.0, std::log(std::max(2.0, table_rows)) /
+                        std::log(p_.index_fanout));
+  // Expected distinct heap pages touched when fetching `matching` rows
+  // spread uniformly over `pages` pages.
+  const double heap_pages =
+      pages * (1.0 - std::exp(-matching / pages));
+  return descent * p_.random_page_cost + heap_pages * p_.random_page_cost +
+         matching * (p_.cpu_tuple_cost +
+                     p_.cpu_operator_cost *
+                         static_cast<double>(residual_predicate_count + 1));
+}
+
+double CostModel::IndexProbeCost(double table_rows, double row_width,
+                                 double matches) const {
+  const double descent =
+      std::max(1.0, std::log(std::max(2.0, table_rows)) /
+                        std::log(p_.index_fanout));
+  const double pages = Pages(table_rows, row_width);
+  const double heap_pages =
+      std::min(std::max(0.0, matches), pages);
+  return descent * p_.random_page_cost * 0.5 +  // upper levels cached
+         heap_pages * p_.random_page_cost +
+         std::max(0.0, matches) * p_.cpu_tuple_cost;
+}
+
+double CostModel::BlockNestedLoopCost(double left_rows, double right_rows,
+                                      double right_width) const {
+  // Inner side rescanned per block of the outer; model as left_rows *
+  // right_pages page touches (memory-resident blocks soften the quadratic
+  // term) plus per-pair CPU.
+  const double right_pages = Pages(right_rows, right_width);
+  const double outer_blocks =
+      std::max(1.0, std::ceil(left_rows / p_.bnl_block_rows));
+  return outer_blocks * right_pages * p_.seq_page_cost +
+         left_rows * right_rows * p_.cpu_operator_cost;
+}
+
+double CostModel::IndexNestedLoopCost(double left_rows,
+                                      double inner_table_rows,
+                                      double inner_row_width,
+                                      double matches_per_probe) const {
+  return left_rows * IndexProbeCost(inner_table_rows, inner_row_width,
+                                    matches_per_probe);
+}
+
+double CostModel::HashJoinCost(double left_rows, double right_rows) const {
+  return right_rows * p_.hash_build_cost_per_row +
+         left_rows * (p_.cpu_tuple_cost + p_.cpu_operator_cost) +
+         right_rows * p_.cpu_tuple_cost;
+}
+
+double CostModel::SortMergeCost(double left_rows, double right_rows) const {
+  auto sort = [this](double rows) {
+    if (rows < 2.0) return 0.0;
+    return rows * std::log2(rows) * p_.sort_cost_per_row_log;
+  };
+  return sort(left_rows) + sort(right_rows) +
+         (left_rows + right_rows) * p_.cpu_tuple_cost;
+}
+
+double CostModel::AggregateCost(double rows) const {
+  return rows * p_.cpu_operator_cost;
+}
+
+}  // namespace ppc

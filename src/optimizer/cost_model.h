@@ -1,0 +1,82 @@
+#ifndef PPC_OPTIMIZER_COST_MODEL_H_
+#define PPC_OPTIMIZER_COST_MODEL_H_
+
+#include <cstddef>
+
+namespace ppc {
+
+/// Tunable constants of the disk+CPU cost model. Defaults are in the spirit
+/// of System-R / PostgreSQL: sequential page reads are the unit cost,
+/// random reads cost more, per-tuple CPU work costs a small fraction.
+struct CostModelParams {
+  double seq_page_cost = 1.0;
+  double random_page_cost = 2.5;
+  double cpu_tuple_cost = 0.01;
+  double cpu_operator_cost = 0.0025;
+  double hash_build_cost_per_row = 0.015;
+  double sort_cost_per_row_log = 0.02;
+  /// Outer rows per buffered block in block-nested-loop joins.
+  double bnl_block_rows = 128.0;
+  /// Bytes per disk page for pages(rows) computations.
+  double page_size_bytes = 8192.0;
+  /// B+-tree fanout used for index descent depth.
+  double index_fanout = 256.0;
+};
+
+/// The optimizer's arithmetic cost model. Pure functions of cardinalities
+/// and physical parameters: the same model prices candidate plans during
+/// optimization and replays executed plans at their *true* plan-space point
+/// in the execution simulator, so "cost of running plan P at point x" is
+/// well-defined for every (P, x) pair (paper's cost(x, P)).
+class CostModel {
+ public:
+  explicit CostModel(CostModelParams params = CostModelParams())
+      : p_(params) {}
+
+  const CostModelParams& params() const { return p_; }
+
+  /// Number of pages occupied by `rows` rows of `row_width` bytes.
+  double Pages(double rows, double row_width) const;
+
+  /// Full sequential scan applying `predicate_count` cheap predicates.
+  double SeqScanCost(double table_rows, double row_width,
+                     size_t predicate_count) const;
+
+  /// Index scan returning `index_selectivity * table_rows` heap rows via an
+  /// unclustered secondary index; remaining predicates are applied as
+  /// filters on fetched rows. Page fetches follow the standard
+  /// distinct-page approximation pages * (1 - e^{-matching/pages}).
+  double IndexScanCost(double table_rows, double row_width,
+                       double index_selectivity,
+                       size_t residual_predicate_count) const;
+
+  /// One index probe returning `matches` rows (used per outer row by
+  /// index-nested-loop join).
+  double IndexProbeCost(double table_rows, double row_width,
+                        double matches) const;
+
+  /// Block-nested-loop join of materialized inputs.
+  double BlockNestedLoopCost(double left_rows, double right_rows,
+                             double right_width) const;
+
+  /// Index-nested-loop join: one index probe on the inner per outer row.
+  double IndexNestedLoopCost(double left_rows, double inner_table_rows,
+                             double inner_row_width,
+                             double matches_per_probe) const;
+
+  /// Hash join; the build side is the right input by convention.
+  double HashJoinCost(double left_rows, double right_rows) const;
+
+  /// Sort-merge join (prices both sorts plus the merge).
+  double SortMergeCost(double left_rows, double right_rows) const;
+
+  /// Final aggregation over `rows` input rows.
+  double AggregateCost(double rows) const;
+
+ private:
+  CostModelParams p_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_OPTIMIZER_COST_MODEL_H_

@@ -1,0 +1,317 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+
+namespace ppc {
+
+namespace {
+
+constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+/// Dynamic-programming table entry: the best plan found for one subset of
+/// the template's tables.
+struct DpEntry {
+  double rows = 0.0;
+  double width = 0.0;
+  double cost = kInfiniteCost;
+  std::unique_ptr<PlanNode> plan;
+
+  bool valid() const { return plan != nullptr; }
+};
+
+double ClampRows(double rows) { return std::max(1.0, rows); }
+
+}  // namespace
+
+double PreparedTemplate::CombinedSelectivity(
+    const std::vector<int>& param_ids, const std::vector<double>& sels) const {
+  double s = 1.0;
+  for (int p : param_ids) {
+    s *= Clamp(sels[static_cast<size_t>(p)], 0.0, 1.0);
+  }
+  return s;
+}
+
+Optimizer::Optimizer(const Catalog* catalog, CostModelParams params,
+                     OptimizerOptions options)
+    : catalog_(catalog), cost_model_(params), options_(options) {
+  PPC_CHECK(catalog != nullptr);
+}
+
+Result<PreparedTemplate> Optimizer::Prepare(const QueryTemplate& tmpl) const {
+  if (tmpl.tables.empty()) {
+    return Status::InvalidArgument("template " + tmpl.name + " has no tables");
+  }
+  if (tmpl.tables.size() > 16) {
+    return Status::InvalidArgument("template " + tmpl.name +
+                                   " exceeds 16 tables");
+  }
+  PreparedTemplate prep;
+  prep.tmpl = &tmpl;
+
+  for (const std::string& table_name : tmpl.tables) {
+    PPC_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(table_name));
+    PreparedTemplate::TableInfo info;
+    info.name = table_name;
+    info.rows = static_cast<double>(table->row_count());
+    info.width = static_cast<double>(table->RowWidthBytes());
+    info.params = tmpl.ParamsOnTable(table_name);
+    prep.tables.push_back(std::move(info));
+  }
+
+  for (const JoinEdge& edge : tmpl.joins) {
+    PreparedTemplate::EdgeInfo info;
+    info.left_table = tmpl.TableIndex(edge.left_table);
+    info.right_table = tmpl.TableIndex(edge.right_table);
+    if (info.left_table < 0 || info.right_table < 0) {
+      return Status::InvalidArgument("join references unknown table in " +
+                                     tmpl.name);
+    }
+    info.left_column = edge.left_column;
+    info.right_column = edge.right_column;
+    PPC_ASSIGN_OR_RETURN(
+        const ColumnStats* lstats,
+        catalog_->GetColumnStats(edge.left_table, edge.left_column));
+    PPC_ASSIGN_OR_RETURN(
+        const ColumnStats* rstats,
+        catalog_->GetColumnStats(edge.right_table, edge.right_column));
+    info.left_ndv = std::max<double>(1.0,
+                                     static_cast<double>(lstats->distinct_count));
+    info.right_ndv = std::max<double>(
+        1.0, static_cast<double>(rstats->distinct_count));
+    info.selectivity = 1.0 / std::max(info.left_ndv, info.right_ndv);
+    info.left_indexed = catalog_->HasIndex(edge.left_table, edge.left_column);
+    info.right_indexed =
+        catalog_->HasIndex(edge.right_table, edge.right_column);
+    prep.edges.push_back(std::move(info));
+  }
+
+  for (const ParamPredicate& param : tmpl.params) {
+    const int t = tmpl.TableIndex(param.table);
+    if (t < 0) {
+      return Status::InvalidArgument("parameter references unknown table " +
+                                     param.table + " in " + tmpl.name);
+    }
+    // Validate the column exists (and is analyzable).
+    PPC_ASSIGN_OR_RETURN(const ColumnStats* stats,
+                         catalog_->GetColumnStats(param.table, param.column));
+    (void)stats;
+    prep.param_table.push_back(t);
+    prep.param_indexed.push_back(catalog_->HasIndex(param.table, param.column));
+  }
+  return prep;
+}
+
+Result<OptimizationResult> Optimizer::Optimize(
+    const PreparedTemplate& prep,
+    const std::vector<double>& selectivities) const {
+  const QueryTemplate& tmpl = *prep.tmpl;
+  if (selectivities.size() != tmpl.params.size()) {
+    return Status::InvalidArgument(
+        "selectivity vector arity mismatch for template " + tmpl.name);
+  }
+  const size_t n = prep.tables.size();
+  const size_t num_masks = size_t{1} << n;
+  std::vector<DpEntry> dp(num_masks);
+
+  // --- Base relations: choose the best access path per table. ---
+  for (size_t t = 0; t < n; ++t) {
+    const auto& info = prep.tables[t];
+    const double local_sel =
+        prep.CombinedSelectivity(info.params, selectivities);
+    const double out_rows = ClampRows(info.rows * local_sel);
+    DpEntry& entry = dp[size_t{1} << t];
+    entry.rows = out_rows;
+    entry.width = info.width;
+
+    // Sequential scan applying all parameters as filters.
+    {
+      const double cost =
+          cost_model_.SeqScanCost(info.rows, info.width, info.params.size());
+      entry.cost = cost;
+      entry.plan = MakeSeqScan(info.name, info.params);
+      entry.plan->est_rows = out_rows;
+      entry.plan->est_cost = cost;
+    }
+
+    // Index scans driven by each indexed parameter predicate.
+    for (int p : info.params) {
+      if (!prep.param_indexed[static_cast<size_t>(p)]) continue;
+      const double driving_sel =
+          Clamp(selectivities[static_cast<size_t>(p)], 0.0, 1.0);
+      const double cost = cost_model_.IndexScanCost(
+          info.rows, info.width, driving_sel, info.params.size() - 1);
+      if (cost * options_.cost_fuzz < entry.cost) {
+        entry.cost = cost;
+        entry.plan = MakeIndexScan(
+            info.name, tmpl.params[static_cast<size_t>(p)].column,
+            info.params);
+        entry.plan->est_rows = out_rows;
+        entry.plan->est_cost = cost;
+      }
+    }
+  }
+
+  if (n == 1) {
+    OptimizationResult result;
+    DpEntry& entry = dp[1];
+    double total_cost = entry.cost;
+    std::unique_ptr<PlanNode> root = std::move(entry.plan);
+    if (tmpl.aggregate) {
+      total_cost += cost_model_.AggregateCost(entry.rows);
+      root = MakeAggregate(std::move(root));
+      root->est_rows = 1.0;
+      root->est_cost = total_cost;
+    }
+    result.estimated_cost = total_cost;
+    result.estimated_rows = entry.rows;
+    result.plan_id = PlanFingerprint(*root);
+    result.plan = std::move(root);
+    return result;
+  }
+
+  // --- DP over subsets (System-R with bushy trees). ---
+  for (size_t mask = 1; mask < num_masks; ++mask) {
+    // Skip singletons (handled above) and masks with < 2 tables.
+    if ((mask & (mask - 1)) == 0) continue;
+    DpEntry& best = dp[mask];
+
+    // Enumerate ordered partitions (s1 = probe/outer, s2 = build/inner).
+    for (size_t s1 = (mask - 1) & mask; s1 != 0; s1 = (s1 - 1) & mask) {
+      const size_t s2 = mask ^ s1;
+      if (s2 == 0) continue;
+      // Left-deep restriction: the inner side is a single base relation.
+      if (options_.left_deep_only && (s2 & (s2 - 1)) != 0) continue;
+      const DpEntry& left = dp[s1];
+      const DpEntry& right = dp[s2];
+      if (!left.valid() || !right.valid()) continue;
+
+      // Find connecting edges; the combined join selectivity multiplies
+      // all of them (cyclic graphs apply extra edges as filters).
+      double join_sel = 1.0;
+      int first_edge = -1;
+      for (size_t e = 0; e < prep.edges.size(); ++e) {
+        const auto& edge = prep.edges[e];
+        const size_t lbit = size_t{1} << edge.left_table;
+        const size_t rbit = size_t{1} << edge.right_table;
+        const bool crosses = ((s1 & lbit) && (s2 & rbit)) ||
+                             ((s1 & rbit) && (s2 & lbit));
+        if (crosses) {
+          join_sel *= edge.selectivity;
+          if (first_edge < 0) first_edge = static_cast<int>(e);
+        }
+      }
+      if (first_edge < 0) continue;  // avoid Cartesian products
+
+      const double out_rows =
+          ClampRows(left.rows * right.rows * join_sel);
+      const double out_width = left.width + right.width;
+
+      auto consider = [&](JoinMethod method, double join_cost,
+                          std::unique_ptr<PlanNode> rhs_plan,
+                          double rhs_input_cost) {
+        const double total = left.cost + rhs_input_cost + join_cost;
+        if (total * options_.cost_fuzz < best.cost) {
+          best.cost = total;
+          best.rows = out_rows;
+          best.width = out_width;
+          best.plan = MakeJoin(method, first_edge, left.plan->Clone(),
+                               std::move(rhs_plan));
+          best.plan->est_rows = out_rows;
+          best.plan->est_cost = total;
+        }
+      };
+
+      // Hash join: right side builds.
+      consider(JoinMethod::kHashJoin,
+               cost_model_.HashJoinCost(left.rows, right.rows),
+               right.plan->Clone(), right.cost);
+      // Block nested loop.
+      consider(JoinMethod::kBlockNestedLoop,
+               cost_model_.BlockNestedLoopCost(left.rows, right.rows,
+                                               right.width),
+               right.plan->Clone(), right.cost);
+      // Sort-merge.
+      consider(JoinMethod::kSortMergeJoin,
+               cost_model_.SortMergeCost(left.rows, right.rows),
+               right.plan->Clone(), right.cost);
+
+      // Index nested loop: inner must be a single base table with an index
+      // on its side of a connecting join edge. The inner's base-scan cost
+      // is *not* paid; probes replace it.
+      if ((s2 & (s2 - 1)) == 0) {
+        const int inner_t = static_cast<int>(std::countr_zero(s2));
+        const auto& inner_info = prep.tables[static_cast<size_t>(inner_t)];
+        for (size_t e = 0; e < prep.edges.size(); ++e) {
+          const auto& edge = prep.edges[e];
+          const bool inner_is_right =
+              edge.right_table == inner_t &&
+              (s1 & (size_t{1} << edge.left_table));
+          const bool inner_is_left =
+              edge.left_table == inner_t &&
+              (s1 & (size_t{1} << edge.right_table));
+          if (!inner_is_right && !inner_is_left) continue;
+          const bool indexed =
+              inner_is_right ? edge.right_indexed : edge.left_indexed;
+          if (!indexed) continue;
+          const std::string& probe_column =
+              inner_is_right ? edge.right_column : edge.left_column;
+          const double inner_ndv =
+              inner_is_right ? edge.right_ndv : edge.left_ndv;
+          const double matches_per_probe =
+              std::max(inner_info.rows / inner_ndv, 1e-6);
+          const double probe_cost = cost_model_.IndexNestedLoopCost(
+              left.rows, inner_info.rows, inner_info.width,
+              matches_per_probe);
+          // Residual parameter predicates on the inner table are applied
+          // to each probe result.
+          const double residual_cpu =
+              left.rows * matches_per_probe *
+              cost_model_.params().cpu_operator_cost *
+              static_cast<double>(inner_info.params.size());
+          auto rhs = MakeIndexScan(inner_info.name, probe_column,
+                                   inner_info.params);
+          rhs->est_rows = matches_per_probe;
+          consider(JoinMethod::kIndexNestedLoop, probe_cost + residual_cpu,
+                   std::move(rhs), /*rhs_input_cost=*/0.0);
+        }
+      }
+    }
+  }
+
+  DpEntry& final_entry = dp[num_masks - 1];
+  if (!final_entry.valid()) {
+    return Status::Internal("join graph of " + tmpl.name +
+                            " is disconnected (Cartesian products are not "
+                            "enumerated)");
+  }
+
+  OptimizationResult result;
+  double total_cost = final_entry.cost;
+  std::unique_ptr<PlanNode> root = std::move(final_entry.plan);
+  if (tmpl.aggregate) {
+    total_cost += cost_model_.AggregateCost(final_entry.rows);
+    root = MakeAggregate(std::move(root));
+    root->est_rows = 1.0;
+    root->est_cost = total_cost;
+  }
+  result.estimated_cost = total_cost;
+  result.estimated_rows = final_entry.rows;
+  result.plan_id = PlanFingerprint(*root);
+  result.plan = std::move(root);
+  return result;
+}
+
+Result<OptimizationResult> Optimizer::Optimize(
+    const QueryTemplate& tmpl,
+    const std::vector<double>& selectivities) const {
+  PPC_ASSIGN_OR_RETURN(PreparedTemplate prep, Prepare(tmpl));
+  return Optimize(prep, selectivities);
+}
+
+}  // namespace ppc

@@ -1,0 +1,125 @@
+#ifndef PPC_OPTIMIZER_OPTIMIZER_H_
+#define PPC_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/cost_model.h"
+#include "plan/fingerprint.h"
+#include "plan/plan_node.h"
+#include "workload/query_template.h"
+
+namespace ppc {
+
+/// Per-template metadata resolved once against the catalog so that repeated
+/// optimizations of the same template avoid catalog lookups. Also consumed
+/// by the plan-cost evaluator when replaying a plan at a different
+/// plan-space point.
+struct PreparedTemplate {
+  struct TableInfo {
+    std::string name;
+    double rows = 0.0;
+    double width = 0.0;
+    /// Indices into tmpl->params of parameters on this table.
+    std::vector<int> params;
+  };
+
+  struct EdgeInfo {
+    int left_table = -1;
+    int right_table = -1;
+    std::string left_column;
+    std::string right_column;
+    double left_ndv = 1.0;
+    double right_ndv = 1.0;
+    /// 1 / max(ndv_left, ndv_right): the join predicate's selectivity.
+    double selectivity = 1.0;
+    bool left_indexed = false;
+    bool right_indexed = false;
+  };
+
+  const QueryTemplate* tmpl = nullptr;
+  std::vector<TableInfo> tables;
+  std::vector<EdgeInfo> edges;
+  /// Table index owning each parameter.
+  std::vector<int> param_table;
+  /// Whether each parameter's column has a secondary index.
+  std::vector<bool> param_indexed;
+
+  /// Combined selectivity of the given parameters at point `sels`
+  /// (independence assumption, the textbook optimizer model).
+  double CombinedSelectivity(const std::vector<int>& params,
+                             const std::vector<double>& sels) const;
+};
+
+/// Output of one optimizer call.
+struct OptimizationResult {
+  std::unique_ptr<PlanNode> plan;
+  PlanId plan_id = kNullPlanId;
+  double estimated_cost = 0.0;
+  double estimated_rows = 0.0;
+};
+
+/// Join-enumeration options.
+struct OptimizerOptions {
+  /// Classic System-R restriction: the inner (right/build) input of every
+  /// join is a base relation, yielding left-deep trees. Bushy enumeration
+  /// (false) explores more shapes but fragments plan diagrams into many
+  /// more, smaller optimality regions.
+  bool left_deep_only = true;
+  /// Fuzzy cost comparison: a challenger replaces the incumbent plan only
+  /// when cheaper by this factor (PostgreSQL's compare_path_costs_fuzzily
+  /// idiom). Keeps near-tie plan choices stable across neighbouring
+  /// plan-space points instead of flipping on microscopic cost deltas.
+  double cost_fuzz = 1.02;
+};
+
+/// A System-R-style cost-based query optimizer.
+///
+/// Plan choices: sequential vs. (unclustered secondary) index scans for base
+/// relations; hash, block-nested-loop, index-nested-loop and sort-merge
+/// joins; exhaustive dynamic-programming join enumeration over connected
+/// subsets (left-deep by default, bushy optionally). Cardinalities come from
+/// catalog statistics with the usual attribute-independence assumption.
+///
+/// The optimizer consumes *selectivities*, not parameter values: exactly the
+/// decomposition Omega = plan(f(q)) of paper Sec. II-A. The normalization f
+/// lives in the workload module (SelectivityMapper).
+class Optimizer {
+ public:
+  explicit Optimizer(const Catalog* catalog,
+                     CostModelParams params = CostModelParams(),
+                     OptimizerOptions options = OptimizerOptions());
+
+  /// Resolves a template against the catalog (validates tables, columns,
+  /// joins, indexes). The PreparedTemplate borrows the QueryTemplate, which
+  /// must outlive it.
+  Result<PreparedTemplate> Prepare(const QueryTemplate& tmpl) const;
+
+  /// Finds the cheapest plan for the template at the given plan-space point
+  /// (`selectivities[i]` = selectivity of params[i], each in [0, 1]).
+  Result<OptimizationResult> Optimize(
+      const PreparedTemplate& prepared,
+      const std::vector<double>& selectivities) const;
+
+  /// Convenience overload: Prepare + Optimize.
+  Result<OptimizationResult> Optimize(
+      const QueryTemplate& tmpl,
+      const std::vector<double>& selectivities) const;
+
+  const CostModel& cost_model() const { return cost_model_; }
+  const Catalog* catalog() const { return catalog_; }
+
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  const Catalog* catalog_;
+  CostModel cost_model_;
+  OptimizerOptions options_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_OPTIMIZER_OPTIMIZER_H_

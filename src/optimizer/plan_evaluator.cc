@@ -1,0 +1,221 @@
+#include "optimizer/plan_evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace ppc {
+
+namespace {
+
+struct EvalState {
+  double rows = 0.0;
+  double width = 0.0;
+  double cost = 0.0;
+  /// Bitmask of template table indices covered by this subtree.
+  size_t table_mask = 0;
+};
+
+double ClampRows(double rows) { return std::max(1.0, rows); }
+
+class Evaluator {
+ public:
+  Evaluator(const PreparedTemplate& prep, const CostModel& cm,
+            const std::vector<double>& sels)
+      : prep_(prep), cm_(cm), sels_(sels) {}
+
+  Result<EvalState> Eval(const PlanNode& node) {
+    switch (node.kind) {
+      case PlanNode::Kind::kScan:
+        return EvalScan(node);
+      case PlanNode::Kind::kJoin:
+        return EvalJoin(node);
+      case PlanNode::Kind::kAggregate: {
+        PPC_ASSIGN_OR_RETURN(EvalState child, Eval(*node.left));
+        child.cost += cm_.AggregateCost(child.rows);
+        return child;
+      }
+    }
+    return Status::Internal("unknown plan node kind");
+  }
+
+ private:
+  Result<int> TableIndex(const std::string& name) const {
+    for (size_t t = 0; t < prep_.tables.size(); ++t) {
+      if (prep_.tables[t].name == name) return static_cast<int>(t);
+    }
+    return Status::InvalidArgument("plan references table " + name +
+                                   " outside the template");
+  }
+
+  double ParamSel(int p) const {
+    return Clamp(sels_[static_cast<size_t>(p)], 0.0, 1.0);
+  }
+
+  double CombinedSel(const std::vector<int>& params) const {
+    double s = 1.0;
+    for (int p : params) s *= ParamSel(p);
+    return s;
+  }
+
+  Result<EvalState> EvalScan(const PlanNode& node) {
+    PPC_ASSIGN_OR_RETURN(int t, TableIndex(node.table));
+    const auto& info = prep_.tables[static_cast<size_t>(t)];
+    for (int p : node.param_predicates) {
+      if (p < 0 || static_cast<size_t>(p) >= sels_.size()) {
+        return Status::InvalidArgument("parameter index out of range");
+      }
+    }
+    EvalState state;
+    state.table_mask = size_t{1} << t;
+    state.width = info.width;
+    state.rows = ClampRows(info.rows * CombinedSel(node.param_predicates));
+    if (node.scan_method == ScanMethod::kSeqScan) {
+      state.cost = cm_.SeqScanCost(info.rows, info.width,
+                                   node.param_predicates.size());
+      return state;
+    }
+    // Index scan: find the driving parameter (the one on the indexed
+    // column). If absent the scan is an index-nested-loop inner, which the
+    // parent join prices; standalone evaluation is a structural error.
+    for (int p : node.param_predicates) {
+      const auto& param =
+          prep_.tmpl->params[static_cast<size_t>(p)];
+      if (param.column == node.index_column && param.table == node.table) {
+        state.cost = cm_.IndexScanCost(info.rows, info.width, ParamSel(p),
+                                       node.param_predicates.size() - 1);
+        return state;
+      }
+    }
+    return Status::InvalidArgument(
+        "index scan on " + node.table + "." + node.index_column +
+        " has no driving parameter (INL inner evaluated standalone?)");
+  }
+
+  Result<EvalState> EvalJoin(const PlanNode& node) {
+    PPC_ASSIGN_OR_RETURN(EvalState left, Eval(*node.left));
+
+    // Resolve the right side's table mask without recursing (needed for
+    // INL, where the right child is priced as probes, not a scan).
+    EvalState right;
+    if (node.join_method == JoinMethod::kIndexNestedLoop) {
+      if (node.right == nullptr ||
+          node.right->kind != PlanNode::Kind::kScan ||
+          node.right->scan_method != ScanMethod::kIndexScan) {
+        return Status::InvalidArgument(
+            "index-nested-loop join requires an index-scan inner");
+      }
+      PPC_ASSIGN_OR_RETURN(int t, TableIndex(node.right->table));
+      const auto& info = prep_.tables[static_cast<size_t>(t)];
+      right.table_mask = size_t{1} << t;
+      right.width = info.width;
+      right.rows =
+          ClampRows(info.rows * CombinedSel(node.right->param_predicates));
+    } else {
+      PPC_ASSIGN_OR_RETURN(right, Eval(*node.right));
+    }
+
+    // Combined selectivity of every join edge crossing the partition —
+    // identical to the optimizer's cardinality model.
+    double join_sel = 1.0;
+    bool connected = false;
+    for (const auto& edge : prep_.edges) {
+      const size_t lbit = size_t{1} << edge.left_table;
+      const size_t rbit = size_t{1} << edge.right_table;
+      const bool crosses =
+          ((left.table_mask & lbit) && (right.table_mask & rbit)) ||
+          ((left.table_mask & rbit) && (right.table_mask & lbit));
+      if (crosses) {
+        join_sel *= edge.selectivity;
+        connected = true;
+      }
+    }
+    if (!connected) {
+      return Status::InvalidArgument("plan contains a Cartesian product");
+    }
+
+    EvalState out;
+    out.table_mask = left.table_mask | right.table_mask;
+    out.width = left.width + right.width;
+    out.rows = ClampRows(left.rows * right.rows * join_sel);
+
+    switch (node.join_method) {
+      case JoinMethod::kHashJoin:
+        out.cost =
+            left.cost + right.cost + cm_.HashJoinCost(left.rows, right.rows);
+        break;
+      case JoinMethod::kBlockNestedLoop:
+        out.cost = left.cost + right.cost +
+                   cm_.BlockNestedLoopCost(left.rows, right.rows, right.width);
+        break;
+      case JoinMethod::kSortMergeJoin:
+        out.cost = left.cost + right.cost +
+                   cm_.SortMergeCost(left.rows, right.rows);
+        break;
+      case JoinMethod::kIndexNestedLoop: {
+        PPC_ASSIGN_OR_RETURN(int inner_t, TableIndex(node.right->table));
+        const auto& inner_info = prep_.tables[static_cast<size_t>(inner_t)];
+        // Locate the probed edge: the one whose inner-side column matches
+        // the inner index column.
+        double inner_ndv = 1.0;
+        bool found = false;
+        for (const auto& edge : prep_.edges) {
+          if (edge.right_table == inner_t &&
+              edge.right_column == node.right->index_column &&
+              (left.table_mask & (size_t{1} << edge.left_table))) {
+            inner_ndv = edge.right_ndv;
+            found = true;
+            break;
+          }
+          if (edge.left_table == inner_t &&
+              edge.left_column == node.right->index_column &&
+              (left.table_mask & (size_t{1} << edge.right_table))) {
+            inner_ndv = edge.left_ndv;
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::InvalidArgument(
+              "index-nested-loop probe column does not match a join edge");
+        }
+        const double matches_per_probe =
+            std::max(inner_info.rows / inner_ndv, 1e-6);
+        const double probe_cost = cm_.IndexNestedLoopCost(
+            left.rows, inner_info.rows, inner_info.width, matches_per_probe);
+        const double residual_cpu =
+            left.rows * matches_per_probe *
+            cm_.params().cpu_operator_cost *
+            static_cast<double>(node.right->param_predicates.size());
+        out.cost = left.cost + probe_cost + residual_cpu;
+        break;
+      }
+    }
+    return out;
+  }
+
+  const PreparedTemplate& prep_;
+  const CostModel& cm_;
+  const std::vector<double>& sels_;
+};
+
+}  // namespace
+
+Result<PlanEvaluation> EvaluatePlanAtPoint(
+    const PreparedTemplate& prep, const CostModel& cost_model,
+    const PlanNode& plan, const std::vector<double>& selectivities) {
+  if (selectivities.size() != prep.tmpl->params.size()) {
+    return Status::InvalidArgument("selectivity vector arity mismatch");
+  }
+  Evaluator evaluator(prep, cost_model, selectivities);
+  PPC_ASSIGN_OR_RETURN(EvalState state, evaluator.Eval(plan));
+  PlanEvaluation eval;
+  // For aggregate roots Eval propagates the child cardinality, so this is
+  // the pre-aggregation row count, matching OptimizationResult.
+  eval.rows = state.rows;
+  eval.cost = state.cost;
+  return eval;
+}
+
+}  // namespace ppc

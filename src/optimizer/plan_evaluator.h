@@ -1,0 +1,33 @@
+#ifndef PPC_OPTIMIZER_PLAN_EVALUATOR_H_
+#define PPC_OPTIMIZER_PLAN_EVALUATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/cost_model.h"
+#include "optimizer/optimizer.h"
+#include "plan/plan_node.h"
+
+namespace ppc {
+
+/// Cardinality and cost of one plan evaluated at one plan-space point.
+struct PlanEvaluation {
+  double rows = 0.0;
+  double cost = 0.0;
+};
+
+/// Replays an arbitrary plan of `prep`'s template at the plan-space point
+/// `selectivities`, pricing every operator with the same cost model the
+/// optimizer used. This defines the paper's cost(x, P) for *any* plan P at
+/// *any* point x — in particular the true cost of executing a stale cached
+/// plan at a point where it is no longer optimal.
+///
+/// Returns InvalidArgument if the plan's structure does not belong to the
+/// template (unknown table / parameter indices out of range).
+Result<PlanEvaluation> EvaluatePlanAtPoint(
+    const PreparedTemplate& prep, const CostModel& cost_model,
+    const PlanNode& plan, const std::vector<double>& selectivities);
+
+}  // namespace ppc
+
+#endif  // PPC_OPTIMIZER_PLAN_EVALUATOR_H_

@@ -1,0 +1,86 @@
+#include "optimizer/robust_plan.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "optimizer/plan_evaluator.h"
+
+namespace ppc {
+
+Result<RobustPlanResult> SelectRobustPlan(
+    const Optimizer& optimizer, const PreparedTemplate& prepared,
+    const std::vector<std::vector<double>>& sample_points) {
+  if (sample_points.empty()) {
+    return Status::InvalidArgument("robust selection needs sample points");
+  }
+
+  // Harvest candidates and per-point optimal costs.
+  struct Candidate {
+    std::unique_ptr<PlanNode> plan;
+    double cost_sum = 0.0;
+    double worst_ratio = 1.0;
+    bool valid = true;
+  };
+  std::map<PlanId, Candidate> candidates;
+  std::vector<double> optimal_costs;
+  optimal_costs.reserve(sample_points.size());
+  RobustPlanResult result;
+
+  for (const auto& point : sample_points) {
+    PPC_ASSIGN_OR_RETURN(OptimizationResult opt,
+                         optimizer.Optimize(prepared, point));
+    ++result.optimizer_calls;
+    optimal_costs.push_back(opt.estimated_cost);
+    auto it = candidates.find(opt.plan_id);
+    if (it == candidates.end()) {
+      Candidate candidate;
+      candidate.plan = std::move(opt.plan);
+      candidates.emplace(opt.plan_id, std::move(candidate));
+    }
+  }
+  result.candidates = candidates.size();
+
+  // Replay every candidate at every sample point.
+  for (auto& [plan_id, candidate] : candidates) {
+    for (size_t i = 0; i < sample_points.size(); ++i) {
+      auto eval = EvaluatePlanAtPoint(prepared, optimizer.cost_model(),
+                                      *candidate.plan, sample_points[i]);
+      if (!eval.ok()) {
+        // A candidate that cannot be replayed everywhere (should not
+        // happen for optimizer-produced plans) is disqualified.
+        candidate.valid = false;
+        break;
+      }
+      candidate.cost_sum += eval.value().cost;
+      if (optimal_costs[i] > 0.0) {
+        candidate.worst_ratio = std::max(
+            candidate.worst_ratio, eval.value().cost / optimal_costs[i]);
+      }
+    }
+  }
+
+  // Pick the minimum-average-cost candidate.
+  double best_avg = std::numeric_limits<double>::infinity();
+  PlanId best_id = kNullPlanId;
+  for (const auto& [plan_id, candidate] : candidates) {
+    if (!candidate.valid) continue;
+    const double avg =
+        candidate.cost_sum / static_cast<double>(sample_points.size());
+    if (avg < best_avg) {
+      best_avg = avg;
+      best_id = plan_id;
+    }
+  }
+  if (best_id == kNullPlanId) {
+    return Status::Internal("no replayable robust candidate");
+  }
+  Candidate& winner = candidates.at(best_id);
+  result.plan = std::move(winner.plan);
+  result.plan_id = best_id;
+  result.average_cost = best_avg;
+  result.worst_case_suboptimality = winner.worst_ratio;
+  return result;
+}
+
+}  // namespace ppc

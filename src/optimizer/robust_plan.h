@@ -1,0 +1,44 @@
+#ifndef PPC_OPTIMIZER_ROBUST_PLAN_H_
+#define PPC_OPTIMIZER_ROBUST_PLAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "optimizer/optimizer.h"
+
+namespace ppc {
+
+/// Output of robust plan selection.
+struct RobustPlanResult {
+  std::unique_ptr<PlanNode> plan;
+  PlanId plan_id = kNullPlanId;
+  /// Mean cost of the selected plan over the sample points.
+  double average_cost = 0.0;
+  /// max over samples of cost(selected) / cost(optimal) — the robustness
+  /// guarantee actually achieved.
+  double worst_case_suboptimality = 1.0;
+  /// Optimizer invocations spent selecting (the overhead the paper's
+  /// Sec. VI-A says is hard to justify for plan caching).
+  size_t optimizer_calls = 0;
+  /// Distinct candidate plans considered.
+  size_t candidates = 0;
+};
+
+/// Robust query processing baseline (paper Sec. VI-A): instead of caching
+/// the least-specific-cost plan or predicting per instance, select the
+/// single plan with minimum *average* cost over the parameter
+/// distribution, represented by `sample_points`.
+///
+/// Procedure: optimize at every sample point to harvest the candidate plan
+/// set, replay every candidate at every sample point with the cost model,
+/// and return the candidate minimizing mean cost. O(|samples|) optimizer
+/// calls plus O(candidates x samples) replays — the eager pre-processing
+/// cost the PPC framework avoids.
+Result<RobustPlanResult> SelectRobustPlan(
+    const Optimizer& optimizer, const PreparedTemplate& prepared,
+    const std::vector<std::vector<double>>& sample_points);
+
+}  // namespace ppc
+
+#endif  // PPC_OPTIMIZER_ROBUST_PLAN_H_

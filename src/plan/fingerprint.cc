@@ -1,0 +1,99 @@
+#include "plan/fingerprint.h"
+
+#include <sstream>
+
+namespace ppc {
+
+namespace {
+
+void Serialize(const PlanNode& node, std::ostringstream* os) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      *os << ScanMethodName(node.scan_method) << "(" << node.table;
+      if (node.scan_method == ScanMethod::kIndexScan) {
+        *os << " via " << node.index_column;
+      }
+      if (!node.param_predicates.empty()) {
+        *os << " preds[";
+        for (size_t i = 0; i < node.param_predicates.size(); ++i) {
+          if (i) *os << ",";
+          *os << node.param_predicates[i];
+        }
+        *os << "]";
+      }
+      *os << ")";
+      break;
+    case PlanNode::Kind::kJoin:
+      *os << JoinMethodName(node.join_method) << "[e" << node.join_edge
+          << "](";
+      Serialize(*node.left, os);
+      *os << ", ";
+      Serialize(*node.right, os);
+      *os << ")";
+      break;
+    case PlanNode::Kind::kAggregate:
+      *os << "Aggregate(";
+      Serialize(*node.left, os);
+      *os << ")";
+      break;
+  }
+}
+
+void PrintIndented(const PlanNode& node, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      *os << ScanMethodName(node.scan_method) << " " << node.table;
+      if (node.scan_method == ScanMethod::kIndexScan) {
+        *os << " (index: " << node.index_column << ")";
+      }
+      if (!node.param_predicates.empty()) {
+        *os << " filter params {";
+        for (size_t i = 0; i < node.param_predicates.size(); ++i) {
+          if (i) *os << ", ";
+          *os << "$" << node.param_predicates[i];
+        }
+        *os << "}";
+      }
+      break;
+    case PlanNode::Kind::kJoin:
+      *os << JoinMethodName(node.join_method) << " (edge " << node.join_edge
+          << ")";
+      break;
+    case PlanNode::Kind::kAggregate:
+      *os << "Aggregate";
+      break;
+  }
+  if (node.est_rows > 0.0 || node.est_cost > 0.0) {
+    *os << "  [rows=" << node.est_rows << " cost=" << node.est_cost << "]";
+  }
+  *os << "\n";
+  if (node.left) PrintIndented(*node.left, depth + 1, os);
+  if (node.right) PrintIndented(*node.right, depth + 1, os);
+}
+
+}  // namespace
+
+std::string CanonicalPlanString(const PlanNode& plan) {
+  std::ostringstream os;
+  Serialize(plan, &os);
+  return os.str();
+}
+
+PlanId PlanFingerprint(const PlanNode& plan) {
+  const std::string repr = CanonicalPlanString(plan);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : repr) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash == kNullPlanId ? 1 : hash;
+}
+
+std::string PrintPlan(const PlanNode& plan) {
+  std::ostringstream os;
+  PrintIndented(plan, 0, &os);
+  return os.str();
+}
+
+}  // namespace ppc

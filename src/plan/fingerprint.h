@@ -1,0 +1,32 @@
+#ifndef PPC_PLAN_FINGERPRINT_H_
+#define PPC_PLAN_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "plan/plan_node.h"
+
+namespace ppc {
+
+/// Identifier of a distinct physical plan. Two plans with equal structure
+/// (operators, methods, tables, index columns, predicate placement, child
+/// order) share a PlanId; optimizer cost annotations do not participate.
+using PlanId = uint64_t;
+
+/// Sentinel for "no plan" / NULL prediction.
+inline constexpr PlanId kNullPlanId = 0;
+
+/// Canonical textual serialization of the plan's structure. Stable across
+/// runs; used as the hashing pre-image and in golden tests.
+std::string CanonicalPlanString(const PlanNode& plan);
+
+/// 64-bit FNV-1a fingerprint of CanonicalPlanString. Never returns
+/// kNullPlanId (remapped to 1 in the astronomically unlikely collision).
+PlanId PlanFingerprint(const PlanNode& plan);
+
+/// Pretty multi-line rendering of a plan tree for examples and debugging.
+std::string PrintPlan(const PlanNode& plan);
+
+}  // namespace ppc
+
+#endif  // PPC_PLAN_FINGERPRINT_H_

@@ -1,0 +1,111 @@
+#include "plan/plan_node.h"
+
+#include "common/macros.h"
+
+namespace ppc {
+
+const char* ScanMethodName(ScanMethod m) {
+  switch (m) {
+    case ScanMethod::kSeqScan:
+      return "SeqScan";
+    case ScanMethod::kIndexScan:
+      return "IndexScan";
+  }
+  return "UnknownScan";
+}
+
+const char* JoinMethodName(JoinMethod m) {
+  switch (m) {
+    case JoinMethod::kBlockNestedLoop:
+      return "BlockNestedLoopJoin";
+    case JoinMethod::kIndexNestedLoop:
+      return "IndexNestedLoopJoin";
+    case JoinMethod::kHashJoin:
+      return "HashJoin";
+    case JoinMethod::kSortMergeJoin:
+      return "SortMergeJoin";
+  }
+  return "UnknownJoin";
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = kind;
+  node->table = table;
+  node->scan_method = scan_method;
+  node->index_column = index_column;
+  node->param_predicates = param_predicates;
+  node->join_method = join_method;
+  node->join_edge = join_edge;
+  node->est_rows = est_rows;
+  node->est_cost = est_cost;
+  if (left) node->left = left->Clone();
+  if (right) node->right = right->Clone();
+  return node;
+}
+
+size_t PlanNode::OperatorCount() const {
+  size_t count = 1;
+  if (left) count += left->OperatorCount();
+  if (right) count += right->OperatorCount();
+  return count;
+}
+
+std::vector<std::string> PlanNode::Tables() const {
+  std::vector<std::string> out;
+  if (kind == Kind::kScan) {
+    out.push_back(table);
+  }
+  if (left) {
+    for (auto& t : left->Tables()) out.push_back(std::move(t));
+  }
+  if (right) {
+    for (auto& t : right->Tables()) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::unique_ptr<PlanNode> MakeSeqScan(std::string table,
+                                      std::vector<int> param_predicates) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kScan;
+  node->table = std::move(table);
+  node->scan_method = ScanMethod::kSeqScan;
+  node->param_predicates = std::move(param_predicates);
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakeIndexScan(std::string table,
+                                        std::string index_column,
+                                        std::vector<int> param_predicates) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kScan;
+  node->table = std::move(table);
+  node->scan_method = ScanMethod::kIndexScan;
+  node->index_column = std::move(index_column);
+  node->param_predicates = std::move(param_predicates);
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakeJoin(JoinMethod method, int join_edge,
+                                   std::unique_ptr<PlanNode> left,
+                                   std::unique_ptr<PlanNode> right) {
+  PPC_DCHECK(left != nullptr && right != nullptr);
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kJoin;
+  node->join_method = method;
+  node->join_edge = join_edge;
+  node->left = std::move(left);
+  node->right = std::move(right);
+  return node;
+}
+
+std::unique_ptr<PlanNode> MakeAggregate(std::unique_ptr<PlanNode> child) {
+  PPC_DCHECK(child != nullptr);
+  auto node = std::make_unique<PlanNode>();
+  node->kind = PlanNode::Kind::kAggregate;
+  node->left = std::move(child);
+  return node;
+}
+
+}  // namespace ppc

@@ -1,0 +1,89 @@
+#ifndef PPC_PLAN_PLAN_NODE_H_
+#define PPC_PLAN_PLAN_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ppc {
+
+/// Access path used by a scan operator.
+enum class ScanMethod {
+  kSeqScan,
+  kIndexScan,
+};
+
+/// Join algorithm used by a join operator.
+enum class JoinMethod {
+  kBlockNestedLoop,
+  kIndexNestedLoop,
+  kHashJoin,
+  kSortMergeJoin,
+};
+
+const char* ScanMethodName(ScanMethod m);
+const char* JoinMethodName(JoinMethod m);
+
+/// A physical query plan node: "a tree of relational algebra operators, each
+/// encapsulating some information about choice of algorithm and resource
+/// allocation" (paper Sec. I).
+///
+/// Plan *identity* — what makes two plans "the same plan" for caching — is
+/// the structural content only (operator kinds, methods, tables, index
+/// choices, child order). Estimates (est_rows, est_cost) are annotations and
+/// are excluded from the fingerprint.
+struct PlanNode {
+  enum class Kind {
+    kScan,
+    kJoin,
+    kAggregate,
+  };
+
+  Kind kind = Kind::kScan;
+
+  // --- kScan fields ---
+  /// Base table scanned.
+  std::string table;
+  ScanMethod scan_method = ScanMethod::kSeqScan;
+  /// For kIndexScan: the indexed column driving the access path.
+  std::string index_column;
+  /// Indices (into the query template's parameter list) of parameterized
+  /// predicates applied at this scan.
+  std::vector<int> param_predicates;
+
+  // --- kJoin fields ---
+  JoinMethod join_method = JoinMethod::kHashJoin;
+  /// Index into the query template's join-edge list.
+  int join_edge = -1;
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+
+  // --- optimizer annotations (not part of plan identity) ---
+  double est_rows = 0.0;
+  double est_cost = 0.0;
+
+  /// Deep copy (children cloned recursively).
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Number of operators in the subtree rooted here.
+  size_t OperatorCount() const;
+
+  /// All base tables referenced in the subtree, in scan order.
+  std::vector<std::string> Tables() const;
+};
+
+/// Convenience constructors.
+std::unique_ptr<PlanNode> MakeSeqScan(std::string table,
+                                      std::vector<int> param_predicates);
+std::unique_ptr<PlanNode> MakeIndexScan(std::string table,
+                                        std::string index_column,
+                                        std::vector<int> param_predicates);
+std::unique_ptr<PlanNode> MakeJoin(JoinMethod method, int join_edge,
+                                   std::unique_ptr<PlanNode> left,
+                                   std::unique_ptr<PlanNode> right);
+std::unique_ptr<PlanNode> MakeAggregate(std::unique_ptr<PlanNode> child);
+
+}  // namespace ppc
+
+#endif  // PPC_PLAN_PLAN_NODE_H_

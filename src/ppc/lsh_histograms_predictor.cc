@@ -1,0 +1,219 @@
+#include "ppc/lsh_histograms_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clustering/confidence.h"
+#include "common/math_utils.h"
+
+namespace ppc {
+
+namespace {
+
+TransformConfig MakeTransformConfig(
+    const LshHistogramsPredictor::Config& config) {
+  TransformConfig tc;
+  tc.input_dims = config.dimensions;
+  tc.output_dims = config.output_dims > 0
+                       ? config.output_dims
+                       : DefaultOutputDims(config.dimensions);
+  tc.bits_per_dim = config.bits_per_dim;
+  return tc;
+}
+
+}  // namespace
+
+LshHistogramsPredictor::LshHistogramsPredictor(Config config)
+    : config_(config),
+      transforms_(MakeTransformConfig(config), config.transform_count,
+                  config.seed) {}
+
+LshHistogramsPredictor::LshHistogramsPredictor(
+    Config config, const std::vector<LabeledPoint>& sample)
+    : LshHistogramsPredictor(config) {
+  for (const LabeledPoint& p : sample) Insert(p);
+}
+
+void LshHistogramsPredictor::Insert(const LabeledPoint& point) {
+  auto it = synopses_.find(point.plan);
+  if (it == synopses_.end()) {
+    it = synopses_
+             .emplace(point.plan,
+                      PlanSynopsis(transforms_.size(),
+                                   config_.histogram_buckets,
+                                   config_.merge_policy))
+             .first;
+  }
+  for (size_t i = 0; i < transforms_.size(); ++i) {
+    it->second.Insert(i, transforms_[i].LinearizedPosition(point.coords),
+                      point.cost);
+  }
+  ++total_samples_;
+}
+
+std::vector<std::vector<ZInterval>> LshHistogramsPredictor::QueryRanges(
+    const std::vector<double>& x) const {
+  std::vector<std::vector<ZInterval>> ranges(transforms_.size());
+  for (size_t i = 0; i < transforms_.size(); ++i) {
+    const RandomizedTransform& transform = transforms_[i];
+    if (config_.interval_decomposition) {
+      std::vector<uint32_t> lo, hi;
+      transform.CellBox(x, config_.radius, &lo, &hi);
+      ranges[i] =
+          transform.curve().DecomposeBox(lo, hi, config_.max_z_intervals);
+    } else {
+      // The paper's single range: half-width from the hypersphere-volume
+      // rule, floored at half a grid cell's share of the curve so the
+      // range never degenerates below the Z-order resolution.
+      const double position = transform.LinearizedPosition(x);
+      const double cell_z =
+          std::ldexp(1.0, -transform.curve().total_bits());
+      const double delta = std::max(
+          transform.RangeHalfWidth(config_.radius), 0.5 * cell_z);
+      ranges[i] = {ZInterval{position - delta, position + delta}};
+    }
+  }
+  return ranges;
+}
+
+Prediction LshHistogramsPredictor::Predict(
+    const std::vector<double>& x) const {
+  if (synopses_.empty()) return Prediction{};
+  const std::vector<std::vector<ZInterval>> ranges = QueryRanges(x);
+
+  // Noise elimination (Sec. IV-C): a fixed fraction of all samples is
+  // assumed to be Z-order false positives and excluded from every plan's
+  // density.
+  const double noise_floor =
+      config_.noise_fraction > 0.0
+          ? config_.noise_fraction * static_cast<double>(total_samples_)
+          : 0.0;
+
+  double total = 0.0;
+  PlanId max_plan = kNullPlanId;
+  double max_count = 0.0;
+  for (const auto& [plan, synopsis] : synopses_) {
+    const double raw = synopsis.MedianCount(ranges);
+    const double count = std::max(0.0, raw - noise_floor);
+    total += count;
+    if (count > max_count) {
+      max_count = count;
+      max_plan = plan;
+    }
+  }
+  if (max_count <= 0.0) return Prediction{};
+
+  const double confidence = ConfidenceFromCounts(max_count, total - max_count);
+  if (confidence <= config_.confidence_threshold) return Prediction{};
+
+  Prediction out;
+  out.plan = max_plan;
+  out.confidence = confidence;
+  out.estimated_cost = synopses_.at(max_plan).MedianAverageCost(ranges);
+  return out;
+}
+
+double LshHistogramsPredictor::EstimateCost(const std::vector<double>& x,
+                                            PlanId plan) const {
+  auto it = synopses_.find(plan);
+  if (it == synopses_.end()) return 0.0;
+  return it->second.MedianAverageCost(QueryRanges(x));
+}
+
+uint64_t LshHistogramsPredictor::SpaceBytes() const {
+  uint64_t total = 0;
+  for (const auto& [plan, synopsis] : synopses_) {
+    total += synopsis.SpaceBytes();
+  }
+  return total;
+}
+
+void LshHistogramsPredictor::Reset() {
+  synopses_.clear();
+  total_samples_ = 0;
+}
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x50504331;  // "PPC1"
+}  // namespace
+
+std::string LshHistogramsPredictor::Serialize() const {
+  ByteWriter writer;
+  writer.PutU32(kSnapshotMagic);
+  writer.PutU32(static_cast<uint32_t>(config_.dimensions));
+  writer.PutU32(static_cast<uint32_t>(config_.transform_count));
+  writer.PutU32(static_cast<uint32_t>(config_.output_dims));
+  writer.PutU32(static_cast<uint32_t>(config_.bits_per_dim));
+  writer.PutU64(config_.histogram_buckets);
+  writer.PutDouble(config_.radius);
+  writer.PutDouble(config_.confidence_threshold);
+  writer.PutDouble(config_.noise_fraction);
+  writer.PutU8(static_cast<uint8_t>(config_.merge_policy));
+  writer.PutU64(config_.seed);
+  writer.PutU8(config_.interval_decomposition ? 1 : 0);
+  writer.PutU64(config_.max_z_intervals);
+  writer.PutU64(total_samples_);
+  writer.PutU32(static_cast<uint32_t>(synopses_.size()));
+  for (const auto& [plan, synopsis] : synopses_) {
+    writer.PutU64(plan);
+    synopsis.SerializeTo(&writer);
+  }
+  return writer.Take();
+}
+
+Result<LshHistogramsPredictor> LshHistogramsPredictor::Restore(
+    const std::string& bytes) {
+  ByteReader reader(bytes);
+  PPC_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument("not a predictor snapshot");
+  }
+  Config config;
+  PPC_ASSIGN_OR_RETURN(uint32_t dimensions, reader.GetU32());
+  PPC_ASSIGN_OR_RETURN(uint32_t transform_count, reader.GetU32());
+  PPC_ASSIGN_OR_RETURN(uint32_t output_dims, reader.GetU32());
+  PPC_ASSIGN_OR_RETURN(uint32_t bits_per_dim, reader.GetU32());
+  config.dimensions = static_cast<int>(dimensions);
+  config.transform_count = static_cast<int>(transform_count);
+  config.output_dims = static_cast<int>(output_dims);
+  config.bits_per_dim = static_cast<int>(bits_per_dim);
+  PPC_ASSIGN_OR_RETURN(config.histogram_buckets, reader.GetU64());
+  PPC_ASSIGN_OR_RETURN(config.radius, reader.GetDouble());
+  PPC_ASSIGN_OR_RETURN(config.confidence_threshold, reader.GetDouble());
+  PPC_ASSIGN_OR_RETURN(config.noise_fraction, reader.GetDouble());
+  PPC_ASSIGN_OR_RETURN(uint8_t policy_byte, reader.GetU8());
+  if (policy_byte >
+      static_cast<uint8_t>(StreamingHistogram::MergePolicy::kEquiWidth)) {
+    return Status::InvalidArgument("unknown merge policy in snapshot");
+  }
+  config.merge_policy =
+      static_cast<StreamingHistogram::MergePolicy>(policy_byte);
+  PPC_ASSIGN_OR_RETURN(config.seed, reader.GetU64());
+  PPC_ASSIGN_OR_RETURN(uint8_t decomposition_byte, reader.GetU8());
+  config.interval_decomposition = decomposition_byte != 0;
+  PPC_ASSIGN_OR_RETURN(config.max_z_intervals, reader.GetU64());
+  if (config.dimensions < 1 || config.transform_count < 1 ||
+      config.max_z_intervals < 1) {
+    return Status::InvalidArgument("invalid predictor configuration");
+  }
+
+  LshHistogramsPredictor predictor(config);
+  PPC_ASSIGN_OR_RETURN(predictor.total_samples_, reader.GetU64());
+  PPC_ASSIGN_OR_RETURN(uint32_t plan_count, reader.GetU32());
+  for (uint32_t i = 0; i < plan_count; ++i) {
+    PPC_ASSIGN_OR_RETURN(uint64_t plan, reader.GetU64());
+    PPC_ASSIGN_OR_RETURN(PlanSynopsis synopsis,
+                         PlanSynopsis::Deserialize(&reader));
+    if (synopsis.transform_count() != predictor.transforms_.size()) {
+      return Status::InvalidArgument(
+          "synopsis transform count mismatches configuration");
+    }
+    predictor.synopses_.emplace(plan, std::move(synopsis));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after snapshot");
+  }
+  return predictor;
+}
+
+}  // namespace ppc

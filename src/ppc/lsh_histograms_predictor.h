@@ -1,0 +1,111 @@
+#ifndef PPC_PPC_LSH_HISTOGRAMS_PREDICTOR_H_
+#define PPC_PPC_LSH_HISTOGRAMS_PREDICTOR_H_
+
+#include <map>
+#include <vector>
+
+#include "clustering/predictor.h"
+#include "lsh/transform.h"
+#include "ppc/plan_synopsis.h"
+
+namespace ppc {
+
+/// The APPROXIMATE-LSH-HISTOGRAMS algorithm (paper Sec. IV-C): like
+/// APPROXIMATE-LSH, but instead of a grid of cells, each intermediate
+/// space's per-plan point distribution is linearized with a Z-order curve
+/// and summarized in a bounded-bucket database histogram (count + average
+/// cost per bucket). Density queries become histogram range queries on
+/// [T_ij(x) - delta, T_ij(x) + delta], where 2*delta equals the volume of
+/// the radius-d hypersphere.
+///
+/// Two Z-order artifacts are countered (Sec. IV-C): *noise elimination*
+/// discounts a fixed fraction of the total sample count from every plan's
+/// local density (distant points mapped into the queried range), and the
+/// *confidence sanity check* suppresses predictions where bucket
+/// consolidation makes a plan's support ambiguous.
+///
+/// Space: t * n * b_h * 12 bytes. Prediction: O(t * n * b_h), constant in
+/// the sample count |X|.
+class LshHistogramsPredictor : public PlanPredictor {
+ public:
+  struct Config {
+    /// Plan-space dimensionality r.
+    int dimensions = 2;
+    /// Number of randomized transformations t.
+    int transform_count = 5;
+    /// Intermediate-space dimensionality s; <= 0 picks the paper default.
+    int output_dims = 0;
+    /// Grid resolution per axis as a power of two.
+    int bits_per_dim = 5;
+    /// Maximum buckets per database histogram (the paper's b_h).
+    size_t histogram_buckets = 40;
+    /// Query radius d.
+    double radius = 0.1;
+    /// Confidence threshold gamma.
+    double confidence_threshold = 0.7;
+    /// Noise elimination: fraction of the total sample count subtracted
+    /// from each plan's local density estimate; <= 0 disables.
+    double noise_fraction = 0.0;
+    /// Z-range querying mode. false: the paper's single interval
+    /// [T(x) - delta, T(x) + delta]. true (extension): the query box is
+    /// decomposed into up to max_z_intervals exact curve ranges via
+    /// quadtree descent. Exact ranges stop distant cells that the curve
+    /// interleaves into the single smeared interval from contributing
+    /// counts (the flip side of Sec. IV-C's contiguity artifacts), which
+    /// measurably raises precision at some cost in recall
+    /// (bench_ext_zorder_decomposition).
+    bool interval_decomposition = false;
+    size_t max_z_intervals = 8;
+    StreamingHistogram::MergePolicy merge_policy =
+        StreamingHistogram::MergePolicy::kMinVarianceIncrease;
+    uint64_t seed = 23;
+  };
+
+  explicit LshHistogramsPredictor(Config config);
+  LshHistogramsPredictor(Config config,
+                         const std::vector<LabeledPoint>& sample);
+
+  Prediction Predict(const std::vector<double>& x) const override;
+  void Insert(const LabeledPoint& point) override;
+  uint64_t SpaceBytes() const override;
+  std::string Name() const override { return "APPROXIMATE-LSH-HISTOGRAMS"; }
+
+  /// Estimated average execution cost of `plan` near `x` (the input to the
+  /// negative-feedback misprediction test). 0 when the plan has no support
+  /// near x.
+  double EstimateCost(const std::vector<double>& x, PlanId plan) const;
+
+  /// Drops every histogram and restarts sampling from scratch (paper
+  /// Sec. IV-E: drift response).
+  void Reset();
+
+  /// Binary snapshot of the full predictor state (configuration +
+  /// per-plan synopses). The randomized transforms are reconstructed
+  /// deterministically from the serialized seed, so a restored predictor
+  /// answers every query identically to the original. Enables a plan
+  /// cache whose learned state survives server restarts.
+  std::string Serialize() const;
+
+  /// Rebuilds a predictor from Serialize() output. Fails with
+  /// InvalidArgument / OutOfRange on malformed or truncated input.
+  static Result<LshHistogramsPredictor> Restore(const std::string& bytes);
+
+  size_t TotalSamples() const { return total_samples_; }
+  size_t DistinctPlans() const { return synopses_.size(); }
+  const Config& config() const { return config_; }
+
+ private:
+  /// Curve intervals to query for `x`, one list per transform (a single
+  /// interval in the paper's mode, a decomposition in extension mode).
+  std::vector<std::vector<ZInterval>> QueryRanges(
+      const std::vector<double>& x) const;
+
+  Config config_;
+  TransformEnsemble transforms_;
+  std::map<PlanId, PlanSynopsis> synopses_;
+  size_t total_samples_ = 0;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_PPC_LSH_HISTOGRAMS_PREDICTOR_H_

@@ -1,0 +1,36 @@
+#include "ppc/metrics.h"
+
+namespace ppc {
+
+void MetricsAccumulator::Record(PlanId predicted, PlanId actual) {
+  ++total_;
+  if (predicted == kNullPlanId) return;
+  ++answered_;
+  if (predicted == actual) ++correct_;
+}
+
+double MetricsAccumulator::Precision() const {
+  return answered_ == 0 ? 0.0
+                        : static_cast<double>(correct_) /
+                              static_cast<double>(answered_);
+}
+
+double MetricsAccumulator::Recall() const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(correct_) /
+                           static_cast<double>(total_);
+}
+
+void MetricsAccumulator::Merge(const MetricsAccumulator& other) {
+  total_ += other.total_;
+  answered_ += other.answered_;
+  correct_ += other.correct_;
+}
+
+void MetricsAccumulator::Reset() {
+  total_ = 0;
+  answered_ = 0;
+  correct_ = 0;
+}
+
+}  // namespace ppc

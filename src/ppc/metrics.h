@@ -1,0 +1,42 @@
+#ifndef PPC_PPC_METRICS_H_
+#define PPC_PPC_METRICS_H_
+
+#include <cstddef>
+
+#include "plan/fingerprint.h"
+
+namespace ppc {
+
+/// Accumulates prediction outcomes and reports precision and recall under
+/// the paper's Definition 4:
+///   precision = correct / non-NULL predictions,
+///   recall    = correct / all predictions (NULL counts as a miss).
+class MetricsAccumulator {
+ public:
+  /// Records one prediction against ground truth. A NULL prediction passes
+  /// `predicted == kNullPlanId`.
+  void Record(PlanId predicted, PlanId actual);
+
+  double Precision() const;
+  double Recall() const;
+
+  size_t total() const { return total_; }
+  size_t answered() const { return answered_; }
+  size_t correct() const { return correct_; }
+  /// Non-NULL predictions that named the wrong plan.
+  size_t wrong() const { return answered_ - correct_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const MetricsAccumulator& other);
+
+  void Reset();
+
+ private:
+  size_t total_ = 0;
+  size_t answered_ = 0;
+  size_t correct_ = 0;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_PPC_METRICS_H_

@@ -1,0 +1,100 @@
+#include "ppc/online_predictor.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/math_utils.h"
+
+namespace ppc {
+
+OnlinePpcPredictor::OnlinePpcPredictor(Config config)
+    : config_(config),
+      predictor_(config.predictor),
+      tracker_(config.estimator_window),
+      rng_(config.seed) {}
+
+OnlinePpcPredictor::Decision OnlinePpcPredictor::Decide(
+    const std::vector<double>& x) {
+  Decision decision;
+  decision.prediction = predictor_.Predict(x);
+  if (!decision.prediction.has_value()) {
+    // NULL prediction: the optimizer runs; recall estimator records a miss.
+    tracker_.RecordPrediction(kNullPlanId, /*made=*/false, /*correct=*/false);
+    decision.use_prediction = false;
+    return decision;
+  }
+
+  // Random optimizer invocation (Sec. IV-D): probability is a function of
+  // the configured mean and the prediction's confidence — low-confidence
+  // regions are probed more, but even fully-confident predictions keep a
+  // floor of half the mean so ground truth keeps flowing everywhere.
+  // p ranges over [0.5, 1.5] x mean as confidence goes 1 -> 0.
+  if (config_.mean_invocation_probability > 0.0) {
+    const double p = Clamp(config_.mean_invocation_probability *
+                               (1.5 - decision.prediction.confidence),
+                           0.0, 1.0);
+    if (rng_.Bernoulli(p)) {
+      ++random_invocations_;
+      decision.random_invocation = true;
+      decision.use_prediction = false;
+      // The optimizer result will arrive via ObserveOptimized; the
+      // prediction itself is not executed so it is not scored here.
+      return decision;
+    }
+  }
+
+  decision.use_prediction = true;
+  return decision;
+}
+
+void OnlinePpcPredictor::ObserveOptimized(const LabeledPoint& point) {
+  predictor_.Insert(point);
+  ++optimizer_insertions_;
+}
+
+bool OnlinePpcPredictor::ReportPredictionExecuted(
+    const std::vector<double>& x, const Prediction& prediction,
+    double actual_cost) {
+  PPC_CHECK(prediction.has_value());
+  // Plan-cost-predictability test (Assumption 2 / Sec. IV-E): if the
+  // prediction were correct, the measured cost should lie within
+  // (1 +/- epsilon) of the histogram's average for that plan near x.
+  // Predict() already computed that average; re-query only if absent.
+  const double expected = prediction.estimated_cost > 0.0
+                              ? prediction.estimated_cost
+                              : predictor_.EstimateCost(x, prediction.plan);
+  bool estimated_correct = true;
+  if (expected > 0.0) {
+    const double rel_error = std::abs(actual_cost - expected) / expected;
+    estimated_correct = rel_error <= config_.cost_error_bound;
+  }
+  tracker_.RecordPrediction(prediction.plan, /*made=*/true,
+                            estimated_correct);
+
+  // Positive feedback (Sec. VII extension): a high-confidence prediction
+  // whose measured cost matches the histogram expectation is trusted as a
+  // self-labeled sample, capped relative to the optimizer-sourced pool so
+  // self-reinforcement cannot spiral.
+  if (config_.positive_feedback && estimated_correct && expected > 0.0 &&
+      prediction.confidence >= config_.positive_feedback_confidence &&
+      static_cast<double>(positive_feedback_insertions_) <
+          config_.positive_feedback_max_ratio *
+              static_cast<double>(optimizer_insertions_)) {
+    predictor_.Insert(LabeledPoint{x, prediction.plan, actual_cost});
+    ++positive_feedback_insertions_;
+  }
+
+  MaybeReset();
+  return config_.negative_feedback && !estimated_correct;
+}
+
+void OnlinePpcPredictor::MaybeReset() {
+  if (config_.reset_precision_threshold <= 0.0) return;
+  if (tracker_.PrecisionBelow(config_.reset_precision_threshold)) {
+    predictor_.Reset();
+    tracker_.Clear();
+    ++reset_count_;
+  }
+}
+
+}  // namespace ppc

@@ -1,0 +1,128 @@
+#ifndef PPC_PPC_ONLINE_PREDICTOR_H_
+#define PPC_PPC_ONLINE_PREDICTOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ppc/lsh_histograms_predictor.h"
+#include "ppc/sliding_window.h"
+
+namespace ppc {
+
+/// ONLINE-APPROXIMATE-LSH-HISTOGRAMS: the online plan-prediction framework
+/// of paper Sec. IV-D/IV-E for a single query template.
+///
+/// The sample pool starts empty and is populated lazily from optimizer
+/// feedback. Per query the flow is:
+///
+///   1. Decide(x): ask the histogram predictor for a plan. Even on a
+///      non-NULL prediction, the optimizer is invoked anyway with a small
+///      probability (a function of the mean invocation probability and the
+///      prediction's confidence) to keep harvesting ground truth.
+///   2. If the decision was to optimize: the caller optimizes, executes,
+///      and feeds the labeled point back via ObserveOptimized — the only
+///      path that inserts into the sample pool (no positive feedback;
+///      Sec. IV-D explains why predictions are never self-inserted).
+///   3. If the decision was to use the prediction: the caller executes the
+///      predicted plan and reports the measured cost via
+///      ReportPredictionExecuted. Negative feedback compares it against
+///      the histogram's average cost for that plan near x (plan cost
+///      predictability, Assumption 2); a relative error beyond the epsilon
+///      bound classifies the prediction as wrong, and the caller is told
+///      to invoke the optimizer immediately — the true point then lands in
+///      the histograms, eroding support for the mispredicted plan.
+///
+/// Windowed precision/recall estimators (Sec. IV-E) are fed by the same
+/// cost-based binary correctness estimate; when the windowed template
+/// precision drops below the reset threshold, every histogram for the
+/// template is dropped and sampling restarts — the drift response of
+/// Sec. V-D.
+class OnlinePpcPredictor {
+ public:
+  struct Config {
+    LshHistogramsPredictor::Config predictor;
+    /// Negative feedback (cost-based misprediction detection) on/off.
+    bool negative_feedback = true;
+    /// Epsilon of the plan-cost-predictability test (paper uses 0.25).
+    double cost_error_bound = 0.25;
+    /// Mean random optimizer-invocation probability (0 disables).
+    double mean_invocation_probability = 0.0;
+    /// Window size k of the precision/recall estimators.
+    size_t estimator_window = 100;
+    /// Drop all histograms when windowed precision falls below this
+    /// (<= 0 disables drift resets).
+    double reset_precision_threshold = 0.0;
+
+    /// --- Positive feedback (paper Sec. VII, future work) ---
+    /// When enabled, an executed prediction that *passes* the cost
+    /// predictability test is itself inserted into the sample pool,
+    /// shortening the warm-up period and raising recall. Guard rails
+    /// against the paper's feared "avalanche of false positive input":
+    /// only predictions with confidence >= positive_feedback_confidence
+    /// qualify, and self-labeled points are capped at
+    /// positive_feedback_max_ratio x the optimizer-sourced sample count.
+    bool positive_feedback = false;
+    double positive_feedback_confidence = 0.95;
+    double positive_feedback_max_ratio = 1.0;
+
+    uint64_t seed = 31;
+  };
+
+  /// Outcome of Decide().
+  struct Decision {
+    /// The predictor's output (may be NULL).
+    Prediction prediction;
+    /// True: execute prediction.plan. False: invoke the optimizer.
+    bool use_prediction = false;
+    /// True when a non-NULL prediction was overridden by a random
+    /// optimizer invocation.
+    bool random_invocation = false;
+  };
+
+  explicit OnlinePpcPredictor(Config config);
+
+  /// Step 1: decide how to run the query at plan-space point `x`.
+  Decision Decide(const std::vector<double>& x);
+
+  /// Step 2/3 feedback: the optimizer ran at `point.coords` and returned
+  /// `point.plan` with execution cost `point.cost`.
+  void ObserveOptimized(const LabeledPoint& point);
+
+  /// Step 3 feedback: the predicted plan was executed with `actual_cost`.
+  /// Returns true when negative feedback suspects a misprediction — the
+  /// caller must then invoke the optimizer and call ObserveOptimized.
+  bool ReportPredictionExecuted(const std::vector<double>& x,
+                                const Prediction& prediction,
+                                double actual_cost);
+
+  const LshHistogramsPredictor& predictor() const { return predictor_; }
+  const PrecisionRecallTracker& tracker() const { return tracker_; }
+  const Config& config() const { return config_; }
+
+  /// Number of drift resets performed so far.
+  size_t reset_count() const { return reset_count_; }
+  /// Number of random optimizer invocations issued so far.
+  size_t random_invocations() const { return random_invocations_; }
+  /// Self-labeled points inserted via positive feedback so far.
+  size_t positive_feedback_insertions() const {
+    return positive_feedback_insertions_;
+  }
+  /// Optimizer-sourced points inserted so far.
+  size_t optimizer_insertions() const { return optimizer_insertions_; }
+
+ private:
+  void MaybeReset();
+
+  Config config_;
+  LshHistogramsPredictor predictor_;
+  PrecisionRecallTracker tracker_;
+  Rng rng_;
+  size_t reset_count_ = 0;
+  size_t random_invocations_ = 0;
+  size_t positive_feedback_insertions_ = 0;
+  size_t optimizer_insertions_ = 0;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_PPC_ONLINE_PREDICTOR_H_

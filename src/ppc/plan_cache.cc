@@ -1,0 +1,94 @@
+#include "ppc/plan_cache.h"
+
+#include "common/macros.h"
+
+namespace ppc {
+
+const char* CacheEvictionPolicyName(CacheEvictionPolicy policy) {
+  switch (policy) {
+    case CacheEvictionPolicy::kPrecisionThenLru:
+      return "precision+LRU";
+    case CacheEvictionPolicy::kLru:
+      return "LRU";
+    case CacheEvictionPolicy::kLfu:
+      return "LFU";
+  }
+  return "unknown";
+}
+
+PlanCache::PlanCache(size_t capacity, CacheEvictionPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  PPC_CHECK(capacity >= 1);
+}
+
+void PlanCache::Put(PlanId id, std::unique_ptr<PlanNode> plan) {
+  PPC_CHECK(id != kNullPlanId && plan != nullptr);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.plan = std::move(plan);
+    it->second.last_use = ++clock_;
+    return;
+  }
+  if (entries_.size() >= capacity_) EvictOne();
+  Entry entry;
+  entry.plan = std::move(plan);
+  entry.last_use = ++clock_;
+  entries_.emplace(id, std::move(entry));
+}
+
+const PlanNode* PlanCache::Get(PlanId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  it->second.last_use = ++clock_;
+  ++it->second.uses;
+  return it->second.plan.get();
+}
+
+bool PlanCache::Contains(PlanId id) const { return entries_.count(id) > 0; }
+
+void PlanCache::SetPrecisionScore(PlanId id, double score) {
+  auto it = entries_.find(id);
+  if (it != entries_.end()) it->second.precision_score = score;
+}
+
+void PlanCache::Erase(PlanId id) { entries_.erase(id); }
+
+void PlanCache::Clear() { entries_.clear(); }
+
+std::vector<PlanId> PlanCache::PlanIds() const {
+  std::vector<PlanId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, _] : entries_) ids.push_back(id);
+  return ids;
+}
+
+void PlanCache::EvictOne() {
+  PPC_DCHECK(!entries_.empty());
+  auto victim = entries_.begin();
+  auto worse = [this](const Entry& cand, const Entry& best) {
+    switch (policy_) {
+      case CacheEvictionPolicy::kPrecisionThenLru:
+        if (cand.precision_score != best.precision_score) {
+          return cand.precision_score < best.precision_score;
+        }
+        return cand.last_use < best.last_use;
+      case CacheEvictionPolicy::kLru:
+        return cand.last_use < best.last_use;
+      case CacheEvictionPolicy::kLfu:
+        if (cand.uses != best.uses) return cand.uses < best.uses;
+        return cand.last_use < best.last_use;
+    }
+    return false;
+  };
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (worse(it->second, victim->second)) victim = it;
+  }
+  entries_.erase(victim);
+  ++evictions_;
+}
+
+}  // namespace ppc

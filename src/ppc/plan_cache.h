@@ -1,0 +1,85 @@
+#ifndef PPC_PPC_PLAN_CACHE_H_
+#define PPC_PPC_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "plan/fingerprint.h"
+#include "plan/plan_node.h"
+
+namespace ppc {
+
+/// Eviction policy of the plan cache.
+enum class CacheEvictionPolicy {
+  /// The paper's signal (Sec. I / IV-E: "performance of the clustering
+  /// algorithm is monitored to help decide which plans to evict"): lowest
+  /// windowed prediction precision first, ties broken by least-recent use.
+  kPrecisionThenLru,
+  /// Classic least-recently-used.
+  kLru,
+  /// Least-frequently-used, ties broken by least-recent use.
+  kLfu,
+};
+
+const char* CacheEvictionPolicyName(CacheEvictionPolicy policy);
+
+/// Bounded cache of physical plans keyed by PlanId.
+class PlanCache {
+ public:
+  explicit PlanCache(
+      size_t capacity,
+      CacheEvictionPolicy policy = CacheEvictionPolicy::kPrecisionThenLru);
+
+  /// Inserts (or refreshes) a plan. May evict.
+  void Put(PlanId id, std::unique_ptr<PlanNode> plan);
+
+  /// Returns the cached plan or nullptr. Counts as a use.
+  const PlanNode* Get(PlanId id);
+
+  /// True if present (does not count as a use).
+  bool Contains(PlanId id) const;
+
+  /// Reports the precision score used for eviction ranking (e.g.
+  /// prec_k[P] from PrecisionRecallTracker). Unknown plans default to 1.0.
+  void SetPrecisionScore(PlanId id, double score);
+
+  /// Removes one plan (no-op when absent).
+  void Erase(PlanId id);
+
+  /// Drops everything.
+  void Clear();
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+  std::vector<PlanId> PlanIds() const;
+
+  CacheEvictionPolicy policy() const { return policy_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<PlanNode> plan;
+    double precision_score = 1.0;
+    uint64_t last_use = 0;
+    uint64_t uses = 0;
+  };
+
+  void EvictOne();
+
+  size_t capacity_;
+  CacheEvictionPolicy policy_;
+  std::map<PlanId, Entry> entries_;
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_PPC_PLAN_CACHE_H_

@@ -1,0 +1,119 @@
+#include "ppc/plan_synopsis.h"
+
+#include "common/macros.h"
+#include "common/math_utils.h"
+
+namespace ppc {
+
+PlanSynopsis::PlanSynopsis(size_t transform_count, size_t max_buckets,
+                           StreamingHistogram::MergePolicy policy) {
+  PPC_CHECK(transform_count >= 1);
+  histograms_.reserve(transform_count);
+  for (size_t i = 0; i < transform_count; ++i) {
+    histograms_.emplace_back(max_buckets, policy);
+  }
+}
+
+void PlanSynopsis::Insert(size_t transform_idx, double position,
+                          double cost) {
+  PPC_DCHECK(transform_idx < histograms_.size());
+  histograms_[transform_idx].Insert(position, cost);
+}
+
+double PlanSynopsis::MedianCount(const std::vector<double>& positions,
+                                 const std::vector<double>& deltas) const {
+  PPC_DCHECK(positions.size() == histograms_.size());
+  PPC_DCHECK(deltas.size() == histograms_.size());
+  std::vector<double> counts;
+  counts.reserve(histograms_.size());
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    counts.push_back(histograms_[i].EstimateCount(positions[i] - deltas[i],
+                                                  positions[i] + deltas[i]));
+  }
+  return Median(std::move(counts));
+}
+
+double PlanSynopsis::MedianAverageCost(
+    const std::vector<double>& positions,
+    const std::vector<double>& deltas) const {
+  std::vector<double> costs;
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    const double count = histograms_[i].EstimateCount(
+        positions[i] - deltas[i], positions[i] + deltas[i]);
+    if (count <= 0.0) continue;
+    costs.push_back(histograms_[i].EstimateAverageCost(
+        positions[i] - deltas[i], positions[i] + deltas[i]));
+  }
+  return costs.empty() ? 0.0 : Median(std::move(costs));
+}
+
+double PlanSynopsis::MedianCount(
+    const std::vector<std::vector<ZInterval>>& ranges) const {
+  PPC_DCHECK(ranges.size() == histograms_.size());
+  std::vector<double> counts;
+  counts.reserve(histograms_.size());
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    double count = 0.0;
+    for (const ZInterval& interval : ranges[i]) {
+      count += histograms_[i].EstimateCount(interval.lo, interval.hi);
+    }
+    counts.push_back(count);
+  }
+  return Median(std::move(counts));
+}
+
+double PlanSynopsis::MedianAverageCost(
+    const std::vector<std::vector<ZInterval>>& ranges) const {
+  PPC_DCHECK(ranges.size() == histograms_.size());
+  std::vector<double> costs;
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    double count = 0.0;
+    double cost_sum = 0.0;
+    for (const ZInterval& interval : ranges[i]) {
+      const double c =
+          histograms_[i].EstimateCount(interval.lo, interval.hi);
+      if (c <= 0.0) continue;
+      count += c;
+      cost_sum +=
+          c * histograms_[i].EstimateAverageCost(interval.lo, interval.hi);
+    }
+    if (count > 0.0) costs.push_back(cost_sum / count);
+  }
+  return costs.empty() ? 0.0 : Median(std::move(costs));
+}
+
+size_t PlanSynopsis::SampleCount() const {
+  return histograms_.empty() ? 0 : histograms_.front().TotalCount();
+}
+
+uint64_t PlanSynopsis::SpaceBytes() const {
+  uint64_t total = 0;
+  for (const StreamingHistogram& h : histograms_) total += h.SpaceBytes();
+  return total;
+}
+
+void PlanSynopsis::Clear() {
+  for (StreamingHistogram& h : histograms_) h.Clear();
+}
+
+void PlanSynopsis::SerializeTo(ByteWriter* writer) const {
+  writer->PutU32(static_cast<uint32_t>(histograms_.size()));
+  for (const StreamingHistogram& h : histograms_) h.SerializeTo(writer);
+}
+
+Result<PlanSynopsis> PlanSynopsis::Deserialize(ByteReader* reader) {
+  PPC_ASSIGN_OR_RETURN(uint32_t count, reader->GetU32());
+  if (count == 0) {
+    return Status::InvalidArgument("synopsis needs >= 1 histogram");
+  }
+  PlanSynopsis synopsis;
+  synopsis.histograms_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PPC_ASSIGN_OR_RETURN(StreamingHistogram histogram,
+                         StreamingHistogram::Deserialize(reader));
+    synopsis.histograms_.push_back(std::move(histogram));
+  }
+  return synopsis;
+}
+
+}  // namespace ppc

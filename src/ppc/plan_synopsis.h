@@ -1,0 +1,70 @@
+#ifndef PPC_PPC_PLAN_SYNOPSIS_H_
+#define PPC_PPC_PLAN_SYNOPSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lsh/zorder.h"
+#include "stats/streaming_histogram.h"
+
+namespace ppc {
+
+/// The histogram synopsis of one query plan's sample distribution: one
+/// bounded-bucket database histogram per randomized transform, keyed by
+/// Z-order-linearized position (paper Sec. IV-C: "a separate histogram is
+/// created for every query plan in the plan space ... a total of t x n
+/// histograms are allocated").
+class PlanSynopsis {
+ public:
+  PlanSynopsis(size_t transform_count, size_t max_buckets,
+               StreamingHistogram::MergePolicy policy);
+
+  /// Records one sample of this plan at `position` in transform
+  /// `transform_idx`'s linearized space, with execution cost `cost`.
+  void Insert(size_t transform_idx, double position, double cost);
+
+  /// Density estimate: the median over transforms of the count in
+  /// [positions[i] - deltas[i], positions[i] + deltas[i]].
+  double MedianCount(const std::vector<double>& positions,
+                     const std::vector<double>& deltas) const;
+
+  /// Median over transforms of the average cost in the same ranges,
+  /// taken over transforms with non-zero local density.
+  double MedianAverageCost(const std::vector<double>& positions,
+                           const std::vector<double>& deltas) const;
+
+  /// Interval-list variants: ranges[i] is the (sorted, disjoint) set of
+  /// curve intervals to query in transform i; the per-transform count is
+  /// the sum over intervals (exact Z-range decomposition mode).
+  double MedianCount(const std::vector<std::vector<ZInterval>>& ranges) const;
+  double MedianAverageCost(
+      const std::vector<std::vector<ZInterval>>& ranges) const;
+
+  /// Samples inserted (identical across transforms; per-transform count).
+  size_t SampleCount() const;
+
+  /// Paper accounting: t * b_h * 12 bytes for this plan.
+  uint64_t SpaceBytes() const;
+
+  void Clear();
+
+  size_t transform_count() const { return histograms_.size(); }
+  const StreamingHistogram& histogram(size_t i) const {
+    return histograms_[i];
+  }
+
+  /// Appends a binary snapshot of all per-transform histograms.
+  void SerializeTo(ByteWriter* writer) const;
+
+  /// Reconstructs a synopsis from a snapshot.
+  static Result<PlanSynopsis> Deserialize(ByteReader* reader);
+
+ private:
+  PlanSynopsis() = default;  // used by Deserialize
+
+  std::vector<StreamingHistogram> histograms_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_PPC_PLAN_SYNOPSIS_H_

@@ -1,0 +1,142 @@
+#include "ppc/ppc_framework.h"
+
+#include <chrono>
+
+namespace ppc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+PpcFramework::PpcFramework(const Catalog* catalog, Config config,
+                           CostModelParams cost_params)
+    : catalog_(catalog),
+      config_(config),
+      optimizer_(catalog, cost_params),
+      simulator_(&optimizer_.cost_model(),
+                 ExecutionSimulator::Options{config.execution_noise_stddev,
+                                             config.seed}),
+      plan_cache_(config.plan_cache_capacity) {
+  PPC_CHECK(catalog != nullptr);
+}
+
+Status PpcFramework::RegisterTemplate(const QueryTemplate& tmpl) {
+  if (templates_.count(tmpl.name) > 0) {
+    return Status::AlreadyExists("template " + tmpl.name);
+  }
+  auto state = std::make_unique<TemplateState>();
+  state->tmpl = tmpl;
+  PPC_ASSIGN_OR_RETURN(state->prepared, optimizer_.Prepare(state->tmpl));
+  state->mapper =
+      std::make_unique<SelectivityMapper>(catalog_, &state->tmpl);
+  PPC_RETURN_NOT_OK(state->mapper->Validate());
+
+  OnlinePpcPredictor::Config online = config_.online;
+  online.predictor.dimensions = state->tmpl.ParameterDegree();
+  online.seed = config_.seed ^ std::hash<std::string>{}(tmpl.name);
+  state->online = std::make_unique<OnlinePpcPredictor>(online);
+
+  templates_.emplace(tmpl.name, std::move(state));
+  return Status::OK();
+}
+
+Result<PpcFramework::TemplateState*> PpcFramework::FindTemplate(
+    const std::string& name) {
+  auto it = templates_.find(name);
+  if (it == templates_.end()) {
+    return Status::NotFound("template " + name + " is not registered");
+  }
+  return it->second.get();
+}
+
+Result<PpcFramework::QueryReport> PpcFramework::ExecuteInstance(
+    const QueryInstance& instance) {
+  PPC_ASSIGN_OR_RETURN(TemplateState * state,
+                       FindTemplate(instance.template_name));
+  PPC_ASSIGN_OR_RETURN(std::vector<double> point,
+                       state->mapper->ToPlanSpacePoint(instance));
+  return ExecuteAtPoint(instance.template_name, point);
+}
+
+Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
+    const std::string& template_name, const std::vector<double>& point) {
+  PPC_ASSIGN_OR_RETURN(TemplateState * state, FindTemplate(template_name));
+  QueryReport report;
+
+  // --- Predict ---
+  auto predict_start = Clock::now();
+  OnlinePpcPredictor::Decision decision = state->online->Decide(point);
+  const PlanNode* cached_plan = nullptr;
+  if (decision.use_prediction) {
+    cached_plan = plan_cache_.Get(decision.prediction.plan);
+  }
+  report.predict_micros = MicrosSince(predict_start);
+
+  if (decision.use_prediction && cached_plan != nullptr) {
+    // --- Execute the predicted cached plan ---
+    report.used_prediction = true;
+    report.cache_hit = true;
+    report.executed_plan = decision.prediction.plan;
+    PPC_ASSIGN_OR_RETURN(
+        report.execution_cost,
+        simulator_.Execute(state->prepared, *cached_plan, point));
+
+    // --- Negative feedback ---
+    auto feedback_start = Clock::now();
+    const bool suspected = state->online->ReportPredictionExecuted(
+        point, decision.prediction, report.execution_cost);
+    report.predict_micros += MicrosSince(feedback_start);
+    if (suspected) {
+      report.negative_feedback_triggered = true;
+      auto opt_start = Clock::now();
+      PPC_ASSIGN_OR_RETURN(OptimizationResult opt,
+                           optimizer_.Optimize(state->prepared, point));
+      report.optimize_micros = MicrosSince(opt_start);
+      report.optimizer_invoked = true;
+      report.optimal_plan = opt.plan_id;
+      // The truth point corrects the histograms; the query itself was
+      // already answered by the (suspect) cached plan.
+      PPC_ASSIGN_OR_RETURN(
+          double true_cost,
+          simulator_.Execute(state->prepared, *opt.plan, point));
+      state->online->ObserveOptimized(
+          LabeledPoint{point, opt.plan_id, true_cost});
+      plan_cache_.Put(opt.plan_id, std::move(opt.plan));
+    }
+    // Refresh the cache's eviction signal for this plan.
+    plan_cache_.SetPrecisionScore(
+        report.executed_plan,
+        state->online->tracker().PlanPrecision(report.executed_plan));
+    return report;
+  }
+
+  // --- Optimize (NULL prediction, cache miss, or random invocation) ---
+  auto opt_start = Clock::now();
+  PPC_ASSIGN_OR_RETURN(OptimizationResult opt,
+                       optimizer_.Optimize(state->prepared, point));
+  report.optimize_micros = MicrosSince(opt_start);
+  report.optimizer_invoked = true;
+  report.optimal_plan = opt.plan_id;
+  report.executed_plan = opt.plan_id;
+  PPC_ASSIGN_OR_RETURN(report.execution_cost,
+                       simulator_.Execute(state->prepared, *opt.plan, point));
+  state->online->ObserveOptimized(
+      LabeledPoint{point, opt.plan_id, report.execution_cost});
+  plan_cache_.Put(opt.plan_id, std::move(opt.plan));
+  return report;
+}
+
+const OnlinePpcPredictor* PpcFramework::online_predictor(
+    const std::string& template_name) const {
+  auto it = templates_.find(template_name);
+  return it == templates_.end() ? nullptr : it->second->online.get();
+}
+
+}  // namespace ppc

@@ -1,0 +1,106 @@
+#ifndef PPC_PPC_PPC_FRAMEWORK_H_
+#define PPC_PPC_PPC_FRAMEWORK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/execution_simulator.h"
+#include "optimizer/optimizer.h"
+#include "ppc/online_predictor.h"
+#include "ppc/plan_cache.h"
+#include "workload/query_template.h"
+#include "workload/selectivity_mapper.h"
+
+namespace ppc {
+
+/// The parametric plan caching framework (paper Fig. 1): glues together the
+/// query optimizer, the plan cache, and one online density-based predictor
+/// per registered query template.
+///
+/// For each incoming query instance the framework maps it to a plan-space
+/// point (predicate selectivities), asks the template's predictor for a
+/// cached plan, and either executes the predicted plan from the cache or
+/// falls back to the optimizer — feeding the newly optimized point back
+/// into the predictor. This is the top-level public API the examples use.
+class PpcFramework {
+ public:
+  struct Config {
+    /// Template for per-query-template online predictors. The plan-space
+    /// dimensionality is overridden per template at registration.
+    OnlinePpcPredictor::Config online;
+    /// Shared plan-cache capacity (plans, across all templates).
+    size_t plan_cache_capacity = 64;
+    /// Execution-cost noise (lognormal sigma; 0 = deterministic).
+    double execution_noise_stddev = 0.0;
+    uint64_t seed = 97;
+  };
+
+  /// Per-query execution report.
+  struct QueryReport {
+    /// Plan actually executed.
+    PlanId executed_plan = kNullPlanId;
+    /// Optimal plan at the query point (known only when the optimizer ran;
+    /// kNullPlanId otherwise).
+    PlanId optimal_plan = kNullPlanId;
+    bool used_prediction = false;
+    bool cache_hit = false;
+    bool optimizer_invoked = false;
+    /// Negative feedback judged the executed prediction wrong and forced
+    /// an immediate optimizer call.
+    bool negative_feedback_triggered = false;
+    double execution_cost = 0.0;
+    /// Measured wall time spent in the optimizer for this query (us).
+    double optimize_micros = 0.0;
+    /// Measured wall time spent in prediction + bookkeeping (us).
+    double predict_micros = 0.0;
+  };
+
+  PpcFramework(const Catalog* catalog, Config config,
+               CostModelParams cost_params = CostModelParams());
+
+  /// Registers a query template (copied). Must be called before executing
+  /// its instances.
+  Status RegisterTemplate(const QueryTemplate& tmpl);
+
+  /// Executes one query instance end to end (normalize -> predict ->
+  /// cache/optimize -> execute -> feedback).
+  Result<QueryReport> ExecuteInstance(const QueryInstance& instance);
+
+  /// Same, but with the plan-space point given directly (used by the
+  /// experiment harnesses, which generate workloads in plan space).
+  Result<QueryReport> ExecuteAtPoint(const std::string& template_name,
+                                     const std::vector<double>& point);
+
+  /// The online predictor of one registered template (nullptr if unknown).
+  const OnlinePpcPredictor* online_predictor(
+      const std::string& template_name) const;
+
+  PlanCache& plan_cache() { return plan_cache_; }
+  const PlanCache& plan_cache() const { return plan_cache_; }
+  const Optimizer& optimizer() const { return optimizer_; }
+
+ private:
+  struct TemplateState {
+    QueryTemplate tmpl;
+    PreparedTemplate prepared;
+    std::unique_ptr<SelectivityMapper> mapper;
+    std::unique_ptr<OnlinePpcPredictor> online;
+  };
+
+  Result<TemplateState*> FindTemplate(const std::string& name);
+
+  const Catalog* catalog_;
+  Config config_;
+  Optimizer optimizer_;
+  ExecutionSimulator simulator_;
+  PlanCache plan_cache_;
+  std::map<std::string, std::unique_ptr<TemplateState>> templates_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_PPC_PPC_FRAMEWORK_H_

@@ -1,0 +1,66 @@
+#include "ppc/sliding_window.h"
+
+#include "common/macros.h"
+
+namespace ppc {
+
+SlidingWindowEstimator::SlidingWindowEstimator(size_t window_size)
+    : window_size_(window_size) {
+  PPC_CHECK(window_size >= 1);
+}
+
+void SlidingWindowEstimator::Record(bool success) {
+  window_.push_back(success);
+  if (success) ++successes_;
+  if (window_.size() > window_size_) {
+    if (window_.front()) --successes_;
+    window_.pop_front();
+  }
+}
+
+double SlidingWindowEstimator::Value() const {
+  if (window_.empty()) return 0.0;
+  return static_cast<double>(successes_) /
+         static_cast<double>(window_.size());
+}
+
+void SlidingWindowEstimator::Clear() {
+  window_.clear();
+  successes_ = 0;
+}
+
+PrecisionRecallTracker::PrecisionRecallTracker(size_t window_size)
+    : window_size_(window_size),
+      template_precision_(window_size),
+      beta_(window_size) {}
+
+void PrecisionRecallTracker::RecordPrediction(PlanId plan, bool made,
+                                              bool correct) {
+  beta_.Record(made);
+  if (!made) return;
+  template_precision_.Record(correct);
+  auto it = per_plan_.find(plan);
+  if (it == per_plan_.end()) {
+    it = per_plan_.emplace(plan, SlidingWindowEstimator(window_size_)).first;
+  }
+  it->second.Record(correct);
+}
+
+double PrecisionRecallTracker::PlanPrecision(PlanId plan) const {
+  auto it = per_plan_.find(plan);
+  if (it == per_plan_.end() || it->second.Count() == 0) return 1.0;
+  return it->second.Value();
+}
+
+bool PrecisionRecallTracker::PrecisionBelow(double threshold) const {
+  return template_precision_.Full() &&
+         template_precision_.Value() < threshold;
+}
+
+void PrecisionRecallTracker::Clear() {
+  template_precision_.Clear();
+  beta_.Clear();
+  per_plan_.clear();
+}
+
+}  // namespace ppc

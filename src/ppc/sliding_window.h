@@ -1,0 +1,74 @@
+#ifndef PPC_PPC_SLIDING_WINDOW_H_
+#define PPC_PPC_SLIDING_WINDOW_H_
+
+#include <cstddef>
+#include <deque>
+#include <map>
+
+#include "plan/fingerprint.h"
+
+namespace ppc {
+
+/// Windowed proportion estimator: the fraction of `true` observations among
+/// the most recent `k`.
+class SlidingWindowEstimator {
+ public:
+  explicit SlidingWindowEstimator(size_t window_size);
+
+  void Record(bool success);
+
+  /// Proportion over the current window; 0 when empty.
+  double Value() const;
+
+  size_t Count() const { return window_.size(); }
+  bool Full() const { return window_.size() == window_size_; }
+  void Clear();
+
+ private:
+  size_t window_size_;
+  std::deque<bool> window_;
+  size_t successes_ = 0;
+};
+
+/// The paper's Sec. IV-E online estimators: prec_k[P_i] tracks the
+/// precision of the last k predictions of each plan; prec_k[Q] and
+/// rec_k[Q] track the template's overall precision and recall over the
+/// last k predictions (recall via rec_k = beta * prec_k, where beta is the
+/// NULL-free fraction).
+class PrecisionRecallTracker {
+ public:
+  explicit PrecisionRecallTracker(size_t window_size);
+
+  /// Records one prediction event. `made` is false for a NULL prediction;
+  /// `correct` is the (estimated) correctness of a non-NULL prediction.
+  void RecordPrediction(PlanId plan, bool made, bool correct);
+
+  /// prec_k[Q]: estimated precision of recent non-NULL predictions.
+  double TemplatePrecision() const { return template_precision_.Value(); }
+
+  /// beta(Q): NULL-free fraction of recent predictions.
+  double Beta() const { return beta_.Value(); }
+
+  /// rec_k[Q] = beta(Q) * prec_k[Q].
+  double TemplateRecall() const { return Beta() * TemplatePrecision(); }
+
+  /// prec_k[P]: estimated precision of recent predictions of one plan
+  /// (1.0 when the plan has no recorded predictions yet).
+  double PlanPrecision(PlanId plan) const;
+
+  /// True when the template precision window is full and its value is
+  /// below `threshold` — the paper's plan-space-change signal.
+  bool PrecisionBelow(double threshold) const;
+
+  void Clear();
+
+ private:
+  size_t window_size_;
+  SlidingWindowEstimator template_precision_;
+  SlidingWindowEstimator beta_;
+  std::map<PlanId, SlidingWindowEstimator> per_plan_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_PPC_SLIDING_WINDOW_H_

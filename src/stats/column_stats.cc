@@ -1,0 +1,28 @@
+#include "stats/column_stats.h"
+
+#include <algorithm>
+
+#include "storage/column.h"
+
+namespace ppc {
+
+ColumnStats ColumnStats::Compute(const Column& column, size_t bucket_count) {
+  ColumnStats stats;
+  std::vector<double> values = column.ToDoubleVector();
+  stats.row_count = values.size();
+  if (values.empty()) return stats;
+
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  stats.min = sorted.front();
+  stats.max = sorted.back();
+  size_t distinct = 1;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] != sorted[i - 1]) ++distinct;
+  }
+  stats.distinct_count = distinct;
+  stats.histogram = EquiDepthHistogram::Build(std::move(values), bucket_count);
+  return stats;
+}
+
+}  // namespace ppc

@@ -1,0 +1,35 @@
+#ifndef PPC_STATS_COLUMN_STATS_H_
+#define PPC_STATS_COLUMN_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/equi_depth_histogram.h"
+
+namespace ppc {
+
+class Column;
+
+/// Optimizer statistics for one base-table column: value bounds, estimated
+/// number of distinct values, and an equi-depth histogram.
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  size_t distinct_count = 0;
+  size_t row_count = 0;
+  EquiDepthHistogram histogram;
+
+  /// Computes statistics over a materialized column with `bucket_count`
+  /// histogram buckets.
+  static ColumnStats Compute(const Column& column, size_t bucket_count);
+
+  /// Selectivity of `column <= v` under the histogram.
+  double SelectivityLeq(double v) const { return histogram.SelectivityLeq(v); }
+
+  /// Value at cumulative fraction `f` (inverse of SelectivityLeq).
+  double ValueAtSelectivity(double f) const { return histogram.Quantile(f); }
+};
+
+}  // namespace ppc
+
+#endif  // PPC_STATS_COLUMN_STATS_H_

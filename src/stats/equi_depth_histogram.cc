@@ -1,0 +1,83 @@
+#include "stats/equi_depth_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/math_utils.h"
+
+namespace ppc {
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
+                                             size_t bucket_count) {
+  EquiDepthHistogram h;
+  if (values.empty() || bucket_count == 0) return h;
+  std::sort(values.begin(), values.end());
+  h.row_count_ = values.size();
+
+  const size_t n = values.size();
+  bucket_count = std::min(bucket_count, n);
+  h.boundaries_.push_back(values.front());
+  size_t start = 0;
+  for (size_t b = 0; b < bucket_count; ++b) {
+    const size_t end = (b + 1) * n / bucket_count;  // exclusive
+    if (end <= start) continue;
+    // Duplicate runs may produce zero-width (point-mass) buckets whose
+    // boundary equals the previous one; the query paths treat a bucket
+    // with lo == hi as mass concentrated at that value.
+    h.boundaries_.push_back(values[end - 1]);
+    h.depths_.push_back(end - start);
+    start = end;
+  }
+  return h;
+}
+
+double EquiDepthHistogram::SelectivityLeq(double v) const {
+  if (empty()) return 0.0;
+  if (v < boundaries_.front()) return 0.0;
+  if (v >= boundaries_.back()) return 1.0;
+  size_t cumulative = 0;
+  for (size_t b = 0; b < depths_.size(); ++b) {
+    const double lo = boundaries_[b];
+    const double hi = boundaries_[b + 1];
+    if (v < hi) {
+      const double width = hi - lo;
+      const double frac = width > 0.0 ? (v - lo) / width : 1.0;
+      return (static_cast<double>(cumulative) +
+              frac * static_cast<double>(depths_[b])) /
+             static_cast<double>(row_count_);
+    }
+    cumulative += depths_[b];
+  }
+  return 1.0;
+}
+
+double EquiDepthHistogram::SelectivityGeq(double v) const {
+  if (empty()) return 0.0;
+  return Clamp(1.0 - SelectivityLeq(v), 0.0, 1.0);
+}
+
+double EquiDepthHistogram::SelectivityRange(double lo, double hi) const {
+  if (empty() || lo > hi) return 0.0;
+  return Clamp(SelectivityLeq(hi) - SelectivityLeq(lo), 0.0, 1.0);
+}
+
+double EquiDepthHistogram::Quantile(double fraction) const {
+  if (empty()) return 0.0;
+  fraction = Clamp(fraction, 0.0, 1.0);
+  const double target = fraction * static_cast<double>(row_count_);
+  double cumulative = 0.0;
+  for (size_t b = 0; b < depths_.size(); ++b) {
+    const double depth = static_cast<double>(depths_[b]);
+    if (cumulative + depth >= target) {
+      const double lo = boundaries_[b];
+      const double hi = boundaries_[b + 1];
+      const double frac = depth > 0.0 ? (target - cumulative) / depth : 0.0;
+      return lo + frac * (hi - lo);
+    }
+    cumulative += depth;
+  }
+  return boundaries_.back();
+}
+
+}  // namespace ppc

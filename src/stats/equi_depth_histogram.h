@@ -1,0 +1,58 @@
+#ifndef PPC_STATS_EQUI_DEPTH_HISTOGRAM_H_
+#define PPC_STATS_EQUI_DEPTH_HISTOGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ppc {
+
+/// Equi-depth (equi-height) histogram over a numeric column.
+///
+/// This is the statistic the query optimizer uses for selectivity
+/// estimation, and the statistic the PPC framework's normalization step
+/// f : query instance -> [0,1]^r relies on (Sec. II-B of the paper: the
+/// framework "computes the predicate selectivities in the same way that the
+/// query optimizer makes its selectivity estimations").
+class EquiDepthHistogram {
+ public:
+  /// Builds a histogram with (up to) `bucket_count` equal-frequency buckets.
+  /// Values are copied and sorted internally. An empty input produces an
+  /// empty histogram for which all selectivities are 0.
+  static EquiDepthHistogram Build(std::vector<double> values,
+                                  size_t bucket_count);
+
+  /// Fraction of rows with value <= v, with linear interpolation inside the
+  /// containing bucket. Result in [0, 1].
+  double SelectivityLeq(double v) const;
+
+  /// Fraction of rows with value >= v.
+  double SelectivityGeq(double v) const;
+
+  /// Fraction of rows with lo <= value <= hi (0 when lo > hi).
+  double SelectivityRange(double lo, double hi) const;
+
+  /// Inverse of SelectivityLeq: smallest value v with SelectivityLeq(v)
+  /// approximately equal to `fraction` (fraction clamped to [0,1]).
+  /// Used to turn a sampled plan-space coordinate back into a query
+  /// parameter value when generating workload instances.
+  double Quantile(double fraction) const;
+
+  double min() const { return boundaries_.empty() ? 0.0 : boundaries_.front(); }
+  double max() const { return boundaries_.empty() ? 0.0 : boundaries_.back(); }
+  size_t bucket_count() const {
+    return boundaries_.empty() ? 0 : boundaries_.size() - 1;
+  }
+  size_t row_count() const { return row_count_; }
+  bool empty() const { return row_count_ == 0; }
+
+ private:
+  // boundaries_[i], boundaries_[i+1] delimit bucket i; depths_[i] is that
+  // bucket's row count. boundaries_.size() == depths_.size() + 1.
+  std::vector<double> boundaries_;
+  std::vector<size_t> depths_;
+  size_t row_count_ = 0;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_STATS_EQUI_DEPTH_HISTOGRAM_H_

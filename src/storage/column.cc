@@ -1,0 +1,62 @@
+#include "storage/column.h"
+
+#include <cmath>
+
+namespace ppc {
+
+Column::Column(std::string name, ColumnType type)
+    : name_(std::move(name)), type_(type) {}
+
+size_t Column::size() const {
+  return int_backed() ? ints_.size() : doubles_.size();
+}
+
+void Column::AppendInt(int64_t value) {
+  PPC_DCHECK(int_backed());
+  ints_.push_back(value);
+}
+
+void Column::AppendDouble(double value) {
+  PPC_DCHECK(!int_backed());
+  doubles_.push_back(value);
+}
+
+void Column::AppendAsDouble(double value) {
+  if (int_backed()) {
+    ints_.push_back(static_cast<int64_t>(std::llround(value)));
+  } else {
+    doubles_.push_back(value);
+  }
+}
+
+double Column::AsDouble(size_t row) const {
+  if (int_backed()) {
+    PPC_DCHECK(row < ints_.size());
+    return static_cast<double>(ints_[row]);
+  }
+  PPC_DCHECK(row < doubles_.size());
+  return doubles_[row];
+}
+
+int64_t Column::AsInt(size_t row) const {
+  PPC_DCHECK(int_backed());
+  PPC_DCHECK(row < ints_.size());
+  return ints_[row];
+}
+
+void Column::Reserve(size_t rows) {
+  if (int_backed()) {
+    ints_.reserve(rows);
+  } else {
+    doubles_.reserve(rows);
+  }
+}
+
+std::vector<double> Column::ToDoubleVector() const {
+  std::vector<double> out;
+  out.reserve(size());
+  for (size_t i = 0; i < size(); ++i) out.push_back(AsDouble(i));
+  return out;
+}
+
+}  // namespace ppc

@@ -1,0 +1,58 @@
+#ifndef PPC_STORAGE_COLUMN_H_
+#define PPC_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/macros.h"
+
+namespace ppc {
+
+/// In-memory columnar storage for one column of a base table.
+///
+/// Integer and date columns share an int64 representation; doubles are stored
+/// natively. All statistics and predicate evaluation view values through
+/// AsDouble(), which is lossless for the value ranges this library generates.
+class Column {
+ public:
+  Column(std::string name, ColumnType type);
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  size_t size() const;
+
+  /// Appends an integer (also used for dates). Requires an int-backed column.
+  void AppendInt(int64_t value);
+  /// Appends a double. Requires a double-backed column.
+  void AppendDouble(double value);
+  /// Appends a value given as double, converting to the column's storage
+  /// type (ints are rounded toward nearest).
+  void AppendAsDouble(double value);
+
+  /// Returns the value at `row` widened to double.
+  double AsDouble(size_t row) const;
+
+  /// Returns the int representation at `row`. Requires an int-backed column.
+  int64_t AsInt(size_t row) const;
+
+  /// Reserves storage for `rows` values.
+  void Reserve(size_t rows);
+
+  /// Returns all values widened to double (used by statistics builders).
+  std::vector<double> ToDoubleVector() const;
+
+ private:
+  bool int_backed() const { return type_ != ColumnType::kDouble; }
+
+  std::string name_;
+  ColumnType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_STORAGE_COLUMN_H_

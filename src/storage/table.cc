@@ -1,0 +1,36 @@
+#include "storage/table.h"
+
+namespace ppc {
+
+Table::Table(TableDef def) : def_(std::move(def)) {
+  columns_.reserve(def_.columns.size());
+  for (const ColumnDef& col : def_.columns) {
+    columns_.emplace_back(col.name, col.type);
+  }
+}
+
+Result<const Column*> Table::FindColumn(const std::string& name) const {
+  const int idx = def_.ColumnIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("column " + name + " in table " + def_.name);
+  }
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+Status Table::AppendRow(const std::vector<double>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch for table " +
+                                   def_.name);
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    columns_[i].AppendAsDouble(values[i]);
+  }
+  ++row_count_;
+  return Status::OK();
+}
+
+void Table::Reserve(size_t rows) {
+  for (Column& col : columns_) col.Reserve(rows);
+}
+
+}  // namespace ppc

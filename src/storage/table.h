@@ -1,0 +1,49 @@
+#ifndef PPC_STORAGE_TABLE_H_
+#define PPC_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace ppc {
+
+/// In-memory columnar table. Rows are addressed by position; the executor
+/// and statistics builders iterate columns directly.
+class Table {
+ public:
+  explicit Table(TableDef def);
+
+  const TableDef& def() const { return def_; }
+  const std::string& name() const { return def_.name; }
+  size_t row_count() const { return row_count_; }
+  size_t column_count() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+
+  /// Returns the column named `name` or NotFound.
+  Result<const Column*> FindColumn(const std::string& name) const;
+
+  /// Appends one row given as doubles (one per column, converted to each
+  /// column's storage type). Returns InvalidArgument on arity mismatch.
+  Status AppendRow(const std::vector<double>& values);
+
+  /// Reserves storage for `rows` rows across all columns.
+  void Reserve(size_t rows);
+
+  /// Estimated bytes per row for cost-model page computations (8 bytes per
+  /// column in this in-memory representation).
+  size_t RowWidthBytes() const { return columns_.size() * 8; }
+
+ private:
+  TableDef def_;
+  std::vector<Column> columns_;
+  size_t row_count_ = 0;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_STORAGE_TABLE_H_

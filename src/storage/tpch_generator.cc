@@ -1,0 +1,292 @@
+#include "storage/tpch_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.h"
+#include "common/rng.h"
+
+namespace ppc {
+
+namespace {
+
+constexpr size_t kSupplierRows = 10000;
+constexpr size_t kPartRows = 200000;
+constexpr size_t kPartsuppPerPart = 4;
+constexpr size_t kCustomerRows = 150000;
+constexpr size_t kOrdersRows = 1500000;
+constexpr size_t kMaxLinesPerOrder = 7;
+
+/// Scales a base row count, keeping at least a handful of rows so joins
+/// remain meaningful at tiny scale factors.
+size_t Scaled(size_t base, double sf) {
+  return std::max<size_t>(8, static_cast<size_t>(
+                                 std::llround(static_cast<double>(base) * sf)));
+}
+
+double GaussianDate(Rng* rng, const TpchConfig& cfg) {
+  const double d = rng->Gaussian(cfg.date_mean_days, cfg.date_stddev_days);
+  return Clamp(d, 0.0, cfg.date_span_days);
+}
+
+TableDef RegionDef() {
+  return TableDef{
+      "region",
+      {{"r_regionkey", ColumnType::kInt64}, {"r_code", ColumnType::kInt64}},
+      {"r_regionkey"},
+      {}};
+}
+
+TableDef NationDef() {
+  return TableDef{"nation",
+                  {{"n_nationkey", ColumnType::kInt64},
+                   {"n_regionkey", ColumnType::kInt64}},
+                  {"n_nationkey"},
+                  {{"n_regionkey", "region", "r_regionkey"}}};
+}
+
+TableDef SupplierDef() {
+  return TableDef{"supplier",
+                  {{"s_suppkey", ColumnType::kInt64},
+                   {"s_nationkey", ColumnType::kInt64},
+                   {"s_acctbal", ColumnType::kDouble},
+                   {"s_date", ColumnType::kDate}},
+                  {"s_suppkey"},
+                  {{"s_nationkey", "nation", "n_nationkey"}}};
+}
+
+TableDef PartDef() {
+  return TableDef{"part",
+                  {{"p_partkey", ColumnType::kInt64},
+                   {"p_size", ColumnType::kInt64},
+                   {"p_retailprice", ColumnType::kDouble},
+                   {"p_date", ColumnType::kDate}},
+                  {"p_partkey"},
+                  {}};
+}
+
+TableDef PartsuppDef() {
+  return TableDef{"partsupp",
+                  {{"ps_partkey", ColumnType::kInt64},
+                   {"ps_suppkey", ColumnType::kInt64},
+                   {"ps_availqty", ColumnType::kInt64},
+                   {"ps_supplycost", ColumnType::kDouble},
+                   {"ps_date", ColumnType::kDate}},
+                  {"ps_partkey", "ps_suppkey"},
+                  {{"ps_partkey", "part", "p_partkey"},
+                   {"ps_suppkey", "supplier", "s_suppkey"}}};
+}
+
+TableDef CustomerDef() {
+  return TableDef{"customer",
+                  {{"c_custkey", ColumnType::kInt64},
+                   {"c_nationkey", ColumnType::kInt64},
+                   {"c_acctbal", ColumnType::kDouble},
+                   {"c_date", ColumnType::kDate}},
+                  {"c_custkey"},
+                  {{"c_nationkey", "nation", "n_nationkey"}}};
+}
+
+TableDef OrdersDef() {
+  return TableDef{"orders",
+                  {{"o_orderkey", ColumnType::kInt64},
+                   {"o_custkey", ColumnType::kInt64},
+                   {"o_totalprice", ColumnType::kDouble},
+                   {"o_date", ColumnType::kDate}},
+                  {"o_orderkey"},
+                  {{"o_custkey", "customer", "c_custkey"}}};
+}
+
+TableDef LineitemDef() {
+  return TableDef{"lineitem",
+                  {{"l_orderkey", ColumnType::kInt64},
+                   {"l_linenumber", ColumnType::kInt64},
+                   {"l_partkey", ColumnType::kInt64},
+                   {"l_suppkey", ColumnType::kInt64},
+                   {"l_quantity", ColumnType::kInt64},
+                   {"l_extendedprice", ColumnType::kDouble},
+                   {"l_discount", ColumnType::kDouble},
+                   {"l_date", ColumnType::kDate}},
+                  {"l_orderkey", "l_linenumber"},
+                  {{"l_orderkey", "orders", "o_orderkey"},
+                   {"l_partkey", "part", "p_partkey"},
+                   {"l_suppkey", "supplier", "s_suppkey"}}};
+}
+
+}  // namespace
+
+size_t TpchBaseRows(const std::string& table) {
+  if (table == "region") return 5;
+  if (table == "nation") return 25;
+  if (table == "supplier") return kSupplierRows;
+  if (table == "part") return kPartRows;
+  if (table == "partsupp") return kPartRows * kPartsuppPerPart;
+  if (table == "customer") return kCustomerRows;
+  if (table == "orders") return kOrdersRows;
+  if (table == "lineitem") return kOrdersRows * 4;  // ~4 lines per order
+  return 0;
+}
+
+std::unique_ptr<Catalog> BuildTpchCatalog(const TpchConfig& cfg) {
+  auto catalog = std::make_unique<Catalog>();
+  Rng rng(cfg.seed);
+
+  // region / nation: fixed tiny dimension tables.
+  {
+    auto region = std::make_unique<Table>(RegionDef());
+    for (int64_t r = 0; r < 5; ++r) {
+      PPC_CHECK(region
+                    ->AppendRow({static_cast<double>(r),
+                                 static_cast<double>(100 + r)})
+                    .ok());
+    }
+    PPC_CHECK(catalog->AddTable(std::move(region)).ok());
+
+    auto nation = std::make_unique<Table>(NationDef());
+    for (int64_t n = 0; n < 25; ++n) {
+      PPC_CHECK(nation
+                    ->AppendRow({static_cast<double>(n),
+                                 static_cast<double>(n % 5)})
+                    .ok());
+    }
+    PPC_CHECK(catalog->AddTable(std::move(nation)).ok());
+  }
+
+  const size_t suppliers = Scaled(kSupplierRows, cfg.scale_factor);
+  const size_t parts = Scaled(kPartRows, cfg.scale_factor);
+  const size_t customers = Scaled(kCustomerRows, cfg.scale_factor);
+  const size_t orders = Scaled(kOrdersRows, cfg.scale_factor);
+
+  {
+    auto supplier = std::make_unique<Table>(SupplierDef());
+    supplier->Reserve(suppliers);
+    for (size_t i = 1; i <= suppliers; ++i) {
+      PPC_CHECK(supplier
+                    ->AppendRow({static_cast<double>(i),
+                                 static_cast<double>(rng.UniformInt(25)),
+                                 rng.Uniform(-999.99, 9999.99),
+                                 GaussianDate(&rng, cfg)})
+                    .ok());
+    }
+    PPC_CHECK(catalog->AddTable(std::move(supplier)).ok());
+  }
+
+  {
+    auto part = std::make_unique<Table>(PartDef());
+    part->Reserve(parts);
+    for (size_t i = 1; i <= parts; ++i) {
+      PPC_CHECK(part->AppendRow(
+                        {static_cast<double>(i),
+                         static_cast<double>(rng.UniformInt(1, 50)),
+                         900.0 + rng.Uniform() * 1200.0,
+                         GaussianDate(&rng, cfg)})
+                    .ok());
+    }
+    PPC_CHECK(catalog->AddTable(std::move(part)).ok());
+  }
+
+  {
+    auto partsupp = std::make_unique<Table>(PartsuppDef());
+    partsupp->Reserve(parts * kPartsuppPerPart);
+    for (size_t p = 1; p <= parts; ++p) {
+      for (size_t s = 0; s < kPartsuppPerPart; ++s) {
+        const size_t suppkey =
+            1 + (p * kPartsuppPerPart + s) % suppliers;
+        PPC_CHECK(partsupp
+                      ->AppendRow({static_cast<double>(p),
+                                   static_cast<double>(suppkey),
+                                   static_cast<double>(rng.UniformInt(1, 9999)),
+                                   rng.Uniform(1.0, 1000.0),
+                                   GaussianDate(&rng, cfg)})
+                      .ok());
+      }
+    }
+    PPC_CHECK(catalog->AddTable(std::move(partsupp)).ok());
+  }
+
+  {
+    auto customer = std::make_unique<Table>(CustomerDef());
+    customer->Reserve(customers);
+    for (size_t i = 1; i <= customers; ++i) {
+      PPC_CHECK(customer
+                    ->AppendRow({static_cast<double>(i),
+                                 static_cast<double>(rng.UniformInt(25)),
+                                 rng.Uniform(-999.99, 9999.99),
+                                 GaussianDate(&rng, cfg)})
+                    .ok());
+    }
+    PPC_CHECK(catalog->AddTable(std::move(customer)).ok());
+  }
+
+  {
+    auto orders_table = std::make_unique<Table>(OrdersDef());
+    auto lineitem = std::make_unique<Table>(LineitemDef());
+    orders_table->Reserve(orders);
+    lineitem->Reserve(orders * 4);
+    for (size_t o = 1; o <= orders; ++o) {
+      const size_t custkey = 1 + rng.UniformInt(customers);
+      const size_t lines = 1 + rng.UniformInt(kMaxLinesPerOrder);
+      double total = 0.0;
+      const double odate = GaussianDate(&rng, cfg);
+      for (size_t l = 1; l <= lines; ++l) {
+        const size_t partkey = 1 + rng.UniformInt(parts);
+        const size_t suppkey = 1 + rng.UniformInt(suppliers);
+        const int64_t qty = rng.UniformInt(1, 50);
+        const double price =
+            static_cast<double>(qty) * (900.0 + rng.Uniform() * 1200.0);
+        const double discount = rng.Uniform(0.0, 0.10);
+        total += price * (1.0 - discount);
+        // Line dates cluster near the order date (ship-lag days).
+        const double ldate =
+            Clamp(odate + rng.Uniform(0.0, 120.0), 0.0, cfg.date_span_days);
+        PPC_CHECK(lineitem
+                      ->AppendRow({static_cast<double>(o),
+                                   static_cast<double>(l),
+                                   static_cast<double>(partkey),
+                                   static_cast<double>(suppkey),
+                                   static_cast<double>(qty), price, discount,
+                                   ldate})
+                      .ok());
+      }
+      PPC_CHECK(orders_table
+                    ->AppendRow({static_cast<double>(o),
+                                 static_cast<double>(custkey), total, odate})
+                    .ok());
+    }
+    PPC_CHECK(catalog->AddTable(std::move(orders_table)).ok());
+    PPC_CHECK(catalog->AddTable(std::move(lineitem)).ok());
+  }
+
+  // Indexes: primary keys, foreign keys, and the added date columns.
+  const std::vector<IndexDef> indexes = {
+      {"region_pk", "region", "r_regionkey", true},
+      {"nation_pk", "nation", "n_nationkey", true},
+      {"nation_region_fk", "nation", "n_regionkey", false},
+      {"supplier_pk", "supplier", "s_suppkey", true},
+      {"supplier_nation_fk", "supplier", "s_nationkey", false},
+      {"supplier_date", "supplier", "s_date", false},
+      {"part_pk", "part", "p_partkey", true},
+      {"part_date", "part", "p_date", false},
+      {"partsupp_part_fk", "partsupp", "ps_partkey", false},
+      {"partsupp_supp_fk", "partsupp", "ps_suppkey", false},
+      {"partsupp_date", "partsupp", "ps_date", false},
+      {"customer_pk", "customer", "c_custkey", true},
+      {"customer_nation_fk", "customer", "c_nationkey", false},
+      {"customer_date", "customer", "c_date", false},
+      {"orders_pk", "orders", "o_orderkey", true},
+      {"orders_cust_fk", "orders", "o_custkey", false},
+      {"orders_date", "orders", "o_date", false},
+      {"lineitem_order_fk", "lineitem", "l_orderkey", false},
+      {"lineitem_part_fk", "lineitem", "l_partkey", false},
+      {"lineitem_supp_fk", "lineitem", "l_suppkey", false},
+      {"lineitem_date", "lineitem", "l_date", false},
+  };
+  for (const IndexDef& idx : indexes) {
+    PPC_CHECK(catalog->AddIndex(idx).ok());
+  }
+
+  catalog->AnalyzeAll(cfg.histogram_buckets);
+  return catalog;
+}
+
+}  // namespace ppc

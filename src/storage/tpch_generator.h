@@ -1,0 +1,41 @@
+#ifndef PPC_STORAGE_TPCH_GENERATOR_H_
+#define PPC_STORAGE_TPCH_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "catalog/catalog.h"
+
+namespace ppc {
+
+/// Configuration of the synthetic TPC-H-style database (Appendix A of the
+/// paper: "a slightly modified TPC-H schema ... a date column has been added
+/// to each TPC-H table, populated by values following a Gaussian
+/// distribution ... indexes over the primary and foreign key attributes ...
+/// as well as the date columns").
+struct TpchConfig {
+  /// Fraction of the TPC-H SF-1 row counts to materialize. The optimizer
+  /// consumes statistics, so plan-space *shape* is scale-invariant; smaller
+  /// scales keep experiments fast.
+  double scale_factor = 0.002;
+  uint64_t seed = 42;
+  /// Buckets per column histogram when analyzing.
+  size_t histogram_buckets = 64;
+  /// Gaussian parameters of the added date columns, in days over [0, span].
+  double date_span_days = 2557.0;   // 1992-01-01 .. 1998-12-31
+  double date_mean_days = 1278.0;
+  double date_stddev_days = 400.0;
+};
+
+/// Generates the 8-table TPC-H-style catalog with materialized data,
+/// key/foreign-key indexes, indexes on the added Gaussian date columns,
+/// and freshly analyzed statistics.
+std::unique_ptr<Catalog> BuildTpchCatalog(const TpchConfig& config);
+
+/// Row count of `table` at TPC-H scale factor 1 (lineitem is approximate:
+/// orders have a variable number of lines).
+size_t TpchBaseRows(const std::string& table);
+
+}  // namespace ppc
+
+#endif  // PPC_STORAGE_TPCH_GENERATOR_H_

@@ -1,0 +1,98 @@
+#include "workload/plan_diagram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/math_utils.h"
+#include "common/rng.h"
+
+namespace ppc {
+
+size_t PlanDiagramStats::PlansCoveringFraction(double fraction) const {
+  fraction = Clamp(fraction, 0.0, 1.0);
+  const double target = fraction * static_cast<double>(probes);
+  double covered = 0.0;
+  size_t count = 0;
+  for (size_t size : region_sizes) {
+    if (covered >= target) break;
+    covered += static_cast<double>(size);
+    ++count;
+  }
+  return count;
+}
+
+PlanDiagramStats AnalyzePlanSpace(
+    const std::function<PlanId(const std::vector<double>&)>& plan_at,
+    int dims, size_t probes, double neighbor_distance, uint64_t seed) {
+  PPC_CHECK(dims >= 1 && probes >= 1);
+  Rng rng(seed);
+  PlanDiagramStats stats;
+  stats.probes = probes;
+
+  std::map<PlanId, size_t> counts;
+  for (size_t i = 0; i < probes; ++i) {
+    std::vector<double> x(static_cast<size_t>(dims));
+    for (double& v : x) v = rng.Uniform();
+    ++counts[plan_at(x)];
+  }
+  stats.distinct_plans = counts.size();
+
+  stats.region_sizes.reserve(counts.size());
+  for (const auto& [plan, count] : counts) {
+    stats.region_sizes.push_back(count);
+  }
+  std::sort(stats.region_sizes.rbegin(), stats.region_sizes.rend());
+  stats.largest_region_fraction =
+      static_cast<double>(stats.region_sizes.front()) /
+      static_cast<double>(probes);
+
+  // Gini coefficient over region sizes.
+  if (stats.region_sizes.size() > 1) {
+    // With sizes sorted descending, iterate ascending for the standard
+    // formula G = (2 * sum_i i*x_(i) / (n * sum x)) - (n+1)/n.
+    std::vector<size_t> ascending(stats.region_sizes.rbegin(),
+                                  stats.region_sizes.rend());
+    double weighted = 0.0, total = 0.0;
+    for (size_t i = 0; i < ascending.size(); ++i) {
+      weighted += static_cast<double>(i + 1) *
+                  static_cast<double>(ascending[i]);
+      total += static_cast<double>(ascending[i]);
+    }
+    const double n = static_cast<double>(ascending.size());
+    stats.gini = Clamp(2.0 * weighted / (n * total) - (n + 1.0) / n, 0.0,
+                       1.0);
+  }
+
+  // Shannon entropy.
+  for (size_t size : stats.region_sizes) {
+    const double p =
+        static_cast<double>(size) / static_cast<double>(probes);
+    if (p > 0.0) stats.entropy_bits -= p * std::log2(p);
+  }
+
+  // Boundary density: random pairs at the given distance.
+  size_t differing = 0;
+  for (size_t i = 0; i < probes; ++i) {
+    std::vector<double> x(static_cast<size_t>(dims));
+    for (double& v : x) v = rng.Uniform();
+    // Random direction scaled to neighbor_distance.
+    std::vector<double> y(x);
+    double norm = 0.0;
+    std::vector<double> dir(static_cast<size_t>(dims));
+    for (double& v : dir) {
+      v = rng.Gaussian();
+      norm += v * v;
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (size_t d = 0; d < y.size(); ++d) {
+      y[d] = Clamp(x[d] + dir[d] / norm * neighbor_distance, 0.0, 1.0);
+    }
+    if (plan_at(x) != plan_at(y)) ++differing;
+  }
+  stats.boundary_fraction =
+      static_cast<double>(differing) / static_cast<double>(probes);
+  return stats;
+}
+
+}  // namespace ppc

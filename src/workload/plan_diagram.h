@@ -1,0 +1,51 @@
+#ifndef PPC_WORKLOAD_PLAN_DIAGRAM_H_
+#define PPC_WORKLOAD_PLAN_DIAGRAM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "plan/fingerprint.h"
+
+namespace ppc {
+
+/// Complexity metrics of a plan diagram, in the spirit of the Picasso
+/// analyses (Reddy & Haritsa) the paper cites to argue that plan optimality
+/// regions are "very complex, with plans spanning multiple non-contiguous
+/// regions" — the reason centroid clustering fails and density clustering
+/// is needed.
+struct PlanDiagramStats {
+  size_t probes = 0;
+  size_t distinct_plans = 0;
+  /// Area fraction of the single largest optimality region.
+  double largest_region_fraction = 0.0;
+  /// Gini coefficient of region areas in [0,1]: 0 = all plans cover equal
+  /// area, ->1 = one plan dominates with a long tail of slivers.
+  double gini = 0.0;
+  /// Shannon entropy of the plan distribution, in bits.
+  double entropy_bits = 0.0;
+  /// Fraction of random point pairs at distance `neighbor_distance` whose
+  /// optimal plans differ — the measure of boundary density (and the
+  /// complement of the paper's Assumption-1 probability).
+  double boundary_fraction = 0.0;
+
+  /// Plans needed to cover `fraction` of the plan space, smallest set
+  /// first (Picasso's "plan cardinality reduction" viewpoint).
+  size_t PlansCoveringFraction(double fraction) const;
+
+  /// Probe counts per plan, descending.
+  std::vector<size_t> region_sizes;
+};
+
+/// Probes `plan_at` (any oracle mapping a point in [0,1]^dims to a plan id)
+/// at `probes` uniform points plus `probes` neighbor pairs at distance
+/// `neighbor_distance`, and computes the diagram metrics. Deterministic
+/// for a given seed.
+PlanDiagramStats AnalyzePlanSpace(
+    const std::function<PlanId(const std::vector<double>&)>& plan_at,
+    int dims, size_t probes, double neighbor_distance, uint64_t seed);
+
+}  // namespace ppc
+
+#endif  // PPC_WORKLOAD_PLAN_DIAGRAM_H_

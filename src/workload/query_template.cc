@@ -1,0 +1,56 @@
+#include "workload/query_template.h"
+
+#include <sstream>
+
+namespace ppc {
+
+const char* PredicateOpSymbol(PredicateOp op) {
+  switch (op) {
+    case PredicateOp::kLeq:
+      return "<=";
+    case PredicateOp::kGeq:
+      return ">=";
+  }
+  return "?";
+}
+
+int QueryTemplate::TableIndex(const std::string& table) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i] == table) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> QueryTemplate::ParamsOnTable(const std::string& table) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i].table == table) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::string QueryTemplate::ToSql() const {
+  std::ostringstream os;
+  os << "SELECT " << (aggregate ? "COUNT(*)" : "*") << " FROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i) os << ", ";
+    os << tables[i];
+  }
+  os << " WHERE ";
+  bool first = true;
+  for (const JoinEdge& j : joins) {
+    if (!first) os << " AND ";
+    first = false;
+    os << j.left_table << "." << j.left_column << " = " << j.right_table
+       << "." << j.right_column;
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!first) os << " AND ";
+    first = false;
+    os << params[i].table << "." << params[i].column << " "
+       << PredicateOpSymbol(params[i].op) << " $" << i;
+  }
+  return os.str();
+}
+
+}  // namespace ppc

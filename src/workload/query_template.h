@@ -1,0 +1,69 @@
+#ifndef PPC_WORKLOAD_QUERY_TEMPLATE_H_
+#define PPC_WORKLOAD_QUERY_TEMPLATE_H_
+
+#include <string>
+#include <vector>
+
+namespace ppc {
+
+/// Direction of a parameterized range predicate.
+enum class PredicateOp {
+  kLeq,  // column <= $k
+  kGeq,  // column >= $k
+};
+
+const char* PredicateOpSymbol(PredicateOp op);
+
+/// A parameterized range predicate `table.column <= ?` (or `>= ?`). Each
+/// such predicate contributes one optimizer parameter (its selectivity) and
+/// therefore one plan-space dimension (paper Sec. II: explicit template
+/// parameters). The plan-space coordinate is always the predicate's
+/// *selectivity* in [0,1], regardless of direction.
+struct ParamPredicate {
+  std::string table;
+  std::string column;
+  PredicateOp op = PredicateOp::kLeq;
+};
+
+/// An equi-join edge `left_table.left_column = right_table.right_column`.
+struct JoinEdge {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+};
+
+/// A SQL query template: joined tables, join predicates, and parameterized
+/// range predicates (paper Def. 1 context). The parameter degree is
+/// `params.size()`, i.e. the dimensionality r of the plan space.
+struct QueryTemplate {
+  std::string name;
+  std::vector<std::string> tables;
+  std::vector<JoinEdge> joins;
+  std::vector<ParamPredicate> params;
+  /// Whether the query has a final aggregation (count/sum) on top.
+  bool aggregate = true;
+
+  /// Parameter degree r (number of plan-space dimensions).
+  int ParameterDegree() const { return static_cast<int>(params.size()); }
+
+  /// Index of `table` in `tables`, or -1.
+  int TableIndex(const std::string& table) const;
+
+  /// Indices of parameters applying to `table`, in declaration order.
+  std::vector<int> ParamsOnTable(const std::string& table) const;
+
+  /// SQL-ish rendering for documentation and examples.
+  std::string ToSql() const;
+};
+
+/// An instantiation of a query template: one concrete value per explicit
+/// parameter (paper Def. 1). Values are in the column's native domain.
+struct QueryInstance {
+  std::string template_name;
+  std::vector<double> param_values;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_WORKLOAD_QUERY_TEMPLATE_H_

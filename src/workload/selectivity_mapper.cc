@@ -1,0 +1,66 @@
+#include "workload/selectivity_mapper.h"
+
+#include "common/math_utils.h"
+
+namespace ppc {
+
+SelectivityMapper::SelectivityMapper(const Catalog* catalog,
+                                     const QueryTemplate* tmpl)
+    : catalog_(catalog), tmpl_(tmpl) {
+  PPC_CHECK(catalog != nullptr && tmpl != nullptr);
+}
+
+Status SelectivityMapper::Validate() const {
+  for (const ParamPredicate& param : tmpl_->params) {
+    PPC_ASSIGN_OR_RETURN(const ColumnStats* stats,
+                         catalog_->GetColumnStats(param.table, param.column));
+    if (stats->row_count == 0) {
+      return Status::InvalidArgument("no statistics rows for " + param.table +
+                                     "." + param.column);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<double>> SelectivityMapper::ToPlanSpacePoint(
+    const QueryInstance& instance) const {
+  if (instance.param_values.size() != tmpl_->params.size()) {
+    return Status::InvalidArgument("instance arity mismatch for " +
+                                   tmpl_->name);
+  }
+  std::vector<double> point;
+  point.reserve(tmpl_->params.size());
+  for (size_t i = 0; i < tmpl_->params.size(); ++i) {
+    const ParamPredicate& param = tmpl_->params[i];
+    PPC_ASSIGN_OR_RETURN(const ColumnStats* stats,
+                         catalog_->GetColumnStats(param.table, param.column));
+    const double leq = stats->SelectivityLeq(instance.param_values[i]);
+    point.push_back(param.op == PredicateOp::kLeq
+                        ? leq
+                        : Clamp(1.0 - leq, 0.0, 1.0));
+  }
+  return point;
+}
+
+Result<QueryInstance> SelectivityMapper::ToInstance(
+    const std::vector<double>& plan_space_point) const {
+  if (plan_space_point.size() != tmpl_->params.size()) {
+    return Status::InvalidArgument("plan-space point arity mismatch for " +
+                                   tmpl_->name);
+  }
+  QueryInstance instance;
+  instance.template_name = tmpl_->name;
+  instance.param_values.reserve(tmpl_->params.size());
+  for (size_t i = 0; i < tmpl_->params.size(); ++i) {
+    const ParamPredicate& param = tmpl_->params[i];
+    PPC_ASSIGN_OR_RETURN(const ColumnStats* stats,
+                         catalog_->GetColumnStats(param.table, param.column));
+    const double s = Clamp(plan_space_point[i], 0.0, 1.0);
+    // For `col >= v`, selectivity s corresponds to the (1-s) quantile.
+    instance.param_values.push_back(stats->ValueAtSelectivity(
+        param.op == PredicateOp::kLeq ? s : 1.0 - s));
+  }
+  return instance;
+}
+
+}  // namespace ppc

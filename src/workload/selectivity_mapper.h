@@ -1,0 +1,46 @@
+#ifndef PPC_WORKLOAD_SELECTIVITY_MAPPER_H_
+#define PPC_WORKLOAD_SELECTIVITY_MAPPER_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "workload/query_template.h"
+
+namespace ppc {
+
+/// The paper's normalization pre-step f : query instance -> [0,1]^r
+/// (Sec. II-A): maps a query instance's explicit parameter values to the
+/// selectivities of its parameterized predicates, "in the same way that the
+/// query optimizer makes its selectivity estimations" — i.e. through the
+/// catalog's column histograms.
+///
+/// Also provides the inverse (selectivity -> parameter value), used by the
+/// workload generators to produce instances at chosen plan-space points.
+class SelectivityMapper {
+ public:
+  /// Borrows both; the catalog and template must outlive the mapper.
+  SelectivityMapper(const Catalog* catalog, const QueryTemplate* tmpl);
+
+  /// Validates that every parameterized column has statistics.
+  Status Validate() const;
+
+  /// f(instance): one selectivity per template parameter, each in [0, 1].
+  Result<std::vector<double>> ToPlanSpacePoint(
+      const QueryInstance& instance) const;
+
+  /// f^{-1}: parameter values realizing the given plan-space point
+  /// (each coordinate clamped to [0, 1]).
+  Result<QueryInstance> ToInstance(
+      const std::vector<double>& plan_space_point) const;
+
+  const QueryTemplate& tmpl() const { return *tmpl_; }
+
+ private:
+  const Catalog* catalog_;
+  const QueryTemplate* tmpl_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_WORKLOAD_SELECTIVITY_MAPPER_H_

@@ -1,0 +1,238 @@
+#include "workload/template_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace ppc {
+
+namespace {
+
+/// A minimal recursive-descent tokenizer/parser for the template dialect.
+class Parser {
+ public:
+  explicit Parser(const std::string& sql) : sql_(sql) {}
+
+  Result<QueryTemplate> Parse(const Catalog* catalog, std::string name) {
+    QueryTemplate tmpl;
+    tmpl.name = std::move(name);
+
+    PPC_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    SkipSpace();
+    if (ConsumeKeyword("COUNT")) {
+      PPC_RETURN_NOT_OK(ExpectLiteral("("));
+      PPC_RETURN_NOT_OK(ExpectLiteral("*"));
+      PPC_RETURN_NOT_OK(ExpectLiteral(")"));
+      tmpl.aggregate = true;
+    } else if (ConsumeLiteral("*")) {
+      tmpl.aggregate = false;
+    } else {
+      return Error("expected COUNT(*) or * in select list");
+    }
+
+    PPC_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    for (;;) {
+      PPC_ASSIGN_OR_RETURN(std::string table, ParseIdentifier());
+      tmpl.tables.push_back(std::move(table));
+      SkipSpace();
+      if (!ConsumeLiteral(",")) break;
+    }
+
+    SkipSpace();
+    if (!AtEnd()) {
+      PPC_RETURN_NOT_OK(ExpectKeyword("WHERE"));
+      for (;;) {
+        PPC_RETURN_NOT_OK(ParseConjunct(&tmpl));
+        SkipSpace();
+        if (AtEnd()) break;
+        PPC_RETURN_NOT_OK(ExpectKeyword("AND"));
+      }
+    }
+
+    PPC_RETURN_NOT_OK(Validate(tmpl, catalog));
+    return tmpl;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("template parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= sql_.size();
+  }
+
+  void SkipSpace() {
+    while (pos_ < sql_.size() &&
+           std::isspace(static_cast<unsigned char>(sql_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  /// Case-insensitively consumes `word` if it appears next (no word-char
+  /// may follow, so "ANDx" does not match AND).
+  bool ConsumeKeyword(const std::string& word) {
+    SkipSpace();
+    if (pos_ + word.size() > sql_.size()) return false;
+    for (size_t i = 0; i < word.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(sql_[pos_ + i])) !=
+          std::toupper(static_cast<unsigned char>(word[i]))) {
+        return false;
+      }
+    }
+    const size_t after = pos_ + word.size();
+    if (after < sql_.size() &&
+        (std::isalnum(static_cast<unsigned char>(sql_[after])) ||
+         sql_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+
+  Status ExpectKeyword(const std::string& word) {
+    if (!ConsumeKeyword(word)) return Error("expected " + word);
+    return Status::OK();
+  }
+
+  /// Consumes a literal token (punctuation or exact text), skipping
+  /// leading whitespace.
+  bool ConsumeLiteral(const std::string& text) {
+    SkipSpace();
+    if (sql_.compare(pos_, text.size(), text) == 0) {
+      // For alphabetic literals require a word boundary.
+      if (std::isalpha(static_cast<unsigned char>(text[0]))) {
+        const size_t after = pos_ + text.size();
+        if (after < sql_.size() &&
+            (std::isalnum(static_cast<unsigned char>(sql_[after])) ||
+             sql_[after] == '_')) {
+          return false;
+        }
+      }
+      pos_ += text.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectLiteral(const std::string& text) {
+    if (!ConsumeLiteral(text)) return Error("expected '" + text + "'");
+    return Status::OK();
+  }
+
+  Result<std::string> ParseIdentifier() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < sql_.size() &&
+           (std::isalnum(static_cast<unsigned char>(sql_[pos_])) ||
+            sql_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected identifier");
+    return sql_.substr(start, pos_ - start);
+  }
+
+  /// table.column
+  Result<std::pair<std::string, std::string>> ParseColumnRef() {
+    PPC_ASSIGN_OR_RETURN(std::string table, ParseIdentifier());
+    PPC_RETURN_NOT_OK(ExpectLiteral("."));
+    PPC_ASSIGN_OR_RETURN(std::string column, ParseIdentifier());
+    return std::make_pair(std::move(table), std::move(column));
+  }
+
+  Status ParseConjunct(QueryTemplate* tmpl) {
+    PPC_ASSIGN_OR_RETURN(auto left, ParseColumnRef());
+    SkipSpace();
+    PredicateOp op = PredicateOp::kLeq;
+    bool is_param = false;
+    if (ConsumeLiteral("<=")) {
+      is_param = true;
+      op = PredicateOp::kLeq;
+    } else if (ConsumeLiteral(">=")) {
+      is_param = true;
+      op = PredicateOp::kGeq;
+    }
+    if (is_param) {
+      SkipSpace();
+      if (!ConsumeLiteral("$")) return Error("expected $k parameter");
+      PPC_ASSIGN_OR_RETURN(std::string number, ParseIdentifier());
+      size_t index = 0;
+      for (char c : number) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          return Error("parameter index must be numeric");
+        }
+        index = index * 10 + static_cast<size_t>(c - '0');
+      }
+      if (index != tmpl->params.size()) {
+        return Error("parameters must be numbered densely in order ($" +
+                     std::to_string(tmpl->params.size()) + " expected, $" +
+                     number + " found)");
+      }
+      tmpl->params.push_back({left.first, left.second, op});
+      return Status::OK();
+    }
+    if (ConsumeLiteral("=")) {
+      PPC_ASSIGN_OR_RETURN(auto right, ParseColumnRef());
+      tmpl->joins.push_back(
+          {left.first, left.second, right.first, right.second});
+      return Status::OK();
+    }
+    return Error("expected '=' (join) or '<=' (parameter) after column");
+  }
+
+  Status Validate(const QueryTemplate& tmpl, const Catalog* catalog) const {
+    auto known_table = [&](const std::string& table) {
+      return tmpl.TableIndex(table) >= 0;
+    };
+    for (const JoinEdge& join : tmpl.joins) {
+      if (!known_table(join.left_table) || !known_table(join.right_table)) {
+        return Status::InvalidArgument(
+            "join references a table absent from FROM");
+      }
+    }
+    for (const ParamPredicate& param : tmpl.params) {
+      if (!known_table(param.table)) {
+        return Status::InvalidArgument(
+            "parameter references a table absent from FROM: " + param.table);
+      }
+    }
+    if (catalog != nullptr) {
+      for (const std::string& table : tmpl.tables) {
+        PPC_ASSIGN_OR_RETURN(const Table* t, catalog->GetTable(table));
+        (void)t;
+      }
+      auto check_column = [&](const std::string& table,
+                              const std::string& column) -> Status {
+        PPC_ASSIGN_OR_RETURN(const Table* t, catalog->GetTable(table));
+        if (t->def().ColumnIndex(column) < 0) {
+          return Status::NotFound("column " + table + "." + column);
+        }
+        return Status::OK();
+      };
+      for (const JoinEdge& join : tmpl.joins) {
+        PPC_RETURN_NOT_OK(check_column(join.left_table, join.left_column));
+        PPC_RETURN_NOT_OK(check_column(join.right_table, join.right_column));
+      }
+      for (const ParamPredicate& param : tmpl.params) {
+        PPC_RETURN_NOT_OK(check_column(param.table, param.column));
+      }
+    }
+    return Status::OK();
+  }
+
+  const std::string& sql_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryTemplate> ParseQueryTemplate(const std::string& sql,
+                                         const Catalog* catalog,
+                                         std::string name) {
+  Parser parser(sql);
+  return parser.Parse(catalog, std::move(name));
+}
+
+}  // namespace ppc

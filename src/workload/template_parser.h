@@ -1,0 +1,34 @@
+#ifndef PPC_WORKLOAD_TEMPLATE_PARSER_H_
+#define PPC_WORKLOAD_TEMPLATE_PARSER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "workload/query_template.h"
+
+namespace ppc {
+
+/// Parses the SQL dialect query templates are written in:
+///
+///   SELECT COUNT(*) | *
+///   FROM table [, table ...]
+///   [WHERE conjunct [AND conjunct ...]]
+///
+/// where each conjunct is either an equi-join `t1.c1 = t2.c2` or a
+/// parameterized range predicate `t.c <= $k`. Parameter placeholders must
+/// be numbered densely from $0 in order of first appearance ($k may repeat
+/// only if referring to the same predicate). `COUNT(*)` selects an
+/// aggregating template, `*` a non-aggregating one.
+///
+/// This is the inverse of QueryTemplate::ToSql(): for every well-formed
+/// template, Parse(tmpl.ToSql()) == tmpl.
+///
+/// If `catalog` is non-null, tables and columns are validated against it.
+Result<QueryTemplate> ParseQueryTemplate(const std::string& sql,
+                                         const Catalog* catalog = nullptr,
+                                         std::string name = "parsed");
+
+}  // namespace ppc
+
+#endif  // PPC_WORKLOAD_TEMPLATE_PARSER_H_

@@ -1,0 +1,136 @@
+#include "workload/templates.h"
+
+#include "common/macros.h"
+
+namespace ppc {
+
+std::vector<QueryTemplate> EvaluationTemplates() {
+  std::vector<QueryTemplate> templates;
+
+  // Q0: lineitem x part, degree 2.
+  templates.push_back(QueryTemplate{
+      "Q0",
+      {"lineitem", "part"},
+      {{"lineitem", "l_partkey", "part", "p_partkey"}},
+      {{"lineitem", "l_partkey"}, {"part", "p_retailprice"}},
+      /*aggregate=*/true});
+
+  // Q1: supplier x lineitem, degree 2 — the paper's running example with
+  // predicates on s_date and l_partkey (Fig. 2).
+  templates.push_back(QueryTemplate{
+      "Q1",
+      {"supplier", "lineitem"},
+      {{"supplier", "s_suppkey", "lineitem", "l_suppkey"}},
+      {{"supplier", "s_date"}, {"lineitem", "l_partkey"}},
+      /*aggregate=*/true});
+
+  // Q2: orders x lineitem, degree 2.
+  templates.push_back(QueryTemplate{
+      "Q2",
+      {"orders", "lineitem"},
+      {{"orders", "o_orderkey", "lineitem", "l_orderkey"}},
+      {{"orders", "o_date"}, {"lineitem", "l_quantity"}},
+      /*aggregate=*/true});
+
+  // Q3: customer x orders x lineitem, degree 3.
+  templates.push_back(QueryTemplate{
+      "Q3",
+      {"customer", "orders", "lineitem"},
+      {{"customer", "c_custkey", "orders", "o_custkey"},
+       {"orders", "o_orderkey", "lineitem", "l_orderkey"}},
+      {{"customer", "c_acctbal"},
+       {"orders", "o_date"},
+       {"lineitem", "l_date"}},
+      /*aggregate=*/true});
+
+  // Q4: part x partsupp x supplier, degree 3.
+  templates.push_back(QueryTemplate{
+      "Q4",
+      {"part", "partsupp", "supplier"},
+      {{"part", "p_partkey", "partsupp", "ps_partkey"},
+       {"partsupp", "ps_suppkey", "supplier", "s_suppkey"}},
+      {{"part", "p_size"},
+       {"partsupp", "ps_supplycost"},
+       {"supplier", "s_acctbal"}},
+      /*aggregate=*/true});
+
+  // Q5: customer x orders x lineitem x supplier, degree 4.
+  templates.push_back(QueryTemplate{
+      "Q5",
+      {"customer", "orders", "lineitem", "supplier"},
+      {{"customer", "c_custkey", "orders", "o_custkey"},
+       {"orders", "o_orderkey", "lineitem", "l_orderkey"},
+       {"lineitem", "l_suppkey", "supplier", "s_suppkey"}},
+      {{"customer", "c_date"},
+       {"orders", "o_totalprice"},
+       {"lineitem", "l_date"},
+       {"supplier", "s_acctbal"}},
+      /*aggregate=*/true});
+
+  // Q6: part x partsupp x lineitem x orders, degree 4.
+  templates.push_back(QueryTemplate{
+      "Q6",
+      {"part", "partsupp", "lineitem", "orders"},
+      {{"part", "p_partkey", "partsupp", "ps_partkey"},
+       {"partsupp", "ps_partkey", "lineitem", "l_partkey"},
+       {"lineitem", "l_orderkey", "orders", "o_orderkey"}},
+      {{"part", "p_retailprice"},
+       {"partsupp", "ps_availqty"},
+       {"lineitem", "l_quantity"},
+       {"orders", "o_date"}},
+      /*aggregate=*/true});
+
+  // Q7: customer x orders x lineitem x part x supplier, degree 5.
+  templates.push_back(QueryTemplate{
+      "Q7",
+      {"customer", "orders", "lineitem", "part", "supplier"},
+      {{"customer", "c_custkey", "orders", "o_custkey"},
+       {"orders", "o_orderkey", "lineitem", "l_orderkey"},
+       {"lineitem", "l_partkey", "part", "p_partkey"},
+       {"lineitem", "l_suppkey", "supplier", "s_suppkey"}},
+      {{"customer", "c_acctbal"},
+       {"orders", "o_date"},
+       {"lineitem", "l_date"},
+       {"part", "p_size"},
+       {"supplier", "s_date"}},
+      /*aggregate=*/true});
+
+  // Q8: six tables, degree 6.
+  templates.push_back(QueryTemplate{
+      "Q8",
+      {"customer", "orders", "lineitem", "part", "supplier", "partsupp"},
+      {{"customer", "c_custkey", "orders", "o_custkey"},
+       {"orders", "o_orderkey", "lineitem", "l_orderkey"},
+       {"lineitem", "l_partkey", "part", "p_partkey"},
+       {"lineitem", "l_suppkey", "supplier", "s_suppkey"},
+       {"part", "p_partkey", "partsupp", "ps_partkey"}},
+      {{"customer", "c_acctbal"},
+       {"orders", "o_date"},
+       {"lineitem", "l_date"},
+       {"part", "p_size"},
+       {"supplier", "s_date"},
+       {"partsupp", "ps_supplycost"}},
+      /*aggregate=*/true});
+
+  return templates;
+}
+
+QueryTemplate MixedPredicateTemplate() {
+  return QueryTemplate{
+      "QMixed",
+      {"orders", "lineitem"},
+      {{"orders", "o_orderkey", "lineitem", "l_orderkey"}},
+      {{"orders", "o_date", PredicateOp::kGeq},
+       {"lineitem", "l_quantity", PredicateOp::kLeq}},
+      /*aggregate=*/true};
+}
+
+QueryTemplate EvaluationTemplate(const std::string& name) {
+  for (QueryTemplate& tmpl : EvaluationTemplates()) {
+    if (tmpl.name == name) return std::move(tmpl);
+  }
+  PPC_CHECK_MSG(false, ("unknown evaluation template " + name).c_str());
+  return QueryTemplate{};
+}
+
+}  // namespace ppc

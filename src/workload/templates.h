@@ -1,0 +1,28 @@
+#ifndef PPC_WORKLOAD_TEMPLATES_H_
+#define PPC_WORKLOAD_TEMPLATES_H_
+
+#include <vector>
+
+#include "workload/query_template.h"
+
+namespace ppc {
+
+/// The nine evaluation query templates Q0..Q8 over the modified TPC-H
+/// schema (our analogue of the paper's Table III). Parameter degrees range
+/// from 2 to 6, matching the paper's experimental setup. All parameterized
+/// predicates are upper-bound range predicates `column <= $i` whose
+/// selectivities span the plan space.
+std::vector<QueryTemplate> EvaluationTemplates();
+
+/// Returns the template named `name` ("Q0".."Q8"); aborts on unknown names
+/// (evaluation code passes compile-time-known names).
+QueryTemplate EvaluationTemplate(const std::string& name);
+
+/// A template mixing predicate directions (`o_date >= $0` selects recent
+/// orders, `l_quantity <= $1` small lineitems) — exercises the kGeq path
+/// through normalization, optimization and execution.
+QueryTemplate MixedPredicateTemplate();
+
+}  // namespace ppc
+
+#endif  // PPC_WORKLOAD_TEMPLATES_H_

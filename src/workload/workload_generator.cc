@@ -1,0 +1,85 @@
+#include "workload/workload_generator.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "common/math_utils.h"
+
+namespace ppc {
+
+std::vector<std::vector<double>> UniformPlanSpaceSample(int dimensions,
+                                                        size_t count,
+                                                        Rng* rng) {
+  PPC_CHECK(dimensions >= 1 && rng != nullptr);
+  std::vector<std::vector<double>> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<double> point(static_cast<size_t>(dimensions));
+    for (double& x : point) x = rng->Uniform();
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<std::vector<double>> RandomTrajectoriesWorkload(
+    const TrajectoryConfig& config, Rng* rng) {
+  PPC_CHECK(config.dimensions >= 1 && config.trajectory_count >= 1 &&
+            rng != nullptr);
+  const size_t dims = static_cast<size_t>(config.dimensions);
+  std::vector<std::vector<double>> points;
+  points.reserve(config.total_points);
+
+  const size_t per_trajectory =
+      (config.total_points + config.trajectory_count - 1) /
+      config.trajectory_count;
+
+  for (size_t t = 0;
+       t < config.trajectory_count && points.size() < config.total_points;
+       ++t) {
+    // Random start and a random (renormalized) heading.
+    std::vector<double> cursor(dims);
+    std::vector<double> heading(dims);
+    for (double& x : cursor) x = rng->Uniform();
+    double norm = 0.0;
+    for (double& h : heading) {
+      h = rng->Gaussian();
+      norm += h * h;
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (double& h : heading) h /= norm;
+
+    for (size_t i = 0;
+         i < per_trajectory && points.size() < config.total_points; ++i) {
+      // Emit a point Gaussian-scattered around the cursor.
+      std::vector<double> point(dims);
+      for (size_t d = 0; d < dims; ++d) {
+        point[d] = Clamp(cursor[d] + rng->Gaussian(0.0, config.scatter),
+                         0.0, 1.0);
+      }
+      points.push_back(std::move(point));
+
+      // Advance the cursor; reflect off the plan-space boundary and jitter
+      // the heading slightly so trajectories curve.
+      for (size_t d = 0; d < dims; ++d) {
+        cursor[d] += heading[d] * config.step;
+        if (cursor[d] < 0.0) {
+          cursor[d] = -cursor[d];
+          heading[d] = -heading[d];
+        } else if (cursor[d] > 1.0) {
+          cursor[d] = 2.0 - cursor[d];
+          heading[d] = -heading[d];
+        }
+      }
+      double hnorm = 0.0;
+      for (double& h : heading) {
+        h += rng->Gaussian(0.0, 0.1);
+        hnorm += h * h;
+      }
+      hnorm = std::sqrt(std::max(hnorm, 1e-12));
+      for (double& h : heading) h /= hnorm;
+    }
+  }
+  return points;
+}
+
+}  // namespace ppc

@@ -1,0 +1,45 @@
+#ifndef PPC_WORKLOAD_WORKLOAD_GENERATOR_H_
+#define PPC_WORKLOAD_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ppc {
+
+/// Generators for the two experimental workflows of paper Sec. V: the
+/// *offline* workflow samples plan-space points uniformly; the *online*
+/// workflow ("random trajectories") moves a cursor along random
+/// trajectories through the plan space and emits points Gaussian-scattered
+/// around it.
+
+/// Uniformly samples `count` points from [0,1]^dimensions.
+std::vector<std::vector<double>> UniformPlanSpaceSample(int dimensions,
+                                                        size_t count,
+                                                        Rng* rng);
+
+/// Configuration of the random-trajectories workload (Sec. V intro: "a
+/// cursor is moved along 10 independent, randomly produced trajectories
+/// over the plan space. The test points are selected such that their
+/// distance to the cursor follows a Gaussian distribution with mu = 0 and
+/// sigma = r_d").
+struct TrajectoryConfig {
+  int dimensions = 2;
+  size_t total_points = 1000;
+  size_t trajectory_count = 10;
+  /// Gaussian scatter radius r_d, enumerated over {0.01, 0.02, 0.04, 0.08}
+  /// in the paper's experiments.
+  double scatter = 0.01;
+  /// Cursor step length per emitted point.
+  double step = 0.02;
+};
+
+/// Generates a random-trajectories workload: `total_points` plan-space
+/// points in [0,1]^dimensions distributed over `trajectory_count`
+/// independent random walks.
+std::vector<std::vector<double>> RandomTrajectoriesWorkload(
+    const TrajectoryConfig& config, Rng* rng);
+
+}  // namespace ppc
+
+#endif  // PPC_WORKLOAD_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,28 @@
+#include "workload/workload_history.h"
+
+#include <algorithm>
+
+namespace ppc {
+
+std::vector<const WorkloadEntry*> WorkloadHistory::ForTemplate(
+    const std::string& template_name) const {
+  std::vector<const WorkloadEntry*> out;
+  for (const WorkloadEntry& entry : entries_) {
+    if (entry.template_name == template_name) out.push_back(&entry);
+  }
+  return out;
+}
+
+std::vector<PlanId> WorkloadHistory::DistinctPlans(
+    const std::string& template_name) const {
+  std::vector<PlanId> plans;
+  for (const WorkloadEntry& entry : entries_) {
+    if (entry.template_name != template_name) continue;
+    if (std::find(plans.begin(), plans.end(), entry.plan_id) == plans.end()) {
+      plans.push_back(entry.plan_id);
+    }
+  }
+  return plans;
+}
+
+}  // namespace ppc

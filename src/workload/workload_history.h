@@ -1,0 +1,46 @@
+#ifndef PPC_WORKLOAD_WORKLOAD_HISTORY_H_
+#define PPC_WORKLOAD_WORKLOAD_HISTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/fingerprint.h"
+
+namespace ppc {
+
+/// One executed query in the workload history (paper Def. 3: a tuple from
+/// Q x Phi x P x R+ — template, instance, plan, execution cost). We record
+/// the plan-space point alongside the raw instance values since every
+/// consumer works in plan-space coordinates.
+struct WorkloadEntry {
+  std::string template_name;
+  std::vector<double> param_values;
+  std::vector<double> plan_space_point;
+  PlanId plan_id = kNullPlanId;
+  double execution_cost = 0.0;
+};
+
+/// An append-only record of executed query instances, their chosen plans
+/// and execution costs (paper Def. 3).
+class WorkloadHistory {
+ public:
+  void Append(WorkloadEntry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<WorkloadEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entries belonging to one query template, in execution order.
+  std::vector<const WorkloadEntry*> ForTemplate(
+      const std::string& template_name) const;
+
+  /// Distinct plan ids observed for one template.
+  std::vector<PlanId> DistinctPlans(const std::string& template_name) const;
+
+ private:
+  std::vector<WorkloadEntry> entries_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_WORKLOAD_WORKLOAD_HISTORY_H_

@@ -1,0 +1,99 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace ppc {
+namespace {
+
+std::unique_ptr<Table> MakeTable(const std::string& name, int rows) {
+  TableDef def{name,
+               {{"k", ColumnType::kInt64}, {"v", ColumnType::kDouble}},
+               {"k"},
+               {}};
+  auto table = std::make_unique<Table>(def);
+  for (int i = 0; i < rows; ++i) {
+    EXPECT_TRUE(
+        table->AppendRow({static_cast<double>(i), i * 0.5}).ok());
+  }
+  return table;
+}
+
+TEST(CatalogTest, AddAndGetTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeTable("t1", 10)).ok());
+  ASSERT_TRUE(catalog.GetTable("t1").ok());
+  EXPECT_EQ(catalog.GetTable("t1").value()->row_count(), 10u);
+  EXPECT_EQ(catalog.TableRows("t1"), 10u);
+  EXPECT_EQ(catalog.TableRows("absent"), 0u);
+}
+
+TEST(CatalogTest, DuplicateTableRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeTable("t1", 1)).ok());
+  EXPECT_EQ(catalog.AddTable(MakeTable("t1", 1)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, GetMissingTableFails) {
+  Catalog catalog;
+  EXPECT_EQ(catalog.GetTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, AddIndexValidatesTableAndColumn) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeTable("t1", 5)).ok());
+  EXPECT_TRUE(catalog.AddIndex({"i1", "t1", "k", true}).ok());
+  EXPECT_EQ(catalog.AddIndex({"i2", "zzz", "k", false}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog.AddIndex({"i3", "t1", "zzz", false}).code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(catalog.HasIndex("t1", "k"));
+  EXPECT_FALSE(catalog.HasIndex("t1", "v"));
+}
+
+TEST(CatalogTest, AnalyzeComputesStats) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeTable("t1", 100)).ok());
+  EXPECT_FALSE(catalog.GetColumnStats("t1", "k").ok());  // not analyzed yet
+  catalog.AnalyzeAll(8);
+  auto stats = catalog.GetColumnStats("t1", "k");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value()->row_count, 100u);
+  EXPECT_EQ(stats.value()->distinct_count, 100u);
+  EXPECT_EQ(stats.value()->min, 0.0);
+  EXPECT_EQ(stats.value()->max, 99.0);
+}
+
+TEST(CatalogTest, StatsForMissingColumnFail) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeTable("t1", 10)).ok());
+  catalog.AnalyzeAll();
+  EXPECT_FALSE(catalog.GetColumnStats("t1", "zzz").ok());
+  EXPECT_FALSE(catalog.GetColumnStats("zzz", "k").ok());
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeTable("bb", 1)).ok());
+  ASSERT_TRUE(catalog.AddTable(MakeTable("aa", 1)).ok());
+  const std::vector<std::string> names = catalog.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "aa");
+  EXPECT_EQ(names[1], "bb");
+}
+
+TEST(ColumnStatsTest, SelectivityAndQuantileConsistent) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(MakeTable("t1", 1000)).ok());
+  catalog.AnalyzeAll(32);
+  const ColumnStats& stats = *catalog.GetColumnStats("t1", "k").value();
+  for (double f : {0.1, 0.5, 0.9}) {
+    const double v = stats.ValueAtSelectivity(f);
+    EXPECT_NEAR(stats.SelectivityLeq(v), f, 0.02) << "f=" << f;
+  }
+}
+
+}  // namespace
+}  // namespace ppc

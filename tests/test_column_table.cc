@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "storage/column.h"
+#include "storage/table.h"
+
+namespace ppc {
+namespace {
+
+TEST(ColumnTest, IntColumnRoundTrip) {
+  Column col("c", ColumnType::kInt64);
+  col.AppendInt(5);
+  col.AppendInt(-3);
+  EXPECT_EQ(col.size(), 2u);
+  EXPECT_EQ(col.AsInt(0), 5);
+  EXPECT_EQ(col.AsInt(1), -3);
+  EXPECT_EQ(col.AsDouble(1), -3.0);
+}
+
+TEST(ColumnTest, DoubleColumnRoundTrip) {
+  Column col("c", ColumnType::kDouble);
+  col.AppendDouble(1.5);
+  EXPECT_EQ(col.AsDouble(0), 1.5);
+}
+
+TEST(ColumnTest, DateColumnIsIntBacked) {
+  Column col("d", ColumnType::kDate);
+  col.AppendInt(1000);
+  EXPECT_EQ(col.AsInt(0), 1000);
+  EXPECT_EQ(col.AsDouble(0), 1000.0);
+}
+
+TEST(ColumnTest, AppendAsDoubleRoundsIntegers) {
+  Column col("c", ColumnType::kInt64);
+  col.AppendAsDouble(2.7);
+  EXPECT_EQ(col.AsInt(0), 3);
+  Column dcol("d", ColumnType::kDouble);
+  dcol.AppendAsDouble(2.7);
+  EXPECT_EQ(dcol.AsDouble(0), 2.7);
+}
+
+TEST(ColumnTest, ToDoubleVector) {
+  Column col("c", ColumnType::kInt64);
+  for (int i = 0; i < 5; ++i) col.AppendInt(i);
+  const std::vector<double> v = col.ToDoubleVector();
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[3], 3.0);
+}
+
+TableDef TwoColumnDef() {
+  return TableDef{"t",
+                  {{"a", ColumnType::kInt64}, {"b", ColumnType::kDouble}},
+                  {"a"},
+                  {}};
+}
+
+TEST(TableTest, AppendRowAndRead) {
+  Table table(TwoColumnDef());
+  ASSERT_TRUE(table.AppendRow({1.0, 2.5}).ok());
+  ASSERT_TRUE(table.AppendRow({2.0, 3.5}).ok());
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.column(0).AsInt(1), 2);
+  EXPECT_EQ(table.column(1).AsDouble(0), 2.5);
+}
+
+TEST(TableTest, AppendRowArityMismatchFails) {
+  Table table(TwoColumnDef());
+  const Status s = table.AppendRow({1.0});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.row_count(), 0u);
+}
+
+TEST(TableTest, FindColumn) {
+  Table table(TwoColumnDef());
+  ASSERT_TRUE(table.FindColumn("b").ok());
+  EXPECT_EQ(table.FindColumn("b").value()->name(), "b");
+  EXPECT_EQ(table.FindColumn("zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableTest, RowWidthBytes) {
+  Table table(TwoColumnDef());
+  EXPECT_EQ(table.RowWidthBytes(), 16u);
+}
+
+TEST(TableDefTest, ColumnIndex) {
+  const TableDef def = TwoColumnDef();
+  EXPECT_EQ(def.ColumnIndex("a"), 0);
+  EXPECT_EQ(def.ColumnIndex("b"), 1);
+  EXPECT_EQ(def.ColumnIndex("c"), -1);
+}
+
+TEST(SchemaTest, ColumnTypeNames) {
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kInt64), "INT64");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kDouble), "DOUBLE");
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kDate), "DATE");
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,82 @@
+#include "clustering/confidence.h"
+
+#include <gtest/gtest.h>
+
+namespace ppc {
+namespace {
+
+TEST(ConfidenceTest, PureRegionIsFullConfidence) {
+  EXPECT_EQ(ConfidenceFromCounts(10.0, 0.0), 1.0);
+  EXPECT_EQ(ConfidenceFromCounts(1.0, 0.0), 1.0);
+}
+
+TEST(ConfidenceTest, NoSupportIsZero) {
+  EXPECT_EQ(ConfidenceFromCounts(0.0, 0.0), 0.0);
+  EXPECT_EQ(ConfidenceFromCounts(0.0, 5.0), 0.0);
+}
+
+TEST(ConfidenceTest, MinorityMajorityIsZero) {
+  // When max_count < other_count the centre lies on the wrong side of any
+  // chord; prediction is unsafe.
+  EXPECT_EQ(ConfidenceFromCounts(3.0, 7.0), 0.0);
+}
+
+TEST(ConfidenceTest, BalancedCountsGiveZeroConfidence) {
+  // Equal areas put the chord through the centre: theta = 0.
+  EXPECT_NEAR(ConfidenceFromCounts(10.0, 10.0), 0.0, 1e-6);
+}
+
+TEST(ConfidenceTest, MonotoneInDominance) {
+  double prev = 0.0;
+  for (double ratio : {1.5, 2.0, 4.0, 10.0, 100.0}) {
+    const double c = ConfidenceFromCounts(ratio, 1.0);
+    EXPECT_GT(c, prev) << "ratio=" << ratio;
+    prev = c;
+  }
+  EXPECT_GT(prev, 0.9);  // 100:1 dominance ~ full confidence
+}
+
+TEST(ConfidenceTest, ValuesInUnitInterval) {
+  for (double max_count : {1.0, 2.0, 5.0, 50.0}) {
+    for (double other : {0.0, 0.5, 1.0, 3.0, 100.0}) {
+      const double c = ConfidenceFromCounts(max_count, other);
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1.0);
+    }
+  }
+}
+
+TEST(ConfidenceTest, GeometricInterpretation) {
+  // With minority fraction f, the chord distance h satisfies
+  // segment_area(h) = f * pi. For a 3:1 split (f = 0.25) the chord sits at
+  // h ~ 0.404 on the unit circle.
+  EXPECT_NEAR(ConfidenceFromCounts(3.0, 1.0), 0.4040, 0.001);
+  // 9:1 split (f = 0.1): h ~ 0.6870.
+  EXPECT_NEAR(ConfidenceFromCounts(9.0, 1.0), 0.6870, 0.001);
+}
+
+TEST(ConfidenceTest, TotalRatioFormMatchesCountsForm) {
+  // Algorithm 1 computes ratio = total / density[max].
+  for (double max_count : {2.0, 5.0, 10.0}) {
+    for (double other : {0.0, 1.0, 4.0}) {
+      if (max_count < other) continue;
+      const double total = max_count + other;
+      EXPECT_NEAR(ConfidenceFromTotalRatio(total / max_count),
+                  ConfidenceFromCounts(max_count, other), 1e-9);
+    }
+  }
+}
+
+TEST(ConfidenceTest, TotalRatioBelowOneIsInvalid) {
+  EXPECT_EQ(ConfidenceFromTotalRatio(0.5), 0.0);
+}
+
+TEST(ConfidenceTest, FractionalCountsSupported) {
+  // Histogram range queries return fractional counts.
+  const double c = ConfidenceFromCounts(2.5, 0.7);
+  EXPECT_GT(c, 0.0);
+  EXPECT_LT(c, 1.0);
+}
+
+}  // namespace
+}  // namespace ppc

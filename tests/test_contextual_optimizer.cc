@@ -1,0 +1,116 @@
+#include "optimizer/contextual_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+#include "workload/templates.h"
+
+namespace ppc {
+namespace {
+
+using testutil::SmallTpch;
+
+class ContextualOptimizerTest : public ::testing::Test {
+ protected:
+  ContextualOptimizerTest() : optimizer_(&SmallTpch()) {}
+  ContextualOptimizer optimizer_;
+};
+
+TEST_F(ContextualOptimizerTest, ContextInterpolatesCostModel) {
+  CostModelParams base;
+  const CostModelParams resident = SystemContext{0.0}.Apply(base);
+  const CostModelParams disk = SystemContext{1.0}.Apply(base);
+  EXPECT_LT(resident.random_page_cost, disk.random_page_cost);
+  EXPECT_LT(resident.hash_build_cost_per_row, disk.hash_build_cost_per_row);
+  EXPECT_LT(resident.seq_page_cost, disk.seq_page_cost);
+  // Disk-bound context reproduces the base I/O ratio.
+  EXPECT_NEAR(disk.random_page_cost, base.random_page_cost, 1e-9);
+  EXPECT_NEAR(disk.seq_page_cost, base.seq_page_cost, 1e-9);
+}
+
+TEST_F(ContextualOptimizerTest, ContextClamped) {
+  CostModelParams base;
+  const CostModelParams below = SystemContext{-0.5}.Apply(base);
+  const CostModelParams zero = SystemContext{0.0}.Apply(base);
+  EXPECT_EQ(below.random_page_cost, zero.random_page_cost);
+}
+
+TEST_F(ContextualOptimizerTest, MidpointBetweenAnchors) {
+  CostModelParams base;
+  const CostModelParams mid = SystemContext{0.5}.Apply(base);
+  EXPECT_GT(mid.random_page_cost, SystemContext{0.0}.Apply(base).random_page_cost);
+  EXPECT_LT(mid.random_page_cost, SystemContext{1.0}.Apply(base).random_page_cost);
+}
+
+TEST_F(ContextualOptimizerTest, PlanChoiceDependsOnContext) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q5");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  // At some selectivity point the optimal plan should differ between the
+  // memory-resident and disk-bound regimes.
+  Rng rng(5);
+  int differing = 0, total = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> sel(4);
+    for (double& v : sel) v = rng.Uniform();
+    auto resident = optimizer_.Optimize(prep, sel, SystemContext{0.0});
+    auto disk = optimizer_.Optimize(prep, sel, SystemContext{1.0});
+    ASSERT_TRUE(resident.ok() && disk.ok());
+    ++total;
+    if (resident.value().plan_id != disk.value().plan_id) ++differing;
+  }
+  EXPECT_GT(differing, total / 4)
+      << "context must move plan boundaries for the extension to matter";
+}
+
+TEST_F(ContextualOptimizerTest, ExtendedPointSplitsContext) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto via_extended =
+      optimizer_.OptimizeExtended(prep, {0.4, 0.6, 0.3}).value();
+  auto direct =
+      optimizer_.Optimize(prep, {0.4, 0.6}, SystemContext{0.3}).value();
+  EXPECT_EQ(via_extended.plan_id, direct.plan_id);
+  EXPECT_EQ(via_extended.estimated_cost, direct.estimated_cost);
+}
+
+TEST_F(ContextualOptimizerTest, ExtendedPointArityChecked) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  EXPECT_FALSE(optimizer_.OptimizeExtended(prep, {0.4, 0.6}).ok());
+  EXPECT_FALSE(
+      optimizer_.OptimizeExtended(prep, {0.4, 0.6, 0.3, 0.1}).ok());
+}
+
+TEST_F(ContextualOptimizerTest, CostAtExtendedReplaysUnderContext) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto opt = optimizer_.OptimizeExtended(prep, {0.4, 0.6, 0.8}).value();
+  const double same_context =
+      optimizer_.CostAtExtended(prep, *opt.plan, {0.4, 0.6, 0.8}).value();
+  EXPECT_NEAR(same_context, opt.estimated_cost, opt.estimated_cost * 1e-9);
+  // The same plan priced in a different context costs differently.
+  const double other_context =
+      optimizer_.CostAtExtended(prep, *opt.plan, {0.4, 0.6, 0.0}).value();
+  EXPECT_NE(same_context, other_context);
+}
+
+TEST_F(ContextualOptimizerTest, ContextIsOptimalInItsOwnRegime) {
+  // The plan chosen under context c must be no more expensive at c than
+  // the plan chosen under a different context, replayed at c.
+  const QueryTemplate tmpl = EvaluationTemplate("Q5");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  const std::vector<double> sel = {0.5, 0.5, 0.5, 0.5};
+  auto resident = optimizer_.Optimize(prep, sel, SystemContext{0.0}).value();
+  auto disk = optimizer_.Optimize(prep, sel, SystemContext{1.0}).value();
+  std::vector<double> extended = sel;
+  extended.push_back(0.0);
+  const double resident_cost_of_disk_plan =
+      optimizer_.CostAtExtended(prep, *disk.plan, extended).value();
+  EXPECT_GE(resident_cost_of_disk_plan,
+            resident.estimated_cost * (1.0 - 1e-9));
+}
+
+}  // namespace
+}  // namespace ppc

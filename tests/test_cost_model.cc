@@ -1,0 +1,138 @@
+#include "optimizer/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ppc {
+namespace {
+
+TEST(CostModelTest, PagesRoundUpAndFloorAtOne) {
+  CostModel cm;
+  EXPECT_EQ(cm.Pages(1.0, 8.0), 1.0);
+  EXPECT_EQ(cm.Pages(1024.0, 8.0), 1.0);
+  EXPECT_EQ(cm.Pages(1025.0, 8.0), 2.0);
+  EXPECT_EQ(cm.Pages(0.0, 64.0), 1.0);
+}
+
+TEST(CostModelTest, SeqScanGrowsWithRows) {
+  CostModel cm;
+  const double small = cm.SeqScanCost(1000.0, 64.0, 1);
+  const double large = cm.SeqScanCost(100000.0, 64.0, 1);
+  EXPECT_GT(large, small * 50.0);
+}
+
+TEST(CostModelTest, SeqScanGrowsWithPredicates) {
+  CostModel cm;
+  EXPECT_GT(cm.SeqScanCost(10000.0, 64.0, 5),
+            cm.SeqScanCost(10000.0, 64.0, 0));
+}
+
+TEST(CostModelTest, IndexScanMonotoneInSelectivity) {
+  CostModel cm;
+  double prev = cm.IndexScanCost(100000.0, 64.0, 0.0001, 0);
+  for (double sel : {0.001, 0.01, 0.1, 0.5, 1.0}) {
+    const double cost = cm.IndexScanCost(100000.0, 64.0, sel, 0);
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(CostModelTest, IndexBeatsSeqScanOnlyAtLowSelectivity) {
+  CostModel cm;
+  const double rows = 100000.0, width = 64.0;
+  const double seq = cm.SeqScanCost(rows, width, 1);
+  EXPECT_LT(cm.IndexScanCost(rows, width, 0.0001, 0), seq);
+  EXPECT_GT(cm.IndexScanCost(rows, width, 0.9, 0), seq);
+}
+
+TEST(CostModelTest, IndexSeqCrossoverExists) {
+  // There must be a selectivity where the best access path flips — this is
+  // what creates access-path boundaries in plan diagrams.
+  CostModel cm;
+  const double rows = 50000.0, width = 64.0;
+  const double seq = cm.SeqScanCost(rows, width, 1);
+  bool index_wins_somewhere = false, seq_wins_somewhere = false;
+  for (double sel = 1e-5; sel <= 1.0; sel *= 2.0) {
+    if (cm.IndexScanCost(rows, width, sel, 0) < seq) {
+      index_wins_somewhere = true;
+    } else {
+      seq_wins_somewhere = true;
+    }
+  }
+  EXPECT_TRUE(index_wins_somewhere);
+  EXPECT_TRUE(seq_wins_somewhere);
+}
+
+TEST(CostModelTest, HashJoinLinearInInputs) {
+  CostModel cm;
+  const double base = cm.HashJoinCost(1000.0, 1000.0);
+  EXPECT_NEAR(cm.HashJoinCost(2000.0, 2000.0), 2.0 * base, base * 0.01);
+}
+
+TEST(CostModelTest, BlockNestedLoopSuperLinear) {
+  CostModel cm;
+  const double small = cm.BlockNestedLoopCost(1000.0, 1000.0, 64.0);
+  const double large = cm.BlockNestedLoopCost(10000.0, 10000.0, 64.0);
+  EXPECT_GT(large, small * 50.0);  // ~quadratic CPU term dominates
+}
+
+TEST(CostModelTest, HashBeatsBnlOnLargeInputs) {
+  CostModel cm;
+  EXPECT_LT(cm.HashJoinCost(50000.0, 50000.0),
+            cm.BlockNestedLoopCost(50000.0, 50000.0, 64.0));
+}
+
+TEST(CostModelTest, IndexNestedLoopWinsForTinyOuter) {
+  CostModel cm;
+  const double inner_rows = 100000.0, width = 64.0;
+  // 3 outer rows: 3 probes beat building a hash table on 100k rows
+  // (which also requires scanning the inner: add its seq-scan cost).
+  const double inl = cm.IndexNestedLoopCost(3.0, inner_rows, width, 1.0);
+  const double hash = cm.SeqScanCost(inner_rows, width, 0) +
+                      cm.HashJoinCost(3.0, inner_rows);
+  EXPECT_LT(inl, hash);
+}
+
+TEST(CostModelTest, HashWinsForLargeOuter) {
+  CostModel cm;
+  const double inner_rows = 100000.0, width = 64.0;
+  const double inl =
+      cm.IndexNestedLoopCost(50000.0, inner_rows, width, 1.0);
+  const double hash = cm.SeqScanCost(inner_rows, width, 0) +
+                      cm.HashJoinCost(50000.0, inner_rows);
+  EXPECT_GT(inl, hash);
+}
+
+TEST(CostModelTest, SortMergeIncludesSortCost) {
+  CostModel cm;
+  const double merge_only = cm.SortMergeCost(1.0, 1.0);
+  const double with_sort = cm.SortMergeCost(100000.0, 100000.0);
+  EXPECT_GT(with_sort, merge_only);
+  // n log n growth: doubling input grows cost by more than 2x the linear
+  // part alone would.
+  EXPECT_GT(cm.SortMergeCost(200000.0, 200000.0), 2.0 * with_sort);
+}
+
+TEST(CostModelTest, AggregateLinear) {
+  CostModel cm;
+  EXPECT_NEAR(cm.AggregateCost(2000.0), 2.0 * cm.AggregateCost(1000.0),
+              1e-9);
+}
+
+TEST(CostModelTest, CostsNonNegative) {
+  CostModel cm;
+  EXPECT_GE(cm.IndexScanCost(100.0, 8.0, 0.0, 0), 0.0);
+  EXPECT_GE(cm.SortMergeCost(0.0, 0.0), 0.0);
+  EXPECT_GE(cm.IndexProbeCost(100.0, 8.0, 0.0), 0.0);
+}
+
+TEST(CostModelTest, ParamsArePropagated) {
+  CostModelParams params;
+  params.seq_page_cost = 100.0;
+  CostModel expensive(params);
+  CostModel cheap;
+  EXPECT_GT(expensive.SeqScanCost(10000.0, 64.0, 0),
+            cheap.SeqScanCost(10000.0, 64.0, 0));
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,123 @@
+#include "stats/equi_depth_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppc {
+namespace {
+
+std::vector<double> Sequence(int n) {
+  std::vector<double> v;
+  for (int i = 0; i < n; ++i) v.push_back(static_cast<double>(i));
+  return v;
+}
+
+TEST(EquiDepthHistogramTest, EmptyInput) {
+  auto h = EquiDepthHistogram::Build({}, 8);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.SelectivityLeq(1.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(EquiDepthHistogramTest, SelectivityAtBounds) {
+  auto h = EquiDepthHistogram::Build(Sequence(100), 10);
+  EXPECT_EQ(h.SelectivityLeq(-1.0), 0.0);
+  EXPECT_EQ(h.SelectivityLeq(99.0), 1.0);
+  EXPECT_EQ(h.SelectivityLeq(1000.0), 1.0);
+}
+
+TEST(EquiDepthHistogramTest, UniformSelectivityIsLinear) {
+  auto h = EquiDepthHistogram::Build(Sequence(1000), 16);
+  for (double v : {100.0, 250.0, 500.0, 900.0}) {
+    EXPECT_NEAR(h.SelectivityLeq(v), v / 999.0, 0.02) << v;
+  }
+}
+
+TEST(EquiDepthHistogramTest, SelectivityMonotone) {
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) values.push_back(rng.Gaussian(50.0, 15.0));
+  auto h = EquiDepthHistogram::Build(values, 12);
+  double prev = -1.0;
+  for (double v = 0.0; v <= 100.0; v += 1.0) {
+    const double s = h.SelectivityLeq(v);
+    EXPECT_GE(s, prev - 1e-12);
+    prev = s;
+  }
+}
+
+TEST(EquiDepthHistogramTest, GeqIsComplement) {
+  auto h = EquiDepthHistogram::Build(Sequence(100), 8);
+  for (double v : {10.0, 50.0, 90.0}) {
+    EXPECT_NEAR(h.SelectivityLeq(v) + h.SelectivityGeq(v), 1.0, 1e-9);
+  }
+}
+
+TEST(EquiDepthHistogramTest, RangeSelectivity) {
+  auto h = EquiDepthHistogram::Build(Sequence(1000), 16);
+  EXPECT_NEAR(h.SelectivityRange(250.0, 750.0), 0.5, 0.03);
+  EXPECT_EQ(h.SelectivityRange(700.0, 300.0), 0.0);  // inverted range
+  EXPECT_NEAR(h.SelectivityRange(-100.0, 2000.0), 1.0, 1e-9);
+}
+
+TEST(EquiDepthHistogramTest, QuantileRoundTrip) {
+  auto h = EquiDepthHistogram::Build(Sequence(1000), 20);
+  for (double f : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const double v = h.Quantile(f);
+    EXPECT_NEAR(h.SelectivityLeq(v), f, 0.02) << "f=" << f;
+  }
+}
+
+TEST(EquiDepthHistogramTest, QuantileClampsFraction) {
+  auto h = EquiDepthHistogram::Build(Sequence(100), 8);
+  EXPECT_EQ(h.Quantile(-0.5), h.Quantile(0.0));
+  EXPECT_EQ(h.Quantile(1.5), h.Quantile(1.0));
+  EXPECT_EQ(h.Quantile(1.0), 99.0);
+}
+
+TEST(EquiDepthHistogramTest, HeavyDuplicatesDoNotBreakBuild) {
+  std::vector<double> values(500, 7.0);
+  for (int i = 0; i < 100; ++i) values.push_back(10.0 + i);
+  auto h = EquiDepthHistogram::Build(values, 10);
+  EXPECT_EQ(h.row_count(), 600u);
+  // ~83% of values are <= 7.
+  EXPECT_NEAR(h.SelectivityLeq(7.0), 500.0 / 600.0, 0.1);
+  EXPECT_EQ(h.SelectivityLeq(200.0), 1.0);
+}
+
+TEST(EquiDepthHistogramTest, AllValuesIdentical) {
+  std::vector<double> values(100, 42.0);
+  auto h = EquiDepthHistogram::Build(values, 8);
+  EXPECT_EQ(h.SelectivityLeq(41.0), 0.0);
+  EXPECT_EQ(h.SelectivityLeq(42.0), 1.0);
+  EXPECT_EQ(h.Quantile(0.5), 42.0);
+}
+
+TEST(EquiDepthHistogramTest, SkewedDataBucketsAdapt) {
+  // Equi-depth buckets should be narrow where data is dense.
+  Rng rng(9);
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) values.push_back(rng.Uniform(0.0, 1.0));
+  for (int i = 0; i < 100; ++i) values.push_back(rng.Uniform(1.0, 100.0));
+  auto h = EquiDepthHistogram::Build(values, 10);
+  // 90% of mass below 1.0.
+  EXPECT_NEAR(h.SelectivityLeq(1.0), 0.9, 0.03);
+  // Median well inside the dense region.
+  EXPECT_LT(h.Quantile(0.5), 1.0);
+}
+
+TEST(EquiDepthHistogramTest, BucketCountRespectsRequest) {
+  auto h = EquiDepthHistogram::Build(Sequence(1000), 16);
+  EXPECT_LE(h.bucket_count(), 17u);
+  EXPECT_GE(h.bucket_count(), 8u);
+}
+
+TEST(EquiDepthHistogramTest, MinMax) {
+  auto h = EquiDepthHistogram::Build({5.0, 1.0, 9.0, 3.0}, 4);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 9.0);
+}
+
+}  // namespace
+}  // namespace ppc

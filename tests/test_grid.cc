@@ -1,0 +1,101 @@
+#include "lsh/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ppc {
+namespace {
+
+TEST(PlanGridTest, InsertAndQueryContainingCell) {
+  PlanGrid grid(2, 10, 0.0, 1.0);
+  grid.Insert({0.55, 0.55}, 1, 10.0);
+  grid.Insert({0.56, 0.56}, 1, 20.0);
+  // Query box exactly covering the containing cell [0.5,0.6]^2.
+  auto result = grid.QueryBox({0.55, 0.55}, 0.05);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_NEAR(result[1].count, 2.0, 1e-9);
+  EXPECT_NEAR(result[1].AverageCost(), 15.0, 1e-9);
+}
+
+TEST(PlanGridTest, QueryFarAwayIsEmpty) {
+  PlanGrid grid(2, 10, 0.0, 1.0);
+  grid.Insert({0.1, 0.1}, 1, 1.0);
+  EXPECT_TRUE(grid.QueryBox({0.9, 0.9}, 0.05).empty());
+}
+
+TEST(PlanGridTest, PartialOverlapScalesContribution) {
+  PlanGrid grid(1, 10, 0.0, 1.0);
+  for (int i = 0; i < 100; ++i) grid.Insert({0.55}, 7, 1.0);
+  // Query covering half of cell [0.5, 0.6).
+  auto result = grid.QueryBox({0.5}, 0.05);
+  ASSERT_EQ(result.count(7), 1u);
+  EXPECT_NEAR(result[7].count, 50.0, 1e-6);
+}
+
+TEST(PlanGridTest, MultiplePlansSeparated) {
+  PlanGrid grid(2, 10, 0.0, 1.0);
+  for (int i = 0; i < 10; ++i) {
+    grid.Insert({0.25, 0.25}, 1, 5.0);
+    grid.Insert({0.75, 0.75}, 2, 50.0);
+  }
+  auto near1 = grid.QueryBox({0.25, 0.25}, 0.04);
+  EXPECT_EQ(near1.count(1), 1u);
+  EXPECT_EQ(near1.count(2), 0u);
+  auto both = grid.QueryBox({0.5, 0.5}, 0.45);
+  EXPECT_EQ(both.count(1), 1u);
+  EXPECT_EQ(both.count(2), 1u);
+}
+
+TEST(PlanGridTest, MassConservedOverFullDomain) {
+  PlanGrid grid(3, 8, 0.0, 1.0);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    grid.Insert({rng.Uniform(), rng.Uniform(), rng.Uniform()},
+                1 + rng.UniformInt(uint64_t{3}), 1.0);
+  }
+  auto all = grid.QueryBox({0.5, 0.5, 0.5}, 0.5);
+  double total = 0.0;
+  for (const auto& [plan, agg] : all) total += agg.count;
+  EXPECT_NEAR(total, 500.0, 1e-6);
+}
+
+TEST(PlanGridTest, NonUnitDomain) {
+  PlanGrid grid(2, 16, -2.0, 4.0);
+  grid.Insert({-1.0, 1.0}, 9, 3.0);
+  auto result = grid.QueryBox({-1.0, 1.0}, 0.2);
+  ASSERT_EQ(result.count(9), 1u);
+  EXPECT_GT(result[9].count, 0.5);
+}
+
+TEST(PlanGridTest, OutOfDomainCoordinatesClampToEdgeCells) {
+  PlanGrid grid(1, 10, 0.0, 1.0);
+  grid.Insert({5.0}, 1, 1.0);
+  grid.Insert({-5.0}, 2, 1.0);
+  EXPECT_EQ(grid.QueryBox({0.95}, 0.04).count(1), 1u);
+  EXPECT_EQ(grid.QueryBox({0.05}, 0.04).count(2), 1u);
+}
+
+TEST(PlanGridTest, SpaceAccountingFollowsTableOne) {
+  PlanGrid grid(2, 10, 0.0, 1.0);
+  EXPECT_EQ(grid.total_cells(), 100u);
+  EXPECT_EQ(grid.SpaceBytes(), 0u);  // no plans yet
+  grid.Insert({0.5, 0.5}, 1, 1.0);
+  EXPECT_EQ(grid.SpaceBytes(), 100u * 8u);
+  grid.Insert({0.5, 0.5}, 2, 1.0);
+  EXPECT_EQ(grid.SpaceBytes(), 2u * 100u * 8u);
+  EXPECT_EQ(grid.plan_count(), 2u);
+  EXPECT_EQ(grid.total_count(), 2u);
+}
+
+TEST(PlanGridTest, CostSumsAggregatePerPlan) {
+  PlanGrid grid(1, 4, 0.0, 1.0);
+  grid.Insert({0.1}, 1, 10.0);
+  grid.Insert({0.12}, 1, 30.0);
+  auto result = grid.QueryBox({0.125}, 0.125);
+  EXPECT_NEAR(result[1].cost_sum, 40.0, 1e-9);
+  EXPECT_NEAR(result[1].AverageCost(), 20.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,183 @@
+// Cross-module integration properties, parameterized over all nine
+// evaluation templates: the invariants the whole PPC premise rests on,
+// checked end to end through catalog -> stats -> optimizer -> evaluator ->
+// predictor.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "exec/execution_simulator.h"
+#include "optimizer/plan_evaluator.h"
+#include "ppc/ppc_framework.h"
+#include "test_util.h"
+#include "workload/selectivity_mapper.h"
+#include "workload/templates.h"
+#include "workload/workload_generator.h"
+
+namespace ppc {
+namespace {
+
+using testutil::SmallTpch;
+
+class TemplateIntegrationTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  TemplateIntegrationTest()
+      : optimizer_(&SmallTpch()), tmpl_(EvaluationTemplate(GetParam())) {
+    auto prep = optimizer_.Prepare(tmpl_);
+    PPC_CHECK(prep.ok());
+    prep_ = std::move(prep).value();
+  }
+
+  std::vector<double> RandomPoint(Rng* rng) const {
+    std::vector<double> point(static_cast<size_t>(tmpl_.ParameterDegree()));
+    for (double& v : point) v = rng->Uniform();
+    return point;
+  }
+
+  Optimizer optimizer_;
+  QueryTemplate tmpl_;
+  PreparedTemplate prep_;
+};
+
+TEST_P(TemplateIntegrationTest, OptimalityInvariant) {
+  // The plan chosen at x must be the cheapest (up to the fuzz factor)
+  // among all plans chosen anywhere, replayed at x. This is the exact
+  // property the plan space (Def. 2) encodes.
+  Rng rng(101);
+  std::vector<std::pair<PlanId, std::unique_ptr<PlanNode>>> pool;
+  std::set<PlanId> seen;
+  for (int i = 0; i < 30; ++i) {
+    auto opt = optimizer_.Optimize(prep_, RandomPoint(&rng)).value();
+    if (seen.insert(opt.plan_id).second) {
+      pool.emplace_back(opt.plan_id, std::move(opt.plan));
+    }
+  }
+  const double fuzz = optimizer_.options().cost_fuzz;
+  for (int i = 0; i < 10; ++i) {
+    const auto x = RandomPoint(&rng);
+    auto optimal = optimizer_.Optimize(prep_, x).value();
+    for (const auto& [plan_id, plan] : pool) {
+      const double replayed =
+          EvaluatePlanAtPoint(prep_, optimizer_.cost_model(), *plan, x)
+              .value()
+              .cost;
+      EXPECT_GE(replayed * fuzz, optimal.estimated_cost * (1.0 - 1e-9))
+          << GetParam() << " plan " << plan_id;
+    }
+  }
+}
+
+TEST_P(TemplateIntegrationTest, FingerprintIdentityIsConsistent) {
+  // Identical plan ids imply identical canonical structure; distinct ids
+  // imply distinct structure.
+  Rng rng(103);
+  std::map<PlanId, std::string> canon;
+  for (int i = 0; i < 40; ++i) {
+    auto opt = optimizer_.Optimize(prep_, RandomPoint(&rng)).value();
+    const std::string repr = CanonicalPlanString(*opt.plan);
+    auto [it, inserted] = canon.emplace(opt.plan_id, repr);
+    if (!inserted) {
+      EXPECT_EQ(it->second, repr) << GetParam();
+    }
+  }
+  std::set<std::string> distinct;
+  for (const auto& [id, repr] : canon) {
+    EXPECT_TRUE(distinct.insert(repr).second)
+        << GetParam() << ": two plan ids share one structure";
+  }
+}
+
+TEST_P(TemplateIntegrationTest, SelectivityRoundTripThroughInstances) {
+  SelectivityMapper mapper(&SmallTpch(), &tmpl_);
+  ASSERT_TRUE(mapper.Validate().ok());
+  Rng rng(107);
+  for (int i = 0; i < 20; ++i) {
+    const auto point = RandomPoint(&rng);
+    auto instance = mapper.ToInstance(point).value();
+    auto back = mapper.ToPlanSpacePoint(instance).value();
+    for (size_t d = 0; d < point.size(); ++d) {
+      EXPECT_NEAR(back[d], point[d], 0.05)
+          << GetParam() << " dim " << d;
+    }
+  }
+}
+
+TEST_P(TemplateIntegrationTest, SimulatorNoiseIsMultiplicative) {
+  ExecutionSimulator::Options options;
+  options.noise_stddev = 0.1;
+  options.seed = 17;
+  ExecutionSimulator noisy(&optimizer_.cost_model(), options);
+  ExecutionSimulator exact(&optimizer_.cost_model());
+  Rng rng(109);
+  const auto x = RandomPoint(&rng);
+  auto opt = optimizer_.Optimize(prep_, x).value();
+  const double base = exact.Execute(prep_, *opt.plan, x).value();
+  double log_sum = 0.0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const double cost = noisy.Execute(prep_, *opt.plan, x).value();
+    EXPECT_GT(cost, 0.0);
+    log_sum += std::log(cost / base);
+  }
+  // ln(noise) ~ N(0, 0.1^2): the mean log-ratio is near 0.
+  EXPECT_NEAR(log_sum / n, 0.0, 0.03) << GetParam();
+}
+
+TEST_P(TemplateIntegrationTest, FrameworkServesTemplateEndToEnd) {
+  PpcFramework::Config config;
+  config.online.predictor.transform_count = 5;
+  config.online.predictor.histogram_buckets = 40;
+  config.online.predictor.radius = 0.2;
+  config.online.predictor.confidence_threshold = 0.8;
+  config.online.predictor.noise_fraction = 0.0005;
+  PpcFramework framework(&SmallTpch(), config);
+  ASSERT_TRUE(framework.RegisterTemplate(tmpl_).ok());
+
+  TrajectoryConfig traj;
+  traj.dimensions = tmpl_.ParameterDegree();
+  traj.total_points = 150;
+  traj.scatter = 0.01;
+  Rng rng(113);
+  size_t predictions = 0;
+  for (const auto& x : RandomTrajectoriesWorkload(traj, &rng)) {
+    auto report = framework.ExecuteAtPoint(tmpl_.name, x);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_NE(report.value().executed_plan, kNullPlanId);
+    EXPECT_GT(report.value().execution_cost, 0.0);
+    if (report.value().used_prediction) ++predictions;
+  }
+  // Every template must reach a working steady state on a tight
+  // trajectory (even the 6-dimensional one).
+  EXPECT_GT(predictions, 10u) << GetParam();
+}
+
+TEST_P(TemplateIntegrationTest, PredictorPipelineIsDeterministic) {
+  // catalog -> optimizer -> predictor, twice, must agree bit-for-bit.
+  auto run = [&](uint64_t seed) {
+    LshHistogramsPredictor::Config cfg;
+    cfg.dimensions = tmpl_.ParameterDegree();
+    cfg.transform_count = 3;
+    cfg.histogram_buckets = 20;
+    cfg.radius = 0.2;
+    cfg.confidence_threshold = 0.5;
+    cfg.seed = seed;
+    LshHistogramsPredictor predictor(cfg);
+    Rng rng(127);
+    for (int i = 0; i < 100; ++i) {
+      const auto x = RandomPoint(&rng);
+      auto opt = optimizer_.Optimize(prep_, x).value();
+      predictor.Insert({x, opt.plan_id, opt.estimated_cost});
+    }
+    return predictor.Serialize();
+  };
+  EXPECT_EQ(run(7), run(7)) << GetParam();
+  EXPECT_NE(run(7), run(8)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, TemplateIntegrationTest,
+                         ::testing::Values("Q0", "Q1", "Q2", "Q3", "Q4",
+                                           "Q5", "Q6", "Q7", "Q8"));
+
+}  // namespace
+}  // namespace ppc

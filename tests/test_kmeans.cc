@@ -1,0 +1,110 @@
+#include "clustering/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+
+namespace ppc {
+namespace {
+
+std::vector<std::vector<double>> TwoBlobs(Rng* rng, int per_blob) {
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < per_blob; ++i) {
+    points.push_back({rng->Gaussian(0.2, 0.02), rng->Gaussian(0.2, 0.02)});
+    points.push_back({rng->Gaussian(0.8, 0.02), rng->Gaussian(0.8, 0.02)});
+  }
+  return points;
+}
+
+TEST(KMeansTest, EmptyInput) {
+  Rng rng(1);
+  auto result = KMeans({}, 3, &rng);
+  EXPECT_TRUE(result.centroids.empty());
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+TEST(KMeansTest, ZeroClustersRequested) {
+  Rng rng(1);
+  auto result = KMeans({{0.5, 0.5}}, 0, &rng);
+  EXPECT_TRUE(result.centroids.empty());
+}
+
+TEST(KMeansTest, FindsTwoSeparatedBlobs) {
+  Rng rng(3);
+  auto points = TwoBlobs(&rng, 100);
+  auto result = KMeans(points, 2, &rng);
+  ASSERT_EQ(result.centroids.size(), 2u);
+  // One centroid near (0.2, 0.2), the other near (0.8, 0.8).
+  const bool first_low = result.centroids[0][0] < 0.5;
+  const auto& low = result.centroids[first_low ? 0 : 1];
+  const auto& high = result.centroids[first_low ? 1 : 0];
+  EXPECT_NEAR(low[0], 0.2, 0.05);
+  EXPECT_NEAR(low[1], 0.2, 0.05);
+  EXPECT_NEAR(high[0], 0.8, 0.05);
+  EXPECT_NEAR(high[1], 0.8, 0.05);
+}
+
+TEST(KMeansTest, AssignmentMatchesNearestCentroid) {
+  Rng rng(5);
+  auto points = TwoBlobs(&rng, 50);
+  auto result = KMeans(points, 2, &rng);
+  for (size_t i = 0; i < points.size(); ++i) {
+    const size_t assigned = static_cast<size_t>(result.assignment[i]);
+    const double own =
+        SquaredDistance(points[i], result.centroids[assigned]);
+    for (const auto& c : result.centroids) {
+      EXPECT_LE(own, SquaredDistance(points[i], c) + 1e-9);
+    }
+  }
+}
+
+TEST(KMeansTest, MoreClustersThanPoints) {
+  Rng rng(7);
+  std::vector<std::vector<double>> points = {{0.1, 0.1}, {0.9, 0.9}};
+  auto result = KMeans(points, 10, &rng);
+  EXPECT_LE(result.centroids.size(), 2u);
+  EXPECT_EQ(result.assignment.size(), 2u);
+}
+
+TEST(KMeansTest, IdenticalPointsCollapse) {
+  Rng rng(9);
+  std::vector<std::vector<double>> points(20, {0.5, 0.5});
+  auto result = KMeans(points, 4, &rng);
+  ASSERT_GE(result.centroids.size(), 1u);
+  EXPECT_NEAR(result.centroids[0][0], 0.5, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicForSameRngState) {
+  Rng ra(11), rb(11);
+  Rng data(13);
+  auto points = TwoBlobs(&data, 30);
+  auto a = KMeans(points, 3, &ra);
+  auto b = KMeans(points, 3, &rb);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(KMeansTest, ReducesWithinClusterVariance) {
+  Rng rng(17);
+  auto points = TwoBlobs(&rng, 100);
+  auto result = KMeans(points, 2, &rng);
+  // Total within-cluster distance must beat a single global centroid.
+  std::vector<double> global(2, 0.0);
+  for (const auto& p : points) {
+    global[0] += p[0];
+    global[1] += p[1];
+  }
+  global[0] /= static_cast<double>(points.size());
+  global[1] /= static_cast<double>(points.size());
+  double within = 0.0, single = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    within += SquaredDistance(
+        points[i],
+        result.centroids[static_cast<size_t>(result.assignment[i])]);
+    single += SquaredDistance(points[i], global);
+  }
+  EXPECT_LT(within, 0.1 * single);
+}
+
+}  // namespace
+}  // namespace ppc

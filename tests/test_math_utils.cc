@@ -1,0 +1,101 @@
+#include "common/math_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ppc {
+namespace {
+
+TEST(MathUtilsTest, Clamp) {
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(0.0, 0.0, 1.0), 0.0);
+}
+
+TEST(MathUtilsTest, HypersphereVolumeKnownValues) {
+  // 1D "sphere" of radius r is the interval [-r, r]: volume 2r.
+  EXPECT_NEAR(HypersphereVolume(1, 3.0), 6.0, 1e-9);
+  // 2D: pi r^2.
+  EXPECT_NEAR(HypersphereVolume(2, 1.0), M_PI, 1e-9);
+  EXPECT_NEAR(HypersphereVolume(2, 2.0), 4.0 * M_PI, 1e-9);
+  // 3D: 4/3 pi r^3.
+  EXPECT_NEAR(HypersphereVolume(3, 1.0), 4.0 / 3.0 * M_PI, 1e-9);
+}
+
+TEST(MathUtilsTest, HypersphereRadiusRoundTrip) {
+  for (int r = 1; r <= 6; ++r) {
+    for (double radius : {0.05, 0.5, 2.0}) {
+      const double volume = HypersphereVolume(r, radius);
+      EXPECT_NEAR(HypersphereRadiusForVolume(r, volume), radius, 1e-9)
+          << "dims=" << r << " radius=" << radius;
+    }
+  }
+}
+
+TEST(MathUtilsTest, UnitCircleSegmentAreaEndpoints) {
+  EXPECT_NEAR(UnitCircleSegmentArea(-1.0), M_PI, 1e-9);
+  EXPECT_NEAR(UnitCircleSegmentArea(0.0), M_PI / 2.0, 1e-9);
+  EXPECT_NEAR(UnitCircleSegmentArea(1.0), 0.0, 1e-9);
+}
+
+TEST(MathUtilsTest, UnitCircleSegmentAreaMonotoneDecreasing) {
+  double prev = UnitCircleSegmentArea(-1.0);
+  for (double h = -0.9; h <= 1.0; h += 0.1) {
+    const double area = UnitCircleSegmentArea(h);
+    EXPECT_LT(area, prev + 1e-12);
+    prev = area;
+  }
+}
+
+TEST(MathUtilsTest, ChordDistanceInvertsSegmentArea) {
+  for (double fraction : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double h = ChordDistanceForAreaFraction(fraction);
+    EXPECT_NEAR(UnitCircleSegmentArea(h) / M_PI, fraction, 1e-6)
+        << "fraction=" << fraction;
+  }
+}
+
+TEST(MathUtilsTest, ChordDistanceSpecialValues) {
+  EXPECT_NEAR(ChordDistanceForAreaFraction(0.5), 0.0, 1e-6);
+  EXPECT_NEAR(ChordDistanceForAreaFraction(0.0), 1.0, 1e-6);
+  EXPECT_NEAR(ChordDistanceForAreaFraction(1.0), -1.0, 1e-6);
+}
+
+TEST(MathUtilsTest, Distances) {
+  std::vector<double> a = {0.0, 0.0};
+  std::vector<double> b = {3.0, 4.0};
+  EXPECT_NEAR(SquaredDistance(a, b), 25.0, 1e-12);
+  EXPECT_NEAR(EuclideanDistance(a, b), 5.0, 1e-12);
+  EXPECT_NEAR(EuclideanDistance(a, a), 0.0, 1e-12);
+}
+
+TEST(MathUtilsTest, MeanAndStdDev) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(Mean({1.0, 2.0, 3.0}), 2.0, 1e-12);
+  EXPECT_EQ(SampleStdDev({5.0}), 0.0);
+  EXPECT_NEAR(SampleStdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-9);
+}
+
+TEST(MathUtilsTest, MedianOddEven) {
+  EXPECT_EQ(Median({}), 0.0);
+  EXPECT_EQ(Median({5.0}), 5.0);
+  EXPECT_NEAR(Median({3.0, 1.0, 2.0}), 2.0, 1e-12);
+  EXPECT_NEAR(Median({4.0, 1.0, 3.0, 2.0}), 2.5, 1e-12);
+  EXPECT_NEAR(Median({1.0, 1.0, 10.0, 10.0}), 5.5, 1e-12);
+}
+
+TEST(MathUtilsTest, ProportionLowerBound) {
+  EXPECT_EQ(ProportionLowerBound95(0, 0), 0.0);
+  EXPECT_EQ(ProportionLowerBound95(100, 100), 1.0);  // p=1 -> no variance
+  const double lb = ProportionLowerBound95(90, 100);
+  EXPECT_LT(lb, 0.9);
+  EXPECT_GT(lb, 0.8);
+  // Larger samples tighten the bound.
+  EXPECT_GT(ProportionLowerBound95(900, 1000), lb);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,75 @@
+#include "ppc/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace ppc {
+namespace {
+
+TEST(MetricsTest, EmptyAccumulator) {
+  MetricsAccumulator m;
+  EXPECT_EQ(m.Precision(), 0.0);
+  EXPECT_EQ(m.Recall(), 0.0);
+  EXPECT_EQ(m.total(), 0u);
+}
+
+TEST(MetricsTest, Definition4Semantics) {
+  // Paper Def. 4: precision over NULL-free predictions, recall over all.
+  MetricsAccumulator m;
+  m.Record(1, 1);              // correct
+  m.Record(2, 1);              // wrong
+  m.Record(1, 1);              // correct
+  m.Record(kNullPlanId, 1);    // NULL
+  m.Record(kNullPlanId, 2);    // NULL
+  EXPECT_EQ(m.total(), 5u);
+  EXPECT_EQ(m.answered(), 3u);
+  EXPECT_EQ(m.correct(), 2u);
+  EXPECT_EQ(m.wrong(), 1u);
+  EXPECT_NEAR(m.Precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.Recall(), 2.0 / 5.0, 1e-12);
+}
+
+TEST(MetricsTest, AllNullGivesZeroPrecision) {
+  MetricsAccumulator m;
+  m.Record(kNullPlanId, 1);
+  EXPECT_EQ(m.Precision(), 0.0);
+  EXPECT_EQ(m.Recall(), 0.0);
+}
+
+TEST(MetricsTest, PerfectPredictor) {
+  MetricsAccumulator m;
+  for (PlanId p = 1; p <= 10; ++p) m.Record(p, p);
+  EXPECT_EQ(m.Precision(), 1.0);
+  EXPECT_EQ(m.Recall(), 1.0);
+}
+
+TEST(MetricsTest, MergeCombinesCounts) {
+  MetricsAccumulator a, b;
+  a.Record(1, 1);
+  a.Record(kNullPlanId, 1);
+  b.Record(2, 1);
+  b.Record(1, 1);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.answered(), 3u);
+  EXPECT_EQ(a.correct(), 2u);
+}
+
+TEST(MetricsTest, ResetClears) {
+  MetricsAccumulator m;
+  m.Record(1, 1);
+  m.Reset();
+  EXPECT_EQ(m.total(), 0u);
+  EXPECT_EQ(m.Precision(), 0.0);
+}
+
+TEST(MetricsTest, RecallNeverExceedsPrecision) {
+  // recall = precision * (answered/total) <= precision.
+  MetricsAccumulator m;
+  m.Record(1, 1);
+  m.Record(kNullPlanId, 1);
+  m.Record(2, 3);
+  EXPECT_LE(m.Recall(), m.Precision() + 1e-12);
+}
+
+}  // namespace
+}  // namespace ppc

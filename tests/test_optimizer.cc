@@ -1,0 +1,209 @@
+#include "optimizer/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "test_util.h"
+#include "workload/templates.h"
+
+namespace ppc {
+namespace {
+
+using testutil::SmallTpch;
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() : optimizer_(&SmallTpch()) {}
+  Optimizer optimizer_;
+};
+
+TEST_F(OptimizerTest, PrepareValidatesTables) {
+  QueryTemplate tmpl{"bad", {"nonexistent"}, {}, {}, true};
+  EXPECT_FALSE(optimizer_.Prepare(tmpl).ok());
+}
+
+TEST_F(OptimizerTest, PrepareValidatesParamColumns) {
+  QueryTemplate tmpl{"bad", {"orders"}, {}, {{"orders", "zzz"}}, true};
+  EXPECT_FALSE(optimizer_.Prepare(tmpl).ok());
+}
+
+TEST_F(OptimizerTest, PrepareValidatesJoinTables) {
+  QueryTemplate tmpl{"bad",
+                     {"orders"},
+                     {{"orders", "o_orderkey", "lineitem", "l_orderkey"}},
+                     {},
+                     true};
+  EXPECT_FALSE(optimizer_.Prepare(tmpl).ok());
+}
+
+TEST_F(OptimizerTest, PrepareRejectsEmptyTemplate) {
+  QueryTemplate tmpl{"bad", {}, {}, {}, true};
+  EXPECT_FALSE(optimizer_.Prepare(tmpl).ok());
+}
+
+TEST_F(OptimizerTest, PrepareResolvesMetadata) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl);
+  ASSERT_TRUE(prep.ok());
+  EXPECT_EQ(prep.value().tables.size(), 2u);
+  EXPECT_EQ(prep.value().edges.size(), 1u);
+  EXPECT_EQ(prep.value().param_table.size(), 2u);
+  // s_date and l_partkey both have indexes in the TPC-H schema.
+  EXPECT_TRUE(prep.value().param_indexed[0]);
+  EXPECT_TRUE(prep.value().param_indexed[1]);
+  // Join selectivity 1/max(ndv): suppkey ndv == supplier rows.
+  EXPECT_NEAR(prep.value().edges[0].selectivity,
+              1.0 / static_cast<double>(SmallTpch().TableRows("supplier")),
+              1e-6);
+}
+
+TEST_F(OptimizerTest, SelectivityArityMismatchFails) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  EXPECT_FALSE(optimizer_.Optimize(prep, {0.5}).ok());
+}
+
+TEST_F(OptimizerTest, SingleTableAccessPathFlips) {
+  QueryTemplate tmpl{
+      "single", {"lineitem"}, {}, {{"lineitem", "l_partkey"}}, true};
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto low = optimizer_.Optimize(prep, {0.0005}).value();
+  auto high = optimizer_.Optimize(prep, {0.9}).value();
+  // Low selectivity: index scan; high: sequential scan.
+  EXPECT_NE(low.plan_id, high.plan_id);
+  const PlanNode* low_scan = low.plan->left.get();   // under Aggregate
+  const PlanNode* high_scan = high.plan->left.get();
+  EXPECT_EQ(low_scan->scan_method, ScanMethod::kIndexScan);
+  EXPECT_EQ(high_scan->scan_method, ScanMethod::kSeqScan);
+}
+
+TEST_F(OptimizerTest, DeterministicPlanChoice) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q3");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto a = optimizer_.Optimize(prep, {0.3, 0.4, 0.5}).value();
+  auto b = optimizer_.Optimize(prep, {0.3, 0.4, 0.5}).value();
+  EXPECT_EQ(a.plan_id, b.plan_id);
+  EXPECT_EQ(a.estimated_cost, b.estimated_cost);
+}
+
+TEST_F(OptimizerTest, EstimatesArePositive) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q5");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto result = optimizer_.Optimize(prep, {0.5, 0.5, 0.5, 0.5}).value();
+  EXPECT_GT(result.estimated_cost, 0.0);
+  EXPECT_GE(result.estimated_rows, 1.0);
+  EXPECT_NE(result.plan_id, kNullPlanId);
+  ASSERT_NE(result.plan, nullptr);
+}
+
+TEST_F(OptimizerTest, PlanCoversAllTables) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q7");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto result =
+      optimizer_.Optimize(prep, {0.5, 0.5, 0.5, 0.5, 0.5}).value();
+  const auto tables = result.plan->Tables();
+  const std::set<std::string> unique(tables.begin(), tables.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST_F(OptimizerTest, AggregateFlagControlsRoot) {
+  QueryTemplate with_agg = EvaluationTemplate("Q1");
+  QueryTemplate without_agg = with_agg;
+  without_agg.aggregate = false;
+  auto prep_a = optimizer_.Prepare(with_agg).value();
+  auto prep_b = optimizer_.Prepare(without_agg).value();
+  auto a = optimizer_.Optimize(prep_a, {0.5, 0.5}).value();
+  auto b = optimizer_.Optimize(prep_b, {0.5, 0.5}).value();
+  EXPECT_EQ(a.plan->kind, PlanNode::Kind::kAggregate);
+  EXPECT_NE(b.plan->kind, PlanNode::Kind::kAggregate);
+}
+
+TEST_F(OptimizerTest, DisconnectedJoinGraphRejected) {
+  QueryTemplate tmpl{"cartesian", {"orders", "part"}, {}, {}, true};
+  auto prep = optimizer_.Prepare(tmpl).value();
+  EXPECT_FALSE(optimizer_.Optimize(prep, {}).ok());
+}
+
+TEST_F(OptimizerTest, PlanChoiceVariesAcrossPlanSpace) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  std::set<PlanId> plans;
+  for (double x = 0.025; x < 1.0; x += 0.1) {
+    for (double y = 0.025; y < 1.0; y += 0.1) {
+      plans.insert(optimizer_.Optimize(prep, {x, y}).value().plan_id);
+    }
+  }
+  EXPECT_GE(plans.size(), 3u)
+      << "Q1's plan diagram should contain several optimality regions";
+}
+
+TEST_F(OptimizerTest, HigherDimensionTemplatesHaveMorePlans) {
+  auto count_plans = [&](const std::string& name, int grid) {
+    const QueryTemplate tmpl = EvaluationTemplate(name);
+    auto prep = optimizer_.Prepare(tmpl).value();
+    std::set<PlanId> plans;
+    std::vector<int> idx(static_cast<size_t>(tmpl.ParameterDegree()), 0);
+    std::vector<double> sel(idx.size());
+    for (;;) {
+      for (size_t d = 0; d < sel.size(); ++d) {
+        sel[d] = (idx[d] + 0.5) / grid;
+      }
+      plans.insert(optimizer_.Optimize(prep, sel).value().plan_id);
+      size_t d = 0;
+      for (; d < idx.size(); ++d) {
+        if (++idx[d] < grid) break;
+        idx[d] = 0;
+      }
+      if (d == idx.size()) break;
+    }
+    return plans.size();
+  };
+  EXPECT_GT(count_plans("Q5", 5), count_plans("Q1", 5));
+}
+
+TEST_F(OptimizerTest, LowerCostAtLowerSelectivity) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q2");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  const double low =
+      optimizer_.Optimize(prep, {0.01, 0.01}).value().estimated_cost;
+  const double high =
+      optimizer_.Optimize(prep, {0.99, 0.99}).value().estimated_cost;
+  EXPECT_LT(low, high);
+}
+
+TEST_F(OptimizerTest, ConvenienceOverloadMatchesPrepared) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto a = optimizer_.Optimize(prep, {0.4, 0.6}).value();
+  auto b = optimizer_.Optimize(tmpl, {0.4, 0.6}).value();
+  EXPECT_EQ(a.plan_id, b.plan_id);
+  EXPECT_EQ(a.estimated_cost, b.estimated_cost);
+}
+
+class AllTemplatesTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllTemplatesTest, OptimizesAcrossPlanSpaceCorners) {
+  Optimizer optimizer(&SmallTpch());
+  const QueryTemplate tmpl = EvaluationTemplate(GetParam());
+  auto prep = optimizer.Prepare(tmpl);
+  ASSERT_TRUE(prep.ok()) << prep.status().ToString();
+  const size_t r = static_cast<size_t>(tmpl.ParameterDegree());
+  for (double corner : {0.01, 0.5, 0.99}) {
+    std::vector<double> sel(r, corner);
+    auto result = optimizer.Optimize(prep.value(), sel);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_GT(result.value().estimated_cost, 0.0);
+    // Plan covers all tables exactly once.
+    const auto tables = result.value().plan->Tables();
+    EXPECT_EQ(tables.size(), tmpl.tables.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EvaluationTemplates, AllTemplatesTest,
+                         ::testing::Values("Q0", "Q1", "Q2", "Q3", "Q4", "Q5",
+                                           "Q6", "Q7", "Q8"));
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,137 @@
+// Tests for OptimizerOptions: the left-deep restriction and fuzzy cost
+// comparison — the two stabilization knobs DESIGN.md's calibration section
+// documents.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "optimizer/optimizer.h"
+#include "plan/fingerprint.h"
+#include "optimizer/plan_evaluator.h"
+#include "test_util.h"
+#include "workload/templates.h"
+
+namespace ppc {
+namespace {
+
+using testutil::SmallTpch;
+
+size_t CountPlans(const Optimizer& optimizer, const QueryTemplate& tmpl,
+                  size_t probes, uint64_t seed) {
+  auto prep = optimizer.Prepare(tmpl).value();
+  Rng rng(seed);
+  std::set<PlanId> plans;
+  for (size_t i = 0; i < probes; ++i) {
+    std::vector<double> point(static_cast<size_t>(tmpl.ParameterDegree()));
+    for (double& v : point) v = rng.Uniform();
+    plans.insert(optimizer.Optimize(prep, point).value().plan_id);
+  }
+  return plans.size();
+}
+
+bool IsLeftDeep(const PlanNode& node) {
+  if (node.kind == PlanNode::Kind::kScan) return true;
+  if (node.kind == PlanNode::Kind::kAggregate) {
+    return IsLeftDeep(*node.left);
+  }
+  // Join: the right child must be a base relation.
+  if (node.right->kind != PlanNode::Kind::kScan) return false;
+  return IsLeftDeep(*node.left);
+}
+
+TEST(OptimizerOptionsTest, DefaultsAreLeftDeepWithFuzz) {
+  OptimizerOptions options;
+  EXPECT_TRUE(options.left_deep_only);
+  EXPECT_GT(options.cost_fuzz, 1.0);
+}
+
+TEST(OptimizerOptionsTest, LeftDeepPlansAreActuallyLeftDeep) {
+  Optimizer optimizer(&SmallTpch());
+  const QueryTemplate tmpl = EvaluationTemplate("Q7");
+  auto prep = optimizer.Prepare(tmpl).value();
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<double> point(5);
+    for (double& v : point) v = rng.Uniform();
+    auto opt = optimizer.Optimize(prep, point).value();
+    EXPECT_TRUE(IsLeftDeep(*opt.plan)) << CanonicalPlanString(*opt.plan);
+  }
+}
+
+TEST(OptimizerOptionsTest, BushyEnumerationFindsCheaperOrEqualPlans) {
+  OptimizerOptions bushy;
+  bushy.left_deep_only = false;
+  bushy.cost_fuzz = 1.0;
+  OptimizerOptions left_deep;
+  left_deep.left_deep_only = true;
+  left_deep.cost_fuzz = 1.0;
+  Optimizer bushy_opt(&SmallTpch(), CostModelParams(), bushy);
+  Optimizer ld_opt(&SmallTpch(), CostModelParams(), left_deep);
+  const QueryTemplate tmpl = EvaluationTemplate("Q7");
+  auto bushy_prep = bushy_opt.Prepare(tmpl).value();
+  auto ld_prep = ld_opt.Prepare(tmpl).value();
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> point(5);
+    for (double& v : point) v = rng.Uniform();
+    const double bushy_cost =
+        bushy_opt.Optimize(bushy_prep, point).value().estimated_cost;
+    const double ld_cost =
+        ld_opt.Optimize(ld_prep, point).value().estimated_cost;
+    EXPECT_LE(bushy_cost, ld_cost * (1.0 + 1e-9));
+  }
+}
+
+TEST(OptimizerOptionsTest, BushyFragmentsThePlanDiagram) {
+  OptimizerOptions bushy;
+  bushy.left_deep_only = false;
+  Optimizer bushy_opt(&SmallTpch(), CostModelParams(), bushy);
+  Optimizer default_opt(&SmallTpch());
+  const QueryTemplate tmpl = EvaluationTemplate("Q7");
+  EXPECT_GE(CountPlans(bushy_opt, tmpl, 300, 7),
+            CountPlans(default_opt, tmpl, 300, 7));
+}
+
+TEST(OptimizerOptionsTest, FuzzConsolidatesRegions) {
+  OptimizerOptions exact;
+  exact.cost_fuzz = 1.0;
+  OptimizerOptions fuzzy;
+  fuzzy.cost_fuzz = 1.10;
+  Optimizer exact_opt(&SmallTpch(), CostModelParams(), exact);
+  Optimizer fuzzy_opt(&SmallTpch(), CostModelParams(), fuzzy);
+  const QueryTemplate tmpl = EvaluationTemplate("Q5");
+  EXPECT_LT(CountPlans(fuzzy_opt, tmpl, 300, 11),
+            CountPlans(exact_opt, tmpl, 300, 11));
+}
+
+TEST(OptimizerOptionsTest, FuzzBoundsSuboptimality) {
+  // The plan chosen with fuzz f costs at most ~f^(joins) times the exact
+  // optimum at the same point (each DP level can leave up to f on the
+  // table). Verify a loose version of that bound.
+  OptimizerOptions exact;
+  exact.cost_fuzz = 1.0;
+  Optimizer exact_opt(&SmallTpch(), CostModelParams(), exact);
+  Optimizer default_opt(&SmallTpch());  // fuzz 1.02
+  const QueryTemplate tmpl = EvaluationTemplate("Q5");
+  auto exact_prep = exact_opt.Prepare(tmpl).value();
+  auto default_prep = default_opt.Prepare(tmpl).value();
+  Rng rng(13);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> point(4);
+    for (double& v : point) v = rng.Uniform();
+    auto fuzzy_plan = default_opt.Optimize(default_prep, point).value();
+    auto exact_plan = exact_opt.Optimize(exact_prep, point).value();
+    const double fuzzy_cost_exact_model =
+        EvaluatePlanAtPoint(exact_prep, exact_opt.cost_model(),
+                            *fuzzy_plan.plan, point)
+            .value()
+            .cost;
+    // 4 joins at 2% each: worst case ~1.02^4 ~ 1.083; allow 1.1.
+    EXPECT_LE(fuzzy_cost_exact_model,
+              exact_plan.estimated_cost * 1.1 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ppc

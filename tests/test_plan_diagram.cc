@@ -1,0 +1,90 @@
+#include "workload/plan_diagram.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/optimizer.h"
+#include "test_util.h"
+#include "workload/templates.h"
+
+namespace ppc {
+namespace {
+
+using testutil::HalfSpacePlan;
+using testutil::QuadrantPlan;
+using testutil::SmallTpch;
+
+TEST(PlanDiagramTest, SinglePlanSpace) {
+  auto stats = AnalyzePlanSpace(
+      [](const std::vector<double>&) -> PlanId { return 42; }, 2, 1000,
+      0.05, 1);
+  EXPECT_EQ(stats.distinct_plans, 1u);
+  EXPECT_EQ(stats.largest_region_fraction, 1.0);
+  EXPECT_EQ(stats.gini, 0.0);
+  EXPECT_EQ(stats.entropy_bits, 0.0);
+  EXPECT_EQ(stats.boundary_fraction, 0.0);
+  EXPECT_EQ(stats.PlansCoveringFraction(0.99), 1u);
+}
+
+TEST(PlanDiagramTest, HalfSpaceMetrics) {
+  auto stats = AnalyzePlanSpace(HalfSpacePlan, 2, 5000, 0.05, 2);
+  EXPECT_EQ(stats.distinct_plans, 2u);
+  EXPECT_NEAR(stats.largest_region_fraction, 0.5, 0.03);
+  EXPECT_NEAR(stats.entropy_bits, 1.0, 0.02);  // two equal halves: 1 bit
+  EXPECT_NEAR(stats.gini, 0.0, 0.05);          // equal areas
+  // Boundary length sqrt(2) in the unit square; pairs at distance h
+  // straddle it with probability ~ 2*h*len*E|cos| / area ~ 0.045 at 0.05.
+  EXPECT_GT(stats.boundary_fraction, 0.01);
+  EXPECT_LT(stats.boundary_fraction, 0.10);
+}
+
+TEST(PlanDiagramTest, QuadrantMetrics) {
+  auto stats = AnalyzePlanSpace(QuadrantPlan, 2, 5000, 0.02, 3);
+  EXPECT_EQ(stats.distinct_plans, 4u);
+  EXPECT_NEAR(stats.entropy_bits, 2.0, 0.02);
+  EXPECT_EQ(stats.PlansCoveringFraction(1.0), 4u);
+  EXPECT_LE(stats.PlansCoveringFraction(0.5), 2u);
+}
+
+TEST(PlanDiagramTest, SkewedRegionsRaiseGini) {
+  // Plan 1 covers 90% of the space, nine slivers split the rest.
+  auto skewed = [](const std::vector<double>& x) -> PlanId {
+    if (x[0] < 0.9) return 1;
+    return 2 + static_cast<PlanId>(x[1] * 9.0);
+  };
+  auto balanced_stats = AnalyzePlanSpace(QuadrantPlan, 2, 5000, 0.05, 4);
+  auto skewed_stats = AnalyzePlanSpace(skewed, 2, 5000, 0.05, 4);
+  EXPECT_GT(skewed_stats.gini, balanced_stats.gini + 0.2);
+  EXPECT_GT(skewed_stats.largest_region_fraction, 0.85);
+}
+
+TEST(PlanDiagramTest, BoundaryFractionGrowsWithDistance) {
+  const auto near = AnalyzePlanSpace(HalfSpacePlan, 2, 4000, 0.01, 5);
+  const auto far = AnalyzePlanSpace(HalfSpacePlan, 2, 4000, 0.2, 5);
+  EXPECT_GT(far.boundary_fraction, near.boundary_fraction);
+}
+
+TEST(PlanDiagramTest, DeterministicForSeed) {
+  const auto a = AnalyzePlanSpace(QuadrantPlan, 2, 1000, 0.05, 7);
+  const auto b = AnalyzePlanSpace(QuadrantPlan, 2, 1000, 0.05, 7);
+  EXPECT_EQ(a.distinct_plans, b.distinct_plans);
+  EXPECT_EQ(a.gini, b.gini);
+  EXPECT_EQ(a.boundary_fraction, b.boundary_fraction);
+}
+
+TEST(PlanDiagramTest, RealOptimizerDiagram) {
+  Optimizer optimizer(&SmallTpch());
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer.Prepare(tmpl).value();
+  auto stats = AnalyzePlanSpace(
+      [&](const std::vector<double>& x) {
+        return optimizer.Optimize(prep, x).value().plan_id;
+      },
+      2, 2000, 0.04, 11);
+  EXPECT_GE(stats.distinct_plans, 3u);
+  // Assumption 1's complement: boundary fraction must be small.
+  EXPECT_LT(stats.boundary_fraction, 0.15);
+  EXPECT_GT(stats.largest_region_fraction, 0.3);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,132 @@
+#include "optimizer/plan_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/templates.h"
+
+namespace ppc {
+namespace {
+
+using testutil::SmallTpch;
+
+class PlanEvaluatorTest : public ::testing::Test {
+ protected:
+  PlanEvaluatorTest() : optimizer_(&SmallTpch()) {}
+  Optimizer optimizer_;
+};
+
+TEST_F(PlanEvaluatorTest, ReplayMatchesOptimizerEstimateAtSamePoint) {
+  for (const char* name : {"Q1", "Q3", "Q5"}) {
+    const QueryTemplate tmpl = EvaluationTemplate(name);
+    auto prep = optimizer_.Prepare(tmpl).value();
+    std::vector<double> sel(static_cast<size_t>(tmpl.ParameterDegree()),
+                            0.37);
+    auto opt = optimizer_.Optimize(prep, sel).value();
+    auto eval =
+        EvaluatePlanAtPoint(prep, optimizer_.cost_model(), *opt.plan, sel);
+    ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+    EXPECT_NEAR(eval.value().cost, opt.estimated_cost,
+                opt.estimated_cost * 1e-9)
+        << name;
+    EXPECT_NEAR(eval.value().rows, opt.estimated_rows,
+                opt.estimated_rows * 1e-9)
+        << name;
+  }
+}
+
+TEST_F(PlanEvaluatorTest, OptimalPlanIsCheapestAmongCandidates) {
+  // The plan the optimizer picks at point x must replay at x no more
+  // expensively than plans picked elsewhere — the defining property the
+  // whole PPC premise rests on.
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  const std::vector<double> x = {0.3, 0.3};
+  auto optimal = optimizer_.Optimize(prep, x).value();
+  for (const std::vector<double>& other :
+       {std::vector<double>{0.01, 0.01}, {0.9, 0.9}, {0.05, 0.95}}) {
+    auto foreign = optimizer_.Optimize(prep, other).value();
+    auto replay =
+        EvaluatePlanAtPoint(prep, optimizer_.cost_model(), *foreign.plan, x);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_GE(replay.value().cost, optimal.estimated_cost * (1.0 - 1e-9));
+  }
+}
+
+TEST_F(PlanEvaluatorTest, StalePlanCostlierAwayFromItsRegion) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q2");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto low_plan = optimizer_.Optimize(prep, {0.001, 0.001}).value();
+  auto high_plan = optimizer_.Optimize(prep, {0.95, 0.95}).value();
+  if (low_plan.plan_id == high_plan.plan_id) {
+    GTEST_SKIP() << "plan space degenerate at this scale";
+  }
+  const std::vector<double> x = {0.95, 0.95};
+  const double stale =
+      EvaluatePlanAtPoint(prep, optimizer_.cost_model(), *low_plan.plan, x)
+          .value()
+          .cost;
+  EXPECT_GT(stale, high_plan.estimated_cost);
+}
+
+TEST_F(PlanEvaluatorTest, CostSmoothWithinRegion) {
+  // Plan cost predictability (Assumption 2): small moves in the plan space
+  // produce small relative cost changes for a fixed plan.
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto opt = optimizer_.Optimize(prep, {0.5, 0.5}).value();
+  const double base =
+      EvaluatePlanAtPoint(prep, optimizer_.cost_model(), *opt.plan,
+                          {0.5, 0.5})
+          .value()
+          .cost;
+  const double nearby =
+      EvaluatePlanAtPoint(prep, optimizer_.cost_model(), *opt.plan,
+                          {0.52, 0.52})
+          .value()
+          .cost;
+  EXPECT_LT(std::abs(nearby - base) / base, 0.25);
+}
+
+TEST_F(PlanEvaluatorTest, ArityMismatchRejected) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto opt = optimizer_.Optimize(prep, {0.5, 0.5}).value();
+  EXPECT_FALSE(
+      EvaluatePlanAtPoint(prep, optimizer_.cost_model(), *opt.plan, {0.5})
+          .ok());
+}
+
+TEST_F(PlanEvaluatorTest, ForeignTableRejected) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto plan = MakeSeqScan("customer", {});
+  EXPECT_FALSE(
+      EvaluatePlanAtPoint(prep, optimizer_.cost_model(), *plan, {0.5, 0.5})
+          .ok());
+}
+
+TEST_F(PlanEvaluatorTest, StandaloneInlInnerRejected) {
+  // An index scan whose index column is a join column (an INL inner) has no
+  // driving parameter and cannot be priced standalone.
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto plan = MakeIndexScan("lineitem", "l_suppkey", {1});
+  EXPECT_FALSE(
+      EvaluatePlanAtPoint(prep, optimizer_.cost_model(), *plan, {0.5, 0.5})
+          .ok());
+}
+
+TEST_F(PlanEvaluatorTest, CartesianPlanRejected) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  // A hash join between supplier and supplier misses the join edge.
+  auto plan = MakeJoin(JoinMethod::kHashJoin, 0, MakeSeqScan("supplier", {}),
+                       MakeSeqScan("supplier", {}));
+  EXPECT_FALSE(
+      EvaluatePlanAtPoint(prep, optimizer_.cost_model(), *plan, {0.5, 0.5})
+          .ok());
+}
+
+}  // namespace
+}  // namespace ppc

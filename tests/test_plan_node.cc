@@ -1,0 +1,123 @@
+#include "plan/plan_node.h"
+
+#include <gtest/gtest.h>
+
+#include "plan/fingerprint.h"
+
+namespace ppc {
+namespace {
+
+std::unique_ptr<PlanNode> SampleJoinPlan() {
+  auto left = MakeIndexScan("orders", "o_date", {0});
+  auto right = MakeSeqScan("lineitem", {1});
+  auto join = MakeJoin(JoinMethod::kHashJoin, 0, std::move(left),
+                       std::move(right));
+  return MakeAggregate(std::move(join));
+}
+
+TEST(PlanNodeTest, MethodNames) {
+  EXPECT_STREQ(ScanMethodName(ScanMethod::kSeqScan), "SeqScan");
+  EXPECT_STREQ(ScanMethodName(ScanMethod::kIndexScan), "IndexScan");
+  EXPECT_STREQ(JoinMethodName(JoinMethod::kHashJoin), "HashJoin");
+  EXPECT_STREQ(JoinMethodName(JoinMethod::kIndexNestedLoop),
+               "IndexNestedLoopJoin");
+  EXPECT_STREQ(JoinMethodName(JoinMethod::kSortMergeJoin), "SortMergeJoin");
+  EXPECT_STREQ(JoinMethodName(JoinMethod::kBlockNestedLoop),
+               "BlockNestedLoopJoin");
+}
+
+TEST(PlanNodeTest, ConstructorsPopulateFields) {
+  auto scan = MakeIndexScan("t", "c", {0, 2});
+  EXPECT_EQ(scan->kind, PlanNode::Kind::kScan);
+  EXPECT_EQ(scan->scan_method, ScanMethod::kIndexScan);
+  EXPECT_EQ(scan->table, "t");
+  EXPECT_EQ(scan->index_column, "c");
+  EXPECT_EQ(scan->param_predicates, (std::vector<int>{0, 2}));
+}
+
+TEST(PlanNodeTest, OperatorCount) {
+  EXPECT_EQ(SampleJoinPlan()->OperatorCount(), 4u);
+  EXPECT_EQ(MakeSeqScan("t", {})->OperatorCount(), 1u);
+}
+
+TEST(PlanNodeTest, TablesInScanOrder) {
+  const auto tables = SampleJoinPlan()->Tables();
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0], "orders");
+  EXPECT_EQ(tables[1], "lineitem");
+}
+
+TEST(PlanNodeTest, CloneIsDeepAndEqualStructure) {
+  auto plan = SampleJoinPlan();
+  plan->est_cost = 42.0;
+  auto clone = plan->Clone();
+  EXPECT_EQ(CanonicalPlanString(*plan), CanonicalPlanString(*clone));
+  EXPECT_EQ(clone->est_cost, 42.0);
+  // Mutating the clone must not affect the original.
+  clone->left->left->table = "customer";
+  EXPECT_NE(CanonicalPlanString(*plan), CanonicalPlanString(*clone));
+}
+
+TEST(FingerprintTest, StableAcrossClones) {
+  auto plan = SampleJoinPlan();
+  EXPECT_EQ(PlanFingerprint(*plan), PlanFingerprint(*plan->Clone()));
+}
+
+TEST(FingerprintTest, IgnoresEstimates) {
+  auto a = SampleJoinPlan();
+  auto b = SampleJoinPlan();
+  b->est_cost = 999.0;
+  b->left->est_rows = 123.0;
+  EXPECT_EQ(PlanFingerprint(*a), PlanFingerprint(*b));
+}
+
+TEST(FingerprintTest, SensitiveToJoinMethod) {
+  auto a = SampleJoinPlan();
+  auto b = SampleJoinPlan();
+  b->left->join_method = JoinMethod::kSortMergeJoin;
+  EXPECT_NE(PlanFingerprint(*a), PlanFingerprint(*b));
+}
+
+TEST(FingerprintTest, SensitiveToScanMethod) {
+  auto a = MakeSeqScan("t", {0});
+  auto b = MakeIndexScan("t", "c", {0});
+  EXPECT_NE(PlanFingerprint(*a), PlanFingerprint(*b));
+}
+
+TEST(FingerprintTest, SensitiveToChildOrder) {
+  auto a = MakeJoin(JoinMethod::kHashJoin, 0, MakeSeqScan("x", {}),
+                    MakeSeqScan("y", {}));
+  auto b = MakeJoin(JoinMethod::kHashJoin, 0, MakeSeqScan("y", {}),
+                    MakeSeqScan("x", {}));
+  EXPECT_NE(PlanFingerprint(*a), PlanFingerprint(*b));
+}
+
+TEST(FingerprintTest, SensitiveToPredicatePlacement) {
+  auto a = MakeSeqScan("t", {0});
+  auto b = MakeSeqScan("t", {1});
+  auto c = MakeSeqScan("t", {});
+  EXPECT_NE(PlanFingerprint(*a), PlanFingerprint(*b));
+  EXPECT_NE(PlanFingerprint(*a), PlanFingerprint(*c));
+}
+
+TEST(FingerprintTest, NeverReturnsNullId) {
+  EXPECT_NE(PlanFingerprint(*MakeSeqScan("t", {})), kNullPlanId);
+}
+
+TEST(FingerprintTest, CanonicalStringIsReadable) {
+  const std::string repr = CanonicalPlanString(*SampleJoinPlan());
+  EXPECT_NE(repr.find("Aggregate"), std::string::npos);
+  EXPECT_NE(repr.find("HashJoin"), std::string::npos);
+  EXPECT_NE(repr.find("IndexScan(orders via o_date"), std::string::npos);
+  EXPECT_NE(repr.find("SeqScan(lineitem"), std::string::npos);
+}
+
+TEST(FingerprintTest, PrintPlanIsIndentedTree) {
+  const std::string printed = PrintPlan(*SampleJoinPlan());
+  EXPECT_NE(printed.find("Aggregate"), std::string::npos);
+  EXPECT_NE(printed.find("  HashJoin"), std::string::npos);
+  EXPECT_NE(printed.find("    IndexScan orders"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppc

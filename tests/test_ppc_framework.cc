@@ -1,0 +1,178 @@
+#include "ppc/ppc_framework.h"
+
+#include <gtest/gtest.h>
+
+#include "ppc/metrics.h"
+#include "test_util.h"
+#include "workload/templates.h"
+#include "workload/workload_generator.h"
+
+namespace ppc {
+namespace {
+
+using testutil::SmallTpch;
+
+PpcFramework::Config BaseConfig() {
+  PpcFramework::Config cfg;
+  cfg.online.predictor.transform_count = 5;
+  cfg.online.predictor.histogram_buckets = 40;
+  cfg.online.predictor.radius = 0.05;
+  cfg.online.predictor.confidence_threshold = 0.8;
+  cfg.online.predictor.noise_fraction = 0.002;
+  cfg.online.estimator_window = 100;
+  cfg.plan_cache_capacity = 64;
+  return cfg;
+}
+
+TEST(PpcFrameworkTest, RegisterValidatesTemplates) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  EXPECT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  EXPECT_EQ(framework.RegisterTemplate(EvaluationTemplate("Q1")).code(),
+            StatusCode::kAlreadyExists);
+  QueryTemplate bad{"bad", {"zzz"}, {}, {}, true};
+  EXPECT_FALSE(framework.RegisterTemplate(bad).ok());
+}
+
+TEST(PpcFrameworkTest, UnknownTemplateRejected) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  EXPECT_FALSE(framework.ExecuteAtPoint("Q1", {0.5, 0.5}).ok());
+}
+
+TEST(PpcFrameworkTest, FirstQueryOptimizes) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  auto report = framework.ExecuteAtPoint("Q1", {0.5, 0.5});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().optimizer_invoked);
+  EXPECT_FALSE(report.value().used_prediction);
+  EXPECT_NE(report.value().executed_plan, kNullPlanId);
+  EXPECT_EQ(report.value().executed_plan, report.value().optimal_plan);
+  EXPECT_GT(report.value().execution_cost, 0.0);
+  EXPECT_GT(report.value().optimize_micros, 0.0);
+}
+
+TEST(PpcFrameworkTest, RepeatedQueriesStartHittingCache) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  Rng rng(1);
+  size_t predictions = 0;
+  for (int i = 0; i < 300; ++i) {
+    // A tight cluster of points: one optimality region.
+    std::vector<double> x = {0.5 + rng.Uniform(-0.02, 0.02),
+                             0.5 + rng.Uniform(-0.02, 0.02)};
+    auto report = framework.ExecuteAtPoint("Q1", x);
+    ASSERT_TRUE(report.ok());
+    if (report.value().used_prediction) ++predictions;
+  }
+  EXPECT_GT(predictions, 100u);
+  EXPECT_GT(framework.plan_cache().hits(), 100u);
+}
+
+TEST(PpcFrameworkTest, PredictionsMatchOptimizerGroundTruth) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  ASSERT_TRUE(framework.RegisterTemplate(tmpl).ok());
+  Optimizer oracle(&SmallTpch());
+  auto prep = oracle.Prepare(tmpl).value();
+
+  Rng rng(3);
+  TrajectoryConfig traj;
+  traj.dimensions = 2;
+  traj.total_points = 600;
+  traj.scatter = 0.01;
+  MetricsAccumulator metrics;
+  for (const auto& x : RandomTrajectoriesWorkload(traj, &rng)) {
+    auto report = framework.ExecuteAtPoint("Q1", x);
+    ASSERT_TRUE(report.ok());
+    if (report.value().used_prediction) {
+      const PlanId truth = oracle.Optimize(prep, x).value().plan_id;
+      metrics.Record(report.value().executed_plan, truth);
+    }
+  }
+  if (metrics.answered() > 20) {
+    // Q1's plan diagram has thin bands at this scale; online precision in
+    // the low 80s matches the paper's harder templates.
+    EXPECT_GT(metrics.Precision(), 0.75);
+  }
+}
+
+TEST(PpcFrameworkTest, ExecuteInstanceNormalizesParameters) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  ASSERT_TRUE(framework.RegisterTemplate(tmpl).ok());
+  SelectivityMapper mapper(&SmallTpch(), &tmpl);
+  auto instance = mapper.ToInstance({0.4, 0.6}).value();
+  auto report = framework.ExecuteInstance(instance);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report.value().optimizer_invoked);
+}
+
+TEST(PpcFrameworkTest, ExecuteInstanceRejectsArityMismatch) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  QueryInstance bad{"Q1", {100.0}};
+  EXPECT_FALSE(framework.ExecuteInstance(bad).ok());
+}
+
+TEST(PpcFrameworkTest, MultipleTemplatesCoexist) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q3")).ok());
+  EXPECT_TRUE(framework.ExecuteAtPoint("Q1", {0.5, 0.5}).ok());
+  EXPECT_TRUE(framework.ExecuteAtPoint("Q3", {0.5, 0.5, 0.5}).ok());
+  EXPECT_NE(framework.online_predictor("Q1"), nullptr);
+  EXPECT_NE(framework.online_predictor("Q3"), nullptr);
+  EXPECT_EQ(framework.online_predictor("Q9"), nullptr);
+}
+
+TEST(PpcFrameworkTest, PredictorDimensionsFollowTemplateDegree) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q8")).ok());
+  EXPECT_EQ(
+      framework.online_predictor("Q8")->config().predictor.dimensions, 6);
+}
+
+TEST(PpcFrameworkTest, NoisyExecutionTriggersNegativeFeedback) {
+  // With heavy execution-cost noise, the plan-cost-predictability test
+  // misfires regularly; each suspected misprediction must invoke the
+  // optimizer immediately (paper Sec. IV-D negative feedback).
+  auto config = BaseConfig();
+  config.execution_noise_stddev = 1.0;
+  PpcFramework framework(&SmallTpch(), config);
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  Rng rng(7);
+  size_t feedback = 0;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> x = {0.5 + rng.Uniform(-0.02, 0.02),
+                             0.5 + rng.Uniform(-0.02, 0.02)};
+    auto report = framework.ExecuteAtPoint("Q1", x).value();
+    if (report.negative_feedback_triggered) {
+      ++feedback;
+      EXPECT_TRUE(report.optimizer_invoked);
+      EXPECT_TRUE(report.used_prediction);
+      EXPECT_GT(report.optimize_micros, 0.0);
+    }
+  }
+  EXPECT_GT(feedback, 10u);
+}
+
+TEST(PpcFrameworkTest, CachedExecutionSkipsOptimizerUnlessFeedback) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  Rng rng(5);
+  size_t cheap_queries = 0;
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> x = {0.3 + rng.Uniform(-0.01, 0.01),
+                             0.3 + rng.Uniform(-0.01, 0.01)};
+    auto report = framework.ExecuteAtPoint("Q1", x).value();
+    if (report.used_prediction && !report.negative_feedback_triggered) {
+      EXPECT_FALSE(report.optimizer_invoked);
+      EXPECT_EQ(report.optimize_micros, 0.0);
+      ++cheap_queries;
+    }
+  }
+  EXPECT_GT(cheap_queries, 100u);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "clustering/approximate_lsh_predictor.h"
+#include "clustering/density_predictor.h"
+#include "clustering/kmeans_predictor.h"
+#include "clustering/naive_grid_predictor.h"
+#include "clustering/single_linkage_predictor.h"
+#include "ppc/lsh_histograms_predictor.h"
+#include "ppc/metrics.h"
+#include "test_util.h"
+
+namespace ppc {
+namespace {
+
+using testutil::HalfSpaceBoundaryDistance;
+using testutil::HalfSpacePlan;
+using testutil::QuadrantPlan;
+using testutil::SamplePoints;
+
+enum class Kind {
+  kKMeans,
+  kSingleLinkage,
+  kDensity,
+  kNaive,
+  kApproximateLsh,
+  kLshHistograms,
+};
+
+std::unique_ptr<PlanPredictor> MakePredictor(
+    Kind kind, const std::vector<LabeledPoint>& sample, double radius,
+    double gamma) {
+  switch (kind) {
+    case Kind::kKMeans: {
+      KMeansPredictor::Config cfg;
+      cfg.clusters_per_plan = 40;
+      cfg.radius = radius;
+      return std::make_unique<KMeansPredictor>(cfg, sample);
+    }
+    case Kind::kSingleLinkage: {
+      SingleLinkagePredictor::Config cfg;
+      cfg.radius = radius;
+      return std::make_unique<SingleLinkagePredictor>(cfg, sample);
+    }
+    case Kind::kDensity: {
+      DensityPredictor::Config cfg;
+      cfg.radius = radius;
+      cfg.confidence_threshold = gamma;
+      return std::make_unique<DensityPredictor>(cfg, sample);
+    }
+    case Kind::kNaive: {
+      NaiveGridPredictor::Config cfg;
+      cfg.dimensions = 2;
+      cfg.bucket_budget = 1024;
+      cfg.radius = radius;
+      cfg.confidence_threshold = gamma;
+      return std::make_unique<NaiveGridPredictor>(cfg, sample);
+    }
+    case Kind::kApproximateLsh: {
+      ApproximateLshPredictor::Config cfg;
+      cfg.dimensions = 2;
+      cfg.transform_count = 5;
+      cfg.radius = radius;
+      cfg.confidence_threshold = gamma;
+      return std::make_unique<ApproximateLshPredictor>(cfg, sample);
+    }
+    case Kind::kLshHistograms: {
+      LshHistogramsPredictor::Config cfg;
+      cfg.dimensions = 2;
+      cfg.transform_count = 5;
+      cfg.histogram_buckets = 60;
+      cfg.radius = radius;
+      cfg.confidence_threshold = gamma;
+      return std::make_unique<LshHistogramsPredictor>(cfg, sample);
+    }
+  }
+  return nullptr;
+}
+
+class PredictorTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(PredictorTest, HighPrecisionDeepInsideRegions) {
+  Rng rng(1);
+  auto sample = SamplePoints(2, 1500, HalfSpacePlan, &rng);
+  auto predictor = MakePredictor(GetParam(), sample, 0.08, 0.5);
+  MetricsAccumulator metrics;
+  Rng test_rng(2);
+  int tested = 0;
+  while (tested < 300) {
+    std::vector<double> x = {test_rng.Uniform(), test_rng.Uniform()};
+    if (HalfSpaceBoundaryDistance(x) < 0.15) continue;  // deep points only
+    ++tested;
+    metrics.Record(predictor->Predict(x).plan, HalfSpacePlan(x));
+  }
+  EXPECT_GT(metrics.Precision(), 0.95) << predictor->Name();
+  EXPECT_GT(metrics.Recall(), 0.6) << predictor->Name();
+}
+
+TEST_P(PredictorTest, OnlineInsertImprovesCoverage) {
+  auto predictor =
+      MakePredictor(GetParam(), {}, 0.1, 0.5);
+  // Empty predictor answers NULL.
+  EXPECT_FALSE(predictor->Predict({0.2, 0.2}).has_value());
+  Rng rng(3);
+  for (const LabeledPoint& p : SamplePoints(2, 800, HalfSpacePlan, &rng)) {
+    predictor->Insert(p);
+  }
+  MetricsAccumulator metrics;
+  Rng test_rng(4);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x = {test_rng.Uniform() * 0.3,
+                             test_rng.Uniform() * 0.3};  // deep in plan 1
+    metrics.Record(predictor->Predict(x).plan, 1);
+  }
+  EXPECT_GT(metrics.Recall(), 0.5) << predictor->Name();
+  EXPECT_GT(metrics.Precision(), 0.95) << predictor->Name();
+}
+
+TEST_P(PredictorTest, SpaceBytesPositiveOncePopulated) {
+  Rng rng(5);
+  auto sample = SamplePoints(2, 200, HalfSpacePlan, &rng);
+  auto predictor = MakePredictor(GetParam(), sample, 0.1, 0.5);
+  predictor->Predict({0.5, 0.5});  // force lazy builds
+  EXPECT_GT(predictor->SpaceBytes(), 0u) << predictor->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPredictors, PredictorTest,
+                         ::testing::Values(Kind::kKMeans, Kind::kSingleLinkage,
+                                           Kind::kDensity, Kind::kNaive,
+                                           Kind::kApproximateLsh,
+                                           Kind::kLshHistograms));
+
+class ConfidenceGatedTest : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(ConfidenceGatedTest, HighGammaAbstainsNearBoundary) {
+  Rng rng(7);
+  auto sample = SamplePoints(2, 2000, HalfSpacePlan, &rng);
+  auto strict = MakePredictor(GetParam(), sample, 0.1, 0.95);
+  auto lax = MakePredictor(GetParam(), sample, 0.1, 0.3);
+  Rng test_rng(8);
+  int strict_answers = 0, lax_answers = 0, trials = 0;
+  while (trials < 300) {
+    std::vector<double> x = {test_rng.Uniform(), test_rng.Uniform()};
+    if (HalfSpaceBoundaryDistance(x) > 0.03) continue;  // boundary points
+    ++trials;
+    if (strict->Predict(x).has_value()) ++strict_answers;
+    if (lax->Predict(x).has_value()) ++lax_answers;
+  }
+  EXPECT_LT(strict_answers, lax_answers)
+      << "gamma should suppress boundary predictions";
+}
+
+TEST_P(ConfidenceGatedTest, PrecisionRecallTradeoffWithGamma) {
+  Rng rng(9);
+  auto sample = SamplePoints(2, 2000, HalfSpacePlan, &rng);
+  auto strict = MakePredictor(GetParam(), sample, 0.1, 0.9);
+  auto lax = MakePredictor(GetParam(), sample, 0.1, 0.1);
+  MetricsAccumulator strict_m, lax_m;
+  Rng test_rng(10);
+  for (int i = 0; i < 600; ++i) {
+    std::vector<double> x = {test_rng.Uniform(), test_rng.Uniform()};
+    strict_m.Record(strict->Predict(x).plan, HalfSpacePlan(x));
+    lax_m.Record(lax->Predict(x).plan, HalfSpacePlan(x));
+  }
+  EXPECT_GE(strict_m.Precision(), lax_m.Precision() - 0.01);
+  EXPECT_LE(strict_m.Recall(), lax_m.Recall() + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(DensityFamily, ConfidenceGatedTest,
+                         ::testing::Values(Kind::kDensity, Kind::kNaive,
+                                           Kind::kApproximateLsh,
+                                           Kind::kLshHistograms));
+
+TEST(DensityPredictorTest, FourPlanQuadrants) {
+  Rng rng(11);
+  auto sample = SamplePoints(2, 2000, QuadrantPlan, &rng);
+  DensityPredictor::Config cfg;
+  cfg.radius = 0.08;
+  cfg.confidence_threshold = 0.5;
+  DensityPredictor predictor(cfg, sample);
+  EXPECT_EQ(predictor.Predict({0.2, 0.2}).plan, 1u);
+  EXPECT_EQ(predictor.Predict({0.8, 0.2}).plan, 2u);
+  EXPECT_EQ(predictor.Predict({0.2, 0.8}).plan, 3u);
+  EXPECT_EQ(predictor.Predict({0.8, 0.8}).plan, 4u);
+}
+
+TEST(DensityPredictorTest, ReportsEstimatedCost) {
+  Rng rng(13);
+  auto sample = SamplePoints(2, 1000, HalfSpacePlan, &rng);
+  DensityPredictor::Config cfg;
+  cfg.radius = 0.1;
+  cfg.confidence_threshold = 0.5;
+  DensityPredictor predictor(cfg, sample);
+  const auto pred = predictor.Predict({0.2, 0.2});
+  ASSERT_TRUE(pred.has_value());
+  // Plan 1's synthetic cost near (0.2, 0.2) is ~104.
+  EXPECT_NEAR(pred.estimated_cost, 104.0, 5.0);
+}
+
+TEST(DensityPredictorTest, EmptyNeighborhoodIsNull) {
+  Rng rng(17);
+  std::vector<LabeledPoint> corner = {{{0.05, 0.05}, 1, 1.0}};
+  DensityPredictor::Config cfg;
+  cfg.radius = 0.05;
+  DensityPredictor predictor(cfg, corner);
+  EXPECT_FALSE(predictor.Predict({0.9, 0.9}).has_value());
+}
+
+TEST(KMeansPredictorTest, RadiusGatesDistantPredictions) {
+  std::vector<LabeledPoint> sample = {{{0.1, 0.1}, 1, 1.0},
+                                      {{0.12, 0.1}, 1, 1.0}};
+  KMeansPredictor::Config cfg;
+  cfg.clusters_per_plan = 2;
+  cfg.radius = 0.05;
+  KMeansPredictor predictor(cfg, sample);
+  EXPECT_TRUE(predictor.Predict({0.1, 0.1}).has_value());
+  EXPECT_FALSE(predictor.Predict({0.5, 0.5}).has_value());
+}
+
+TEST(SingleLinkagePredictorTest, NearestNeighborLabel) {
+  std::vector<LabeledPoint> sample = {{{0.2, 0.2}, 1, 5.0},
+                                      {{0.8, 0.8}, 2, 9.0}};
+  SingleLinkagePredictor::Config cfg;
+  cfg.radius = 0.5;
+  SingleLinkagePredictor predictor(cfg, sample);
+  EXPECT_EQ(predictor.Predict({0.3, 0.3}).plan, 1u);
+  EXPECT_EQ(predictor.Predict({0.7, 0.7}).plan, 2u);
+  EXPECT_FALSE(predictor.Predict({0.2, 0.9}).has_value());  // > radius
+}
+
+TEST(SingleLinkagePredictorTest, SensitiveToOutliers) {
+  // One mislabeled outlier flips predictions around it — the weakness the
+  // paper contrasts against density-based clustering.
+  Rng rng(19);
+  auto sample = SamplePoints(2, 500, HalfSpacePlan, &rng);
+  sample.push_back({{0.1, 0.1}, 2, 1.0});  // outlier: plan 2 deep in plan 1
+  SingleLinkagePredictor::Config slc;
+  slc.radius = 0.2;
+  SingleLinkagePredictor linkage(slc, sample);
+  DensityPredictor::Config dc;
+  dc.radius = 0.1;
+  dc.confidence_threshold = 0.5;
+  DensityPredictor density(dc, sample);
+  // Exactly at the outlier, single linkage parrots it; density overrules.
+  EXPECT_EQ(linkage.Predict({0.1, 0.1}).plan, 2u);
+  EXPECT_EQ(density.Predict({0.1, 0.1}).plan, 1u);
+}
+
+TEST(NaiveGridPredictorTest, BudgetControlsResolution) {
+  NaiveGridPredictor::Config cfg;
+  cfg.dimensions = 2;
+  cfg.bucket_budget = 100;
+  NaiveGridPredictor predictor(cfg);
+  EXPECT_EQ(predictor.cells_per_dim(), 10u);
+  EXPECT_EQ(CellsPerDimForBudget(1000, 3), 10u);
+  EXPECT_EQ(CellsPerDimForBudget(7, 3), 1u);
+}
+
+TEST(ApproximateLshPredictorTest, MedianRobustToOneBadGrid) {
+  // With 5 transforms, a single unlucky bucket alignment cannot flip the
+  // median-based density estimate; check boundary precision beats NAIVE's
+  // on a coarse budget.
+  Rng rng(23);
+  auto sample = SamplePoints(2, 3000, HalfSpacePlan, &rng);
+  NaiveGridPredictor::Config ncfg;
+  ncfg.dimensions = 2;
+  ncfg.bucket_budget = 64;  // deliberately coarse: 8x8
+  ncfg.radius = 0.05;
+  ncfg.confidence_threshold = 0.7;
+  NaiveGridPredictor naive(ncfg, sample);
+  ApproximateLshPredictor::Config acfg;
+  acfg.dimensions = 2;
+  acfg.transform_count = 7;
+  acfg.bits_per_dim = 3;  // same 8 cells per axis
+  acfg.radius = 0.05;
+  acfg.confidence_threshold = 0.7;
+  ApproximateLshPredictor lsh(acfg, sample);
+
+  MetricsAccumulator naive_m, lsh_m;
+  Rng test_rng(29);
+  for (int i = 0; i < 800; ++i) {
+    std::vector<double> x = {test_rng.Uniform(), test_rng.Uniform()};
+    naive_m.Record(naive.Predict(x).plan, HalfSpacePlan(x));
+    lsh_m.Record(lsh.Predict(x).plan, HalfSpacePlan(x));
+  }
+  EXPECT_GE(lsh_m.Precision(), naive_m.Precision());
+}
+
+TEST(ApproximateLshPredictorTest, SpaceIsTTimesNaive) {
+  ApproximateLshPredictor::Config cfg;
+  cfg.dimensions = 2;
+  cfg.transform_count = 5;
+  cfg.bits_per_dim = 4;
+  ApproximateLshPredictor predictor(cfg);
+  predictor.Insert({{0.5, 0.5}, 1, 1.0});
+  // 5 grids x 1 plan x 16^2 cells x 8 bytes.
+  EXPECT_EQ(predictor.SpaceBytes(), 5u * 256u * 8u);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,125 @@
+#include "optimizer/robust_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/plan_evaluator.h"
+#include "ppc/runtime_simulator.h"
+#include "test_util.h"
+#include "workload/templates.h"
+#include "workload/workload_generator.h"
+
+namespace ppc {
+namespace {
+
+using testutil::SmallTpch;
+
+class RobustPlanTest : public ::testing::Test {
+ protected:
+  RobustPlanTest() : optimizer_(&SmallTpch()) {}
+
+  std::vector<std::vector<double>> Samples(int dims, size_t n) {
+    Rng rng(55);
+    return UniformPlanSpaceSample(dims, n, &rng);
+  }
+
+  Optimizer optimizer_;
+};
+
+TEST_F(RobustPlanTest, EmptySamplesRejected) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  EXPECT_FALSE(SelectRobustPlan(optimizer_, prep, {}).ok());
+}
+
+TEST_F(RobustPlanTest, SingleSampleReturnsItsOptimalPlan) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  const std::vector<double> point = {0.5, 0.5};
+  auto robust = SelectRobustPlan(optimizer_, prep, {point}).value();
+  auto optimal = optimizer_.Optimize(prep, point).value();
+  EXPECT_EQ(robust.plan_id, optimal.plan_id);
+  EXPECT_EQ(robust.optimizer_calls, 1u);
+  EXPECT_EQ(robust.candidates, 1u);
+  EXPECT_NEAR(robust.average_cost, optimal.estimated_cost,
+              optimal.estimated_cost * 1e-9);
+}
+
+TEST_F(RobustPlanTest, MinimizesAverageCostAmongCandidates) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q2");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto samples = Samples(2, 200);
+  auto robust = SelectRobustPlan(optimizer_, prep, samples).value();
+  ASSERT_NE(robust.plan, nullptr);
+
+  // Replaying any other candidate over the same samples must not beat the
+  // winner's average.
+  std::map<PlanId, std::unique_ptr<PlanNode>> others;
+  for (const auto& point : samples) {
+    auto opt = optimizer_.Optimize(prep, point).value();
+    if (opt.plan_id != robust.plan_id) {
+      others.emplace(opt.plan_id, std::move(opt.plan));
+    }
+  }
+  for (const auto& [plan_id, plan] : others) {
+    double sum = 0.0;
+    for (const auto& point : samples) {
+      sum += EvaluatePlanAtPoint(prep, optimizer_.cost_model(), *plan, point)
+                 .value()
+                 .cost;
+    }
+    EXPECT_GE(sum / static_cast<double>(samples.size()),
+              robust.average_cost * (1.0 - 1e-9))
+        << "candidate " << plan_id;
+  }
+}
+
+TEST_F(RobustPlanTest, RobustBeatsCornerPlanOnAverage) {
+  // The plan optimized at an extreme corner should average worse over the
+  // whole space than the robust plan.
+  const QueryTemplate tmpl = EvaluationTemplate("Q2");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto samples = Samples(2, 200);
+  auto robust = SelectRobustPlan(optimizer_, prep, samples).value();
+  auto corner = optimizer_.Optimize(prep, {0.001, 0.001}).value();
+  double corner_sum = 0.0;
+  for (const auto& point : samples) {
+    corner_sum += EvaluatePlanAtPoint(prep, optimizer_.cost_model(),
+                                      *corner.plan, point)
+                      .value()
+                      .cost;
+  }
+  EXPECT_GE(corner_sum / static_cast<double>(samples.size()),
+            robust.average_cost * (1.0 - 1e-9));
+}
+
+TEST_F(RobustPlanTest, ReportsSelectionOverhead) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q5");
+  auto prep = optimizer_.Prepare(tmpl).value();
+  auto robust = SelectRobustPlan(optimizer_, prep, Samples(4, 150)).value();
+  EXPECT_EQ(robust.optimizer_calls, 150u);
+  EXPECT_GE(robust.candidates, 2u);
+  EXPECT_GE(robust.worst_case_suboptimality, 1.0);
+}
+
+TEST_F(RobustPlanTest, RuntimeSimulatorRobustStrategy) {
+  RuntimeSimulator::Options options;
+  options.cost_to_seconds = 1e-8;
+  options.robust_sample_count = 60;
+  RuntimeSimulator simulator(&SmallTpch(), EvaluationTemplate("Q5"),
+                             options);
+  TrajectoryConfig traj;
+  traj.dimensions = 4;
+  traj.total_points = 200;
+  Rng rng(77);
+  auto workload = RandomTrajectoriesWorkload(traj, &rng);
+  auto result = simulator.Run(CachingStrategy::kRobustCache, workload);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Selection makes exactly robust_sample_count optimizer calls up front.
+  EXPECT_EQ(result.value().optimizer_calls, 60u);
+  EXPECT_GE(result.value().MeanSuboptimality(), 1.0);
+  EXPECT_STREQ(CachingStrategyName(CachingStrategy::kRobustCache),
+               "ROBUST-PLAN-CACHE");
+}
+
+}  // namespace
+}  // namespace ppc

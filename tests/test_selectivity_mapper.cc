@@ -1,0 +1,116 @@
+#include "workload/selectivity_mapper.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/templates.h"
+
+namespace ppc {
+namespace {
+
+using testutil::SmallTpch;
+
+TEST(SelectivityMapperTest, ValidateAcceptsEvaluationTemplates) {
+  for (const QueryTemplate& tmpl : EvaluationTemplates()) {
+    SelectivityMapper mapper(&SmallTpch(), &tmpl);
+    EXPECT_TRUE(mapper.Validate().ok()) << tmpl.name;
+  }
+}
+
+TEST(SelectivityMapperTest, ValidateRejectsUnknownColumn) {
+  QueryTemplate tmpl{"bad", {"orders"}, {}, {{"orders", "zzz"}}, true};
+  SelectivityMapper mapper(&SmallTpch(), &tmpl);
+  EXPECT_FALSE(mapper.Validate().ok());
+}
+
+TEST(SelectivityMapperTest, RoundTripPointToInstanceToPoint) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q3");
+  SelectivityMapper mapper(&SmallTpch(), &tmpl);
+  for (const std::vector<double>& point : std::vector<std::vector<double>>{
+           {0.1, 0.5, 0.9}, {0.33, 0.66, 0.01}, {0.99, 0.2, 0.5}}) {
+    auto instance = mapper.ToInstance(point);
+    ASSERT_TRUE(instance.ok());
+    auto back = mapper.ToPlanSpacePoint(instance.value());
+    ASSERT_TRUE(back.ok());
+    for (size_t i = 0; i < point.size(); ++i) {
+      EXPECT_NEAR(back.value()[i], point[i], 0.03)
+          << "dim " << i << " of point " << point[0];
+    }
+  }
+}
+
+TEST(SelectivityMapperTest, InstanceCarriesTemplateName) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  SelectivityMapper mapper(&SmallTpch(), &tmpl);
+  EXPECT_EQ(mapper.ToInstance({0.5, 0.5}).value().template_name, "Q1");
+}
+
+TEST(SelectivityMapperTest, MonotoneParamValueInSelectivity) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  SelectivityMapper mapper(&SmallTpch(), &tmpl);
+  double prev = -1e300;
+  for (double f = 0.05; f <= 1.0; f += 0.05) {
+    const double v = mapper.ToInstance({f, 0.5}).value().param_values[0];
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SelectivityMapperTest, ExtremePointsClampToColumnDomain) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  SelectivityMapper mapper(&SmallTpch(), &tmpl);
+  const ColumnStats& s_date =
+      *SmallTpch().GetColumnStats("supplier", "s_date").value();
+  auto lo = mapper.ToInstance({0.0, 0.0}).value();
+  auto hi = mapper.ToInstance({1.0, 1.0}).value();
+  EXPECT_GE(lo.param_values[0], s_date.min);
+  EXPECT_LE(hi.param_values[0], s_date.max + 1e-9);
+  // Out-of-range coordinates clamp rather than fail.
+  EXPECT_TRUE(mapper.ToInstance({-0.5, 1.5}).ok());
+}
+
+TEST(SelectivityMapperTest, ArityMismatchRejected) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  SelectivityMapper mapper(&SmallTpch(), &tmpl);
+  EXPECT_FALSE(mapper.ToInstance({0.5}).ok());
+  QueryInstance instance{"Q1", {100.0}};
+  EXPECT_FALSE(mapper.ToPlanSpacePoint(instance).ok());
+}
+
+TEST(QueryTemplateTest, ParamsOnTable) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q7");
+  EXPECT_EQ(tmpl.ParamsOnTable("lineitem"), (std::vector<int>{2}));
+  EXPECT_EQ(tmpl.ParamsOnTable("nation"), (std::vector<int>{}));
+}
+
+TEST(QueryTemplateTest, TableIndex) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  EXPECT_EQ(tmpl.TableIndex("supplier"), 0);
+  EXPECT_EQ(tmpl.TableIndex("lineitem"), 1);
+  EXPECT_EQ(tmpl.TableIndex("orders"), -1);
+}
+
+TEST(QueryTemplateTest, ToSqlContainsAllPieces) {
+  const QueryTemplate tmpl = EvaluationTemplate("Q1");
+  const std::string sql = tmpl.ToSql();
+  EXPECT_NE(sql.find("SELECT COUNT(*)"), std::string::npos);
+  EXPECT_NE(sql.find("supplier.s_suppkey = lineitem.l_suppkey"),
+            std::string::npos);
+  EXPECT_NE(sql.find("supplier.s_date <= $0"), std::string::npos);
+  EXPECT_NE(sql.find("lineitem.l_partkey <= $1"), std::string::npos);
+}
+
+TEST(QueryTemplateTest, EvaluationTemplateDegreesMatchPaperRange) {
+  // Paper Appendix A: parameter degrees range 2..6.
+  int min_degree = 100, max_degree = 0;
+  for (const QueryTemplate& tmpl : EvaluationTemplates()) {
+    min_degree = std::min(min_degree, tmpl.ParameterDegree());
+    max_degree = std::max(max_degree, tmpl.ParameterDegree());
+  }
+  EXPECT_EQ(min_degree, 2);
+  EXPECT_EQ(max_degree, 6);
+  EXPECT_EQ(EvaluationTemplates().size(), 9u);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "ppc/lsh_histograms_predictor.h"
+#include "ppc/plan_synopsis.h"
+#include "stats/streaming_histogram.h"
+#include "test_util.h"
+
+namespace ppc {
+namespace {
+
+using testutil::HalfSpacePlan;
+using testutil::SamplePoints;
+
+TEST(BytesTest, WriterReaderRoundTrip) {
+  ByteWriter writer;
+  writer.PutU8(7);
+  writer.PutU32(123456);
+  writer.PutU64(0xdeadbeefcafebabeULL);
+  writer.PutDouble(3.14159);
+  writer.PutString("hello");
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(reader.GetU8().value(), 7);
+  EXPECT_EQ(reader.GetU32().value(), 123456u);
+  EXPECT_EQ(reader.GetU64().value(), 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(reader.GetDouble().value(), 3.14159);
+  EXPECT_EQ(reader.GetString().value(), "hello");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BytesTest, TruncatedReadsFail) {
+  ByteWriter writer;
+  writer.PutU32(1);
+  ByteReader reader(writer.buffer());
+  EXPECT_TRUE(reader.GetU32().ok());
+  EXPECT_EQ(reader.GetU32().status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(reader.GetU8().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BytesTest, TruncatedStringFails) {
+  ByteWriter writer;
+  writer.PutU32(100);  // claims 100 bytes, provides none
+  ByteReader reader(writer.buffer());
+  EXPECT_FALSE(reader.GetString().ok());
+}
+
+TEST(StreamingHistogramSerdeTest, RoundTripPreservesEstimates) {
+  StreamingHistogram original(16);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    original.Insert(rng.Uniform(), rng.Uniform(1.0, 100.0));
+  }
+  ByteWriter writer;
+  original.SerializeTo(&writer);
+  ByteReader reader(writer.buffer());
+  auto restored = StreamingHistogram::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().TotalCount(), original.TotalCount());
+  EXPECT_EQ(restored.value().bucket_count(), original.bucket_count());
+  for (double lo = 0.0; lo < 1.0; lo += 0.13) {
+    EXPECT_EQ(restored.value().EstimateCount(lo, lo + 0.1),
+              original.EstimateCount(lo, lo + 0.1));
+    EXPECT_EQ(restored.value().EstimateAverageCost(lo, lo + 0.1),
+              original.EstimateAverageCost(lo, lo + 0.1));
+  }
+}
+
+TEST(StreamingHistogramSerdeTest, RestoredHistogramAcceptsInserts) {
+  StreamingHistogram original(8);
+  original.Insert(0.5, 10.0);
+  ByteWriter writer;
+  original.SerializeTo(&writer);
+  ByteReader reader(writer.buffer());
+  auto restored = StreamingHistogram::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  for (int i = 0; i < 100; ++i) restored.value().Insert(0.1 + i * 0.001, 1.0);
+  EXPECT_LE(restored.value().bucket_count(), 8u);
+  EXPECT_EQ(restored.value().TotalCount(), 101u);
+}
+
+TEST(StreamingHistogramSerdeTest, RejectsMalformedContent) {
+  ByteWriter writer;
+  writer.PutU32(1);  // max_buckets < 2
+  writer.PutU8(0);
+  writer.PutU64(0);
+  writer.PutU32(0);
+  ByteReader reader(writer.buffer());
+  EXPECT_EQ(StreamingHistogram::Deserialize(&reader).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlanSynopsisSerdeTest, RoundTrip) {
+  PlanSynopsis original(3, 16,
+                        StreamingHistogram::MergePolicy::kMinVarianceIncrease);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    for (size_t t = 0; t < 3; ++t) {
+      original.Insert(t, rng.Uniform(), rng.Uniform(1.0, 50.0));
+    }
+  }
+  ByteWriter writer;
+  original.SerializeTo(&writer);
+  ByteReader reader(writer.buffer());
+  auto restored = PlanSynopsis::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().transform_count(), 3u);
+  EXPECT_EQ(restored.value().SampleCount(), original.SampleCount());
+  const std::vector<double> pos = {0.3, 0.5, 0.7};
+  const std::vector<double> del = {0.1, 0.1, 0.1};
+  EXPECT_EQ(restored.value().MedianCount(pos, del),
+            original.MedianCount(pos, del));
+}
+
+class PredictorSerdeTest : public ::testing::Test {
+ protected:
+  static LshHistogramsPredictor::Config Config() {
+    LshHistogramsPredictor::Config cfg;
+    cfg.dimensions = 2;
+    cfg.transform_count = 5;
+    cfg.histogram_buckets = 40;
+    cfg.radius = 0.1;
+    cfg.confidence_threshold = 0.6;
+    cfg.noise_fraction = 0.001;
+    cfg.seed = 77;
+    return cfg;
+  }
+};
+
+TEST_F(PredictorSerdeTest, RestoredPredictorAnswersIdentically) {
+  Rng rng(7);
+  LshHistogramsPredictor original(Config(),
+                                  SamplePoints(2, 1000, HalfSpacePlan, &rng));
+  auto restored = LshHistogramsPredictor::Restore(original.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().TotalSamples(), original.TotalSamples());
+  EXPECT_EQ(restored.value().DistinctPlans(), original.DistinctPlans());
+  EXPECT_EQ(restored.value().SpaceBytes(), original.SpaceBytes());
+  Rng test_rng(9);
+  for (int i = 0; i < 300; ++i) {
+    const std::vector<double> x = {test_rng.Uniform(), test_rng.Uniform()};
+    const Prediction a = original.Predict(x);
+    const Prediction b = restored.value().Predict(x);
+    EXPECT_EQ(a.plan, b.plan);
+    EXPECT_EQ(a.confidence, b.confidence);
+    EXPECT_EQ(a.estimated_cost, b.estimated_cost);
+  }
+}
+
+TEST_F(PredictorSerdeTest, RestoredPredictorContinuesLearning) {
+  Rng rng(11);
+  LshHistogramsPredictor original(Config(),
+                                  SamplePoints(2, 300, HalfSpacePlan, &rng));
+  auto restored = LshHistogramsPredictor::Restore(original.Serialize());
+  ASSERT_TRUE(restored.ok());
+  for (const LabeledPoint& p : SamplePoints(2, 300, HalfSpacePlan, &rng)) {
+    restored.value().Insert(p);
+  }
+  EXPECT_EQ(restored.value().TotalSamples(), 600u);
+}
+
+TEST_F(PredictorSerdeTest, RejectsWrongMagic) {
+  EXPECT_FALSE(LshHistogramsPredictor::Restore("garbage").ok());
+  std::string empty;
+  EXPECT_FALSE(LshHistogramsPredictor::Restore(empty).ok());
+}
+
+TEST_F(PredictorSerdeTest, RejectsTruncatedSnapshot) {
+  Rng rng(13);
+  LshHistogramsPredictor original(Config(),
+                                  SamplePoints(2, 100, HalfSpacePlan, &rng));
+  const std::string bytes = original.Serialize();
+  for (size_t cut : {bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_FALSE(
+        LshHistogramsPredictor::Restore(bytes.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(PredictorSerdeTest, RejectsTrailingGarbage) {
+  Rng rng(17);
+  LshHistogramsPredictor original(Config(),
+                                  SamplePoints(2, 100, HalfSpacePlan, &rng));
+  EXPECT_FALSE(
+      LshHistogramsPredictor::Restore(original.Serialize() + "x").ok());
+}
+
+TEST_F(PredictorSerdeTest, EmptyPredictorRoundTrips) {
+  LshHistogramsPredictor original(Config());
+  auto restored = LshHistogramsPredictor::Restore(original.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().TotalSamples(), 0u);
+  EXPECT_FALSE(restored.value().Predict({0.5, 0.5}).has_value());
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,110 @@
+#include "ppc/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+namespace ppc {
+namespace {
+
+TEST(SlidingWindowTest, EmptyWindowIsZero) {
+  SlidingWindowEstimator w(5);
+  EXPECT_EQ(w.Value(), 0.0);
+  EXPECT_EQ(w.Count(), 0u);
+  EXPECT_FALSE(w.Full());
+}
+
+TEST(SlidingWindowTest, TracksProportion) {
+  SlidingWindowEstimator w(10);
+  for (int i = 0; i < 7; ++i) w.Record(true);
+  for (int i = 0; i < 3; ++i) w.Record(false);
+  EXPECT_TRUE(w.Full());
+  EXPECT_NEAR(w.Value(), 0.7, 1e-12);
+}
+
+TEST(SlidingWindowTest, OldEntriesEvicted) {
+  SlidingWindowEstimator w(4);
+  w.Record(true);
+  w.Record(true);
+  w.Record(true);
+  w.Record(true);
+  EXPECT_EQ(w.Value(), 1.0);
+  w.Record(false);
+  w.Record(false);
+  // Window is now {true, true, false, false}.
+  EXPECT_NEAR(w.Value(), 0.5, 1e-12);
+  EXPECT_EQ(w.Count(), 4u);
+}
+
+TEST(SlidingWindowTest, ClearResets) {
+  SlidingWindowEstimator w(4);
+  w.Record(true);
+  w.Clear();
+  EXPECT_EQ(w.Count(), 0u);
+  EXPECT_EQ(w.Value(), 0.0);
+}
+
+TEST(PrecisionRecallTrackerTest, RecallIsBetaTimesPrecision) {
+  PrecisionRecallTracker tracker(100);
+  // 10 predictions: 6 made (4 correct), 4 NULL.
+  for (int i = 0; i < 4; ++i) tracker.RecordPrediction(1, true, true);
+  for (int i = 0; i < 2; ++i) tracker.RecordPrediction(1, true, false);
+  for (int i = 0; i < 4; ++i) {
+    tracker.RecordPrediction(kNullPlanId, false, false);
+  }
+  EXPECT_NEAR(tracker.Beta(), 0.6, 1e-12);
+  EXPECT_NEAR(tracker.TemplatePrecision(), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(tracker.TemplateRecall(),
+              tracker.Beta() * tracker.TemplatePrecision(), 1e-12);
+  EXPECT_NEAR(tracker.TemplateRecall(), 0.4, 1e-12);
+}
+
+TEST(PrecisionRecallTrackerTest, PerPlanPrecisionIsolated) {
+  PrecisionRecallTracker tracker(100);
+  tracker.RecordPrediction(1, true, true);
+  tracker.RecordPrediction(1, true, true);
+  tracker.RecordPrediction(2, true, false);
+  EXPECT_EQ(tracker.PlanPrecision(1), 1.0);
+  EXPECT_EQ(tracker.PlanPrecision(2), 0.0);
+  // Unknown plans default to 1.0 (no evidence against them).
+  EXPECT_EQ(tracker.PlanPrecision(999), 1.0);
+}
+
+TEST(PrecisionRecallTrackerTest, PrecisionBelowRequiresFullWindow) {
+  PrecisionRecallTracker tracker(4);
+  tracker.RecordPrediction(1, true, false);
+  tracker.RecordPrediction(1, true, false);
+  // Only 2 of 4 window slots filled: no drift signal yet.
+  EXPECT_FALSE(tracker.PrecisionBelow(0.5));
+  tracker.RecordPrediction(1, true, false);
+  tracker.RecordPrediction(1, true, false);
+  EXPECT_TRUE(tracker.PrecisionBelow(0.5));
+}
+
+TEST(PrecisionRecallTrackerTest, RecoversAfterGoodStreak) {
+  PrecisionRecallTracker tracker(4);
+  for (int i = 0; i < 4; ++i) tracker.RecordPrediction(1, true, false);
+  EXPECT_TRUE(tracker.PrecisionBelow(0.5));
+  for (int i = 0; i < 4; ++i) tracker.RecordPrediction(1, true, true);
+  EXPECT_FALSE(tracker.PrecisionBelow(0.5));
+}
+
+TEST(PrecisionRecallTrackerTest, ClearResetsEverything) {
+  PrecisionRecallTracker tracker(10);
+  tracker.RecordPrediction(1, true, true);
+  tracker.Clear();
+  EXPECT_EQ(tracker.TemplatePrecision(), 0.0);
+  EXPECT_EQ(tracker.Beta(), 0.0);
+  EXPECT_EQ(tracker.PlanPrecision(1), 1.0);
+}
+
+TEST(PrecisionRecallTrackerTest, NullPredictionsDoNotTouchPrecision) {
+  PrecisionRecallTracker tracker(10);
+  tracker.RecordPrediction(1, true, true);
+  for (int i = 0; i < 5; ++i) {
+    tracker.RecordPrediction(kNullPlanId, false, false);
+  }
+  EXPECT_EQ(tracker.TemplatePrecision(), 1.0);
+  EXPECT_NEAR(tracker.Beta(), 1.0 / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,156 @@
+#include "workload/template_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "optimizer/optimizer.h"
+#include "workload/templates.h"
+
+namespace ppc {
+namespace {
+
+using testutil::SmallTpch;
+
+TEST(TemplateParserTest, MinimalSingleTable) {
+  auto result = ParseQueryTemplate("SELECT COUNT(*) FROM orders");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().tables, (std::vector<std::string>{"orders"}));
+  EXPECT_TRUE(result.value().aggregate);
+  EXPECT_TRUE(result.value().joins.empty());
+  EXPECT_TRUE(result.value().params.empty());
+}
+
+TEST(TemplateParserTest, StarSelectsNonAggregating) {
+  auto result = ParseQueryTemplate("SELECT * FROM orders");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().aggregate);
+}
+
+TEST(TemplateParserTest, JoinsAndParams) {
+  auto result = ParseQueryTemplate(
+      "SELECT COUNT(*) FROM supplier, lineitem "
+      "WHERE supplier.s_suppkey = lineitem.l_suppkey "
+      "AND supplier.s_date <= $0 AND lineitem.l_partkey <= $1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const QueryTemplate& tmpl = result.value();
+  ASSERT_EQ(tmpl.joins.size(), 1u);
+  EXPECT_EQ(tmpl.joins[0].left_table, "supplier");
+  EXPECT_EQ(tmpl.joins[0].right_column, "l_suppkey");
+  ASSERT_EQ(tmpl.params.size(), 2u);
+  EXPECT_EQ(tmpl.params[0].column, "s_date");
+  EXPECT_EQ(tmpl.params[1].column, "l_partkey");
+}
+
+TEST(TemplateParserTest, CaseInsensitiveKeywords) {
+  auto result = ParseQueryTemplate(
+      "select count(*) from orders where orders.o_date <= $0");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().ParameterDegree(), 1);
+}
+
+TEST(TemplateParserTest, WhitespaceTolerant) {
+  auto result = ParseQueryTemplate(
+      "  SELECT   COUNT( * )\n FROM  orders ,  lineitem\n"
+      "WHERE orders.o_orderkey=lineitem.l_orderkey AND "
+      "orders.o_date<=$0");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().tables.size(), 2u);
+}
+
+TEST(TemplateParserTest, RoundTripsAllEvaluationTemplates) {
+  // Parse(ToSql(t)) must reproduce t exactly.
+  for (const QueryTemplate& tmpl : EvaluationTemplates()) {
+    auto result = ParseQueryTemplate(tmpl.ToSql(), nullptr, tmpl.name);
+    ASSERT_TRUE(result.ok())
+        << tmpl.name << ": " << result.status().ToString();
+    const QueryTemplate& parsed = result.value();
+    EXPECT_EQ(parsed.tables, tmpl.tables) << tmpl.name;
+    EXPECT_EQ(parsed.params.size(), tmpl.params.size()) << tmpl.name;
+    EXPECT_EQ(parsed.joins.size(), tmpl.joins.size()) << tmpl.name;
+    EXPECT_EQ(parsed.aggregate, tmpl.aggregate) << tmpl.name;
+    EXPECT_EQ(parsed.ToSql(), tmpl.ToSql()) << tmpl.name;
+  }
+}
+
+TEST(TemplateParserTest, RejectsMissingFrom) {
+  EXPECT_FALSE(ParseQueryTemplate("SELECT COUNT(*)").ok());
+}
+
+TEST(TemplateParserTest, RejectsBadSelectList) {
+  EXPECT_FALSE(ParseQueryTemplate("SELECT SUM(x) FROM orders").ok());
+}
+
+TEST(TemplateParserTest, RejectsUnknownOperator) {
+  EXPECT_FALSE(ParseQueryTemplate(
+                   "SELECT COUNT(*) FROM orders WHERE orders.o_date < $0")
+                   .ok());
+}
+
+TEST(TemplateParserTest, RejectsNonDenseParameterNumbers) {
+  EXPECT_FALSE(ParseQueryTemplate(
+                   "SELECT COUNT(*) FROM orders WHERE orders.o_date <= $1")
+                   .ok());
+  EXPECT_FALSE(
+      ParseQueryTemplate("SELECT COUNT(*) FROM orders, lineitem WHERE "
+                         "orders.o_date <= $0 AND lineitem.l_date <= $0")
+          .ok());
+}
+
+TEST(TemplateParserTest, RejectsJoinAgainstMissingTable) {
+  EXPECT_FALSE(
+      ParseQueryTemplate("SELECT COUNT(*) FROM orders WHERE "
+                         "orders.o_orderkey = lineitem.l_orderkey")
+          .ok());
+}
+
+TEST(TemplateParserTest, RejectsParamOnMissingTable) {
+  EXPECT_FALSE(ParseQueryTemplate(
+                   "SELECT COUNT(*) FROM orders WHERE lineitem.l_date <= $0")
+                   .ok());
+}
+
+TEST(TemplateParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseQueryTemplate(
+                   "SELECT COUNT(*) FROM orders WHERE orders.o_date <= $0 "
+                   "ORDER BY 1")
+                   .ok());
+}
+
+TEST(TemplateParserTest, CatalogValidationAcceptsRealSchema) {
+  auto result = ParseQueryTemplate(
+      "SELECT COUNT(*) FROM supplier, lineitem "
+      "WHERE supplier.s_suppkey = lineitem.l_suppkey "
+      "AND supplier.s_date <= $0",
+      &SmallTpch());
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+TEST(TemplateParserTest, CatalogValidationRejectsUnknownTable) {
+  auto result =
+      ParseQueryTemplate("SELECT COUNT(*) FROM nonexistent", &SmallTpch());
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TemplateParserTest, CatalogValidationRejectsUnknownColumn) {
+  auto result = ParseQueryTemplate(
+      "SELECT COUNT(*) FROM orders WHERE orders.bogus <= $0", &SmallTpch());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TemplateParserTest, ParsedTemplateOptimizes) {
+  // End to end: parse -> prepare -> optimize.
+  auto tmpl = ParseQueryTemplate(
+      "SELECT COUNT(*) FROM orders, lineitem "
+      "WHERE orders.o_orderkey = lineitem.l_orderkey "
+      "AND orders.o_date <= $0 AND lineitem.l_quantity <= $1",
+      &SmallTpch(), "parsed_q2");
+  ASSERT_TRUE(tmpl.ok());
+  Optimizer optimizer(&SmallTpch());
+  auto result = optimizer.Optimize(tmpl.value(), {0.4, 0.6});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().estimated_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace ppc

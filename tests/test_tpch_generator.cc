@@ -1,0 +1,133 @@
+#include "storage/tpch_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ppc {
+namespace {
+
+TEST(TpchGeneratorTest, AllTablesPresent) {
+  const Catalog& catalog = testutil::SmallTpch();
+  for (const char* name : {"region", "nation", "supplier", "part", "partsupp",
+                           "customer", "orders", "lineitem"}) {
+    EXPECT_TRUE(catalog.GetTable(name).ok()) << name;
+  }
+}
+
+TEST(TpchGeneratorTest, RowCountsScale) {
+  const Catalog& catalog = testutil::SmallTpch();
+  // scale 0.002 over SF-1 base counts.
+  EXPECT_EQ(catalog.TableRows("supplier"), 20u);
+  EXPECT_EQ(catalog.TableRows("part"), 400u);
+  EXPECT_EQ(catalog.TableRows("partsupp"), 1600u);
+  EXPECT_EQ(catalog.TableRows("customer"), 300u);
+  EXPECT_EQ(catalog.TableRows("orders"), 3000u);
+  // lineitem: 1..7 lines per order, expectation 4 per order.
+  EXPECT_GT(catalog.TableRows("lineitem"), 3000u * 2);
+  EXPECT_LT(catalog.TableRows("lineitem"), 3000u * 7);
+  // Fixed dimension tables.
+  EXPECT_EQ(catalog.TableRows("region"), 5u);
+  EXPECT_EQ(catalog.TableRows("nation"), 25u);
+}
+
+TEST(TpchGeneratorTest, TinyScaleClampsToMinimumRows) {
+  TpchConfig cfg;
+  cfg.scale_factor = 1e-9;
+  auto catalog = BuildTpchCatalog(cfg);
+  EXPECT_GE(catalog->TableRows("supplier"), 8u);
+}
+
+TEST(TpchGeneratorTest, DateColumnsWithinSpan) {
+  const Catalog& catalog = testutil::SmallTpch();
+  for (const auto& [table, column] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"supplier", "s_date"},
+           {"part", "p_date"},
+           {"orders", "o_date"},
+           {"lineitem", "l_date"}}) {
+    const ColumnStats& stats =
+        *catalog.GetColumnStats(table, column).value();
+    EXPECT_GE(stats.min, 0.0) << table;
+    EXPECT_LE(stats.max, 2557.0) << table;
+  }
+}
+
+TEST(TpchGeneratorTest, DateColumnsAreGaussianShaped) {
+  const Catalog& catalog = testutil::SmallTpch();
+  const ColumnStats& stats =
+      *catalog.GetColumnStats("orders", "o_date").value();
+  // Median near the configured mean (1278), IQR far narrower than the span
+  // (Gaussian sigma=400 -> IQR ~ 540; uniform would give ~1278).
+  const double median = stats.ValueAtSelectivity(0.5);
+  EXPECT_NEAR(median, 1278.0, 60.0);
+  const double iqr =
+      stats.ValueAtSelectivity(0.75) - stats.ValueAtSelectivity(0.25);
+  EXPECT_GT(iqr, 300.0);
+  EXPECT_LT(iqr, 800.0);
+}
+
+TEST(TpchGeneratorTest, KeysAreDense) {
+  const Catalog& catalog = testutil::SmallTpch();
+  const ColumnStats& stats =
+      *catalog.GetColumnStats("orders", "o_orderkey").value();
+  EXPECT_EQ(stats.min, 1.0);
+  EXPECT_EQ(stats.max, 3000.0);
+  EXPECT_EQ(stats.distinct_count, 3000u);
+}
+
+TEST(TpchGeneratorTest, ForeignKeysReferenceExistingRows) {
+  const Catalog& catalog = testutil::SmallTpch();
+  const ColumnStats& fk =
+      *catalog.GetColumnStats("orders", "o_custkey").value();
+  EXPECT_GE(fk.min, 1.0);
+  EXPECT_LE(fk.max, static_cast<double>(catalog.TableRows("customer")));
+}
+
+TEST(TpchGeneratorTest, ExpectedIndexesExist) {
+  const Catalog& catalog = testutil::SmallTpch();
+  EXPECT_TRUE(catalog.HasIndex("orders", "o_orderkey"));
+  EXPECT_TRUE(catalog.HasIndex("orders", "o_date"));
+  EXPECT_TRUE(catalog.HasIndex("lineitem", "l_partkey"));
+  EXPECT_TRUE(catalog.HasIndex("supplier", "s_date"));
+  EXPECT_FALSE(catalog.HasIndex("orders", "o_totalprice"));
+}
+
+TEST(TpchGeneratorTest, DeterministicForSeed) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.001;
+  cfg.seed = 99;
+  auto a = BuildTpchCatalog(cfg);
+  auto b = BuildTpchCatalog(cfg);
+  const Table& ta = *a->GetTable("orders").value();
+  const Table& tb = *b->GetTable("orders").value();
+  ASSERT_EQ(ta.row_count(), tb.row_count());
+  for (size_t i = 0; i < std::min<size_t>(ta.row_count(), 50); ++i) {
+    EXPECT_EQ(ta.column(3).AsDouble(i), tb.column(3).AsDouble(i));
+  }
+}
+
+TEST(TpchGeneratorTest, DifferentSeedsDiffer) {
+  TpchConfig a_cfg, b_cfg;
+  a_cfg.scale_factor = b_cfg.scale_factor = 0.001;
+  a_cfg.seed = 1;
+  b_cfg.seed = 2;
+  auto a = BuildTpchCatalog(a_cfg);
+  auto b = BuildTpchCatalog(b_cfg);
+  const Table& ta = *a->GetTable("customer").value();
+  const Table& tb = *b->GetTable("customer").value();
+  int diffs = 0;
+  for (size_t i = 0; i < std::min(ta.row_count(), tb.row_count()); ++i) {
+    if (ta.column(2).AsDouble(i) != tb.column(2).AsDouble(i)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(TpchGeneratorTest, BaseRowsTable) {
+  EXPECT_EQ(TpchBaseRows("supplier"), 10000u);
+  EXPECT_EQ(TpchBaseRows("lineitem"), 6000000u);
+  EXPECT_EQ(TpchBaseRows("unknown"), 0u);
+}
+
+}  // namespace
+}  // namespace ppc

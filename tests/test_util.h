@@ -1,0 +1,78 @@
+#ifndef PPC_TESTS_TEST_UTIL_H_
+#define PPC_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "clustering/predictor.h"
+#include "common/rng.h"
+#include "storage/tpch_generator.h"
+
+namespace ppc {
+namespace testutil {
+
+/// Synthetic plan spaces with known ground truth, used to test predictors
+/// independently of the optimizer substrate.
+
+/// Ground-truth labeler: plan 1 where x0 + x1 < 1, plan 2 elsewhere
+/// (a diagonal half-space boundary).
+inline PlanId HalfSpacePlan(const std::vector<double>& x) {
+  return (x[0] + x[1] < 1.0) ? 1 : 2;
+}
+
+/// Ground-truth labeler: four quadrant plans (ids 1..4).
+inline PlanId QuadrantPlan(const std::vector<double>& x) {
+  const int qx = x[0] < 0.5 ? 0 : 1;
+  const int qy = x[1] < 0.5 ? 0 : 1;
+  return static_cast<PlanId>(1 + qx + 2 * qy);
+}
+
+/// Cost surface: smooth per-plan cost, distinct scales per plan so cost
+/// mispredictions are detectable.
+inline double SyntheticCost(const std::vector<double>& x, PlanId plan) {
+  double base = 100.0 * static_cast<double>(plan);
+  for (double v : x) base += 10.0 * v;
+  return base;
+}
+
+/// Uniformly samples `count` labeled points over [0,1]^dims with the given
+/// labeler.
+template <typename Labeler>
+std::vector<LabeledPoint> SamplePoints(int dims, size_t count, Labeler label,
+                                       Rng* rng) {
+  std::vector<LabeledPoint> points;
+  points.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    LabeledPoint p;
+    p.coords.resize(static_cast<size_t>(dims));
+    for (double& v : p.coords) v = rng->Uniform();
+    p.plan = label(p.coords);
+    p.cost = SyntheticCost(p.coords, p.plan);
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+/// Distance of `x` to the half-space boundary x0 + x1 = 1.
+inline double HalfSpaceBoundaryDistance(const std::vector<double>& x) {
+  return std::abs(x[0] + x[1] - 1.0) / std::sqrt(2.0);
+}
+
+/// Shared tiny TPC-H catalog (built once per process; tests treat it as
+/// immutable).
+inline const Catalog& SmallTpch() {
+  static const Catalog* catalog = [] {
+    TpchConfig cfg;
+    cfg.scale_factor = 0.002;
+    cfg.seed = 42;
+    return BuildTpchCatalog(cfg).release();
+  }();
+  return *catalog;
+}
+
+}  // namespace testutil
+}  // namespace ppc
+
+#endif  // PPC_TESTS_TEST_UTIL_H_

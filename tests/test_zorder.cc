@@ -1,0 +1,118 @@
+#include "lsh/zorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ppc {
+namespace {
+
+TEST(ZOrderTest, RoundTrip2D) {
+  ZOrderCurve curve(2, 8);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<uint32_t> cells = {
+        static_cast<uint32_t>(rng.UniformInt(uint64_t{256})),
+        static_cast<uint32_t>(rng.UniformInt(uint64_t{256}))};
+    EXPECT_EQ(curve.Deinterleave(curve.Interleave(cells)), cells);
+  }
+}
+
+TEST(ZOrderTest, RoundTripHighDims) {
+  for (int dims : {3, 4, 6}) {
+    const int bits = 62 / dims;
+    ZOrderCurve curve(dims, bits);
+    Rng rng(static_cast<uint64_t>(dims));
+    for (int i = 0; i < 50; ++i) {
+      std::vector<uint32_t> cells(static_cast<size_t>(dims));
+      for (auto& c : cells) {
+        c = static_cast<uint32_t>(rng.UniformInt(uint64_t{1} << bits));
+      }
+      EXPECT_EQ(curve.Deinterleave(curve.Interleave(cells)), cells);
+    }
+  }
+}
+
+TEST(ZOrderTest, KnownInterleaving) {
+  ZOrderCurve curve(2, 2);
+  // x = 0b01, y = 0b10: bits interleave as y1 x1 y0 x0 = 1 0 0 1 = 9.
+  EXPECT_EQ(curve.Interleave({1, 2}), 9u);
+  EXPECT_EQ(curve.Interleave({0, 0}), 0u);
+  EXPECT_EQ(curve.Interleave({3, 3}), 15u);
+}
+
+TEST(ZOrderTest, CoordinatesMaskedToBits) {
+  ZOrderCurve curve(2, 2);
+  // 5 = 0b101 masks to 0b01.
+  EXPECT_EQ(curve.Interleave({5, 0}), curve.Interleave({1, 0}));
+}
+
+TEST(ZOrderTest, LinearizeInUnitInterval) {
+  ZOrderCurve curve(3, 4);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<uint32_t> cells = {
+        static_cast<uint32_t>(rng.UniformInt(uint64_t{16})),
+        static_cast<uint32_t>(rng.UniformInt(uint64_t{16})),
+        static_cast<uint32_t>(rng.UniformInt(uint64_t{16}))};
+    const double z = curve.Linearize(cells);
+    EXPECT_GE(z, 0.0);
+    EXPECT_LT(z, 1.0);
+  }
+  EXPECT_EQ(curve.Linearize({0, 0, 0}), 0.0);
+}
+
+TEST(ZOrderTest, LinearizeIsInjectiveOverCells) {
+  ZOrderCurve curve(2, 4);
+  std::set<double> seen;
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      EXPECT_TRUE(seen.insert(curve.Linearize({x, y})).second);
+    }
+  }
+}
+
+TEST(ZOrderTest, PreservesLocalityOnAverage) {
+  // Cells adjacent in space should be much closer along the curve than
+  // random cell pairs, on average — the property the paper relies on to
+  // store plan-space neighborhoods in 1-D histograms.
+  ZOrderCurve curve(2, 6);
+  Rng rng(7);
+  const uint32_t n = 64;
+  double adjacent = 0.0, random_pairs = 0.0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.UniformInt(uint64_t{n - 1}));
+    const uint32_t y = static_cast<uint32_t>(rng.UniformInt(uint64_t{n}));
+    adjacent +=
+        std::abs(curve.Linearize({x, y}) - curve.Linearize({x + 1, y}));
+    const uint32_t rx = static_cast<uint32_t>(rng.UniformInt(uint64_t{n}));
+    const uint32_t ry = static_cast<uint32_t>(rng.UniformInt(uint64_t{n}));
+    const uint32_t sx = static_cast<uint32_t>(rng.UniformInt(uint64_t{n}));
+    const uint32_t sy = static_cast<uint32_t>(rng.UniformInt(uint64_t{n}));
+    random_pairs +=
+        std::abs(curve.Linearize({rx, ry}) - curve.Linearize({sx, sy}));
+  }
+  EXPECT_LT(adjacent / trials, 0.4 * (random_pairs / trials));
+}
+
+TEST(ZOrderTest, MostSignificantBitsDominate) {
+  ZOrderCurve curve(2, 6);
+  // Cells in the left half of space map to the first half of the curve
+  // when the other coordinate is 0 (top-level quadrant split).
+  EXPECT_LT(curve.Linearize({0, 0}), 0.25);
+  EXPECT_GE(curve.Linearize({63, 63}), 0.75);
+}
+
+TEST(ZOrderTest, AccessorsReportConfiguration) {
+  ZOrderCurve curve(3, 5);
+  EXPECT_EQ(curve.dimensions(), 3);
+  EXPECT_EQ(curve.bits_per_dim(), 5);
+  EXPECT_EQ(curve.total_bits(), 15);
+  EXPECT_EQ(curve.cells_per_dim(), 32u);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "lsh/zorder.h"
+#include "ppc/lsh_histograms_predictor.h"
+#include "ppc/metrics.h"
+#include "test_util.h"
+
+namespace ppc {
+namespace {
+
+using testutil::HalfSpacePlan;
+using testutil::SamplePoints;
+
+/// Ground truth: the exact set of Morton codes of cells in the box.
+std::set<uint64_t> BruteForceCodes(const ZOrderCurve& curve,
+                                   const std::vector<uint32_t>& lo,
+                                   const std::vector<uint32_t>& hi) {
+  std::set<uint64_t> codes;
+  std::vector<uint32_t> cell = lo;
+  for (;;) {
+    codes.insert(curve.Interleave(cell));
+    size_t d = 0;
+    for (; d < cell.size(); ++d) {
+      if (cell[d] < hi[d]) {
+        ++cell[d];
+        break;
+      }
+      cell[d] = lo[d];
+    }
+    if (d == cell.size()) break;
+  }
+  return codes;
+}
+
+/// Codes covered by an interval list.
+std::set<uint64_t> CoveredCodes(const ZOrderCurve& curve,
+                                const std::vector<ZInterval>& intervals) {
+  const double denom = std::ldexp(1.0, curve.total_bits());
+  std::set<uint64_t> codes;
+  for (const ZInterval& interval : intervals) {
+    const auto z0 = static_cast<uint64_t>(std::llround(interval.lo * denom));
+    const auto z1 = static_cast<uint64_t>(std::llround(interval.hi * denom));
+    for (uint64_t z = z0; z < z1; ++z) codes.insert(z);
+  }
+  return codes;
+}
+
+TEST(ZOrderDecompositionTest, FullDomainIsOneInterval) {
+  ZOrderCurve curve(2, 3);
+  auto intervals = curve.DecomposeBox({0, 0}, {7, 7}, 100);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].lo, 0.0);
+  EXPECT_EQ(intervals[0].hi, 1.0);
+}
+
+TEST(ZOrderDecompositionTest, SingleCell) {
+  ZOrderCurve curve(2, 3);
+  auto intervals = curve.DecomposeBox({3, 5}, {3, 5}, 100);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_NEAR(intervals[0].width(), 1.0 / 64.0, 1e-12);
+  EXPECT_NEAR(intervals[0].lo, curve.Linearize({3, 5}), 1e-12);
+}
+
+TEST(ZOrderDecompositionTest, ExactCoverageMatchesBruteForce) {
+  ZOrderCurve curve(2, 4);
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<uint32_t> lo(2), hi(2);
+    for (size_t d = 0; d < 2; ++d) {
+      lo[d] = static_cast<uint32_t>(rng.UniformInt(uint64_t{16}));
+      hi[d] = static_cast<uint32_t>(rng.UniformInt(uint64_t{16}));
+      if (lo[d] > hi[d]) std::swap(lo[d], hi[d]);
+    }
+    const auto intervals = curve.DecomposeBox(lo, hi, 10000);
+    EXPECT_EQ(CoveredCodes(curve, intervals),
+              BruteForceCodes(curve, lo, hi))
+        << "box [" << lo[0] << "," << hi[0] << "]x[" << lo[1] << ","
+        << hi[1] << "]";
+  }
+}
+
+TEST(ZOrderDecompositionTest, ExactCoverageThreeDims) {
+  ZOrderCurve curve(3, 3);
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint32_t> lo(3), hi(3);
+    for (size_t d = 0; d < 3; ++d) {
+      lo[d] = static_cast<uint32_t>(rng.UniformInt(uint64_t{8}));
+      hi[d] = static_cast<uint32_t>(rng.UniformInt(uint64_t{8}));
+      if (lo[d] > hi[d]) std::swap(lo[d], hi[d]);
+    }
+    const auto intervals = curve.DecomposeBox(lo, hi, 10000);
+    EXPECT_EQ(CoveredCodes(curve, intervals),
+              BruteForceCodes(curve, lo, hi));
+  }
+}
+
+TEST(ZOrderDecompositionTest, IntervalsSortedAndDisjoint) {
+  ZOrderCurve curve(2, 5);
+  auto intervals = curve.DecomposeBox({3, 7}, {19, 24}, 10000);
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    EXPECT_LT(intervals[i].lo, intervals[i].hi);
+    if (i > 0) {
+      EXPECT_GT(intervals[i].lo, intervals[i - 1].hi - 1e-15);
+    }
+  }
+}
+
+TEST(ZOrderDecompositionTest, BudgetMergingOverCoversNeverUnderCovers) {
+  ZOrderCurve curve(2, 4);
+  const std::vector<uint32_t> lo = {2, 3}, hi = {11, 13};
+  const auto exact = curve.DecomposeBox(lo, hi, 10000);
+  const auto budgeted = curve.DecomposeBox(lo, hi, 3);
+  EXPECT_LE(budgeted.size(), 3u);
+  const auto exact_codes = CoveredCodes(curve, exact);
+  const auto budget_codes = CoveredCodes(curve, budgeted);
+  for (uint64_t code : exact_codes) {
+    EXPECT_TRUE(budget_codes.count(code)) << code;
+  }
+  EXPECT_GE(budget_codes.size(), exact_codes.size());
+}
+
+TEST(ZOrderDecompositionTest, NonContiguousBoxNeedsMultipleIntervals) {
+  // A thin box crossing the top-level quadrant boundary cannot be one
+  // interval — the false-negatives phenomenon the paper describes.
+  ZOrderCurve curve(2, 4);
+  auto intervals = curve.DecomposeBox({7, 0}, {8, 0}, 10000);
+  EXPECT_GT(intervals.size(), 1u);
+}
+
+TEST(LshDecompositionModeTest, ImprovesPrecisionOverSingleInterval) {
+  // The extension's point: exact decomposed ranges stop distant cells —
+  // which the curve interleaves into the single smeared interval — from
+  // contributing spurious counts, raising precision (at some recall cost).
+  Rng rng(7);
+  auto label = [](const std::vector<double>& x) -> PlanId {
+    return (x[0] + x[1] + x[2] + x[3] < 2.0) ? 1 : 2;
+  };
+  auto sample = SamplePoints(4, 4000, label, &rng);
+  LshHistogramsPredictor::Config base;
+  base.dimensions = 4;
+  base.transform_count = 5;
+  base.histogram_buckets = 40;
+  base.radius = 0.1;
+  base.confidence_threshold = 0.6;
+  auto decomposed_cfg = base;
+  decomposed_cfg.interval_decomposition = true;
+  decomposed_cfg.max_z_intervals = 32;
+  LshHistogramsPredictor single(base, sample);
+  LshHistogramsPredictor decomposed(decomposed_cfg, sample);
+
+  MetricsAccumulator single_m, decomposed_m;
+  Rng test_rng(9);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x(4);
+    for (double& v : x) v = test_rng.Uniform();
+    single_m.Record(single.Predict(x).plan, label(x));
+    decomposed_m.Record(decomposed.Predict(x).plan, label(x));
+  }
+  EXPECT_GT(decomposed_m.Precision(), single_m.Precision());
+  // The precision gain must not hollow out recall entirely.
+  EXPECT_GT(decomposed_m.Recall(), 0.5 * single_m.Recall());
+}
+
+TEST(LshDecompositionModeTest, SerializationPreservesMode) {
+  LshHistogramsPredictor::Config cfg;
+  cfg.dimensions = 2;
+  cfg.transform_count = 3;
+  cfg.interval_decomposition = true;
+  cfg.max_z_intervals = 13;
+  Rng rng(11);
+  LshHistogramsPredictor original(cfg,
+                                  SamplePoints(2, 300, HalfSpacePlan, &rng));
+  auto restored = LshHistogramsPredictor::Restore(original.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().TotalSamples(), 300u);
+  EXPECT_TRUE(restored.value().config().interval_decomposition);
+  EXPECT_EQ(restored.value().config().max_z_intervals, 13u);
+  // Identical answers in decomposition mode too.
+  Rng probe(13);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> x = {probe.Uniform(), probe.Uniform()};
+    EXPECT_EQ(original.Predict(x).plan, restored.value().Predict(x).plan);
+  }
+}
+
+}  // namespace
+}  // namespace ppc
