@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_context.dir/bench_ext_context.cc.o"
+  "CMakeFiles/bench_ext_context.dir/bench_ext_context.cc.o.d"
+  "bench_ext_context"
+  "bench_ext_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_zorder_decomposition.dir/bench_ext_zorder_decomposition.cc.o"
+  "CMakeFiles/bench_ext_zorder_decomposition.dir/bench_ext_zorder_decomposition.cc.o.d"
+  "bench_ext_zorder_decomposition"
+  "bench_ext_zorder_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_zorder_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_buckets.dir/bench_fig10b_buckets.cc.o"
+  "CMakeFiles/bench_fig10b_buckets.dir/bench_fig10b_buckets.cc.o.d"
+  "bench_fig10b_buckets"
+  "bench_fig10b_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_assumptions.dir/bench_fig14_assumptions.cc.o"
+  "CMakeFiles/bench_fig14_assumptions.dir/bench_fig14_assumptions.cc.o.d"
+  "bench_fig14_assumptions"
+  "bench_fig14_assumptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_naive_vs_lsh.dir/bench_fig8_naive_vs_lsh.cc.o"
+  "CMakeFiles/bench_fig8_naive_vs_lsh.dir/bench_fig8_naive_vs_lsh.cc.o.d"
+  "bench_fig8_naive_vs_lsh"
+  "bench_fig8_naive_vs_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_naive_vs_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

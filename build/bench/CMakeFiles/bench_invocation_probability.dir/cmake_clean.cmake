@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_invocation_probability.dir/bench_invocation_probability.cc.o"
+  "CMakeFiles/bench_invocation_probability.dir/bench_invocation_probability.cc.o.d"
+  "bench_invocation_probability"
+  "bench_invocation_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invocation_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_diagram_stats.dir/bench_plan_diagram_stats.cc.o"
+  "CMakeFiles/bench_plan_diagram_stats.dir/bench_plan_diagram_stats.cc.o.d"
+  "bench_plan_diagram_stats"
+  "bench_plan_diagram_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_diagram_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_confidence.dir/bench_table2_confidence.cc.o"
+  "CMakeFiles/bench_table2_confidence.dir/bench_table2_confidence.cc.o.d"
+  "bench_table2_confidence"
+  "bench_table2_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_caching.dir/adaptive_caching.cpp.o"
+  "CMakeFiles/adaptive_caching.dir/adaptive_caching.cpp.o.d"
+  "adaptive_caching"
+  "adaptive_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_workload_server.dir/mixed_workload_server.cpp.o"
+  "CMakeFiles/mixed_workload_server.dir/mixed_workload_server.cpp.o.d"
+  "mixed_workload_server"
+  "mixed_workload_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_workload_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_predictor.dir/persistent_predictor.cpp.o"
+  "CMakeFiles/persistent_predictor.dir/persistent_predictor.cpp.o.d"
+  "persistent_predictor"
+  "persistent_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_space_explorer.dir/plan_space_explorer.cpp.o"
+  "CMakeFiles/plan_space_explorer.dir/plan_space_explorer.cpp.o.d"
+  "plan_space_explorer"
+  "plan_space_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_space_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/ppc.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/ppc.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/ppc.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/ppc.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/clustering/approximate_lsh_predictor.cc" "src/CMakeFiles/ppc.dir/clustering/approximate_lsh_predictor.cc.o" "gcc" "src/CMakeFiles/ppc.dir/clustering/approximate_lsh_predictor.cc.o.d"
+  "/root/repo/src/clustering/confidence.cc" "src/CMakeFiles/ppc.dir/clustering/confidence.cc.o" "gcc" "src/CMakeFiles/ppc.dir/clustering/confidence.cc.o.d"
+  "/root/repo/src/clustering/density_predictor.cc" "src/CMakeFiles/ppc.dir/clustering/density_predictor.cc.o" "gcc" "src/CMakeFiles/ppc.dir/clustering/density_predictor.cc.o.d"
+  "/root/repo/src/clustering/kmeans.cc" "src/CMakeFiles/ppc.dir/clustering/kmeans.cc.o" "gcc" "src/CMakeFiles/ppc.dir/clustering/kmeans.cc.o.d"
+  "/root/repo/src/clustering/kmeans_predictor.cc" "src/CMakeFiles/ppc.dir/clustering/kmeans_predictor.cc.o" "gcc" "src/CMakeFiles/ppc.dir/clustering/kmeans_predictor.cc.o.d"
+  "/root/repo/src/clustering/naive_grid_predictor.cc" "src/CMakeFiles/ppc.dir/clustering/naive_grid_predictor.cc.o" "gcc" "src/CMakeFiles/ppc.dir/clustering/naive_grid_predictor.cc.o.d"
+  "/root/repo/src/clustering/single_linkage_predictor.cc" "src/CMakeFiles/ppc.dir/clustering/single_linkage_predictor.cc.o" "gcc" "src/CMakeFiles/ppc.dir/clustering/single_linkage_predictor.cc.o.d"
+  "/root/repo/src/common/math_utils.cc" "src/CMakeFiles/ppc.dir/common/math_utils.cc.o" "gcc" "src/CMakeFiles/ppc.dir/common/math_utils.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/ppc.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/ppc.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/ppc.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ppc.dir/common/status.cc.o.d"
+  "/root/repo/src/exec/execution_simulator.cc" "src/CMakeFiles/ppc.dir/exec/execution_simulator.cc.o" "gcc" "src/CMakeFiles/ppc.dir/exec/execution_simulator.cc.o.d"
+  "/root/repo/src/exec/row_executor.cc" "src/CMakeFiles/ppc.dir/exec/row_executor.cc.o" "gcc" "src/CMakeFiles/ppc.dir/exec/row_executor.cc.o.d"
+  "/root/repo/src/lsh/grid.cc" "src/CMakeFiles/ppc.dir/lsh/grid.cc.o" "gcc" "src/CMakeFiles/ppc.dir/lsh/grid.cc.o.d"
+  "/root/repo/src/lsh/transform.cc" "src/CMakeFiles/ppc.dir/lsh/transform.cc.o" "gcc" "src/CMakeFiles/ppc.dir/lsh/transform.cc.o.d"
+  "/root/repo/src/lsh/zorder.cc" "src/CMakeFiles/ppc.dir/lsh/zorder.cc.o" "gcc" "src/CMakeFiles/ppc.dir/lsh/zorder.cc.o.d"
+  "/root/repo/src/optimizer/contextual_optimizer.cc" "src/CMakeFiles/ppc.dir/optimizer/contextual_optimizer.cc.o" "gcc" "src/CMakeFiles/ppc.dir/optimizer/contextual_optimizer.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/ppc.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/ppc.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/ppc.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/ppc.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan_evaluator.cc" "src/CMakeFiles/ppc.dir/optimizer/plan_evaluator.cc.o" "gcc" "src/CMakeFiles/ppc.dir/optimizer/plan_evaluator.cc.o.d"
+  "/root/repo/src/optimizer/robust_plan.cc" "src/CMakeFiles/ppc.dir/optimizer/robust_plan.cc.o" "gcc" "src/CMakeFiles/ppc.dir/optimizer/robust_plan.cc.o.d"
+  "/root/repo/src/plan/fingerprint.cc" "src/CMakeFiles/ppc.dir/plan/fingerprint.cc.o" "gcc" "src/CMakeFiles/ppc.dir/plan/fingerprint.cc.o.d"
+  "/root/repo/src/plan/plan_node.cc" "src/CMakeFiles/ppc.dir/plan/plan_node.cc.o" "gcc" "src/CMakeFiles/ppc.dir/plan/plan_node.cc.o.d"
+  "/root/repo/src/ppc/lsh_histograms_predictor.cc" "src/CMakeFiles/ppc.dir/ppc/lsh_histograms_predictor.cc.o" "gcc" "src/CMakeFiles/ppc.dir/ppc/lsh_histograms_predictor.cc.o.d"
+  "/root/repo/src/ppc/metrics.cc" "src/CMakeFiles/ppc.dir/ppc/metrics.cc.o" "gcc" "src/CMakeFiles/ppc.dir/ppc/metrics.cc.o.d"
+  "/root/repo/src/ppc/online_predictor.cc" "src/CMakeFiles/ppc.dir/ppc/online_predictor.cc.o" "gcc" "src/CMakeFiles/ppc.dir/ppc/online_predictor.cc.o.d"
+  "/root/repo/src/ppc/plan_cache.cc" "src/CMakeFiles/ppc.dir/ppc/plan_cache.cc.o" "gcc" "src/CMakeFiles/ppc.dir/ppc/plan_cache.cc.o.d"
+  "/root/repo/src/ppc/plan_synopsis.cc" "src/CMakeFiles/ppc.dir/ppc/plan_synopsis.cc.o" "gcc" "src/CMakeFiles/ppc.dir/ppc/plan_synopsis.cc.o.d"
+  "/root/repo/src/ppc/ppc_framework.cc" "src/CMakeFiles/ppc.dir/ppc/ppc_framework.cc.o" "gcc" "src/CMakeFiles/ppc.dir/ppc/ppc_framework.cc.o.d"
+  "/root/repo/src/ppc/runtime_simulator.cc" "src/CMakeFiles/ppc.dir/ppc/runtime_simulator.cc.o" "gcc" "src/CMakeFiles/ppc.dir/ppc/runtime_simulator.cc.o.d"
+  "/root/repo/src/ppc/sliding_window.cc" "src/CMakeFiles/ppc.dir/ppc/sliding_window.cc.o" "gcc" "src/CMakeFiles/ppc.dir/ppc/sliding_window.cc.o.d"
+  "/root/repo/src/stats/column_stats.cc" "src/CMakeFiles/ppc.dir/stats/column_stats.cc.o" "gcc" "src/CMakeFiles/ppc.dir/stats/column_stats.cc.o.d"
+  "/root/repo/src/stats/equi_depth_histogram.cc" "src/CMakeFiles/ppc.dir/stats/equi_depth_histogram.cc.o" "gcc" "src/CMakeFiles/ppc.dir/stats/equi_depth_histogram.cc.o.d"
+  "/root/repo/src/stats/streaming_histogram.cc" "src/CMakeFiles/ppc.dir/stats/streaming_histogram.cc.o" "gcc" "src/CMakeFiles/ppc.dir/stats/streaming_histogram.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/ppc.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/ppc.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/ppc.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/ppc.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/tpch_generator.cc" "src/CMakeFiles/ppc.dir/storage/tpch_generator.cc.o" "gcc" "src/CMakeFiles/ppc.dir/storage/tpch_generator.cc.o.d"
+  "/root/repo/src/workload/plan_diagram.cc" "src/CMakeFiles/ppc.dir/workload/plan_diagram.cc.o" "gcc" "src/CMakeFiles/ppc.dir/workload/plan_diagram.cc.o.d"
+  "/root/repo/src/workload/query_template.cc" "src/CMakeFiles/ppc.dir/workload/query_template.cc.o" "gcc" "src/CMakeFiles/ppc.dir/workload/query_template.cc.o.d"
+  "/root/repo/src/workload/selectivity_mapper.cc" "src/CMakeFiles/ppc.dir/workload/selectivity_mapper.cc.o" "gcc" "src/CMakeFiles/ppc.dir/workload/selectivity_mapper.cc.o.d"
+  "/root/repo/src/workload/template_parser.cc" "src/CMakeFiles/ppc.dir/workload/template_parser.cc.o" "gcc" "src/CMakeFiles/ppc.dir/workload/template_parser.cc.o.d"
+  "/root/repo/src/workload/templates.cc" "src/CMakeFiles/ppc.dir/workload/templates.cc.o" "gcc" "src/CMakeFiles/ppc.dir/workload/templates.cc.o.d"
+  "/root/repo/src/workload/workload_generator.cc" "src/CMakeFiles/ppc.dir/workload/workload_generator.cc.o" "gcc" "src/CMakeFiles/ppc.dir/workload/workload_generator.cc.o.d"
+  "/root/repo/src/workload/workload_history.cc" "src/CMakeFiles/ppc.dir/workload/workload_history.cc.o" "gcc" "src/CMakeFiles/ppc.dir/workload/workload_history.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_column_table.dir/test_column_table.cc.o"
+  "CMakeFiles/test_column_table.dir/test_column_table.cc.o.d"
+  "test_column_table"
+  "test_column_table.pdb"
+  "test_column_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_column_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contextual_optimizer.dir/test_contextual_optimizer.cc.o"
+  "CMakeFiles/test_contextual_optimizer.dir/test_contextual_optimizer.cc.o.d"
+  "test_contextual_optimizer"
+  "test_contextual_optimizer.pdb"
+  "test_contextual_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contextual_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equi_depth_histogram.dir/test_equi_depth_histogram.cc.o"
+  "CMakeFiles/test_equi_depth_histogram.dir/test_equi_depth_histogram.cc.o.d"
+  "test_equi_depth_histogram"
+  "test_equi_depth_histogram.pdb"
+  "test_equi_depth_histogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equi_depth_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

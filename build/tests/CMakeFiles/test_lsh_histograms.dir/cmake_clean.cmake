@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsh_histograms.dir/test_lsh_histograms.cc.o"
+  "CMakeFiles/test_lsh_histograms.dir/test_lsh_histograms.cc.o.d"
+  "test_lsh_histograms"
+  "test_lsh_histograms.pdb"
+  "test_lsh_histograms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsh_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

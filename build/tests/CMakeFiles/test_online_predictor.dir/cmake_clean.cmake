@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_predictor.dir/test_online_predictor.cc.o"
+  "CMakeFiles/test_online_predictor.dir/test_online_predictor.cc.o.d"
+  "test_online_predictor"
+  "test_online_predictor.pdb"
+  "test_online_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_cache.dir/test_plan_cache.cc.o"
+  "CMakeFiles/test_plan_cache.dir/test_plan_cache.cc.o.d"
+  "test_plan_cache"
+  "test_plan_cache.pdb"
+  "test_plan_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_diagram.dir/test_plan_diagram.cc.o"
+  "CMakeFiles/test_plan_diagram.dir/test_plan_diagram.cc.o.d"
+  "test_plan_diagram"
+  "test_plan_diagram.pdb"
+  "test_plan_diagram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_evaluator.dir/test_plan_evaluator.cc.o"
+  "CMakeFiles/test_plan_evaluator.dir/test_plan_evaluator.cc.o.d"
+  "test_plan_evaluator"
+  "test_plan_evaluator.pdb"
+  "test_plan_evaluator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_evaluator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_positive_feedback.dir/test_positive_feedback.cc.o"
+  "CMakeFiles/test_positive_feedback.dir/test_positive_feedback.cc.o.d"
+  "test_positive_feedback"
+  "test_positive_feedback.pdb"
+  "test_positive_feedback[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_positive_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

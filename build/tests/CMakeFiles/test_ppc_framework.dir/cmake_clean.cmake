@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppc_framework.dir/test_ppc_framework.cc.o"
+  "CMakeFiles/test_ppc_framework.dir/test_ppc_framework.cc.o.d"
+  "test_ppc_framework"
+  "test_ppc_framework.pdb"
+  "test_ppc_framework[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppc_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

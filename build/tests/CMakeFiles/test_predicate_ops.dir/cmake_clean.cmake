@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predicate_ops.dir/test_predicate_ops.cc.o"
+  "CMakeFiles/test_predicate_ops.dir/test_predicate_ops.cc.o.d"
+  "test_predicate_ops"
+  "test_predicate_ops.pdb"
+  "test_predicate_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predicate_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

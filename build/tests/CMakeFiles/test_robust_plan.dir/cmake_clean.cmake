@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robust_plan.dir/test_robust_plan.cc.o"
+  "CMakeFiles/test_robust_plan.dir/test_robust_plan.cc.o.d"
+  "test_robust_plan"
+  "test_robust_plan.pdb"
+  "test_robust_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robust_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

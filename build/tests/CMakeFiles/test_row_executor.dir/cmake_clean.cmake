@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_executor.dir/test_row_executor.cc.o"
+  "CMakeFiles/test_row_executor.dir/test_row_executor.cc.o.d"
+  "test_row_executor"
+  "test_row_executor.pdb"
+  "test_row_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_simulator.dir/test_runtime_simulator.cc.o"
+  "CMakeFiles/test_runtime_simulator.dir/test_runtime_simulator.cc.o.d"
+  "test_runtime_simulator"
+  "test_runtime_simulator.pdb"
+  "test_runtime_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

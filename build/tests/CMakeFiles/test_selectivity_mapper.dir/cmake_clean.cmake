@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selectivity_mapper.dir/test_selectivity_mapper.cc.o"
+  "CMakeFiles/test_selectivity_mapper.dir/test_selectivity_mapper.cc.o.d"
+  "test_selectivity_mapper"
+  "test_selectivity_mapper.pdb"
+  "test_selectivity_mapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selectivity_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

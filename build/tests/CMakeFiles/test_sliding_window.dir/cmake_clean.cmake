@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sliding_window.dir/test_sliding_window.cc.o"
+  "CMakeFiles/test_sliding_window.dir/test_sliding_window.cc.o.d"
+  "test_sliding_window"
+  "test_sliding_window.pdb"
+  "test_sliding_window[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sliding_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

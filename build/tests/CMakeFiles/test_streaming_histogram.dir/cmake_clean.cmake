@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_streaming_histogram.dir/test_streaming_histogram.cc.o"
+  "CMakeFiles/test_streaming_histogram.dir/test_streaming_histogram.cc.o.d"
+  "test_streaming_histogram"
+  "test_streaming_histogram.pdb"
+  "test_streaming_histogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_streaming_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

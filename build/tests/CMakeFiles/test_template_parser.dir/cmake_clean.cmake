@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_template_parser.dir/test_template_parser.cc.o"
+  "CMakeFiles/test_template_parser.dir/test_template_parser.cc.o.d"
+  "test_template_parser"
+  "test_template_parser.pdb"
+  "test_template_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_template_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tpch_generator.dir/test_tpch_generator.cc.o"
+  "CMakeFiles/test_tpch_generator.dir/test_tpch_generator.cc.o.d"
+  "test_tpch_generator"
+  "test_tpch_generator.pdb"
+  "test_tpch_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tpch_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zorder.dir/test_zorder.cc.o"
+  "CMakeFiles/test_zorder.dir/test_zorder.cc.o.d"
+  "test_zorder"
+  "test_zorder.pdb"
+  "test_zorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

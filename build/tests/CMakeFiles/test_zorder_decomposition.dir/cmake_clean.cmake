@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zorder_decomposition.dir/test_zorder_decomposition.cc.o"
+  "CMakeFiles/test_zorder_decomposition.dir/test_zorder_decomposition.cc.o.d"
+  "test_zorder_decomposition"
+  "test_zorder_decomposition.pdb"
+  "test_zorder_decomposition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zorder_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
