@@ -1,0 +1,211 @@
+// Concurrent serving throughput of the PPC framework.
+//
+// Measures end-to-end queries/sec and predict-latency percentiles of
+// PpcFramework::ExecuteAtPoint at 1/2/4/8 threads over a clustered
+// multi-template workload (the serving regime the paper's Sec. VI runtime
+// experiment studies single-threaded). Each thread count runs against a
+// fresh framework, warmed with enough queries that the predictors serve
+// mostly cache hits before timing starts.
+//
+// Prints a table and writes BENCH_concurrent_throughput.json next to the
+// working directory for machine consumption. Expect the >1-thread speedup
+// to track the machine's core count: on a single hardware thread the runs
+// only demonstrate that concurrency adds no correctness cost.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "ppc/ppc_framework.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kWarmupQueries = 1000;
+constexpr size_t kTimedQueries = 8000;
+const char* const kTemplates[] = {"Q1", "Q3", "Q5", "Q8"};
+
+PpcFramework::Config ServingConfig() {
+  PpcFramework::Config cfg;
+  cfg.online.predictor.transform_count = 5;
+  cfg.online.predictor.histogram_buckets = 40;
+  cfg.online.predictor.radius = 0.05;
+  cfg.online.predictor.confidence_threshold = 0.8;
+  cfg.online.predictor.noise_fraction = 0.002;
+  cfg.online.estimator_window = 100;
+  cfg.plan_cache_capacity = 64;
+  return cfg;
+}
+
+struct Query {
+  const char* tmpl;
+  std::vector<double> point;
+};
+
+/// Clustered points per template (a few optimality regions each), round-
+/// robin across templates, pre-generated so workload generation is not on
+/// the timed path.
+std::vector<Query> MakeWorkload(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> queries;
+  queries.reserve(count);
+  std::vector<int> dims;
+  for (const char* name : kTemplates) {
+    dims.push_back(EvaluationTemplate(name).ParameterDegree());
+  }
+  const std::vector<double> centers = {0.3, 0.5, 0.7};
+  for (size_t i = 0; i < count; ++i) {
+    const size_t t = i % (sizeof(kTemplates) / sizeof(kTemplates[0]));
+    const double center = centers[(i / 7) % centers.size()];
+    Query q;
+    q.tmpl = kTemplates[t];
+    q.point.resize(static_cast<size_t>(dims[t]));
+    for (double& v : q.point) {
+      v = std::clamp(center + rng.Uniform(-0.02, 0.02), 0.0, 1.0);
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+struct RunResult {
+  int threads = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double hit_rate = 0.0;
+  double predict_p50_us = 0.0;
+  double predict_p99_us = 0.0;
+};
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  if (sorted_in_place->empty()) return 0.0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const double idx = p * static_cast<double>(sorted_in_place->size() - 1);
+  return (*sorted_in_place)[static_cast<size_t>(idx + 0.5)];
+}
+
+RunResult RunAtThreadCount(int threads, const std::vector<Query>& warmup,
+                           const std::vector<Query>& timed) {
+  PpcFramework framework(&BenchCatalog(), ServingConfig());
+  for (const char* name : kTemplates) {
+    const Status s = framework.RegisterTemplate(EvaluationTemplate(name));
+    PPC_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  framework.Seal();
+
+  for (const Query& q : warmup) {
+    auto report = framework.ExecuteAtPoint(q.tmpl, q.point);
+    PPC_CHECK_MSG(report.ok(), report.status().ToString().c_str());
+  }
+  const uint64_t warm_hits = framework.plan_cache().hits();
+  const uint64_t warm_misses = framework.plan_cache().misses();
+
+  // Pre-split the timed workload: thread t serves queries t, t+T, t+2T...
+  std::vector<std::vector<double>> predict_micros(
+      static_cast<size_t>(threads));
+  std::atomic<size_t> failures{0};
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& latencies = predict_micros[static_cast<size_t>(t)];
+      latencies.reserve(timed.size() / static_cast<size_t>(threads) + 1);
+      for (size_t i = static_cast<size_t>(t); i < timed.size();
+           i += static_cast<size_t>(threads)) {
+        auto report = framework.ExecuteAtPoint(timed[i].tmpl, timed[i].point);
+        if (!report.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        latencies.push_back(report.value().predict_micros);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  PPC_CHECK(failures.load() == 0);
+
+  std::vector<double> all;
+  for (const auto& per_thread : predict_micros) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  const uint64_t hits = framework.plan_cache().hits() - warm_hits;
+  const uint64_t misses = framework.plan_cache().misses() - warm_misses;
+
+  RunResult r;
+  r.threads = threads;
+  r.seconds = seconds;
+  r.qps = static_cast<double>(timed.size()) / seconds;
+  r.hit_rate = hits + misses > 0
+                   ? static_cast<double>(hits) /
+                         static_cast<double>(hits + misses)
+                   : 0.0;
+  r.predict_p50_us = Percentile(&all, 0.50);
+  r.predict_p99_us = Percentile(&all, 0.99);
+  return r;
+}
+
+void Run() {
+  PrintHeader("Concurrent serving throughput (4 templates, clustered)");
+  std::printf("hardware threads: %u; %zu warmup + %zu timed queries/run\n",
+              std::thread::hardware_concurrency(), kWarmupQueries,
+              kTimedQueries);
+  PrintRule();
+  std::printf("%8s %12s %10s %10s %14s %14s\n", "threads", "qps", "speedup",
+              "hit rate", "predict p50us", "predict p99us");
+
+  const std::vector<Query> warmup = MakeWorkload(kWarmupQueries, 11);
+  const std::vector<Query> timed = MakeWorkload(kTimedQueries, 13);
+
+  std::vector<RunResult> results;
+  for (int threads : {1, 2, 4, 8}) {
+    results.push_back(RunAtThreadCount(threads, warmup, timed));
+    const RunResult& r = results.back();
+    std::printf("%8d %12.0f %9.2fx %9.1f%% %14.2f %14.2f\n", r.threads,
+                r.qps, r.qps / results.front().qps, 100.0 * r.hit_rate,
+                r.predict_p50_us, r.predict_p99_us);
+  }
+  PrintRule();
+
+  FILE* json = std::fopen("BENCH_concurrent_throughput.json", "w");
+  if (json == nullptr) {
+    std::printf("warning: could not write BENCH_concurrent_throughput.json\n");
+    return;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"concurrent_throughput\",\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"timed_queries\": %zu,\n  \"runs\": [\n",
+               std::thread::hardware_concurrency(), kTimedQueries);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(json,
+                 "    {\"threads\": %d, \"qps\": %.1f, \"speedup\": %.3f, "
+                 "\"hit_rate\": %.4f, \"predict_p50_us\": %.3f, "
+                 "\"predict_p99_us\": %.3f}%s\n",
+                 r.threads, r.qps, r.qps / results.front().qps, r.hit_rate,
+                 r.predict_p50_us, r.predict_p99_us,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_concurrent_throughput.json\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

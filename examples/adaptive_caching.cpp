@@ -79,9 +79,10 @@ int main() {
 
     const std::vector<double>& x = workload[i];
     auto decision = online.Decide(x);
-    const ppc::PlanNode* cached =
-        decision.use_prediction ? cache.Get(decision.prediction.plan)
-                                : nullptr;
+    std::shared_ptr<const ppc::PlanNode> cached;
+    if (decision.use_prediction) {
+      cached = cache.Get(decision.prediction.plan);
+    }
     if (cached != nullptr) {
       ++stats.cache_served;
       auto cost = simulator.Execute(prep.value(), *cached, x);

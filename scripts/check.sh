@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full verification sweep:
+#   1. plain build + the entire test suite (the tier-1 gate),
+#   2. ASan build + the entire test suite,
+#   3. TSan build + the concurrency tests.
+# Usage: scripts/check.sh [--skip-sanitizers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+SKIP_SAN=0
+[ "${1:-}" = "--skip-sanitizers" ] && SKIP_SAN=1
+
+echo "==> plain build + full test suite"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+if [ "$SKIP_SAN" = 1 ]; then
+  echo "==> sanitizer passes skipped"
+  exit 0
+fi
+
+# Sanitizer builds compile only the library + tests (benches and examples
+# would double the build for no extra coverage).
+echo "==> AddressSanitizer build + full test suite"
+cmake -B build-asan -S . -DPPC_SANITIZE=address \
+  -DPPC_BUILD_BENCHMARKS=OFF -DPPC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+echo "==> ThreadSanitizer build + concurrency tests"
+cmake -B build-tsan -S . -DPPC_SANITIZE=thread \
+  -DPPC_BUILD_BENCHMARKS=OFF -DPPC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j "$JOBS"
+(cd build-tsan && ctest --output-on-failure -R 'Concurrent' -j "$JOBS")
+
+echo "==> all checks passed"

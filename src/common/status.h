@@ -20,6 +20,7 @@ enum class StatusCode {
   kInternal,
   kUnimplemented,
   kResourceExhausted,
+  kFailedPrecondition,
 };
 
 /// Returns a human-readable name for a status code ("OK", "NotFound", ...).
@@ -59,6 +60,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,13 +1,40 @@
 #include "exec/execution_simulator.h"
 
 #include <cmath>
+#include <unordered_map>
 
 namespace ppc {
 
+namespace {
+std::atomic<uint64_t> g_next_instance_id{1};
+}  // namespace
+
 ExecutionSimulator::ExecutionSimulator(const CostModel* cost_model,
                                        Options options)
-    : cost_model_(cost_model), options_(options), rng_(options.seed) {
+    : cost_model_(cost_model),
+      options_(options),
+      instance_id_(
+          g_next_instance_id.fetch_add(1, std::memory_order_relaxed)) {
   PPC_CHECK(cost_model != nullptr);
+}
+
+Rng& ExecutionSimulator::ThreadLocalRng() {
+  // One Rng per (thread, simulator) pair. Stream 0 seeds with the bare
+  // options seed, reproducing the pre-concurrency sequence; later streams
+  // are decorrelated by the golden-ratio increment feeding the Rng's
+  // SplitMix64 seed expansion. Entries for destroyed simulators linger
+  // until their thread exits — a few dozen bytes each, never reused for a
+  // different simulator thanks to the unique instance id.
+  thread_local std::unordered_map<uint64_t, Rng> rngs;
+  auto it = rngs.find(instance_id_);
+  if (it == rngs.end()) {
+    const uint64_t stream =
+        next_stream_.fetch_add(1, std::memory_order_relaxed);
+    it = rngs.emplace(instance_id_,
+                      Rng(options_.seed + stream * 0x9e3779b97f4a7c15ULL))
+             .first;
+  }
+  return it->second;
 }
 
 Result<double> ExecutionSimulator::Execute(
@@ -18,7 +45,7 @@ Result<double> ExecutionSimulator::Execute(
       EvaluatePlanAtPoint(prep, *cost_model_, plan, true_selectivities));
   double cost = eval.cost;
   if (options_.noise_stddev > 0.0) {
-    cost *= std::exp(rng_.Gaussian(0.0, options_.noise_stddev));
+    cost *= std::exp(ThreadLocalRng().Gaussian(0.0, options_.noise_stddev));
   }
   return cost;
 }

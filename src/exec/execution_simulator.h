@@ -1,6 +1,8 @@
 #ifndef PPC_EXEC_EXECUTION_SIMULATOR_H_
 #define PPC_EXEC_EXECUTION_SIMULATOR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -18,6 +20,12 @@ namespace ppc {
 /// multiplicative log-normal noise to model run-to-run variance of a real
 /// system. This stands in for the paper's black-box commercial DBMS
 /// executor; see DESIGN.md ("substitutions").
+///
+/// Thread safety: Execute may be called concurrently. Each calling thread
+/// draws noise from its own RNG stream derived deterministically from the
+/// seed (stream k seeds the generator with seed + k * golden-ratio), so
+/// runs are reproducible given a fixed thread-arrival order; the first
+/// stream reproduces the historical single-threaded sequence exactly.
 class ExecutionSimulator {
  public:
   struct Options {
@@ -35,9 +43,15 @@ class ExecutionSimulator {
                          const std::vector<double>& true_selectivities);
 
  private:
+  /// The calling thread's RNG stream for this simulator instance.
+  Rng& ThreadLocalRng();
+
   const CostModel* cost_model_;
   Options options_;
-  Rng rng_;
+  /// Distinguishes simulator instances in per-thread RNG storage (an
+  /// address could be reused after destruction; this id never is).
+  uint64_t instance_id_;
+  std::atomic<uint64_t> next_stream_{0};
 };
 
 }  // namespace ppc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "clustering/confidence.h"
 #include "common/math_utils.h"
@@ -34,7 +35,44 @@ LshHistogramsPredictor::LshHistogramsPredictor(
   for (const LabeledPoint& p : sample) Insert(p);
 }
 
+LshHistogramsPredictor::LshHistogramsPredictor(
+    const LshHistogramsPredictor& other)
+    : config_(other.config_),
+      transforms_(other.transforms_),
+      synopses_(other.synopses_),
+      total_samples_(other.total_samples_) {}
+
+LshHistogramsPredictor::LshHistogramsPredictor(
+    LshHistogramsPredictor&& other) noexcept
+    : config_(std::move(other.config_)),
+      transforms_(std::move(other.transforms_)),
+      synopses_(std::move(other.synopses_)),
+      total_samples_(other.total_samples_) {}
+
+LshHistogramsPredictor& LshHistogramsPredictor::operator=(
+    const LshHistogramsPredictor& other) {
+  if (this != &other) {
+    config_ = other.config_;
+    transforms_ = other.transforms_;
+    synopses_ = other.synopses_;
+    total_samples_ = other.total_samples_;
+  }
+  return *this;
+}
+
+LshHistogramsPredictor& LshHistogramsPredictor::operator=(
+    LshHistogramsPredictor&& other) noexcept {
+  if (this != &other) {
+    config_ = std::move(other.config_);
+    transforms_ = std::move(other.transforms_);
+    synopses_ = std::move(other.synopses_);
+    total_samples_ = other.total_samples_;
+  }
+  return *this;
+}
+
 void LshHistogramsPredictor::Insert(const LabeledPoint& point) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = synopses_.find(point.plan);
   if (it == synopses_.end()) {
     it = synopses_
@@ -70,13 +108,33 @@ std::vector<std::vector<ZInterval>> LshHistogramsPredictor::QueryRanges(
           std::ldexp(1.0, -transform.curve().total_bits());
       const double delta = std::max(
           transform.RangeHalfWidth(config_.radius), 0.5 * cell_z);
-      ranges[i] = {ZInterval{position - delta, position + delta}};
+      // Clamp to the histogram domain [0, 1], sliding the interval inward
+      // first so a query at the plan-space boundary still covers its full
+      // 2*delta of curve length (the decomposed branch clamps its cell box
+      // to the grid; an unslid range would hang partly outside the domain
+      // and silently query less mass near the boundary).
+      double lo = position - delta;
+      double hi = position + delta;
+      if (lo < 0.0) {
+        hi = std::min(1.0, hi - lo);
+        lo = 0.0;
+      } else if (hi > 1.0) {
+        lo = std::max(0.0, lo - (hi - 1.0));
+        hi = 1.0;
+      }
+      ranges[i] = {ZInterval{lo, hi}};
     }
   }
   return ranges;
 }
 
 Prediction LshHistogramsPredictor::Predict(
+    const std::vector<double>& x) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return PredictLocked(x);
+}
+
+Prediction LshHistogramsPredictor::PredictLocked(
     const std::vector<double>& x) const {
   if (synopses_.empty()) return Prediction{};
   const std::vector<std::vector<ZInterval>> ranges = QueryRanges(x);
@@ -115,12 +173,14 @@ Prediction LshHistogramsPredictor::Predict(
 
 double LshHistogramsPredictor::EstimateCost(const std::vector<double>& x,
                                             PlanId plan) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = synopses_.find(plan);
   if (it == synopses_.end()) return 0.0;
   return it->second.MedianAverageCost(QueryRanges(x));
 }
 
 uint64_t LshHistogramsPredictor::SpaceBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [plan, synopsis] : synopses_) {
     total += synopsis.SpaceBytes();
@@ -129,6 +189,7 @@ uint64_t LshHistogramsPredictor::SpaceBytes() const {
 }
 
 void LshHistogramsPredictor::Reset() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   synopses_.clear();
   total_samples_ = 0;
 }
@@ -138,6 +199,7 @@ constexpr uint32_t kSnapshotMagic = 0x50504331;  // "PPC1"
 }  // namespace
 
 std::string LshHistogramsPredictor::Serialize() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   ByteWriter writer;
   writer.PutU32(kSnapshotMagic);
   writer.PutU32(static_cast<uint32_t>(config_.dimensions));
@@ -192,9 +254,32 @@ Result<LshHistogramsPredictor> LshHistogramsPredictor::Restore(
   PPC_ASSIGN_OR_RETURN(uint8_t decomposition_byte, reader.GetU8());
   config.interval_decomposition = decomposition_byte != 0;
   PPC_ASSIGN_OR_RETURN(config.max_z_intervals, reader.GetU64());
-  if (config.dimensions < 1 || config.transform_count < 1 ||
-      config.max_z_intervals < 1) {
-    return Status::InvalidArgument("invalid predictor configuration");
+
+  // Validate the full configuration before constructing anything: a
+  // malformed snapshot must fail as InvalidArgument here, not trip
+  // PPC_CHECK aborts inside ZOrderCurve / StreamingHistogram downstream.
+  // Bounds derive from the substrate: a Z-order curve holds at most 62
+  // bits, histograms need >= 2 buckets, and the raw u32 fields must not
+  // wrap negative when cast to int.
+  constexpr uint64_t kMaxSaneCount = uint64_t{1} << 20;
+  if (dimensions == 0 || dimensions > 62 ||
+      transform_count == 0 || transform_count > 4096 ||
+      output_dims > 62 ||
+      bits_per_dim == 0 || bits_per_dim > 62 ||
+      config.histogram_buckets < 2 ||
+      config.histogram_buckets > kMaxSaneCount ||
+      config.max_z_intervals < 1 ||
+      config.max_z_intervals > kMaxSaneCount) {
+    return Status::InvalidArgument(
+        "snapshot predictor configuration out of range");
+  }
+  const uint64_t effective_dims =
+      output_dims > 0
+          ? output_dims
+          : static_cast<uint64_t>(DefaultOutputDims(config.dimensions));
+  if (effective_dims * bits_per_dim > 62) {
+    return Status::InvalidArgument(
+        "snapshot Z-order resolution exceeds 62 bits");
   }
 
   LshHistogramsPredictor predictor(config);

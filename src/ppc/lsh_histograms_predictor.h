@@ -2,6 +2,7 @@
 #define PPC_PPC_LSH_HISTOGRAMS_PREDICTOR_H_
 
 #include <map>
+#include <shared_mutex>
 #include <vector>
 
 #include "clustering/predictor.h"
@@ -26,6 +27,12 @@ namespace ppc {
 ///
 /// Space: t * n * b_h * 12 bytes. Prediction: O(t * n * b_h), constant in
 /// the sample count |X|.
+///
+/// Thread safety: reads (Predict, EstimateCost, Serialize, accessors) take
+/// a shared lock; writes (Insert, Reset) take an exclusive lock, so many
+/// concurrent sessions can predict against one template's histograms while
+/// optimizer feedback briefly serializes. Moving or copying a predictor is
+/// NOT synchronized with concurrent use.
 class LshHistogramsPredictor : public PlanPredictor {
  public:
   struct Config {
@@ -65,6 +72,11 @@ class LshHistogramsPredictor : public PlanPredictor {
   LshHistogramsPredictor(Config config,
                          const std::vector<LabeledPoint>& sample);
 
+  LshHistogramsPredictor(const LshHistogramsPredictor& other);
+  LshHistogramsPredictor(LshHistogramsPredictor&& other) noexcept;
+  LshHistogramsPredictor& operator=(const LshHistogramsPredictor& other);
+  LshHistogramsPredictor& operator=(LshHistogramsPredictor&& other) noexcept;
+
   Prediction Predict(const std::vector<double>& x) const override;
   void Insert(const LabeledPoint& point) override;
   uint64_t SpaceBytes() const override;
@@ -90,20 +102,33 @@ class LshHistogramsPredictor : public PlanPredictor {
   /// InvalidArgument / OutOfRange on malformed or truncated input.
   static Result<LshHistogramsPredictor> Restore(const std::string& bytes);
 
-  size_t TotalSamples() const { return total_samples_; }
-  size_t DistinctPlans() const { return synopses_.size(); }
+  size_t TotalSamples() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return total_samples_;
+  }
+  size_t DistinctPlans() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return synopses_.size();
+  }
   const Config& config() const { return config_; }
 
- private:
   /// Curve intervals to query for `x`, one list per transform (a single
   /// interval in the paper's mode, a decomposition in extension mode).
+  /// All intervals lie within the histogram domain [0, 1]. Public for
+  /// tests and diagnostics.
   std::vector<std::vector<ZInterval>> QueryRanges(
       const std::vector<double>& x) const;
+
+ private:
+  Prediction PredictLocked(const std::vector<double>& x) const;
 
   Config config_;
   TransformEnsemble transforms_;
   std::map<PlanId, PlanSynopsis> synopses_;
   size_t total_samples_ = 0;
+  /// Guards synopses_ and total_samples_ (config_ and transforms_ are
+  /// immutable after construction).
+  mutable std::shared_mutex mu_;
 };
 
 }  // namespace ppc

@@ -16,7 +16,11 @@ OnlinePpcPredictor::OnlinePpcPredictor(Config config)
 OnlinePpcPredictor::Decision OnlinePpcPredictor::Decide(
     const std::vector<double>& x) {
   Decision decision;
+  // Histogram read outside mu_: concurrent sessions share the predictor's
+  // reader lock, so the O(t * n * b_h) scan parallelizes.
   decision.prediction = predictor_.Predict(x);
+
+  std::lock_guard<std::mutex> lock(mu_);
   if (!decision.prediction.has_value()) {
     // NULL prediction: the optimizer runs; recall estimator records a miss.
     tracker_.RecordPrediction(kNullPlanId, /*made=*/false, /*correct=*/false);
@@ -34,7 +38,7 @@ OnlinePpcPredictor::Decision OnlinePpcPredictor::Decide(
                                (1.5 - decision.prediction.confidence),
                            0.0, 1.0);
     if (rng_.Bernoulli(p)) {
-      ++random_invocations_;
+      random_invocations_.fetch_add(1, std::memory_order_relaxed);
       decision.random_invocation = true;
       decision.use_prediction = false;
       // The optimizer result will arrive via ObserveOptimized; the
@@ -48,8 +52,8 @@ OnlinePpcPredictor::Decision OnlinePpcPredictor::Decide(
 }
 
 void OnlinePpcPredictor::ObserveOptimized(const LabeledPoint& point) {
-  predictor_.Insert(point);
-  ++optimizer_insertions_;
+  predictor_.Insert(point);  // predictor's own writer lock
+  optimizer_insertions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool OnlinePpcPredictor::ReportPredictionExecuted(
@@ -68,6 +72,8 @@ bool OnlinePpcPredictor::ReportPredictionExecuted(
     const double rel_error = std::abs(actual_cost - expected) / expected;
     estimated_correct = rel_error <= config_.cost_error_bound;
   }
+
+  std::lock_guard<std::mutex> lock(mu_);
   tracker_.RecordPrediction(prediction.plan, /*made=*/true,
                             estimated_correct);
 
@@ -77,23 +83,35 @@ bool OnlinePpcPredictor::ReportPredictionExecuted(
   // self-reinforcement cannot spiral.
   if (config_.positive_feedback && estimated_correct && expected > 0.0 &&
       prediction.confidence >= config_.positive_feedback_confidence &&
-      static_cast<double>(positive_feedback_insertions_) <
+      static_cast<double>(positive_feedback_insertions_.load(
+          std::memory_order_relaxed)) <
           config_.positive_feedback_max_ratio *
-              static_cast<double>(optimizer_insertions_)) {
+              static_cast<double>(optimizer_insertions_.load(
+                  std::memory_order_relaxed))) {
     predictor_.Insert(LabeledPoint{x, prediction.plan, actual_cost});
-    ++positive_feedback_insertions_;
+    positive_feedback_insertions_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  MaybeReset();
+  MaybeResetLocked();
   return config_.negative_feedback && !estimated_correct;
 }
 
-void OnlinePpcPredictor::MaybeReset() {
+double OnlinePpcPredictor::TemplatePrecision() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tracker_.TemplatePrecision();
+}
+
+double OnlinePpcPredictor::PlanPrecision(PlanId plan) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tracker_.PlanPrecision(plan);
+}
+
+void OnlinePpcPredictor::MaybeResetLocked() {
   if (config_.reset_precision_threshold <= 0.0) return;
   if (tracker_.PrecisionBelow(config_.reset_precision_threshold)) {
     predictor_.Reset();
     tracker_.Clear();
-    ++reset_count_;
+    reset_count_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -1,6 +1,8 @@
 #ifndef PPC_PPC_ONLINE_PREDICTOR_H_
 #define PPC_PPC_ONLINE_PREDICTOR_H_
 
+#include <atomic>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -37,6 +39,14 @@ namespace ppc {
 /// precision drops below the reset threshold, every histogram for the
 /// template is dropped and sampling restarts — the drift response of
 /// Sec. V-D.
+///
+/// Thread safety: Decide / ObserveOptimized / ReportPredictionExecuted may
+/// be called concurrently. Histogram reads run under the predictor's
+/// shared lock so concurrent sessions predict in parallel; the tracker,
+/// RNG and drift logic serialize briefly under this object's mutex (lock
+/// order: this mutex, then the predictor's — never the reverse). The raw
+/// tracker()/predictor() accessors return unsynchronized references; use
+/// TemplatePrecision()/PlanPrecision() from concurrent contexts.
 class OnlinePpcPredictor {
  public:
   struct Config {
@@ -95,32 +105,48 @@ class OnlinePpcPredictor {
                                 const Prediction& prediction,
                                 double actual_cost);
 
+  /// Thread-safe snapshots of the tracker's estimates.
+  double TemplatePrecision() const;
+  double PlanPrecision(PlanId plan) const;
+
+  /// Unsynchronized references — safe only when no concurrent mutators
+  /// run (tests, single-threaded experiment harnesses).
   const LshHistogramsPredictor& predictor() const { return predictor_; }
   const PrecisionRecallTracker& tracker() const { return tracker_; }
   const Config& config() const { return config_; }
 
   /// Number of drift resets performed so far.
-  size_t reset_count() const { return reset_count_; }
+  size_t reset_count() const {
+    return reset_count_.load(std::memory_order_relaxed);
+  }
   /// Number of random optimizer invocations issued so far.
-  size_t random_invocations() const { return random_invocations_; }
+  size_t random_invocations() const {
+    return random_invocations_.load(std::memory_order_relaxed);
+  }
   /// Self-labeled points inserted via positive feedback so far.
   size_t positive_feedback_insertions() const {
-    return positive_feedback_insertions_;
+    return positive_feedback_insertions_.load(std::memory_order_relaxed);
   }
   /// Optimizer-sourced points inserted so far.
-  size_t optimizer_insertions() const { return optimizer_insertions_; }
+  size_t optimizer_insertions() const {
+    return optimizer_insertions_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void MaybeReset();
+  /// Requires mu_ held.
+  void MaybeResetLocked();
 
   Config config_;
   LshHistogramsPredictor predictor_;
+  /// Guards tracker_ and rng_. Acquired before the predictor's internal
+  /// lock when both are needed.
+  mutable std::mutex mu_;
   PrecisionRecallTracker tracker_;
   Rng rng_;
-  size_t reset_count_ = 0;
-  size_t random_invocations_ = 0;
-  size_t positive_feedback_insertions_ = 0;
-  size_t optimizer_insertions_ = 0;
+  std::atomic<size_t> reset_count_{0};
+  std::atomic<size_t> random_invocations_{0};
+  std::atomic<size_t> positive_feedback_insertions_{0};
+  std::atomic<size_t> optimizer_insertions_{0};
 };
 
 }  // namespace ppc

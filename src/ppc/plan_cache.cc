@@ -1,8 +1,29 @@
 #include "ppc/plan_cache.h"
 
+#include <algorithm>
+
 #include "common/macros.h"
 
 namespace ppc {
+
+namespace {
+
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// SplitMix64 finalizer: PlanIds are fingerprint hashes already, but the
+/// extra mix guards against id distributions that collide on low bits.
+uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
 
 const char* CacheEvictionPolicyName(CacheEvictionPolicy policy) {
   switch (policy) {
@@ -16,79 +37,148 @@ const char* CacheEvictionPolicyName(CacheEvictionPolicy policy) {
   return "unknown";
 }
 
-PlanCache::PlanCache(size_t capacity, CacheEvictionPolicy policy)
-    : capacity_(capacity), policy_(policy) {
+PlanCache::PlanCache(size_t capacity, CacheEvictionPolicy policy,
+                     size_t shard_count)
+    : capacity_(capacity),
+      policy_(policy),
+      shards_(RoundUpToPowerOfTwo(std::max<size_t>(1, shard_count))) {
   PPC_CHECK(capacity >= 1);
+}
+
+PlanCache::Shard& PlanCache::ShardFor(PlanId id) const {
+  return shards_[MixId(id) & (shards_.size() - 1)];
 }
 
 void PlanCache::Put(PlanId id, std::unique_ptr<PlanNode> plan) {
   PPC_CHECK(id != kNullPlanId && plan != nullptr);
-  auto it = entries_.find(id);
-  if (it != entries_.end()) {
-    it->second.plan = std::move(plan);
-    it->second.last_use = ++clock_;
-    return;
+  std::shared_ptr<const PlanNode> shared(std::move(plan));
+  Shard& shard = ShardFor(id);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(id);
+    if (it != shard.entries.end()) {
+      it->second.plan = std::move(shared);
+      it->second.last_use = Tick();
+      it->second.uses = 0;
+      it->second.precision_score = 1.0;
+      return;
+    }
   }
-  if (entries_.size() >= capacity_) EvictOne();
-  Entry entry;
-  entry.plan = std::move(plan);
-  entry.last_use = ++clock_;
-  entries_.emplace(id, std::move(entry));
+  // Make room before inserting so the incoming plan is never its own
+  // eviction victim (LFU would otherwise evict the 0-use newcomer).
+  while (size_.load(std::memory_order_acquire) >= capacity_) {
+    if (!EvictOne()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.entries.try_emplace(id);
+    it->second.plan = std::move(shared);
+    it->second.last_use = Tick();
+    if (inserted) {
+      size_.fetch_add(1, std::memory_order_acq_rel);
+    } else {
+      // A racing Put of the same id landed first: treat as overwrite.
+      it->second.uses = 0;
+      it->second.precision_score = 1.0;
+    }
+  }
+  // Concurrent inserters may transiently overshoot; converge back down.
+  while (size_.load(std::memory_order_acquire) > capacity_) {
+    if (!EvictOne()) break;
+  }
 }
 
-const PlanNode* PlanCache::Get(PlanId id) {
-  auto it = entries_.find(id);
-  if (it == entries_.end()) {
-    ++misses_;
+std::shared_ptr<const PlanNode> PlanCache::Get(PlanId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++hits_;
-  it->second.last_use = ++clock_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  it->second.last_use = Tick();
   ++it->second.uses;
-  return it->second.plan.get();
+  return it->second.plan;
 }
 
-bool PlanCache::Contains(PlanId id) const { return entries_.count(id) > 0; }
+bool PlanCache::Contains(PlanId id) const {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.entries.count(id) > 0;
+}
 
 void PlanCache::SetPrecisionScore(PlanId id, double score) {
-  auto it = entries_.find(id);
-  if (it != entries_.end()) it->second.precision_score = score;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  if (it != shard.entries.end()) it->second.precision_score = score;
 }
 
-void PlanCache::Erase(PlanId id) { entries_.erase(id); }
+void PlanCache::Erase(PlanId id) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.entries.erase(id) > 0) {
+    size_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
 
-void PlanCache::Clear() { entries_.clear(); }
+void PlanCache::Clear() {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (Shard& shard : shards_) locks.emplace_back(shard.mu);
+  for (Shard& shard : shards_) shard.entries.clear();
+  size_.store(0, std::memory_order_release);
+}
 
 std::vector<PlanId> PlanCache::PlanIds() const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (Shard& shard : shards_) locks.emplace_back(shard.mu);
   std::vector<PlanId> ids;
-  ids.reserve(entries_.size());
-  for (const auto& [id, _] : entries_) ids.push_back(id);
+  for (const Shard& shard : shards_) {
+    for (const auto& [id, _] : shard.entries) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 
-void PlanCache::EvictOne() {
-  PPC_DCHECK(!entries_.empty());
-  auto victim = entries_.begin();
-  auto worse = [this](const Entry& cand, const Entry& best) {
-    switch (policy_) {
-      case CacheEvictionPolicy::kPrecisionThenLru:
-        if (cand.precision_score != best.precision_score) {
-          return cand.precision_score < best.precision_score;
-        }
-        return cand.last_use < best.last_use;
-      case CacheEvictionPolicy::kLru:
-        return cand.last_use < best.last_use;
-      case CacheEvictionPolicy::kLfu:
-        if (cand.uses != best.uses) return cand.uses < best.uses;
-        return cand.last_use < best.last_use;
-    }
-    return false;
-  };
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (worse(it->second, victim->second)) victim = it;
+bool PlanCache::Worse(const Entry& cand, const Entry& best) const {
+  switch (policy_) {
+    case CacheEvictionPolicy::kPrecisionThenLru:
+      if (cand.precision_score != best.precision_score) {
+        return cand.precision_score < best.precision_score;
+      }
+      return cand.last_use < best.last_use;
+    case CacheEvictionPolicy::kLru:
+      return cand.last_use < best.last_use;
+    case CacheEvictionPolicy::kLfu:
+      if (cand.uses != best.uses) return cand.uses < best.uses;
+      return cand.last_use < best.last_use;
   }
-  entries_.erase(victim);
-  ++evictions_;
+  return false;
+}
+
+bool PlanCache::EvictOne() {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (Shard& shard : shards_) locks.emplace_back(shard.mu);
+
+  Shard* victim_shard = nullptr;
+  std::map<PlanId, Entry>::iterator victim;
+  for (Shard& shard : shards_) {
+    for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+      if (victim_shard == nullptr || Worse(it->second, victim->second)) {
+        victim_shard = &shard;
+        victim = it;
+      }
+    }
+  }
+  if (victim_shard == nullptr) return false;
+  victim_shard->entries.erase(victim);
+  size_.fetch_sub(1, std::memory_order_acq_rel);
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 }  // namespace ppc

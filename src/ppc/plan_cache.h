@@ -1,9 +1,11 @@
 #ifndef PPC_PPC_PLAN_CACHE_H_
 #define PPC_PPC_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "plan/fingerprint.h"
@@ -25,18 +27,35 @@ enum class CacheEvictionPolicy {
 
 const char* CacheEvictionPolicyName(CacheEvictionPolicy policy);
 
-/// Bounded cache of physical plans keyed by PlanId.
+/// Bounded cache of physical plans keyed by PlanId, safe for concurrent
+/// callers.
+///
+/// The key space is lock-striped into shards (PlanId hash -> shard), so
+/// the hot path — Get on a cached plan — takes exactly one shard mutex.
+/// Hit/miss/eviction counters and the use clock are atomics shared across
+/// shards. Eviction keeps the exact global LRU/LFU/precision semantics of
+/// the single-map cache by briefly locking every shard (in shard-index
+/// order, the cache's one lock-ordering rule) and scanning for the victim;
+/// evictions are rare relative to lookups, so the stripe win dominates.
+///
+/// Get returns a shared_ptr so a plan being executed on one thread cannot
+/// be freed by a concurrent eviction or overwrite on another.
 class PlanCache {
  public:
+  /// `shard_count` is rounded up to a power of two.
   explicit PlanCache(
       size_t capacity,
-      CacheEvictionPolicy policy = CacheEvictionPolicy::kPrecisionThenLru);
+      CacheEvictionPolicy policy = CacheEvictionPolicy::kPrecisionThenLru,
+      size_t shard_count = kDefaultShardCount);
 
-  /// Inserts (or refreshes) a plan. May evict.
+  /// Inserts (or refreshes) a plan. May evict. Overwriting an existing id
+  /// resets its LFU frequency and precision score: the new plan is a fresh
+  /// re-optimization and must not inherit the stale plan's eviction rank.
   void Put(PlanId id, std::unique_ptr<PlanNode> plan);
 
-  /// Returns the cached plan or nullptr. Counts as a use.
-  const PlanNode* Get(PlanId id);
+  /// Returns the cached plan or nullptr. Counts as a use. The returned
+  /// pointer keeps the plan alive even if it is evicted concurrently.
+  std::shared_ptr<const PlanNode> Get(PlanId id);
 
   /// True if present (does not count as a use).
   bool Contains(PlanId id) const;
@@ -48,36 +67,52 @@ class PlanCache {
   /// Removes one plan (no-op when absent).
   void Erase(PlanId id);
 
-  /// Drops everything.
+  /// Drops everything (counters are retained).
   void Clear();
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
   std::vector<PlanId> PlanIds() const;
 
   CacheEvictionPolicy policy() const { return policy_; }
+  size_t shard_count() const { return shards_.size(); }
 
  private:
+  static constexpr size_t kDefaultShardCount = 8;
+
   struct Entry {
-    std::unique_ptr<PlanNode> plan;
+    std::shared_ptr<const PlanNode> plan;
     double precision_score = 1.0;
     uint64_t last_use = 0;
     uint64_t uses = 0;
   };
 
-  void EvictOne();
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<PlanId, Entry> entries;
+  };
+
+  Shard& ShardFor(PlanId id) const;
+  uint64_t Tick() { return clock_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  bool Worse(const Entry& cand, const Entry& best) const;
+  /// Locks all shards (in index order) and evicts the global victim.
+  /// Returns false when the cache is empty. Caller must hold no shard lock.
+  bool EvictOne();
 
   size_t capacity_;
   CacheEvictionPolicy policy_;
-  std::map<PlanId, Entry> entries_;
-  uint64_t clock_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  mutable std::vector<Shard> shards_;
+  std::atomic<size_t> size_{0};
+  std::atomic<uint64_t> clock_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace ppc

@@ -28,8 +28,10 @@ PpcFramework::PpcFramework(const Catalog* catalog, Config config,
 }
 
 Status PpcFramework::RegisterTemplate(const QueryTemplate& tmpl) {
-  if (templates_.count(tmpl.name) > 0) {
-    return Status::AlreadyExists("template " + tmpl.name);
+  if (sealed()) {
+    return Status::FailedPrecondition(
+        "template registry is sealed (queries already executed); register "
+        "all templates before serving");
   }
   auto state = std::make_unique<TemplateState>();
   state->tmpl = tmpl;
@@ -43,12 +45,21 @@ Status PpcFramework::RegisterTemplate(const QueryTemplate& tmpl) {
   online.seed = config_.seed ^ std::hash<std::string>{}(tmpl.name);
   state->online = std::make_unique<OnlinePpcPredictor>(online);
 
-  templates_.emplace(tmpl.name, std::move(state));
+  std::unique_lock<std::shared_mutex> lock(templates_mu_);
+  if (sealed()) {
+    return Status::FailedPrecondition(
+        "template registry is sealed (queries already executed); register "
+        "all templates before serving");
+  }
+  if (!templates_.emplace(tmpl.name, std::move(state)).second) {
+    return Status::AlreadyExists("template " + tmpl.name);
+  }
   return Status::OK();
 }
 
 Result<PpcFramework::TemplateState*> PpcFramework::FindTemplate(
     const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(templates_mu_);
   auto it = templates_.find(name);
   if (it == templates_.end()) {
     return Status::NotFound("template " + name + " is not registered");
@@ -58,6 +69,7 @@ Result<PpcFramework::TemplateState*> PpcFramework::FindTemplate(
 
 Result<PpcFramework::QueryReport> PpcFramework::ExecuteInstance(
     const QueryInstance& instance) {
+  Seal();
   PPC_ASSIGN_OR_RETURN(TemplateState * state,
                        FindTemplate(instance.template_name));
   PPC_ASSIGN_OR_RETURN(std::vector<double> point,
@@ -67,13 +79,14 @@ Result<PpcFramework::QueryReport> PpcFramework::ExecuteInstance(
 
 Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
     const std::string& template_name, const std::vector<double>& point) {
+  Seal();
   PPC_ASSIGN_OR_RETURN(TemplateState * state, FindTemplate(template_name));
   QueryReport report;
 
   // --- Predict ---
   auto predict_start = Clock::now();
   OnlinePpcPredictor::Decision decision = state->online->Decide(point);
-  const PlanNode* cached_plan = nullptr;
+  std::shared_ptr<const PlanNode> cached_plan;
   if (decision.use_prediction) {
     cached_plan = plan_cache_.Get(decision.prediction.plan);
   }
@@ -113,7 +126,7 @@ Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
     // Refresh the cache's eviction signal for this plan.
     plan_cache_.SetPrecisionScore(
         report.executed_plan,
-        state->online->tracker().PlanPrecision(report.executed_plan));
+        state->online->PlanPrecision(report.executed_plan));
     return report;
   }
 
@@ -135,6 +148,7 @@ Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
 
 const OnlinePpcPredictor* PpcFramework::online_predictor(
     const std::string& template_name) const {
+  std::shared_lock<std::shared_mutex> lock(templates_mu_);
   auto it = templates_.find(template_name);
   return it == templates_.end() ? nullptr : it->second->online.get();
 }

@@ -1,8 +1,10 @@
 #ifndef PPC_PPC_PPC_FRAMEWORK_H_
 #define PPC_PPC_PPC_FRAMEWORK_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +28,13 @@ namespace ppc {
 /// cached plan, and either executes the predicted plan from the cache or
 /// falls back to the optimizer — feeding the newly optimized point back
 /// into the predictor. This is the top-level public API the examples use.
+///
+/// Thread safety: the intended lifecycle is register all templates, then
+/// serve. ExecuteInstance / ExecuteAtPoint may be called concurrently from
+/// any number of threads; the first execution (or an explicit Seal())
+/// freezes the template registry, after which RegisterTemplate returns
+/// FailedPrecondition. Per-template state synchronizes independently, so
+/// queries against different templates never contend on a predictor lock.
 class PpcFramework {
  public:
   struct Config {
@@ -62,9 +71,14 @@ class PpcFramework {
   PpcFramework(const Catalog* catalog, Config config,
                CostModelParams cost_params = CostModelParams());
 
-  /// Registers a query template (copied). Must be called before executing
-  /// its instances.
+  /// Registers a query template (copied). Must be called before the first
+  /// execution; returns FailedPrecondition once the registry is sealed.
   Status RegisterTemplate(const QueryTemplate& tmpl);
+
+  /// Freezes the template registry. Idempotent; also triggered implicitly
+  /// by the first ExecuteInstance/ExecuteAtPoint call.
+  void Seal() { sealed_.store(true, std::memory_order_release); }
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
 
   /// Executes one query instance end to end (normalize -> predict ->
   /// cache/optimize -> execute -> feedback).
@@ -98,6 +112,10 @@ class PpcFramework {
   Optimizer optimizer_;
   ExecutionSimulator simulator_;
   PlanCache plan_cache_;
+  /// Guards templates_. Writers exist only before sealing; lookups take
+  /// the (uncontended-after-seal) shared side.
+  mutable std::shared_mutex templates_mu_;
+  std::atomic<bool> sealed_{false};
   std::map<std::string, std::unique_ptr<TemplateState>> templates_;
 };
 

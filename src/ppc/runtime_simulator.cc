@@ -116,9 +116,10 @@ Result<RuntimeSimResult> RuntimeSimulator::Run(
       case CachingStrategy::kParametricCache: {
         auto predict_start = Clock::now();
         OnlinePpcPredictor::Decision decision = online.Decide(point);
-        const PlanNode* cached = decision.use_prediction
-                                     ? cache.Get(decision.prediction.plan)
-                                     : nullptr;
+        std::shared_ptr<const PlanNode> cached;
+        if (decision.use_prediction) {
+          cached = cache.Get(decision.prediction.plan);
+        }
         result.predict_seconds += SecondsSince(predict_start);
 
         if (decision.use_prediction && cached != nullptr) {

@@ -1,0 +1,240 @@
+// Concurrency tests for the serving path: PpcFramework end to end, plus
+// direct multi-threaded hammering of PlanCache and LshHistogramsPredictor.
+// Designed to run under TSan (see scripts/check.sh); the assertions also
+// catch logic races (lost counter updates, capacity overshoot) in plain
+// builds.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ppc/lsh_histograms_predictor.h"
+#include "ppc/plan_cache.h"
+#include "ppc/ppc_framework.h"
+#include "test_util.h"
+#include "workload/templates.h"
+
+namespace ppc {
+namespace {
+
+using testutil::HalfSpacePlan;
+using testutil::SamplePoints;
+using testutil::SmallTpch;
+
+constexpr int kThreads = 4;
+constexpr int kQueriesPerThread = 150;
+
+PpcFramework::Config ConcurrentConfig() {
+  PpcFramework::Config cfg;
+  cfg.online.predictor.transform_count = 5;
+  cfg.online.predictor.histogram_buckets = 40;
+  cfg.online.predictor.radius = 0.05;
+  cfg.online.predictor.confidence_threshold = 0.8;
+  cfg.online.predictor.noise_fraction = 0.002;
+  cfg.online.estimator_window = 100;
+  cfg.plan_cache_capacity = 32;
+  return cfg;
+}
+
+TEST(ConcurrentFrameworkTest, ParallelServingReconciles) {
+  PpcFramework framework(&SmallTpch(), ConcurrentConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q3")).ok());
+  framework.Seal();
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> reported_hits{0};
+  std::atomic<size_t> contract_violations{0};
+
+  // Monitor thread: shared counters must move monotonically and the cache
+  // must never exceed capacity while workers run.
+  std::thread monitor([&] {
+    uint64_t last_hits = 0, last_misses = 0, last_evictions = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const uint64_t h = framework.plan_cache().hits();
+      const uint64_t m = framework.plan_cache().misses();
+      const uint64_t e = framework.plan_cache().evictions();
+      if (h < last_hits || m < last_misses || e < last_evictions) {
+        contract_violations.fetch_add(1);
+      }
+      if (framework.plan_cache().size() >
+          framework.plan_cache().capacity()) {
+        contract_violations.fetch_add(1);
+      }
+      last_hits = h;
+      last_misses = m;
+      last_evictions = e;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      // Alternate templates across threads; clustered points so plans
+      // repeat and the cache actually serves hits.
+      Rng rng(100 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const bool q1 = (t + i) % 2 == 0;
+        std::vector<double> x;
+        const double cx = q1 ? 0.5 : 0.4;
+        for (int d = 0; d < (q1 ? 2 : 3); ++d) {
+          x.push_back(cx + rng.Uniform(-0.02, 0.02));
+        }
+        auto report = framework.ExecuteAtPoint(q1 ? "Q1" : "Q3", x);
+        if (!report.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Every query either hit the cache or paid for the optimizer.
+        if (!report.value().cache_hit && !report.value().optimizer_invoked) {
+          contract_violations.fetch_add(1);
+        }
+        if (report.value().executed_plan == kNullPlanId ||
+            report.value().execution_cost <= 0.0) {
+          contract_violations.fetch_add(1);
+        }
+        if (report.value().cache_hit) reported_hits.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(contract_violations.load(), 0u);
+  // Per-query reported hits reconcile exactly with the cache's counter
+  // (only the framework touches this cache, one Get per served query).
+  EXPECT_EQ(framework.plan_cache().hits(), reported_hits.load());
+  EXPECT_LE(framework.plan_cache().size(),
+            framework.plan_cache().capacity());
+  // Clustered workload on two templates must actually exercise the cache.
+  EXPECT_GT(reported_hits.load(), 0u);
+}
+
+TEST(ConcurrentFrameworkTest, RegistrationRacesWithServing) {
+  // One thread serves (sealing the registry); others try to register.
+  // Late registrations must fail cleanly, never corrupt the map.
+  PpcFramework framework(&SmallTpch(), ConcurrentConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+
+  std::atomic<size_t> serve_failures{0};
+  std::thread server([&] {
+    Rng rng(5);
+    for (int i = 0; i < 50; ++i) {
+      std::vector<double> x = {0.5 + rng.Uniform(-0.02, 0.02),
+                               0.5 + rng.Uniform(-0.02, 0.02)};
+      if (!framework.ExecuteAtPoint("Q1", x).ok()) serve_failures.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> registrars;
+  std::atomic<size_t> rejected{0};
+  for (int t = 0; t < 3; ++t) {
+    registrars.emplace_back([&] {
+      const Status s = framework.RegisterTemplate(EvaluationTemplate("Q5"));
+      if (!s.ok()) {
+        EXPECT_TRUE(s.code() == StatusCode::kFailedPrecondition ||
+                    s.code() == StatusCode::kAlreadyExists)
+            << s.ToString();
+        rejected.fetch_add(1);
+      }
+    });
+  }
+  server.join();
+  for (auto& r : registrars) r.join();
+  EXPECT_EQ(serve_failures.load(), 0u);
+  // At most one registrar can have won the race before sealing.
+  EXPECT_GE(rejected.load(), 2u);
+}
+
+TEST(ConcurrentPlanCacheTest, HammerPutGetEvict) {
+  PlanCache cache(16);
+  std::vector<std::thread> workers;
+  std::atomic<size_t> violations{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(200 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 2000; ++i) {
+        const PlanId id = 1 + static_cast<PlanId>(rng.Uniform() * 64);
+        switch (i % 4) {
+          case 0:
+            cache.Put(id, MakeSeqScan("t" + std::to_string(id), {}));
+            break;
+          case 1: {
+            auto plan = cache.Get(id);
+            // A returned plan stays valid even if evicted concurrently.
+            if (plan != nullptr &&
+                plan->table != "t" + std::to_string(id)) {
+              violations.fetch_add(1);
+            }
+            break;
+          }
+          case 2:
+            cache.SetPrecisionScore(id, rng.Uniform());
+            break;
+          case 3:
+            if (i % 64 == 3) {
+              cache.Erase(id);
+            } else {
+              cache.Contains(id);
+            }
+            break;
+        }
+        if (cache.size() > 16 + static_cast<size_t>(kThreads)) {
+          // Transient overshoot is bounded by the number of inserters.
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_EQ(cache.size(), cache.PlanIds().size());
+  EXPECT_GT(cache.hits() + cache.misses(), 0u);
+}
+
+TEST(ConcurrentPredictorTest, ParallelInsertAndPredict) {
+  LshHistogramsPredictor::Config cfg;
+  cfg.dimensions = 2;
+  cfg.transform_count = 5;
+  cfg.histogram_buckets = 40;
+  cfg.radius = 0.1;
+  cfg.confidence_threshold = 0.6;
+  Rng seed_rng(31);
+  LshHistogramsPredictor predictor(
+      cfg, SamplePoints(2, 500, HalfSpacePlan, &seed_rng));
+
+  std::vector<std::thread> workers;
+  std::atomic<size_t> violations{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(300 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 1000; ++i) {
+        std::vector<double> x = {rng.Uniform(), rng.Uniform()};
+        if (t % 2 == 0) {
+          predictor.Insert(LabeledPoint{
+              x, HalfSpacePlan(x), testutil::SyntheticCost(x, 1)});
+        } else {
+          const Prediction p = predictor.Predict(x);
+          if (p.has_value() &&
+              (p.confidence <= 0.0 || p.confidence > 1.0)) {
+            violations.fetch_add(1);
+          }
+          predictor.EstimateCost(x, 1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(violations.load(), 0u);
+  // 500 seed points + 2 inserter threads x 1000 points, none lost.
+  EXPECT_EQ(predictor.TotalSamples(), 500u + 2u * 1000u);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -201,6 +201,33 @@ TEST(LshHistogramsTest, HighDimensionalInputWithReduction) {
   EXPECT_GT(metrics.Recall(), 0.05);
 }
 
+TEST(LshHistogramsTest, QueryRangesClampedToHistogramDomain) {
+  // Regression: near a plan-space corner, T(x) +/- delta used to spill
+  // outside [0, 1] — outside the histogram's domain. The interval must
+  // instead slide inward, keeping both its clamp AND its full 2*delta
+  // curve coverage.
+  auto cfg = BaseConfig();
+  cfg.radius = 0.2;  // wide delta so corners definitely overflow
+  LshHistogramsPredictor predictor(cfg);
+
+  const std::vector<std::vector<double>> probes = {
+      {0.0, 0.0}, {1.0, 1.0}, {0.0, 1.0}, {1.0, 0.0}};
+  const auto center_ranges = predictor.QueryRanges({0.5, 0.5});
+  for (const auto& x : probes) {
+    const auto ranges = predictor.QueryRanges(x);
+    ASSERT_EQ(ranges.size(), center_ranges.size());
+    for (size_t t = 0; t < ranges.size(); ++t) {
+      ASSERT_EQ(ranges[t].size(), 1u);
+      const ZInterval& iv = ranges[t][0];
+      EXPECT_GE(iv.lo, 0.0);
+      EXPECT_LE(iv.hi, 1.0);
+      EXPECT_LE(iv.lo, iv.hi);
+      // Sliding preserves the curve length the center point gets.
+      EXPECT_NEAR(iv.width(), center_ranges[t][0].width(), 1e-12);
+    }
+  }
+}
+
 TEST(LshHistogramsTest, DeterministicForSeed) {
   Rng rng_a(21), rng_b(21);
   auto cfg = BaseConfig();

@@ -12,7 +12,7 @@ std::unique_ptr<PlanNode> Plan(const std::string& table) {
 TEST(PlanCacheTest, PutAndGet) {
   PlanCache cache(4);
   cache.Put(1, Plan("a"));
-  const PlanNode* plan = cache.Get(1);
+  std::shared_ptr<const PlanNode> plan = cache.Get(1);
   ASSERT_NE(plan, nullptr);
   EXPECT_EQ(plan->table, "a");
   EXPECT_EQ(cache.hits(), 1u);
@@ -129,6 +129,42 @@ TEST(PlanCacheTest, LfuPolicyEvictsColdPlan) {
   cache.Put(3, Plan("c"));
   EXPECT_TRUE(cache.Contains(1));
   EXPECT_FALSE(cache.Contains(2));
+}
+
+TEST(PlanCacheTest, GetOutlivesEviction) {
+  PlanCache cache(1);
+  cache.Put(1, Plan("a"));
+  auto plan = cache.Get(1);
+  cache.Put(2, Plan("b"));  // evicts 1
+  EXPECT_FALSE(cache.Contains(1));
+  ASSERT_NE(plan, nullptr);  // still alive for this holder
+  EXPECT_EQ(plan->table, "a");
+}
+
+TEST(PlanCacheTest, OverwriteResetsLfuFrequency) {
+  PlanCache cache(2, CacheEvictionPolicy::kLfu);
+  cache.Put(1, Plan("a"));
+  cache.Put(2, Plan("b"));
+  cache.Get(1);
+  cache.Get(1);
+  cache.Get(1);     // 1 looks hot...
+  cache.Put(1, Plan("a2"));  // ...but a re-optimization resets its count
+  cache.Get(2);     // 2 now has 1 use vs. 1's 0 uses
+  cache.Put(3, Plan("c"));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(PlanCacheTest, OverwriteResetsPrecisionScore) {
+  PlanCache cache(2);
+  cache.Put(1, Plan("a"));
+  cache.Put(2, Plan("b"));
+  cache.SetPrecisionScore(1, 0.05);  // 1 would be the precision victim
+  cache.Put(1, Plan("a2"));          // fresh plan: score back to 1.0
+  cache.Put(3, Plan("c"));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));  // 2 is older at equal precision
 }
 
 TEST(PlanCacheTest, LfuTiesBreakByLru) {

@@ -132,6 +132,27 @@ TEST(PpcFrameworkTest, PredictorDimensionsFollowTemplateDegree) {
       framework.online_predictor("Q8")->config().predictor.dimensions, 6);
 }
 
+TEST(PpcFrameworkTest, RegistrySealsOnFirstExecution) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  EXPECT_FALSE(framework.sealed());
+  ASSERT_TRUE(framework.ExecuteAtPoint("Q1", {0.5, 0.5}).ok());
+  EXPECT_TRUE(framework.sealed());
+  EXPECT_EQ(framework.RegisterTemplate(EvaluationTemplate("Q3")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PpcFrameworkTest, ExplicitSealBlocksRegistration) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  framework.Seal();
+  EXPECT_EQ(framework.RegisterTemplate(EvaluationTemplate("Q3")).code(),
+            StatusCode::kFailedPrecondition);
+  // Sealing is idempotent and already-registered templates keep serving.
+  framework.Seal();
+  EXPECT_TRUE(framework.ExecuteAtPoint("Q1", {0.5, 0.5}).ok());
+}
+
 TEST(PpcFrameworkTest, NoisyExecutionTriggersNegativeFeedback) {
   // With heavy execution-cost noise, the plan-cost-predictability test
   // misfires regularly; each suspected misprediction must invoke the

@@ -184,6 +184,65 @@ TEST_F(PredictorSerdeTest, RejectsTrailingGarbage) {
       LshHistogramsPredictor::Restore(original.Serialize() + "x").ok());
 }
 
+// Hand-builds a syntactically complete zero-plan snapshot with the given
+// configuration fields, for probing Restore's validation (a corrupted or
+// adversarial snapshot must fail with InvalidArgument, never abort).
+std::string SnapshotWithConfig(uint32_t dims, uint32_t transform_count,
+                               uint32_t output_dims, uint32_t bits_per_dim,
+                               uint64_t buckets, uint64_t max_z) {
+  ByteWriter writer;
+  writer.PutU32(0x50504331);  // magic "PPC1"
+  writer.PutU32(dims);
+  writer.PutU32(transform_count);
+  writer.PutU32(output_dims);
+  writer.PutU32(bits_per_dim);
+  writer.PutU64(buckets);
+  writer.PutDouble(0.1);   // radius
+  writer.PutDouble(0.7);   // confidence_threshold
+  writer.PutDouble(0.0);   // noise_fraction
+  writer.PutU8(0);         // merge policy
+  writer.PutU64(23);       // seed
+  writer.PutU8(0);         // interval_decomposition
+  writer.PutU64(max_z);
+  writer.PutU64(0);        // total_samples
+  writer.PutU32(0);        // plan_count
+  return writer.Take();
+}
+
+TEST_F(PredictorSerdeTest, RejectsOutOfRangeConfig) {
+  // The well-formed baseline restores fine.
+  EXPECT_TRUE(
+      LshHistogramsPredictor::Restore(SnapshotWithConfig(2, 5, 0, 5, 40, 8))
+          .ok());
+  struct Case {
+    const char* what;
+    std::string bytes;
+  };
+  const Case cases[] = {
+      {"zero dimensions", SnapshotWithConfig(0, 5, 0, 5, 40, 8)},
+      {"huge dimensions", SnapshotWithConfig(1u << 30, 5, 0, 5, 40, 8)},
+      {"zero transforms", SnapshotWithConfig(2, 0, 0, 5, 40, 8)},
+      {"huge transforms", SnapshotWithConfig(2, 1u << 31, 0, 5, 40, 8)},
+      {"huge output dims", SnapshotWithConfig(2, 5, 63, 5, 40, 8)},
+      {"zero bits per dim", SnapshotWithConfig(2, 5, 0, 0, 40, 8)},
+      // 2 effective output dims * 40 bits = 80 > the curve's 62-bit cap.
+      {"z-order overflow", SnapshotWithConfig(2, 5, 0, 40, 40, 8)},
+      {"zero buckets", SnapshotWithConfig(2, 5, 0, 5, 0, 8)},
+      {"one bucket", SnapshotWithConfig(2, 5, 0, 5, 1, 8)},
+      {"huge buckets",
+       SnapshotWithConfig(2, 5, 0, 5, uint64_t{1} << 40, 8)},
+      {"zero z intervals", SnapshotWithConfig(2, 5, 0, 5, 40, 0)},
+      {"huge z intervals",
+       SnapshotWithConfig(2, 5, 0, 5, 40, uint64_t{1} << 40)},
+  };
+  for (const Case& c : cases) {
+    auto restored = LshHistogramsPredictor::Restore(c.bytes);
+    EXPECT_FALSE(restored.ok()) << c.what;
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument)
+        << c.what;
+  }
+}
+
 TEST_F(PredictorSerdeTest, EmptyPredictorRoundTrips) {
   LshHistogramsPredictor original(Config());
   auto restored = LshHistogramsPredictor::Restore(original.Serialize());
