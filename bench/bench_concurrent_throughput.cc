@@ -83,6 +83,9 @@ struct RunResult {
   double hit_rate = 0.0;
   double predict_p50_us = 0.0;
   double predict_p99_us = 0.0;
+  /// Full observability snapshot of the run's framework (counters,
+  /// latency histograms, cache stats, per-template predictor health).
+  std::string metrics_json;
 };
 
 double Percentile(std::vector<double>* sorted_in_place, double p) {
@@ -151,6 +154,7 @@ RunResult RunAtThreadCount(int threads, const std::vector<Query>& warmup,
                    : 0.0;
   r.predict_p50_us = Percentile(&all, 0.50);
   r.predict_p99_us = Percentile(&all, 0.99);
+  r.metrics_json = framework.MetricsSnapshot().ToJson();
   return r;
 }
 
@@ -191,9 +195,9 @@ void Run() {
     std::fprintf(json,
                  "    {\"threads\": %d, \"qps\": %.1f, \"speedup\": %.3f, "
                  "\"hit_rate\": %.4f, \"predict_p50_us\": %.3f, "
-                 "\"predict_p99_us\": %.3f}%s\n",
+                 "\"predict_p99_us\": %.3f,\n     \"metrics\": %s}%s\n",
                  r.threads, r.qps, r.qps / results.front().qps, r.hit_rate,
-                 r.predict_p50_us, r.predict_p99_us,
+                 r.predict_p50_us, r.predict_p99_us, r.metrics_json.c_str(),
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

@@ -19,6 +19,7 @@ constexpr size_t kQueries = 1000;
 
 void Run() {
   PrintHeader("Fig. 13: end-to-end runtime by caching strategy");
+  std::string json_rows;
   std::printf("%zu queries, random trajectories r_d = 0.01, b_h = 40, "
               "t = 5, gamma = 0.8,\nnoise elimination on, d = 0.15; "
               "execution charged at 10ns/cost-unit (cheap-query regime)\n",
@@ -62,8 +63,27 @@ void Run() {
                   r.optimize_seconds * 1e3, r.predict_seconds * 1e3,
                   r.execute_seconds * 1e3, r.optimizer_calls,
                   r.predictions_used, r.MeanSuboptimality());
+      if (!json_rows.empty()) json_rows += ",\n";
+      json_rows += "    {\"template\": \"" + std::string(name) + "\"";
+      json_rows += ", \"strategy\": \"" +
+                   std::string(CachingStrategyName(strategy)) + "\"";
+      json_rows += ", \"total_ms\": " + JsonNumber(r.TotalSeconds() * 1e3);
+      json_rows +=
+          ", \"optimize_ms\": " + JsonNumber(r.optimize_seconds * 1e3);
+      json_rows += ", \"predict_ms\": " + JsonNumber(r.predict_seconds * 1e3);
+      json_rows += ", \"execute_ms\": " + JsonNumber(r.execute_seconds * 1e3);
+      json_rows += ", \"optimizer_calls\": " + std::to_string(r.optimizer_calls);
+      json_rows +=
+          ", \"predictions_used\": " + std::to_string(r.predictions_used);
+      json_rows +=
+          ", \"mean_suboptimality\": " + JsonNumber(r.MeanSuboptimality());
+      json_rows += "}";
     }
   }
+  WriteBenchJson("fig13_runtime", "  \"queries\": " +
+                                      std::to_string(kQueries) +
+                                      ",\n  \"rows\": [\n" + json_rows +
+                                      "\n  ]");
   std::printf(
       "\nExpected shape (paper): the parametric cache lands between\n"
       "ALWAYS-OPTIMIZE and IDEAL, approaching IDEAL as optimization cost\n"

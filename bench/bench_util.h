@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "clustering/predictor.h"
+#include "ppc/metrics_registry.h"
 #include "ppc/online_predictor.h"
 #include "common/rng.h"
 #include "optimizer/optimizer.h"
@@ -216,6 +217,42 @@ inline void PrintHeader(const std::string& title) {
 inline void PrintRule() {
   std::printf(
       "--------------------------------------------------------------\n");
+}
+
+/// Writes one machine-readable result file, BENCH_<name>.json, into the
+/// working directory. `body` must be the members of a JSON object, without
+/// the surrounding braces; a "bench" field is prepended. scripts/check.sh
+/// validates every emitted file with a real JSON parser.
+inline void WriteBenchJson(const std::string& name, const std::string& body) {
+  const std::string path = "BENCH_" + name + ".json";
+  FILE* json = std::fopen(path.c_str(), "w");
+  if (json == nullptr) {
+    std::printf("warning: could not write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(json, "{\"bench\": \"%s\",\n%s\n}\n", name.c_str(),
+               body.c_str());
+  std::fclose(json);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// The per-template health block of OnlinePpcPredictor, as a JSON object —
+/// the same fields PpcFramework::MetricsSnapshot() exports per template.
+inline std::string OnlineStatsJson(const OnlinePpcPredictor& online) {
+  const OnlinePpcPredictor::Stats s = online.GetStats();
+  std::string out = "{\"precision\": " + JsonNumber(s.precision);
+  out += ", \"recall\": " + JsonNumber(s.recall);
+  out += ", \"beta\": " + JsonNumber(s.beta);
+  out += ", \"resets\": " + std::to_string(s.resets);
+  out += ", \"random_invocations\": " + std::to_string(s.random_invocations);
+  out += ", \"optimizer_insertions\": " +
+         std::to_string(s.optimizer_insertions);
+  out += ", \"positive_feedback_insertions\": " +
+         std::to_string(s.positive_feedback_insertions);
+  out += ", \"feedback_positive\": " + std::to_string(s.feedback_positive);
+  out += ", \"feedback_negative\": " + std::to_string(s.feedback_negative);
+  out += "}";
+  return out;
 }
 
 }  // namespace bench

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full verification sweep:
 #   1. plain build + the entire test suite (the tier-1 gate),
-#   2. ASan build + the entire test suite,
-#   3. TSan build + the concurrency tests.
+#   2. the JSON-emitting benches + validation of every BENCH_*.json,
+#   3. ASan build + the entire test suite,
+#   4. TSan build + the concurrency and metrics tests.
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -15,6 +16,22 @@ echo "==> plain build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "==> machine-readable bench output (BENCH_*.json) is valid JSON"
+(
+  cd build
+  ./bench/bench_concurrent_throughput >/dev/null
+  ./bench/bench_drift_detection >/dev/null
+  ./bench/bench_fig13_runtime >/dev/null
+  for f in BENCH_*.json; do
+    if command -v python3 >/dev/null; then
+      python3 -m json.tool "$f" >/dev/null || { echo "invalid JSON: $f"; exit 1; }
+    else
+      jq . "$f" >/dev/null || { echo "invalid JSON: $f"; exit 1; }
+    fi
+    echo "    $f ok"
+  done
+)
 
 if [ "$SKIP_SAN" = 1 ]; then
   echo "==> sanitizer passes skipped"
@@ -29,10 +46,12 @@ cmake -B build-asan -S . -DPPC_SANITIZE=address \
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 
-echo "==> ThreadSanitizer build + concurrency tests"
+echo "==> ThreadSanitizer build + concurrency and metrics tests"
 cmake -B build-tsan -S . -DPPC_SANITIZE=thread \
   -DPPC_BUILD_BENCHMARKS=OFF -DPPC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$JOBS"
-(cd build-tsan && ctest --output-on-failure -R 'Concurrent' -j "$JOBS")
+(cd build-tsan && \
+  ctest --output-on-failure -R 'Concurrent|MetricsRegistry|FrameworkMetrics' \
+    -j "$JOBS")
 
 echo "==> all checks passed"

@@ -1,0 +1,24 @@
+#ifndef PPC_COMMON_HASH_H_
+#define PPC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ppc {
+
+/// 64-bit FNV-1a over bytes. Used wherever a hash feeds a seed or any
+/// other reproducible quantity: unlike std::hash, the value is fixed by
+/// the algorithm, so experiment runs are identical across standard
+/// libraries and platforms.
+constexpr uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (char c : data) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+}  // namespace ppc
+
+#endif  // PPC_COMMON_HASH_H_

@@ -76,6 +76,8 @@ bool OnlinePpcPredictor::ReportPredictionExecuted(
   std::lock_guard<std::mutex> lock(mu_);
   tracker_.RecordPrediction(prediction.plan, /*made=*/true,
                             estimated_correct);
+  (estimated_correct ? feedback_positive_ : feedback_negative_)
+      .fetch_add(1, std::memory_order_relaxed);
 
   // Positive feedback (Sec. VII extension): a high-confidence prediction
   // whose measured cost matches the histogram expectation is trusted as a
@@ -96,6 +98,17 @@ bool OnlinePpcPredictor::ReportPredictionExecuted(
   return config_.negative_feedback && !estimated_correct;
 }
 
+void OnlinePpcPredictor::ReportPredictionOutcome(const Prediction& prediction,
+                                                 PlanId true_plan) {
+  PPC_CHECK(prediction.has_value());
+  const bool correct = prediction.plan == true_plan;
+  std::lock_guard<std::mutex> lock(mu_);
+  tracker_.RecordPrediction(prediction.plan, /*made=*/true, correct);
+  (correct ? feedback_positive_ : feedback_negative_)
+      .fetch_add(1, std::memory_order_relaxed);
+  MaybeResetLocked();
+}
+
 double OnlinePpcPredictor::TemplatePrecision() const {
   std::lock_guard<std::mutex> lock(mu_);
   return tracker_.TemplatePrecision();
@@ -104,6 +117,23 @@ double OnlinePpcPredictor::TemplatePrecision() const {
 double OnlinePpcPredictor::PlanPrecision(PlanId plan) const {
   std::lock_guard<std::mutex> lock(mu_);
   return tracker_.PlanPrecision(plan);
+}
+
+OnlinePpcPredictor::Stats OnlinePpcPredictor::GetStats() const {
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.precision = tracker_.TemplatePrecision();
+    stats.recall = tracker_.TemplateRecall();
+    stats.beta = tracker_.Beta();
+  }
+  stats.resets = reset_count();
+  stats.random_invocations = random_invocations();
+  stats.optimizer_insertions = optimizer_insertions();
+  stats.positive_feedback_insertions = positive_feedback_insertions();
+  stats.feedback_positive = feedback_positive();
+  stats.feedback_negative = feedback_negative();
+  return stats;
 }
 
 void OnlinePpcPredictor::MaybeResetLocked() {

@@ -105,9 +105,38 @@ class OnlinePpcPredictor {
                                 const Prediction& prediction,
                                 double actual_cost);
 
+  /// Alternate step-3 feedback for a non-NULL prediction that was *not*
+  /// executed but whose ground truth is known exactly — e.g. the predicted
+  /// plan had been evicted from the cache, so the optimizer ran anyway and
+  /// revealed the true plan. Feeds the same windowed precision/recall
+  /// estimators (paper Definition 4) with exact — not cost-estimated —
+  /// correctness; skipping these events would overcount precision by
+  /// omission.
+  void ReportPredictionOutcome(const Prediction& prediction,
+                               PlanId true_plan);
+
   /// Thread-safe snapshots of the tracker's estimates.
   double TemplatePrecision() const;
   double PlanPrecision(PlanId plan) const;
+
+  /// Per-template health snapshot (thread-safe): the tracker's windowed
+  /// estimates plus the predictor's lifetime event counters, read under
+  /// one lock acquisition so precision/recall/beta are mutually
+  /// consistent.
+  struct Stats {
+    double precision = 0.0;
+    double recall = 0.0;
+    double beta = 0.0;
+    size_t resets = 0;
+    size_t random_invocations = 0;
+    size_t optimizer_insertions = 0;
+    size_t positive_feedback_insertions = 0;
+    /// Prediction outcomes reported so far (executed predictions judged by
+    /// the cost test, plus exact outcomes via ReportPredictionOutcome).
+    uint64_t feedback_positive = 0;
+    uint64_t feedback_negative = 0;
+  };
+  Stats GetStats() const;
 
   /// Unsynchronized references — safe only when no concurrent mutators
   /// run (tests, single-threaded experiment harnesses).
@@ -131,6 +160,13 @@ class OnlinePpcPredictor {
   size_t optimizer_insertions() const {
     return optimizer_insertions_.load(std::memory_order_relaxed);
   }
+  /// Prediction outcomes judged correct / incorrect so far.
+  uint64_t feedback_positive() const {
+    return feedback_positive_.load(std::memory_order_relaxed);
+  }
+  uint64_t feedback_negative() const {
+    return feedback_negative_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// Requires mu_ held.
@@ -147,6 +183,8 @@ class OnlinePpcPredictor {
   std::atomic<size_t> random_invocations_{0};
   std::atomic<size_t> positive_feedback_insertions_{0};
   std::atomic<size_t> optimizer_insertions_{0};
+  std::atomic<uint64_t> feedback_positive_{0};
+  std::atomic<uint64_t> feedback_negative_{0};
 };
 
 }  // namespace ppc

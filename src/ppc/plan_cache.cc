@@ -94,9 +94,11 @@ std::shared_ptr<const PlanNode> PlanCache::Get(PlanId id) {
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    ++shard.misses;
     return nullptr;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  ++shard.hits;
   it->second.last_use = Tick();
   ++it->second.uses;
   return it->second.plan;
@@ -113,6 +115,14 @@ void PlanCache::SetPrecisionScore(PlanId id, double score) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(id);
   if (it != shard.entries.end()) it->second.precision_score = score;
+}
+
+std::optional<double> PlanCache::PrecisionScore(PlanId id) const {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(id);
+  if (it == shard.entries.end()) return std::nullopt;
+  return it->second.precision_score;
 }
 
 void PlanCache::Erase(PlanId id) {
@@ -175,10 +185,31 @@ bool PlanCache::EvictOne() {
     }
   }
   if (victim_shard == nullptr) return false;
+  if (policy_ == CacheEvictionPolicy::kPrecisionThenLru &&
+      victim->second.precision_score < 1.0) {
+    precision_evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
   victim_shard->entries.erase(victim);
   size_.fetch_sub(1, std::memory_order_acq_rel);
   evictions_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+PlanCache::Stats PlanCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits();
+  stats.misses = misses();
+  stats.evictions = evictions();
+  stats.precision_evictions = precision_evictions();
+  stats.size = size();
+  stats.capacity = capacity_;
+  stats.shards.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.shards.push_back(
+        ShardStats{shard.entries.size(), shard.hits, shard.misses});
+  }
+  return stats;
 }
 
 }  // namespace ppc

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "plan/fingerprint.h"
@@ -64,6 +65,10 @@ class PlanCache {
   /// prec_k[P] from PrecisionRecallTracker). Unknown plans default to 1.0.
   void SetPrecisionScore(PlanId id, double score);
 
+  /// The current eviction-ranking score of one plan (nullopt when absent).
+  /// Does not count as a use.
+  std::optional<double> PrecisionScore(PlanId id) const;
+
   /// Removes one plan (no-op when absent).
   void Erase(PlanId id);
 
@@ -77,6 +82,31 @@ class PlanCache {
   uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  /// Evictions whose victim carried a degraded (< 1.0) precision score,
+  /// i.e. the paper's monitoring signal — not mere recency — picked it.
+  uint64_t precision_evictions() const {
+    return precision_evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-shard and aggregate counters for the observability layer. The
+  /// aggregate counters are read first, then each shard under its own
+  /// lock, so the snapshot is per-field consistent but not a global
+  /// atomic cut (fine for monitoring).
+  struct ShardStats {
+    size_t entries = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t precision_evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+    std::vector<ShardStats> shards;
+  };
+  Stats GetStats() const;
 
   std::vector<PlanId> PlanIds() const;
 
@@ -96,6 +126,9 @@ class PlanCache {
   struct Shard {
     mutable std::mutex mu;
     std::map<PlanId, Entry> entries;
+    /// Per-shard lookup outcomes, guarded by mu (Get holds it anyway).
+    uint64_t hits = 0;
+    uint64_t misses = 0;
   };
 
   Shard& ShardFor(PlanId id) const;
@@ -113,6 +146,7 @@ class PlanCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> precision_evictions_{0};
 };
 
 }  // namespace ppc

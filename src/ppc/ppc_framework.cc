@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "common/hash.h"
+
 namespace ppc {
 
 namespace {
@@ -25,6 +27,23 @@ PpcFramework::PpcFramework(const Catalog* catalog, Config config,
                                              config.seed}),
       plan_cache_(config.plan_cache_capacity) {
   PPC_CHECK(catalog != nullptr);
+  instruments_.queries = &metrics_.counter("framework.queries");
+  instruments_.predictions_executed =
+      &metrics_.counter("framework.predictions.executed");
+  instruments_.predictions_null =
+      &metrics_.counter("framework.predictions.null");
+  instruments_.predictions_evicted =
+      &metrics_.counter("framework.predictions.evicted");
+  instruments_.predictions_random_invocation =
+      &metrics_.counter("framework.predictions.random_invocation");
+  instruments_.negative_feedback =
+      &metrics_.counter("framework.negative_feedback");
+  instruments_.optimizer_calls =
+      &metrics_.counter("framework.optimizer.calls");
+  instruments_.predict_us = &metrics_.histogram("framework.predict_us");
+  instruments_.optimize_us = &metrics_.histogram("framework.optimize_us");
+  instruments_.execute_us = &metrics_.histogram("framework.execute_us");
+  instruments_.feedback_us = &metrics_.histogram("framework.feedback_us");
 }
 
 Status PpcFramework::RegisterTemplate(const QueryTemplate& tmpl) {
@@ -42,7 +61,9 @@ Status PpcFramework::RegisterTemplate(const QueryTemplate& tmpl) {
 
   OnlinePpcPredictor::Config online = config_.online;
   online.predictor.dimensions = state->tmpl.ParameterDegree();
-  online.seed = config_.seed ^ std::hash<std::string>{}(tmpl.name);
+  // FNV-1a, not std::hash: the per-template seed must be identical across
+  // standard libraries so experiment runs reproduce cross-platform.
+  online.seed = config_.seed ^ Fnv1a64(tmpl.name);
   state->online = std::make_unique<OnlinePpcPredictor>(online);
 
   std::unique_lock<std::shared_mutex> lock(templates_mu_);
@@ -82,6 +103,7 @@ Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
   Seal();
   PPC_ASSIGN_OR_RETURN(TemplateState * state, FindTemplate(template_name));
   QueryReport report;
+  instruments_.queries->Increment();
 
   // --- Predict ---
   auto predict_start = Clock::now();
@@ -91,28 +113,43 @@ Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
     cached_plan = plan_cache_.Get(decision.prediction.plan);
   }
   report.predict_micros = MicrosSince(predict_start);
+  instruments_.predict_us->Record(report.predict_micros);
+  if (!decision.prediction.has_value()) {
+    instruments_.predictions_null->Increment();
+  } else if (decision.random_invocation) {
+    instruments_.predictions_random_invocation->Increment();
+  }
 
   if (decision.use_prediction && cached_plan != nullptr) {
     // --- Execute the predicted cached plan ---
     report.used_prediction = true;
     report.cache_hit = true;
     report.executed_plan = decision.prediction.plan;
+    instruments_.predictions_executed->Increment();
+    auto exec_start = Clock::now();
     PPC_ASSIGN_OR_RETURN(
         report.execution_cost,
         simulator_.Execute(state->prepared, *cached_plan, point));
+    report.execute_micros = MicrosSince(exec_start);
+    instruments_.execute_us->Record(report.execute_micros);
 
     // --- Negative feedback ---
     auto feedback_start = Clock::now();
     const bool suspected = state->online->ReportPredictionExecuted(
         point, decision.prediction, report.execution_cost);
-    report.predict_micros += MicrosSince(feedback_start);
+    const double feedback_micros = MicrosSince(feedback_start);
+    report.predict_micros += feedback_micros;
+    instruments_.feedback_us->Record(feedback_micros);
     if (suspected) {
       report.negative_feedback_triggered = true;
+      instruments_.negative_feedback->Increment();
       auto opt_start = Clock::now();
       PPC_ASSIGN_OR_RETURN(OptimizationResult opt,
                            optimizer_.Optimize(state->prepared, point));
       report.optimize_micros = MicrosSince(opt_start);
+      instruments_.optimize_us->Record(report.optimize_micros);
       report.optimizer_invoked = true;
+      instruments_.optimizer_calls->Increment();
       report.optimal_plan = opt.plan_id;
       // The truth point corrects the histograms; the query itself was
       // already answered by the (suspect) cached plan.
@@ -122,6 +159,11 @@ Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
       state->online->ObserveOptimized(
           LabeledPoint{point, opt.plan_id, true_cost});
       plan_cache_.Put(opt.plan_id, std::move(opt.plan));
+      // Put resets the entry's eviction rank to the default 1.0; rank the
+      // corrective plan by its actual tracked precision or precision-based
+      // eviction mis-prioritizes it.
+      plan_cache_.SetPrecisionScore(
+          opt.plan_id, state->online->PlanPrecision(opt.plan_id));
     }
     // Refresh the cache's eviction signal for this plan.
     plan_cache_.SetPrecisionScore(
@@ -131,18 +173,37 @@ Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
   }
 
   // --- Optimize (NULL prediction, cache miss, or random invocation) ---
+  report.prediction_evicted =
+      decision.use_prediction && cached_plan == nullptr;
   auto opt_start = Clock::now();
   PPC_ASSIGN_OR_RETURN(OptimizationResult opt,
                        optimizer_.Optimize(state->prepared, point));
   report.optimize_micros = MicrosSince(opt_start);
+  instruments_.optimize_us->Record(report.optimize_micros);
   report.optimizer_invoked = true;
+  instruments_.optimizer_calls->Increment();
   report.optimal_plan = opt.plan_id;
   report.executed_plan = opt.plan_id;
+  if (report.prediction_evicted) {
+    // The prediction named an evicted plan, so the optimizer ran and the
+    // true plan is known exactly — score the prediction instead of
+    // silently dropping it (the precision/recall windows would otherwise
+    // overcount by omission).
+    instruments_.predictions_evicted->Increment();
+    state->online->ReportPredictionOutcome(decision.prediction, opt.plan_id);
+  }
+  auto exec_start = Clock::now();
   PPC_ASSIGN_OR_RETURN(report.execution_cost,
                        simulator_.Execute(state->prepared, *opt.plan, point));
+  report.execute_micros = MicrosSince(exec_start);
+  instruments_.execute_us->Record(report.execute_micros);
   state->online->ObserveOptimized(
       LabeledPoint{point, opt.plan_id, report.execution_cost});
   plan_cache_.Put(opt.plan_id, std::move(opt.plan));
+  // Same rank refresh as on the negative-feedback path: a re-optimized
+  // plan must carry its tracked precision, not the overwrite default.
+  plan_cache_.SetPrecisionScore(opt.plan_id,
+                                state->online->PlanPrecision(opt.plan_id));
   return report;
 }
 
@@ -151,6 +212,65 @@ const OnlinePpcPredictor* PpcFramework::online_predictor(
   std::shared_lock<std::shared_mutex> lock(templates_mu_);
   auto it = templates_.find(template_name);
   return it == templates_.end() ? nullptr : it->second->online.get();
+}
+
+PpcFramework::FrameworkMetrics PpcFramework::MetricsSnapshot() const {
+  FrameworkMetrics snap;
+  snap.registry = metrics_.TakeSnapshot();
+  snap.cache = plan_cache_.GetStats();
+  std::shared_lock<std::shared_mutex> lock(templates_mu_);
+  snap.templates.reserve(templates_.size());
+  for (const auto& [name, state] : templates_) {
+    snap.templates.push_back(
+        FrameworkMetrics::TemplateMetrics{name, state->online->GetStats()});
+  }
+  return snap;
+}
+
+std::string PpcFramework::FrameworkMetrics::ToJson() const {
+  // Splice the registry's own {"counters": ..., "histograms": ...} object
+  // open and append the cache and template sections.
+  std::string out = registry.ToJson();
+  out.pop_back();  // trailing '}'
+
+  out += ", \"cache\": {\"hits\": " + std::to_string(cache.hits);
+  out += ", \"misses\": " + std::to_string(cache.misses);
+  out += ", \"evictions\": " + std::to_string(cache.evictions);
+  out += ", \"precision_evictions\": " +
+         std::to_string(cache.precision_evictions);
+  out += ", \"size\": " + std::to_string(cache.size);
+  out += ", \"capacity\": " + std::to_string(cache.capacity);
+  out += ", \"shards\": [";
+  for (size_t i = 0; i < cache.shards.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"entries\": " + std::to_string(cache.shards[i].entries);
+    out += ", \"hits\": " + std::to_string(cache.shards[i].hits);
+    out += ", \"misses\": " + std::to_string(cache.shards[i].misses) + "}";
+  }
+  out += "]}";
+
+  out += ", \"templates\": [";
+  for (size_t i = 0; i < templates.size(); ++i) {
+    if (i > 0) out += ", ";
+    const OnlinePpcPredictor::Stats& s = templates[i].stats;
+    out += "{\"name\": ";
+    AppendJsonString(templates[i].name, &out);
+    out += ", \"precision\": " + JsonNumber(s.precision);
+    out += ", \"recall\": " + JsonNumber(s.recall);
+    out += ", \"beta\": " + JsonNumber(s.beta);
+    out += ", \"resets\": " + std::to_string(s.resets);
+    out += ", \"random_invocations\": " +
+           std::to_string(s.random_invocations);
+    out += ", \"optimizer_insertions\": " +
+           std::to_string(s.optimizer_insertions);
+    out += ", \"positive_feedback_insertions\": " +
+           std::to_string(s.positive_feedback_insertions);
+    out += ", \"feedback_positive\": " + std::to_string(s.feedback_positive);
+    out += ", \"feedback_negative\": " + std::to_string(s.feedback_negative);
+    out += "}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace ppc

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "exec/execution_simulator.h"
 #include "optimizer/optimizer.h"
+#include "ppc/metrics_registry.h"
 #include "ppc/online_predictor.h"
 #include "ppc/plan_cache.h"
 #include "workload/query_template.h"
@@ -58,6 +59,10 @@ class PpcFramework {
     bool used_prediction = false;
     bool cache_hit = false;
     bool optimizer_invoked = false;
+    /// A non-NULL prediction named a plan no longer in the cache; the
+    /// optimizer ran instead and the prediction was scored against its
+    /// exact ground truth.
+    bool prediction_evicted = false;
     /// Negative feedback judged the executed prediction wrong and forced
     /// an immediate optimizer call.
     bool negative_feedback_triggered = false;
@@ -66,6 +71,28 @@ class PpcFramework {
     double optimize_micros = 0.0;
     /// Measured wall time spent in prediction + bookkeeping (us).
     double predict_micros = 0.0;
+    /// Measured wall time spent in (simulated) execution (us).
+    double execute_micros = 0.0;
+  };
+
+  /// Point-in-time health snapshot of the whole serving path: framework
+  /// event counters and latency histograms, plan-cache statistics, and
+  /// one per-template block of predictor health (the paper's Sec. IV-E
+  /// windowed estimators plus lifetime feedback counters). Per-section
+  /// consistency mirrors the sources: each section is internally
+  /// consistent, the whole is not one atomic cut.
+  struct FrameworkMetrics {
+    MetricsRegistry::Snapshot registry;
+    PlanCache::Stats cache;
+    struct TemplateMetrics {
+      std::string name;
+      OnlinePpcPredictor::Stats stats;
+    };
+    std::vector<TemplateMetrics> templates;
+
+    /// Serializes the snapshot as one JSON object:
+    /// {"counters": ..., "histograms": ..., "cache": ..., "templates": ...}
+    std::string ToJson() const;
   };
 
   PpcFramework(const Catalog* catalog, Config config,
@@ -97,6 +124,14 @@ class PpcFramework {
   const PlanCache& plan_cache() const { return plan_cache_; }
   const Optimizer& optimizer() const { return optimizer_; }
 
+  /// The framework's instrument registry. Safe to read (and to hang extra
+  /// counters on) from any thread at any time.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Collects the full observability snapshot (see FrameworkMetrics).
+  FrameworkMetrics MetricsSnapshot() const;
+
  private:
   struct TemplateState {
     QueryTemplate tmpl;
@@ -112,6 +147,23 @@ class PpcFramework {
   Optimizer optimizer_;
   ExecutionSimulator simulator_;
   PlanCache plan_cache_;
+  MetricsRegistry metrics_;
+  /// Serving-path instruments, resolved once at construction so the hot
+  /// path never takes the registry lock. See DESIGN.md for the naming
+  /// scheme.
+  struct {
+    MetricsCounter* queries = nullptr;
+    MetricsCounter* predictions_executed = nullptr;
+    MetricsCounter* predictions_null = nullptr;
+    MetricsCounter* predictions_evicted = nullptr;
+    MetricsCounter* predictions_random_invocation = nullptr;
+    MetricsCounter* negative_feedback = nullptr;
+    MetricsCounter* optimizer_calls = nullptr;
+    LatencyHistogram* predict_us = nullptr;
+    LatencyHistogram* optimize_us = nullptr;
+    LatencyHistogram* execute_us = nullptr;
+    LatencyHistogram* feedback_us = nullptr;
+  } instruments_;
   /// Guards templates_. Writers exist only before sealing; lookups take
   /// the (uncontended-after-seal) shared side.
   mutable std::shared_mutex templates_mu_;

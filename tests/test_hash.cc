@@ -1,0 +1,29 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace ppc {
+namespace {
+
+// Reference values from the published FNV-1a test vectors; these pin the
+// implementation to the algorithm, which is the whole point — per-template
+// seeds derived from it must be identical on every platform and standard
+// library (std::hash<std::string> makes no such promise).
+TEST(Fnv1a64Test, MatchesPublishedVectors) {
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64Test, IsUsableAtCompileTime) {
+  static_assert(Fnv1a64("Q1") != Fnv1a64("Q3"));
+  static_assert(Fnv1a64("") == 14695981039346656037ULL);
+}
+
+TEST(Fnv1a64Test, DistinguishesTemplateNames) {
+  EXPECT_NE(Fnv1a64("Q1"), Fnv1a64("Q10"));
+  EXPECT_NE(Fnv1a64("Q1"), Fnv1a64("q1"));
+}
+
+}  // namespace
+}  // namespace ppc

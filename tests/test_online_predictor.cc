@@ -200,6 +200,47 @@ TEST(OnlinePredictorTest, DriftResetTriggersOnPrecisionCollapse) {
   EXPECT_GE(fed, static_cast<int>(cfg.estimator_window));
 }
 
+TEST(OnlinePredictorTest, ReportPredictionOutcomeUpdatesWindowedPrecision) {
+  // Exact ground-truth feedback (the predicted-but-evicted path) must move
+  // the same Sec. IV-E windows as executed-prediction feedback.
+  OnlinePpcPredictor online(BaseConfig());
+  Prediction prediction;
+  prediction.plan = 7;
+  prediction.confidence = 1.0;
+
+  online.ReportPredictionOutcome(prediction, /*true_plan=*/7);
+  EXPECT_DOUBLE_EQ(online.TemplatePrecision(), 1.0);
+  EXPECT_DOUBLE_EQ(online.PlanPrecision(7), 1.0);
+
+  online.ReportPredictionOutcome(prediction, /*true_plan=*/8);
+  EXPECT_DOUBLE_EQ(online.TemplatePrecision(), 0.5);
+  EXPECT_DOUBLE_EQ(online.PlanPrecision(7), 0.5);
+
+  const auto stats = online.GetStats();
+  EXPECT_EQ(stats.feedback_positive, 1u);
+  EXPECT_EQ(stats.feedback_negative, 1u);
+  EXPECT_DOUBLE_EQ(stats.precision, 0.5);
+  EXPECT_DOUBLE_EQ(stats.beta, 1.0);
+  EXPECT_DOUBLE_EQ(stats.recall, 0.5);
+}
+
+TEST(OnlinePredictorTest, StatsReflectFeedbackCounters) {
+  OnlinePpcPredictor online(BaseConfig());
+  Rng rng(5);
+  TrajectoryConfig traj;
+  traj.dimensions = 2;
+  traj.total_points = 300;
+  traj.scatter = 0.02;
+  DriveWorkload(&online, RandomTrajectoriesWorkload(traj, &rng));
+  const auto stats = online.GetStats();
+  EXPECT_EQ(stats.optimizer_insertions, online.optimizer_insertions());
+  EXPECT_EQ(stats.feedback_positive + stats.feedback_negative,
+            online.feedback_positive() + online.feedback_negative());
+  EXPECT_GE(stats.beta, 0.0);
+  EXPECT_LE(stats.beta, 1.0);
+  EXPECT_DOUBLE_EQ(stats.recall, stats.beta * stats.precision);
+}
+
 TEST(OnlinePredictorTest, NoResetWhenDisabled) {
   auto cfg = BaseConfig();
   cfg.estimator_window = 10;

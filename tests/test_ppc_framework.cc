@@ -177,6 +177,117 @@ TEST(PpcFrameworkTest, NoisyExecutionTriggersNegativeFeedback) {
   EXPECT_GT(feedback, 10u);
 }
 
+TEST(PpcFrameworkTest, EvictedPredictionIsScoredAgainstGroundTruth) {
+  // Regression: a non-NULL prediction whose plan was evicted from the
+  // cache used to fall through to the optimizer without ever reaching the
+  // tracker, so the precision/recall windows overcounted by omission.
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  Rng rng(9);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> x = {0.5 + rng.Uniform(-0.02, 0.02),
+                             0.5 + rng.Uniform(-0.02, 0.02)};
+    ASSERT_TRUE(framework.ExecuteAtPoint("Q1", x).ok());
+  }
+
+  size_t evicted_events = 0;
+  for (int i = 0; i < 20 && evicted_events == 0; ++i) {
+    // Drop every cached plan; the predictor still names one.
+    framework.plan_cache().Clear();
+    const auto before = framework.online_predictor("Q1")->GetStats();
+    std::vector<double> x = {0.5 + rng.Uniform(-0.005, 0.005),
+                             0.5 + rng.Uniform(-0.005, 0.005)};
+    auto report = framework.ExecuteAtPoint("Q1", x).value();
+    if (!report.prediction_evicted) continue;  // NULL prediction, retry
+    ++evicted_events;
+    EXPECT_TRUE(report.optimizer_invoked);
+    EXPECT_FALSE(report.used_prediction);
+    EXPECT_FALSE(report.cache_hit);
+    // The prediction's exact correctness reached the tracker.
+    const auto after = framework.online_predictor("Q1")->GetStats();
+    EXPECT_EQ(after.feedback_positive + after.feedback_negative,
+              before.feedback_positive + before.feedback_negative + 1);
+  }
+  ASSERT_GT(evicted_events, 0u);
+  const auto snap = framework.MetricsSnapshot().registry;
+  uint64_t evicted_counter = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name == "framework.predictions.evicted") evicted_counter = value;
+  }
+  EXPECT_EQ(evicted_counter, evicted_events);
+}
+
+TEST(PpcFrameworkTest, DeterministicAcrossInstancesWithSameConfig) {
+  // Regression: per-template seeds used std::hash<std::string>, which is
+  // not stable across standard libraries. With the FNV-1a derivation two
+  // identically configured frameworks must replay a workload identically.
+  auto run = [](std::vector<PpcFramework::QueryReport>* out) {
+    PpcFramework framework(&SmallTpch(), BaseConfig());
+    ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+    ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q3")).ok());
+    Rng rng(77);
+    for (int i = 0; i < 150; ++i) {
+      std::vector<double> q1 = {0.5 + rng.Uniform(-0.03, 0.03),
+                                0.5 + rng.Uniform(-0.03, 0.03)};
+      out->push_back(framework.ExecuteAtPoint("Q1", q1).value());
+      std::vector<double> q3 = {0.45 + rng.Uniform(-0.03, 0.03),
+                                0.45 + rng.Uniform(-0.03, 0.03),
+                                0.45 + rng.Uniform(-0.03, 0.03)};
+      out->push_back(framework.ExecuteAtPoint("Q3", q3).value());
+    }
+  };
+  std::vector<PpcFramework::QueryReport> first, second;
+  run(&first);
+  run(&second);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].executed_plan, second[i].executed_plan) << i;
+    EXPECT_EQ(first[i].optimal_plan, second[i].optimal_plan) << i;
+    EXPECT_EQ(first[i].used_prediction, second[i].used_prediction) << i;
+    EXPECT_EQ(first[i].cache_hit, second[i].cache_hit) << i;
+    EXPECT_EQ(first[i].optimizer_invoked, second[i].optimizer_invoked) << i;
+    EXPECT_EQ(first[i].prediction_evicted, second[i].prediction_evicted)
+        << i;
+    EXPECT_EQ(first[i].negative_feedback_triggered,
+              second[i].negative_feedback_triggered)
+        << i;
+    EXPECT_EQ(first[i].execution_cost, second[i].execution_cost) << i;
+  }
+}
+
+TEST(PpcFrameworkTest, CorrectivePutCarriesTrackedPrecisionScore) {
+  // Regression: plans re-inserted by the optimizer (negative feedback or
+  // plain optimize path) used to keep Put's default precision rank of 1.0
+  // even when the tracker held a degraded estimate, so precision-based
+  // eviction mis-prioritized freshly corrected plans.
+  auto config = BaseConfig();
+  config.execution_noise_stddev = 1.0;  // cost test misfires regularly
+  config.online.mean_invocation_probability = 0.2;
+  PpcFramework framework(&SmallTpch(), config);
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  Rng rng(13);
+  size_t checks = 0, degraded_checks = 0;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<double> x = {0.5 + rng.Uniform(-0.02, 0.02),
+                             0.5 + rng.Uniform(-0.02, 0.02)};
+    auto report = framework.ExecuteAtPoint("Q1", x).value();
+    if (!report.optimizer_invoked) continue;
+    // The optimizer just Put report.optimal_plan; its cache rank must be
+    // the tracker's current estimate, not the overwrite default.
+    const double tracked =
+        framework.online_predictor("Q1")->PlanPrecision(report.optimal_plan);
+    auto score = framework.plan_cache().PrecisionScore(report.optimal_plan);
+    ASSERT_TRUE(score.has_value());
+    EXPECT_DOUBLE_EQ(*score, tracked);
+    ++checks;
+    if (tracked < 1.0) ++degraded_checks;
+  }
+  EXPECT_GT(checks, 10u);
+  // The assertion only has teeth when the tracked estimate differs from
+  // the default; the noisy workload must have produced such cases.
+  EXPECT_GT(degraded_checks, 0u);
+}
+
 TEST(PpcFrameworkTest, CachedExecutionSkipsOptimizerUnlessFeedback) {
   PpcFramework framework(&SmallTpch(), BaseConfig());
   ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "test_util.h"
 #include "workload/templates.h"
 #include "workload/workload_generator.h"
@@ -93,15 +95,24 @@ TEST_F(RuntimeSimulatorTest, PpcExecutionNearOptimal) {
 
 TEST_F(RuntimeSimulatorTest, OrderingIdealFastestAlwaysOptimizeSlowest) {
   auto workload = LocalizedWorkload(400);
-  auto always =
-      simulator_.Run(CachingStrategy::kAlwaysOptimize, workload).value();
-  auto ppc =
-      simulator_.Run(CachingStrategy::kParametricCache, workload).value();
-  auto ideal = simulator_.Run(CachingStrategy::kIdeal, workload).value();
+  // Execution seconds are deterministic (cost-model replay), but optimizer
+  // and predictor seconds are measured wall time; take the min over a few
+  // runs so scheduler noise on a loaded host cannot flip the ordering.
+  auto min_total = [&](CachingStrategy strategy) {
+    double best = simulator_.Run(strategy, workload).value().TotalSeconds();
+    for (int i = 0; i < 2; ++i) {
+      best = std::min(best,
+                      simulator_.Run(strategy, workload).value().TotalSeconds());
+    }
+    return best;
+  };
+  const double always = min_total(CachingStrategy::kAlwaysOptimize);
+  const double ppc = min_total(CachingStrategy::kParametricCache);
+  const double ideal = min_total(CachingStrategy::kIdeal);
   // IDEAL <= PPC: same executions minus all overheads.
-  EXPECT_LE(ideal.TotalSeconds(), ppc.TotalSeconds() + 1e-9);
+  EXPECT_LE(ideal, ppc + 1e-9);
   // PPC < ALWAYS-OPTIMIZE: the whole point of plan caching.
-  EXPECT_LT(ppc.TotalSeconds(), always.TotalSeconds());
+  EXPECT_LT(ppc, always);
 }
 
 TEST_F(RuntimeSimulatorTest, ResultRecordsQueryCount) {
