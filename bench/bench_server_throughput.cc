@@ -1,0 +1,398 @@
+// End-to-end throughput of the plan-prediction server (src/server/).
+//
+// Starts a real PlanServer on an ephemeral port, fronting a framework
+// warmed over a clustered 4-template workload, then drives it over TCP
+// with N client threads (one PpcClient each) issuing a 70/25/5 mix of
+// PREDICT / EXECUTE / PING requests:
+//
+//   * closed loop — every client issues its next request when the
+//     previous one completes, so concurrency is fixed at the client
+//     count and the measured qps is the sustainable serving rate at
+//     that concurrency;
+//   * open loop — requests are paced at a fixed fraction of the
+//     closed-loop rate using the pipelined client API, independent of
+//     response times; BUSY answers (queue overflow backpressure) are
+//     counted rather than retried.
+//
+// Prints a table and writes BENCH_server_throughput.json (schema in
+// EXPERIMENTS.md); scripts/check.sh runs it and validates the file.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "ppc/ppc_framework.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kWarmupQueries = 800;
+constexpr int kClientThreads = 4;
+constexpr int kServerWorkers = 4;
+constexpr size_t kClosedPerClient = 1200;
+constexpr size_t kOpenPerClient = 800;
+constexpr double kOpenLoopFraction = 0.8;
+constexpr size_t kOpenLoopWindow = 64;  // max outstanding pipelined ids
+const char* const kTemplates[] = {"Q1", "Q3", "Q5", "Q8"};
+
+PpcFramework::Config ServingConfig() {
+  PpcFramework::Config cfg;
+  cfg.online.predictor.transform_count = 5;
+  cfg.online.predictor.histogram_buckets = 40;
+  cfg.online.predictor.radius = 0.05;
+  cfg.online.predictor.confidence_threshold = 0.8;
+  cfg.online.predictor.noise_fraction = 0.002;
+  cfg.online.estimator_window = 100;
+  cfg.plan_cache_capacity = 64;
+  return cfg;
+}
+
+struct Query {
+  const char* tmpl;
+  std::vector<double> point;
+};
+
+/// Clustered points per template, round-robin across templates (same
+/// workload shape as bench_concurrent_throughput).
+std::vector<Query> MakeWorkload(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Query> queries;
+  queries.reserve(count);
+  std::vector<int> dims;
+  for (const char* name : kTemplates) {
+    dims.push_back(EvaluationTemplate(name).ParameterDegree());
+  }
+  const std::vector<double> centers = {0.3, 0.5, 0.7};
+  for (size_t i = 0; i < count; ++i) {
+    const size_t t = i % (sizeof(kTemplates) / sizeof(kTemplates[0]));
+    const double center = centers[(i / 7) % centers.size()];
+    Query q;
+    q.tmpl = kTemplates[t];
+    q.point.resize(static_cast<size_t>(dims[t]));
+    for (double& v : q.point) {
+      v = std::clamp(center + rng.Uniform(-0.02, 0.02), 0.0, 1.0);
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+enum RequestKind { kKindPredict = 0, kKindExecute = 1, kKindPing = 2 };
+const char* const kKindNames[] = {"predict", "execute", "ping"};
+
+/// The 70/25/5 request mix.
+RequestKind PickKind(Rng* rng) {
+  const double u = rng->Uniform();
+  if (u < 0.70) return kKindPredict;
+  if (u < 0.95) return kKindExecute;
+  return kKindPing;
+}
+
+/// Per-client-thread tally, merged after the phase.
+struct ClientStats {
+  std::vector<double> latencies_us[3];
+  size_t busy[3] = {0, 0, 0};
+  size_t failures = 0;
+};
+
+/// Merged per-type summary of one phase.
+struct PhaseStats {
+  double seconds = 0.0;
+  size_t count[3] = {0, 0, 0};
+  size_t busy[3] = {0, 0, 0};
+  size_t failures = 0;
+  double p50_us[3] = {0, 0, 0};
+  double p95_us[3] = {0, 0, 0};
+  double p99_us[3] = {0, 0, 0};
+
+  size_t total() const { return count[0] + count[1] + count[2]; }
+  size_t total_busy() const { return busy[0] + busy[1] + busy[2]; }
+  double qps() const {
+    return seconds > 0.0 ? static_cast<double>(total()) / seconds : 0.0;
+  }
+};
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  if (sorted_in_place->empty()) return 0.0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const double idx = p * static_cast<double>(sorted_in_place->size() - 1);
+  return (*sorted_in_place)[static_cast<size_t>(idx + 0.5)];
+}
+
+PhaseStats Merge(std::vector<ClientStats>* clients, double seconds) {
+  PhaseStats phase;
+  phase.seconds = seconds;
+  for (int kind = 0; kind < 3; ++kind) {
+    std::vector<double> all;
+    for (ClientStats& c : *clients) {
+      all.insert(all.end(), c.latencies_us[kind].begin(),
+                 c.latencies_us[kind].end());
+      phase.busy[static_cast<size_t>(kind)] += c.busy[kind];
+    }
+    phase.count[kind] = all.size();
+    phase.p50_us[kind] = Percentile(&all, 0.50);
+    phase.p95_us[kind] = Percentile(&all, 0.95);
+    phase.p99_us[kind] = Percentile(&all, 0.99);
+  }
+  for (const ClientStats& c : *clients) phase.failures += c.failures;
+  return phase;
+}
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// One synchronous request; records latency (or a busy/failure tally).
+void RunOne(PpcClient* client, const Query& q, RequestKind kind,
+            ClientStats* stats) {
+  const auto start = Clock::now();
+  Status status;
+  switch (kind) {
+    case kKindPredict:
+      status = client->Predict(q.tmpl, q.point).status();
+      break;
+    case kKindExecute:
+      status = client->Execute(q.tmpl, q.point).status();
+      break;
+    case kKindPing:
+      status = client->Ping();
+      break;
+  }
+  if (status.ok()) {
+    stats->latencies_us[kind].push_back(MicrosSince(start));
+  } else if (status.code() == StatusCode::kResourceExhausted) {
+    ++stats->busy[kind];
+  } else {
+    ++stats->failures;
+  }
+}
+
+PhaseStats RunClosedLoop(uint16_t port, const std::vector<Query>& workload) {
+  std::vector<ClientStats> stats(kClientThreads);
+  std::vector<std::thread> clients;
+  const auto start = Clock::now();
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([port, t, &workload, &stats] {
+      PpcClient client;
+      const Status s = client.Connect("127.0.0.1", port);
+      if (!s.ok()) {
+        stats[static_cast<size_t>(t)].failures += kClosedPerClient;
+        return;
+      }
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      for (size_t i = 0; i < kClosedPerClient; ++i) {
+        const Query& q =
+            workload[(static_cast<size_t>(t) * kClosedPerClient + i) %
+                     workload.size()];
+        RunOne(&client, q, PickKind(&rng), &stats[static_cast<size_t>(t)]);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  return Merge(&stats, std::chrono::duration<double>(Clock::now() - start)
+                           .count());
+}
+
+PhaseStats RunOpenLoop(uint16_t port, const std::vector<Query>& workload,
+                       double target_qps) {
+  std::vector<ClientStats> stats(kClientThreads);
+  std::vector<std::thread> clients;
+  const double per_client_interval_s =
+      static_cast<double>(kClientThreads) / target_qps;
+  const auto start = Clock::now();
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([port, t, &workload, &stats,
+                          per_client_interval_s] {
+      ClientStats& mine = stats[static_cast<size_t>(t)];
+      PpcClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        mine.failures += kOpenPerClient;
+        return;
+      }
+      Rng rng(2000 + static_cast<uint64_t>(t));
+      struct InFlight {
+        uint64_t id;
+        RequestKind kind;
+        Clock::time_point sent;
+      };
+      std::deque<InFlight> outstanding;
+      auto collect = [&mine, &client](const InFlight& flight) {
+        auto response = client.Wait(flight.id);
+        if (!response.ok()) {
+          ++mine.failures;
+        } else if (response.value().status == wire::WireStatus::kBusy) {
+          ++mine.busy[flight.kind];
+        } else if (!response.value().ok()) {
+          ++mine.failures;
+        } else {
+          // Latency includes queueing delay behind the pacing schedule,
+          // which is the open-loop (coordinated-omission-free) measure.
+          mine.latencies_us[flight.kind].push_back(MicrosSince(flight.sent));
+        }
+      };
+      const auto interval = std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(per_client_interval_s));
+      auto next_send = Clock::now();
+      for (size_t i = 0; i < kOpenPerClient; ++i) {
+        std::this_thread::sleep_until(next_send);
+        next_send += interval;
+        while (outstanding.size() >= kOpenLoopWindow) {
+          collect(outstanding.front());
+          outstanding.pop_front();
+        }
+        const Query& q =
+            workload[(static_cast<size_t>(t) * kOpenPerClient + i) %
+                     workload.size()];
+        const RequestKind kind = PickKind(&rng);
+        const Result<uint64_t> id = [&]() -> Result<uint64_t> {
+          switch (kind) {
+            case kKindPredict:
+              return client.SendPredict(q.tmpl, q.point);
+            case kKindExecute:
+              return client.SendExecute(q.tmpl, q.point);
+            case kKindPing:
+              return client.SendPing();
+          }
+          return Status::Internal("unreachable");
+        }();
+        if (!id.ok()) {
+          ++mine.failures;
+          continue;
+        }
+        outstanding.push_back({id.value(), kind, Clock::now()});
+      }
+      while (!outstanding.empty()) {
+        collect(outstanding.front());
+        outstanding.pop_front();
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  return Merge(&stats, std::chrono::duration<double>(Clock::now() - start)
+                           .count());
+}
+
+void PrintPhase(const char* name, const PhaseStats& phase) {
+  std::printf("%s: %.2fs, %zu requests, %.0f qps, %zu busy, %zu failures\n",
+              name, phase.seconds, phase.total(), phase.qps(),
+              phase.total_busy(), phase.failures);
+  std::printf("%10s %8s %8s %10s %10s %10s\n", "type", "count", "busy",
+              "p50 us", "p95 us", "p99 us");
+  for (int kind = 0; kind < 3; ++kind) {
+    std::printf("%10s %8zu %8zu %10.1f %10.1f %10.1f\n", kKindNames[kind],
+                phase.count[kind], phase.busy[kind], phase.p50_us[kind],
+                phase.p95_us[kind], phase.p99_us[kind]);
+  }
+  PrintRule();
+}
+
+std::string PhaseJson(const PhaseStats& phase) {
+  std::string out = "{\"seconds\": " + JsonNumber(phase.seconds);
+  out += ", \"total_requests\": " + std::to_string(phase.total());
+  out += ", \"qps\": " + JsonNumber(phase.qps());
+  out += ", \"busy\": " + std::to_string(phase.total_busy());
+  out += ", \"failures\": " + std::to_string(phase.failures);
+  out += ", \"per_type\": {";
+  for (int kind = 0; kind < 3; ++kind) {
+    const double type_qps =
+        phase.seconds > 0.0
+            ? static_cast<double>(phase.count[kind]) / phase.seconds
+            : 0.0;
+    out += std::string(kind == 0 ? "" : ", ") + "\"" + kKindNames[kind] +
+           "\": {\"count\": " + std::to_string(phase.count[kind]) +
+           ", \"qps\": " + JsonNumber(type_qps) +
+           ", \"busy\": " + std::to_string(phase.busy[kind]) +
+           ", \"p50_us\": " + JsonNumber(phase.p50_us[kind]) +
+           ", \"p95_us\": " + JsonNumber(phase.p95_us[kind]) +
+           ", \"p99_us\": " + JsonNumber(phase.p99_us[kind]) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Run() {
+  PrintHeader("Plan-prediction server throughput (TCP, 4 templates)");
+  std::printf(
+      "hardware threads: %u; %d server workers, %d client threads, "
+      "70/25/5 predict/execute/ping mix\n",
+      std::thread::hardware_concurrency(), kServerWorkers, kClientThreads);
+  PrintRule();
+
+  PpcFramework framework(&BenchCatalog(), ServingConfig());
+  for (const char* name : kTemplates) {
+    const Status s = framework.RegisterTemplate(EvaluationTemplate(name));
+    PPC_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  framework.Seal();
+  for (const Query& q : MakeWorkload(kWarmupQueries, 11)) {
+    auto report = framework.ExecuteAtPoint(q.tmpl, q.point);
+    PPC_CHECK_MSG(report.ok(), report.status().ToString().c_str());
+  }
+
+  PlanServer::Config server_config;
+  server_config.worker_threads = kServerWorkers;
+  PlanServer server(&framework, server_config);
+  {
+    const Status s = server.Start();
+    PPC_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  std::printf("server listening on 127.0.0.1:%u\n\n", server.port());
+
+  const std::vector<Query> workload = MakeWorkload(4096, 13);
+  const PhaseStats closed = RunClosedLoop(server.port(), workload);
+  PrintPhase("closed loop", closed);
+
+  const double target_qps = kOpenLoopFraction * closed.qps();
+  std::printf("open loop target: %.0f qps (%.0f%% of closed loop)\n",
+              target_qps, 100.0 * kOpenLoopFraction);
+  const PhaseStats open = RunOpenLoop(server.port(), workload, target_qps);
+  PrintPhase("open loop", open);
+
+  PPC_CHECK(closed.failures == 0);
+  PPC_CHECK(open.failures == 0);
+
+  // Final server-side view, then an orderly remote shutdown.
+  std::string metrics_json = "{}";
+  {
+    PpcClient client;
+    const Status s = client.Connect("127.0.0.1", server.port());
+    PPC_CHECK_MSG(s.ok(), s.ToString().c_str());
+    auto metrics = client.Metrics();
+    PPC_CHECK_MSG(metrics.ok(), metrics.status().ToString().c_str());
+    metrics_json = std::move(metrics).value();
+    const Status down = client.Shutdown();
+    PPC_CHECK_MSG(down.ok(), down.ToString().c_str());
+  }
+  server.Wait();
+
+  std::string body = "  \"hardware_threads\": " +
+                     std::to_string(std::thread::hardware_concurrency());
+  body += ",\n  \"server_workers\": " + std::to_string(kServerWorkers);
+  body += ",\n  \"client_threads\": " + std::to_string(kClientThreads);
+  body += ",\n  \"open_loop_target_qps\": " + JsonNumber(target_qps);
+  body += ",\n  \"closed_loop\": " + PhaseJson(closed);
+  body += ",\n  \"open_loop\": " + PhaseJson(open);
+  body += ",\n  \"server_metrics\": " + metrics_json;
+  WriteBenchJson("server_throughput", body);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

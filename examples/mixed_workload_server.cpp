@@ -1,16 +1,25 @@
-// Mixed-workload "server": the PpcFramework fronting several query
-// templates at once, the way an RDBMS plan cache serves a whole
-// application (paper Fig. 1). Interleaves trajectory workloads of four
-// templates of different parameter degrees through one shared plan cache
-// and reports per-template and global statistics.
+// Mixed-workload server: the real network serving layer (src/server/)
+// fronting several query templates at once, the way an RDBMS plan cache
+// serves a whole application (paper Fig. 1). Starts a PlanServer on an
+// ephemeral localhost port, then drives trajectory workloads of four
+// templates of different parameter degrees through a PpcClient over TCP —
+// every query takes the full wire-protocol EXECUTE path with online
+// feedback — and reports per-template and global statistics plus the
+// server's own request counters.
 //
 //   ./build/examples/mixed_workload_server
+//
+// SIGINT/SIGTERM trigger a graceful drain (admitted requests finish
+// before the process exits).
 
 #include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "ppc/ppc_framework.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "storage/tpch_generator.h"
 #include "workload/templates.h"
 #include "workload/workload_generator.h"
@@ -42,6 +51,24 @@ int main() {
     workloads[name] = RandomTrajectoriesWorkload(traj, &rng);
   }
 
+  ppc::PlanServer server(&framework, ppc::PlanServer::Config{});
+  {
+    const ppc::Status s = server.Start();
+    PPC_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  {
+    const ppc::Status s = ppc::InstallShutdownSignalHandlers(&server);
+    PPC_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  std::printf("plan-prediction server listening on 127.0.0.1:%u\n\n",
+              server.port());
+
+  ppc::PpcClient client;
+  {
+    const ppc::Status s = client.Connect("127.0.0.1", server.port());
+    PPC_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+
   struct Stats {
     size_t queries = 0;
     size_t cache_served = 0;
@@ -51,10 +78,19 @@ int main() {
   std::map<std::string, Stats> stats;
 
   // Interleave: one query per template per round, like concurrent clients.
-  for (size_t i = 0; i < 500; ++i) {
+  // A signal mid-run surfaces as SHUTTING_DOWN (or, once the listener has
+  // gone away, a transport error) — stop submitting and let the drain
+  // finish.
+  bool draining = false;
+  for (size_t i = 0; i < 500 && !draining; ++i) {
     for (const std::string& name : templates) {
-      auto report = framework.ExecuteAtPoint(name, workloads[name][i]);
-      PPC_CHECK_MSG(report.ok(), report.status().ToString().c_str());
+      auto report = client.Execute(name, workloads[name][i]);
+      if (!report.ok()) {
+        draining = true;
+        std::printf("drain initiated mid-run (%s); stopping submission\n",
+                    report.status().ToString().c_str());
+        break;
+      }
       Stats& s = stats[name];
       ++s.queries;
       if (report.value().used_prediction) ++s.cache_served;
@@ -67,6 +103,7 @@ int main() {
               "cache-served", "optimize (us)", "predict (us)");
   for (const std::string& name : templates) {
     const Stats& s = stats[name];
+    if (s.queries == 0) continue;
     std::printf("%-6s %8d %12zu %11zu (%2.0f%%) %16.0f %16.0f\n",
                 name.c_str(),
                 ppc::EvaluationTemplate(name).ParameterDegree(), s.queries,
@@ -91,5 +128,19 @@ int main() {
                     online->predictor().SpaceBytes()),
                 online->tracker().TemplatePrecision());
   }
+
+  // Server-side request accounting, fetched over the wire.
+  if (!draining) {
+    auto metrics = client.Metrics();
+    if (metrics.ok()) {
+      std::printf("\nserver metrics payload: %zu bytes of JSON "
+                  "(see server.requests.* counters)\n",
+                  metrics.value().size());
+    }
+    const ppc::Status down = client.Shutdown();
+    PPC_CHECK_MSG(down.ok(), down.ToString().c_str());
+  }
+  server.Wait();
+  std::printf("server drained and exited cleanly\n");
   return 0;
 }

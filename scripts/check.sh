@@ -2,8 +2,9 @@
 # Full verification sweep:
 #   1. plain build + the entire test suite (the tier-1 gate),
 #   2. the JSON-emitting benches + validation of every BENCH_*.json,
-#   3. ASan build + the entire test suite,
-#   4. TSan build + the concurrency and metrics tests.
+#   3. server smoke test (live TCP round-trips + clean shutdown),
+#   4. ASan build + the entire test suite,
+#   5. TSan build + the concurrency, metrics and server tests.
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +24,7 @@ echo "==> machine-readable bench output (BENCH_*.json) is valid JSON"
   ./bench/bench_concurrent_throughput >/dev/null
   ./bench/bench_drift_detection >/dev/null
   ./bench/bench_fig13_runtime >/dev/null
+  ./bench/bench_server_throughput >/dev/null
   for f in BENCH_*.json; do
     if command -v python3 >/dev/null; then
       python3 -m json.tool "$f" >/dev/null || { echo "invalid JSON: $f"; exit 1; }
@@ -32,6 +34,12 @@ echo "==> machine-readable bench output (BENCH_*.json) is valid JSON"
     echo "    $f ok"
   done
 )
+
+echo "==> server smoke test (ephemeral port, PREDICT/EXECUTE/METRICS over TCP)"
+# The example starts a real PlanServer, drives it through PpcClient and
+# shuts it down gracefully; a non-zero exit or a hang fails the sweep.
+timeout 120 ./build/examples/mixed_workload_server >/dev/null
+echo "    server round-trips + clean shutdown ok"
 
 if [ "$SKIP_SAN" = 1 ]; then
   echo "==> sanitizer passes skipped"
@@ -46,12 +54,13 @@ cmake -B build-asan -S . -DPPC_SANITIZE=address \
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
 
-echo "==> ThreadSanitizer build + concurrency and metrics tests"
+echo "==> ThreadSanitizer build + concurrency, metrics and server tests"
 cmake -B build-tsan -S . -DPPC_SANITIZE=thread \
   -DPPC_BUILD_BENCHMARKS=OFF -DPPC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && \
-  ctest --output-on-failure -R 'Concurrent|MetricsRegistry|FrameworkMetrics' \
+  ctest --output-on-failure \
+    -R 'Concurrent|MetricsRegistry|FrameworkMetrics|Server' \
     -j "$JOBS")
 
 echo "==> all checks passed"

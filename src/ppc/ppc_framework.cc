@@ -1,6 +1,7 @@
 #include "ppc/ppc_framework.h"
 
 #include <chrono>
+#include <cmath>
 
 #include "common/hash.h"
 
@@ -13,6 +14,25 @@ using Clock = std::chrono::steady_clock;
 double MicrosSince(Clock::time_point start) {
   return std::chrono::duration<double, std::micro>(Clock::now() - start)
       .count();
+}
+
+/// Boundary validation for points arriving from outside the process (the
+/// serving layer): a wrong-arity or non-finite point must fail as
+/// InvalidArgument here, not trip PPC_DCHECKs (or silently corrupt
+/// histograms) inside the LSH transform stack.
+Status ValidatePoint(const QueryTemplate& tmpl,
+                     const std::vector<double>& point) {
+  if (static_cast<int>(point.size()) != tmpl.ParameterDegree()) {
+    return Status::InvalidArgument(
+        "point has " + std::to_string(point.size()) + " dimensions; template " +
+        tmpl.name + " has degree " + std::to_string(tmpl.ParameterDegree()));
+  }
+  for (double v : point) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("point coordinate is not finite");
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -98,10 +118,32 @@ Result<PpcFramework::QueryReport> PpcFramework::ExecuteInstance(
   return ExecuteAtPoint(instance.template_name, point);
 }
 
+Result<PpcFramework::PredictReport> PpcFramework::PredictAtPoint(
+    const std::string& template_name, const std::vector<double>& point) const {
+  std::shared_lock<std::shared_mutex> lock(templates_mu_);
+  auto it = templates_.find(template_name);
+  if (it == templates_.end()) {
+    return Status::NotFound("template " + template_name +
+                            " is not registered");
+  }
+  const TemplateState* state = it->second.get();
+  PPC_RETURN_NOT_OK(ValidatePoint(state->tmpl, point));
+  // LshHistogramsPredictor::Predict synchronizes internally (shared read
+  // lock), so this is safe against concurrent EXECUTE-path mutators.
+  const Prediction prediction = state->online->predictor().Predict(point);
+  PredictReport report;
+  report.plan = prediction.plan;
+  report.confidence = prediction.confidence;
+  report.cache_hit =
+      prediction.has_value() && plan_cache_.Contains(prediction.plan);
+  return report;
+}
+
 Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
     const std::string& template_name, const std::vector<double>& point) {
   Seal();
   PPC_ASSIGN_OR_RETURN(TemplateState * state, FindTemplate(template_name));
+  PPC_RETURN_NOT_OK(ValidatePoint(state->tmpl, point));
   QueryReport report;
   instruments_.queries->Increment();
 

@@ -107,6 +107,24 @@ class PpcFramework {
   void Seal() { sealed_.store(true, std::memory_order_release); }
   bool sealed() const { return sealed_.load(std::memory_order_acquire); }
 
+  /// Result of the read-only prediction path (PredictAtPoint): what plan
+  /// the template's predictor names at a point, how confident it is, and
+  /// whether that plan is currently resident in the shared cache.
+  struct PredictReport {
+    PlanId plan = kNullPlanId;
+    double confidence = 0.0;
+    bool cache_hit = false;
+  };
+
+  /// Pure read: asks the template's histogram predictor for a plan at
+  /// `point` without executing anything, mutating any predictor state, or
+  /// consuming randomness. This is the serving-layer PREDICT path — safe
+  /// to call at any frequency from any thread (it takes only the
+  /// predictor's shared read lock) and never perturbs the online learning
+  /// loop the EXECUTE path drives.
+  Result<PredictReport> PredictAtPoint(const std::string& template_name,
+                                       const std::vector<double>& point) const;
+
   /// Executes one query instance end to end (normalize -> predict ->
   /// cache/optimize -> execute -> feedback).
   Result<QueryReport> ExecuteInstance(const QueryInstance& instance);

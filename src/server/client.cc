@@ -1,0 +1,134 @@
+#include "server/client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "server/net_util.h"
+
+namespace ppc {
+
+Status PpcClient::Connect(const std::string& host, uint16_t port) {
+  if (connected()) return Status::FailedPrecondition("already connected");
+  PPC_ASSIGN_OR_RETURN(fd_, net::Connect(host, port));
+  return Status::OK();
+}
+
+void PpcClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  parked_.clear();
+}
+
+Result<uint64_t> PpcClient::SendRequest(wire::MessageType type,
+                                        const std::string& template_name,
+                                        const std::vector<double>& point) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  wire::Request request;
+  request.type = type;
+  request.id = next_id_++;
+  request.template_name = template_name;
+  request.point = point;
+  std::string frame;
+  wire::EncodeRequest(request, &frame);
+  if (!net::SendAll(fd_, frame.data(), frame.size())) {
+    Close();
+    return Status::Internal("send failed; connection closed");
+  }
+  return request.id;
+}
+
+Result<uint64_t> PpcClient::SendPredict(const std::string& template_name,
+                                        const std::vector<double>& point) {
+  return SendRequest(wire::MessageType::kPredict, template_name, point);
+}
+
+Result<uint64_t> PpcClient::SendExecute(const std::string& template_name,
+                                        const std::vector<double>& point) {
+  return SendRequest(wire::MessageType::kExecute, template_name, point);
+}
+
+Result<uint64_t> PpcClient::SendPing() {
+  return SendRequest(wire::MessageType::kPing, {}, {});
+}
+
+Result<uint64_t> PpcClient::SendShutdown() {
+  return SendRequest(wire::MessageType::kShutdown, {}, {});
+}
+
+Result<wire::Response> PpcClient::Wait(uint64_t id) {
+  auto parked = parked_.find(id);
+  if (parked != parked_.end()) {
+    wire::Response response = std::move(parked->second);
+    parked_.erase(parked);
+    return response;
+  }
+  return ReadUntil(id);
+}
+
+Result<wire::Response> PpcClient::ReadUntil(uint64_t id) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  char buffer[16 * 1024];
+  while (true) {
+    // Deframe everything already buffered before touching the socket.
+    std::string payload;
+    while (true) {
+      PPC_ASSIGN_OR_RETURN(bool have, frames_.Next(&payload));
+      if (!have) break;
+      PPC_ASSIGN_OR_RETURN(wire::Response response,
+                           wire::DecodeResponse(payload));
+      if (response.id == id) return response;
+      parked_[response.id] = std::move(response);
+    }
+    PPC_ASSIGN_OR_RETURN(size_t received,
+                         net::RecvSome(fd_, buffer, sizeof(buffer)));
+    if (received == 0) {
+      Close();
+      return Status::Internal(
+          "connection closed by server while awaiting response " +
+          std::to_string(id));
+    }
+    frames_.Append(buffer, received);
+  }
+}
+
+Result<PpcClient::PredictResult> PpcClient::Predict(
+    const std::string& template_name, const std::vector<double>& point) {
+  PPC_ASSIGN_OR_RETURN(uint64_t id, SendPredict(template_name, point));
+  PPC_ASSIGN_OR_RETURN(wire::Response response, Wait(id));
+  PPC_RETURN_NOT_OK(wire::ToStatus(response.status, response.error));
+  return PredictResult{response.predict.plan, response.predict.confidence,
+                       response.predict.cache_hit};
+}
+
+Result<wire::Response::Execute> PpcClient::Execute(
+    const std::string& template_name, const std::vector<double>& point) {
+  PPC_ASSIGN_OR_RETURN(uint64_t id, SendExecute(template_name, point));
+  PPC_ASSIGN_OR_RETURN(wire::Response response, Wait(id));
+  PPC_RETURN_NOT_OK(wire::ToStatus(response.status, response.error));
+  return response.execute;
+}
+
+Result<std::string> PpcClient::Metrics() {
+  PPC_ASSIGN_OR_RETURN(uint64_t id,
+                       SendRequest(wire::MessageType::kMetrics, {}, {}));
+  PPC_ASSIGN_OR_RETURN(wire::Response response, Wait(id));
+  PPC_RETURN_NOT_OK(wire::ToStatus(response.status, response.error));
+  return std::move(response.metrics_json);
+}
+
+Status PpcClient::Ping() {
+  PPC_ASSIGN_OR_RETURN(uint64_t id, SendPing());
+  PPC_ASSIGN_OR_RETURN(wire::Response response, Wait(id));
+  return wire::ToStatus(response.status, response.error);
+}
+
+Status PpcClient::Shutdown() {
+  PPC_ASSIGN_OR_RETURN(uint64_t id, SendShutdown());
+  PPC_ASSIGN_OR_RETURN(wire::Response response, Wait(id));
+  return wire::ToStatus(response.status, response.error);
+}
+
+}  // namespace ppc

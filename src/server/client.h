@@ -1,0 +1,93 @@
+#ifndef PPC_SERVER_CLIENT_H_
+#define PPC_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/fingerprint.h"
+#include "server/wire_protocol.h"
+
+namespace ppc {
+
+/// Blocking client for the plan-prediction server (server/server.h).
+///
+/// Two usage styles:
+///
+///   * Synchronous: Predict / Execute / Metrics / Ping / Shutdown — one
+///     round trip per call.
+///   * Pipelined: SendX() writes the request immediately and returns its
+///     id without waiting; Wait(id) later collects that response.
+///     Requests in flight overlap on the wire, which is what makes a
+///     single connection saturate the server's worker pool. Responses
+///     arriving out of order are parked until their Wait() call.
+///
+/// Not thread-safe: use one PpcClient per thread (the load generator in
+/// bench/bench_server_throughput.cc does exactly that).
+class PpcClient {
+ public:
+  PpcClient() = default;
+  ~PpcClient() { Close(); }
+
+  PpcClient(const PpcClient&) = delete;
+  PpcClient& operator=(const PpcClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// --- Synchronous API. Non-OK wire statuses map to Status codes via
+  /// wire::ToStatus (BUSY -> ResourceExhausted, etc.). ---
+
+  struct PredictResult {
+    PlanId plan = kNullPlanId;
+    double confidence = 0.0;
+    bool cache_hit = false;
+  };
+  Result<PredictResult> Predict(const std::string& template_name,
+                                const std::vector<double>& point);
+
+  Result<wire::Response::Execute> Execute(const std::string& template_name,
+                                          const std::vector<double>& point);
+
+  /// The server's MetricsSnapshot().ToJson() payload.
+  Result<std::string> Metrics();
+
+  Status Ping();
+
+  /// Asks the server to drain and exit. Returns once the server acks.
+  Status Shutdown();
+
+  /// --- Pipelined API: send now, collect later. ---
+
+  Result<uint64_t> SendPredict(const std::string& template_name,
+                               const std::vector<double>& point);
+  Result<uint64_t> SendExecute(const std::string& template_name,
+                               const std::vector<double>& point);
+  Result<uint64_t> SendPing();
+  Result<uint64_t> SendShutdown();
+
+  /// Blocks until the response for `id` arrives (responses for other
+  /// outstanding ids are parked for their own Wait calls). The returned
+  /// Response may itself carry a non-OK wire status (e.g. BUSY) — the
+  /// Result is non-OK only for transport/protocol failures.
+  Result<wire::Response> Wait(uint64_t id);
+
+ private:
+  Result<uint64_t> SendRequest(wire::MessageType type,
+                               const std::string& template_name,
+                               const std::vector<double>& point);
+  /// Reads frames off the socket until `id`'s response shows up.
+  Result<wire::Response> ReadUntil(uint64_t id);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  wire::FrameBuffer frames_;
+  std::map<uint64_t, wire::Response> parked_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_SERVER_CLIENT_H_

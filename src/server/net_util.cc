@@ -1,0 +1,147 @@
+#include "server/net_util.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ppc {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + ::strerror(errno));
+}
+
+Result<sockaddr_in> MakeAddress(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<int> Listen(const std::string& bind_address, uint16_t port,
+                   int backlog, uint16_t* bound_port) {
+  PPC_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(bind_address, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = Errno("bind " + bind_address + ":" +
+                            std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    const Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      const Status st = Errno("getsockname");
+      ::close(fd);
+      return st;
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  const Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    ::close(fd);
+    return nb;
+  }
+  return fd;
+}
+
+Result<int> Connect(const std::string& host, uint16_t port) {
+  PPC_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(host, port));
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status st = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  // Request/response frames are small; Nagle only adds latency here.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, /*timeout_ms=*/10000) <= 0) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+Result<size_t> RecvSome(int fd, char* buffer, size_t size) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, size, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+RecvOutcome RecvNonBlocking(int fd, char* buffer, size_t size,
+                            size_t* received) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, size, 0);
+    if (n > 0) {
+      *received = static_cast<size_t>(n);
+      return RecvOutcome::kData;
+    }
+    if (n == 0) return RecvOutcome::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return RecvOutcome::kWouldBlock;
+    }
+    return RecvOutcome::kError;
+  }
+}
+
+}  // namespace net
+}  // namespace ppc

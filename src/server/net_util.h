@@ -1,0 +1,49 @@
+#ifndef PPC_SERVER_NET_UTIL_H_
+#define PPC_SERVER_NET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace ppc {
+namespace net {
+
+/// Thin Status-returning wrappers over the POSIX socket calls the serving
+/// layer uses. IPv4 only; hosts are numeric dotted quads (no DNS — the
+/// server is an internal service fronted by its own discovery).
+
+/// Creates a TCP listen socket bound to `bind_address:port` (port 0 picks
+/// an ephemeral port). On success returns the fd and stores the actually
+/// bound port in `*bound_port`. The socket has SO_REUSEADDR set and is
+/// non-blocking.
+Result<int> Listen(const std::string& bind_address, uint16_t port,
+                   int backlog, uint16_t* bound_port);
+
+/// Blocking connect to `host:port`. The returned fd is blocking.
+Result<int> Connect(const std::string& host, uint16_t port);
+
+Status SetNonBlocking(int fd);
+
+/// Writes all of `data`, retrying on EINTR and waiting for writability on
+/// EAGAIN (works for blocking and non-blocking fds; SIGPIPE suppressed).
+/// Returns false on any hard error.
+bool SendAll(int fd, const char* data, size_t size);
+
+/// Reads up to `size` bytes (blocking fds block until at least one byte,
+/// EOF, or error). Returns the byte count — 0 means EOF — or an error
+/// status on failure.
+Result<size_t> RecvSome(int fd, char* buffer, size_t size);
+
+/// One non-blocking read attempt, for the epoll loop's level-triggered
+/// drain: kData stores the byte count in `*received`, kWouldBlock means
+/// the socket is drained for now, kEof a clean peer close, kError a hard
+/// failure.
+enum class RecvOutcome { kData, kWouldBlock, kEof, kError };
+RecvOutcome RecvNonBlocking(int fd, char* buffer, size_t size,
+                            size_t* received);
+
+}  // namespace net
+}  // namespace ppc
+
+#endif  // PPC_SERVER_NET_UTIL_H_

@@ -1,0 +1,450 @@
+#include "server/server.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <mutex>
+
+#include "server/net_util.h"
+
+namespace ppc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// Signal-handler plumbing: the handler may only do async-signal-safe
+/// work, so it flags the request and writes the server's wake eventfd;
+/// the IO thread notices and runs the ordinary Shutdown() path.
+std::atomic<int> g_signal_wake_fd{-1};
+std::atomic<bool> g_signal_pending{false};
+
+void ShutdownSignalHandler(int /*signo*/) {
+  g_signal_pending.store(true, std::memory_order_relaxed);
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &one, sizeof(one));
+  }
+}
+
+wire::WireStatus WireStatusFrom(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      return wire::WireStatus::kNotFound;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return wire::WireStatus::kBadRequest;
+    default:
+      return wire::WireStatus::kInternal;
+  }
+}
+
+}  // namespace
+
+/// Per-connection state. The IO thread owns reading (FrameBuffer); any
+/// thread may write a response frame under write_mu. The fd is closed
+/// only by the destructor, i.e. after the last in-flight work item
+/// released its reference — so a worker never writes to a recycled fd.
+struct PlanServer::Connection {
+  Connection(int fd_in, size_t max_frame_bytes)
+      : fd(fd_in), frames(max_frame_bytes) {}
+  ~Connection() { ::close(fd); }
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Writes one encoded frame; returns false (and poisons the
+  /// connection) on any transport error.
+  bool WriteFrame(const std::string& frame) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (closed.load(std::memory_order_relaxed)) return false;
+    if (!net::SendAll(fd, frame.data(), frame.size())) {
+      closed.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  const int fd;
+  wire::FrameBuffer frames;
+  std::mutex write_mu;
+  std::atomic<bool> closed{false};
+};
+
+struct PlanServer::WorkItem {
+  std::shared_ptr<Connection> conn;
+  wire::Request request;
+  Clock::time_point admitted;
+};
+
+PlanServer::PlanServer(PpcFramework* framework, Config config)
+    : framework_(framework),
+      config_(std::move(config)),
+      queue_(config_.queue_capacity) {
+  PPC_CHECK(framework != nullptr);
+}
+
+PlanServer::~PlanServer() { Stop(); }
+
+Status PlanServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  PPC_ASSIGN_OR_RETURN(
+      listen_fd_,
+      net::Listen(config_.bind_address, config_.port, /*backlog=*/128,
+                  &port_));
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("eventfd failed");
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    ::close(listen_fd_);
+    ::close(wake_fd_);
+    listen_fd_ = wake_fd_ = -1;
+    return Status::Internal("epoll_create1 failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  MetricsRegistry& metrics = framework_->metrics();
+  instruments_.requests_predict = &metrics.counter("server.requests.predict");
+  instruments_.requests_execute = &metrics.counter("server.requests.execute");
+  instruments_.requests_metrics = &metrics.counter("server.requests.metrics");
+  instruments_.requests_ping = &metrics.counter("server.requests.ping");
+  instruments_.requests_shutdown =
+      &metrics.counter("server.requests.shutdown");
+  instruments_.responses_busy = &metrics.counter("server.responses.busy");
+  instruments_.responses_error = &metrics.counter("server.responses.error");
+  instruments_.frames_malformed = &metrics.counter("server.frames.malformed");
+  instruments_.connections_accepted =
+      &metrics.counter("server.connections.accepted");
+  instruments_.connections_rejected =
+      &metrics.counter("server.connections.rejected");
+  instruments_.predict_us = &metrics.histogram("server.predict_us");
+  instruments_.execute_us = &metrics.histogram("server.execute_us");
+  instruments_.metrics_us = &metrics.histogram("server.metrics_us");
+  instruments_.ping_us = &metrics.histogram("server.ping_us");
+
+  draining_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { IoLoop(); });
+  const int workers = config_.worker_threads > 0 ? config_.worker_threads : 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+size_t PlanServer::queued_requests() const { return queue_.size(); }
+
+void PlanServer::Shutdown() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  draining_.store(true, std::memory_order_release);
+  queue_.Close();
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+void PlanServer::Wait() {
+  if (io_thread_.joinable()) io_thread_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // All threads are gone: closing the remaining connections (fds close in
+  // the Connection destructors) and the listener is single-threaded now.
+  connections_.clear();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) {
+    // Detach the signal handler's fd reference before the fd dies.
+    int expected = wake_fd_;
+    g_signal_wake_fd.compare_exchange_strong(expected, -1);
+    ::close(wake_fd_);
+  }
+  epoll_fd_ = listen_fd_ = wake_fd_ = -1;
+  running_.store(false, std::memory_order_release);
+}
+
+void PlanServer::Stop() {
+  Shutdown();
+  Wait();
+}
+
+void PlanServer::IoLoop() {
+  std::vector<epoll_event> events(64);
+  while (!draining_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        if (g_signal_pending.exchange(false, std::memory_order_relaxed)) {
+          Shutdown();
+        }
+      } else if (fd == listen_fd_) {
+        AcceptConnections();
+      } else {
+        auto it = connections_.find(fd);
+        if (it == connections_.end()) continue;
+        std::shared_ptr<Connection> conn = it->second;
+        const bool broken =
+            (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+        if (broken || !DrainReadable(conn)) CloseConnection(fd);
+      }
+    }
+  }
+}
+
+void PlanServer::AcceptConnections() {
+  while (true) {
+    const int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or transient accept failure.
+    }
+    if (connections_.size() >= config_.max_connections) {
+      instruments_.connections_rejected->Increment();
+      ::close(cfd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = cfd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev) != 0) {
+      ::close(cfd);
+      continue;
+    }
+    connections_.emplace(
+        cfd, std::make_shared<Connection>(cfd, config_.max_frame_bytes));
+    instruments_.connections_accepted->Increment();
+  }
+}
+
+bool PlanServer::DrainReadable(const std::shared_ptr<Connection>& conn) {
+  char buffer[16 * 1024];
+  while (true) {
+    size_t received = 0;
+    switch (net::RecvNonBlocking(conn->fd, buffer, sizeof(buffer),
+                                 &received)) {
+      case net::RecvOutcome::kData:
+        conn->frames.Append(buffer, received);
+        if (!ProcessFrames(conn)) return false;
+        break;
+      case net::RecvOutcome::kWouldBlock:
+        return true;
+      case net::RecvOutcome::kEof:
+      case net::RecvOutcome::kError:
+        return false;
+    }
+  }
+}
+
+bool PlanServer::ProcessFrames(const std::shared_ptr<Connection>& conn) {
+  std::string payload;
+  while (true) {
+    Result<bool> next = conn->frames.Next(&payload);
+    if (!next.ok()) {
+      // Framing violation: the stream is unrecoverable. One explanatory
+      // error frame, then drop the connection.
+      instruments_.frames_malformed->Increment();
+      SendError(conn, wire::MessageType::kInvalid, 0,
+                wire::WireStatus::kBadRequest, next.status().message());
+      return false;
+    }
+    if (!next.value()) return true;
+    Result<wire::Request> request = wire::DecodeRequest(payload);
+    if (!request.ok()) {
+      instruments_.frames_malformed->Increment();
+      SendError(conn, wire::MessageType::kInvalid, 0,
+                wire::WireStatus::kBadRequest, request.status().message());
+      return false;
+    }
+    WorkItem item{conn, std::move(request).value(), Clock::now()};
+    const wire::MessageType type = item.request.type;
+    const uint64_t id = item.request.id;
+    if (!queue_.TryPush(std::move(item))) {
+      // Backpressure: reject now rather than buffer without bound.
+      const bool draining = draining_.load(std::memory_order_acquire);
+      instruments_.responses_busy->Increment();
+      SendError(conn, type, id,
+                draining ? wire::WireStatus::kShuttingDown
+                         : wire::WireStatus::kBusy,
+                draining ? "server shutting down" : "request queue full");
+    }
+  }
+}
+
+void PlanServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  it->second->closed.store(true, std::memory_order_relaxed);
+  // The fd itself closes in ~Connection, once in-flight work items drop
+  // their references.
+  connections_.erase(it);
+}
+
+void PlanServer::SendError(const std::shared_ptr<Connection>& conn,
+                           wire::MessageType type, uint64_t id,
+                           wire::WireStatus status,
+                           const std::string& message) {
+  wire::Response response;
+  response.type = type;
+  response.id = id;
+  response.status = status;
+  response.error = message;
+  std::string frame;
+  wire::EncodeResponse(response, &frame);
+  conn->WriteFrame(frame);
+}
+
+wire::Response PlanServer::HandleRequest(const wire::Request& request) {
+  wire::Response response;
+  response.type = request.type;
+  response.id = request.id;
+  switch (request.type) {
+    case wire::MessageType::kPing:
+    case wire::MessageType::kShutdown:
+      break;
+    case wire::MessageType::kPredict: {
+      Result<PpcFramework::PredictReport> report =
+          framework_->PredictAtPoint(request.template_name, request.point);
+      if (!report.ok()) {
+        response.status = WireStatusFrom(report.status());
+        response.error = report.status().message();
+        break;
+      }
+      response.predict.plan = report.value().plan;
+      response.predict.confidence = report.value().confidence;
+      response.predict.cache_hit = report.value().cache_hit;
+      break;
+    }
+    case wire::MessageType::kExecute: {
+      Result<PpcFramework::QueryReport> report =
+          framework_->ExecuteAtPoint(request.template_name, request.point);
+      if (!report.ok()) {
+        response.status = WireStatusFrom(report.status());
+        response.error = report.status().message();
+        break;
+      }
+      const PpcFramework::QueryReport& r = report.value();
+      response.execute.executed_plan = r.executed_plan;
+      response.execute.optimal_plan = r.optimal_plan;
+      response.execute.used_prediction = r.used_prediction;
+      response.execute.cache_hit = r.cache_hit;
+      response.execute.optimizer_invoked = r.optimizer_invoked;
+      response.execute.prediction_evicted = r.prediction_evicted;
+      response.execute.negative_feedback_triggered =
+          r.negative_feedback_triggered;
+      response.execute.execution_cost = r.execution_cost;
+      response.execute.optimize_micros = r.optimize_micros;
+      response.execute.predict_micros = r.predict_micros;
+      response.execute.execute_micros = r.execute_micros;
+      break;
+    }
+    case wire::MessageType::kMetrics:
+      response.metrics_json = framework_->MetricsSnapshot().ToJson();
+      break;
+    case wire::MessageType::kInvalid:
+      response.status = wire::WireStatus::kBadRequest;
+      response.error = "invalid message type";
+      break;
+  }
+  return response;
+}
+
+void PlanServer::WorkerLoop() {
+  while (std::optional<WorkItem> item = queue_.Pop()) {
+    if (config_.pre_dispatch_hook) {
+      config_.pre_dispatch_hook(item->request.type);
+    }
+    wire::Response response = HandleRequest(item->request);
+    std::string frame;
+    wire::EncodeResponse(response, &frame);
+    item->conn->WriteFrame(frame);
+    const double micros = MicrosSince(item->admitted);
+    switch (item->request.type) {
+      case wire::MessageType::kPredict:
+        instruments_.requests_predict->Increment();
+        instruments_.predict_us->Record(micros);
+        break;
+      case wire::MessageType::kExecute:
+        instruments_.requests_execute->Increment();
+        instruments_.execute_us->Record(micros);
+        break;
+      case wire::MessageType::kMetrics:
+        instruments_.requests_metrics->Increment();
+        instruments_.metrics_us->Record(micros);
+        break;
+      case wire::MessageType::kPing:
+        instruments_.requests_ping->Increment();
+        instruments_.ping_us->Record(micros);
+        break;
+      case wire::MessageType::kShutdown:
+        instruments_.requests_shutdown->Increment();
+        break;
+      case wire::MessageType::kInvalid:
+        break;
+    }
+    if (!response.ok()) instruments_.responses_error->Increment();
+    if (response.type == wire::MessageType::kShutdown && response.ok()) {
+      // Ack already written; now start the drain. Everything admitted
+      // before this point still completes.
+      Shutdown();
+    }
+  }
+}
+
+Status InstallShutdownSignalHandlers(PlanServer* server) {
+  if (server == nullptr || !server->running()) {
+    return Status::FailedPrecondition(
+        "install signal handlers after a successful Start()");
+  }
+  g_signal_wake_fd.store(server->wake_fd_, std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = &ShutdownSignalHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  if (::sigaction(SIGINT, &sa, nullptr) != 0 ||
+      ::sigaction(SIGTERM, &sa, nullptr) != 0) {
+    return Status::Internal("sigaction failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace ppc

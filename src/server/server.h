@@ -1,0 +1,163 @@
+#ifndef PPC_SERVER_SERVER_H_
+#define PPC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "ppc/metrics_registry.h"
+#include "ppc/ppc_framework.h"
+#include "server/bounded_queue.h"
+#include "server/wire_protocol.h"
+
+namespace ppc {
+
+/// The network serving layer (DESIGN.md §12): a Linux epoll-based TCP
+/// server fronting one PpcFramework with the wire protocol of
+/// server/wire_protocol.h.
+///
+/// Threading model — one IO thread plus a fixed worker pool:
+///
+///   * The IO thread owns the epoll set: it accepts connections, reads
+///     bytes, deframes and decodes requests, and enqueues work items onto
+///     a bounded MPMC queue. It never executes a query.
+///   * `worker_threads` workers drain the queue, run the request against
+///     the framework, and write the response frame directly to the
+///     connection (a per-connection write mutex serializes writers, so
+///     pipelined responses interleave safely).
+///
+/// Robustness semantics:
+///
+///   * Backpressure: when the queue is full the IO thread answers BUSY
+///     immediately — requests are never buffered without bound.
+///   * Limits: frames above `max_frame_bytes` and connections above
+///     `max_connections` are refused (error frame + close, and
+///     accept-then-close respectively).
+///   * Malformed input: framing violations and undecodable payloads get a
+///     clean BAD_REQUEST error frame, then the connection is dropped (the
+///     byte stream can no longer be trusted).
+///   * Graceful shutdown: a SHUTDOWN request, Shutdown(), or an installed
+///     SIGINT/SIGTERM handler stops accepting work; requests already
+///     admitted to the queue drain to completion before threads exit.
+class PlanServer {
+ public:
+  struct Config {
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port; see port() after Start().
+    uint16_t port = 0;
+    int worker_threads = 4;
+    /// Bounded request-queue capacity; overflow answers BUSY.
+    size_t queue_capacity = 256;
+    /// Connections above this are accepted and immediately closed.
+    size_t max_connections = 64;
+    size_t max_frame_bytes = wire::kDefaultMaxFrameBytes;
+    /// Test hook, run by a worker before each request is dispatched (lets
+    /// tests hold the pool to provoke backpressure deterministically).
+    std::function<void(wire::MessageType)> pre_dispatch_hook;
+  };
+
+  PlanServer(PpcFramework* framework, Config config);
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  /// Binds, listens and spawns the IO thread + worker pool.
+  Status Start();
+
+  /// Initiates graceful drain: stop accepting connections and requests,
+  /// finish everything already queued. Non-blocking and idempotent; also
+  /// triggered by a SHUTDOWN request. Safe from any thread (including
+  /// workers and signal-watching contexts).
+  void Shutdown();
+
+  /// Blocks until the drain completes and all threads have exited.
+  void Wait();
+
+  /// Shutdown() + Wait().
+  void Stop();
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  /// Requests admitted but not yet picked up by a worker (observability;
+  /// also lets tests wait for admission deterministically).
+  size_t queued_requests() const;
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+ private:
+  friend Status InstallShutdownSignalHandlers(PlanServer* server);
+
+  struct Connection;
+  struct WorkItem;
+
+  void IoLoop();
+  void WorkerLoop();
+  void AcceptConnections();
+  /// Reads everything currently available; returns false when the
+  /// connection must be dropped.
+  bool DrainReadable(const std::shared_ptr<Connection>& conn);
+  /// Deframes + decodes + enqueues; returns false on protocol violation.
+  bool ProcessFrames(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(int fd);
+  wire::Response HandleRequest(const wire::Request& request);
+  void SendError(const std::shared_ptr<Connection>& conn,
+                 wire::MessageType type, uint64_t id, wire::WireStatus status,
+                 const std::string& message);
+
+  PpcFramework* const framework_;
+  const Config config_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  /// eventfd the IO thread sleeps on besides the sockets; Shutdown() (and
+  /// the async-signal-safe signal handler) write to it to wake the loop.
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  BoundedQueue<WorkItem> queue_;
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+  /// Owned by the IO thread exclusively (workers hold their own
+  /// shared_ptr copies inside work items).
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  /// Serving-layer instruments, resolved once at Start() from the
+  /// framework's registry (DESIGN.md §11 naming scheme).
+  struct {
+    MetricsCounter* requests_predict = nullptr;
+    MetricsCounter* requests_execute = nullptr;
+    MetricsCounter* requests_metrics = nullptr;
+    MetricsCounter* requests_ping = nullptr;
+    MetricsCounter* requests_shutdown = nullptr;
+    MetricsCounter* responses_busy = nullptr;
+    MetricsCounter* responses_error = nullptr;
+    MetricsCounter* frames_malformed = nullptr;
+    MetricsCounter* connections_accepted = nullptr;
+    MetricsCounter* connections_rejected = nullptr;
+    LatencyHistogram* predict_us = nullptr;
+    LatencyHistogram* execute_us = nullptr;
+    LatencyHistogram* metrics_us = nullptr;
+    LatencyHistogram* ping_us = nullptr;
+  } instruments_;
+};
+
+/// Installs SIGINT/SIGTERM handlers that trigger `server->Shutdown()`
+/// asynchronously (the handler only writes to the server's wake eventfd —
+/// async-signal-safe). At most one server per process may install
+/// handlers; call after Start(). The caller should follow with Wait().
+Status InstallShutdownSignalHandlers(PlanServer* server);
+
+}  // namespace ppc
+
+#endif  // PPC_SERVER_SERVER_H_
