@@ -45,6 +45,10 @@ constexpr size_t kOpenPerClient = 800;
 constexpr double kOpenLoopFraction = 0.8;
 constexpr size_t kOpenLoopWindow = 64;  // max outstanding pipelined ids
 const char* const kTemplates[] = {"Q1", "Q3", "Q5", "Q8"};
+/// Batch-comparison phase: the same PREDICT points, once as single-point
+/// round trips and once as PREDICT_BATCH frames of this many points.
+constexpr uint32_t kBatchSize = 32;
+constexpr size_t kBatchPointsPerClient = 4096;
 
 PpcFramework::Config ServingConfig() {
   PpcFramework::Config cfg;
@@ -284,6 +288,147 @@ PhaseStats RunOpenLoop(uint16_t port, const std::vector<Query>& workload,
                            .count());
 }
 
+/// One side of the scalar-vs-batch comparison: the same predictions,
+/// measured as completed points per second plus request-latency tails.
+struct BatchPhaseStats {
+  double seconds = 0.0;
+  size_t points = 0;
+  size_t requests = 0;
+  size_t failures = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+
+  double points_per_second() const {
+    return seconds > 0.0 ? static_cast<double>(points) / seconds : 0.0;
+  }
+};
+
+/// Clustered 2-dim Q1 points, flattened row-major (the PREDICT_BATCH
+/// wire layout), so both comparison phases predict the exact same set.
+std::vector<double> MakeQ1Points(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<double> centers = {0.3, 0.5, 0.7};
+  std::vector<double> flat;
+  flat.reserve(count * 2);
+  for (size_t i = 0; i < count; ++i) {
+    const double center = centers[(i / 7) % centers.size()];
+    flat.push_back(std::clamp(center + rng.Uniform(-0.02, 0.02), 0.0, 1.0));
+    flat.push_back(std::clamp(center + rng.Uniform(-0.02, 0.02), 0.0, 1.0));
+  }
+  return flat;
+}
+
+/// Runs the same per-client point slice either as single-point PREDICTs
+/// (`batch_size` == 1) or as PREDICT_BATCH frames of `batch_size` points.
+BatchPhaseStats RunPredictComparisonPhase(uint16_t port,
+                                          const std::vector<double>& flat,
+                                          uint32_t batch_size) {
+  struct Tally {
+    std::vector<double> latencies_us;
+    size_t points = 0;
+    size_t requests = 0;
+    size_t failures = 0;
+  };
+  std::vector<Tally> tallies(kClientThreads);
+  std::vector<std::thread> clients;
+  const auto start = Clock::now();
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([port, t, batch_size, &flat, &tallies] {
+      Tally& mine = tallies[static_cast<size_t>(t)];
+      PpcClient client;
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        mine.failures += kBatchPointsPerClient;
+        return;
+      }
+      // Each client owns a contiguous slice of the shared point set.
+      const size_t begin = static_cast<size_t>(t) * kBatchPointsPerClient;
+      for (size_t i = 0; i < kBatchPointsPerClient; i += batch_size) {
+        const size_t n =
+            std::min<size_t>(batch_size, kBatchPointsPerClient - i);
+        const double* p = flat.data() + (begin + i) * 2;
+        const auto sent = Clock::now();
+        Status status;
+        size_t answered = 0;
+        if (batch_size == 1) {
+          status = client.Predict("Q1", {p[0], p[1]}).status();
+          answered = 1;
+        } else {
+          auto result = client.PredictBatch(
+              "Q1", std::vector<double>(p, p + n * 2), 2);
+          status = result.status();
+          if (result.ok()) answered = result.value().size();
+        }
+        ++mine.requests;
+        if (status.ok()) {
+          mine.points += answered;
+          mine.latencies_us.push_back(MicrosSince(sent));
+        } else {
+          ++mine.failures;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  BatchPhaseStats phase;
+  phase.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::vector<double> all;
+  for (Tally& tally : tallies) {
+    all.insert(all.end(), tally.latencies_us.begin(),
+               tally.latencies_us.end());
+    phase.points += tally.points;
+    phase.requests += tally.requests;
+    phase.failures += tally.failures;
+  }
+  phase.p50_us = Percentile(&all, 0.50);
+  phase.p95_us = Percentile(&all, 0.95);
+  phase.p99_us = Percentile(&all, 0.99);
+  return phase;
+}
+
+/// Every point answered over the scalar path and the batch path must be
+/// bit-identical (the acceptance bar for the batched fast path).
+bool VerifyBatchBitIdentity(uint16_t port, const std::vector<double>& flat,
+                            size_t count) {
+  PpcClient client;
+  if (!client.Connect("127.0.0.1", port).ok()) return false;
+  auto batch = client.PredictBatch(
+      "Q1", std::vector<double>(flat.begin(), flat.begin() + count * 2), 2);
+  if (!batch.ok() || batch.value().size() != count) return false;
+  for (size_t i = 0; i < count; ++i) {
+    auto scalar = client.Predict("Q1", {flat[i * 2], flat[i * 2 + 1]});
+    if (!scalar.ok()) return false;
+    if (scalar.value().plan != batch.value()[i].plan) return false;
+    if (scalar.value().confidence != batch.value()[i].confidence) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintBatchPhase(const char* name, const BatchPhaseStats& phase) {
+  std::printf(
+      "%s: %.2fs, %zu points in %zu requests, %.0f points/s, "
+      "%zu failures\n    p50 %.1f us  p95 %.1f us  p99 %.1f us\n",
+      name, phase.seconds, phase.points, phase.requests,
+      phase.points_per_second(), phase.failures, phase.p50_us, phase.p95_us,
+      phase.p99_us);
+}
+
+std::string BatchPhaseJson(const BatchPhaseStats& phase) {
+  std::string out = "{\"seconds\": " + JsonNumber(phase.seconds);
+  out += ", \"points\": " + std::to_string(phase.points);
+  out += ", \"requests\": " + std::to_string(phase.requests);
+  out += ", \"points_per_second\": " + JsonNumber(phase.points_per_second());
+  out += ", \"failures\": " + std::to_string(phase.failures);
+  out += ", \"p50_us\": " + JsonNumber(phase.p50_us);
+  out += ", \"p95_us\": " + JsonNumber(phase.p95_us);
+  out += ", \"p99_us\": " + JsonNumber(phase.p99_us);
+  out += "}";
+  return out;
+}
+
 void PrintPhase(const char* name, const PhaseStats& phase) {
   std::printf("%s: %.2fs, %zu requests, %.0f qps, %zu busy, %zu failures\n",
               name, phase.seconds, phase.total(), phase.qps(),
@@ -363,6 +508,32 @@ void Run() {
   PPC_CHECK(closed.failures == 0);
   PPC_CHECK(open.failures == 0);
 
+  // Scalar-vs-batch comparison: the same Q1 points, once as synchronous
+  // single-point PREDICTs and once as PREDICT_BATCH frames of kBatchSize
+  // points (the batched fast path, DESIGN.md §13).
+  const std::vector<double> q1_points =
+      MakeQ1Points(static_cast<size_t>(kClientThreads) *
+                       kBatchPointsPerClient,
+                   17);
+  const bool bit_identical =
+      VerifyBatchBitIdentity(server.port(), q1_points, 256);
+  PPC_CHECK_MSG(bit_identical, "batch answers diverge from scalar answers");
+  const BatchPhaseStats scalar_phase =
+      RunPredictComparisonPhase(server.port(), q1_points, 1);
+  PrintBatchPhase("scalar predicts", scalar_phase);
+  const BatchPhaseStats batch_phase =
+      RunPredictComparisonPhase(server.port(), q1_points, kBatchSize);
+  PrintBatchPhase("batch predicts", batch_phase);
+  const double batch_speedup =
+      scalar_phase.points_per_second() > 0.0
+          ? batch_phase.points_per_second() / scalar_phase.points_per_second()
+          : 0.0;
+  std::printf("batch size %u speedup over scalar: %.2fx (bit-identical)\n",
+              kBatchSize, batch_speedup);
+  PrintRule();
+  PPC_CHECK(scalar_phase.failures == 0);
+  PPC_CHECK(batch_phase.failures == 0);
+
   // Final server-side view, then an orderly remote shutdown.
   std::string metrics_json = "{}";
   {
@@ -384,6 +555,14 @@ void Run() {
   body += ",\n  \"open_loop_target_qps\": " + JsonNumber(target_qps);
   body += ",\n  \"closed_loop\": " + PhaseJson(closed);
   body += ",\n  \"open_loop\": " + PhaseJson(open);
+  body += ",\n  \"batch_comparison\": {\"batch_size\": " +
+          std::to_string(kBatchSize);
+  body += ", \"dims\": 2, \"bit_identical\": ";
+  body += bit_identical ? "true" : "false";
+  body += ", \"speedup\": " + JsonNumber(batch_speedup);
+  body += ", \"scalar\": " + BatchPhaseJson(scalar_phase);
+  body += ", \"batch\": " + BatchPhaseJson(batch_phase);
+  body += "}";
   body += ",\n  \"server_metrics\": " + metrics_json;
   WriteBenchJson("server_throughput", body);
 }

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Full verification sweep:
-#   1. plain build + the entire test suite (the tier-1 gate),
-#   2. the JSON-emitting benches + validation of every BENCH_*.json,
-#   3. server smoke test (live TCP round-trips + clean shutdown),
-#   4. ASan build + the entire test suite,
-#   5. TSan build + the concurrency, metrics and server tests.
+#   1. documentation checks (markdown links, header doc presence),
+#   2. plain build + the entire test suite (the tier-1 gate),
+#   3. the JSON-emitting benches + validation of every BENCH_*.json,
+#   4. server smoke test (live TCP round-trips + clean shutdown),
+#   5. ASan build + the entire test suite,
+#   6. TSan build + the concurrency, metrics and server tests.
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,6 +13,9 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 2)"
 SKIP_SAN=0
 [ "${1:-}" = "--skip-sanitizers" ] && SKIP_SAN=1
+
+echo "==> documentation checks (markdown links, header doc comments)"
+python3 scripts/check_docs.py
 
 echo "==> plain build + full test suite"
 cmake -B build -S . >/dev/null

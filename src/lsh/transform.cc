@@ -40,49 +40,65 @@ RandomizedTransform::RandomizedTransform(const TransformConfig& config,
   grid_lo_ = -lambda;
   grid_extent_ = raw_extent + cell_width;
 
-  projections_.resize(static_cast<size_t>(s));
+  projections_.resize(static_cast<size_t>(s) * static_cast<size_t>(r));
   shifts_.resize(static_cast<size_t>(s));
   for (int j = 0; j < s; ++j) {
-    std::vector<double> a(static_cast<size_t>(r));
+    double* a = projections_.data() +
+                static_cast<size_t>(j) * static_cast<size_t>(r);
     double norm = 0.0;
-    for (double& v : a) {
-      v = rng->Gaussian();
-      norm += v * v;
+    for (int i = 0; i < r; ++i) {
+      a[i] = rng->Gaussian();
+      norm += a[i] * a[i];
     }
     norm = std::sqrt(std::max(norm, 1e-12));
-    for (double& v : a) v /= norm;
-    projections_[static_cast<size_t>(j)] = std::move(a);
+    for (int i = 0; i < r; ++i) a[i] /= norm;
     shifts_[static_cast<size_t>(j)] = rng->Uniform(0.0, cell_width);
+  }
+}
+
+void RandomizedTransform::ApplyBatch(const double* points, size_t count,
+                                     double* out) const {
+  const size_t r = static_cast<size_t>(config_.input_dims);
+  const size_t s = static_cast<size_t>(config_.output_dims);
+  for (size_t p = 0; p < count; ++p) {
+    const double* x = points + p * r;
+    double* y = out + p * s;
+    for (size_t j = 0; j < s; ++j) {
+      const double* a = projections_.data() + j * r;
+      double dot = 0.0;
+      for (size_t i = 0; i < r; ++i) {
+        dot += a[i] * (x[i] - 0.5) * scale_;
+      }
+      y[j] = dot + shifts_[j];
+    }
   }
 }
 
 std::vector<double> RandomizedTransform::Apply(
     const std::vector<double>& point) const {
   PPC_DCHECK(static_cast<int>(point.size()) == config_.input_dims);
-  const size_t r = point.size();
-  const size_t s = projections_.size();
-  std::vector<double> out(s);
-  for (size_t j = 0; j < s; ++j) {
-    double dot = 0.0;
-    for (size_t i = 0; i < r; ++i) {
-      dot += projections_[j][i] * (point[i] - 0.5) * scale_;
-    }
-    out[j] = dot + shifts_[j];
-  }
+  std::vector<double> out(static_cast<size_t>(config_.output_dims));
+  ApplyBatch(point.data(), 1, out.data());
   return out;
 }
 
-std::vector<uint32_t> RandomizedTransform::Cell(
-    const std::vector<double>& point) const {
-  const std::vector<double> y = Apply(point);
+void RandomizedTransform::CellFromTransformed(const double* y,
+                                              uint32_t* cell) const {
   const uint32_t cells = curve_.cells_per_dim();
-  std::vector<uint32_t> cell(y.size());
-  for (size_t j = 0; j < y.size(); ++j) {
+  const size_t s = static_cast<size_t>(config_.output_dims);
+  for (size_t j = 0; j < s; ++j) {
     const double frac = (y[j] - grid_lo_) / grid_extent_;
     const double idx = std::floor(frac * static_cast<double>(cells));
     cell[j] = static_cast<uint32_t>(
         Clamp(idx, 0.0, static_cast<double>(cells - 1)));
   }
+}
+
+std::vector<uint32_t> RandomizedTransform::Cell(
+    const std::vector<double>& point) const {
+  const std::vector<double> y = Apply(point);
+  std::vector<uint32_t> cell(y.size());
+  CellFromTransformed(y.data(), cell.data());
   return cell;
 }
 
@@ -91,15 +107,28 @@ double RandomizedTransform::LinearizedPosition(
   return curve_.Linearize(Cell(point));
 }
 
-void RandomizedTransform::CellBox(const std::vector<double>& point, double d,
-                                  std::vector<uint32_t>* lo,
-                                  std::vector<uint32_t>* hi) const {
-  const std::vector<double> y = Apply(point);
+void RandomizedTransform::LinearizedPositionBatch(const double* points,
+                                                  size_t count,
+                                                  double* out) const {
+  const size_t s = static_cast<size_t>(config_.output_dims);
+  std::vector<double> transformed(count * s);
+  ApplyBatch(points, count, transformed.data());
+  std::vector<uint32_t> cell(s);
+  for (size_t p = 0; p < count; ++p) {
+    CellFromTransformed(transformed.data() + p * s, cell.data());
+    out[p] = curve_.Linearize(cell);
+  }
+}
+
+void RandomizedTransform::CellBoxFromTransformed(
+    const double* y, double d, std::vector<uint32_t>* lo,
+    std::vector<uint32_t>* hi) const {
   const uint32_t cells = curve_.cells_per_dim();
+  const size_t s = static_cast<size_t>(config_.output_dims);
   const double radius = d * scale_;
-  lo->resize(y.size());
-  hi->resize(y.size());
-  for (size_t j = 0; j < y.size(); ++j) {
+  lo->resize(s);
+  hi->resize(s);
+  for (size_t j = 0; j < s; ++j) {
     const double lo_frac = (y[j] - radius - grid_lo_) / grid_extent_;
     const double hi_frac = (y[j] + radius - grid_lo_) / grid_extent_;
     (*lo)[j] = static_cast<uint32_t>(
@@ -109,6 +138,13 @@ void RandomizedTransform::CellBox(const std::vector<double>& point, double d,
         Clamp(std::floor(hi_frac * static_cast<double>(cells)), 0.0,
               static_cast<double>(cells - 1)));
   }
+}
+
+void RandomizedTransform::CellBox(const std::vector<double>& point, double d,
+                                  std::vector<uint32_t>* lo,
+                                  std::vector<uint32_t>* hi) const {
+  const std::vector<double> y = Apply(point);
+  CellBoxFromTransformed(y.data(), d, lo, hi);
 }
 
 double RandomizedTransform::RangeHalfWidth(double d) const {

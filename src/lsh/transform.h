@@ -1,6 +1,7 @@
 #ifndef PPC_LSH_TRANSFORM_H_
 #define PPC_LSH_TRANSFORM_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "common/rng.h"
@@ -44,10 +45,28 @@ class RandomizedTransform {
   RandomizedTransform(const TransformConfig& config, Rng* rng);
 
   /// Steps 1-2-3: the transformed s-dimensional coordinates of `point`.
+  /// Delegates to ApplyBatch with a batch of one, so scalar and batched
+  /// callers share one arithmetic path and agree bit-for-bit.
   std::vector<double> Apply(const std::vector<double>& point) const;
+
+  /// Steps 1-2-3 for `count` points stored contiguously row-major in
+  /// `points` (point p is points[p*r .. p*r+r)). Writes the transformed
+  /// coordinates row-major into `out` (point p at out[p*s .. p*s+s)); the
+  /// caller provides count*s doubles. This is the matrix-times-batch
+  /// kernel of the serving fast path: one pass over the s x r projection
+  /// matrix per point, contiguous reads and writes, no per-point
+  /// allocation. The per-coordinate accumulation order is identical to
+  /// the historical scalar loop, which is what makes batched predictions
+  /// bit-identical to scalar ones.
+  void ApplyBatch(const double* points, size_t count, double* out) const;
 
   /// Step 4 cell coordinates of `point` on the grid.
   std::vector<uint32_t> Cell(const std::vector<double>& point) const;
+
+  /// Step 4 from already-transformed coordinates `y` (s doubles), writing
+  /// the cell into `cell` (s entries). Lets batched callers reuse one
+  /// ApplyBatch result for both cell and cell-box computation.
+  void CellFromTransformed(const double* y, uint32_t* cell) const;
 
   /// Grid-cell index box covered by the transformed ball of plan-space
   /// radius `d` around `point` (per-dimension inclusive ranges, clamped to
@@ -56,8 +75,19 @@ class RandomizedTransform {
   void CellBox(const std::vector<double>& point, double d,
                std::vector<uint32_t>* lo, std::vector<uint32_t>* hi) const;
 
+  /// CellBox from already-transformed coordinates `y` (s doubles).
+  void CellBoxFromTransformed(const double* y, double d,
+                              std::vector<uint32_t>* lo,
+                              std::vector<uint32_t>* hi) const;
+
   /// Z-order-linearized grid position of `point`, in [0, 1).
   double LinearizedPosition(const std::vector<double>& point) const;
+
+  /// Z-order positions of `count` row-major points (layout as in
+  /// ApplyBatch), written to `out[0 .. count)`. One transform pass, then
+  /// per-point cell bucketing and Z-order linearization.
+  void LinearizedPositionBatch(const double* points, size_t count,
+                               double* out) const;
 
   /// Factor by which the transform scales Euclidean distances (projections
   /// onto unit vectors preserve lengths, so this is the step-1 scale).
@@ -81,8 +111,10 @@ class RandomizedTransform {
   double scale_;        // step-1 distance scale
   double grid_lo_;      // transformed-axis grid origin
   double grid_extent_;  // transformed-axis grid span
-  std::vector<std::vector<double>> projections_;  // s unit vectors, each r-dim
-  std::vector<double> shifts_;                    // s per-axis shifts
+  /// The s x r projection matrix, row-major (row j is unit vector a_j).
+  /// Stored flat so ApplyBatch streams it without pointer chasing.
+  std::vector<double> projections_;
+  std::vector<double> shifts_;  // s per-axis shifts
 };
 
 /// An ensemble of t independently randomized transforms sharing one

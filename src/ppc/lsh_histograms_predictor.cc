@@ -22,6 +22,23 @@ TransformConfig MakeTransformConfig(
   return tc;
 }
 
+/// Clamps [position - delta, position + delta] to the histogram domain
+/// [0, 1], sliding the interval inward first so a query at the plan-space
+/// boundary still covers its full 2*delta of curve length. Shared by the
+/// scalar and batched range builders so the two cannot drift apart.
+ZInterval SlideClampInterval(double position, double delta) {
+  double lo = position - delta;
+  double hi = position + delta;
+  if (lo < 0.0) {
+    hi = std::min(1.0, hi - lo);
+    lo = 0.0;
+  } else if (hi > 1.0) {
+    lo = std::max(0.0, lo - (hi - 1.0));
+    hi = 1.0;
+  }
+  return ZInterval{lo, hi};
+}
+
 }  // namespace
 
 LshHistogramsPredictor::LshHistogramsPredictor(Config config)
@@ -113,16 +130,45 @@ std::vector<std::vector<ZInterval>> LshHistogramsPredictor::QueryRanges(
       // 2*delta of curve length (the decomposed branch clamps its cell box
       // to the grid; an unslid range would hang partly outside the domain
       // and silently query less mass near the boundary).
-      double lo = position - delta;
-      double hi = position + delta;
-      if (lo < 0.0) {
-        hi = std::min(1.0, hi - lo);
-        lo = 0.0;
-      } else if (hi > 1.0) {
-        lo = std::max(0.0, lo - (hi - 1.0));
-        hi = 1.0;
+      ranges[i] = {SlideClampInterval(position, delta)};
+    }
+  }
+  return ranges;
+}
+
+std::vector<std::vector<std::vector<ZInterval>>>
+LshHistogramsPredictor::QueryRangesBatch(const double* points,
+                                         size_t count) const {
+  std::vector<std::vector<std::vector<ZInterval>>> ranges(transforms_.size());
+  const size_t s = static_cast<size_t>(
+      transforms_.size() == 0 ? 0 : transforms_[0].config().output_dims);
+  std::vector<double> workspace;
+  for (size_t i = 0; i < transforms_.size(); ++i) {
+    const RandomizedTransform& transform = transforms_[i];
+    ranges[i].resize(count);
+    if (config_.interval_decomposition) {
+      // One transform pass over the whole batch, then per-point cell boxes
+      // from the shared transformed coordinates.
+      workspace.resize(count * s);
+      transform.ApplyBatch(points, count, workspace.data());
+      std::vector<uint32_t> lo, hi;
+      for (size_t p = 0; p < count; ++p) {
+        transform.CellBoxFromTransformed(workspace.data() + p * s,
+                                         config_.radius, &lo, &hi);
+        ranges[i][p] =
+            transform.curve().DecomposeBox(lo, hi, config_.max_z_intervals);
       }
-      ranges[i] = {ZInterval{lo, hi}};
+    } else {
+      // The paper's single range per point; the half-width depends only on
+      // the transform and the radius, so it is computed once per batch.
+      workspace.resize(count);
+      transform.LinearizedPositionBatch(points, count, workspace.data());
+      const double cell_z = std::ldexp(1.0, -transform.curve().total_bits());
+      const double delta = std::max(
+          transform.RangeHalfWidth(config_.radius), 0.5 * cell_z);
+      for (size_t p = 0; p < count; ++p) {
+        ranges[i][p] = {SlideClampInterval(workspace[p], delta)};
+      }
     }
   }
   return ranges;
@@ -168,6 +214,65 @@ Prediction LshHistogramsPredictor::PredictLocked(
   out.plan = max_plan;
   out.confidence = confidence;
   out.estimated_cost = synopses_.at(max_plan).MedianAverageCost(ranges);
+  return out;
+}
+
+std::vector<Prediction> LshHistogramsPredictor::PredictBatch(
+    const double* points, size_t count) const {
+  std::vector<Prediction> out(count);
+  if (count == 0) return out;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (synopses_.empty()) return out;
+
+  // One batched transform pass per intermediate space.
+  const std::vector<std::vector<std::vector<ZInterval>>> ranges =
+      QueryRangesBatch(points, count);
+
+  const double noise_floor =
+      config_.noise_fraction > 0.0
+          ? config_.noise_fraction * static_cast<double>(total_samples_)
+          : 0.0;
+
+  const size_t t = transforms_.size();
+  // Running per-point argmax state, updated plan by plan in the same
+  // std::map order as the scalar path (ties must resolve identically).
+  std::vector<double> totals(count, 0.0);
+  std::vector<PlanId> max_plans(count, kNullPlanId);
+  std::vector<double> max_counts(count, 0.0);
+  std::vector<double> per_transform(t * count);
+  for (const auto& [plan, synopsis] : synopses_) {
+    // All of this plan's histograms are walked batch-at-a-time: bucket
+    // arrays stay cache-hot across the count points of each transform.
+    synopsis.BatchTransformCounts(ranges, count, per_transform.data());
+    for (size_t p = 0; p < count; ++p) {
+      // Assemble the per-transform counts in transform order — the same
+      // vector the scalar MedianCount builds — and take the median.
+      std::vector<double> counts(t);
+      for (size_t i = 0; i < t; ++i) counts[i] = per_transform[i * count + p];
+      const double raw = Median(std::move(counts));
+      const double density = std::max(0.0, raw - noise_floor);
+      totals[p] += density;
+      if (density > max_counts[p]) {
+        max_counts[p] = density;
+        max_plans[p] = plan;
+      }
+    }
+  }
+
+  std::vector<std::vector<ZInterval>> point_ranges(t);
+  for (size_t p = 0; p < count; ++p) {
+    if (max_counts[p] <= 0.0) continue;
+    const double confidence =
+        ConfidenceFromCounts(max_counts[p], totals[p] - max_counts[p]);
+    if (confidence <= config_.confidence_threshold) continue;
+    // Cost estimation runs only for the winning plan of a confident
+    // point, exactly as in the scalar path.
+    for (size_t i = 0; i < t; ++i) point_ranges[i] = ranges[i][p];
+    out[p].plan = max_plans[p];
+    out[p].confidence = confidence;
+    out[p].estimated_cost =
+        synopses_.at(max_plans[p]).MedianAverageCost(point_ranges);
+  }
   return out;
 }
 

@@ -78,6 +78,18 @@ class LshHistogramsPredictor : public PlanPredictor {
   LshHistogramsPredictor& operator=(LshHistogramsPredictor&& other) noexcept;
 
   Prediction Predict(const std::vector<double>& x) const override;
+
+  /// Batched Predict over `count` points stored contiguously row-major
+  /// (point p occupies points[p*r .. (p+1)*r) with r = config().dimensions).
+  /// Returns one Prediction per point, in order, bit-identical to calling
+  /// Predict on each point separately. The batch pays the shared lock
+  /// once, applies each randomized transform as one matrix-times-batch
+  /// kernel, and walks each plan histogram's buckets once per batch
+  /// instead of once per point (range queries grouped per intermediate
+  /// space).
+  std::vector<Prediction> PredictBatch(const double* points,
+                                       size_t count) const;
+
   void Insert(const LabeledPoint& point) override;
   uint64_t SpaceBytes() const override;
   std::string Name() const override { return "APPROXIMATE-LSH-HISTOGRAMS"; }
@@ -118,6 +130,13 @@ class LshHistogramsPredictor : public PlanPredictor {
   /// tests and diagnostics.
   std::vector<std::vector<ZInterval>> QueryRanges(
       const std::vector<double>& x) const;
+
+  /// Batched QueryRanges over `count` row-major points. Note the
+  /// transform-major layout — result[i][p] is point p's interval list in
+  /// intermediate space i — chosen so downstream histogram queries can be
+  /// grouped per intermediate space. Public for tests and diagnostics.
+  std::vector<std::vector<std::vector<ZInterval>>> QueryRangesBatch(
+      const double* points, size_t count) const;
 
  private:
   Prediction PredictLocked(const std::vector<double>& x) const;

@@ -82,6 +82,25 @@ double PlanSynopsis::MedianAverageCost(
   return costs.empty() ? 0.0 : Median(std::move(costs));
 }
 
+void PlanSynopsis::BatchTransformCounts(
+    const std::vector<std::vector<std::vector<ZInterval>>>&
+        ranges_by_transform,
+    size_t point_count, double* counts_out) const {
+  PPC_DCHECK(ranges_by_transform.size() == histograms_.size());
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    const StreamingHistogram& histogram = histograms_[i];
+    PPC_DCHECK(ranges_by_transform[i].size() == point_count);
+    double* row = counts_out + i * point_count;
+    for (size_t p = 0; p < point_count; ++p) {
+      double count = 0.0;
+      for (const ZInterval& interval : ranges_by_transform[i][p]) {
+        count += histogram.EstimateCount(interval.lo, interval.hi);
+      }
+      row[p] = count;
+    }
+  }
+}
+
 size_t PlanSynopsis::SampleCount() const {
   return histograms_.empty() ? 0 : histograms_.front().TotalCount();
 }

@@ -40,6 +40,20 @@ class PlanSynopsis {
   double MedianAverageCost(
       const std::vector<std::vector<ZInterval>>& ranges) const;
 
+  /// Batched per-transform counts for the serving fast path:
+  /// `ranges_by_transform[i][p]` is point p's interval list in transform i
+  /// (transform-major layout), and the summed count of that list lands in
+  /// `counts_out[i * point_count + p]`. Iterates transform-outer /
+  /// point-inner so one histogram's bucket array stays cache-resident
+  /// across the whole batch — this is the "group range queries per
+  /// intermediate space" amortization. Each individual interval sum uses
+  /// the same accumulation order as the scalar MedianCount, so a median
+  /// assembled from `counts_out` is bit-identical to the scalar result.
+  void BatchTransformCounts(
+      const std::vector<std::vector<std::vector<ZInterval>>>&
+          ranges_by_transform,
+      size_t point_count, double* counts_out) const;
+
   /// Samples inserted (identical across transforms; per-transform count).
   size_t SampleCount() const;
 

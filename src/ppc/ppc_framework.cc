@@ -139,6 +139,42 @@ Result<PpcFramework::PredictReport> PpcFramework::PredictAtPoint(
   return report;
 }
 
+Result<std::vector<PpcFramework::PredictReport>> PpcFramework::PredictBatch(
+    const std::string& template_name, const double* points, size_t count,
+    size_t dims) const {
+  std::shared_lock<std::shared_mutex> lock(templates_mu_);
+  auto it = templates_.find(template_name);
+  if (it == templates_.end()) {
+    return Status::NotFound("template " + template_name +
+                            " is not registered");
+  }
+  const TemplateState* state = it->second.get();
+  if (count == 0) {
+    return Status::InvalidArgument("empty prediction batch");
+  }
+  if (static_cast<int>(dims) != state->tmpl.ParameterDegree()) {
+    return Status::InvalidArgument(
+        "batch points have " + std::to_string(dims) +
+        " dimensions; template " + state->tmpl.name + " has degree " +
+        std::to_string(state->tmpl.ParameterDegree()));
+  }
+  for (size_t i = 0; i < count * dims; ++i) {
+    if (!std::isfinite(points[i])) {
+      return Status::InvalidArgument("point coordinate is not finite");
+    }
+  }
+  const std::vector<Prediction> predictions =
+      state->online->predictor().PredictBatch(points, count);
+  std::vector<PredictReport> reports(count);
+  for (size_t p = 0; p < count; ++p) {
+    reports[p].plan = predictions[p].plan;
+    reports[p].confidence = predictions[p].confidence;
+    reports[p].cache_hit = predictions[p].has_value() &&
+                           plan_cache_.Contains(predictions[p].plan);
+  }
+  return reports;
+}
+
 Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
     const std::string& template_name, const std::vector<double>& point) {
   Seal();

@@ -125,6 +125,20 @@ class PpcFramework {
   Result<PredictReport> PredictAtPoint(const std::string& template_name,
                                        const std::vector<double>& point) const;
 
+  /// Batched PredictAtPoint: `count` points of `dims` coordinates each,
+  /// flattened row-major in `points` (point p is the slice
+  /// [p*dims, (p+1)*dims)). Returns one PredictReport per point, in
+  /// order, bit-identical to `count` PredictAtPoint calls against the
+  /// same state — but the whole batch takes the template lookup, the
+  /// predictor's shared lock, each randomized transform (applied as one
+  /// matrix-times-batch kernel), and each histogram's bucket walk once.
+  /// Validation is all-or-nothing: an unknown template, a wrong arity, or
+  /// any non-finite coordinate fails the whole batch (per-point
+  /// abstentions are answers, not errors — see DESIGN.md §13).
+  Result<std::vector<PredictReport>> PredictBatch(
+      const std::string& template_name, const double* points, size_t count,
+      size_t dims) const;
+
   /// Executes one query instance end to end (normalize -> predict ->
   /// cache/optimize -> execute -> feedback).
   Result<QueryReport> ExecuteInstance(const QueryInstance& instance);

@@ -49,6 +49,19 @@ class BoundedQueue {
     return item;
   }
 
+  /// Non-blocking Pop: dequeues the oldest item if one is immediately
+  /// available, nullopt otherwise (empty or closed-and-drained — the
+  /// caller cannot distinguish, and does not need to: this is the
+  /// opportunistic drain used by worker micro-batching, where "nothing
+  /// ready right now" simply ends the batch).
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
   /// Rejects all future pushes and wakes every blocked consumer. Items
   /// already queued stay poppable (drain semantics). Idempotent.
   void Close() {

@@ -45,6 +45,29 @@ Result<uint64_t> PpcClient::SendPredict(const std::string& template_name,
   return SendRequest(wire::MessageType::kPredict, template_name, point);
 }
 
+Result<uint64_t> PpcClient::SendPredictBatch(
+    const std::string& template_name, const std::vector<double>& points,
+    uint32_t dims) {
+  if (!connected()) return Status::FailedPrecondition("not connected");
+  if (dims == 0 || points.empty() || points.size() % dims != 0) {
+    return Status::InvalidArgument(
+        "batch points must be a non-empty multiple of dims doubles");
+  }
+  wire::Request request;
+  request.type = wire::MessageType::kPredictBatch;
+  request.id = next_id_++;
+  request.template_name = template_name;
+  request.batch_dims = dims;
+  request.batch_points = points;
+  std::string frame;
+  wire::EncodeRequest(request, &frame);
+  if (!net::SendAll(fd_, frame.data(), frame.size())) {
+    Close();
+    return Status::Internal("send failed; connection closed");
+  }
+  return request.id;
+}
+
 Result<uint64_t> PpcClient::SendExecute(const std::string& template_name,
                                         const std::vector<double>& point) {
   return SendRequest(wire::MessageType::kExecute, template_name, point);
@@ -101,6 +124,21 @@ Result<PpcClient::PredictResult> PpcClient::Predict(
   PPC_RETURN_NOT_OK(wire::ToStatus(response.status, response.error));
   return PredictResult{response.predict.plan, response.predict.confidence,
                        response.predict.cache_hit};
+}
+
+Result<std::vector<PpcClient::PredictResult>> PpcClient::PredictBatch(
+    const std::string& template_name, const std::vector<double>& points,
+    uint32_t dims) {
+  PPC_ASSIGN_OR_RETURN(uint64_t id,
+                       SendPredictBatch(template_name, points, dims));
+  PPC_ASSIGN_OR_RETURN(wire::Response response, Wait(id));
+  PPC_RETURN_NOT_OK(wire::ToStatus(response.status, response.error));
+  std::vector<PredictResult> results;
+  results.reserve(response.batch.size());
+  for (const wire::Response::Predict& p : response.batch) {
+    results.push_back(PredictResult{p.plan, p.confidence, p.cache_hit});
+  }
+  return results;
 }
 
 Result<wire::Response::Execute> PpcClient::Execute(

@@ -49,6 +49,16 @@ class PpcClient {
   Result<PredictResult> Predict(const std::string& template_name,
                                 const std::vector<double>& point);
 
+  /// Batched Predict: `count` points of `dims` coordinates each,
+  /// flattened row-major in `points` (one PREDICT_BATCH frame, one
+  /// answer per point in request order). All points must target one
+  /// template; validation is all-or-nothing on the server, and a point
+  /// the predictor abstains on comes back as kNullPlanId with confidence
+  /// 0 rather than an error.
+  Result<std::vector<PredictResult>> PredictBatch(
+      const std::string& template_name, const std::vector<double>& points,
+      uint32_t dims);
+
   Result<wire::Response::Execute> Execute(const std::string& template_name,
                                           const std::vector<double>& point);
 
@@ -64,6 +74,11 @@ class PpcClient {
 
   Result<uint64_t> SendPredict(const std::string& template_name,
                                const std::vector<double>& point);
+  /// Pipelined PredictBatch (layout as in PredictBatch); collect the
+  /// response with Wait(id) and read Response::batch.
+  Result<uint64_t> SendPredictBatch(const std::string& template_name,
+                                    const std::vector<double>& points,
+                                    uint32_t dims);
   Result<uint64_t> SendExecute(const std::string& template_name,
                                const std::vector<double>& point);
   Result<uint64_t> SendPing();

@@ -129,11 +129,16 @@ Status PlanServer::Start() {
 
   MetricsRegistry& metrics = framework_->metrics();
   instruments_.requests_predict = &metrics.counter("server.requests.predict");
+  instruments_.requests_predict_batch =
+      &metrics.counter("server.requests.predict_batch");
   instruments_.requests_execute = &metrics.counter("server.requests.execute");
   instruments_.requests_metrics = &metrics.counter("server.requests.metrics");
   instruments_.requests_ping = &metrics.counter("server.requests.ping");
   instruments_.requests_shutdown =
       &metrics.counter("server.requests.shutdown");
+  instruments_.microbatches = &metrics.counter("server.microbatches");
+  instruments_.microbatched_predicts =
+      &metrics.counter("server.microbatched_predicts");
   instruments_.responses_busy = &metrics.counter("server.responses.busy");
   instruments_.responses_error = &metrics.counter("server.responses.error");
   instruments_.frames_malformed = &metrics.counter("server.frames.malformed");
@@ -142,6 +147,8 @@ Status PlanServer::Start() {
   instruments_.connections_rejected =
       &metrics.counter("server.connections.rejected");
   instruments_.predict_us = &metrics.histogram("server.predict_us");
+  instruments_.predict_batch_us =
+      &metrics.histogram("server.predict_batch_us");
   instruments_.execute_us = &metrics.histogram("server.execute_us");
   instruments_.metrics_us = &metrics.histogram("server.metrics_us");
   instruments_.ping_us = &metrics.histogram("server.ping_us");
@@ -377,6 +384,23 @@ wire::Response PlanServer::HandleRequest(const wire::Request& request) {
       response.execute.execute_micros = r.execute_micros;
       break;
     }
+    case wire::MessageType::kPredictBatch: {
+      Result<std::vector<PpcFramework::PredictReport>> reports =
+          framework_->PredictBatch(request.template_name,
+                                   request.batch_points.data(),
+                                   request.batch_count(), request.batch_dims);
+      if (!reports.ok()) {
+        response.status = WireStatusFrom(reports.status());
+        response.error = reports.status().message();
+        break;
+      }
+      response.batch.reserve(reports.value().size());
+      for (const PpcFramework::PredictReport& r : reports.value()) {
+        response.batch.push_back(
+            wire::Response::Predict{r.plan, r.confidence, r.cache_hit});
+      }
+      break;
+    }
     case wire::MessageType::kMetrics:
       response.metrics_json = framework_->MetricsSnapshot().ToJson();
       break;
@@ -388,44 +412,132 @@ wire::Response PlanServer::HandleRequest(const wire::Request& request) {
   return response;
 }
 
-void PlanServer::WorkerLoop() {
-  while (std::optional<WorkItem> item = queue_.Pop()) {
+void PlanServer::ProcessSingle(WorkItem* item) {
+  if (config_.pre_dispatch_hook) {
+    config_.pre_dispatch_hook(item->request.type);
+  }
+  wire::Response response = HandleRequest(item->request);
+  std::string frame;
+  wire::EncodeResponse(response, &frame);
+  item->conn->WriteFrame(frame);
+  const double micros = MicrosSince(item->admitted);
+  switch (item->request.type) {
+    case wire::MessageType::kPredict:
+      instruments_.requests_predict->Increment();
+      instruments_.predict_us->Record(micros);
+      break;
+    case wire::MessageType::kPredictBatch:
+      instruments_.requests_predict_batch->Increment();
+      instruments_.predict_batch_us->Record(micros);
+      break;
+    case wire::MessageType::kExecute:
+      instruments_.requests_execute->Increment();
+      instruments_.execute_us->Record(micros);
+      break;
+    case wire::MessageType::kMetrics:
+      instruments_.requests_metrics->Increment();
+      instruments_.metrics_us->Record(micros);
+      break;
+    case wire::MessageType::kPing:
+      instruments_.requests_ping->Increment();
+      instruments_.ping_us->Record(micros);
+      break;
+    case wire::MessageType::kShutdown:
+      instruments_.requests_shutdown->Increment();
+      break;
+    case wire::MessageType::kInvalid:
+      break;
+  }
+  if (!response.ok()) instruments_.responses_error->Increment();
+  if (response.type == wire::MessageType::kShutdown && response.ok()) {
+    // Ack already written; now start the drain. Everything admitted
+    // before this point still completes.
+    Shutdown();
+  }
+}
+
+void PlanServer::ProcessPredictRun(WorkItem* items, size_t count) {
+  const wire::Request& head = items[0].request;
+  const size_t dims = head.point.size();
+  std::vector<double> points;
+  points.reserve(count * dims);
+  for (size_t p = 0; p < count; ++p) {
     if (config_.pre_dispatch_hook) {
-      config_.pre_dispatch_hook(item->request.type);
+      config_.pre_dispatch_hook(items[p].request.type);
     }
-    wire::Response response = HandleRequest(item->request);
+    points.insert(points.end(), items[p].request.point.begin(),
+                  items[p].request.point.end());
+  }
+  Result<std::vector<PpcFramework::PredictReport>> reports =
+      framework_->PredictBatch(head.template_name, points.data(), count, dims);
+  if (!reports.ok()) {
+    // A batch-level rejection (unknown template, bad arity, non-finite
+    // coordinate) must not fail items that would succeed alone: answer
+    // each request on the scalar path instead. The hooks already ran.
+    for (size_t p = 0; p < count; ++p) {
+      wire::Response response = HandleRequest(items[p].request);
+      std::string frame;
+      wire::EncodeResponse(response, &frame);
+      items[p].conn->WriteFrame(frame);
+      instruments_.requests_predict->Increment();
+      instruments_.predict_us->Record(MicrosSince(items[p].admitted));
+      if (!response.ok()) instruments_.responses_error->Increment();
+    }
+    return;
+  }
+  for (size_t p = 0; p < count; ++p) {
+    wire::Response response;
+    response.type = wire::MessageType::kPredict;
+    response.id = items[p].request.id;
+    response.predict.plan = reports.value()[p].plan;
+    response.predict.confidence = reports.value()[p].confidence;
+    response.predict.cache_hit = reports.value()[p].cache_hit;
     std::string frame;
     wire::EncodeResponse(response, &frame);
-    item->conn->WriteFrame(frame);
-    const double micros = MicrosSince(item->admitted);
-    switch (item->request.type) {
-      case wire::MessageType::kPredict:
-        instruments_.requests_predict->Increment();
-        instruments_.predict_us->Record(micros);
-        break;
-      case wire::MessageType::kExecute:
-        instruments_.requests_execute->Increment();
-        instruments_.execute_us->Record(micros);
-        break;
-      case wire::MessageType::kMetrics:
-        instruments_.requests_metrics->Increment();
-        instruments_.metrics_us->Record(micros);
-        break;
-      case wire::MessageType::kPing:
-        instruments_.requests_ping->Increment();
-        instruments_.ping_us->Record(micros);
-        break;
-      case wire::MessageType::kShutdown:
-        instruments_.requests_shutdown->Increment();
-        break;
-      case wire::MessageType::kInvalid:
-        break;
+    items[p].conn->WriteFrame(frame);
+    instruments_.requests_predict->Increment();
+    instruments_.predict_us->Record(MicrosSince(items[p].admitted));
+  }
+  instruments_.microbatches->Increment();
+  instruments_.microbatched_predicts->Increment(count);
+}
+
+void PlanServer::WorkerLoop() {
+  std::vector<WorkItem> batch;
+  while (std::optional<WorkItem> item = queue_.Pop()) {
+    batch.clear();
+    batch.push_back(std::move(*item));
+    // Opportunistic micro-batch: only after popping a single-point
+    // PREDICT, drain whatever else is already queued (never blocking) up
+    // to the cap. Runs of same-template PREDICTs then share one batched
+    // predictor pass; everything else is handled in admission order.
+    if (config_.max_microbatch > 1 &&
+        batch.front().request.type == wire::MessageType::kPredict) {
+      while (batch.size() < config_.max_microbatch) {
+        std::optional<WorkItem> extra = queue_.TryPop();
+        if (!extra.has_value()) break;
+        batch.push_back(std::move(*extra));
+      }
     }
-    if (!response.ok()) instruments_.responses_error->Increment();
-    if (response.type == wire::MessageType::kShutdown && response.ok()) {
-      // Ack already written; now start the drain. Everything admitted
-      // before this point still completes.
-      Shutdown();
+    size_t index = 0;
+    while (index < batch.size()) {
+      size_t run = index + 1;
+      if (batch[index].request.type == wire::MessageType::kPredict) {
+        while (run < batch.size() &&
+               batch[run].request.type == wire::MessageType::kPredict &&
+               batch[run].request.template_name ==
+                   batch[index].request.template_name &&
+               batch[run].request.point.size() ==
+                   batch[index].request.point.size()) {
+          ++run;
+        }
+      }
+      if (run - index >= 2) {
+        ProcessPredictRun(&batch[index], run - index);
+      } else {
+        ProcessSingle(&batch[index]);
+      }
+      index = run;
     }
   }
 }

@@ -57,6 +57,14 @@ class PlanServer {
     /// Connections above this are accepted and immediately closed.
     size_t max_connections = 64;
     size_t max_frame_bytes = wire::kDefaultMaxFrameBytes;
+    /// Opportunistic micro-batching: when a worker pops a single-point
+    /// PREDICT, it drains up to this many total queued requests without
+    /// blocking and answers runs of same-template PREDICTs with one
+    /// batched predictor pass, so even non-batching clients amortize the
+    /// lock/transform/histogram costs under load (DESIGN.md §13). 1 (or
+    /// 0) disables draining; each answer is still written per request,
+    /// so clients observe identical frames either way.
+    size_t max_microbatch = 16;
     /// Test hook, run by a worker before each request is dispatched (lets
     /// tests hold the pool to provoke backpressure deterministically).
     std::function<void(wire::MessageType)> pre_dispatch_hook;
@@ -108,6 +116,13 @@ class PlanServer {
   bool ProcessFrames(const std::shared_ptr<Connection>& conn);
   void CloseConnection(int fd);
   wire::Response HandleRequest(const wire::Request& request);
+  /// Answers one work item the scalar way: hook, handle, write, account.
+  void ProcessSingle(WorkItem* item);
+  /// Answers `count` same-template single-point PREDICT items with one
+  /// batched predictor pass; falls back to per-item ProcessSingle when
+  /// the batch is rejected (e.g. one point is non-finite), so grouping
+  /// never changes which requests succeed.
+  void ProcessPredictRun(WorkItem* items, size_t count);
   void SendError(const std::shared_ptr<Connection>& conn,
                  wire::MessageType type, uint64_t id, wire::WireStatus status,
                  const std::string& message);
@@ -136,16 +151,22 @@ class PlanServer {
   /// framework's registry (DESIGN.md §11 naming scheme).
   struct {
     MetricsCounter* requests_predict = nullptr;
+    MetricsCounter* requests_predict_batch = nullptr;
     MetricsCounter* requests_execute = nullptr;
     MetricsCounter* requests_metrics = nullptr;
     MetricsCounter* requests_ping = nullptr;
     MetricsCounter* requests_shutdown = nullptr;
+    /// Micro-batching effectiveness: batched predictor passes executed by
+    /// workers, and single-point PREDICTs answered through them.
+    MetricsCounter* microbatches = nullptr;
+    MetricsCounter* microbatched_predicts = nullptr;
     MetricsCounter* responses_busy = nullptr;
     MetricsCounter* responses_error = nullptr;
     MetricsCounter* frames_malformed = nullptr;
     MetricsCounter* connections_accepted = nullptr;
     MetricsCounter* connections_rejected = nullptr;
     LatencyHistogram* predict_us = nullptr;
+    LatencyHistogram* predict_batch_us = nullptr;
     LatencyHistogram* execute_us = nullptr;
     LatencyHistogram* metrics_us = nullptr;
     LatencyHistogram* ping_us = nullptr;

@@ -11,7 +11,7 @@ namespace {
 
 bool ValidRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(MessageType::kPredict) &&
-         type <= static_cast<uint8_t>(MessageType::kShutdown);
+         type <= static_cast<uint8_t>(MessageType::kPredictBatch);
 }
 
 bool ValidStatus(uint8_t status) {
@@ -47,6 +47,37 @@ Result<std::vector<double>> DecodePoint(ByteReader* reader) {
   return point;
 }
 
+/// Decodes the kPredictBatch body into the Request's flat row-major
+/// storage. Both the point count and the arity are validated against the
+/// protocol limits before any allocation is sized from them.
+Status DecodeBatchBody(ByteReader* reader, Request* request) {
+  PPC_ASSIGN_OR_RETURN(uint32_t count, reader->GetU32());
+  if (count == 0) {
+    return Status::InvalidArgument("PREDICT_BATCH with zero points");
+  }
+  if (count > kMaxBatchPoints) {
+    return Status::InvalidArgument("batch of " + std::to_string(count) +
+                                   " points exceeds the protocol limit of " +
+                                   std::to_string(kMaxBatchPoints));
+  }
+  PPC_ASSIGN_OR_RETURN(uint32_t dims, reader->GetU32());
+  if (dims == 0) {
+    return Status::InvalidArgument("PREDICT_BATCH with zero-arity points");
+  }
+  if (dims > kMaxPointDimensions) {
+    return Status::InvalidArgument("point arity " + std::to_string(dims) +
+                                   " exceeds the protocol limit of " +
+                                   std::to_string(kMaxPointDimensions));
+  }
+  request->batch_dims = dims;
+  request->batch_points.reserve(static_cast<size_t>(count) * dims);
+  for (uint64_t i = 0; i < static_cast<uint64_t>(count) * dims; ++i) {
+    PPC_ASSIGN_OR_RETURN(double v, reader->GetDouble());
+    request->batch_points.push_back(v);
+  }
+  return Status::OK();
+}
+
 Status RequireAtEnd(const ByteReader& reader) {
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after message body");
@@ -70,6 +101,8 @@ const char* MessageTypeName(MessageType type) {
       return "PING";
     case MessageType::kShutdown:
       return "SHUTDOWN";
+    case MessageType::kPredictBatch:
+      return "PREDICT_BATCH";
   }
   return "UNKNOWN";
 }
@@ -100,6 +133,11 @@ void EncodeRequest(const Request& request, std::string* out) {
     writer.PutString(request.template_name);
     writer.PutU32(static_cast<uint32_t>(request.point.size()));
     for (double v : request.point) writer.PutDouble(v);
+  } else if (request.type == MessageType::kPredictBatch) {
+    writer.PutString(request.template_name);
+    writer.PutU32(request.batch_count());
+    writer.PutU32(request.batch_dims);
+    for (double v : request.batch_points) writer.PutDouble(v);
   }
   AppendFrame(writer.buffer(), out);
 }
@@ -138,6 +176,14 @@ void EncodeResponse(const Response& response, std::string* out) {
       case MessageType::kMetrics:
         writer.PutString(response.metrics_json);
         break;
+      case MessageType::kPredictBatch:
+        writer.PutU32(static_cast<uint32_t>(response.batch.size()));
+        for (const Response::Predict& p : response.batch) {
+          writer.PutU64(p.plan);
+          writer.PutDouble(p.confidence);
+          writer.PutU8(p.cache_hit ? 1 : 0);
+        }
+        break;
       case MessageType::kPing:
       case MessageType::kShutdown:
       case MessageType::kInvalid:
@@ -160,6 +206,9 @@ Result<Request> DecodeRequest(const std::string& payload) {
   if (HasPointBody(request.type)) {
     PPC_ASSIGN_OR_RETURN(request.template_name, reader.GetString());
     PPC_ASSIGN_OR_RETURN(request.point, DecodePoint(&reader));
+  } else if (request.type == MessageType::kPredictBatch) {
+    PPC_ASSIGN_OR_RETURN(request.template_name, reader.GetString());
+    PPC_RETURN_NOT_OK(DecodeBatchBody(&reader, &request));
   }
   PPC_RETURN_NOT_OK(RequireAtEnd(reader));
   return request;
@@ -168,7 +217,7 @@ Result<Request> DecodeRequest(const std::string& payload) {
 Result<Response> DecodeResponse(const std::string& payload) {
   ByteReader reader(payload);
   PPC_ASSIGN_OR_RETURN(uint8_t type_byte, reader.GetU8());
-  if (type_byte > static_cast<uint8_t>(MessageType::kShutdown)) {
+  if (type_byte > static_cast<uint8_t>(MessageType::kPredictBatch)) {
     return Status::InvalidArgument("unknown response type " +
                                    std::to_string(type_byte));
   }
@@ -210,6 +259,25 @@ Result<Response> DecodeResponse(const std::string& payload) {
       }
       case MessageType::kMetrics: {
         PPC_ASSIGN_OR_RETURN(response.metrics_json, reader.GetString());
+        break;
+      }
+      case MessageType::kPredictBatch: {
+        PPC_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+        if (count > kMaxBatchPoints) {
+          return Status::InvalidArgument(
+              "batch of " + std::to_string(count) +
+              " answers exceeds the protocol limit of " +
+              std::to_string(kMaxBatchPoints));
+        }
+        response.batch.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          Response::Predict p;
+          PPC_ASSIGN_OR_RETURN(p.plan, reader.GetU64());
+          PPC_ASSIGN_OR_RETURN(p.confidence, reader.GetDouble());
+          PPC_ASSIGN_OR_RETURN(uint8_t hit, reader.GetU8());
+          p.cache_hit = hit != 0;
+          response.batch.push_back(p);
+        }
         break;
       }
       case MessageType::kPing:

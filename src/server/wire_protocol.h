@@ -36,6 +36,7 @@ enum class MessageType : uint8_t {
   kMetrics = 3,  ///< -> MetricsSnapshot().ToJson().
   kPing = 4,     ///< liveness probe.
   kShutdown = 5, ///< ack, then drain-and-exit.
+  kPredictBatch = 6,  ///< template + N points -> N (plan, confidence, hit).
 };
 
 enum class WireStatus : uint8_t {
@@ -57,20 +58,41 @@ const char* WireStatusName(WireStatus status);
 /// enormous allocations that its payload length alone would permit.
 inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
 inline constexpr uint32_t kMaxPointDimensions = 1024;
+/// Bounds the point count of one PREDICT_BATCH frame. Together with
+/// kMaxPointDimensions this caps a batch body's decoded size independently
+/// of the declared frame length.
+inline constexpr uint32_t kMaxBatchPoints = 1024;
 
 /// One client request. `template_name` / `point` are meaningful for
-/// kPredict and kExecute only.
+/// kPredict and kExecute only; `template_name` / `batch_dims` /
+/// `batch_points` for kPredictBatch only.
 struct Request {
   MessageType type = MessageType::kInvalid;
   uint64_t id = 0;
   std::string template_name;
   std::vector<double> point;
+
+  /// kPredictBatch body: `batch_points` holds N points of `batch_dims`
+  /// coordinates each, flattened row-major (point i is the slice
+  /// [i * batch_dims, (i + 1) * batch_dims)). The wire body is
+  /// `string template | u32 count | u32 dims | count*dims f64`, so the
+  /// contiguous layout survives the codec without per-point allocations.
+  uint32_t batch_dims = 0;
+  std::vector<double> batch_points;
+
+  /// Number of points in a kPredictBatch body.
+  uint32_t batch_count() const {
+    return batch_dims == 0
+               ? 0
+               : static_cast<uint32_t>(batch_points.size() / batch_dims);
+  }
 };
 
 /// One server response. Exactly one body section is meaningful, selected
 /// by (type, status): `error` for any non-OK status, `predict` for an OK
-/// kPredict, `execute` for an OK kExecute, `metrics_json` for an OK
-/// kMetrics; OK kPing / kShutdown have empty bodies.
+/// kPredict, `batch` for an OK kPredictBatch, `execute` for an OK
+/// kExecute, `metrics_json` for an OK kMetrics; OK kPing / kShutdown have
+/// empty bodies.
 struct Response {
   MessageType type = MessageType::kInvalid;
   uint64_t id = 0;
@@ -82,6 +104,12 @@ struct Response {
     double confidence = 0.0;
     bool cache_hit = false;
   } predict;
+
+  /// OK kPredictBatch body: one Predict per request point, in request
+  /// order. A point the predictor abstains on carries kNullPlanId with
+  /// confidence 0 — per-point abstention is an answer, not an error
+  /// (DESIGN.md §13).
+  std::vector<Predict> batch;
 
   struct Execute {
     PlanId executed_plan = kNullPlanId;

@@ -89,6 +89,70 @@ TEST(LshHistogramsTest, LearnsHalfSpace) {
   EXPECT_GT(metrics.Recall(), 0.5);
 }
 
+TEST(LshHistogramsTest, PredictBatchBitIdenticalToScalarPredict) {
+  // The acceptance bar of the batched serving path: for the same points
+  // and the same predictor state, PredictBatch must return byte-identical
+  // plans, confidences and cost estimates — EXPECT_EQ, no tolerance.
+  // Exercise both Z-range modes and a non-zero noise floor.
+  for (bool decomposition : {false, true}) {
+    auto cfg = BaseConfig();
+    cfg.interval_decomposition = decomposition;
+    cfg.noise_fraction = 0.002;
+    Rng rng(11);
+    LshHistogramsPredictor predictor(
+        cfg, SamplePoints(2, 2000, HalfSpacePlan, &rng));
+    Rng probe(13);
+    const size_t count = 100;
+    std::vector<double> flat;
+    for (size_t i = 0; i < count * 2; ++i) flat.push_back(probe.Uniform());
+    const std::vector<Prediction> batch =
+        predictor.PredictBatch(flat.data(), count);
+    ASSERT_EQ(batch.size(), count);
+    for (size_t p = 0; p < count; ++p) {
+      const Prediction scalar =
+          predictor.Predict({flat[2 * p], flat[2 * p + 1]});
+      EXPECT_EQ(batch[p].plan, scalar.plan) << "point " << p;
+      EXPECT_EQ(batch[p].confidence, scalar.confidence) << "point " << p;
+      EXPECT_EQ(batch[p].estimated_cost, scalar.estimated_cost)
+          << "point " << p;
+    }
+  }
+}
+
+TEST(LshHistogramsTest, QueryRangesBatchMatchesScalarQueryRanges) {
+  for (bool decomposition : {false, true}) {
+    auto cfg = BaseConfig();
+    cfg.interval_decomposition = decomposition;
+    LshHistogramsPredictor predictor(cfg);
+    Rng probe(17);
+    const size_t count = 40;
+    std::vector<double> flat;
+    for (size_t i = 0; i < count * 2; ++i) flat.push_back(probe.Uniform());
+    const auto batch = predictor.QueryRangesBatch(flat.data(), count);
+    for (size_t p = 0; p < count; ++p) {
+      const auto scalar = predictor.QueryRanges({flat[2 * p], flat[2 * p + 1]});
+      ASSERT_EQ(batch.size(), scalar.size());
+      for (size_t i = 0; i < scalar.size(); ++i) {
+        ASSERT_EQ(batch[i][p].size(), scalar[i].size());
+        for (size_t k = 0; k < scalar[i].size(); ++k) {
+          EXPECT_EQ(batch[i][p][k].lo, scalar[i][k].lo);
+          EXPECT_EQ(batch[i][p][k].hi, scalar[i][k].hi);
+        }
+      }
+    }
+  }
+}
+
+TEST(LshHistogramsTest, PredictBatchOnEmptyPredictorReturnsNulls) {
+  LshHistogramsPredictor predictor(BaseConfig());
+  const std::vector<double> flat = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<Prediction> batch = predictor.PredictBatch(flat.data(), 2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_FALSE(batch[0].has_value());
+  EXPECT_FALSE(batch[1].has_value());
+  EXPECT_TRUE(predictor.PredictBatch(flat.data(), 0).empty());
+}
+
 TEST(LshHistogramsTest, EstimateCostApproximatesLocalAverage) {
   Rng rng(3);
   LshHistogramsPredictor predictor(BaseConfig(),

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "ppc/metrics.h"
 #include "test_util.h"
 #include "workload/templates.h"
@@ -66,6 +68,56 @@ TEST(PpcFrameworkTest, RepeatedQueriesStartHittingCache) {
   }
   EXPECT_GT(predictions, 100u);
   EXPECT_GT(framework.plan_cache().hits(), 100u);
+}
+
+TEST(PpcFrameworkTest, PredictBatchMatchesScalarPredictAtPoint) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x = {0.5 + rng.Uniform(-0.1, 0.1),
+                             0.5 + rng.Uniform(-0.1, 0.1)};
+    ASSERT_TRUE(framework.ExecuteAtPoint("Q1", x).ok());
+  }
+  Rng probe(4);
+  const size_t count = 64;
+  std::vector<double> flat;
+  for (size_t i = 0; i < count * 2; ++i) {
+    flat.push_back(0.4 + 0.2 * probe.Uniform());
+  }
+  auto batch = framework.PredictBatch("Q1", flat.data(), count, 2);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch.value().size(), count);
+  for (size_t p = 0; p < count; ++p) {
+    auto scalar = framework.PredictAtPoint("Q1", {flat[2 * p],
+                                                  flat[2 * p + 1]});
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_EQ(batch.value()[p].plan, scalar.value().plan) << "point " << p;
+    EXPECT_EQ(batch.value()[p].confidence, scalar.value().confidence)
+        << "point " << p;
+    EXPECT_EQ(batch.value()[p].cache_hit, scalar.value().cache_hit)
+        << "point " << p;
+  }
+}
+
+TEST(PpcFrameworkTest, PredictBatchValidatesAllOrNothing) {
+  PpcFramework framework(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  const std::vector<double> good = {0.5, 0.5, 0.4, 0.6};
+  EXPECT_EQ(framework.PredictBatch("nope", good.data(), 2, 2).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(framework.PredictBatch("Q1", good.data(), 0, 2).status().code(),
+            StatusCode::kInvalidArgument);
+  // Wrong arity: Q1 has degree 2.
+  EXPECT_EQ(framework.PredictBatch("Q1", good.data(), 1, 4).status().code(),
+            StatusCode::kInvalidArgument);
+  // One non-finite coordinate poisons the whole batch (per-point partial
+  // failure is not part of the contract — DESIGN.md §13).
+  const std::vector<double> bad = {0.5, 0.5,
+                                   std::numeric_limits<double>::quiet_NaN(),
+                                   0.6};
+  EXPECT_EQ(framework.PredictBatch("Q1", bad.data(), 2, 2).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(PpcFrameworkTest, PredictionsMatchOptimizerGroundTruth) {

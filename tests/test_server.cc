@@ -110,6 +110,159 @@ TEST_F(ServerTest, PredictRoundTrip) {
   EXPECT_EQ(cold.value().plan, kNullPlanId);
 }
 
+TEST_F(ServerTest, BatchPredictionsAgreeWithScalarPointForPoint) {
+  WarmQ1(300);
+  StartServer();
+  PpcClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+
+  // Points spanning the warmed cluster and cold regions, so the batch
+  // covers both confident predictions and abstentions.
+  Rng rng(23);
+  constexpr uint32_t kDims = 2;
+  constexpr int kPoints = 48;
+  std::vector<double> flat;
+  for (int i = 0; i < kPoints; ++i) {
+    if (i % 3 == 0) {
+      // Far corner, well outside the warmed cluster's support.
+      flat.push_back(0.02 + rng.Uniform(0.0, 0.02));
+      flat.push_back(0.96 + rng.Uniform(0.0, 0.02));
+    } else {
+      flat.push_back(0.5 + rng.Uniform(-0.03, 0.03));
+      flat.push_back(0.5 + rng.Uniform(-0.03, 0.03));
+    }
+  }
+
+  auto batch = client.PredictBatch("Q1", flat, kDims);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch.value().size(), static_cast<size_t>(kPoints));
+
+  bool saw_hit = false;
+  for (int i = 0; i < kPoints; ++i) {
+    std::vector<double> x(flat.begin() + i * kDims,
+                          flat.begin() + (i + 1) * kDims);
+    auto scalar = client.Predict("Q1", x);
+    ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+    EXPECT_EQ(batch.value()[i].plan, scalar.value().plan) << "point " << i;
+    EXPECT_EQ(batch.value()[i].confidence, scalar.value().confidence)
+        << "point " << i;
+    EXPECT_EQ(batch.value()[i].cache_hit, scalar.value().cache_hit)
+        << "point " << i;
+    saw_hit |= batch.value()[i].plan != kNullPlanId;
+  }
+  // The comparison only bites if the batch contains real predictions.
+  EXPECT_TRUE(saw_hit);
+
+  // An unwarmed template abstains on every point: the batch answer is a
+  // full row of NULL plans, not an error (DESIGN.md §13).
+  auto cold = client.PredictBatch("Q3", {0.9, 0.9, 0.9, 0.1, 0.2, 0.3}, 3);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  ASSERT_EQ(cold.value().size(), 2u);
+  for (const auto& answer : cold.value()) {
+    EXPECT_EQ(answer.plan, kNullPlanId);
+    EXPECT_EQ(answer.confidence, 0.0);
+    EXPECT_FALSE(answer.cache_hit);
+  }
+}
+
+TEST_F(ServerTest, BatchSemanticErrorsAreAllOrNothing) {
+  WarmQ1(100);
+  StartServer();
+  PpcClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+
+  auto unknown = client.PredictBatch("NoSuchTemplate", {0.5, 0.5}, 2);
+  EXPECT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  auto bad_arity = client.PredictBatch("Q1", {0.5, 0.5, 0.5}, 3);
+  EXPECT_FALSE(bad_arity.ok());
+  EXPECT_EQ(bad_arity.status().code(), StatusCode::kInvalidArgument);
+
+  auto bad_coord = client.PredictBatch("Q1", {0.5, 0.5, 0.5, 1e308 * 10}, 2);
+  EXPECT_FALSE(bad_coord.ok());
+  EXPECT_EQ(bad_coord.status().code(), StatusCode::kInvalidArgument);
+
+  // The connection survives batch-level rejections.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.PredictBatch("Q1", {0.5, 0.5}, 2).ok());
+}
+
+TEST_F(ServerTest, MicrobatchedPredictsMatchUnbatchedAnswers) {
+  WarmQ1(300);
+
+  // Gate the single worker so a burst of pipelined PREDICTs piles up in
+  // the queue; on release the worker drains them as one micro-batch.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+  PlanServer::Config config;
+  config.worker_threads = 1;
+  config.queue_capacity = 64;
+  config.max_microbatch = 16;
+  config.pre_dispatch_hook = [&](wire::MessageType) {
+    if (entered.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  StartServer(config);
+
+  PpcClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  auto gate = client.SendPing();
+  ASSERT_TRUE(gate.ok());
+  while (entered.load() == 0) std::this_thread::yield();
+
+  Rng rng(29);
+  std::vector<uint64_t> ids;
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 12; ++i) {
+    const double spread = (i % 3 == 0) ? 0.45 : 0.03;
+    points.push_back({0.5 + rng.Uniform(-spread, spread),
+                      0.5 + rng.Uniform(-spread, spread)});
+    auto id = client.SendPredict("Q1", points.back());
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  while (server_->queued_requests() < 12) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+
+  ASSERT_TRUE(client.Wait(gate.value()).ok());
+  std::vector<wire::Response> responses;
+  for (uint64_t id : ids) {
+    auto response = client.Wait(id);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response.value().ok());
+    responses.push_back(response.value());
+  }
+
+  // Micro-batched answers must be indistinguishable from scalar ones.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto scalar = client.Predict("Q1", points[i]);
+    ASSERT_TRUE(scalar.ok());
+    EXPECT_EQ(responses[i].predict.plan, scalar.value().plan) << "point " << i;
+    EXPECT_EQ(responses[i].predict.confidence, scalar.value().confidence)
+        << "point " << i;
+  }
+
+  // The queue really was drained as micro-batches, not one-at-a-time.
+  auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().find("server.microbatches"), std::string::npos);
+  EXPECT_NE(metrics.value().find("server.microbatched_predicts"),
+            std::string::npos);
+  EXPECT_GT(framework_->metrics().counter("server.microbatches").value(), 0u);
+  EXPECT_GE(
+      framework_->metrics().counter("server.microbatched_predicts").value(),
+      12u);
+}
+
 TEST_F(ServerTest, ExecuteRoundTripFeedsTheOnlineLoop) {
   StartServer();
   PpcClient client;

@@ -38,6 +38,67 @@ TEST(TransformTest, OutputDimensionality) {
   EXPECT_EQ(reduce.Apply({0.1, 0.2, 0.3, 0.4, 0.5}).size(), 3u);
 }
 
+TEST(TransformTest, ApplyBatchBitIdenticalToScalarApply) {
+  // The serving fast path depends on the batch kernel producing the exact
+  // bytes the scalar path produces — EXPECT_EQ on doubles, no tolerance.
+  for (int r : {1, 2, 3, 5}) {
+    TransformConfig cfg;
+    cfg.input_dims = r;
+    cfg.output_dims = DefaultOutputDims(r);
+    Rng rng(77);
+    RandomizedTransform t(cfg, &rng);
+    Rng points(123);
+    const size_t count = 64;
+    std::vector<double> flat;
+    for (size_t i = 0; i < count * static_cast<size_t>(r); ++i) {
+      flat.push_back(points.Uniform());
+    }
+    std::vector<double> batch(count * static_cast<size_t>(cfg.output_dims));
+    t.ApplyBatch(flat.data(), count, batch.data());
+    for (size_t p = 0; p < count; ++p) {
+      const std::vector<double> x(
+          flat.begin() + static_cast<long>(p * static_cast<size_t>(r)),
+          flat.begin() + static_cast<long>((p + 1) * static_cast<size_t>(r)));
+      const std::vector<double> scalar = t.Apply(x);
+      for (size_t j = 0; j < scalar.size(); ++j) {
+        EXPECT_EQ(batch[p * scalar.size() + j], scalar[j])
+            << "r=" << r << " point " << p << " coord " << j;
+      }
+    }
+  }
+}
+
+TEST(TransformTest, LinearizedPositionBatchMatchesScalar) {
+  Rng rng(5);
+  RandomizedTransform t(Config2D(), &rng);
+  Rng points(9);
+  const size_t count = 128;
+  std::vector<double> flat;
+  for (size_t i = 0; i < count * 2; ++i) flat.push_back(points.Uniform());
+  std::vector<double> positions(count);
+  t.LinearizedPositionBatch(flat.data(), count, positions.data());
+  for (size_t p = 0; p < count; ++p) {
+    EXPECT_EQ(positions[p], t.LinearizedPosition({flat[2 * p],
+                                                  flat[2 * p + 1]}))
+        << "point " << p;
+  }
+}
+
+TEST(TransformTest, CellBoxFromTransformedMatchesCellBox) {
+  Rng rng(6);
+  RandomizedTransform t(Config2D(), &rng);
+  Rng points(10);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {points.Uniform(), points.Uniform()};
+    const std::vector<double> y = t.Apply(x);
+    std::vector<uint32_t> lo_a, hi_a, lo_b, hi_b;
+    t.CellBox(x, 0.1, &lo_a, &hi_a);
+    t.CellBoxFromTransformed(y.data(), 0.1, &lo_b, &hi_b);
+    EXPECT_EQ(lo_a, lo_b);
+    EXPECT_EQ(hi_a, hi_b);
+  }
+}
+
 TEST(TransformTest, DistancesBoundedBySqrtS) {
   // Each of the s projections onto a unit vector is 1-Lipschitz in the
   // scaled input, so the s-dimensional output distance is at most

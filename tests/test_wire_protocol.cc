@@ -27,6 +27,26 @@ Request MakePredictRequest(uint64_t id) {
   return request;
 }
 
+Request MakeBatchRequest(uint64_t id, uint32_t count, uint32_t dims) {
+  Request request;
+  request.type = MessageType::kPredictBatch;
+  request.id = id;
+  request.template_name = "Q3";
+  request.batch_dims = dims;
+  for (uint32_t p = 0; p < count; ++p) {
+    for (uint32_t j = 0; j < dims; ++j) {
+      request.batch_points.push_back(0.01 * static_cast<double>(p * dims + j));
+    }
+  }
+  return request;
+}
+
+/// Byte offset of the u32 point count in an encoded PREDICT_BATCH
+/// payload: type(1) + id(8) + name_len(4) + name.
+size_t BatchCountOffset(const Request& request) {
+  return 1 + 8 + 4 + request.template_name.size();
+}
+
 TEST(WireProtocolTest, RequestRoundTripsAllTypes) {
   for (MessageType type :
        {MessageType::kPredict, MessageType::kExecute, MessageType::kMetrics,
@@ -156,6 +176,90 @@ TEST(WireProtocolTest, RejectsOversizedPointArity) {
   EXPECT_FALSE(DecodeRequest(payload).ok());
 }
 
+TEST(WireProtocolTest, PredictBatchRequestRoundTrips) {
+  const Request request = MakeBatchRequest(21, /*count=*/5, /*dims=*/3);
+  std::string frame;
+  EncodeRequest(request, &frame);
+  auto decoded = DecodeRequest(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().type, MessageType::kPredictBatch);
+  EXPECT_EQ(decoded.value().id, 21u);
+  EXPECT_EQ(decoded.value().template_name, "Q3");
+  EXPECT_EQ(decoded.value().batch_dims, 3u);
+  EXPECT_EQ(decoded.value().batch_count(), 5u);
+  EXPECT_EQ(decoded.value().batch_points, request.batch_points);
+}
+
+TEST(WireProtocolTest, PredictBatchResponseRoundTripsIncludingNullPlans) {
+  Response response;
+  response.type = MessageType::kPredictBatch;
+  response.id = 4;
+  response.batch.push_back(Response::Predict{77, 0.9, true});
+  // An abstention is an answer: NULL plan, zero confidence, no cache hit.
+  response.batch.push_back(Response::Predict{kNullPlanId, 0.0, false});
+  response.batch.push_back(Response::Predict{12345, 0.75, false});
+  std::string frame;
+  EncodeResponse(response, &frame);
+  auto decoded = DecodeResponse(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().batch.size(), 3u);
+  EXPECT_EQ(decoded.value().batch[0].plan, 77u);
+  EXPECT_DOUBLE_EQ(decoded.value().batch[0].confidence, 0.9);
+  EXPECT_TRUE(decoded.value().batch[0].cache_hit);
+  EXPECT_EQ(decoded.value().batch[1].plan, kNullPlanId);
+  EXPECT_FALSE(decoded.value().batch[1].cache_hit);
+  EXPECT_EQ(decoded.value().batch[2].plan, 12345u);
+}
+
+TEST(WireProtocolTest, RejectsZeroLengthBatch) {
+  // A zero-point batch is semantically meaningless; the decoder refuses
+  // it outright rather than leaving each layer to special-case emptiness.
+  const Request request = MakeBatchRequest(1, /*count=*/4, /*dims=*/2);
+  std::string frame;
+  EncodeRequest(request, &frame);
+  std::string payload = PayloadOf(frame);
+  const uint32_t zero = 0;
+  std::memcpy(payload.data() + BatchCountOffset(request), &zero, sizeof(zero));
+  EXPECT_FALSE(DecodeRequest(payload).ok());
+}
+
+TEST(WireProtocolTest, RejectsZeroArityBatchPoints) {
+  const Request request = MakeBatchRequest(1, /*count=*/4, /*dims=*/2);
+  std::string frame;
+  EncodeRequest(request, &frame);
+  std::string payload = PayloadOf(frame);
+  const uint32_t zero = 0;
+  std::memcpy(payload.data() + BatchCountOffset(request) + sizeof(uint32_t),
+              &zero, sizeof(zero));
+  EXPECT_FALSE(DecodeRequest(payload).ok());
+}
+
+TEST(WireProtocolTest, RejectsOversizedBatchDeclaration) {
+  // As with point arity, a frame can declare a huge batch without
+  // carrying the doubles; the decoder must refuse before sizing any
+  // allocation from the claim.
+  const Request request = MakeBatchRequest(1, /*count=*/2, /*dims=*/2);
+  std::string frame;
+  EncodeRequest(request, &frame);
+  std::string payload = PayloadOf(frame);
+  const uint32_t huge = kMaxBatchPoints + 1;
+  std::memcpy(payload.data() + BatchCountOffset(request), &huge, sizeof(huge));
+  EXPECT_FALSE(DecodeRequest(payload).ok());
+}
+
+TEST(WireProtocolTest, RejectsTruncatedBatchBodies) {
+  // Every strict prefix of a batch payload must fail: mid-count,
+  // mid-dims, and anywhere inside the flattened coordinate block.
+  const Request request = MakeBatchRequest(1, /*count=*/8, /*dims=*/3);
+  std::string frame;
+  EncodeRequest(request, &frame);
+  const std::string payload = PayloadOf(frame);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeRequest(payload.substr(0, cut)).ok())
+        << "truncation at " << cut << " of " << payload.size();
+  }
+}
+
 TEST(FrameBufferTest, ReassemblesByteByByte) {
   std::string frame;
   EncodeRequest(MakePredictRequest(5), &frame);
@@ -228,18 +332,30 @@ class WireProtocolFuzzTest : public ::testing::Test {
   /// A pseudo-random but decodable request of any type.
   Request RandomRequest() {
     Request request;
-    request.type = static_cast<MessageType>(1 + rng_.UniformInt(uint64_t{5}));
+    request.type = static_cast<MessageType>(1 + rng_.UniformInt(uint64_t{6}));
     request.id = rng_.Next();
     if (request.type == MessageType::kPredict ||
-        request.type == MessageType::kExecute) {
+        request.type == MessageType::kExecute ||
+        request.type == MessageType::kPredictBatch) {
       const uint64_t name_len = rng_.UniformInt(uint64_t{8});
       for (uint64_t i = 0; i < name_len; ++i) {
         request.template_name.push_back(
             static_cast<char>('A' + rng_.UniformInt(uint64_t{26})));
       }
+    }
+    if (request.type == MessageType::kPredict ||
+        request.type == MessageType::kExecute) {
       const uint64_t dims = rng_.UniformInt(uint64_t{6});
       for (uint64_t i = 0; i < dims; ++i) {
         request.point.push_back(rng_.Uniform());
+      }
+    } else if (request.type == MessageType::kPredictBatch) {
+      // A decodable batch needs count >= 1 and dims >= 1.
+      const uint64_t count = 1 + rng_.UniformInt(uint64_t{8});
+      const uint64_t dims = 1 + rng_.UniformInt(uint64_t{5});
+      request.batch_dims = static_cast<uint32_t>(dims);
+      for (uint64_t i = 0; i < count * dims; ++i) {
+        request.batch_points.push_back(rng_.Uniform());
       }
     }
     return request;
