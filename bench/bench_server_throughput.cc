@@ -29,6 +29,7 @@
 #include "bench_util.h"
 #include "ppc/ppc_framework.h"
 #include "server/client.h"
+#include "server/failpoints.h"
 #include "server/server.h"
 
 namespace ppc {
@@ -49,6 +50,16 @@ const char* const kTemplates[] = {"Q1", "Q3", "Q5", "Q8"};
 /// round trips and once as PREDICT_BATCH frames of this many points.
 constexpr uint32_t kBatchSize = 32;
 constexpr size_t kBatchPointsPerClient = 4096;
+/// Degraded-mode phase (DESIGN.md §14): a second server with a small
+/// queue, 1% short writes injected at the send failpoint, and more client
+/// threads than the queue + workers can hold, so BUSY backpressure and
+/// the shedding ladder actually engage; clients retry under a RetryPolicy.
+constexpr int kDegradedClientThreads = 12;
+constexpr int kDegradedServerWorkers = 2;
+constexpr size_t kDegradedQueueCapacity = 8;
+constexpr size_t kDegradedPerClient = 300;
+constexpr uint32_t kDegradedShortIoPermille = 10;  // 1% of sends
+constexpr int64_t kDegradedCallDeadlineMs = 2000;
 
 PpcFramework::Config ServingConfig() {
   PpcFramework::Config cfg;
@@ -284,6 +295,63 @@ PhaseStats RunOpenLoop(uint16_t port, const std::vector<Query>& workload,
     });
   }
   for (auto& c : clients) c.join();
+  return Merge(&stats, std::chrono::duration<double>(Clock::now() - start)
+                           .count());
+}
+
+/// Summed PpcClient::TransportStats across the degraded phase's clients.
+struct TransportTotals {
+  uint64_t busy_retries = 0;
+  uint64_t connect_retries = 0;
+  uint64_t reconnects = 0;
+  uint64_t deadlines_exceeded = 0;
+};
+
+/// Closed loop against the degraded server: every client runs with a
+/// per-call deadline and a retry policy, so BUSY answers are absorbed by
+/// backoff instead of being dropped on the floor.
+PhaseStats RunDegradedClosedLoop(uint16_t port,
+                                 const std::vector<Query>& workload,
+                                 const PpcClient::Options& options,
+                                 TransportTotals* transport) {
+  std::vector<ClientStats> stats(kDegradedClientThreads);
+  std::vector<TransportTotals> per_client(kDegradedClientThreads);
+  std::vector<std::thread> clients;
+  const auto start = Clock::now();
+  for (int t = 0; t < kDegradedClientThreads; ++t) {
+    clients.emplace_back([port, t, &workload, &stats, &per_client,
+                          &options] {
+      ClientStats& mine = stats[static_cast<size_t>(t)];
+      PpcClient::Options my_options = options;
+      // Distinct backoff streams, so the retrying clients do not march in
+      // lockstep into the same queue-full window.
+      my_options.retry.seed = options.retry.seed + static_cast<uint64_t>(t);
+      PpcClient client(my_options);
+      if (!client.Connect("127.0.0.1", port).ok()) {
+        mine.failures += kDegradedPerClient;
+        return;
+      }
+      Rng rng(3000 + static_cast<uint64_t>(t));
+      for (size_t i = 0; i < kDegradedPerClient; ++i) {
+        const Query& q =
+            workload[(static_cast<size_t>(t) * kDegradedPerClient + i) %
+                     workload.size()];
+        RunOne(&client, q, PickKind(&rng), &mine);
+      }
+      const PpcClient::TransportStats& ts = client.transport_stats();
+      per_client[static_cast<size_t>(t)] = {ts.busy_retries,
+                                            ts.connect_retries,
+                                            ts.reconnects,
+                                            ts.deadlines_exceeded};
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (const TransportTotals& ts : per_client) {
+    transport->busy_retries += ts.busy_retries;
+    transport->connect_retries += ts.connect_retries;
+    transport->reconnects += ts.reconnects;
+    transport->deadlines_exceeded += ts.deadlines_exceeded;
+  }
   return Merge(&stats, std::chrono::duration<double>(Clock::now() - start)
                            .count());
 }
@@ -548,6 +616,67 @@ void Run() {
   }
   server.Wait();
 
+  // Degraded-mode phase (DESIGN.md §14): a fresh server with a small
+  // queue, driven by more retrying clients than queue + workers can
+  // hold, with 1% of send() calls clamped to one byte by the kSend
+  // failpoint — the clean numbers above are untouched because the
+  // failpoint is armed only while this phase runs.
+  PlanServer::Config degraded_config;
+  degraded_config.worker_threads = kDegradedServerWorkers;
+  degraded_config.queue_capacity = kDegradedQueueCapacity;
+  PlanServer degraded_server(&framework, degraded_config);
+  {
+    const Status s = degraded_server.Start();
+    PPC_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  std::printf(
+      "degraded server listening on 127.0.0.1:%u "
+      "(queue %zu, %d workers, %u permille short writes)\n",
+      degraded_server.port(), kDegradedQueueCapacity, kDegradedServerWorkers,
+      kDegradedShortIoPermille);
+
+  failpoints::Config fault;
+  fault.kind = failpoints::Kind::kShortIo;
+  fault.arg = 1;
+  fault.probability_permille = kDegradedShortIoPermille;
+  fault.seed = 23;
+  failpoints::Arm(failpoints::Site::kSend, fault);
+
+  PpcClient::Options degraded_options;
+  degraded_options.call_deadline_ms = kDegradedCallDeadlineMs;
+  degraded_options.retry.max_attempts = 4;
+  degraded_options.retry.initial_backoff_ms = 1;
+  degraded_options.retry.max_backoff_ms = 50;
+
+  TransportTotals transport;
+  const PhaseStats degraded = RunDegradedClosedLoop(
+      degraded_server.port(), workload, degraded_options, &transport);
+  failpoints::DisarmAll();
+  PrintPhase("degraded loop", degraded);
+  std::printf(
+      "degraded transport: %llu busy retries, %llu reconnects, "
+      "%llu connect retries, %llu deadlines exceeded\n",
+      static_cast<unsigned long long>(transport.busy_retries),
+      static_cast<unsigned long long>(transport.reconnects),
+      static_cast<unsigned long long>(transport.connect_retries),
+      static_cast<unsigned long long>(transport.deadlines_exceeded));
+  PrintRule();
+  // Degradation must not become outage: the phase has to make progress.
+  PPC_CHECK_MSG(degraded.total() > 0, "degraded phase made no progress");
+
+  std::string degraded_metrics_json = "{}";
+  {
+    PpcClient client;
+    const Status s = client.Connect("127.0.0.1", degraded_server.port());
+    PPC_CHECK_MSG(s.ok(), s.ToString().c_str());
+    auto metrics = client.Metrics();
+    PPC_CHECK_MSG(metrics.ok(), metrics.status().ToString().c_str());
+    degraded_metrics_json = std::move(metrics).value();
+    const Status down = client.Shutdown();
+    PPC_CHECK_MSG(down.ok(), down.ToString().c_str());
+  }
+  degraded_server.Wait();
+
   std::string body = "  \"hardware_threads\": " +
                      std::to_string(std::thread::hardware_concurrency());
   body += ",\n  \"server_workers\": " + std::to_string(kServerWorkers);
@@ -562,6 +691,33 @@ void Run() {
   body += ", \"speedup\": " + JsonNumber(batch_speedup);
   body += ", \"scalar\": " + BatchPhaseJson(scalar_phase);
   body += ", \"batch\": " + BatchPhaseJson(batch_phase);
+  body += "}";
+  body += ",\n  \"degraded\": {\"queue_capacity\": " +
+          std::to_string(kDegradedQueueCapacity);
+  body += ", \"server_workers\": " + std::to_string(kDegradedServerWorkers);
+  body += ", \"client_threads\": " + std::to_string(kDegradedClientThreads);
+  body += ", \"fault\": {\"site\": \"send\", \"kind\": \"short_io\", "
+          "\"arg\": 1, \"probability_permille\": " +
+          std::to_string(kDegradedShortIoPermille) + "}";
+  body += ", \"call_deadline_ms\": " +
+          std::to_string(kDegradedCallDeadlineMs);
+  body += ", \"retry_policy\": {\"max_attempts\": " +
+          std::to_string(degraded_options.retry.max_attempts) +
+          ", \"initial_backoff_ms\": " +
+          std::to_string(degraded_options.retry.initial_backoff_ms) +
+          ", \"max_backoff_ms\": " +
+          std::to_string(degraded_options.retry.max_backoff_ms) +
+          ", \"multiplier\": " +
+          JsonNumber(degraded_options.retry.multiplier) +
+          ", \"jitter\": " + JsonNumber(degraded_options.retry.jitter) + "}";
+  body += ", \"phase\": " + PhaseJson(degraded);
+  body += ", \"transport\": {\"busy_retries\": " +
+          std::to_string(transport.busy_retries) +
+          ", \"connect_retries\": " + std::to_string(transport.connect_retries) +
+          ", \"reconnects\": " + std::to_string(transport.reconnects) +
+          ", \"deadlines_exceeded\": " +
+          std::to_string(transport.deadlines_exceeded) + "}";
+  body += ", \"server_metrics\": " + degraded_metrics_json;
   body += "}";
   body += ",\n  \"server_metrics\": " + metrics_json;
   WriteBenchJson("server_throughput", body);

@@ -5,7 +5,11 @@
 #   3. the JSON-emitting benches + validation of every BENCH_*.json,
 #   4. server smoke test (live TCP round-trips + clean shutdown),
 #   5. ASan build + the entire test suite,
-#   6. TSan build + the concurrency, metrics and server tests.
+#   6. TSan build + the concurrency, metrics and server tests,
+#   7. chaos stage: the randomized fault-injection tests (ctest label
+#      `chaos`) under both sanitizers.
+# The deterministic ctest stages exclude the chaos label (-LE chaos) so
+# their runtime stays flat; the chaos stage runs it explicitly (-L chaos).
 # Usage: scripts/check.sh [--skip-sanitizers]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,7 +24,7 @@ python3 scripts/check_docs.py
 echo "==> plain build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
-(cd build && ctest --output-on-failure -j "$JOBS")
+(cd build && ctest --output-on-failure -LE chaos -j "$JOBS")
 
 echo "==> machine-readable bench output (BENCH_*.json) is valid JSON"
 (
@@ -56,15 +60,23 @@ echo "==> AddressSanitizer build + full test suite"
 cmake -B build-asan -S . -DPPC_SANITIZE=address \
   -DPPC_BUILD_BENCHMARKS=OFF -DPPC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$JOBS"
-(cd build-asan && ctest --output-on-failure -j "$JOBS")
+(cd build-asan && ctest --output-on-failure -LE chaos -j "$JOBS")
 
 echo "==> ThreadSanitizer build + concurrency, metrics and server tests"
 cmake -B build-tsan -S . -DPPC_SANITIZE=thread \
   -DPPC_BUILD_BENCHMARKS=OFF -DPPC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && \
-  ctest --output-on-failure \
+  ctest --output-on-failure -LE chaos \
     -R 'Concurrent|MetricsRegistry|FrameworkMetrics|Server' \
     -j "$JOBS")
+
+# Chaos stage: randomized mixed traffic against a live server while a
+# saboteur thread arms and disarms failpoints (tests/test_server.cc,
+# *Chaos*). Runs serially — the chaos test owns the process-global
+# failpoint registry. PPC_CHAOS_SECONDS / PPC_CHAOS_SEED tune the run.
+echo "==> chaos stage (fault injection under ASan + TSan, label 'chaos')"
+(cd build-asan && ctest --output-on-failure -L chaos)
+(cd build-tsan && ctest --output-on-failure -L chaos)
 
 echo "==> all checks passed"

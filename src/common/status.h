@@ -21,6 +21,12 @@ enum class StatusCode {
   kUnimplemented,
   kResourceExhausted,
   kFailedPrecondition,
+  /// A deadline elapsed before the operation completed. Distinct from
+  /// kUnavailable so network callers can tell a timeout (retry may help)
+  /// from a peer that is gone (reconnect first).
+  kDeadlineExceeded,
+  /// The other side of a connection is gone (clean close or reset).
+  kUnavailable,
 };
 
 /// Returns a human-readable name for a status code ("OK", "NotFound", ...).
@@ -63,6 +69,12 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,16 +2,37 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
 #include <utility>
-
-#include "server/net_util.h"
 
 namespace ppc {
 
+PpcClient::PpcClient(const Options& options)
+    : options_(options), backoff_rng_(options.retry.seed) {}
+
 Status PpcClient::Connect(const std::string& host, uint16_t port) {
   if (connected()) return Status::FailedPrecondition("already connected");
-  PPC_ASSIGN_OR_RETURN(fd_, net::Connect(host, port));
-  return Status::OK();
+  host_ = host;
+  port_ = port;
+  const net::Deadline deadline = CallDeadline();
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  Status last = Status::Internal("connect never attempted");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.connect_retries;
+      if (!BackoffBeforeRetry(attempt - 1, deadline)) break;
+    }
+    Result<int> fd = net::Connect(host, port);
+    if (fd.ok()) {
+      fd_ = fd.value();
+      return Status::OK();
+    }
+    last = fd.status();
+  }
+  return last;
 }
 
 void PpcClient::Close() {
@@ -19,7 +40,86 @@ void PpcClient::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+  frames_.Reset();
   parked_.clear();
+}
+
+bool PpcClient::BackoffBeforeRetry(int attempt,
+                                   const net::Deadline& deadline) {
+  const RetryPolicy& retry = options_.retry;
+  double backoff_ms = static_cast<double>(retry.initial_backoff_ms);
+  for (int i = 0; i < attempt; ++i) backoff_ms *= retry.multiplier;
+  backoff_ms = std::min(backoff_ms, static_cast<double>(retry.max_backoff_ms));
+  const double jitter = std::clamp(retry.jitter, 0.0, 1.0);
+  backoff_ms *= 1.0 - jitter + 2.0 * jitter * backoff_rng_.Uniform();
+  const int64_t sleep_ms = std::max<int64_t>(0, std::llround(backoff_ms));
+  // A backoff the deadline cannot absorb means the retry would wake up
+  // already expired — report exhaustion instead of sleeping pointlessly.
+  if (!deadline.infinite() && deadline.PollTimeoutMs() < sleep_ms) {
+    return false;
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return true;
+}
+
+Status PpcClient::SendEncoded(const std::string& frame,
+                              const net::Deadline& deadline) {
+  Status status = net::WriteAll(fd_, frame.data(), frame.size(), deadline);
+  if (!status.ok()) {
+    // Whatever was mid-frame is unrecoverable; the stream is dead either
+    // way (deadline, peer loss, or hard error).
+    Close();
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadlines_exceeded;
+    }
+  }
+  return status;
+}
+
+Result<wire::Response> PpcClient::RoundTrip(wire::Request request) {
+  const net::Deadline deadline = CallDeadline();
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  Status last = Status::Internal("round trip never attempted");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && !BackoffBeforeRetry(attempt - 1, deadline)) break;
+    if (!connected()) {
+      // Only attempt to re-establish a connection we made ourselves;
+      // without a remembered endpoint this is a plain usage error.
+      if (host_.empty()) return Status::FailedPrecondition("not connected");
+      Result<int> fd = net::Connect(host_, port_);
+      if (!fd.ok()) {
+        // Transient connect failures are the second retryable class
+        // (besides BUSY): nothing was sent, so retrying is always safe.
+        last = fd.status();
+        ++stats_.connect_retries;
+        continue;
+      }
+      fd_ = fd.value();
+      ++stats_.reconnects;
+    }
+    request.id = next_id_++;
+    std::string frame;
+    wire::EncodeRequest(request, &frame);
+    Status sent = SendEncoded(frame, deadline);
+    // A send failure is NOT retried automatically: part of the frame may
+    // already be on the wire, and re-sending an EXECUTE would run the
+    // query twice. The caller decides (the request id was never answered).
+    if (!sent.ok()) return sent;
+    Result<wire::Response> response = ReadUntil(request.id, deadline);
+    if (!response.ok()) return response.status();
+    if (response.value().status == wire::WireStatus::kBusy &&
+        attempt + 1 < attempts) {
+      // BUSY is the server's explicit "not admitted" — safe to retry.
+      ++stats_.busy_retries;
+      last = wire::ToStatus(response.value().status,
+                            response.value().error);
+      continue;
+    }
+    return response;
+  }
+  return last;
 }
 
 Result<uint64_t> PpcClient::SendRequest(wire::MessageType type,
@@ -33,10 +133,7 @@ Result<uint64_t> PpcClient::SendRequest(wire::MessageType type,
   request.point = point;
   std::string frame;
   wire::EncodeRequest(request, &frame);
-  if (!net::SendAll(fd_, frame.data(), frame.size())) {
-    Close();
-    return Status::Internal("send failed; connection closed");
-  }
+  PPC_RETURN_NOT_OK(SendEncoded(frame, CallDeadline()));
   return request.id;
 }
 
@@ -61,10 +158,7 @@ Result<uint64_t> PpcClient::SendPredictBatch(
   request.batch_points = points;
   std::string frame;
   wire::EncodeRequest(request, &frame);
-  if (!net::SendAll(fd_, frame.data(), frame.size())) {
-    Close();
-    return Status::Internal("send failed; connection closed");
-  }
+  PPC_RETURN_NOT_OK(SendEncoded(frame, CallDeadline()));
   return request.id;
 }
 
@@ -88,39 +182,61 @@ Result<wire::Response> PpcClient::Wait(uint64_t id) {
     parked_.erase(parked);
     return response;
   }
-  return ReadUntil(id);
+  return ReadUntil(id, CallDeadline());
 }
 
-Result<wire::Response> PpcClient::ReadUntil(uint64_t id) {
+Result<wire::Response> PpcClient::ReadUntil(uint64_t id,
+                                            const net::Deadline& deadline) {
   if (!connected()) return Status::FailedPrecondition("not connected");
   char buffer[16 * 1024];
   while (true) {
     // Deframe everything already buffered before touching the socket.
     std::string payload;
     while (true) {
-      PPC_ASSIGN_OR_RETURN(bool have, frames_.Next(&payload));
-      if (!have) break;
-      PPC_ASSIGN_OR_RETURN(wire::Response response,
-                           wire::DecodeResponse(payload));
-      if (response.id == id) return response;
-      parked_[response.id] = std::move(response);
+      Result<bool> have = frames_.Next(&payload);
+      if (!have.ok()) {
+        Close();
+        return have.status();
+      }
+      if (!have.value()) break;
+      Result<wire::Response> decoded = wire::DecodeResponse(payload);
+      if (!decoded.ok()) {
+        Close();
+        return decoded.status();
+      }
+      if (decoded.value().id == id) return std::move(decoded.value());
+      parked_[decoded.value().id] = std::move(decoded.value());
     }
-    PPC_ASSIGN_OR_RETURN(size_t received,
-                         net::RecvSome(fd_, buffer, sizeof(buffer)));
-    if (received == 0) {
+    Result<size_t> received =
+        net::RecvSome(fd_, buffer, sizeof(buffer), deadline);
+    if (!received.ok()) {
+      // After a timeout the stream can no longer be matched to request
+      // ids (the response may arrive later, half-read) — close it.
       Close();
-      return Status::Internal(
+      if (received.status().code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.deadlines_exceeded;
+        return Status::DeadlineExceeded(
+            "deadline expired while awaiting response " + std::to_string(id));
+      }
+      return received.status();
+    }
+    if (received.value() == 0) {
+      Close();
+      return Status::Unavailable(
           "connection closed by server while awaiting response " +
           std::to_string(id));
     }
-    frames_.Append(buffer, received);
+    frames_.Append(buffer, received.value());
   }
 }
 
 Result<PpcClient::PredictResult> PpcClient::Predict(
     const std::string& template_name, const std::vector<double>& point) {
-  PPC_ASSIGN_OR_RETURN(uint64_t id, SendPredict(template_name, point));
-  PPC_ASSIGN_OR_RETURN(wire::Response response, Wait(id));
+  wire::Request request;
+  request.type = wire::MessageType::kPredict;
+  request.template_name = template_name;
+  request.point = point;
+  PPC_ASSIGN_OR_RETURN(wire::Response response, RoundTrip(std::move(request)));
   PPC_RETURN_NOT_OK(wire::ToStatus(response.status, response.error));
   return PredictResult{response.predict.plan, response.predict.confidence,
                        response.predict.cache_hit};
@@ -129,9 +245,16 @@ Result<PpcClient::PredictResult> PpcClient::Predict(
 Result<std::vector<PpcClient::PredictResult>> PpcClient::PredictBatch(
     const std::string& template_name, const std::vector<double>& points,
     uint32_t dims) {
-  PPC_ASSIGN_OR_RETURN(uint64_t id,
-                       SendPredictBatch(template_name, points, dims));
-  PPC_ASSIGN_OR_RETURN(wire::Response response, Wait(id));
+  if (dims == 0 || points.empty() || points.size() % dims != 0) {
+    return Status::InvalidArgument(
+        "batch points must be a non-empty multiple of dims doubles");
+  }
+  wire::Request request;
+  request.type = wire::MessageType::kPredictBatch;
+  request.template_name = template_name;
+  request.batch_dims = dims;
+  request.batch_points = points;
+  PPC_ASSIGN_OR_RETURN(wire::Response response, RoundTrip(std::move(request)));
   PPC_RETURN_NOT_OK(wire::ToStatus(response.status, response.error));
   std::vector<PredictResult> results;
   results.reserve(response.batch.size());
@@ -143,29 +266,34 @@ Result<std::vector<PpcClient::PredictResult>> PpcClient::PredictBatch(
 
 Result<wire::Response::Execute> PpcClient::Execute(
     const std::string& template_name, const std::vector<double>& point) {
-  PPC_ASSIGN_OR_RETURN(uint64_t id, SendExecute(template_name, point));
-  PPC_ASSIGN_OR_RETURN(wire::Response response, Wait(id));
+  wire::Request request;
+  request.type = wire::MessageType::kExecute;
+  request.template_name = template_name;
+  request.point = point;
+  PPC_ASSIGN_OR_RETURN(wire::Response response, RoundTrip(std::move(request)));
   PPC_RETURN_NOT_OK(wire::ToStatus(response.status, response.error));
   return response.execute;
 }
 
 Result<std::string> PpcClient::Metrics() {
-  PPC_ASSIGN_OR_RETURN(uint64_t id,
-                       SendRequest(wire::MessageType::kMetrics, {}, {}));
-  PPC_ASSIGN_OR_RETURN(wire::Response response, Wait(id));
+  wire::Request request;
+  request.type = wire::MessageType::kMetrics;
+  PPC_ASSIGN_OR_RETURN(wire::Response response, RoundTrip(std::move(request)));
   PPC_RETURN_NOT_OK(wire::ToStatus(response.status, response.error));
   return std::move(response.metrics_json);
 }
 
 Status PpcClient::Ping() {
-  PPC_ASSIGN_OR_RETURN(uint64_t id, SendPing());
-  PPC_ASSIGN_OR_RETURN(wire::Response response, Wait(id));
+  wire::Request request;
+  request.type = wire::MessageType::kPing;
+  PPC_ASSIGN_OR_RETURN(wire::Response response, RoundTrip(std::move(request)));
   return wire::ToStatus(response.status, response.error);
 }
 
 Status PpcClient::Shutdown() {
-  PPC_ASSIGN_OR_RETURN(uint64_t id, SendShutdown());
-  PPC_ASSIGN_OR_RETURN(wire::Response response, Wait(id));
+  wire::Request request;
+  request.type = wire::MessageType::kShutdown;
+  PPC_ASSIGN_OR_RETURN(wire::Response response, RoundTrip(std::move(request)));
   return wire::ToStatus(response.status, response.error);
 }
 

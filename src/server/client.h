@@ -6,11 +6,30 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/status.h"
 #include "plan/fingerprint.h"
+#include "server/net_util.h"
 #include "server/wire_protocol.h"
 
 namespace ppc {
+
+/// How a PpcClient retries recoverable failures: BUSY answers (the
+/// server's backpressure — the request was *not* executed, so retrying is
+/// always safe) and transient connect failures. Backoff is capped
+/// exponential with multiplicative jitter, from a seeded stream so load
+/// tests are reproducible. The default policy does not retry at all —
+/// exactly the pre-PR-5 behavior.
+struct RetryPolicy {
+  /// Total attempts, including the first; 1 disables retries.
+  int max_attempts = 1;
+  int64_t initial_backoff_ms = 2;
+  int64_t max_backoff_ms = 200;
+  double multiplier = 2.0;
+  /// Each backoff is scaled by a uniform draw from [1-jitter, 1+jitter].
+  double jitter = 0.2;
+  uint64_t seed = 0x5eed;
+};
 
 /// Blocking client for the plan-prediction server (server/server.h).
 ///
@@ -24,22 +43,48 @@ namespace ppc {
 ///     single connection saturate the server's worker pool. Responses
 ///     arriving out of order are parked until their Wait() call.
 ///
+/// Resilience (DESIGN.md §14): every call observes the per-call deadline
+/// in Options (DeadlineExceeded closes the connection — the stream can no
+/// longer be matched to ids), synchronous calls retry BUSY answers under
+/// the RetryPolicy, and Connect retries transient failures the same way.
+///
 /// Not thread-safe: use one PpcClient per thread (the load generator in
 /// bench/bench_server_throughput.cc does exactly that).
 class PpcClient {
  public:
-  PpcClient() = default;
+  struct Options {
+    /// Wall-clock budget per synchronous call / per Wait(), spanning all
+    /// retry attempts. 0 = wait forever (the pre-PR-5 behavior).
+    int64_t call_deadline_ms = 0;
+    RetryPolicy retry;
+  };
+
+  PpcClient() : PpcClient(Options{}) {}
+  explicit PpcClient(const Options& options);
   ~PpcClient() { Close(); }
 
   PpcClient(const PpcClient&) = delete;
   PpcClient& operator=(const PpcClient&) = delete;
 
+  /// Connects (retrying transient failures per the RetryPolicy) and
+  /// remembers host:port so later calls can reconnect after a loss.
   Status Connect(const std::string& host, uint16_t port);
   void Close();
   bool connected() const { return fd_ >= 0; }
 
+  /// Cumulative resilience accounting (reset by neither Close nor
+  /// Connect), surfaced in the bench load generator's output.
+  struct TransportStats {
+    uint64_t busy_retries = 0;
+    uint64_t connect_retries = 0;
+    uint64_t reconnects = 0;
+    uint64_t deadlines_exceeded = 0;
+  };
+  const TransportStats& transport_stats() const { return stats_; }
+
   /// --- Synchronous API. Non-OK wire statuses map to Status codes via
-  /// wire::ToStatus (BUSY -> ResourceExhausted, etc.). ---
+  /// wire::ToStatus (BUSY -> ResourceExhausted, etc.); BUSY is retried
+  /// per the RetryPolicy before surfacing. ---
 
   struct PredictResult {
     PlanId plan = kNullPlanId;
@@ -84,19 +129,35 @@ class PpcClient {
   Result<uint64_t> SendPing();
   Result<uint64_t> SendShutdown();
 
-  /// Blocks until the response for `id` arrives (responses for other
-  /// outstanding ids are parked for their own Wait calls). The returned
-  /// Response may itself carry a non-OK wire status (e.g. BUSY) — the
-  /// Result is non-OK only for transport/protocol failures.
+  /// Blocks until the response for `id` arrives or the per-call deadline
+  /// expires (responses for other outstanding ids are parked for their
+  /// own Wait calls). The returned Response may itself carry a non-OK
+  /// wire status (e.g. BUSY) — the Result is non-OK only for
+  /// transport/protocol failures and deadline expiry.
   Result<wire::Response> Wait(uint64_t id);
 
  private:
+  /// One synchronous round trip with BUSY-retry and reconnect-on-loss.
+  /// Assigns the request id (fresh per attempt).
+  Result<wire::Response> RoundTrip(wire::Request request);
+  Status SendEncoded(const std::string& frame, const net::Deadline& deadline);
   Result<uint64_t> SendRequest(wire::MessageType type,
                                const std::string& template_name,
                                const std::vector<double>& point);
   /// Reads frames off the socket until `id`'s response shows up.
-  Result<wire::Response> ReadUntil(uint64_t id);
+  Result<wire::Response> ReadUntil(uint64_t id, const net::Deadline& deadline);
+  /// Sleeps the capped-exponential backoff for 0-based retry `attempt`,
+  /// bounded by `deadline`; false when the deadline cannot absorb it.
+  bool BackoffBeforeRetry(int attempt, const net::Deadline& deadline);
+  net::Deadline CallDeadline() const {
+    return net::Deadline::AfterMsOrInfinite(options_.call_deadline_ms);
+  }
 
+  Options options_;
+  Rng backoff_rng_;
+  TransportStats stats_;
+  std::string host_;
+  uint16_t port_ = 0;
   int fd_ = -1;
   uint64_t next_id_ = 1;
   wire::FrameBuffer frames_;

@@ -1,0 +1,130 @@
+#include "server/failpoints.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace ppc {
+namespace failpoints {
+
+namespace detail {
+std::atomic<uint32_t> g_armed_mask{0};
+}  // namespace detail
+
+namespace {
+
+constexpr size_t kSites = static_cast<size_t>(Site::kSiteCount);
+
+/// Mutable per-site state, guarded by g_mu. The slow path is only taken
+/// while the site's mask bit is set, so contention exists only in tests
+/// that armed the site — production traffic never touches this mutex.
+struct SiteState {
+  Config config;
+  Rng rng{1};
+  uint64_t eligible_hits = 0;  // counts toward `every`
+  int64_t remaining_budget = -1;
+};
+
+std::mutex g_mu;
+SiteState g_sites[kSites];
+std::atomic<uint64_t> g_hits[kSites];
+std::atomic<uint64_t> g_fired[kSites];
+
+}  // namespace
+
+const char* SiteName(Site site) {
+  switch (site) {
+    case Site::kRecv:
+      return "recv";
+    case Site::kSend:
+      return "send";
+    case Site::kAccept:
+      return "accept";
+    case Site::kEnqueue:
+      return "enqueue";
+    case Site::kDispatch:
+      return "dispatch";
+    case Site::kSiteCount:
+      break;
+  }
+  return "unknown";
+}
+
+void Arm(Site site, const Config& config) {
+  const size_t i = static_cast<size_t>(site);
+  PPC_CHECK(i < kSites);
+  PPC_CHECK_MSG(config.kind != Kind::kNone, "arm with a real Kind");
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    SiteState& state = g_sites[i];
+    state.config = config;
+    if (state.config.every == 0) state.config.every = 1;
+    state.rng = Rng(config.seed);
+    state.eligible_hits = 0;
+    state.remaining_budget = config.budget;
+  }
+  g_hits[i].store(0, std::memory_order_relaxed);
+  g_fired[i].store(0, std::memory_order_relaxed);
+  detail::g_armed_mask.fetch_or(1u << i, std::memory_order_release);
+}
+
+void Disarm(Site site) {
+  const size_t i = static_cast<size_t>(site);
+  PPC_CHECK(i < kSites);
+  detail::g_armed_mask.fetch_and(~(1u << i), std::memory_order_release);
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_sites[i].config = Config{};
+}
+
+void DisarmAll() {
+  detail::g_armed_mask.store(0, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(g_mu);
+  for (SiteState& state : g_sites) state.config = Config{};
+}
+
+uint64_t HitCount(Site site) {
+  return g_hits[static_cast<size_t>(site)].load(std::memory_order_relaxed);
+}
+
+uint64_t FiredCount(Site site) {
+  return g_fired[static_cast<size_t>(site)].load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+Action EvaluateSlow(Site site) {
+  const size_t i = static_cast<size_t>(site);
+  g_hits[i].fetch_add(1, std::memory_order_relaxed);
+  Action action;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    SiteState& state = g_sites[i];
+    // Disarm may have raced the mask check; treat as a miss.
+    if (state.config.kind == Kind::kNone) return action;
+    if (state.remaining_budget == 0) return action;
+    if (++state.eligible_hits % state.config.every != 0) return action;
+    if (state.config.probability_permille < 1000 &&
+        state.rng.UniformInt(uint64_t{1000}) >=
+            state.config.probability_permille) {
+      return action;
+    }
+    if (state.remaining_budget > 0) --state.remaining_budget;
+    action.kind = state.config.kind;
+    action.arg = state.config.arg;
+  }
+  g_fired[i].fetch_add(1, std::memory_order_relaxed);
+  return action;
+}
+
+}  // namespace detail
+
+void MaybeStall(const Action& action) {
+  if (action.kind != Kind::kStallMs) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(action.arg));
+}
+
+}  // namespace failpoints
+}  // namespace ppc

@@ -10,6 +10,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "server/failpoints.h"
+
 namespace ppc {
 namespace net {
 
@@ -17,6 +23,11 @@ namespace {
 
 Status Errno(const std::string& what) {
   return Status::Internal(what + ": " + ::strerror(errno));
+}
+
+bool ErrnoMeansPeerGone(int err) {
+  return err == EPIPE || err == ECONNRESET || err == ENOTCONN ||
+         err == ESHUTDOWN;
 }
 
 Result<sockaddr_in> MakeAddress(const std::string& host, uint16_t port) {
@@ -29,7 +40,36 @@ Result<sockaddr_in> MakeAddress(const std::string& host, uint16_t port) {
   return addr;
 }
 
+/// Waits for `events` on `fd` until the deadline. OK when ready,
+/// DeadlineExceeded when time ran out, Internal on a poll failure.
+Status PollFor(int fd, short events, const Deadline& deadline) {
+  while (true) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, deadline.PollTimeoutMs());
+    if (rc > 0) return Status::OK();
+    if (rc == 0) return Status::DeadlineExceeded("socket wait timed out");
+    if (errno == EINTR) {
+      if (deadline.expired()) {
+        return Status::DeadlineExceeded("socket wait timed out");
+      }
+      continue;
+    }
+    return Errno("poll");
+  }
+}
+
 }  // namespace
+
+int Deadline::PollTimeoutMs() const {
+  if (infinite_) return -1;
+  const auto remaining = when_ - Clock::now();
+  if (remaining <= Clock::duration::zero()) return 0;
+  const int64_t ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+          .count();
+  // Round up so a sub-millisecond remainder waits instead of spinning.
+  return static_cast<int>(std::min<int64_t>(ms + 1, 1 << 30));
+}
 
 Result<int> Listen(const std::string& bind_address, uint16_t port,
                    int backlog, uint16_t* bound_port) {
@@ -97,31 +137,130 @@ Status SetNonBlocking(int fd) {
   return Status::OK();
 }
 
-bool SendAll(int fd, const char* data, size_t size) {
+Status WriteAll(int fd, const char* data, size_t size,
+                const Deadline& deadline) {
   size_t sent = 0;
   while (sent < size) {
+    size_t chunk = size - sent;
+    const failpoints::Action fault = failpoints::Hit(failpoints::Site::kSend);
+    switch (fault.kind) {
+      case failpoints::Kind::kShortIo:
+        chunk = std::min<size_t>(chunk, std::max<uint32_t>(fault.arg, 1));
+        break;
+      case failpoints::Kind::kEagain: {
+        // A real EAGAIN means the kernel buffer is full; the socket here
+        // IS writable (poll would return instantly), so emulate the
+        // unready buffer by burning a tick against the deadline.
+        if (deadline.expired()) {
+          return Status::DeadlineExceeded("socket wait timed out");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      case failpoints::Kind::kEintr:
+        continue;
+      case failpoints::Kind::kError:
+        return Status::Unavailable("injected send failure");
+      case failpoints::Kind::kTruncate: {
+        // Deliver a prefix of the remaining bytes, then fail hard — the
+        // peer sees a frame truncated mid-body.
+        const size_t prefix =
+            std::min<size_t>(size - sent, std::max<uint32_t>(fault.arg, 0));
+        if (prefix > 0) {
+          [[maybe_unused]] const ssize_t n =
+              ::send(fd, data + sent, prefix, MSG_NOSIGNAL | MSG_DONTWAIT);
+        }
+        return Status::Unavailable("injected frame truncation");
+      }
+      case failpoints::Kind::kStallMs:
+        failpoints::MaybeStall(fault);
+        break;
+      case failpoints::Kind::kNone:
+        break;
+    }
+    // MSG_DONTWAIT so a *blocking* fd (the client's) cannot park inside
+    // send() past the deadline; EAGAIN routes through PollFor below.
     const ssize_t n =
-        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+        ::send(fd, data + sent, chunk, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n > 0) {
       sent += static_cast<size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      pollfd pfd{fd, POLLOUT, 0};
-      if (::poll(&pfd, 1, /*timeout_ms=*/10000) <= 0) return false;
+      PPC_RETURN_NOT_OK(PollFor(fd, POLLOUT, deadline));
       continue;
     }
-    return false;
+    if (n < 0 && ErrnoMeansPeerGone(errno)) {
+      return Status::Unavailable(std::string("send: ") + ::strerror(errno));
+    }
+    return Errno("send");
   }
-  return true;
+  return Status::OK();
 }
 
-Result<size_t> RecvSome(int fd, char* buffer, size_t size) {
+bool SendAll(int fd, const char* data, size_t size, const Deadline& deadline) {
+  return WriteAll(fd, data, size, deadline).ok();
+}
+
+Status ReadFull(int fd, char* buffer, size_t size, const Deadline& deadline) {
+  size_t received = 0;
+  while (received < size) {
+    PPC_ASSIGN_OR_RETURN(
+        size_t n, RecvSome(fd, buffer + received, size - received, deadline));
+    if (n == 0) {
+      return Status::Unavailable("peer closed after " +
+                                 std::to_string(received) + " of " +
+                                 std::to_string(size) + " bytes");
+    }
+    received += n;
+  }
+  return Status::OK();
+}
+
+Result<size_t> RecvSome(int fd, char* buffer, size_t size,
+                        const Deadline& deadline) {
   while (true) {
-    const ssize_t n = ::recv(fd, buffer, size, 0);
+    size_t limit = size;
+    const failpoints::Action fault = failpoints::Hit(failpoints::Site::kRecv);
+    switch (fault.kind) {
+      case failpoints::Kind::kShortIo:
+        limit = std::min<size_t>(limit, std::max<uint32_t>(fault.arg, 1));
+        break;
+      case failpoints::Kind::kEagain: {
+        // As in WriteAll: emulate the unready buffer with a slept tick —
+        // the fd may actually be readable, so polling would not wait.
+        if (deadline.expired()) {
+          return Status::DeadlineExceeded("socket wait timed out");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      case failpoints::Kind::kEintr:
+        continue;
+      case failpoints::Kind::kError:
+        return Status::Unavailable("injected recv failure");
+      case failpoints::Kind::kStallMs:
+        failpoints::MaybeStall(fault);
+        break;
+      default:
+        break;
+    }
+    if (!deadline.infinite()) {
+      // Wait for readability first so a blocking fd honors the deadline.
+      PPC_RETURN_NOT_OK(PollFor(fd, POLLIN, deadline));
+    }
+    const ssize_t n = ::recv(fd, buffer, limit, 0);
     if (n >= 0) return static_cast<size_t>(n);
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Non-blocking fd (or a readiness race): wait, then retry.
+      PPC_RETURN_NOT_OK(PollFor(fd, POLLIN, deadline));
+      continue;
+    }
+    if (ErrnoMeansPeerGone(errno)) {
+      return Status::Unavailable(std::string("recv: ") + ::strerror(errno));
+    }
     return Errno("recv");
   }
 }
@@ -129,7 +268,27 @@ Result<size_t> RecvSome(int fd, char* buffer, size_t size) {
 RecvOutcome RecvNonBlocking(int fd, char* buffer, size_t size,
                             size_t* received) {
   while (true) {
-    const ssize_t n = ::recv(fd, buffer, size, 0);
+    size_t limit = size;
+    const failpoints::Action fault = failpoints::Hit(failpoints::Site::kRecv);
+    switch (fault.kind) {
+      case failpoints::Kind::kShortIo:
+        limit = std::min<size_t>(limit, std::max<uint32_t>(fault.arg, 1));
+        break;
+      case failpoints::Kind::kEagain:
+        // Safe with level-triggered epoll: the data is still there, the
+        // next epoll_wait reports the fd readable again.
+        return RecvOutcome::kWouldBlock;
+      case failpoints::Kind::kEintr:
+        continue;
+      case failpoints::Kind::kError:
+        return RecvOutcome::kError;
+      case failpoints::Kind::kStallMs:
+        failpoints::MaybeStall(fault);
+        break;
+      default:
+        break;
+    }
+    const ssize_t n = ::recv(fd, buffer, limit, 0);
     if (n > 0) {
       *received = static_cast<size_t>(n);
       return RecvOutcome::kData;

@@ -9,10 +9,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
 
+#include "server/failpoints.h"
 #include "server/net_util.h"
+#include "server/timer_wheel.h"
 
 namespace ppc {
 
@@ -54,24 +57,38 @@ wire::WireStatus WireStatusFrom(const Status& status) {
 
 }  // namespace
 
-/// Per-connection state. The IO thread owns reading (FrameBuffer); any
-/// thread may write a response frame under write_mu. The fd is closed
-/// only by the destructor, i.e. after the last in-flight work item
-/// released its reference — so a worker never writes to a recycled fd.
+/// Per-connection state. The IO thread owns reading (FrameBuffer) and the
+/// deadline bookkeeping; any thread may write a response frame under
+/// write_mu. The fd is closed only by the destructor, i.e. after the last
+/// in-flight work item released its reference — so a worker never writes
+/// to a recycled fd.
 struct PlanServer::Connection {
-  Connection(int fd_in, size_t max_frame_bytes)
-      : fd(fd_in), frames(max_frame_bytes) {}
+  Connection(int fd_in, size_t max_frame_bytes, int64_t write_deadline_ms_in,
+             MetricsCounter* timeouts_write_in)
+      : fd(fd_in),
+        frames(max_frame_bytes),
+        write_deadline_ms(write_deadline_ms_in),
+        timeouts_write(timeouts_write_in) {}
   ~Connection() { ::close(fd); }
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Writes one encoded frame; returns false (and poisons the
-  /// connection) on any transport error.
+  /// Writes one encoded frame within the configured write deadline;
+  /// returns false (and poisons the connection) on any transport error
+  /// or on deadline expiry — a partially written frame can never be
+  /// completed coherently, so the stream is done either way.
   bool WriteFrame(const std::string& frame) {
     std::lock_guard<std::mutex> lock(write_mu);
     if (closed.load(std::memory_order_relaxed)) return false;
-    if (!net::SendAll(fd, frame.data(), frame.size())) {
+    const Status st =
+        net::WriteAll(fd, frame.data(), frame.size(),
+                      net::Deadline::AfterMsOrInfinite(write_deadline_ms));
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kDeadlineExceeded &&
+          timeouts_write != nullptr) {
+        timeouts_write->Increment();
+      }
       closed.store(true, std::memory_order_relaxed);
       return false;
     }
@@ -80,8 +97,17 @@ struct PlanServer::Connection {
 
   const int fd;
   wire::FrameBuffer frames;
+  const int64_t write_deadline_ms;
+  MetricsCounter* const timeouts_write;
   std::mutex write_mu;
   std::atomic<bool> closed{false};
+
+  /// Deadline state, IO thread only. idle_deadline advances on every
+  /// inbound byte; frame_deadline is armed when a frame sits incomplete
+  /// in the buffer and cleared once it completes (slow-loris guard).
+  Clock::time_point idle_deadline{};
+  Clock::time_point frame_deadline{};
+  bool frame_pending = false;
 };
 
 struct PlanServer::WorkItem {
@@ -93,6 +119,7 @@ struct PlanServer::WorkItem {
 PlanServer::PlanServer(PpcFramework* framework, Config config)
     : framework_(framework),
       config_(std::move(config)),
+      shed_(config_.shed),
       queue_(config_.queue_capacity) {
   PPC_CHECK(framework != nullptr);
 }
@@ -146,6 +173,17 @@ Status PlanServer::Start() {
       &metrics.counter("server.connections.accepted");
   instruments_.connections_rejected =
       &metrics.counter("server.connections.rejected");
+  instruments_.timeouts_idle = &metrics.counter("server.timeouts.idle");
+  instruments_.timeouts_read = &metrics.counter("server.timeouts.read");
+  instruments_.timeouts_write = &metrics.counter("server.timeouts.write");
+  instruments_.shed_enter_no_microbatch =
+      &metrics.counter("server.shed.enter_no_microbatch");
+  instruments_.shed_enter_abstain =
+      &metrics.counter("server.shed.enter_abstain");
+  instruments_.shed_recovered = &metrics.counter("server.shed.recovered");
+  instruments_.shed_abstained_predicts =
+      &metrics.counter("server.shed.abstained_predicts");
+  instruments_.shutdown_swept = &metrics.counter("server.shutdown.swept");
   instruments_.predict_us = &metrics.histogram("server.predict_us");
   instruments_.predict_batch_us =
       &metrics.histogram("server.predict_batch_us");
@@ -182,8 +220,13 @@ void PlanServer::Wait() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  // All threads are gone: closing the remaining connections (fds close in
-  // the Connection destructors) and the listener is single-threaded now.
+  // All threads are gone. Before the connections close, answer every
+  // request that reached the wire but was never admitted — a pipelined
+  // client must observe a reply (here: SHUTTING_DOWN) for every id it
+  // sent, never a silent drop.
+  SweepUnansweredOnShutdown();
+  // Closing the remaining connections (fds close in the Connection
+  // destructors) and the listener is single-threaded now.
   connections_.clear();
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -202,16 +245,68 @@ void PlanServer::Stop() {
   Wait();
 }
 
-void PlanServer::IoLoop() {
-  std::vector<epoll_event> events(64);
-  while (!draining_.load(std::memory_order_acquire)) {
-    const int n = ::epoll_wait(epoll_fd_, events.data(),
-                               static_cast<int>(events.size()), -1);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      break;
+namespace {
+
+/// Wheel geometry: 50 ms resolution is an order of magnitude below the
+/// minimum sensible connection timeout, and 512 slots cover 25.6 s per
+/// turn (longer deadlines survive extra turns via the lazy scheme).
+constexpr size_t kWheelSlots = 512;
+constexpr auto kWheelTick = std::chrono::milliseconds(50);
+
+}  // namespace
+
+/// Re-arms `conn`'s wheel entry from its idle/frame deadlines. IO thread
+/// only. With both timeouts disabled the connection carries no timer.
+void PlanServer::ScheduleConnDeadline(net::TimerWheel* wheel,
+                                      const std::shared_ptr<Connection>& conn) {
+  const bool have_idle = config_.idle_timeout_ms > 0;
+  const bool have_frame = conn->frame_pending;
+  if (!have_idle && !have_frame) {
+    wheel->Cancel(conn->fd);
+    return;
+  }
+  Clock::time_point deadline;
+  if (have_idle && have_frame) {
+    deadline = std::min(conn->idle_deadline, conn->frame_deadline);
+  } else {
+    deadline = have_idle ? conn->idle_deadline : conn->frame_deadline;
+  }
+  wheel->Schedule(conn->fd, deadline);
+}
+
+/// Refreshes a connection's deadlines after inbound activity: the idle
+/// clock restarts, and the read deadline arms exactly when an incomplete
+/// frame remains buffered (and disarms when the buffer is drained).
+void PlanServer::TouchConnActivity(net::TimerWheel* wheel,
+                                   const std::shared_ptr<Connection>& conn) {
+  const Clock::time_point now = Clock::now();
+  conn->idle_deadline =
+      now + std::chrono::milliseconds(config_.idle_timeout_ms);
+  if (config_.read_deadline_ms > 0 && conn->frames.buffered_bytes() > 0) {
+    if (!conn->frame_pending) {
+      conn->frame_pending = true;
+      conn->frame_deadline =
+          now + std::chrono::milliseconds(config_.read_deadline_ms);
     }
-    for (int i = 0; i < n; ++i) {
+    // An already-armed frame deadline keeps ticking: progress on the
+    // *same* frame must not extend it, or a slow-loris peer could dribble
+    // forever.
+  } else {
+    conn->frame_pending = false;
+  }
+  ScheduleConnDeadline(wheel, conn);
+}
+
+void PlanServer::IoLoop() {
+  net::TimerWheel wheel(kWheelSlots, kWheelTick);
+  std::vector<epoll_event> events(64);
+  std::vector<int> expired;
+  while (!draining_.load(std::memory_order_acquire)) {
+    const int timeout_ms = wheel.PollTimeoutMs(Clock::now());
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < std::max(n, 0); ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {
         uint64_t drained;
@@ -221,21 +316,56 @@ void PlanServer::IoLoop() {
           Shutdown();
         }
       } else if (fd == listen_fd_) {
-        AcceptConnections();
+        AcceptConnections(&wheel);
       } else {
         auto it = connections_.find(fd);
         if (it == connections_.end()) continue;
         std::shared_ptr<Connection> conn = it->second;
         const bool broken =
             (events[i].events & (EPOLLHUP | EPOLLERR)) != 0;
-        if (broken || !DrainReadable(conn)) CloseConnection(fd);
+        if (broken || !DrainReadable(conn)) {
+          wheel.Cancel(fd);
+          CloseConnection(fd);
+        } else {
+          TouchConnActivity(&wheel, conn);
+        }
       }
+    }
+    expired.clear();
+    wheel.PopExpired(Clock::now(), &expired);
+    for (const int fd : expired) {
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      const std::shared_ptr<Connection>& conn = it->second;
+      const Clock::time_point now = Clock::now();
+      const bool frame_timed_out =
+          conn->frame_pending && now >= conn->frame_deadline;
+      if (frame_timed_out) {
+        instruments_.timeouts_read->Increment();
+      } else {
+        instruments_.timeouts_idle->Increment();
+      }
+      // Best-effort explanation, then drop: the peer proved it cannot
+      // keep the stream moving, and half-read frames cannot be resumed.
+      SendError(conn, wire::MessageType::kInvalid, 0,
+                wire::WireStatus::kTimeout,
+                frame_timed_out ? "read deadline exceeded"
+                                : "idle timeout exceeded");
+      CloseConnection(fd);
     }
   }
 }
 
-void PlanServer::AcceptConnections() {
+void PlanServer::AcceptConnections(net::TimerWheel* wheel) {
   while (true) {
+    const failpoints::Action fault =
+        failpoints::Hit(failpoints::Site::kAccept);
+    failpoints::MaybeStall(fault);
+    if (fault.kind == failpoints::Kind::kError) {
+      // Simulated transient accept failure (EMFILE and friends): give up
+      // on this readiness wave; level-triggered epoll retries.
+      return;
+    }
     const int cfd = ::accept4(listen_fd_, nullptr, nullptr,
                               SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (cfd < 0) {
@@ -256,8 +386,15 @@ void PlanServer::AcceptConnections() {
       ::close(cfd);
       continue;
     }
-    connections_.emplace(
-        cfd, std::make_shared<Connection>(cfd, config_.max_frame_bytes));
+    auto conn = std::make_shared<Connection>(cfd, config_.max_frame_bytes,
+                                             config_.write_deadline_ms,
+                                             instruments_.timeouts_write);
+    if (config_.idle_timeout_ms > 0) {
+      conn->idle_deadline =
+          Clock::now() + std::chrono::milliseconds(config_.idle_timeout_ms);
+      ScheduleConnDeadline(wheel, conn);
+    }
+    connections_.emplace(cfd, std::move(conn));
     instruments_.connections_accepted->Increment();
   }
 }
@@ -304,7 +441,20 @@ bool PlanServer::ProcessFrames(const std::shared_ptr<Connection>& conn) {
     WorkItem item{conn, std::move(request).value(), Clock::now()};
     const wire::MessageType type = item.request.type;
     const uint64_t id = item.request.id;
-    if (!queue_.TryPush(std::move(item))) {
+    // Degradation ladder: fold this admission's queue occupancy into the
+    // shed controller, and at the abstain rung answer single-point
+    // PREDICTs from here — the predictor's abstain shape costs nothing
+    // and the client falls back to its own optimizer (DESIGN.md §14).
+    const net::ShedController::Level level = UpdateShedLevel();
+    if (level >= net::ShedController::kAbstainPredict &&
+        type == wire::MessageType::kPredict) {
+      SendShedAbstain(conn, id);
+      continue;
+    }
+    const bool enqueue_fault =
+        failpoints::Hit(failpoints::Site::kEnqueue).kind ==
+        failpoints::Kind::kError;
+    if (enqueue_fault || !queue_.TryPush(std::move(item))) {
       // Backpressure: reject now rather than buffer without bound.
       const bool draining = draining_.load(std::memory_order_acquire);
       instruments_.responses_busy->Increment();
@@ -312,6 +462,81 @@ bool PlanServer::ProcessFrames(const std::shared_ptr<Connection>& conn) {
                 draining ? wire::WireStatus::kShuttingDown
                          : wire::WireStatus::kBusy,
                 draining ? "server shutting down" : "request queue full");
+    }
+  }
+}
+
+net::ShedController::Level PlanServer::UpdateShedLevel() {
+  const double capacity = static_cast<double>(config_.queue_capacity);
+  const double occupancy =
+      capacity > 0.0
+          ? std::min(1.0, static_cast<double>(queue_.size()) / capacity)
+          : 1.0;
+  const net::ShedController::Level level = shed_.Observe(occupancy);
+  if (level != prev_shed_level_) {
+    if (level > prev_shed_level_) {
+      // Count every rung entered, even when pressure jumps two at once.
+      if (prev_shed_level_ < net::ShedController::kNoMicrobatch &&
+          level >= net::ShedController::kNoMicrobatch) {
+        instruments_.shed_enter_no_microbatch->Increment();
+      }
+      if (level >= net::ShedController::kAbstainPredict) {
+        instruments_.shed_enter_abstain->Increment();
+      }
+    } else {
+      instruments_.shed_recovered->Increment();
+    }
+    prev_shed_level_ = level;
+  }
+  return level;
+}
+
+void PlanServer::SendShedAbstain(const std::shared_ptr<Connection>& conn,
+                                 uint64_t id) {
+  wire::Response response;
+  response.type = wire::MessageType::kPredict;
+  response.id = id;
+  // Identical on the wire to a genuine predictor abstention: NULL plan,
+  // zero confidence, OK status.
+  std::string frame;
+  wire::EncodeResponse(response, &frame);
+  // Count before the write: an observer who has seen the response (a
+  // test polling the counter, an operator correlating with client logs)
+  // must also see it counted.
+  instruments_.shed_abstained_predicts->Increment();
+  conn->WriteFrame(frame);
+}
+
+void PlanServer::SweepUnansweredOnShutdown() {
+  char buffer[16 * 1024];
+  for (auto& [fd, conn] : connections_) {
+    // Pull whatever arrived after the IO loop stopped reading (bounded:
+    // the kernel receive buffer), then deframe and answer each complete
+    // request. Decode failures and framing violations just end the sweep
+    // for this connection — it is closing anyway.
+    bool reading = true;
+    while (reading) {
+      size_t received = 0;
+      switch (net::RecvNonBlocking(fd, buffer, sizeof(buffer), &received)) {
+        case net::RecvOutcome::kData:
+          conn->frames.Append(buffer, received);
+          break;
+        case net::RecvOutcome::kWouldBlock:
+        case net::RecvOutcome::kEof:
+        case net::RecvOutcome::kError:
+          reading = false;
+          break;
+      }
+    }
+    std::string payload;
+    while (true) {
+      Result<bool> next = conn->frames.Next(&payload);
+      if (!next.ok() || !next.value()) break;
+      Result<wire::Request> request = wire::DecodeRequest(payload);
+      if (!request.ok()) break;
+      SendError(conn, request.value().type, request.value().id,
+                wire::WireStatus::kShuttingDown, "server shutting down");
+      instruments_.shutdown_swept->Increment();
     }
   }
 }
@@ -413,6 +638,7 @@ wire::Response PlanServer::HandleRequest(const wire::Request& request) {
 }
 
 void PlanServer::ProcessSingle(WorkItem* item) {
+  failpoints::MaybeStall(failpoints::Hit(failpoints::Site::kDispatch));
   if (config_.pre_dispatch_hook) {
     config_.pre_dispatch_hook(item->request.type);
   }
@@ -457,6 +683,7 @@ void PlanServer::ProcessSingle(WorkItem* item) {
 }
 
 void PlanServer::ProcessPredictRun(WorkItem* items, size_t count) {
+  failpoints::MaybeStall(failpoints::Hit(failpoints::Site::kDispatch));
   const wire::Request& head = items[0].request;
   const size_t dims = head.point.size();
   std::vector<double> points;
@@ -510,8 +737,11 @@ void PlanServer::WorkerLoop() {
     // Opportunistic micro-batch: only after popping a single-point
     // PREDICT, drain whatever else is already queued (never blocking) up
     // to the cap. Runs of same-template PREDICTs then share one batched
-    // predictor pass; everything else is handled in admission order.
+    // predictor pass; everything else is handled in admission order. The
+    // first shed rung turns this off — under sustained pressure one slow
+    // batch must not grow head-of-line latency (DESIGN.md §14).
     if (config_.max_microbatch > 1 &&
+        shed_.level() < net::ShedController::kNoMicrobatch &&
         batch.front().request.type == wire::MessageType::kPredict) {
       while (batch.size() < config_.max_microbatch) {
         std::optional<WorkItem> extra = queue_.TryPop();

@@ -14,9 +14,14 @@
 #include "ppc/metrics_registry.h"
 #include "ppc/ppc_framework.h"
 #include "server/bounded_queue.h"
+#include "server/load_shed.h"
 #include "server/wire_protocol.h"
 
 namespace ppc {
+
+namespace net {
+class TimerWheel;
+}  // namespace net
 
 /// The network serving layer (DESIGN.md §12): a Linux epoll-based TCP
 /// server fronting one PpcFramework with the wire protocol of
@@ -44,7 +49,19 @@ namespace ppc {
 ///     byte stream can no longer be trusted).
 ///   * Graceful shutdown: a SHUTDOWN request, Shutdown(), or an installed
 ///     SIGINT/SIGTERM handler stops accepting work; requests already
-///     admitted to the queue drain to completion before threads exit.
+///     admitted to the queue drain to completion before threads exit, and
+///     requests that were on the wire but never admitted get an explicit
+///     SHUTTING_DOWN error reply (never a silent drop) before the
+///     connection closes.
+///   * Deadlines (DESIGN.md §14): a timer wheel in the epoll loop closes
+///     connections that sit idle past `idle_timeout_ms` or dribble a
+///     frame slower than `read_deadline_ms` (slow-loris protection);
+///     response writes are bounded by `write_deadline_ms`.
+///   * Graceful degradation: under sustained queue pressure a shedding
+///     ladder first disables worker micro-batching, then answers PREDICT
+///     with the predictor's abstain shape instead of queueing, and
+///     finally (queue full) returns BUSY — every rung observable via the
+///     `server.shed.*` instruments.
 class PlanServer {
  public:
   struct Config {
@@ -65,6 +82,21 @@ class PlanServer {
     /// 0) disables draining; each answer is still written per request,
     /// so clients observe identical frames either way.
     size_t max_microbatch = 16;
+    /// A connection with no inbound bytes for this long is closed
+    /// (slow-loris / leaked-peer protection). 0 disables.
+    int64_t idle_timeout_ms = 30000;
+    /// Once the first byte of a frame has arrived, the complete frame
+    /// must arrive within this window or the connection is closed (a
+    /// peer dribbling one byte per poll can otherwise hold a connection
+    /// forever). 0 disables.
+    int64_t read_deadline_ms = 5000;
+    /// Bound on writing one response frame; a peer that stops reading
+    /// long enough to exceed it gets its connection poisoned and closed.
+    /// 0 means wait forever (the pre-PR-5 behavior was a hard-coded 10 s).
+    int64_t write_deadline_ms = 10000;
+    /// Degradation-ladder thresholds (EWMA queue occupancy; DESIGN.md
+    /// §14). Rungs: disable micro-batching, then abstain on PREDICT.
+    net::ShedController::Options shed;
     /// Test hook, run by a worker before each request is dispatched (lets
     /// tests hold the pool to provoke backpressure deterministically).
     std::function<void(wire::MessageType)> pre_dispatch_hook;
@@ -100,6 +132,9 @@ class PlanServer {
 
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// Current rung of the degradation ladder (observability and tests).
+  net::ShedController::Level shed_level() const { return shed_.level(); }
+
  private:
   friend Status InstallShutdownSignalHandlers(PlanServer* server);
 
@@ -108,13 +143,30 @@ class PlanServer {
 
   void IoLoop();
   void WorkerLoop();
-  void AcceptConnections();
+  void AcceptConnections(net::TimerWheel* wheel);
+  /// Timer-wheel bookkeeping (IO thread only): (re)arms a connection's
+  /// wheel entry from its idle/frame deadlines, and refreshes those
+  /// deadlines after inbound activity.
+  void ScheduleConnDeadline(net::TimerWheel* wheel,
+                            const std::shared_ptr<Connection>& conn);
+  void TouchConnActivity(net::TimerWheel* wheel,
+                         const std::shared_ptr<Connection>& conn);
   /// Reads everything currently available; returns false when the
   /// connection must be dropped.
   bool DrainReadable(const std::shared_ptr<Connection>& conn);
   /// Deframes + decodes + enqueues; returns false on protocol violation.
   bool ProcessFrames(const std::shared_ptr<Connection>& conn);
   void CloseConnection(int fd);
+  /// Folds one occupancy sample into the shed controller and counts rung
+  /// transitions (IO thread only).
+  net::ShedController::Level UpdateShedLevel();
+  /// Answers a single-point PREDICT with the predictor's abstain shape
+  /// (NULL plan, confidence 0) straight from the IO thread.
+  void SendShedAbstain(const std::shared_ptr<Connection>& conn, uint64_t id);
+  /// Post-drain pass over the surviving connections: any request bytes
+  /// that arrived after the IO loop stopped reading are answered with a
+  /// SHUTTING_DOWN error instead of being silently dropped.
+  void SweepUnansweredOnShutdown();
   wire::Response HandleRequest(const wire::Request& request);
   /// Answers one work item the scalar way: hook, handle, write, account.
   void ProcessSingle(WorkItem* item);
@@ -139,6 +191,12 @@ class PlanServer {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
+
+  /// Degradation ladder (DESIGN.md §14): occupancy observed by the IO
+  /// thread at every admission, rung read lock-free by workers.
+  net::ShedController shed_;
+  /// Previous rung, for transition counting (IO thread only).
+  net::ShedController::Level prev_shed_level_ = net::ShedController::kNormal;
 
   BoundedQueue<WorkItem> queue_;
   std::thread io_thread_;
@@ -165,6 +223,19 @@ class PlanServer {
     MetricsCounter* frames_malformed = nullptr;
     MetricsCounter* connections_accepted = nullptr;
     MetricsCounter* connections_rejected = nullptr;
+    /// Deadline enforcement (server.timeouts.*): connections closed for
+    /// inactivity / slow frames, and response writes cut off mid-frame.
+    MetricsCounter* timeouts_idle = nullptr;
+    MetricsCounter* timeouts_read = nullptr;
+    MetricsCounter* timeouts_write = nullptr;
+    /// Degradation ladder (server.shed.*): rung transitions, PREDICTs
+    /// answered via the abstain path, and requests swept with a
+    /// SHUTTING_DOWN reply during the final drain.
+    MetricsCounter* shed_enter_no_microbatch = nullptr;
+    MetricsCounter* shed_enter_abstain = nullptr;
+    MetricsCounter* shed_recovered = nullptr;
+    MetricsCounter* shed_abstained_predicts = nullptr;
+    MetricsCounter* shutdown_swept = nullptr;
     LatencyHistogram* predict_us = nullptr;
     LatencyHistogram* predict_batch_us = nullptr;
     LatencyHistogram* execute_us = nullptr;

@@ -1,0 +1,118 @@
+#ifndef PPC_SERVER_TIMER_WHEEL_H_
+#define PPC_SERVER_TIMER_WHEEL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ppc {
+namespace net {
+
+/// Hashed timer wheel for connection deadlines (idle timeouts and
+/// per-request read deadlines), owned by the server's IO thread — no
+/// locking, all calls from one thread.
+///
+/// The classic lazy scheme: `slots` buckets of `tick` width each; a timer
+/// lands in the bucket of its deadline and an authoritative map keeps the
+/// latest deadline per key. Rescheduling just overwrites the map entry —
+/// stale bucket entries are skipped (or pushed forward) when their bucket
+/// comes due, so re-arming a timer on every byte of traffic (the idle
+/// timeout's access pattern) is O(1) with no removal cost.
+///
+/// Resolution is one tick: a timer fires between `deadline` and
+/// `deadline + tick`. That is the right trade for connection timeouts,
+/// which are hundreds of milliseconds at minimum.
+class TimerWheel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TimerWheel(size_t slots, Clock::duration tick)
+      : slots_(slots), tick_(tick), buckets_(slots), cursor_time_(Clock::now()) {}
+
+  /// Arms (or re-arms) the timer for `key`. A later Schedule for the same
+  /// key supersedes earlier ones.
+  void Schedule(int key, Clock::time_point deadline) {
+    deadlines_[key] = deadline;
+    // A deadline behind the sweep cursor files into the cursor's bucket —
+    // it fires on the very next sweep instead of a full wheel turn later.
+    const Clock::time_point slot =
+        deadline < cursor_time_ ? cursor_time_ : deadline;
+    buckets_[BucketOf(slot)].push_back(key);
+  }
+
+  /// Disarms `key` (stale bucket entries die lazily).
+  void Cancel(int key) { deadlines_.erase(key); }
+
+  bool armed(int key) const { return deadlines_.count(key) > 0; }
+  size_t size() const { return deadlines_.size(); }
+
+  /// Appends every key whose authoritative deadline is <= now to
+  /// `*expired` (each at most once) and disarms it. Call from the event
+  /// loop after epoll_wait returns.
+  void PopExpired(Clock::time_point now, std::vector<int>* expired) {
+    if (deadlines_.empty()) {
+      // Nothing armed: fast-forward so a later burst of timers does not
+      // force a sweep over every intervening bucket.
+      cursor_time_ = now;
+      return;
+    }
+    // Sweep only buckets that have fully elapsed: every deadline filed in
+    // such a bucket is necessarily <= now, so a not-yet-due entry found
+    // here can only mean a future turn of the wheel. Sweeping the bucket
+    // `now` sits in would instead strand sub-tick-future deadlines until
+    // the next full turn (slots × tick later) — the cursor has moved past
+    // their bucket, and nothing would revisit it in time.
+    while (cursor_time_ + tick_ <= now) {
+      std::vector<int>& bucket = buckets_[BucketOf(cursor_time_)];
+      size_t keep = 0;
+      for (size_t i = 0; i < bucket.size(); ++i) {
+        const int key = bucket[i];
+        auto it = deadlines_.find(key);
+        if (it == deadlines_.end()) continue;  // cancelled — drop.
+        if (it->second <= now) {
+          expired->push_back(key);
+          deadlines_.erase(it);
+        } else if (BucketOf(it->second) == BucketOf(cursor_time_)) {
+          // A future turn of the same slot (this bucket is fully elapsed,
+          // so the deadline cannot be in the current turn) — keep it.
+          bucket[keep++] = key;
+        }
+        // Else: re-armed into another slot, where Schedule already filed
+        // a fresh entry — drop the stale one.
+      }
+      bucket.resize(keep);
+      cursor_time_ += tick_;
+    }
+  }
+
+  /// Milliseconds until the next bucket boundary needs servicing, as an
+  /// epoll_wait timeout: -1 when no timer is armed.
+  int PollTimeoutMs(Clock::time_point now) const {
+    if (deadlines_.empty()) return -1;
+    const auto until = cursor_time_ + tick_ - now;
+    if (until <= Clock::duration::zero()) return 0;
+    const int64_t ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(until).count();
+    return static_cast<int>(ms) + 1;  // round up — never spin.
+  }
+
+ private:
+  size_t BucketOf(Clock::time_point t) const {
+    const uint64_t ticks = static_cast<uint64_t>(t.time_since_epoch() / tick_);
+    return static_cast<size_t>(ticks % slots_);
+  }
+
+  const size_t slots_;
+  const Clock::duration tick_;
+  std::vector<std::vector<int>> buckets_;
+  /// Authoritative deadline per key; bucket entries are hints.
+  std::unordered_map<int, Clock::time_point> deadlines_;
+  /// The wheel has been swept up to (exclusive) this time.
+  Clock::time_point cursor_time_;
+};
+
+}  // namespace net
+}  // namespace ppc
+
+#endif  // PPC_SERVER_TIMER_WHEEL_H_

@@ -15,7 +15,7 @@ bool ValidRequestType(uint8_t type) {
 }
 
 bool ValidStatus(uint8_t status) {
-  return status <= static_cast<uint8_t>(WireStatus::kShuttingDown);
+  return status <= static_cast<uint8_t>(WireStatus::kTimeout);
 }
 
 bool HasPointBody(MessageType type) {
@@ -121,6 +121,8 @@ const char* WireStatusName(WireStatus status) {
       return "INTERNAL";
     case WireStatus::kShuttingDown:
       return "SHUTTING_DOWN";
+    case WireStatus::kTimeout:
+      return "TIMEOUT";
   }
   return "UNKNOWN";
 }
@@ -336,6 +338,9 @@ Status ToStatus(WireStatus status, const std::string& message) {
     case WireStatus::kShuttingDown:
       return Status::FailedPrecondition(
           message.empty() ? "server shutting down" : message);
+    case WireStatus::kTimeout:
+      return Status::DeadlineExceeded(message.empty() ? "server-side timeout"
+                                                      : message);
   }
   return Status::Internal("unknown wire status");
 }

@@ -46,6 +46,7 @@ enum class WireStatus : uint8_t {
   kNotFound = 3,      ///< unknown template.
   kInternal = 4,      ///< server-side failure.
   kShuttingDown = 5,  ///< server is draining; no new work accepted.
+  kTimeout = 6,       ///< a server-side deadline expired (read/write).
 };
 
 const char* MessageTypeName(MessageType type);
@@ -156,6 +157,14 @@ class FrameBuffer {
   Result<bool> Next(std::string* payload);
 
   size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  /// Forgets buffered bytes and clears poisoning, so the buffer can be
+  /// reused for a brand-new byte stream (client reconnect).
+  void Reset() {
+    buffer_.clear();
+    consumed_ = 0;
+    poisoned_ = false;
+  }
 
  private:
   const size_t max_frame_bytes_;

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,7 @@
 
 #include "common/status.h"
 #include "server/client.h"
+#include "server/failpoints.h"
 #include "server/net_util.h"
 #include "server/wire_protocol.h"
 #include "test_util.h"
@@ -71,7 +73,14 @@ class ServerTest : public ::testing::Test {
   }
 
   void TearDown() override {
+    // Robustness tests arm process-global failpoints; never leak one into
+    // the next test (or into the server teardown below).
+    failpoints::DisarmAll();
     if (server_ != nullptr) server_->Stop();
+  }
+
+  uint64_t Counter(const std::string& name) {
+    return framework_->metrics().counter(name).value();
   }
 
   std::unique_ptr<PpcFramework> framework_;
@@ -588,6 +597,543 @@ TEST_F(ServerTest, ConnectionsAboveTheLimitAreRefused) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST_F(ServerTest, IdleTimeoutClosesSilentConnections) {
+  PlanServer::Config config;
+  config.idle_timeout_ms = 100;
+  config.read_deadline_ms = 0;  // isolate the idle path
+  StartServer(config);
+
+  auto fd = net::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  // Send nothing. The server must explain (one TIMEOUT error frame) and
+  // close well within the test deadline (100 ms timeout + wheel tick).
+  wire::FrameBuffer frames;
+  std::string payload;
+  char buffer[512];
+  bool got_timeout_frame = false;
+  bool got_eof = false;
+  const net::Deadline deadline = net::Deadline::AfterMs(5000);
+  while (!got_eof && !deadline.expired()) {
+    auto received = net::RecvSome(fd.value(), buffer, sizeof(buffer),
+                                  net::Deadline::AfterMs(1000));
+    ASSERT_TRUE(received.ok()) << received.status().ToString();
+    if (received.value() == 0) {
+      got_eof = true;
+      break;
+    }
+    frames.Append(buffer, received.value());
+    auto next = frames.Next(&payload);
+    ASSERT_TRUE(next.ok());
+    if (next.value()) {
+      auto response = wire::DecodeResponse(payload);
+      ASSERT_TRUE(response.ok());
+      EXPECT_EQ(response.value().status, wire::WireStatus::kTimeout);
+      got_timeout_frame = true;
+    }
+  }
+  ::close(fd.value());
+  EXPECT_TRUE(got_eof);
+  EXPECT_TRUE(got_timeout_frame);
+  EXPECT_GE(Counter("server.timeouts.idle"), 1u);
+  EXPECT_EQ(Counter("server.timeouts.read"), 0u);
+
+  // A live connection is unaffected as long as it keeps talking.
+  PpcClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerTest, ReadDeadlineClosesSlowLorisFrames) {
+  PlanServer::Config config;
+  config.idle_timeout_ms = 0;  // isolate the per-frame path
+  config.read_deadline_ms = 100;
+  StartServer(config);
+
+  auto fd = net::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(fd.ok());
+  // Declare a 64-byte frame but deliver only three bytes of it — the
+  // classic slow-loris shape. The frame deadline must fire even though
+  // the connection is not idle in the TCP sense.
+  const uint32_t declared = 64;
+  std::string partial(reinterpret_cast<const char*>(&declared),
+                      sizeof(declared));
+  partial += "abc";
+  ASSERT_TRUE(net::SendAll(fd.value(), partial.data(), partial.size()));
+
+  bool got_eof = false;
+  char buffer[512];
+  const net::Deadline deadline = net::Deadline::AfterMs(5000);
+  while (!deadline.expired()) {
+    auto received = net::RecvSome(fd.value(), buffer, sizeof(buffer),
+                                  net::Deadline::AfterMs(1000));
+    ASSERT_TRUE(received.ok()) << received.status().ToString();
+    if (received.value() == 0) {
+      got_eof = true;
+      break;
+    }
+  }
+  ::close(fd.value());
+  EXPECT_TRUE(got_eof);
+  EXPECT_GE(Counter("server.timeouts.read"), 1u);
+  EXPECT_EQ(Counter("server.timeouts.idle"), 0u);
+}
+
+TEST_F(ServerTest, WriteDeadlineCutsOffAStuckResponse) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+  PlanServer::Config config;
+  config.worker_threads = 1;
+  config.write_deadline_ms = 100;
+  config.pre_dispatch_hook = [&](wire::MessageType) {
+    entered.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  StartServer(config);
+
+  PpcClient::Options options;
+  options.call_deadline_ms = 500;  // bound the Wait below
+  PpcClient client(options);
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  auto id = client.SendPing();
+  ASSERT_TRUE(id.ok());
+  while (entered.load() == 0) std::this_thread::yield();
+
+  // With the worker parked we can arm an EAGAIN storm on every send();
+  // releasing the worker then makes its response write spin against the
+  // 100 ms write deadline instead of reaching the wire.
+  failpoints::Config storm;
+  storm.kind = failpoints::Kind::kEagain;
+  failpoints::Arm(failpoints::Site::kSend, storm);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+
+  auto response = client.Wait(id.value());
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+
+  const net::Deadline deadline = net::Deadline::AfterMs(5000);
+  while (Counter("server.timeouts.write") == 0 && !deadline.expired()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(Counter("server.timeouts.write"), 1u);
+  failpoints::DisarmAll();
+
+  // The server stays healthy for new clients once the storm is over.
+  PpcClient fresh;
+  ASSERT_TRUE(ConnectClient(&fresh).ok());
+  EXPECT_TRUE(fresh.Ping().ok());
+}
+
+TEST_F(ServerTest, ShedLadderAbstainsUnderPressureThenRecovers) {
+  WarmQ1(200);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+  PlanServer::Config config;
+  config.worker_threads = 1;
+  config.queue_capacity = 4;
+  config.pre_dispatch_hook = [&](wire::MessageType) {
+    if (entered.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  StartServer(config);
+
+  PpcClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  std::vector<uint64_t> pings;
+  auto gate = client.SendPing();
+  ASSERT_TRUE(gate.ok());
+  pings.push_back(gate.value());
+  while (entered.load() == 0) std::this_thread::yield();
+  for (int i = 0; i < 4; ++i) {
+    auto id = client.SendPing();
+    ASSERT_TRUE(id.ok());
+    pings.push_back(id.value());
+  }
+  while (server_->queued_requests() < 4) std::this_thread::yield();
+
+  // Each admission attempt against the full queue feeds occupancy 1.0
+  // into the EWMA; a handful of them walks the ladder to the top rung.
+  for (int i = 0;
+       i < 64 && server_->shed_level() < net::ShedController::kAbstainPredict;
+       ++i) {
+    auto id = client.SendPing();
+    ASSERT_TRUE(id.ok());
+    pings.push_back(id.value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server_->shed_level(), net::ShedController::kAbstainPredict);
+
+  // At the abstain rung a PREDICT is answered immediately from the IO
+  // thread with the predictor's abstain shape: OK status, NULL plan.
+  auto predict_id = client.SendPredict("Q1", {0.5, 0.5});
+  ASSERT_TRUE(predict_id.ok());
+  auto abstain = client.Wait(predict_id.value());
+  ASSERT_TRUE(abstain.ok()) << abstain.status().ToString();
+  EXPECT_TRUE(abstain.value().ok());
+  EXPECT_EQ(abstain.value().type, wire::MessageType::kPredict);
+  EXPECT_EQ(abstain.value().predict.plan, kNullPlanId);
+  EXPECT_EQ(abstain.value().predict.confidence, 0.0);
+  EXPECT_GE(Counter("server.shed.enter_no_microbatch"), 1u);
+  EXPECT_GE(Counter("server.shed.enter_abstain"), 1u);
+  EXPECT_GE(Counter("server.shed.abstained_predicts"), 1u);
+
+  // Release the worker; every ping resolves (admitted ones OK, bounced
+  // ones BUSY) — shedding never silently drops a request.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  size_t busy = 0;
+  for (uint64_t id : pings) {
+    auto response = client.Wait(id);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    if (response.value().status == wire::WireStatus::kBusy) {
+      ++busy;
+    } else {
+      EXPECT_TRUE(response.value().ok());
+    }
+  }
+  EXPECT_GE(busy, 1u);
+
+  // With the queue drained, light traffic decays the EWMA and the ladder
+  // steps back down to normal service.
+  for (int i = 0;
+       i < 100 && server_->shed_level() != net::ShedController::kNormal;
+       ++i) {
+    ASSERT_TRUE(client.Ping().ok());
+  }
+  EXPECT_EQ(server_->shed_level(), net::ShedController::kNormal);
+  EXPECT_GE(Counter("server.shed.recovered"), 1u);
+
+  // And PREDICT answers come from the real predictor again.
+  auto real = client.Predict("Q1", {0.5, 0.5});
+  ASSERT_TRUE(real.ok()) << real.status().ToString();
+  EXPECT_NE(real.value().plan, kNullPlanId);
+}
+
+TEST_F(ServerTest, ShutdownSweepAnswersRequestsLeftOnTheWire) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+  PlanServer::Config config;
+  config.worker_threads = 1;
+  config.queue_capacity = 16;
+  config.pre_dispatch_hook = [&](wire::MessageType) {
+    if (entered.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  StartServer(config);
+
+  PpcClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  std::vector<uint64_t> admitted;
+  auto gate = client.SendPing();
+  ASSERT_TRUE(gate.ok());
+  admitted.push_back(gate.value());
+  while (entered.load() == 0) std::this_thread::yield();
+  for (int i = 0; i < 2; ++i) {
+    auto id = client.SendPredict("Q1", {0.5, 0.5});
+    ASSERT_TRUE(id.ok());
+    admitted.push_back(id.value());
+  }
+  while (server_->queued_requests() < 2) std::this_thread::yield();
+
+  // Start the drain, give the IO thread a moment to stop reading, then
+  // put three more requests on the wire. They can never be admitted —
+  // the sweep must still answer each one instead of dropping it.
+  server_->Shutdown();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::vector<uint64_t> late;
+  for (int i = 0; i < 3; ++i) {
+    auto id = client.SendPing();
+    ASSERT_TRUE(id.ok());
+    late.push_back(id.value());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  server_->Wait();
+  EXPECT_FALSE(server_->running());
+
+  for (uint64_t id : admitted) {
+    auto response = client.Wait(id);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response.value().ok());
+  }
+  for (uint64_t id : late) {
+    auto response = client.Wait(id);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response.value().status, wire::WireStatus::kShuttingDown);
+  }
+  EXPECT_GE(Counter("server.shutdown.swept"), 1u);
+}
+
+TEST_F(ServerTest, ClientRetriesBusyWithBackoffUntilAdmitted) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> entered{0};
+  PlanServer::Config config;
+  config.worker_threads = 1;
+  config.queue_capacity = 1;
+  config.pre_dispatch_hook = [&](wire::MessageType) {
+    if (entered.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  StartServer(config);
+
+  PpcClient::Options options;
+  options.retry.max_attempts = 50;
+  options.retry.initial_backoff_ms = 1;
+  options.retry.max_backoff_ms = 20;
+  PpcClient client(options);
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  auto gate = client.SendPing();
+  ASSERT_TRUE(gate.ok());
+  while (entered.load() == 0) std::this_thread::yield();
+  auto filler = client.SendPing();  // occupies the single queue slot
+  ASSERT_TRUE(filler.ok());
+  while (server_->queued_requests() < 1) std::this_thread::yield();
+
+  // The sync Ping now bounces BUSY; a delayed release lets the retry loop
+  // land it. The seeded backoff stream makes the schedule reproducible.
+  std::thread releaser([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  });
+  EXPECT_TRUE(client.Ping().ok());
+  releaser.join();
+  EXPECT_GE(client.transport_stats().busy_retries, 1u);
+
+  for (uint64_t id : {gate.value(), filler.value()}) {
+    auto response = client.Wait(id);
+    ASSERT_TRUE(response.ok());
+  }
+}
+
+TEST_F(ServerTest, ClientReconnectsAfterConnectionLoss) {
+  StartServer();
+  PpcClient::Options options;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 1;
+  PpcClient client(options);
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  ASSERT_TRUE(client.Ping().ok());
+
+  // Sever the transport behind the client's back; the next synchronous
+  // call must reconnect transparently instead of failing.
+  client.Close();
+  EXPECT_FALSE(client.connected());
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.connected());
+  EXPECT_GE(client.transport_stats().reconnects, 1u);
+}
+
+TEST_F(ServerTest, ClientCallDeadlineBoundsASilentServer) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  PlanServer::Config config;
+  config.worker_threads = 1;
+  config.pre_dispatch_hook = [&](wire::MessageType) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  };
+  StartServer(config);
+
+  PpcClient::Options options;
+  options.call_deadline_ms = 100;
+  PpcClient client(options);
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  const auto start = std::chrono::steady_clock::now();
+  Status status = client.Ping();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(client.transport_stats().deadlines_exceeded, 1u);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            3000);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+}
+
+/// Chaos: mixed traffic against randomly armed failpoints for ~2 seconds
+/// (override with PPC_CHAOS_SECONDS). The invariants are liveness ones:
+/// every client call returns within its deadline, nothing crashes or
+/// wedges, and after DisarmAll the server serves clean traffic and emits
+/// coherent metrics. Runs under ASan and TSan via the `chaos` ctest label.
+TEST_F(ServerTest, ChaosMixedTrafficSurvivesRandomFaults) {
+  WarmQ1(150);
+  PlanServer::Config config;
+  config.worker_threads = 2;
+  config.queue_capacity = 16;
+  config.idle_timeout_ms = 2000;
+  config.read_deadline_ms = 500;
+  config.write_deadline_ms = 500;
+  StartServer(config);
+
+  double seconds = 2.0;
+  if (const char* env = std::getenv("PPC_CHAOS_SECONDS")) {
+    seconds = std::max(0.5, std::atof(env));
+  }
+  uint64_t seed = 20260805;
+  if (const char* env = std::getenv("PPC_CHAOS_SEED")) {
+    seed = static_cast<uint64_t>(std::atoll(env));
+  }
+  const auto stop_at =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<int64_t>(seconds * 1000));
+  std::atomic<bool> stop{false};
+
+  // The saboteur: arm a random site with a random bounded fault, let it
+  // bite for a few tens of milliseconds, sometimes disarm, repeat.
+  std::thread saboteur([&stop, seed]() {
+    Rng rng(seed);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto site = static_cast<failpoints::Site>(rng.UniformInt(
+          static_cast<uint64_t>(failpoints::Site::kSiteCount)));
+      failpoints::Config fault;
+      switch (site) {
+        case failpoints::Site::kRecv:
+        case failpoints::Site::kSend: {
+          constexpr failpoints::Kind kIoKinds[] = {
+              failpoints::Kind::kShortIo, failpoints::Kind::kEagain,
+              failpoints::Kind::kEintr, failpoints::Kind::kError,
+              failpoints::Kind::kTruncate, failpoints::Kind::kStallMs};
+          fault.kind = kIoKinds[rng.UniformInt(uint64_t{6})];
+          fault.arg = fault.kind == failpoints::Kind::kStallMs
+                          ? 1 + static_cast<uint32_t>(rng.UniformInt(3))
+                          : 1 + static_cast<uint32_t>(rng.UniformInt(8));
+          break;
+        }
+        case failpoints::Site::kAccept:
+          fault.kind = rng.Bernoulli(0.5) ? failpoints::Kind::kError
+                                          : failpoints::Kind::kStallMs;
+          fault.arg = 1 + static_cast<uint32_t>(rng.UniformInt(10));
+          break;
+        case failpoints::Site::kEnqueue:
+          fault.kind = failpoints::Kind::kError;
+          break;
+        case failpoints::Site::kDispatch:
+        default:
+          fault.kind = failpoints::Kind::kStallMs;
+          fault.arg = 1 + static_cast<uint32_t>(rng.UniformInt(30));
+          break;
+      }
+      fault.probability_permille =
+          30 + static_cast<uint32_t>(rng.UniformInt(150));
+      fault.budget = 1 + static_cast<int64_t>(rng.UniformInt(64));
+      fault.seed = rng.UniformInt(uint64_t{1} << 32);
+      failpoints::Arm(site, fault);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(10 + rng.UniformInt(uint64_t{30})));
+      if (rng.Bernoulli(0.5)) failpoints::Disarm(site);
+    }
+    failpoints::DisarmAll();
+  });
+
+  // The victims: resilient clients that keep issuing mixed traffic. Any
+  // status is acceptable under chaos; what is NOT acceptable is a call
+  // that never returns or a crash.
+  std::atomic<uint64_t> completed_calls{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 2; ++t) {
+    clients.emplace_back([this, t, stop_at, &completed_calls]() {
+      PpcClient::Options options;
+      options.call_deadline_ms = 1000;
+      options.retry.max_attempts = 3;
+      options.retry.initial_backoff_ms = 1;
+      options.retry.max_backoff_ms = 8;
+      options.retry.seed = 900 + static_cast<uint64_t>(t);
+      PpcClient client(options);
+      Rng rng(7000 + static_cast<uint64_t>(t));
+      while (std::chrono::steady_clock::now() < stop_at) {
+        if (!client.connected() && !ConnectClient(&client).ok()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;
+        }
+        switch (rng.UniformInt(uint64_t{4})) {
+          case 0:
+            (void)client.Ping();
+            break;
+          case 1:
+            (void)client.Predict("Q1", {0.5 + rng.Uniform(-0.05, 0.05),
+                                        0.5 + rng.Uniform(-0.05, 0.05)});
+            break;
+          case 2:
+            (void)client.PredictBatch(
+                "Q1", {0.5, 0.5, 0.52, 0.48, 0.1, 0.9}, 2);
+            break;
+          default:
+            (void)client.Execute("Q3", {0.4, 0.4, 0.4});
+            break;
+        }
+        completed_calls.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  saboteur.join();
+  failpoints::DisarmAll();
+  EXPECT_GT(completed_calls.load(), 0u);
+
+  // After the storm: a fresh client must get clean service again (the
+  // shed EWMA may need a few admissions to decay).
+  PpcClient::Options options;
+  options.call_deadline_ms = 2000;
+  options.retry.max_attempts = 5;
+  options.retry.initial_backoff_ms = 5;
+  PpcClient fresh(options);
+  Status ping = Status::Internal("never pinged");
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    if (!fresh.connected() && !ConnectClient(&fresh).ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    ping = fresh.Ping();
+    if (ping.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(ping.ok()) << ping.ToString();
+
+  // And the metrics pipeline is still coherent: valid JSON carrying the
+  // robustness instruments.
+  auto metrics = fresh.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_TRUE(JsonValidator::Valid(metrics.value()));
+  for (const char* key :
+       {"server.timeouts.idle", "server.timeouts.read",
+        "server.timeouts.write", "server.shed.enter_no_microbatch",
+        "server.shed.abstained_predicts", "server.shutdown.swept"}) {
+    EXPECT_NE(metrics.value().find(key), std::string::npos) << key;
+  }
 }
 
 }  // namespace

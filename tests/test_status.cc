@@ -21,6 +21,9 @@ TEST(StatusTest, FactoryConstructorsSetCodeAndMessage) {
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::ResourceExhausted("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_FALSE(Status::NotFound("x").ok());
 }
 
@@ -32,6 +35,9 @@ TEST(StatusTest, ToStringIncludesCodeAndMessage) {
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
 }
 
 TEST(ResultTest, HoldsValue) {
