@@ -1,0 +1,453 @@
+// End-to-end throughput of the sharded serving tier (DESIGN.md §15).
+//
+// Spawns real processes — two ppc_server shards and one ppc_router —
+// and drives the router over TCP, exercising the full scale-out story:
+//
+//   1. shard A starts and is warmed shard-direct with a clustered
+//      workload over Q0..Q8;
+//   2. a steady phase measures routed throughput with A alone on the
+//      ring;
+//   3. shard B starts with --warm-start-from=A, pulling A's predictor
+//      snapshot over the wire before it reports ready, and joins the
+//      ring via a TOPOLOGY add;
+//   4. a joined phase measures aggregate throughput and the per-shard
+//      predict hit rate. Because B adopted A's state, the templates the
+//      ring moved to B must predict as well as they did on A — the
+//      bench fails if the joiner's hit rate trails the leader's by more
+//      than five points (cold-learning would trail by far more).
+//
+// Binary discovery: ../src/ppc_server and ../src/ppc_router relative to
+// this binary, overridable via PPC_SERVER_BIN / PPC_ROUTER_BIN.
+//
+// Prints a table and writes BENCH_cluster_throughput.json (schema in
+// EXPERIMENTS.md); scripts/check.sh runs it and validates the file.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/client.h"
+#include "server/hash_ring.h"
+#include "server/wire_protocol.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* const kTemplates[] = {"Q0", "Q1", "Q2", "Q3", "Q4",
+                                  "Q5", "Q6", "Q7", "Q8"};
+constexpr size_t kTemplateCount = sizeof(kTemplates) / sizeof(kTemplates[0]);
+constexpr size_t kWarmupPerTemplate = 120;
+constexpr int kClientThreads = 3;
+constexpr size_t kSteadyPerClient = 600;
+constexpr size_t kJoinedPerClient = 900;
+/// 70/30 predict/execute mix: predicts measure the hit rate, executes
+/// keep the shards learning like a live system.
+constexpr double kPredictFraction = 0.7;
+const std::vector<double> kCenters = {0.3, 0.5, 0.7};
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------
+// Child-process plumbing.
+// ---------------------------------------------------------------------
+
+/// Directory holding this bench binary, via /proc/self/exe.
+std::string SelfDirectory() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  PPC_CHECK_MSG(n > 0, "readlink(/proc/self/exe) failed");
+  buffer[n] = '\0';
+  std::string path(buffer);
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+std::string BinaryPath(const char* env_override, const char* relative) {
+  const char* overridden = std::getenv(env_override);
+  if (overridden != nullptr && overridden[0] != '\0') return overridden;
+  return SelfDirectory() + relative;
+}
+
+/// One spawned shard/router. Its stdout is piped back so the parent can
+/// parse the `LISTENING <port>` readiness line instead of sleeping.
+struct ChildProcess {
+  pid_t pid = -1;
+  int stdout_fd = -1;
+  uint16_t port = 0;
+
+  ~ChildProcess() { Terminate(); }
+
+  void Terminate() {
+    if (stdout_fd >= 0) {
+      ::close(stdout_fd);
+      stdout_fd = -1;
+    }
+    if (pid > 0) {
+      ::kill(pid, SIGTERM);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      pid = -1;
+    }
+  }
+};
+
+/// fork/exec `binary` with `args`, then block until it prints
+/// `LISTENING <port>`. Aborts the bench when the child dies first (its
+/// stderr goes to ours, so the cause is on the terminal).
+void Spawn(const std::string& binary, const std::vector<std::string>& args,
+           ChildProcess* child) {
+  int pipe_fds[2];
+  PPC_CHECK_MSG(::pipe(pipe_fds) == 0, "pipe failed");
+  const pid_t pid = ::fork();
+  PPC_CHECK_MSG(pid >= 0, "fork failed");
+  if (pid == 0) {
+    ::dup2(pipe_fds[1], STDOUT_FILENO);
+    ::close(pipe_fds[0]);
+    ::close(pipe_fds[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const std::string& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    std::fprintf(stderr, "exec %s: %s\n", binary.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+  }
+  ::close(pipe_fds[1]);
+  child->pid = pid;
+  child->stdout_fd = pipe_fds[0];
+
+  std::string line;
+  char byte;
+  while (true) {
+    const ssize_t n = ::read(pipe_fds[0], &byte, 1);
+    if (n <= 0) {
+      std::fprintf(stderr, "child %s exited before LISTENING\n",
+                   binary.c_str());
+      PPC_CHECK_MSG(false, "child process failed to start");
+    }
+    if (byte == '\n') {
+      unsigned parsed = 0;
+      if (std::sscanf(line.c_str(), "LISTENING %u", &parsed) == 1) {
+        child->port = static_cast<uint16_t>(parsed);
+        return;
+      }
+      line.clear();
+      continue;
+    }
+    line.push_back(byte);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Workload.
+// ---------------------------------------------------------------------
+
+struct Query {
+  size_t tmpl;  // index into kTemplates
+  std::vector<double> point;
+};
+
+std::vector<int> TemplateDims() {
+  std::vector<int> dims;
+  for (const char* name : kTemplates) {
+    dims.push_back(EvaluationTemplate(name).ParameterDegree());
+  }
+  return dims;
+}
+
+/// Clustered points round-robin across templates — the same shape the
+/// leader was warmed with, so a confident predictor answers most of it.
+std::vector<Query> MakeWorkload(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<int> dims = TemplateDims();
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Query q;
+    q.tmpl = i % kTemplateCount;
+    const double center = kCenters[(i / 5) % kCenters.size()];
+    q.point.resize(static_cast<size_t>(dims[q.tmpl]));
+    for (double& v : q.point) {
+      v = std::clamp(center + rng.Uniform(-0.02, 0.02), 0.0, 1.0);
+    }
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+// ---------------------------------------------------------------------
+// Measurement.
+// ---------------------------------------------------------------------
+
+/// Per-shard-owner tallies for one phase. `hits` counts predicts the
+/// predictor answered (non-null plan); abstentions and failures miss.
+struct ShardTally {
+  size_t predicts = 0;
+  size_t hits = 0;
+  size_t executes = 0;
+
+  double hit_rate() const {
+    return predicts == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(predicts);
+  }
+};
+
+struct PhaseStats {
+  double seconds = 0.0;
+  size_t failures = 0;
+  std::vector<double> predict_latencies_us;
+  ShardTally per_shard[2];
+
+  size_t total() const {
+    return per_shard[0].predicts + per_shard[0].executes +
+           per_shard[1].predicts + per_shard[1].executes;
+  }
+  double qps() const {
+    return seconds > 0.0 ? static_cast<double>(total()) / seconds : 0.0;
+  }
+};
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0.0;
+  std::sort(values->begin(), values->end());
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(values->size() - 1) + 0.5);
+  return (*values)[std::min(index, values->size() - 1)];
+}
+
+/// Drives `per_client` queries from each of kClientThreads through the
+/// router, attributing each query to its owning shard via `ring` (the
+/// same pure placement function the router uses).
+PhaseStats DrivePhase(uint16_t router_port, const HashRing& ring,
+                      const std::vector<HashRing::Node>& shard_nodes,
+                      size_t per_client, uint64_t seed) {
+  std::vector<PhaseStats> per_thread(kClientThreads);
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClientThreads; ++t) {
+    threads.emplace_back([&, t] {
+      PhaseStats& stats = per_thread[static_cast<size_t>(t)];
+      PpcClient client;
+      if (!client.Connect("127.0.0.1", router_port).ok()) {
+        stats.failures += per_client;
+        return;
+      }
+      Rng mix_rng(seed + static_cast<uint64_t>(t) * 7919);
+      const std::vector<Query> workload = MakeWorkload(
+          per_client, seed + 1000 + static_cast<uint64_t>(t));
+      for (const Query& q : workload) {
+        const char* name = kTemplates[q.tmpl];
+        const auto owner = ring.Owner(name);
+        size_t shard = 0;
+        for (size_t s = 0; s < shard_nodes.size(); ++s) {
+          if (owner.ok() && owner.value() == shard_nodes[s]) {
+            shard = s;
+            break;
+          }
+        }
+        if (mix_rng.Uniform() < kPredictFraction) {
+          const auto begin = Clock::now();
+          auto predicted = client.Predict(name, q.point);
+          const double us = SecondsSince(begin) * 1e6;
+          if (!predicted.ok()) {
+            ++stats.failures;
+            continue;
+          }
+          stats.predict_latencies_us.push_back(us);
+          ++stats.per_shard[shard].predicts;
+          if (predicted.value().plan != kNullPlanId) {
+            ++stats.per_shard[shard].hits;
+          }
+        } else {
+          if (client.Execute(name, q.point).ok()) {
+            ++stats.per_shard[shard].executes;
+          } else {
+            ++stats.failures;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  PhaseStats merged;
+  merged.seconds = SecondsSince(start);
+  for (const PhaseStats& stats : per_thread) {
+    merged.failures += stats.failures;
+    merged.predict_latencies_us.insert(merged.predict_latencies_us.end(),
+                                       stats.predict_latencies_us.begin(),
+                                       stats.predict_latencies_us.end());
+    for (int s = 0; s < 2; ++s) {
+      merged.per_shard[s].predicts += stats.per_shard[s].predicts;
+      merged.per_shard[s].hits += stats.per_shard[s].hits;
+      merged.per_shard[s].executes += stats.per_shard[s].executes;
+    }
+  }
+  return merged;
+}
+
+std::string TallyJson(const ShardTally& tally) {
+  std::string out = "{\"predicts\": " + std::to_string(tally.predicts);
+  out += ", \"hits\": " + std::to_string(tally.hits);
+  out += ", \"executes\": " + std::to_string(tally.executes);
+  out += ", \"hit_rate\": " + JsonNumber(tally.hit_rate());
+  out += "}";
+  return out;
+}
+
+std::string PhaseJson(PhaseStats* phase) {
+  std::string out = "{\"seconds\": " + JsonNumber(phase->seconds);
+  out += ", \"requests\": " + std::to_string(phase->total());
+  out += ", \"qps\": " + JsonNumber(phase->qps());
+  out += ", \"failures\": " + std::to_string(phase->failures);
+  out += ", \"predict_p50_us\": " +
+         JsonNumber(Percentile(&phase->predict_latencies_us, 0.50));
+  out += ", \"predict_p95_us\": " +
+         JsonNumber(Percentile(&phase->predict_latencies_us, 0.95));
+  out += ", \"per_shard\": {\"leader\": " + TallyJson(phase->per_shard[0]);
+  out += ", \"joiner\": " + TallyJson(phase->per_shard[1]);
+  out += "}}";
+  return out;
+}
+
+void Run() {
+  PrintHeader("Sharded cluster throughput (router + 2 ppc_server shards)");
+  const std::string server_bin = BinaryPath("PPC_SERVER_BIN",
+                                            "/../src/ppc_server");
+  const std::string router_bin = BinaryPath("PPC_ROUTER_BIN",
+                                            "/../src/ppc_router");
+
+  // Shard A: the leader, warmed shard-direct.
+  ChildProcess leader;
+  Spawn(server_bin, {"--port=0"}, &leader);
+  std::printf("leader shard on :%u\n", leader.port);
+  {
+    PpcClient warm;
+    PPC_CHECK(warm.Connect("127.0.0.1", leader.port).ok());
+    const std::vector<Query> warmup =
+        MakeWorkload(kWarmupPerTemplate * kTemplateCount, 17);
+    for (const Query& q : warmup) {
+      const auto executed = warm.Execute(kTemplates[q.tmpl], q.point);
+      PPC_CHECK_MSG(executed.ok(), executed.status().ToString().c_str());
+    }
+    std::printf("warmed leader with %zu executes over %zu templates\n",
+                warmup.size(), kTemplateCount);
+  }
+
+  // Router fronting A alone.
+  ChildProcess router;
+  Spawn(router_bin,
+        {"--port=0", "--backends=127.0.0.1:" + std::to_string(leader.port)},
+        &router);
+  std::printf("router on :%u\n", router.port);
+  PrintRule();
+
+  const HashRing::Node leader_node{"127.0.0.1", leader.port};
+  HashRing single_ring;
+  single_ring.Add(leader_node);
+  PhaseStats steady =
+      DrivePhase(router.port, single_ring, {leader_node, leader_node},
+                 kSteadyPerClient, 23);
+  std::printf("steady (1 shard): %.2fs, %zu requests, %.0f qps, "
+              "hit rate %.3f, %zu failures\n",
+              steady.seconds, steady.total(), steady.qps(),
+              steady.per_shard[0].hit_rate(), steady.failures);
+
+  // Shard B: warm-started from A over the wire. Its readiness line is
+  // printed only after the snapshot is fetched, validated, and applied,
+  // so LISTENING-time IS the warm-up-to-steady time.
+  const auto join_start = Clock::now();
+  ChildProcess joiner;
+  Spawn(server_bin,
+        {"--port=0",
+         "--warm-start-from=127.0.0.1:" + std::to_string(leader.port)},
+        &joiner);
+  const double warmup_seconds = SecondsSince(join_start);
+  std::printf("joiner shard on :%u (warm start + ready in %.3fs)\n",
+              joiner.port, warmup_seconds);
+
+  const HashRing::Node joiner_node{"127.0.0.1", joiner.port};
+  {
+    PpcClient admin;
+    PPC_CHECK(admin.Connect("127.0.0.1", router.port).ok());
+    const auto added =
+        admin.Topology(wire::TopologyOp::kAdd, "127.0.0.1", joiner.port);
+    PPC_CHECK_MSG(added.ok(), added.status().ToString().c_str());
+    PPC_CHECK_MSG(added.value() == 2, "expected 2 backends after join");
+  }
+
+  HashRing joined_ring;
+  joined_ring.Add(leader_node);
+  joined_ring.Add(joiner_node);
+  PhaseStats joined =
+      DrivePhase(router.port, joined_ring, {leader_node, joiner_node},
+                 kJoinedPerClient, 41);
+  const double leader_rate = joined.per_shard[0].hit_rate();
+  const double joiner_rate = joined.per_shard[1].hit_rate();
+  std::printf("joined (2 shards): %.2fs, %zu requests, %.0f qps, "
+              "%zu failures\n",
+              joined.seconds, joined.total(), joined.qps(),
+              joined.failures);
+  std::printf("  leader: %zu predicts, hit rate %.3f\n",
+              joined.per_shard[0].predicts, leader_rate);
+  std::printf("  joiner: %zu predicts, hit rate %.3f\n",
+              joined.per_shard[1].predicts, joiner_rate);
+  PrintRule();
+
+  PPC_CHECK_MSG(joined.failures == 0, "joined phase had failures");
+  PPC_CHECK_MSG(joined.per_shard[1].predicts > 0,
+                "ring placement sent the joiner no predicts");
+  // The scale-out claim: a warm-started joiner serves at the leader's
+  // hit rate immediately. A cold shard would sit near zero until its
+  // own executes re-learned the workload.
+  const double gap = leader_rate - joiner_rate;
+  std::printf("hit-rate gap (leader - joiner): %.3f\n", gap);
+  PPC_CHECK_MSG(gap <= 0.05,
+                "warm-started joiner trails the leader by more than 5 "
+                "points — warm start is not working");
+
+  std::string body = "\"steady\": " + PhaseJson(&steady);
+  body += ",\n\"joined\": " + PhaseJson(&joined);
+  body += ",\n\"warmup_seconds\": " + JsonNumber(warmup_seconds);
+  body += ",\n\"hit_rate_gap\": " + JsonNumber(gap);
+  body += ",\n\"client_threads\": " + std::to_string(kClientThreads);
+  body += ",\n\"templates\": " + std::to_string(kTemplateCount);
+  WriteBenchJson("cluster_throughput", body);
+
+  // Orderly teardown: router first (drains its backend connections),
+  // then the shards. ~ChildProcess would do the same on scope exit.
+  router.Terminate();
+  joiner.Terminate();
+  leader.Terminate();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

@@ -64,9 +64,10 @@ void Run() {
                   r.execute_seconds * 1e3, r.optimizer_calls,
                   r.predictions_used, r.MeanSuboptimality());
       if (!json_rows.empty()) json_rows += ",\n";
-      json_rows += "    {\"template\": \"" + std::string(name) + "\"";
-      json_rows += ", \"strategy\": \"" +
-                   std::string(CachingStrategyName(strategy)) + "\"";
+      json_rows += "    {\"template\": ";
+      AppendJsonString(name, &json_rows);
+      json_rows += ", \"strategy\": ";
+      AppendJsonString(CachingStrategyName(strategy), &json_rows);
       json_rows += ", \"total_ms\": " + JsonNumber(r.TotalSeconds() * 1e3);
       json_rows +=
           ", \"optimize_ms\": " + JsonNumber(r.optimize_seconds * 1e3);

@@ -230,8 +230,9 @@ inline void WriteBenchJson(const std::string& name, const std::string& body) {
     std::printf("warning: could not write %s\n", path.c_str());
     return;
   }
-  std::fprintf(json, "{\"bench\": \"%s\",\n%s\n}\n", name.c_str(),
-               body.c_str());
+  std::string header = "{\"bench\": ";
+  AppendJsonString(name, &header);
+  std::fprintf(json, "%s,\n%s\n}\n", header.c_str(), body.c_str());
   std::fclose(json);
   std::printf("wrote %s\n", path.c_str());
 }

@@ -2,11 +2,13 @@
 # Full verification sweep:
 #   1. documentation checks (markdown links, header doc presence),
 #   2. plain build + the entire test suite (the tier-1 gate),
-#   3. the JSON-emitting benches + validation of every BENCH_*.json,
-#   4. server smoke test (live TCP round-trips + clean shutdown),
-#   5. ASan build + the entire test suite,
-#   6. TSan build + the concurrency, metrics and server tests,
-#   7. chaos stage: the randomized fault-injection tests (ctest label
+#   3. cluster smoke test (router + 2 shards as real processes, with a
+#      wire-level warm start),
+#   4. the JSON-emitting benches + validation of every BENCH_*.json,
+#   5. server smoke test (live TCP round-trips + clean shutdown),
+#   6. ASan build + the entire test suite,
+#   7. TSan build + the concurrency, metrics, server and router tests,
+#   8. chaos stage: the randomized fault-injection tests (ctest label
 #      `chaos`) under both sanitizers.
 # The deterministic ctest stages exclude the chaos label (-LE chaos) so
 # their runtime stays flat; the chaos stage runs it explicitly (-L chaos).
@@ -25,6 +27,15 @@ echo "==> plain build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -LE chaos -j "$JOBS")
+
+echo "==> cluster smoke test (ppc_router + 2 ppc_server shards, real processes)"
+# bench_cluster_throughput fork/execs the ppc_server and ppc_router
+# binaries, waits on their LISTENING readiness lines, warm-starts the
+# second shard from the first over SNAPSHOT, and asserts the joiner's
+# hit rate matches the leader's — a non-zero exit or a hang fails the
+# sweep. Its BENCH_cluster_throughput.json is validated below.
+(cd build && timeout 180 ./bench/bench_cluster_throughput >/dev/null)
+echo "    warm-started join + routed round-trips + clean teardown ok"
 
 echo "==> machine-readable bench output (BENCH_*.json) is valid JSON"
 (
@@ -68,7 +79,7 @@ cmake -B build-tsan -S . -DPPC_SANITIZE=thread \
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && \
   ctest --output-on-failure -LE chaos \
-    -R 'Concurrent|MetricsRegistry|FrameworkMetrics|Server' \
+    -R 'Concurrent|MetricsRegistry|FrameworkMetrics|Server|Router|HashRing|ClientReconnect' \
     -j "$JOBS")
 
 # Chaos stage: randomized mixed traffic against a live server while a

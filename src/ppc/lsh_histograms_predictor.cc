@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <mutex>
+#include <string_view>
 
 #include "clustering/confidence.h"
+#include "common/bytes.h"
+#include "common/hash.h"
 #include "common/math_utils.h"
 
 namespace ppc {
@@ -300,41 +304,116 @@ void LshHistogramsPredictor::Reset() {
 }
 
 namespace {
-constexpr uint32_t kSnapshotMagic = 0x50504331;  // "PPC1"
+
+/// Snapshot container format v2: the unversioned v1 layout (magic
+/// 0x50504331 followed immediately by raw config fields) is rejected so a
+/// layout change can never misparse an old blob as the new one. v2 wraps
+/// the payload in an envelope — magic, format version, length-prefixed
+/// config and data sections, and a trailing FNV-1a checksum over every
+/// preceding byte — validated outside-in before any field is interpreted.
+constexpr uint32_t kLegacySnapshotMagic = 0x50504331;  // "PPC1"
+constexpr uint32_t kSnapshotMagic = 0x50504353;        // "PPCS"
+constexpr uint32_t kSnapshotVersion = 2;
+constexpr size_t kSnapshotChecksumBytes = sizeof(uint64_t);
+
 }  // namespace
 
 std::string LshHistogramsPredictor::Serialize() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
+  ByteWriter config_section;
+  config_section.PutU32(static_cast<uint32_t>(config_.dimensions));
+  config_section.PutU32(static_cast<uint32_t>(config_.transform_count));
+  config_section.PutU32(static_cast<uint32_t>(config_.output_dims));
+  config_section.PutU32(static_cast<uint32_t>(config_.bits_per_dim));
+  config_section.PutU64(config_.histogram_buckets);
+  config_section.PutDouble(config_.radius);
+  config_section.PutDouble(config_.confidence_threshold);
+  config_section.PutDouble(config_.noise_fraction);
+  config_section.PutU8(static_cast<uint8_t>(config_.merge_policy));
+  config_section.PutU64(config_.seed);
+  config_section.PutU8(config_.interval_decomposition ? 1 : 0);
+  config_section.PutU64(config_.max_z_intervals);
+
+  ByteWriter data_section;
+  data_section.PutU64(total_samples_);
+  data_section.PutU32(static_cast<uint32_t>(synopses_.size()));
+  for (const auto& [plan, synopsis] : synopses_) {
+    data_section.PutU64(plan);
+    synopsis.SerializeTo(&data_section);
+  }
+
   ByteWriter writer;
   writer.PutU32(kSnapshotMagic);
-  writer.PutU32(static_cast<uint32_t>(config_.dimensions));
-  writer.PutU32(static_cast<uint32_t>(config_.transform_count));
-  writer.PutU32(static_cast<uint32_t>(config_.output_dims));
-  writer.PutU32(static_cast<uint32_t>(config_.bits_per_dim));
-  writer.PutU64(config_.histogram_buckets);
-  writer.PutDouble(config_.radius);
-  writer.PutDouble(config_.confidence_threshold);
-  writer.PutDouble(config_.noise_fraction);
-  writer.PutU8(static_cast<uint8_t>(config_.merge_policy));
-  writer.PutU64(config_.seed);
-  writer.PutU8(config_.interval_decomposition ? 1 : 0);
-  writer.PutU64(config_.max_z_intervals);
-  writer.PutU64(total_samples_);
-  writer.PutU32(static_cast<uint32_t>(synopses_.size()));
-  for (const auto& [plan, synopsis] : synopses_) {
-    writer.PutU64(plan);
-    synopsis.SerializeTo(&writer);
-  }
+  writer.PutU32(kSnapshotVersion);
+  // PutString's u32 length prefix doubles as the per-section length.
+  writer.PutString(config_section.buffer());
+  writer.PutString(data_section.buffer());
+  writer.PutU64(Fnv1a64(writer.buffer()));
   return writer.Take();
 }
 
 Result<LshHistogramsPredictor> LshHistogramsPredictor::Restore(
     const std::string& bytes) {
+  // Envelope validation, outside-in. Every failure here is
+  // InvalidArgument: a snapshot that cannot be structurally trusted must
+  // never surface as a partial parse or an abort.
+  constexpr size_t kEnvelopeBytes =
+      4 /* magic */ + 4 /* version */ + 4 + 4 /* section lengths */ +
+      kSnapshotChecksumBytes;
+  if (bytes.size() < kEnvelopeBytes) {
+    return Status::InvalidArgument("snapshot shorter than its envelope");
+  }
   ByteReader reader(bytes);
   PPC_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+  if (magic == kLegacySnapshotMagic) {
+    return Status::InvalidArgument(
+        "unversioned v1 predictor snapshot is no longer supported");
+  }
   if (magic != kSnapshotMagic) {
     return Status::InvalidArgument("not a predictor snapshot");
   }
+  PPC_ASSIGN_OR_RETURN(uint32_t version, reader.GetU32());
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("unsupported snapshot format version " +
+                                   std::to_string(version));
+  }
+  // The trailing checksum covers every byte before it, so truncation,
+  // bit flips, and corrupted section lengths all fail right here with
+  // one error instead of whatever the damaged bytes happen to parse as.
+  const uint64_t stored_checksum = [&] {
+    uint64_t v;
+    std::memcpy(&v, bytes.data() + bytes.size() - kSnapshotChecksumBytes,
+                kSnapshotChecksumBytes);
+    return v;
+  }();
+  const uint64_t computed_checksum = Fnv1a64(std::string_view(bytes).substr(
+      0, bytes.size() - kSnapshotChecksumBytes));
+  if (stored_checksum != computed_checksum) {
+    return Status::InvalidArgument(
+        "snapshot checksum mismatch (truncated or corrupted)");
+  }
+  auto sections = [&]() -> Result<LshHistogramsPredictor> {
+    PPC_ASSIGN_OR_RETURN(std::string config_bytes, reader.GetString());
+    PPC_ASSIGN_OR_RETURN(std::string data_bytes, reader.GetString());
+    PPC_ASSIGN_OR_RETURN(uint64_t checksum, reader.GetU64());
+    (void)checksum;  // verified above
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument("trailing bytes after snapshot");
+    }
+    return RestoreParsed(config_bytes, data_bytes);
+  }();
+  if (!sections.ok() && sections.status().code() == StatusCode::kOutOfRange) {
+    // A checksum-consistent blob whose internal lengths still disagree
+    // (the checksum was recomputed over corrupted sections) is malformed
+    // input, not a caller range error.
+    return Status::InvalidArgument(sections.status().message());
+  }
+  return sections;
+}
+
+Result<LshHistogramsPredictor> LshHistogramsPredictor::RestoreParsed(
+    const std::string& config_bytes, const std::string& data_bytes) {
+  ByteReader reader(config_bytes);
   Config config;
   PPC_ASSIGN_OR_RETURN(uint32_t dimensions, reader.GetU32());
   PPC_ASSIGN_OR_RETURN(uint32_t transform_count, reader.GetU32());
@@ -359,6 +438,10 @@ Result<LshHistogramsPredictor> LshHistogramsPredictor::Restore(
   PPC_ASSIGN_OR_RETURN(uint8_t decomposition_byte, reader.GetU8());
   config.interval_decomposition = decomposition_byte != 0;
   PPC_ASSIGN_OR_RETURN(config.max_z_intervals, reader.GetU64());
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "snapshot config section has trailing bytes");
+  }
 
   // Validate the full configuration before constructing anything: a
   // malformed snapshot must fail as InvalidArgument here, not trip
@@ -388,22 +471,59 @@ Result<LshHistogramsPredictor> LshHistogramsPredictor::Restore(
   }
 
   LshHistogramsPredictor predictor(config);
-  PPC_ASSIGN_OR_RETURN(predictor.total_samples_, reader.GetU64());
-  PPC_ASSIGN_OR_RETURN(uint32_t plan_count, reader.GetU32());
+  ByteReader data_reader(data_bytes);
+  PPC_ASSIGN_OR_RETURN(predictor.total_samples_, data_reader.GetU64());
+  PPC_ASSIGN_OR_RETURN(uint32_t plan_count, data_reader.GetU32());
   for (uint32_t i = 0; i < plan_count; ++i) {
-    PPC_ASSIGN_OR_RETURN(uint64_t plan, reader.GetU64());
+    PPC_ASSIGN_OR_RETURN(uint64_t plan, data_reader.GetU64());
     PPC_ASSIGN_OR_RETURN(PlanSynopsis synopsis,
-                         PlanSynopsis::Deserialize(&reader));
+                         PlanSynopsis::Deserialize(&data_reader));
     if (synopsis.transform_count() != predictor.transforms_.size()) {
       return Status::InvalidArgument(
           "synopsis transform count mismatches configuration");
     }
     predictor.synopses_.emplace(plan, std::move(synopsis));
   }
-  if (!reader.AtEnd()) {
-    return Status::InvalidArgument("trailing bytes after snapshot");
+  if (!data_reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "snapshot data section has trailing bytes");
   }
   return predictor;
+}
+
+Status LshHistogramsPredictor::AdoptState(
+    const LshHistogramsPredictor& snapshot) {
+  const Config& a = config_;
+  const Config& b = snapshot.config_;
+  // The transforms are a pure function of (config, seed); any mismatch
+  // means the incoming histograms were built over different intermediate
+  // spaces and would answer garbage here.
+  if (a.dimensions != b.dimensions ||
+      a.transform_count != b.transform_count ||
+      a.output_dims != b.output_dims || a.bits_per_dim != b.bits_per_dim ||
+      a.histogram_buckets != b.histogram_buckets || a.radius != b.radius ||
+      a.confidence_threshold != b.confidence_threshold ||
+      a.noise_fraction != b.noise_fraction ||
+      a.interval_decomposition != b.interval_decomposition ||
+      a.max_z_intervals != b.max_z_intervals ||
+      a.merge_policy != b.merge_policy || a.seed != b.seed) {
+    return Status::InvalidArgument(
+        "snapshot predictor configuration differs from local configuration");
+  }
+  // Copy out of the snapshot under its read lock, then swap in under our
+  // write lock. Not intended for two live predictors adopting each other
+  // concurrently (warm-start sources are freshly restored locals).
+  std::map<PlanId, PlanSynopsis> synopses;
+  size_t total_samples;
+  {
+    std::shared_lock<std::shared_mutex> source_lock(snapshot.mu_);
+    synopses = snapshot.synopses_;
+    total_samples = snapshot.total_samples_;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  synopses_ = std::move(synopses);
+  total_samples_ = total_samples;
+  return Status::OK();
 }
 
 }  // namespace ppc

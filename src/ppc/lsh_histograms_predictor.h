@@ -107,12 +107,27 @@ class LshHistogramsPredictor : public PlanPredictor {
   /// per-plan synopses). The randomized transforms are reconstructed
   /// deterministically from the serialized seed, so a restored predictor
   /// answers every query identically to the original. Enables a plan
-  /// cache whose learned state survives server restarts.
+  /// cache whose learned state survives server restarts and, via
+  /// PredictorState, replicates across shards. Format v2 (DESIGN.md
+  /// §15): magic, format version, length-prefixed config and data
+  /// sections, trailing FNV-1a checksum over everything preceding it.
   std::string Serialize() const;
 
   /// Rebuilds a predictor from Serialize() output. Fails with
-  /// InvalidArgument / OutOfRange on malformed or truncated input.
+  /// InvalidArgument on malformed, truncated, corrupted, or
+  /// stale-version input (the unversioned v1 layout is rejected, not
+  /// misparsed).
   static Result<LshHistogramsPredictor> Restore(const std::string& bytes);
+
+  /// Replaces this predictor's learned state (synopses + sample count)
+  /// with `snapshot`'s, in place under the write lock, so references held
+  /// by concurrent readers stay valid. The two configurations must be
+  /// identical — the transforms are derived from (config, seed), and
+  /// adopting histograms built under different transforms would silently
+  /// answer garbage. Fails with InvalidArgument on any config mismatch.
+  /// This is the warm-start path: a joining shard restores a leader
+  /// snapshot and adopts it into its registered predictors.
+  Status AdoptState(const LshHistogramsPredictor& snapshot);
 
   size_t TotalSamples() const {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -140,6 +155,12 @@ class LshHistogramsPredictor : public PlanPredictor {
 
  private:
   Prediction PredictLocked(const std::vector<double>& x) const;
+
+  /// Parses the checksum-verified config and data section payloads. Kept
+  /// separate from Restore so envelope validation (magic, version,
+  /// section lengths, checksum) and content validation cannot interleave.
+  static Result<LshHistogramsPredictor> RestoreParsed(
+      const std::string& config_bytes, const std::string& data_bytes);
 
   Config config_;
   TransformEnsemble transforms_;

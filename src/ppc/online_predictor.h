@@ -115,6 +115,17 @@ class OnlinePpcPredictor {
   void ReportPredictionOutcome(const Prediction& prediction,
                                PlanId true_plan);
 
+  /// Warm-start (replication): replaces the histogram predictor's learned
+  /// state with `snapshot`'s, in place, so a joining shard serves from a
+  /// leader's densities instead of cold-learning. The tracker, RNG and
+  /// feedback counters are deliberately left untouched — precision/recall
+  /// windows measure *this* replica's serving quality, not the leader's.
+  /// Fails with InvalidArgument on any predictor-config mismatch.
+  Status WarmStart(const LshHistogramsPredictor& snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return predictor_.AdoptState(snapshot);
+  }
+
   /// Thread-safe snapshots of the tracker's estimates.
   double TemplatePrecision() const;
   double PlanPrecision(PlanId plan) const;

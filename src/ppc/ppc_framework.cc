@@ -292,6 +292,21 @@ const OnlinePpcPredictor* PpcFramework::online_predictor(
   return it == templates_.end() ? nullptr : it->second->online.get();
 }
 
+OnlinePpcPredictor* PpcFramework::mutable_online_predictor(
+    const std::string& template_name) {
+  std::shared_lock<std::shared_mutex> lock(templates_mu_);
+  auto it = templates_.find(template_name);
+  return it == templates_.end() ? nullptr : it->second->online.get();
+}
+
+std::vector<std::string> PpcFramework::TemplateNames() const {
+  std::shared_lock<std::shared_mutex> lock(templates_mu_);
+  std::vector<std::string> names;
+  names.reserve(templates_.size());
+  for (const auto& [name, state] : templates_) names.push_back(name);
+  return names;
+}
+
 PpcFramework::FrameworkMetrics PpcFramework::MetricsSnapshot() const {
   FrameworkMetrics snap;
   snap.registry = metrics_.TakeSnapshot();

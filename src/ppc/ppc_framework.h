@@ -152,6 +152,20 @@ class PpcFramework {
   const OnlinePpcPredictor* online_predictor(
       const std::string& template_name) const;
 
+  /// Mutable access to one template's online predictor, for the
+  /// replication path (PredictorState warm-start). nullptr if unknown.
+  OnlinePpcPredictor* mutable_online_predictor(
+      const std::string& template_name);
+
+  /// Names of all registered templates, in registry (sorted) order.
+  std::vector<std::string> TemplateNames() const;
+
+  /// Monotonic per-process sequence stamped onto captured PredictorState
+  /// snapshots, so replicas can order snapshots from one leader.
+  uint64_t NextSnapshotSequence() const {
+    return snapshot_sequence_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   PlanCache& plan_cache() { return plan_cache_; }
   const PlanCache& plan_cache() const { return plan_cache_; }
   const Optimizer& optimizer() const { return optimizer_; }
@@ -200,6 +214,7 @@ class PpcFramework {
   /// the (uncontended-after-seal) shared side.
   mutable std::shared_mutex templates_mu_;
   std::atomic<bool> sealed_{false};
+  mutable std::atomic<uint64_t> snapshot_sequence_{0};
   std::map<std::string, std::unique_ptr<TemplateState>> templates_;
 };
 

@@ -1,0 +1,226 @@
+#include "ppc/predictor_state.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "ppc/lsh_histograms_predictor.h"
+#include "ppc/ppc_framework.h"
+
+namespace ppc {
+
+namespace {
+
+/// Replication container format v1. Same envelope discipline as the
+/// predictor snapshot (magic | version | payload | trailing FNV-1a
+/// checksum), with a distinct magic so the two blob kinds can never be
+/// confused for each other on the wire.
+constexpr uint32_t kStateMagic = 0x50504352;  // "PPCR"
+constexpr uint32_t kStateVersion = 1;
+constexpr size_t kChecksumBytes = sizeof(uint64_t);
+/// An adversarial count field must not drive allocation; real
+/// deployments register a handful of templates.
+constexpr uint32_t kMaxTemplates = 4096;
+
+}  // namespace
+
+PredictorState PredictorState::Capture(const PpcFramework& framework) {
+  PredictorState state;
+  state.sequence_ = framework.NextSnapshotSequence();
+  for (const std::string& name : framework.TemplateNames()) {
+    const OnlinePpcPredictor* online = framework.online_predictor(name);
+    if (online == nullptr) continue;  // unregistered between the two reads
+    TemplateEntry entry;
+    entry.name = name;
+    entry.blob = online->predictor().Serialize();
+    entry.content_hash = Fnv1a64(entry.blob);
+    state.entries_.push_back(std::move(entry));
+  }
+  return state;
+}
+
+std::string PredictorState::SerializeEntries(
+    const std::vector<TemplateEntry>& entries, bool is_delta) const {
+  ByteWriter writer;
+  writer.PutU32(kStateMagic);
+  writer.PutU32(kStateVersion);
+  writer.PutU8(is_delta ? 1 : 0);
+  writer.PutU64(sequence_);
+  writer.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const TemplateEntry& entry : entries) {
+    writer.PutString(entry.name);
+    writer.PutU64(entry.content_hash);
+    writer.PutString(entry.blob);
+  }
+  writer.PutU64(Fnv1a64(writer.buffer()));
+  return writer.Take();
+}
+
+std::string PredictorState::Serialize() const {
+  return SerializeEntries(entries_, /*is_delta=*/false);
+}
+
+std::string PredictorState::SerializeDelta(const PredictorState& base) const {
+  std::vector<TemplateEntry> changed;
+  for (const TemplateEntry& entry : entries_) {
+    const auto it = std::find_if(
+        base.entries_.begin(), base.entries_.end(),
+        [&](const TemplateEntry& b) { return b.name == entry.name; });
+    if (it == base.entries_.end() || it->content_hash != entry.content_hash) {
+      changed.push_back(entry);
+    }
+  }
+  return SerializeEntries(changed, /*is_delta=*/true);
+}
+
+namespace {
+
+/// Envelope + payload parse shared by Restore and RestoreDelta; returns
+/// the parsed fields without merge semantics.
+struct ParsedState {
+  bool is_delta = false;
+  uint64_t sequence = 0;
+  std::vector<PredictorState::TemplateEntry> entries;
+};
+
+Result<ParsedState> ParseState(const std::string& bytes) {
+  constexpr size_t kEnvelopeBytes =
+      4 /* magic */ + 4 /* version */ + 1 /* is_delta */ + 8 /* sequence */ +
+      4 /* count */ + kChecksumBytes;
+  if (bytes.size() < kEnvelopeBytes) {
+    return Status::InvalidArgument("state snapshot shorter than its envelope");
+  }
+  ByteReader reader(bytes);
+  PPC_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+  if (magic != kStateMagic) {
+    return Status::InvalidArgument("not a predictor-state snapshot");
+  }
+  PPC_ASSIGN_OR_RETURN(uint32_t version, reader.GetU32());
+  if (version != kStateVersion) {
+    return Status::InvalidArgument(
+        "unsupported predictor-state snapshot version " +
+        std::to_string(version));
+  }
+  uint64_t stored_checksum;
+  std::memcpy(&stored_checksum, bytes.data() + bytes.size() - kChecksumBytes,
+              kChecksumBytes);
+  if (stored_checksum != Fnv1a64(std::string_view(bytes).substr(
+                             0, bytes.size() - kChecksumBytes))) {
+    return Status::InvalidArgument(
+        "state snapshot checksum mismatch (truncated or corrupted)");
+  }
+  auto parse = [&]() -> Result<ParsedState> {
+    ParsedState parsed;
+    PPC_ASSIGN_OR_RETURN(uint8_t delta_byte, reader.GetU8());
+    if (delta_byte > 1) {
+      return Status::InvalidArgument("state snapshot delta flag out of range");
+    }
+    parsed.is_delta = delta_byte != 0;
+    PPC_ASSIGN_OR_RETURN(parsed.sequence, reader.GetU64());
+    PPC_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+    if (count > kMaxTemplates) {
+      return Status::InvalidArgument("state snapshot template count " +
+                                     std::to_string(count) + " exceeds limit");
+    }
+    parsed.entries.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      PredictorState::TemplateEntry entry;
+      PPC_ASSIGN_OR_RETURN(entry.name, reader.GetString());
+      PPC_ASSIGN_OR_RETURN(entry.content_hash, reader.GetU64());
+      PPC_ASSIGN_OR_RETURN(entry.blob, reader.GetString());
+      if (entry.content_hash != Fnv1a64(entry.blob)) {
+        return Status::InvalidArgument("template '" + entry.name +
+                                       "' content hash mismatch");
+      }
+      if (!parsed.entries.empty() && entry.name <= parsed.entries.back().name) {
+        return Status::InvalidArgument(
+            "state snapshot template names not strictly increasing");
+      }
+      parsed.entries.push_back(std::move(entry));
+    }
+    PPC_ASSIGN_OR_RETURN(uint64_t checksum, reader.GetU64());
+    (void)checksum;  // verified above
+    if (!reader.AtEnd()) {
+      return Status::InvalidArgument("trailing bytes after state snapshot");
+    }
+    return parsed;
+  }();
+  if (!parse.ok() && parse.status().code() == StatusCode::kOutOfRange) {
+    // Checksum-consistent but internally inconsistent lengths: malformed
+    // input, not a caller range error.
+    return Status::InvalidArgument(parse.status().message());
+  }
+  return parse;
+}
+
+}  // namespace
+
+Result<PredictorState> PredictorState::Restore(const std::string& bytes) {
+  PPC_ASSIGN_OR_RETURN(ParsedState parsed, ParseState(bytes));
+  if (parsed.is_delta) {
+    return Status::InvalidArgument(
+        "delta state snapshot requires a base (use RestoreDelta)");
+  }
+  PredictorState state;
+  state.sequence_ = parsed.sequence;
+  state.entries_ = std::move(parsed.entries);
+  return state;
+}
+
+Result<PredictorState> PredictorState::RestoreDelta(
+    const std::string& bytes, const PredictorState& base) {
+  PPC_ASSIGN_OR_RETURN(ParsedState parsed, ParseState(bytes));
+  if (!parsed.is_delta) {
+    return Status::InvalidArgument(
+        "full state snapshot passed where a delta was expected");
+  }
+  PredictorState merged;
+  merged.sequence_ = parsed.sequence;
+  merged.entries_ = base.entries_;
+  for (auto& entry : parsed.entries) {
+    const auto it = std::find_if(
+        merged.entries_.begin(), merged.entries_.end(),
+        [&](const TemplateEntry& e) { return e.name == entry.name; });
+    if (it != merged.entries_.end()) {
+      *it = std::move(entry);
+    } else {
+      merged.entries_.push_back(std::move(entry));
+    }
+  }
+  std::sort(merged.entries_.begin(), merged.entries_.end(),
+            [](const TemplateEntry& a, const TemplateEntry& b) {
+              return a.name < b.name;
+            });
+  return merged;
+}
+
+Result<PredictorState::ApplyReport> PredictorState::ApplyTo(
+    PpcFramework* framework) const {
+  ApplyReport report;
+  for (const TemplateEntry& entry : entries_) {
+    OnlinePpcPredictor* online =
+        framework->mutable_online_predictor(entry.name);
+    if (online == nullptr) {
+      ++report.templates_skipped;
+      continue;
+    }
+    PPC_ASSIGN_OR_RETURN(LshHistogramsPredictor restored,
+                         LshHistogramsPredictor::Restore(entry.blob));
+    PPC_RETURN_NOT_OK(online->WarmStart(restored));
+    ++report.templates_applied;
+  }
+  return report;
+}
+
+uint64_t PredictorState::ContentHash() const {
+  ByteWriter writer;
+  for (const TemplateEntry& entry : entries_) {
+    writer.PutString(entry.name);
+    writer.PutU64(entry.content_hash);
+  }
+  return Fnv1a64(writer.buffer());
+}
+
+}  // namespace ppc

@@ -1,0 +1,102 @@
+#ifndef PPC_PPC_PREDICTOR_STATE_H_
+#define PPC_PPC_PREDICTOR_STATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppc {
+
+class PpcFramework;
+
+/// The replicable half of a PpcFramework: every registered template's
+/// learned predictor state, captured as one versioned, checksummed blob.
+///
+/// This is the unit of warm-start replication (DESIGN.md §15): a leader
+/// shard captures its state, a joining shard fetches the blob over the
+/// wire (SNAPSHOT), validates it outside-in, and adopts it into its own
+/// registered predictors — serving from the leader's densities instead of
+/// cold-learning. The framework's *non*-replicable state (plan cache
+/// contents, precision/recall windows, RNGs) deliberately stays local:
+/// plans re-enter a replica's cache through its own optimizer, and the
+/// estimator windows must measure the replica's serving quality.
+///
+/// Each per-template predictor blob is itself the predictor's versioned
+/// snapshot format, carried opaquely here with a content hash — so delta
+/// snapshots (templates changed since a base) fall out of hash
+/// comparison, and a replica can cheaply tell whether anything changed.
+class PredictorState {
+ public:
+  struct TemplateEntry {
+    std::string name;
+    /// FNV-1a of `blob`; doubles as per-entry integrity check and the
+    /// change detector for delta serialization.
+    uint64_t content_hash = 0;
+    /// LshHistogramsPredictor::Serialize() output (opaque here).
+    std::string blob;
+  };
+
+  /// Outcome of ApplyTo: how many templates were warm-started and how
+  /// many were skipped because the target framework does not register
+  /// them (heterogeneous template sets are allowed; config mismatches on
+  /// a shared template are not — they fail the whole apply).
+  struct ApplyReport {
+    size_t templates_applied = 0;
+    size_t templates_skipped = 0;
+  };
+
+  PredictorState() = default;
+
+  /// Captures every registered template's predictor snapshot. Safe
+  /// against concurrent serving (each predictor serializes under its
+  /// read lock); the capture is per-template consistent, not one atomic
+  /// cut across templates — the same guarantee MetricsSnapshot gives.
+  static PredictorState Capture(const PpcFramework& framework);
+
+  /// Serializes as a full snapshot (format PPCR v1, trailing FNV-1a
+  /// checksum).
+  std::string Serialize() const;
+
+  /// Serializes only the templates whose content hash differs from (or
+  /// is absent in) `base`, flagged as a delta. Applying requires the
+  /// base: see RestoreDelta.
+  std::string SerializeDelta(const PredictorState& base) const;
+
+  /// Parses a full snapshot. Fails with InvalidArgument on bad magic,
+  /// unsupported version, checksum mismatch, structural corruption, or a
+  /// delta blob (which needs RestoreDelta).
+  static Result<PredictorState> Restore(const std::string& bytes);
+
+  /// Parses a delta blob and overlays it on `base`, returning the merged
+  /// state stamped with the delta's sequence.
+  static Result<PredictorState> RestoreDelta(const std::string& bytes,
+                                             const PredictorState& base);
+
+  /// Warm-starts `framework`'s registered predictors from this state.
+  /// Templates unknown to the framework are skipped (counted); a
+  /// predictor-config mismatch or corrupt per-template blob fails the
+  /// whole apply with InvalidArgument.
+  Result<ApplyReport> ApplyTo(PpcFramework* framework) const;
+
+  /// Leader-side capture sequence (monotonic per process).
+  uint64_t sequence() const { return sequence_; }
+  /// Entries sorted by template name.
+  const std::vector<TemplateEntry>& entries() const { return entries_; }
+
+  /// Order-sensitive hash over (name, content_hash) pairs: equal hashes
+  /// mean the two states carry identical predictor bytes.
+  uint64_t ContentHash() const;
+
+ private:
+  std::string SerializeEntries(const std::vector<TemplateEntry>& entries,
+                               bool is_delta) const;
+
+  uint64_t sequence_ = 0;
+  std::vector<TemplateEntry> entries_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_PPC_PREDICTOR_STATE_H_

@@ -28,6 +28,7 @@ Status PpcClient::Connect(const std::string& host, uint16_t port) {
     Result<int> fd = net::Connect(host, port);
     if (fd.ok()) {
       fd_ = fd.value();
+      ++connection_generation_;
       return Status::OK();
     }
     last = fd.status();
@@ -40,8 +41,10 @@ void PpcClient::Close() {
     ::close(fd_);
     fd_ = -1;
   }
+  // Partial frames died with the stream, but parked responses were
+  // received whole and decoded — they still answer their Wait() calls
+  // after the loss.
   frames_.Reset();
-  parked_.clear();
 }
 
 bool PpcClient::BackoffBeforeRetry(int attempt,
@@ -97,6 +100,7 @@ Result<wire::Response> PpcClient::RoundTrip(wire::Request request) {
         continue;
       }
       fd_ = fd.value();
+      ++connection_generation_;
       ++stats_.reconnects;
     }
     request.id = next_id_++;
@@ -134,6 +138,7 @@ Result<uint64_t> PpcClient::SendRequest(wire::MessageType type,
   std::string frame;
   wire::EncodeRequest(request, &frame);
   PPC_RETURN_NOT_OK(SendEncoded(frame, CallDeadline()));
+  in_flight_[request.id] = connection_generation_;
   return request.id;
 }
 
@@ -159,6 +164,7 @@ Result<uint64_t> PpcClient::SendPredictBatch(
   std::string frame;
   wire::EncodeRequest(request, &frame);
   PPC_RETURN_NOT_OK(SendEncoded(frame, CallDeadline()));
+  in_flight_[request.id] = connection_generation_;
   return request.id;
 }
 
@@ -182,7 +188,26 @@ Result<wire::Response> PpcClient::Wait(uint64_t id) {
     parked_.erase(parked);
     return response;
   }
-  return ReadUntil(id, CallDeadline());
+  auto sent = in_flight_.find(id);
+  if (sent == in_flight_.end()) {
+    return Status::FailedPrecondition(
+        "request " + std::to_string(id) +
+        " is not in flight (never sent, or already collected)");
+  }
+  // A response can only ever arrive on the stream its request was sent
+  // on. If that connection is gone — whether or not a synchronous call
+  // has since reconnected and bumped the generation — reading would at
+  // best block until the deadline and at worst (infinite deadline, new
+  // connection) hang forever on bytes that can never match.
+  if (sent->second != connection_generation_ || !connected()) {
+    in_flight_.erase(sent);
+    return Status::Unavailable(
+        "connection lost after request " + std::to_string(id) +
+        " was sent; its response can never arrive");
+  }
+  Result<wire::Response> response = ReadUntil(id, CallDeadline());
+  in_flight_.erase(id);
+  return response;
 }
 
 Result<wire::Response> PpcClient::ReadUntil(uint64_t id,
@@ -205,6 +230,9 @@ Result<wire::Response> PpcClient::ReadUntil(uint64_t id,
         return decoded.status();
       }
       if (decoded.value().id == id) return std::move(decoded.value());
+      // Fully received: from here the parked copy answers its Wait(),
+      // so the in-flight record (tied to the connection) is done.
+      in_flight_.erase(decoded.value().id);
       parked_[decoded.value().id] = std::move(decoded.value());
     }
     Result<size_t> received =
@@ -295,6 +323,35 @@ Status PpcClient::Shutdown() {
   request.type = wire::MessageType::kShutdown;
   PPC_ASSIGN_OR_RETURN(wire::Response response, RoundTrip(std::move(request)));
   return wire::ToStatus(response.status, response.error);
+}
+
+Result<std::string> PpcClient::FetchSnapshot() {
+  wire::Request request;
+  request.type = wire::MessageType::kSnapshot;
+  PPC_ASSIGN_OR_RETURN(wire::Response response, RoundTrip(std::move(request)));
+  PPC_RETURN_NOT_OK(wire::ToStatus(response.status, response.error));
+  return std::move(response.snapshot_blob);
+}
+
+Result<uint32_t> PpcClient::ApplySnapshot(const std::string& blob) {
+  wire::Request request;
+  request.type = wire::MessageType::kSnapshotApply;
+  request.snapshot_blob = blob;
+  PPC_ASSIGN_OR_RETURN(wire::Response response, RoundTrip(std::move(request)));
+  PPC_RETURN_NOT_OK(wire::ToStatus(response.status, response.error));
+  return response.snapshot_applied;
+}
+
+Result<uint32_t> PpcClient::Topology(wire::TopologyOp op,
+                                     const std::string& host, uint16_t port) {
+  wire::Request request;
+  request.type = wire::MessageType::kTopology;
+  request.topology_op = op;
+  request.topology_host = host;
+  request.topology_port = port;
+  PPC_ASSIGN_OR_RETURN(wire::Response response, RoundTrip(std::move(request)));
+  PPC_RETURN_NOT_OK(wire::ToStatus(response.status, response.error));
+  return response.backend_count;
 }
 
 }  // namespace ppc

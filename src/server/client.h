@@ -115,6 +115,30 @@ class PpcClient {
   /// Asks the server to drain and exit. Returns once the server acks.
   Status Shutdown();
 
+  /// Pulls the server's serialized PredictorState (one SNAPSHOT round
+  /// trip). The blob is opaque here; feed it to PredictorState::Restore
+  /// or to ApplySnapshot on another shard.
+  Result<std::string> FetchSnapshot();
+
+  /// Ships a serialized PredictorState to the server (SNAPSHOT_APPLY);
+  /// returns the number of templates the server warm-started from it.
+  Result<uint32_t> ApplySnapshot(const std::string& blob);
+
+  /// Router admin: add or remove a backend shard (TOPOLOGY). Returns the
+  /// backend count after the operation. Plain shards answer BAD_REQUEST.
+  Result<uint32_t> Topology(wire::TopologyOp op, const std::string& host,
+                            uint16_t port);
+
+  /// One synchronous round trip for an arbitrary pre-built request (the
+  /// id is assigned here, fresh per attempt). BUSY answers are retried
+  /// per the RetryPolicy; any other response comes back verbatim, wire
+  /// status included. This is the router's forwarding primitive: it
+  /// preserves the backend's exact answer instead of collapsing it into
+  /// a Status.
+  Result<wire::Response> Call(wire::Request request) {
+    return RoundTrip(std::move(request));
+  }
+
   /// --- Pipelined API: send now, collect later. ---
 
   Result<uint64_t> SendPredict(const std::string& template_name,
@@ -134,6 +158,14 @@ class PpcClient {
   /// own Wait calls). The returned Response may itself carry a non-OK
   /// wire status (e.g. BUSY) — the Result is non-OK only for
   /// transport/protocol failures and deadline expiry.
+  ///
+  /// An id that was sent on a connection lost since (the client
+  /// reconnects transparently under synchronous calls) fails immediately
+  /// with Unavailable: its response can never arrive on the current
+  /// stream, and before the connection-generation bookkeeping existed
+  /// such a Wait would read the *new* connection — forever, under an
+  /// infinite deadline. Waiting on an id this client never issued (or
+  /// already collected) is FailedPrecondition.
   Result<wire::Response> Wait(uint64_t id);
 
  private:
@@ -159,8 +191,22 @@ class PpcClient {
   std::string host_;
   uint16_t port_ = 0;
   int fd_ = -1;
+  /// Monotonic across the client's lifetime — never reset by Close() or
+  /// reconnect, so ids stay unique across connections and a stale
+  /// response (were one ever read) could not match a new request's id.
   uint64_t next_id_ = 1;
+  /// Bumped on every successful (re)connect. Each pipelined id records
+  /// the generation it was sent under; Wait() refuses ids from dead
+  /// generations instead of reading the wrong stream.
+  uint64_t connection_generation_ = 0;
+  /// Pipelined ids awaiting Wait(): id -> generation it was sent under.
+  /// Entries leave when the response is returned or parked, or when
+  /// Wait() reports the generation dead.
+  std::map<uint64_t, uint64_t> in_flight_;
   wire::FrameBuffer frames_;
+  /// Fully received responses awaiting their Wait() call. Survives
+  /// Close(): a complete, decoded answer stays collectable even after
+  /// the connection that carried it is gone.
   std::map<uint64_t, wire::Response> parked_;
 };
 

@@ -1,0 +1,115 @@
+#ifndef PPC_SERVER_HASH_RING_H_
+#define PPC_SERVER_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace ppc {
+
+/// Consistent-hash ring over backend shards (DESIGN.md §15). Keys (query
+/// template names) and backends are placed on a 64-bit ring with FNV-1a;
+/// a key is owned by the first backend vnode at or after the key's hash,
+/// wrapping at the top. Each backend contributes `vnodes_per_node`
+/// virtual nodes so ownership spreads evenly even with two or three
+/// shards, and adding or removing one shard moves only the keys in the
+/// vnode arcs it gains or loses — every other template keeps its shard,
+/// which is what keeps the other shards' caches warm through topology
+/// changes.
+///
+/// Placement is a pure function of (backend address, vnode index), so
+/// every router and bench process that sees the same backend set computes
+/// the same ownership — no coordination protocol needed.
+///
+/// Not thread-safe; the router guards its ring with the same lock as its
+/// backend table.
+class HashRing {
+ public:
+  struct Node {
+    std::string host;
+    uint16_t port = 0;
+
+    std::string Address() const { return host + ":" + std::to_string(port); }
+    bool operator==(const Node& other) const {
+      return host == other.host && port == other.port;
+    }
+    bool operator<(const Node& other) const {
+      return host != other.host ? host < other.host : port < other.port;
+    }
+  };
+
+  explicit HashRing(int vnodes_per_node = 64)
+      : vnodes_per_node_(vnodes_per_node < 1 ? 1 : vnodes_per_node) {}
+
+  /// Idempotent: adding a backend that is already on the ring is a no-op
+  /// (placement depends only on the address, so re-adding would insert
+  /// the exact same vnodes anyway).
+  void Add(const Node& node) {
+    if (!nodes_.insert(node).second) return;
+    for (int v = 0; v < vnodes_per_node_; ++v) {
+      ring_.emplace(VnodeHash(node, v), node);
+    }
+  }
+
+  /// Returns false when the backend was not on the ring.
+  bool Remove(const Node& node) {
+    if (nodes_.erase(node) == 0) return false;
+    for (auto it = ring_.begin(); it != ring_.end();) {
+      it = it->second == node ? ring_.erase(it) : std::next(it);
+    }
+    return true;
+  }
+
+  bool Contains(const Node& node) const { return nodes_.count(node) > 0; }
+  size_t node_count() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  std::vector<Node> nodes() const {
+    return std::vector<Node>(nodes_.begin(), nodes_.end());
+  }
+
+  /// The backend owning `key`. FailedPrecondition on an empty ring.
+  Result<Node> Owner(const std::string& key) const {
+    if (ring_.empty()) {
+      return Status::FailedPrecondition("hash ring has no backends");
+    }
+    auto it = ring_.lower_bound(Mix(Fnv1a64(key)));
+    if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+    return it->second;
+  }
+
+ private:
+  /// FNV-1a diffuses short, similar strings (template names, a node's
+  /// vnode labels) into *adjacent* 64-bit values — its high bits barely
+  /// move per character, which would collapse each backend's vnodes into
+  /// one tight arc and defeat the ring entirely. The splitmix64
+  /// finalizer scatters those neighbors across the full ring. Still a
+  /// pure function of the input, so placement stays reproducible
+  /// everywhere.
+  static uint64_t Mix(uint64_t h) {
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    return h;
+  }
+
+  static uint64_t VnodeHash(const Node& node, int vnode) {
+    return Mix(Fnv1a64(node.Address() + "#" + std::to_string(vnode)));
+  }
+
+  const int vnodes_per_node_;
+  std::set<Node> nodes_;
+  /// vnode position -> owning backend, sorted by position (the ring).
+  std::map<uint64_t, Node> ring_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_SERVER_HASH_RING_H_

@@ -1,0 +1,118 @@
+// ppc_router: the consistent-hash front door for a fleet of ppc_server
+// shards (DESIGN.md §15).
+//
+// Speaks the same wire protocol as the shards; PREDICT / PREDICT_BATCH /
+// EXECUTE are routed by template name over the hash ring, PING/METRICS/
+// TOPOLOGY are answered locally. Prints `LISTENING <port>` to stdout
+// once ready (same readiness handshake as ppc_server).
+//
+// Flags (--key=value):
+//   --bind=ADDR                     bind address (default 127.0.0.1)
+//   --port=N                        listen port  (default 0 = ephemeral)
+//   --backends=H:P,H:P,...          initial shard set (may be empty;
+//                                   shards can join later via TOPOLOGY)
+//   --backend-deadline-ms=N         per-forward deadline (default 5000)
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/hash_ring.h"
+#include "server/router.h"
+
+namespace {
+
+using ppc::HashRing;
+using ppc::PlanRouter;
+using ppc::Status;
+
+PlanRouter* g_router = nullptr;
+
+/// PlanRouter::Shutdown is atomic stores only — async-signal-safe.
+void HandleSignal(int) {
+  if (g_router != nullptr) g_router->Shutdown();
+}
+
+bool ParseBackend(const std::string& value, HashRing::Node* node) {
+  const size_t colon = value.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  const long port = std::strtol(value.c_str() + colon + 1, nullptr, 10);
+  if (port <= 0 || port > 65535) return false;
+  node->host = value.substr(0, colon);
+  node->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+bool ParseFlags(int argc, char** argv, PlanRouter::Config* config) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+      return false;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (key == "bind") {
+      config->bind_address = value;
+    } else if (key == "port") {
+      config->port = static_cast<uint16_t>(std::strtol(value.c_str(),
+                                                       nullptr, 10));
+    } else if (key == "backend-deadline-ms") {
+      config->backend_deadline_ms = std::strtol(value.c_str(), nullptr, 10);
+    } else if (key == "backends") {
+      size_t begin = 0;
+      while (begin <= value.size()) {
+        const size_t comma = value.find(',', begin);
+        const size_t end = comma == std::string::npos ? value.size() : comma;
+        if (end > begin) {
+          HashRing::Node node;
+          if (!ParseBackend(value.substr(begin, end - begin), &node)) {
+            std::fprintf(stderr, "bad backend (want host:port): %s\n",
+                         value.substr(begin, end - begin).c_str());
+            return false;
+          }
+          config->backends.push_back(node);
+        }
+        if (comma == std::string::npos) break;
+        begin = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PlanRouter::Config config;
+  if (!ParseFlags(argc, argv, &config)) return 2;
+
+  PlanRouter router(config);
+  const Status started = router.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  g_router = &router;
+
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  std::fprintf(stderr, "routing across %zu backend(s)\n",
+               router.backend_count());
+  std::printf("LISTENING %u\n", router.port());
+  std::fflush(stdout);
+
+  router.Wait();
+  return 0;
+}

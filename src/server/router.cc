@@ -1,0 +1,353 @@
+#include "server/router.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "server/net_util.h"
+
+namespace ppc {
+
+namespace {
+
+/// Maps a failed forward to the wire vocabulary: a backend deadline is
+/// the client's TIMEOUT; everything else (connection loss, refused dial)
+/// is INTERNAL — the router itself is healthy, the shard is not.
+wire::WireStatus ForwardFailureStatus(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded
+             ? wire::WireStatus::kTimeout
+             : wire::WireStatus::kInternal;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+/// Lives on a connection thread's stack: the client-side deframer plus
+/// this thread's private shard connections (keyed by shard address, so
+/// no backend connection is ever shared across threads).
+struct PlanRouter::ConnectionState {
+  ConnectionState(int fd_in, size_t max_frame_bytes)
+      : fd(fd_in), frames(max_frame_bytes) {}
+
+  int fd;
+  wire::FrameBuffer frames;
+  std::map<std::string, std::unique_ptr<PpcClient>> shard_clients;
+
+  /// Get-or-dial the client for `node`. Null when the dial fails (the
+  /// caller reports the shard unavailable); a cached client for a shard
+  /// that since died is dropped by the caller after the failed call, so
+  /// the next request re-dials.
+  PpcClient* ClientFor(const HashRing::Node& node,
+                       const PlanRouter::Config& config) {
+    const std::string address = node.Address();
+    auto it = shard_clients.find(address);
+    if (it != shard_clients.end()) return it->second.get();
+    PpcClient::Options options;
+    options.call_deadline_ms = config.backend_deadline_ms;
+    options.retry = config.backend_retry;
+    auto client = std::make_unique<PpcClient>(options);
+    if (!client->Connect(node.host, node.port).ok()) return nullptr;
+    return shard_clients.emplace(address, std::move(client))
+        .first->second.get();
+  }
+
+  void Drop(const HashRing::Node& node) {
+    shard_clients.erase(node.Address());
+  }
+};
+
+PlanRouter::PlanRouter(Config config)
+    : config_(std::move(config)), ring_(config_.vnodes_per_node) {
+  for (const HashRing::Node& node : config_.backends) ring_.Add(node);
+}
+
+PlanRouter::~PlanRouter() { Stop(); }
+
+Status PlanRouter::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("router already started");
+  }
+  PPC_ASSIGN_OR_RETURN(
+      listen_fd_,
+      net::Listen(config_.bind_address, config_.port, /*backlog=*/64, &port_));
+  instruments_.connections_accepted =
+      &metrics_.counter("router.connections.accepted");
+  instruments_.requests_forwarded =
+      &metrics_.counter("router.requests.forwarded");
+  instruments_.requests_local = &metrics_.counter("router.requests.local");
+  instruments_.forward_failures =
+      &metrics_.counter("router.forward_failures");
+  instruments_.topology_adds = &metrics_.counter("router.topology.adds");
+  instruments_.topology_removes =
+      &metrics_.counter("router.topology.removes");
+  instruments_.frames_malformed =
+      &metrics_.counter("router.frames.malformed");
+  instruments_.forward_us = &metrics_.histogram("router.forward_us");
+  running_.store(true, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  accept_thread_ = std::thread(&PlanRouter::AcceptLoop, this);
+  return Status::OK();
+}
+
+void PlanRouter::Shutdown() {
+  // Atomic store only — safe from signal handlers; the accept and
+  // connection loops notice at their next idle poll tick.
+  draining_.store(true, std::memory_order_release);
+}
+
+void PlanRouter::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept thread has exited, so no new connection threads can
+  // appear — joining the snapshot below drains everything.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void PlanRouter::Stop() {
+  Shutdown();
+  Wait();
+}
+
+size_t PlanRouter::backend_count() const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return ring_.node_count();
+}
+
+std::vector<HashRing::Node> PlanRouter::backends() const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  return ring_.nodes();
+}
+
+void PlanRouter::AcceptLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    struct pollfd entry = {listen_fd_, POLLIN, 0};
+    const int ready =
+        ::poll(&entry, 1, static_cast<int>(config_.idle_poll_ms));
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    instruments_.connections_accepted->Increment();
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    connection_threads_.emplace_back(&PlanRouter::ServeConnection, this, fd);
+  }
+}
+
+void PlanRouter::ServeConnection(int fd) {
+  ConnectionState state(fd, config_.max_frame_bytes);
+  char buffer[16 * 1024];
+  bool open = true;
+  while (open && !draining_.load(std::memory_order_acquire)) {
+    Result<size_t> received =
+        net::RecvSome(fd, buffer, sizeof(buffer),
+                      net::Deadline::AfterMs(config_.idle_poll_ms));
+    if (!received.ok()) {
+      if (received.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // idle tick: re-check draining_, keep listening
+      }
+      break;
+    }
+    if (received.value() == 0) break;  // clean peer close
+    state.frames.Append(buffer, received.value());
+    std::string payload;
+    while (open) {
+      Result<bool> next = state.frames.Next(&payload);
+      if (!next.ok()) {
+        // Framing violation: the byte stream can no longer be trusted.
+        instruments_.frames_malformed->Increment();
+        wire::Response error;
+        error.status = wire::WireStatus::kBadRequest;
+        error.error = next.status().message();
+        (void)SendResponse(&state, error);
+        open = false;
+        break;
+      }
+      if (!next.value()) break;
+      open = HandleFrame(&state, payload);
+    }
+  }
+  ::close(fd);
+}
+
+bool PlanRouter::HandleFrame(ConnectionState* state,
+                             const std::string& payload) {
+  Result<wire::Request> decoded = wire::DecodeRequest(payload);
+  if (!decoded.ok()) {
+    instruments_.frames_malformed->Increment();
+    wire::Response error;
+    error.status = wire::WireStatus::kBadRequest;
+    error.error = decoded.status().message();
+    (void)SendResponse(state, error);
+    return false;
+  }
+  const wire::Request& request = decoded.value();
+  wire::Response response;
+  response.type = request.type;
+  response.id = request.id;
+  switch (request.type) {
+    case wire::MessageType::kPredict:
+    case wire::MessageType::kPredictBatch:
+    case wire::MessageType::kExecute:
+      response = Forward(state, request);
+      break;
+    case wire::MessageType::kPing:
+      instruments_.requests_local->Increment();
+      break;
+    case wire::MessageType::kMetrics:
+      instruments_.requests_local->Increment();
+      response = AggregateMetrics(state);
+      response.id = request.id;
+      break;
+    case wire::MessageType::kTopology:
+      instruments_.requests_local->Increment();
+      response = ApplyTopology(request);
+      break;
+    case wire::MessageType::kSnapshot:
+    case wire::MessageType::kSnapshotApply:
+      instruments_.requests_local->Increment();
+      response.status = wire::WireStatus::kBadRequest;
+      response.error =
+          "snapshot replication is shard-to-shard; connect to the shard "
+          "directly";
+      break;
+    case wire::MessageType::kShutdown:
+      instruments_.requests_local->Increment();
+      (void)SendResponse(state, response);  // ack before draining
+      Shutdown();
+      return false;
+    case wire::MessageType::kInvalid:
+      response.status = wire::WireStatus::kBadRequest;
+      response.error = "invalid request type";
+      break;
+  }
+  return SendResponse(state, response).ok();
+}
+
+wire::Response PlanRouter::Forward(ConnectionState* state,
+                                   const wire::Request& request) {
+  wire::Response response;
+  response.type = request.type;
+  response.id = request.id;
+  HashRing::Node owner;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mu_);
+    Result<HashRing::Node> resolved = ring_.Owner(request.template_name);
+    if (!resolved.ok()) {
+      instruments_.forward_failures->Increment();
+      response.status = wire::WireStatus::kInternal;
+      response.error = "no backend shards on the ring";
+      return response;
+    }
+    owner = resolved.value();
+  }
+  PpcClient* client = state->ClientFor(owner, config_);
+  if (client == nullptr) {
+    instruments_.forward_failures->Increment();
+    response.status = wire::WireStatus::kInternal;
+    response.error = "shard " + owner.Address() + " is unreachable";
+    return response;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Result<wire::Response> answer = client->Call(request);
+  instruments_.forward_us->Record(MicrosSince(start));
+  if (!answer.ok()) {
+    // The client closed its connection on the failure; drop it so the
+    // next request for this shard re-dials instead of failing forever.
+    state->Drop(owner);
+    instruments_.forward_failures->Increment();
+    response.status = ForwardFailureStatus(answer.status());
+    response.error = "shard " + owner.Address() + ": " +
+                     answer.status().message();
+    return response;
+  }
+  instruments_.requests_forwarded->Increment();
+  response = std::move(answer.value());
+  // The shard answered under the router's internal request id; the
+  // client must see its own.
+  response.id = request.id;
+  return response;
+}
+
+wire::Response PlanRouter::AggregateMetrics(ConnectionState* state) {
+  wire::Response response;
+  response.type = wire::MessageType::kMetrics;
+  std::string json = "{\"router\":";
+  json += metrics_.TakeSnapshot().ToJson();
+  json += ",\"shards\":{";
+  bool first = true;
+  for (const HashRing::Node& node : backends()) {
+    if (!first) json += ",";
+    first = false;
+    AppendJsonString(node.Address(), &json);
+    json += ":";
+    PpcClient* client = state->ClientFor(node, config_);
+    Result<std::string> shard_json =
+        client == nullptr
+            ? Result<std::string>(Status::Unavailable("unreachable"))
+            : client->Metrics();
+    if (shard_json.ok()) {
+      // Shard payloads are themselves JSON objects; splice verbatim.
+      json += shard_json.value();
+    } else {
+      state->Drop(node);
+      json += "{\"error\":";
+      AppendJsonString(shard_json.status().ToString(), &json);
+      json += "}";
+    }
+  }
+  json += "}}";
+  response.metrics_json = std::move(json);
+  return response;
+}
+
+wire::Response PlanRouter::ApplyTopology(const wire::Request& request) {
+  wire::Response response;
+  response.type = wire::MessageType::kTopology;
+  response.id = request.id;
+  const HashRing::Node node{request.topology_host, request.topology_port};
+  std::unique_lock<std::shared_mutex> lock(topology_mu_);
+  if (request.topology_op == wire::TopologyOp::kAdd) {
+    ring_.Add(node);
+    instruments_.topology_adds->Increment();
+  } else {
+    if (!ring_.Remove(node)) {
+      response.status = wire::WireStatus::kNotFound;
+      response.error = "backend " + node.Address() + " is not on the ring";
+      response.backend_count = static_cast<uint32_t>(ring_.node_count());
+      return response;
+    }
+    instruments_.topology_removes->Increment();
+  }
+  response.backend_count = static_cast<uint32_t>(ring_.node_count());
+  return response;
+}
+
+Status PlanRouter::SendResponse(ConnectionState* state,
+                                const wire::Response& response) {
+  std::string frame;
+  wire::EncodeResponse(response, &frame);
+  return net::WriteAll(
+      state->fd, frame.data(), frame.size(),
+      net::Deadline::AfterMsOrInfinite(config_.write_deadline_ms));
+}
+
+}  // namespace ppc

@@ -1,0 +1,152 @@
+#ifndef PPC_SERVER_ROUTER_H_
+#define PPC_SERVER_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "ppc/metrics_registry.h"
+#include "server/client.h"
+#include "server/hash_ring.h"
+#include "server/wire_protocol.h"
+
+namespace ppc {
+
+/// The scale-out front door (DESIGN.md §15): a stateless TCP proxy that
+/// speaks the same wire protocol as PlanServer and consistent-hashes
+/// PREDICT / PREDICT_BATCH / EXECUTE requests across N shard servers by
+/// template name. Because the LSH predictor's state is strictly
+/// per-template, routing by template makes each shard authoritative for
+/// its arc of the ring: all feedback for a template lands on the shard
+/// that predicts it, so sharding changes *where* learning happens but
+/// never *what* is learned.
+///
+/// Request handling:
+///
+///   * kPredict / kPredictBatch / kExecute — forwarded to the owning
+///     shard; the shard's answer (wire status included) is relayed
+///     verbatim under the client's request id. Shard failures come back
+///     as INTERNAL (connection loss) or TIMEOUT (backend deadline), and
+///     the proxy connection survives — one lost shard must not sever
+///     every client.
+///   * kPing — answered locally (the router's own liveness).
+///   * kMetrics — aggregated: the router's own registry plus every
+///     shard's METRICS payload, keyed by shard address.
+///   * kTopology — add / remove a shard at runtime (the join path of the
+///     warm-start protocol). Answers with the new backend count.
+///   * kSnapshot / kSnapshotApply — BAD_REQUEST: replication is
+///     shard-to-shard, not routed.
+///   * kShutdown — ack, then drain the router itself.
+///
+/// Threading model: one accept thread plus one thread per client
+/// connection (router clients are few — load generators and operators —
+/// unlike the shard servers, which own the high-fanout epoll loop). Each
+/// connection thread keeps its own PpcClient per shard, so backend
+/// connections never need cross-thread locking; the shared state is the
+/// ring + backend set behind a shared_mutex.
+///
+/// Shutdown()/drain: async-signal-safe (atomic stores only). The accept
+/// and connection loops poll `idle_poll_ms`-bounded reads and exit at
+/// the next tick; in-flight forwards finish under the backend deadline.
+class PlanRouter {
+ public:
+  struct Config {
+    std::string bind_address = "127.0.0.1";
+    /// 0 picks an ephemeral port; see port() after Start().
+    uint16_t port = 0;
+    /// Initial shard set; extendable at runtime via kTopology.
+    std::vector<HashRing::Node> backends;
+    int vnodes_per_node = 64;
+    size_t max_frame_bytes = wire::kDefaultMaxFrameBytes;
+    /// Per-forward wall clock, spanning the retry policy below. 0 waits
+    /// forever (not recommended — a hung shard then hangs its clients).
+    int64_t backend_deadline_ms = 5000;
+    /// Applied to shard connects and BUSY answers (server/client.h).
+    RetryPolicy backend_retry{/*max_attempts=*/3};
+    /// Read-poll granularity: how quickly idle connection threads notice
+    /// a drain, and how often they re-check for client bytes.
+    int64_t idle_poll_ms = 50;
+    /// Bound on writing one response frame back to a client.
+    int64_t write_deadline_ms = 10000;
+  };
+
+  explicit PlanRouter(Config config);
+  ~PlanRouter();
+
+  PlanRouter(const PlanRouter&) = delete;
+  PlanRouter& operator=(const PlanRouter&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. Does not contact the
+  /// backends — a shard is dialed lazily on its first forwarded request,
+  /// so the router can start ahead of its shards.
+  Status Start();
+
+  /// Initiates the drain. Async-signal-safe and idempotent.
+  void Shutdown();
+
+  /// Blocks until every connection thread has exited.
+  void Wait();
+
+  /// Shutdown() + Wait().
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  size_t backend_count() const;
+  std::vector<HashRing::Node> backends() const;
+
+  /// The router's own instruments (router.* names).
+  MetricsRegistry& metrics() { return metrics_; }
+
+ private:
+  /// Per-connection-thread state: the client socket's deframer plus this
+  /// thread's private shard connections.
+  struct ConnectionState;
+
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Decodes + dispatches one frame payload; false when the connection
+  /// must close (protocol violation or shutdown handoff).
+  bool HandleFrame(ConnectionState* state, const std::string& payload);
+  wire::Response Forward(ConnectionState* state, const wire::Request& request);
+  wire::Response AggregateMetrics(ConnectionState* state);
+  wire::Response ApplyTopology(const wire::Request& request);
+  Status SendResponse(ConnectionState* state, const wire::Response& response);
+
+  const Config config_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+
+  /// Ring + backend set, shared across connection threads.
+  mutable std::shared_mutex topology_mu_;
+  HashRing ring_;
+
+  std::thread accept_thread_;
+  std::mutex threads_mu_;
+  std::vector<std::thread> connection_threads_;
+
+  MetricsRegistry metrics_;
+  struct {
+    MetricsCounter* connections_accepted = nullptr;
+    MetricsCounter* requests_forwarded = nullptr;
+    MetricsCounter* requests_local = nullptr;
+    MetricsCounter* forward_failures = nullptr;
+    MetricsCounter* topology_adds = nullptr;
+    MetricsCounter* topology_removes = nullptr;
+    MetricsCounter* frames_malformed = nullptr;
+    LatencyHistogram* forward_us = nullptr;
+  } instruments_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_SERVER_ROUTER_H_

@@ -13,6 +13,7 @@
 #include <chrono>
 #include <mutex>
 
+#include "ppc/predictor_state.h"
 #include "server/failpoints.h"
 #include "server/net_util.h"
 #include "server/timer_wheel.h"
@@ -184,6 +185,22 @@ Status PlanServer::Start() {
   instruments_.shed_abstained_predicts =
       &metrics.counter("server.shed.abstained_predicts");
   instruments_.shutdown_swept = &metrics.counter("server.shutdown.swept");
+  instruments_.requests_snapshot =
+      &metrics.counter("server.requests.snapshot");
+  instruments_.requests_snapshot_apply =
+      &metrics.counter("server.requests.snapshot_apply");
+  instruments_.replication_snapshots_served =
+      &metrics.counter("server.replication.snapshots_served");
+  instruments_.replication_snapshot_bytes =
+      &metrics.counter("server.replication.snapshot_bytes");
+  instruments_.replication_applies =
+      &metrics.counter("server.replication.applies");
+  instruments_.replication_apply_failures =
+      &metrics.counter("server.replication.apply_failures");
+  instruments_.replication_snapshot_us =
+      &metrics.histogram("server.replication.snapshot_us");
+  instruments_.replication_apply_us =
+      &metrics.histogram("server.replication.apply_us");
   instruments_.predict_us = &metrics.histogram("server.predict_us");
   instruments_.predict_batch_us =
       &metrics.histogram("server.predict_batch_us");
@@ -629,6 +646,42 @@ wire::Response PlanServer::HandleRequest(const wire::Request& request) {
     case wire::MessageType::kMetrics:
       response.metrics_json = framework_->MetricsSnapshot().ToJson();
       break;
+    case wire::MessageType::kSnapshot: {
+      // Replication pull: ship every template's predictor state. The
+      // capture is read-side only (per-predictor shared locks), so
+      // serving traffic is never paused by a joining shard.
+      response.snapshot_blob = PredictorState::Capture(*framework_).Serialize();
+      instruments_.replication_snapshots_served->Increment();
+      instruments_.replication_snapshot_bytes->Increment(
+          response.snapshot_blob.size());
+      break;
+    }
+    case wire::MessageType::kSnapshotApply: {
+      Result<PredictorState> state =
+          PredictorState::Restore(request.snapshot_blob);
+      if (!state.ok()) {
+        response.status = WireStatusFrom(state.status());
+        response.error = state.status().message();
+        instruments_.replication_apply_failures->Increment();
+        break;
+      }
+      Result<PredictorState::ApplyReport> report =
+          state.value().ApplyTo(framework_);
+      if (!report.ok()) {
+        response.status = WireStatusFrom(report.status());
+        response.error = report.status().message();
+        instruments_.replication_apply_failures->Increment();
+        break;
+      }
+      response.snapshot_applied =
+          static_cast<uint32_t>(report.value().templates_applied);
+      instruments_.replication_applies->Increment();
+      break;
+    }
+    case wire::MessageType::kTopology:
+      response.status = wire::WireStatus::kBadRequest;
+      response.error = "topology operations are handled by the router";
+      break;
     case wire::MessageType::kInvalid:
       response.status = wire::WireStatus::kBadRequest;
       response.error = "invalid message type";
@@ -671,6 +724,15 @@ void PlanServer::ProcessSingle(WorkItem* item) {
     case wire::MessageType::kShutdown:
       instruments_.requests_shutdown->Increment();
       break;
+    case wire::MessageType::kSnapshot:
+      instruments_.requests_snapshot->Increment();
+      instruments_.replication_snapshot_us->Record(micros);
+      break;
+    case wire::MessageType::kSnapshotApply:
+      instruments_.requests_snapshot_apply->Increment();
+      instruments_.replication_apply_us->Record(micros);
+      break;
+    case wire::MessageType::kTopology:
     case wire::MessageType::kInvalid:
       break;
   }

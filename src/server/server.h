@@ -236,6 +236,18 @@ class PlanServer {
     MetricsCounter* shed_recovered = nullptr;
     MetricsCounter* shed_abstained_predicts = nullptr;
     MetricsCounter* shutdown_swept = nullptr;
+    /// Replication (server.replication.*): snapshots served to joining
+    /// shards (count + bytes shipped), snapshots applied here via
+    /// SNAPSHOT_APPLY, and apply rejections (corrupt/stale/mismatched
+    /// blobs).
+    MetricsCounter* requests_snapshot = nullptr;
+    MetricsCounter* requests_snapshot_apply = nullptr;
+    MetricsCounter* replication_snapshots_served = nullptr;
+    MetricsCounter* replication_snapshot_bytes = nullptr;
+    MetricsCounter* replication_applies = nullptr;
+    MetricsCounter* replication_apply_failures = nullptr;
+    LatencyHistogram* replication_snapshot_us = nullptr;
+    LatencyHistogram* replication_apply_us = nullptr;
     LatencyHistogram* predict_us = nullptr;
     LatencyHistogram* predict_batch_us = nullptr;
     LatencyHistogram* execute_us = nullptr;

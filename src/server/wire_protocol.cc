@@ -11,7 +11,7 @@ namespace {
 
 bool ValidRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(MessageType::kPredict) &&
-         type <= static_cast<uint8_t>(MessageType::kPredictBatch);
+         type <= static_cast<uint8_t>(MessageType::kTopology);
 }
 
 bool ValidStatus(uint8_t status) {
@@ -103,6 +103,12 @@ const char* MessageTypeName(MessageType type) {
       return "SHUTDOWN";
     case MessageType::kPredictBatch:
       return "PREDICT_BATCH";
+    case MessageType::kSnapshot:
+      return "SNAPSHOT";
+    case MessageType::kSnapshotApply:
+      return "SNAPSHOT_APPLY";
+    case MessageType::kTopology:
+      return "TOPOLOGY";
   }
   return "UNKNOWN";
 }
@@ -140,6 +146,12 @@ void EncodeRequest(const Request& request, std::string* out) {
     writer.PutU32(request.batch_count());
     writer.PutU32(request.batch_dims);
     for (double v : request.batch_points) writer.PutDouble(v);
+  } else if (request.type == MessageType::kSnapshotApply) {
+    writer.PutString(request.snapshot_blob);
+  } else if (request.type == MessageType::kTopology) {
+    writer.PutU8(static_cast<uint8_t>(request.topology_op));
+    writer.PutString(request.topology_host);
+    writer.PutU32(request.topology_port);
   }
   AppendFrame(writer.buffer(), out);
 }
@@ -186,6 +198,15 @@ void EncodeResponse(const Response& response, std::string* out) {
           writer.PutU8(p.cache_hit ? 1 : 0);
         }
         break;
+      case MessageType::kSnapshot:
+        writer.PutString(response.snapshot_blob);
+        break;
+      case MessageType::kSnapshotApply:
+        writer.PutU32(response.snapshot_applied);
+        break;
+      case MessageType::kTopology:
+        writer.PutU32(response.backend_count);
+        break;
       case MessageType::kPing:
       case MessageType::kShutdown:
       case MessageType::kInvalid:
@@ -211,6 +232,23 @@ Result<Request> DecodeRequest(const std::string& payload) {
   } else if (request.type == MessageType::kPredictBatch) {
     PPC_ASSIGN_OR_RETURN(request.template_name, reader.GetString());
     PPC_RETURN_NOT_OK(DecodeBatchBody(&reader, &request));
+  } else if (request.type == MessageType::kSnapshotApply) {
+    PPC_ASSIGN_OR_RETURN(request.snapshot_blob, reader.GetString());
+  } else if (request.type == MessageType::kTopology) {
+    PPC_ASSIGN_OR_RETURN(uint8_t op_byte, reader.GetU8());
+    if (op_byte != static_cast<uint8_t>(TopologyOp::kAdd) &&
+        op_byte != static_cast<uint8_t>(TopologyOp::kRemove)) {
+      return Status::InvalidArgument("unknown topology operation " +
+                                     std::to_string(op_byte));
+    }
+    request.topology_op = static_cast<TopologyOp>(op_byte);
+    PPC_ASSIGN_OR_RETURN(request.topology_host, reader.GetString());
+    PPC_ASSIGN_OR_RETURN(uint32_t port, reader.GetU32());
+    if (port == 0 || port > 65535) {
+      return Status::InvalidArgument("topology port " + std::to_string(port) +
+                                     " outside (0, 65535]");
+    }
+    request.topology_port = static_cast<uint16_t>(port);
   }
   PPC_RETURN_NOT_OK(RequireAtEnd(reader));
   return request;
@@ -219,7 +257,7 @@ Result<Request> DecodeRequest(const std::string& payload) {
 Result<Response> DecodeResponse(const std::string& payload) {
   ByteReader reader(payload);
   PPC_ASSIGN_OR_RETURN(uint8_t type_byte, reader.GetU8());
-  if (type_byte > static_cast<uint8_t>(MessageType::kPredictBatch)) {
+  if (type_byte > static_cast<uint8_t>(MessageType::kTopology)) {
     return Status::InvalidArgument("unknown response type " +
                                    std::to_string(type_byte));
   }
@@ -280,6 +318,18 @@ Result<Response> DecodeResponse(const std::string& payload) {
           p.cache_hit = hit != 0;
           response.batch.push_back(p);
         }
+        break;
+      }
+      case MessageType::kSnapshot: {
+        PPC_ASSIGN_OR_RETURN(response.snapshot_blob, reader.GetString());
+        break;
+      }
+      case MessageType::kSnapshotApply: {
+        PPC_ASSIGN_OR_RETURN(response.snapshot_applied, reader.GetU32());
+        break;
+      }
+      case MessageType::kTopology: {
+        PPC_ASSIGN_OR_RETURN(response.backend_count, reader.GetU32());
         break;
       }
       case MessageType::kPing:

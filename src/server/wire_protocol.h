@@ -37,6 +37,16 @@ enum class MessageType : uint8_t {
   kPing = 4,     ///< liveness probe.
   kShutdown = 5, ///< ack, then drain-and-exit.
   kPredictBatch = 6,  ///< template + N points -> N (plan, confidence, hit).
+  kSnapshot = 7,      ///< -> serialized PredictorState (replication pull).
+  kSnapshotApply = 8, ///< serialized PredictorState -> templates applied.
+  kTopology = 9,      ///< router admin: add/remove a backend shard.
+};
+
+/// kTopology body operation. Routers accept these; plain shards answer
+/// kTopology with BAD_REQUEST.
+enum class TopologyOp : uint8_t {
+  kAdd = 1,
+  kRemove = 2,
 };
 
 enum class WireStatus : uint8_t {
@@ -80,6 +90,15 @@ struct Request {
   /// contiguous layout survives the codec without per-point allocations.
   uint32_t batch_dims = 0;
   std::vector<double> batch_points;
+
+  /// kSnapshotApply body: an opaque serialized PredictorState blob
+  /// (validated by the PredictorState codec, not here).
+  std::string snapshot_blob;
+
+  /// kTopology body: operation + backend address.
+  TopologyOp topology_op = TopologyOp::kAdd;
+  std::string topology_host;
+  uint16_t topology_port = 0;
 
   /// Number of points in a kPredictBatch body.
   uint32_t batch_count() const {
@@ -127,6 +146,13 @@ struct Response {
   } execute;
 
   std::string metrics_json;
+
+  /// OK kSnapshot body: serialized PredictorState.
+  std::string snapshot_blob;
+  /// OK kSnapshotApply body: templates warm-started on the server.
+  uint32_t snapshot_applied = 0;
+  /// OK kTopology body: backend count after the operation.
+  uint32_t backend_count = 0;
 
   bool ok() const { return status == WireStatus::kOk; }
 };

@@ -81,6 +81,29 @@ TEST(MetricsRegistryTest, HistogramClampsOutOfRangeValues) {
   EXPECT_GE(snap.p99_us, 0.0);
 }
 
+TEST(MetricsRegistryTest, AppendJsonStringEscapesHostileInput) {
+  // Every emitter that splices a runtime string into JSON goes through
+  // AppendJsonString (metrics names, router shard addresses, bench
+  // names) — a regression here corrupts every emitted document at once.
+  const struct {
+    std::string in;
+    std::string want;
+  } cases[] = {
+      {"plain", "\"plain\""},
+      {"has \"quotes\"", "\"has \\\"quotes\\\"\""},
+      {"back\\slash", "\"back\\\\slash\""},
+      {"line\nbreak\ttab", "\"line\\nbreak\\ttab\""},
+      {std::string("nul\0byte", 8), "\"nul\\u0000byte\""},
+      {"\x01\x1f", "\"\\u0001\\u001f\""},
+  };
+  for (const auto& c : cases) {
+    std::string out;
+    AppendJsonString(c.in, &out);
+    EXPECT_EQ(out, c.want);
+    EXPECT_TRUE(JsonValidator::Valid(out)) << out;
+  }
+}
+
 TEST(MetricsRegistryTest, SnapshotJsonIsValid) {
   MetricsRegistry registry;
   registry.counter("framework.queries").Increment(7);

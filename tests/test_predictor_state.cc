@@ -1,0 +1,185 @@
+#include "ppc/predictor_state.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ppc/ppc_framework.h"
+#include "test_util.h"
+#include "workload/templates.h"
+
+namespace ppc {
+namespace {
+
+using testutil::SmallTpch;
+
+PpcFramework::Config BaseConfig() {
+  PpcFramework::Config cfg;
+  cfg.online.predictor.transform_count = 5;
+  cfg.online.predictor.histogram_buckets = 40;
+  cfg.online.predictor.radius = 0.05;
+  cfg.online.predictor.confidence_threshold = 0.8;
+  cfg.online.predictor.noise_fraction = 0.002;
+  cfg.online.estimator_window = 100;
+  cfg.plan_cache_capacity = 64;
+  return cfg;
+}
+
+// Drives clustered EXECUTE traffic so the template's predictor learns a
+// confident region around (0.5, ..., 0.5).
+void Train(PpcFramework* framework, const std::string& tmpl, size_t dims,
+           int queries, uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < queries; ++i) {
+    std::vector<double> x(dims);
+    for (double& v : x) v = 0.5 + rng.Uniform(-0.02, 0.02);
+    ASSERT_TRUE(framework->ExecuteAtPoint(tmpl, x).ok());
+  }
+}
+
+class PredictorStateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    framework_ = std::make_unique<PpcFramework>(&SmallTpch(), BaseConfig());
+    ASSERT_TRUE(framework_->RegisterTemplate(EvaluationTemplate("Q1")).ok());
+    ASSERT_TRUE(framework_->RegisterTemplate(EvaluationTemplate("Q3")).ok());
+    Train(framework_.get(), "Q1", 2, 200, 1);
+    Train(framework_.get(), "Q3", 3, 200, 2);
+  }
+
+  std::unique_ptr<PpcFramework> framework_;
+};
+
+TEST_F(PredictorStateTest, CaptureSerializeRestoreIsBitStable) {
+  const PredictorState state = PredictorState::Capture(*framework_);
+  ASSERT_EQ(state.entries().size(), 2u);
+  EXPECT_EQ(state.entries()[0].name, "Q1");
+  EXPECT_EQ(state.entries()[1].name, "Q3");
+  EXPECT_GT(state.sequence(), 0u);
+
+  const std::string bytes = state.Serialize();
+  auto restored = PredictorState::Restore(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().sequence(), state.sequence());
+  EXPECT_EQ(restored.value().ContentHash(), state.ContentHash());
+  EXPECT_EQ(restored.value().Serialize(), bytes);
+}
+
+TEST_F(PredictorStateTest, SequenceIncreasesPerCapture) {
+  const PredictorState a = PredictorState::Capture(*framework_);
+  const PredictorState b = PredictorState::Capture(*framework_);
+  EXPECT_GT(b.sequence(), a.sequence());
+}
+
+TEST_F(PredictorStateTest, ApplyWarmStartsAnotherFramework) {
+  PpcFramework replica(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(replica.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  ASSERT_TRUE(replica.RegisterTemplate(EvaluationTemplate("Q3")).ok());
+
+  const PredictorState state = PredictorState::Capture(*framework_);
+  auto report = state.ApplyTo(&replica);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().templates_applied, 2u);
+  EXPECT_EQ(report.value().templates_skipped, 0u);
+
+  // The replica answers every prediction exactly as the leader does,
+  // without having executed a single query itself.
+  Rng probe(7);
+  int nonnull = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> x = {0.5 + probe.Uniform(-0.02, 0.02),
+                                   0.5 + probe.Uniform(-0.02, 0.02)};
+    auto leader = framework_->PredictAtPoint("Q1", x);
+    auto follower = replica.PredictAtPoint("Q1", x);
+    ASSERT_TRUE(leader.ok());
+    ASSERT_TRUE(follower.ok());
+    EXPECT_EQ(follower.value().plan, leader.value().plan);
+    EXPECT_EQ(follower.value().confidence, leader.value().confidence);
+    if (follower.value().plan != kNullPlanId) ++nonnull;
+  }
+  EXPECT_GT(nonnull, 50);
+}
+
+TEST_F(PredictorStateTest, ApplySkipsTemplatesUnknownToTarget) {
+  PpcFramework replica(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(replica.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  const PredictorState state = PredictorState::Capture(*framework_);
+  auto report = state.ApplyTo(&replica);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().templates_applied, 1u);
+  EXPECT_EQ(report.value().templates_skipped, 1u);
+}
+
+TEST_F(PredictorStateTest, ApplyRejectsConfigMismatch) {
+  PpcFramework::Config other = BaseConfig();
+  other.online.predictor.histogram_buckets = 16;
+  PpcFramework replica(&SmallTpch(), other);
+  ASSERT_TRUE(replica.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  const PredictorState state = PredictorState::Capture(*framework_);
+  auto report = state.ApplyTo(&replica);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PredictorStateTest, DeltaCarriesOnlyChangedTemplates) {
+  const PredictorState base = PredictorState::Capture(*framework_);
+  Train(framework_.get(), "Q1", 2, 50, 11);  // Q3 untouched
+  const PredictorState next = PredictorState::Capture(*framework_);
+
+  const std::string delta_bytes = next.SerializeDelta(base);
+  EXPECT_LT(delta_bytes.size(), next.Serialize().size());
+  auto merged = PredictorState::RestoreDelta(delta_bytes, base);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged.value().ContentHash(), next.ContentHash());
+  EXPECT_EQ(merged.value().sequence(), next.sequence());
+}
+
+TEST_F(PredictorStateTest, UnchangedDeltaIsEmpty) {
+  const PredictorState base = PredictorState::Capture(*framework_);
+  const PredictorState next = PredictorState::Capture(*framework_);
+  auto merged =
+      PredictorState::RestoreDelta(next.SerializeDelta(base), base);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value().ContentHash(), base.ContentHash());
+}
+
+TEST_F(PredictorStateTest, RestoreRejectsMixedUpBlobKinds) {
+  const PredictorState base = PredictorState::Capture(*framework_);
+  // A delta blob needs a base.
+  auto as_full = PredictorState::Restore(base.SerializeDelta(base));
+  ASSERT_FALSE(as_full.ok());
+  EXPECT_EQ(as_full.status().code(), StatusCode::kInvalidArgument);
+  // A full blob is not a delta.
+  auto as_delta = PredictorState::RestoreDelta(base.Serialize(), base);
+  ASSERT_FALSE(as_delta.ok());
+  EXPECT_EQ(as_delta.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(PredictorStateTest, RestoreRejectsCorruption) {
+  const std::string bytes = PredictorState::Capture(*framework_).Serialize();
+  EXPECT_EQ(PredictorState::Restore("").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PredictorState::Restore("garbage").status().code(),
+            StatusCode::kInvalidArgument);
+  // Truncation sweep over structural prefixes plus a byte-level tail.
+  for (size_t cut : {size_t{0}, size_t{4}, size_t{12}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    auto restored = PredictorState::Restore(bytes.substr(0, cut));
+    ASSERT_FALSE(restored.ok()) << "cut at " << cut;
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Bit flips anywhere fail the envelope checksum (or a field check).
+  for (size_t byte = 0; byte < bytes.size(); byte += 13) {
+    std::string mutated = bytes;
+    mutated[byte] = static_cast<char>(mutated[byte] ^ 0x40);
+    auto restored = PredictorState::Restore(mutated);
+    ASSERT_FALSE(restored.ok()) << "byte " << byte;
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument)
+        << "byte " << byte;
+  }
+}
+
+}  // namespace
+}  // namespace ppc

@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
 #include "common/bytes.h"
+#include "common/hash.h"
 #include "ppc/lsh_histograms_predictor.h"
 #include "ppc/plan_synopsis.h"
 #include "stats/streaming_histogram.h"
@@ -184,29 +189,47 @@ TEST_F(PredictorSerdeTest, RejectsTrailingGarbage) {
       LshHistogramsPredictor::Restore(original.Serialize() + "x").ok());
 }
 
+constexpr uint32_t kSnapshotMagicV2 = 0x50504353;  // "PPCS"
+constexpr uint32_t kSnapshotVersionV2 = 2;
+
+// Assembles a format-v2 envelope (magic | version | length-prefixed
+// sections | FNV-1a checksum) around the given section payloads.
+std::string SnapshotEnvelope(uint32_t magic, uint32_t version,
+                             const std::string& config_section,
+                             const std::string& data_section) {
+  ByteWriter writer;
+  writer.PutU32(magic);
+  writer.PutU32(version);
+  writer.PutString(config_section);
+  writer.PutString(data_section);
+  writer.PutU64(Fnv1a64(writer.buffer()));
+  return writer.Take();
+}
+
 // Hand-builds a syntactically complete zero-plan snapshot with the given
 // configuration fields, for probing Restore's validation (a corrupted or
 // adversarial snapshot must fail with InvalidArgument, never abort).
 std::string SnapshotWithConfig(uint32_t dims, uint32_t transform_count,
                                uint32_t output_dims, uint32_t bits_per_dim,
                                uint64_t buckets, uint64_t max_z) {
-  ByteWriter writer;
-  writer.PutU32(0x50504331);  // magic "PPC1"
-  writer.PutU32(dims);
-  writer.PutU32(transform_count);
-  writer.PutU32(output_dims);
-  writer.PutU32(bits_per_dim);
-  writer.PutU64(buckets);
-  writer.PutDouble(0.1);   // radius
-  writer.PutDouble(0.7);   // confidence_threshold
-  writer.PutDouble(0.0);   // noise_fraction
-  writer.PutU8(0);         // merge policy
-  writer.PutU64(23);       // seed
-  writer.PutU8(0);         // interval_decomposition
-  writer.PutU64(max_z);
-  writer.PutU64(0);        // total_samples
-  writer.PutU32(0);        // plan_count
-  return writer.Take();
+  ByteWriter config_section;
+  config_section.PutU32(dims);
+  config_section.PutU32(transform_count);
+  config_section.PutU32(output_dims);
+  config_section.PutU32(bits_per_dim);
+  config_section.PutU64(buckets);
+  config_section.PutDouble(0.1);   // radius
+  config_section.PutDouble(0.7);   // confidence_threshold
+  config_section.PutDouble(0.0);   // noise_fraction
+  config_section.PutU8(0);         // merge policy
+  config_section.PutU64(23);       // seed
+  config_section.PutU8(0);         // interval_decomposition
+  config_section.PutU64(max_z);
+  ByteWriter data_section;
+  data_section.PutU64(0);  // total_samples
+  data_section.PutU32(0);  // plan_count
+  return SnapshotEnvelope(kSnapshotMagicV2, kSnapshotVersionV2,
+                          config_section.buffer(), data_section.buffer());
 }
 
 TEST_F(PredictorSerdeTest, RejectsOutOfRangeConfig) {
@@ -241,6 +264,169 @@ TEST_F(PredictorSerdeTest, RejectsOutOfRangeConfig) {
     EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument)
         << c.what;
   }
+}
+
+TEST_F(PredictorSerdeTest, SerializedBytesAreBitStable) {
+  Rng rng(19);
+  LshHistogramsPredictor original(Config(),
+                                  SamplePoints(2, 500, HalfSpacePlan, &rng));
+  const std::string bytes = original.Serialize();
+  auto restored = LshHistogramsPredictor::Restore(bytes);
+  ASSERT_TRUE(restored.ok());
+  // Re-serializing the restored predictor reproduces the blob bit for bit
+  // — the replication path can compare content hashes across shards.
+  EXPECT_EQ(restored.value().Serialize(), bytes);
+}
+
+// Regression: the pre-versioning layout (magic "PPC1" followed directly
+// by raw config fields, no version, no lengths, no checksum) must be
+// rejected with InvalidArgument, never misparsed as the current format.
+TEST_F(PredictorSerdeTest, RejectsStaleV1Snapshot) {
+  ByteWriter writer;
+  writer.PutU32(0x50504331);  // v1 magic "PPC1"
+  writer.PutU32(2);           // dimensions
+  writer.PutU32(5);           // transform_count
+  writer.PutU32(0);           // output_dims
+  writer.PutU32(5);           // bits_per_dim
+  writer.PutU64(40);          // histogram_buckets
+  writer.PutDouble(0.1);
+  writer.PutDouble(0.7);
+  writer.PutDouble(0.0);
+  writer.PutU8(0);
+  writer.PutU64(23);
+  writer.PutU8(0);
+  writer.PutU64(8);
+  writer.PutU64(0);  // total_samples
+  writer.PutU32(0);  // plan_count
+  auto restored = LshHistogramsPredictor::Restore(writer.Take());
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(restored.status().message().find("v1"), std::string::npos);
+}
+
+TEST_F(PredictorSerdeTest, RejectsUnknownFormatVersion) {
+  LshHistogramsPredictor original(Config());
+  const std::string bytes = original.Serialize();
+  // Reuse the valid blob's sections under a future version number.
+  ByteReader reader(bytes);
+  ASSERT_TRUE(reader.GetU32().ok());  // magic
+  ASSERT_TRUE(reader.GetU32().ok());  // version
+  const std::string config_section = reader.GetString().value();
+  const std::string data_section = reader.GetString().value();
+  auto restored = LshHistogramsPredictor::Restore(SnapshotEnvelope(
+      kSnapshotMagicV2, kSnapshotVersionV2 + 1, config_section, data_section));
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Overwrites the trailing checksum with the correct FNV-1a of the bytes
+// before it, so structural corruption survives envelope validation and
+// must be caught by the section parsers themselves.
+std::string WithRecomputedChecksum(std::string blob) {
+  const uint64_t checksum = Fnv1a64(
+      std::string_view(blob).substr(0, blob.size() - sizeof(uint64_t)));
+  std::memcpy(blob.data() + blob.size() - sizeof(uint64_t), &checksum,
+              sizeof(uint64_t));
+  return blob;
+}
+
+class SnapshotFuzzTest : public PredictorSerdeTest {
+ protected:
+  // A small trained predictor keeps the per-mutation Restore cost low
+  // enough to sweep every bit under ASan.
+  static std::string SmallSnapshot() {
+    LshHistogramsPredictor::Config cfg = Config();
+    cfg.transform_count = 3;
+    cfg.histogram_buckets = 8;
+    Rng rng(23);
+    return LshHistogramsPredictor(cfg,
+                                  SamplePoints(2, 60, HalfSpacePlan, &rng))
+        .Serialize();
+  }
+};
+
+TEST_F(SnapshotFuzzTest, EveryTruncationFailsWithInvalidArgument) {
+  const std::string bytes = SmallSnapshot();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto restored = LshHistogramsPredictor::Restore(bytes.substr(0, cut));
+    ASSERT_FALSE(restored.ok()) << "cut at " << cut;
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument)
+        << "cut at " << cut << ": " << restored.status().ToString();
+  }
+}
+
+TEST_F(SnapshotFuzzTest, EveryBitFlipFailsWithInvalidArgument) {
+  const std::string bytes = SmallSnapshot();
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      auto restored = LshHistogramsPredictor::Restore(mutated);
+      ASSERT_FALSE(restored.ok()) << "byte " << byte << " bit " << bit;
+      EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument)
+          << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST_F(SnapshotFuzzTest, SectionLengthCorruptionFailsWithInvalidArgument) {
+  const std::string bytes = SmallSnapshot();
+  // The config-section length prefix sits right after magic + version.
+  constexpr size_t kConfigLenOffset = 8;
+  uint32_t config_len;
+  std::memcpy(&config_len, bytes.data() + kConfigLenOffset,
+              sizeof(config_len));
+  const size_t data_len_offset = kConfigLenOffset + 4 + config_len;
+  const struct {
+    size_t offset;
+    int32_t delta_or_huge;  // INT32_MAX means "set to a huge length"
+  } mutations[] = {
+      {kConfigLenOffset, +1},     {kConfigLenOffset, -1},
+      {kConfigLenOffset, INT32_MAX}, {data_len_offset, +1},
+      {data_len_offset, -1},      {data_len_offset, INT32_MAX},
+  };
+  for (const auto& m : mutations) {
+    std::string mutated = bytes;
+    uint32_t len;
+    std::memcpy(&len, mutated.data() + m.offset, sizeof(len));
+    len = m.delta_or_huge == INT32_MAX
+              ? 0x7fffffffu
+              : len + static_cast<uint32_t>(m.delta_or_huge);
+    std::memcpy(mutated.data() + m.offset, &len, sizeof(len));
+    // With the checksum recomputed, the corrupt length itself must be
+    // caught; without, the checksum must catch it. Both are
+    // InvalidArgument, never a crash.
+    for (const std::string& blob : {mutated, WithRecomputedChecksum(mutated)}) {
+      auto restored = LshHistogramsPredictor::Restore(blob);
+      ASSERT_FALSE(restored.ok()) << "offset " << m.offset;
+      EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument)
+          << "offset " << m.offset << ": " << restored.status().ToString();
+    }
+  }
+}
+
+TEST_F(PredictorSerdeTest, AdoptStateTransplantsLearnedState) {
+  Rng rng(29);
+  LshHistogramsPredictor source(Config(),
+                                SamplePoints(2, 400, HalfSpacePlan, &rng));
+  LshHistogramsPredictor target(Config());
+  ASSERT_TRUE(target.AdoptState(source).ok());
+  EXPECT_EQ(target.TotalSamples(), source.TotalSamples());
+  Rng probe(31);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> x = {probe.Uniform(), probe.Uniform()};
+    EXPECT_EQ(target.Predict(x).plan, source.Predict(x).plan);
+  }
+}
+
+TEST_F(PredictorSerdeTest, AdoptStateRejectsConfigMismatch) {
+  LshHistogramsPredictor source(Config());
+  LshHistogramsPredictor::Config other = Config();
+  other.seed = Config().seed + 1;
+  LshHistogramsPredictor target(other);
+  const Status status = target.AdoptState(source);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(PredictorSerdeTest, EmptyPredictorRoundTrips) {

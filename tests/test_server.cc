@@ -983,6 +983,80 @@ TEST_F(ServerTest, ClientCallDeadlineBoundsASilentServer) {
   cv.notify_all();
 }
 
+TEST_F(ServerTest, SnapshotOverWireWarmStartsASecondServer) {
+  WarmQ1(300);
+  StartServer();
+
+  // A fresh follower: same config and templates, zero training.
+  PpcFramework follower(&SmallTpch(), ServingConfig());
+  ASSERT_TRUE(follower.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  ASSERT_TRUE(follower.RegisterTemplate(EvaluationTemplate("Q3")).ok());
+  PlanServer follower_server(&follower, {});
+  ASSERT_TRUE(follower_server.Start().ok());
+
+  PpcClient leader_client;
+  ASSERT_TRUE(ConnectClient(&leader_client).ok());
+  auto blob = leader_client.FetchSnapshot();
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  EXPECT_FALSE(blob.value().empty());
+  EXPECT_GE(Counter("server.replication.snapshots_served"), 1u);
+  EXPECT_GE(Counter("server.replication.snapshot_bytes"),
+            blob.value().size());
+
+  auto leader_answer = leader_client.Predict("Q1", {0.5, 0.5});
+  ASSERT_TRUE(leader_answer.ok());
+  ASSERT_NE(leader_answer.value().plan, kNullPlanId);
+
+  PpcClient follower_client;
+  ASSERT_TRUE(
+      follower_client.Connect("127.0.0.1", follower_server.port()).ok());
+  auto cold = follower_client.Predict("Q1", {0.5, 0.5});
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold.value().plan, kNullPlanId) << "follower should start cold";
+
+  auto applied = follower_client.ApplySnapshot(blob.value());
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied.value(), 2u) << "both templates warm-started";
+  EXPECT_GE(follower.metrics().counter("server.replication.applies").value(),
+            1u);
+
+  // Warm-started, the follower answers exactly like the leader — no
+  // cold-learning phase.
+  auto warm = follower_client.Predict("Q1", {0.5, 0.5});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm.value().plan, leader_answer.value().plan);
+  EXPECT_DOUBLE_EQ(warm.value().confidence,
+                   leader_answer.value().confidence);
+  follower_server.Stop();
+}
+
+TEST_F(ServerTest, SnapshotApplyRejectsCorruptBlobOverWire) {
+  WarmQ1(100);
+  StartServer();
+  PpcClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  auto blob = client.FetchSnapshot();
+  ASSERT_TRUE(blob.ok());
+  std::string corrupted = blob.value();
+  corrupted[corrupted.size() / 2] ^= 0x40;
+  auto applied = client.ApplySnapshot(corrupted);
+  EXPECT_EQ(applied.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_GE(Counter("server.replication.apply_failures"), 1u);
+  // A rejected blob must not poison the connection or the server.
+  EXPECT_TRUE(client.Ping().ok());
+  auto ok_applied = client.ApplySnapshot(blob.value());
+  EXPECT_TRUE(ok_applied.ok()) << ok_applied.status().ToString();
+}
+
+TEST_F(ServerTest, TopologyOnAShardIsBadRequest) {
+  StartServer();
+  PpcClient client;
+  ASSERT_TRUE(ConnectClient(&client).ok());
+  auto result = client.Topology(wire::TopologyOp::kAdd, "127.0.0.1", 9000);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
 /// Chaos: mixed traffic against randomly armed failpoints for ~2 seconds
 /// (override with PPC_CHAOS_SECONDS). The invariants are liveness ones:
 /// every client call returns within its deadline, nothing crashes or

@@ -260,6 +260,126 @@ TEST(WireProtocolTest, RejectsTruncatedBatchBodies) {
   }
 }
 
+TEST(WireProtocolTest, SnapshotRequestRoundTripsOpaqueBlob) {
+  Request request;
+  request.type = MessageType::kSnapshotApply;
+  request.id = 77;
+  // The blob is opaque to the codec — arbitrary bytes including NULs and
+  // high bits must survive verbatim.
+  request.snapshot_blob = std::string("PPCR\x00\x01\xff\x80 blob", 13);
+  std::string frame;
+  EncodeRequest(request, &frame);
+  auto decoded = DecodeRequest(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().type, MessageType::kSnapshotApply);
+  EXPECT_EQ(decoded.value().id, 77u);
+  EXPECT_EQ(decoded.value().snapshot_blob, request.snapshot_blob);
+
+  Request pull;
+  pull.type = MessageType::kSnapshot;
+  pull.id = 78;
+  frame.clear();
+  EncodeRequest(pull, &frame);
+  auto pull_decoded = DecodeRequest(PayloadOf(frame));
+  ASSERT_TRUE(pull_decoded.ok());
+  EXPECT_EQ(pull_decoded.value().type, MessageType::kSnapshot);
+}
+
+TEST(WireProtocolTest, SnapshotResponsesRoundTrip) {
+  Response snapshot;
+  snapshot.type = MessageType::kSnapshot;
+  snapshot.id = 5;
+  snapshot.snapshot_blob = std::string("\x00\x01\x02payload", 10);
+  std::string frame;
+  EncodeResponse(snapshot, &frame);
+  auto decoded = DecodeResponse(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().snapshot_blob, snapshot.snapshot_blob);
+
+  Response applied;
+  applied.type = MessageType::kSnapshotApply;
+  applied.id = 6;
+  applied.snapshot_applied = 17;
+  frame.clear();
+  EncodeResponse(applied, &frame);
+  auto applied_decoded = DecodeResponse(PayloadOf(frame));
+  ASSERT_TRUE(applied_decoded.ok());
+  EXPECT_EQ(applied_decoded.value().snapshot_applied, 17u);
+}
+
+TEST(WireProtocolTest, TopologyRequestRoundTripsBothOps) {
+  for (TopologyOp op : {TopologyOp::kAdd, TopologyOp::kRemove}) {
+    Request request;
+    request.type = MessageType::kTopology;
+    request.id = 3;
+    request.topology_op = op;
+    request.topology_host = "127.0.0.1";
+    request.topology_port = 54321;
+    std::string frame;
+    EncodeRequest(request, &frame);
+    auto decoded = DecodeRequest(PayloadOf(frame));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().topology_op, op);
+    EXPECT_EQ(decoded.value().topology_host, "127.0.0.1");
+    EXPECT_EQ(decoded.value().topology_port, 54321);
+  }
+
+  Response response;
+  response.type = MessageType::kTopology;
+  response.id = 3;
+  response.backend_count = 4;
+  std::string frame;
+  EncodeResponse(response, &frame);
+  auto decoded = DecodeResponse(PayloadOf(frame));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().backend_count, 4u);
+}
+
+TEST(WireProtocolTest, RejectsInvalidTopologyBodies) {
+  Request request;
+  request.type = MessageType::kTopology;
+  request.id = 3;
+  request.topology_op = TopologyOp::kAdd;
+  request.topology_host = "localhost";
+  request.topology_port = 1;
+  std::string frame;
+  EncodeRequest(request, &frame);
+  std::string payload = PayloadOf(frame);
+  // Body layout: type(1) + id(8) + u8 op + string host + u32 port.
+  std::string bad_op = payload;
+  bad_op[1 + 8] = 3;  // neither kAdd nor kRemove
+  EXPECT_FALSE(DecodeRequest(bad_op).ok());
+  std::string bad_port = payload;
+  for (size_t i = payload.size() - 4; i < payload.size(); ++i) {
+    bad_port[i] = 0;  // port 0 is never routable
+  }
+  EXPECT_FALSE(DecodeRequest(bad_port).ok());
+  std::string oversized_port = payload;
+  std::memset(oversized_port.data() + payload.size() - 4, 0xff, 4);
+  EXPECT_FALSE(DecodeRequest(oversized_port).ok());
+}
+
+TEST(WireProtocolTest, RejectsTruncatedSnapshotAndTopologyBodies) {
+  Request apply;
+  apply.type = MessageType::kSnapshotApply;
+  apply.id = 1;
+  apply.snapshot_blob = "0123456789abcdef";
+  Request topology;
+  topology.type = MessageType::kTopology;
+  topology.id = 2;
+  topology.topology_host = "shard-a.internal";
+  topology.topology_port = 9000;
+  for (const Request& request : {apply, topology}) {
+    std::string frame;
+    EncodeRequest(request, &frame);
+    const std::string payload = PayloadOf(frame);
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      EXPECT_FALSE(DecodeRequest(payload.substr(0, cut)).ok())
+          << MessageTypeName(request.type) << " truncation at " << cut;
+    }
+  }
+}
+
 TEST(FrameBufferTest, ReassemblesByteByByte) {
   std::string frame;
   EncodeRequest(MakePredictRequest(5), &frame);
@@ -332,7 +452,7 @@ class WireProtocolFuzzTest : public ::testing::Test {
   /// A pseudo-random but decodable request of any type.
   Request RandomRequest() {
     Request request;
-    request.type = static_cast<MessageType>(1 + rng_.UniformInt(uint64_t{6}));
+    request.type = static_cast<MessageType>(1 + rng_.UniformInt(uint64_t{9}));
     request.id = rng_.Next();
     if (request.type == MessageType::kPredict ||
         request.type == MessageType::kExecute ||
@@ -357,6 +477,22 @@ class WireProtocolFuzzTest : public ::testing::Test {
       for (uint64_t i = 0; i < count * dims; ++i) {
         request.batch_points.push_back(rng_.Uniform());
       }
+    } else if (request.type == MessageType::kSnapshotApply) {
+      const uint64_t blob_len = rng_.UniformInt(uint64_t{64});
+      for (uint64_t i = 0; i < blob_len; ++i) {
+        request.snapshot_blob.push_back(RandomByte());
+      }
+    } else if (request.type == MessageType::kTopology) {
+      request.topology_op =
+          rng_.UniformInt(uint64_t{2}) == 0 ? TopologyOp::kAdd
+                                            : TopologyOp::kRemove;
+      const uint64_t host_len = rng_.UniformInt(uint64_t{16});
+      for (uint64_t i = 0; i < host_len; ++i) {
+        request.topology_host.push_back(
+            static_cast<char>('a' + rng_.UniformInt(uint64_t{26})));
+      }
+      request.topology_port =
+          static_cast<uint16_t>(1 + rng_.UniformInt(uint64_t{65535}));
     }
     return request;
   }
