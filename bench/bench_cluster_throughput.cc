@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/errno_util.h"
 #include "server/client.h"
 #include "server/hash_ring.h"
 #include "server/wire_protocol.h"
@@ -130,7 +131,7 @@ void Spawn(const std::string& binary, const std::vector<std::string>& args,
     argv.push_back(nullptr);
     ::execv(binary.c_str(), argv.data());
     std::fprintf(stderr, "exec %s: %s\n", binary.c_str(),
-                 std::strerror(errno));
+                 ppc::ErrnoMessage(errno).c_str());
     ::_exit(127);
   }
   ::close(pipe_fds[1]);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "lsh/simd.h"
 #include "ppc/ppc_framework.h"
 
 namespace ppc {
@@ -188,8 +189,10 @@ void Run() {
   std::fprintf(json,
                "{\n  \"bench\": \"concurrent_throughput\",\n"
                "  \"hardware_threads\": %u,\n"
+               "  \"simd_tier\": \"%s\",\n"
                "  \"timed_queries\": %zu,\n  \"runs\": [\n",
-               std::thread::hardware_concurrency(), kTimedQueries);
+               std::thread::hardware_concurrency(),
+               simd::TierName(simd::ActiveTier()), kTimedQueries);
   for (size_t i = 0; i < results.size(); ++i) {
     const RunResult& r = results[i];
     std::fprintf(json,

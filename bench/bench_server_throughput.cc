@@ -27,6 +27,9 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/alloc_counter.h"
+#include "lsh/simd.h"
+#include "ppc/lsh_histograms_predictor.h"
 #include "ppc/ppc_framework.h"
 #include "server/client.h"
 #include "server/failpoints.h"
@@ -387,6 +390,32 @@ std::vector<double> MakeQ1Points(size_t count, uint64_t seed) {
   return flat;
 }
 
+/// Heap allocations one warm PredictBatchInto performs on a trained
+/// default-config predictor (0 after this PR's arena change; recorded in
+/// the JSON so a regression shows up in the artifact, not just in tests).
+uint64_t MeasureWarmBatchPredictAllocations() {
+  LshHistogramsPredictor::Config config;
+  config.dimensions = 2;
+  LshHistogramsPredictor predictor(config);
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    LabeledPoint point;
+    point.coords = {rng.Uniform(), rng.Uniform()};
+    point.plan = 1 + (point.coords[0] > 0.5 ? 1 : 0);
+    point.cost = rng.Uniform(1.0, 5.0);
+    predictor.Insert(point);
+  }
+  const std::vector<double> flat = MakeQ1Points(kBatchSize, 29);
+  std::vector<Prediction> out(kBatchSize);
+  // Two warm-up calls: the thread-local arena consolidates its blocks at
+  // the start of the second.
+  predictor.PredictBatchInto(flat.data(), kBatchSize, out.data());
+  predictor.PredictBatchInto(flat.data(), kBatchSize, out.data());
+  const uint64_t before = ThreadAllocationCount();
+  predictor.PredictBatchInto(flat.data(), kBatchSize, out.data());
+  return ThreadAllocationCount() - before;
+}
+
 /// Runs the same per-client point slice either as single-point PREDICTs
 /// (`batch_size` == 1) or as PREDICT_BATCH frames of `batch_size` points.
 BatchPhaseStats RunPredictComparisonPhase(uint16_t port,
@@ -688,6 +717,10 @@ void Run() {
           std::to_string(kBatchSize);
   body += ", \"dims\": 2, \"bit_identical\": ";
   body += bit_identical ? "true" : "false";
+  body += ", \"simd_tier\": \"";
+  body += simd::TierName(simd::ActiveTier());
+  body += "\", \"allocations_per_batch_predict\": " +
+          std::to_string(MeasureWarmBatchPredictAllocations());
   body += ", \"speedup\": " + JsonNumber(batch_speedup);
   body += ", \"scalar\": " + BatchPhaseJson(scalar_phase);
   body += ", \"batch\": " + BatchPhaseJson(batch_phase);

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full verification sweep:
 #   1. documentation checks (markdown links, header doc presence),
-#   2. plain build + the entire test suite (the tier-1 gate),
+#   2. plain build + the entire test suite (the tier-1 gate), then a
+#      forced-scalar leg (PPC_DISABLE_AVX2=1) over the SIMD-dispatching
+#      tests so the portable kernels stay exercised,
 #   3. cluster smoke test (router + 2 shards as real processes, with a
 #      wire-level warm start),
 #   4. the JSON-emitting benches + validation of every BENCH_*.json,
@@ -27,6 +29,15 @@ echo "==> plain build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -LE chaos -j "$JOBS")
+
+echo "==> forced-scalar leg (PPC_DISABLE_AVX2=1): kernels, transform, predictor"
+# Reruns every test that exercises the SIMD dispatch with the AVX2 tier
+# disabled, so the portable scalar kernels stay a first-class code path
+# (they are the bit-identity oracle and the fallback on older CPUs).
+(cd build && PPC_DISABLE_AVX2=1 \
+  ctest --output-on-failure -LE chaos \
+    -R 'Simd|Transform|Zorder|LshHistograms|PlanSynopsis|Predictor' \
+    -j "$JOBS")
 
 echo "==> cluster smoke test (ppc_router + 2 ppc_server shards, real processes)"
 # bench_cluster_throughput fork/execs the ppc_server and ppc_router
@@ -72,6 +83,10 @@ cmake -B build-asan -S . -DPPC_SANITIZE=address \
   -DPPC_BUILD_BENCHMARKS=OFF -DPPC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -LE chaos -j "$JOBS")
+# The AVX2 kernels and the forced-scalar fallback both run under ASan:
+# once in the full suite above, once with the dispatch pinned to scalar.
+(cd build-asan && PPC_DISABLE_AVX2=1 \
+  ctest --output-on-failure -LE chaos -R 'Simd|Transform|Zorder' -j "$JOBS")
 
 echo "==> ThreadSanitizer build + concurrency, metrics and server tests"
 cmake -B build-tsan -S . -DPPC_SANITIZE=thread \
@@ -79,7 +94,7 @@ cmake -B build-tsan -S . -DPPC_SANITIZE=thread \
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && \
   ctest --output-on-failure -LE chaos \
-    -R 'Concurrent|MetricsRegistry|FrameworkMetrics|Server|Router|HashRing|ClientReconnect' \
+    -R 'Concurrent|MetricsRegistry|FrameworkMetrics|Server|Router|HashRing|ClientReconnect|Simd' \
     -j "$JOBS")
 
 # Chaos stage: randomized mixed traffic against a live server while a

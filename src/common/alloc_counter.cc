@@ -1,0 +1,125 @@
+#include "common/alloc_counter.h"
+
+#include <cstdlib>
+#include <new>
+
+// Counting global operator new/delete. Pulled into a binary only when
+// something in it references ThreadAllocationCount() (static-archive
+// linking is per translation unit), so production binaries that never ask
+// for the counter keep the default allocator. The implementations malloc/
+// free directly — under ASan/TSan those are the intercepted entry points,
+// so sanitizer coverage is unchanged.
+
+namespace ppc {
+namespace {
+
+thread_local uint64_t t_allocations = 0;
+thread_local uint64_t t_deallocations = 0;
+
+void* CountedAlloc(std::size_t size) {
+  ++t_allocations;
+  // malloc(0) may return nullptr; operator new must not.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t alignment) {
+  ++t_allocations;
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* ptr = nullptr;
+  if (posix_memalign(&ptr, alignment, size == 0 ? 1 : size) != 0) {
+    return nullptr;
+  }
+  return ptr;
+}
+
+void CountedFree(void* ptr) {
+  if (ptr == nullptr) return;
+  ++t_deallocations;
+  std::free(ptr);
+}
+
+}  // namespace
+
+uint64_t ThreadAllocationCount() { return t_allocations; }
+uint64_t ThreadDeallocationCount() { return t_deallocations; }
+
+}  // namespace ppc
+
+void* operator new(std::size_t size) {
+  void* ptr = ppc::CountedAlloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) {
+  void* ptr = ppc::CountedAlloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return ppc::CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return ppc::CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* ptr =
+      ppc::CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* ptr =
+      ppc::CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment,
+                   const std::nothrow_t&) noexcept {
+  return ppc::CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment,
+                     const std::nothrow_t&) noexcept {
+  return ppc::CountedAlignedAlloc(size, static_cast<std::size_t>(alignment));
+}
+
+void operator delete(void* ptr) noexcept { ppc::CountedFree(ptr); }
+void operator delete[](void* ptr) noexcept { ppc::CountedFree(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept {
+  ppc::CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t) noexcept {
+  ppc::CountedFree(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  ppc::CountedFree(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  ppc::CountedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept {
+  ppc::CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  ppc::CountedFree(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  ppc::CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  ppc::CountedFree(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  ppc::CountedFree(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  ppc::CountedFree(ptr);
+}

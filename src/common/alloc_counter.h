@@ -1,0 +1,29 @@
+#ifndef PPC_COMMON_ALLOC_COUNTER_H_
+#define PPC_COMMON_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace ppc {
+
+/// Per-thread count of heap allocations (every variant of operator new)
+/// made since the thread started. Monotonically increasing; take a
+/// difference around the code under test:
+///
+///   const uint64_t before = ThreadAllocationCount();
+///   predictor.PredictBatchInto(points, n, out);
+///   EXPECT_EQ(ThreadAllocationCount() - before, 0u);
+///
+/// The counting operator new/delete overrides live in the same translation
+/// unit as this function, so any binary that references
+/// ThreadAllocationCount() links the overrides and counts every allocation
+/// it makes; binaries that never reference it keep the standard library's
+/// allocator. Allocation, not byte, granularity — the zero-allocation
+/// contract of the predict hot path is a count, not a size.
+uint64_t ThreadAllocationCount();
+
+/// Same counter for deallocations (operator delete), for balance checks.
+uint64_t ThreadDeallocationCount();
+
+}  // namespace ppc
+
+#endif  // PPC_COMMON_ALLOC_COUNTER_H_

@@ -23,6 +23,16 @@ class ByteWriter {
     buffer_.append(s);
   }
 
+  /// Bulk PutDouble: one append instead of `count` per-value calls. On the
+  /// little-endian targets this code runs on, the memcpy emits exactly the
+  /// bytes the per-value loop would (IEEE-754 values copied in order), so
+  /// the serialized form is unchanged — this only removes per-element
+  /// bookkeeping from the batch encode hot path.
+  void PutDoubles(const double* values, size_t count) {
+    buffer_.append(reinterpret_cast<const char*>(values),
+                   count * sizeof(double));
+  }
+
   const std::string& buffer() const { return buffer_; }
   std::string Take() { return std::move(buffer_); }
 
@@ -48,6 +58,15 @@ class ByteReader {
   Result<uint32_t> GetU32() { return GetRaw<uint32_t>(); }
   Result<uint64_t> GetU64() { return GetRaw<uint64_t>(); }
   Result<double> GetDouble() { return GetRaw<double>(); }
+
+  /// Bulk GetDouble into caller storage: a single bounds check and memcpy
+  /// for `count` values. Reads the same bytes the per-value loop would.
+  Status GetDoubles(double* out, size_t count) {
+    PPC_RETURN_NOT_OK(Require(count * sizeof(double)));
+    std::memcpy(out, buffer_.data() + pos_, count * sizeof(double));
+    pos_ += count * sizeof(double);
+    return Status::OK();
+  }
 
   Result<std::string> GetString() {
     PPC_ASSIGN_OR_RETURN(uint32_t size, GetU32());

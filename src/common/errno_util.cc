@@ -1,0 +1,32 @@
+#include "common/errno_util.h"
+
+#include <string.h>
+
+namespace ppc {
+namespace {
+
+// strerror_r has two incompatible signatures: the GNU one returns char*
+// (possibly a static immutable string, ignoring the buffer), the
+// XSI/POSIX one returns int and always fills the buffer. Overload on the
+// actual return type so this compiles correctly under either, without
+// feature-macro guessing.
+[[maybe_unused]] std::string NormalizeStrerror(char* result,
+                                               const char* /*buf*/,
+                                               int /*err*/) {
+  return result;  // GNU variant: the returned pointer is the message.
+}
+
+[[maybe_unused]] std::string NormalizeStrerror(int result, const char* buf,
+                                               int err) {
+  if (result != 0) return "errno " + std::to_string(err);
+  return buf;  // XSI variant: the message was written into buf.
+}
+
+}  // namespace
+
+std::string ErrnoMessage(int err) {
+  char buf[256] = {};
+  return NormalizeStrerror(strerror_r(err, buf, sizeof(buf)), buf, err);
+}
+
+}  // namespace ppc

@@ -1,0 +1,18 @@
+#ifndef PPC_COMMON_ERRNO_UTIL_H_
+#define PPC_COMMON_ERRNO_UTIL_H_
+
+#include <string>
+
+namespace ppc {
+
+/// Thread-safe strerror: the human-readable message for `err`, e.g.
+/// "Connection reset by peer". ::strerror writes into a process-global
+/// static buffer, so two server threads formatting different errnos can
+/// interleave each other's messages (or worse, race); this wraps
+/// strerror_r with a stack buffer instead. Use it everywhere a Status
+/// message embeds errno.
+std::string ErrnoMessage(int err);
+
+}  // namespace ppc
+
+#endif  // PPC_COMMON_ERRNO_UTIL_H_

@@ -83,12 +83,16 @@ double SampleStdDev(const std::vector<double>& xs) {
 }
 
 double Median(std::vector<double> xs) {
-  if (xs.empty()) return 0.0;
-  const size_t mid = xs.size() / 2;
-  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
-  if (xs.size() % 2 == 1) return xs[mid];
+  return MedianInPlace(xs.data(), xs.size());
+}
+
+double MedianInPlace(double* xs, size_t n) {
+  if (n == 0) return 0.0;
+  const size_t mid = n / 2;
+  std::nth_element(xs, xs + mid, xs + n);
+  if (n % 2 == 1) return xs[mid];
   const double upper = xs[mid];
-  const double lower = *std::max_element(xs.begin(), xs.begin() + mid);
+  const double lower = *std::max_element(xs, xs + mid);
   return 0.5 * (lower + upper);
 }
 

@@ -48,6 +48,12 @@ double SampleStdDev(const std::vector<double>& xs);
 /// Copies the input (callers pass small vectors of density estimates).
 double Median(std::vector<double> xs);
 
+/// Median over xs[0..n), reordering xs in place (no allocation). Same
+/// algorithm as Median, so the two agree bit for bit — the batched
+/// predict path uses this over arena scratch where the scalar path
+/// builds a vector.
+double MedianInPlace(double* xs, size_t n);
+
 /// Lower bound of the one-sided 95% confidence interval for a proportion
 /// with `successes` out of `trials`, using the normal approximation
 /// p - 1.645 * sqrt(p(1-p)/n), clamped to [0, 1]. Returns 0 if trials == 0.

@@ -1,0 +1,192 @@
+#ifndef PPC_LSH_SIMD_H_
+#define PPC_LSH_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppc {
+namespace simd {
+
+/// Runtime-dispatched vector kernels for the two measured hot spots of the
+/// serving path: the LSH projection (RandomizedTransform::ApplyBatch) and
+/// the histogram range-count probe (PlanSynopsis::BatchTransformCounts).
+///
+/// Contract: every AVX2 kernel is BIT-IDENTICAL to its scalar counterpart
+/// on all inputs, including NaNs and signed zeros. The AVX2 kernels get
+/// there by vectorizing ACROSS points/buckets — each SIMD lane performs
+/// exactly the scalar operation sequence, in the scalar order — and by
+/// never using FMA in an accumulation (a fused multiply-add rounds once
+/// where the scalar code rounds twice). The scalar kernels are both the
+/// portable fallback and the oracle the bit-identity tests compare
+/// against; the build keeps -ffp-contract at its strict-ISO default (off)
+/// so the compiler cannot fuse the scalar side either.
+///
+/// Dispatch picks AVX2 when the CPU reports AVX2+FMA and the environment
+/// variable PPC_DISABLE_AVX2 is unset (or "0"); anything else falls back
+/// to scalar. The choice is made once and cached in an atomic; tests that
+/// change the environment mid-process call ReinitializeDispatchForTest().
+
+enum class Tier {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// The tier the dispatched entry points will use (cached; cheap).
+Tier ActiveTier();
+
+/// "scalar" / "avx2" — recorded in benchmark JSON so the perf trajectory
+/// distinguishes kernel wins from IO wins.
+const char* TierName(Tier tier);
+
+/// True iff the CPU supports the AVX2+FMA kernels (env override ignored).
+bool CpuSupportsAvx2();
+
+/// Drops the cached dispatch decision so the next ActiveTier() re-reads
+/// the CPU and PPC_DISABLE_AVX2. Test-only; not thread-safe against
+/// concurrent kernel use.
+void ReinitializeDispatchForTest();
+
+/// The LSH projection kernel behind RandomizedTransform::ApplyBatch.
+/// `projections` is the output_dims x input_dims matrix (row-major),
+/// `points` holds `count` row-major input_dims-dimensional points, and the
+/// transformed coordinates land row-major in `out` (count * output_dims
+/// doubles). Per point p and output j:
+///   out[p*s + j] = sum_i projections[j*r + i] * (points[p*r + i] - 0.5)
+///                  * scale  + shifts[j]
+/// with left-to-right accumulation over i.
+void ApplyBatch(const double* projections, const double* shifts, double scale,
+                size_t input_dims, size_t output_dims, const double* points,
+                size_t count, double* out);
+void ApplyBatchScalar(const double* projections, const double* shifts,
+                      double scale, size_t input_dims, size_t output_dims,
+                      const double* points, size_t count, double* out);
+/// Requires CpuSupportsAvx2(); exposed for side-by-side identity tests.
+void ApplyBatchAvx2(const double* projections, const double* shifts,
+                    double scale, size_t input_dims, size_t output_dims,
+                    const double* points, size_t count, double* out);
+
+/// The histogram range-count probe kernel behind grouped batch counting:
+/// StreamingHistogram::EstimateCount(lo, hi) recomputed from flat probe
+/// arrays (see StreamingHistogram::ExportProbe) instead of the bucket
+/// structs, summing per-bucket contributions in bucket order. `left`,
+/// `right`, `count`, `centroid` each hold `buckets` entries.
+double HistogramRangeCount(const double* left, const double* right,
+                           const double* count, const double* centroid,
+                           size_t buckets, double lo, double hi);
+double HistogramRangeCountScalar(const double* left, const double* right,
+                                 const double* count, const double* centroid,
+                                 size_t buckets, double lo, double hi);
+/// Requires CpuSupportsAvx2(); exposed for side-by-side identity tests.
+double HistogramRangeCountAvx2(const double* left, const double* right,
+                               const double* count, const double* centroid,
+                               size_t buckets, double lo, double hi);
+
+/// The combined count + cost probe kernel behind the batched cost pass:
+/// StreamingHistogram::EstimateCount(lo, hi) and the cost-sum side of
+/// EstimateAverageCost(lo, hi) in one sweep over the flat probe arrays
+/// (ExportProbe + ExportProbeCosts). Per bucket the coverage fraction is
+///   frac = width <= 0 ? (centroid in [lo,hi] ? 1.0 : 0.0)
+///                     : max(0, min(hi,right) - max(lo,left)) / width
+/// and the kernel accumulates count[i]*frac into *count_out and
+/// cost[i]*frac into *cost_out, both in bucket order. *count_out is
+/// bit-identical to EstimateCount (x*1.0 is exact; the out-of-range
+/// x*0.0 = +0.0 terms the frac form adds cannot change a non-negative
+/// sum) and cost_out/count_out is bit-identical to EstimateAverageCost.
+void HistogramRangeCountCost(const double* left, const double* right,
+                             const double* count, const double* cost,
+                             const double* centroid, size_t buckets,
+                             double lo, double hi, double* count_out,
+                             double* cost_out);
+void HistogramRangeCountCostScalar(const double* left, const double* right,
+                                   const double* count, const double* cost,
+                                   const double* centroid, size_t buckets,
+                                   double lo, double hi, double* count_out,
+                                   double* cost_out);
+/// Requires CpuSupportsAvx2(); exposed for side-by-side identity tests.
+void HistogramRangeCountCostAvx2(const double* left, const double* right,
+                                 const double* count, const double* cost,
+                                 const double* centroid, size_t buckets,
+                                 double lo, double hi, double* count_out,
+                                 double* cost_out);
+
+/// Many-query variant of HistogramRangeCount for the serving batch path:
+/// `bounds` holds `queries` (lo, hi) pairs (bounds[2q], bounds[2q + 1] —
+/// the in-memory layout of a ZInterval array) and out[q] receives the
+/// range count of query q against one shared probe table. The AVX2 tier
+/// vectorizes ACROSS QUERIES — one query per lane, buckets swept
+/// sequentially with broadcast probe values — so every lane runs the
+/// exact scalar accumulation sequence and bit-identity is structural.
+/// Lanes with inverted or NaN bounds are masked to the scalar's 0.0.
+void HistogramRangeCountMany(const double* left, const double* right,
+                             const double* count, const double* centroid,
+                             size_t buckets, const double* bounds,
+                             size_t queries, double* out);
+void HistogramRangeCountManyScalar(const double* left, const double* right,
+                                   const double* count,
+                                   const double* centroid, size_t buckets,
+                                   const double* bounds, size_t queries,
+                                   double* out);
+/// Requires CpuSupportsAvx2(); exposed for side-by-side identity tests.
+void HistogramRangeCountManyAvx2(const double* left, const double* right,
+                                 const double* count, const double* centroid,
+                                 size_t buckets, const double* bounds,
+                                 size_t queries, double* out);
+
+/// Elementwise grid-cell bucketing behind
+/// RandomizedTransform::LinearizedPositionBatch:
+///   out[k] = Clamp(floor((y[k] - grid_lo) / grid_extent * cells),
+///                  0.0, max_index)
+/// kept in the double domain (the caller performs the uint32 cast) so the
+/// AVX2 tier — sub/div/mul/floor and clamp via maxpd/minpd with operand
+/// order matching std::max/std::min — is bit-identical to the scalar
+/// expression, NaN propagation included. `out` may alias `y`.
+void CellIndexBatch(const double* y, size_t n, double grid_lo,
+                    double grid_extent, double cells, double max_index,
+                    double* out);
+void CellIndexBatchScalar(const double* y, size_t n, double grid_lo,
+                          double grid_extent, double cells, double max_index,
+                          double* out);
+/// Requires CpuSupportsAvx2(); exposed for side-by-side identity tests.
+void CellIndexBatchAvx2(const double* y, size_t n, double grid_lo,
+                        double grid_extent, double cells, double max_index,
+                        double* out);
+
+/// Many-query variant of HistogramRangeCountCost: `bounds` holds
+/// `queries` (lo, hi) pairs and query q's count-sum and cost-sum land in
+/// counts_out[q] / costs_out[q]. Vectorized across queries like
+/// HistogramRangeCountMany, with the same per-lane bit-identity to the
+/// single-query scalar kernel.
+void HistogramRangeCountCostMany(const double* left, const double* right,
+                                 const double* count, const double* cost,
+                                 const double* centroid, size_t buckets,
+                                 const double* bounds, size_t queries,
+                                 double* counts_out, double* costs_out);
+void HistogramRangeCountCostManyScalar(const double* left,
+                                       const double* right,
+                                       const double* count,
+                                       const double* cost,
+                                       const double* centroid, size_t buckets,
+                                       const double* bounds, size_t queries,
+                                       double* counts_out, double* costs_out);
+/// Requires CpuSupportsAvx2(); exposed for side-by-side identity tests.
+void HistogramRangeCountCostManyAvx2(const double* left, const double* right,
+                                     const double* count, const double* cost,
+                                     const double* centroid, size_t buckets,
+                                     const double* bounds, size_t queries,
+                                     double* counts_out, double* costs_out);
+
+/// True iff the CPU supports the BMI2 pdep Morton-interleave fast path.
+bool CpuSupportsBmi2();
+
+/// Morton interleave via one pdep per dimension: patterns[d] has a bit at
+/// position b * dims + d for each b < bits_per_dim, so
+/// _pdep_u64(cells[d] & mask, patterns[d]) scatters dimension d's bits to
+/// their interleaved positions. Pure integer — identical to the scalar
+/// bit loop on every input. Requires CpuSupportsBmi2().
+uint64_t InterleavePdep(const uint32_t* cells, int dims, uint32_t mask,
+                        const uint64_t* patterns);
+
+}  // namespace simd
+}  // namespace ppc
+
+#endif  // PPC_LSH_SIMD_H_

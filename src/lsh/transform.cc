@@ -4,6 +4,7 @@
 
 #include "common/macros.h"
 #include "common/math_utils.h"
+#include "lsh/simd.h"
 
 namespace ppc {
 
@@ -58,20 +59,13 @@ RandomizedTransform::RandomizedTransform(const TransformConfig& config,
 
 void RandomizedTransform::ApplyBatch(const double* points, size_t count,
                                      double* out) const {
-  const size_t r = static_cast<size_t>(config_.input_dims);
-  const size_t s = static_cast<size_t>(config_.output_dims);
-  for (size_t p = 0; p < count; ++p) {
-    const double* x = points + p * r;
-    double* y = out + p * s;
-    for (size_t j = 0; j < s; ++j) {
-      const double* a = projections_.data() + j * r;
-      double dot = 0.0;
-      for (size_t i = 0; i < r; ++i) {
-        dot += a[i] * (x[i] - 0.5) * scale_;
-      }
-      y[j] = dot + shifts_[j];
-    }
-  }
+  // Runtime-dispatched kernel (src/lsh/simd.*): AVX2 across points when
+  // the CPU has it, the historical scalar loop otherwise — bit-identical
+  // either way, which the side-by-side kernel tests enforce.
+  simd::ApplyBatch(projections_.data(), shifts_.data(), scale_,
+                   static_cast<size_t>(config_.input_dims),
+                   static_cast<size_t>(config_.output_dims), points, count,
+                   out);
 }
 
 std::vector<double> RandomizedTransform::Apply(
@@ -112,11 +106,29 @@ void RandomizedTransform::LinearizedPositionBatch(const double* points,
                                                   double* out) const {
   const size_t s = static_cast<size_t>(config_.output_dims);
   std::vector<double> transformed(count * s);
-  ApplyBatch(points, count, transformed.data());
   std::vector<uint32_t> cell(s);
+  LinearizedPositionBatch(points, count, out, transformed.data(),
+                          cell.data());
+}
+
+void RandomizedTransform::LinearizedPositionBatch(
+    const double* points, size_t count, double* out, double* transformed_ws,
+    uint32_t* cell_ws) const {
+  const size_t s = static_cast<size_t>(config_.output_dims);
+  ApplyBatch(points, count, transformed_ws);
+  // Elementwise cell bucketing across the whole batch (bit-identical to
+  // CellFromTransformed), reusing the transform workspace in place: the
+  // transformed coordinates are dead once bucketed.
+  const uint32_t cells = curve_.cells_per_dim();
+  simd::CellIndexBatch(transformed_ws, count * s, grid_lo_, grid_extent_,
+                       static_cast<double>(cells),
+                       static_cast<double>(cells - 1), transformed_ws);
   for (size_t p = 0; p < count; ++p) {
-    CellFromTransformed(transformed.data() + p * s, cell.data());
-    out[p] = curve_.Linearize(cell);
+    const double* idx = transformed_ws + p * s;
+    for (size_t j = 0; j < s; ++j) {
+      cell_ws[j] = static_cast<uint32_t>(idx[j]);
+    }
+    out[p] = curve_.Linearize(cell_ws);
   }
 }
 

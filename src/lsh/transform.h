@@ -89,6 +89,14 @@ class RandomizedTransform {
   void LinearizedPositionBatch(const double* points, size_t count,
                                double* out) const;
 
+  /// Allocation-free variant for the serving fast path: the caller
+  /// provides the transform workspace (`transformed_ws`, count *
+  /// output_dims doubles) and the cell scratch (`cell_ws`, output_dims
+  /// entries) — typically from a per-request arena.
+  void LinearizedPositionBatch(const double* points, size_t count,
+                               double* out, double* transformed_ws,
+                               uint32_t* cell_ws) const;
+
   /// Factor by which the transform scales Euclidean distances (projections
   /// onto unit vectors preserve lengths, so this is the step-1 scale).
   double distance_scale() const { return scale_; }

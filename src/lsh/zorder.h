@@ -27,14 +27,18 @@ class ZOrderCurve {
   ZOrderCurve(int dimensions, int bits_per_dim);
 
   /// Bit-interleaves the cell coordinates into a Morton code. Coordinates
-  /// are masked to bits_per_dim bits.
+  /// are masked to bits_per_dim bits. The pointer overload (cells must
+  /// hold dimensions() entries) serves allocation-free callers on the
+  /// serving fast path.
   uint64_t Interleave(const std::vector<uint32_t>& cells) const;
+  uint64_t Interleave(const uint32_t* cells) const;
 
   /// Inverse of Interleave.
   std::vector<uint32_t> Deinterleave(uint64_t code) const;
 
   /// Morton code normalized to [0, 1): Interleave / 2^(total bits).
   double Linearize(const std::vector<uint32_t>& cells) const;
+  double Linearize(const uint32_t* cells) const;
 
   /// Decomposes the cell box [lo[d], hi[d]] (inclusive per dimension) into
   /// disjoint, sorted curve intervals covering exactly the cells inside
@@ -59,6 +63,14 @@ class ZOrderCurve {
  private:
   int dimensions_;
   int bits_per_dim_;
+  /// Per-dimension scatter masks for the BMI2 pdep Interleave fast path:
+  /// patterns_[d] has a bit at position b * dimensions + d for each
+  /// b < bits_per_dim. Precomputed once; the scalar bit loop remains the
+  /// fallback and produces identical codes.
+  std::vector<uint64_t> pdep_patterns_;
+  /// CPU capability cached at construction (immutable per process); the
+  /// per-call check in Interleave then reduces to one atomic tier load.
+  bool cpu_has_bmi2_ = false;
 };
 
 }  // namespace ppc

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "clustering/confidence.h"
+#include "common/arena.h"
 #include "common/bytes.h"
 #include "common/hash.h"
 #include "common/math_utils.h"
@@ -14,6 +15,23 @@
 namespace ppc {
 
 namespace {
+
+/// Per-thread workspace of the batched predict path. The arena is reset
+/// per request; the vectors retain capacity across requests. Sized by the
+/// largest batch the thread has served, so repeated serving reaches a
+/// zero-heap-allocation steady state.
+struct PredictScratch {
+  Arena arena;
+  std::vector<ZInterval> intervals;
+  std::vector<uint32_t> offsets;
+  std::vector<uint32_t> cell_lo;  // decomposition mode only
+  std::vector<uint32_t> cell_hi;
+};
+
+PredictScratch& ThreadScratch() {
+  thread_local PredictScratch scratch;
+  return scratch;
+}
 
 TransformConfig MakeTransformConfig(
     const LshHistogramsPredictor::Config& config) {
@@ -224,36 +242,110 @@ Prediction LshHistogramsPredictor::PredictLocked(
 std::vector<Prediction> LshHistogramsPredictor::PredictBatch(
     const double* points, size_t count) const {
   std::vector<Prediction> out(count);
-  if (count == 0) return out;
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  if (synopses_.empty()) return out;
+  PredictBatchInto(points, count, out.data());
+  return out;
+}
 
-  // One batched transform pass per intermediate space.
-  const std::vector<std::vector<std::vector<ZInterval>>> ranges =
-      QueryRangesBatch(points, count);
+void LshHistogramsPredictor::PredictBatchInto(const double* points,
+                                              size_t count,
+                                              Prediction* out) const {
+  std::fill(out, out + count, Prediction{});
+  if (count == 0) return;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (synopses_.empty()) return;
+
+  PredictScratch& scratch = ThreadScratch();
+  Arena& arena = scratch.arena;
+  arena.Reset();
+
+  const size_t t = transforms_.size();
+  const size_t s =
+      static_cast<size_t>(transforms_[0].config().output_dims);
+
+  // Build the flat transform-major query ranges — the fast-path analogue
+  // of QueryRangesBatch without its per-slot vector allocations.
+  FlatQueryRanges ranges;
+  ranges.transform_count = t;
+  ranges.point_count = count;
+  if (!config_.interval_decomposition) {
+    // The paper's single range per point: one interval per slot, offsets
+    // implicit.
+    scratch.intervals.clear();
+    scratch.intervals.resize(t * count);
+    double* positions = arena.Array<double>(count);
+    double* transformed = arena.Array<double>(count * s);
+    uint32_t* cell = arena.Array<uint32_t>(s);
+    for (size_t i = 0; i < t; ++i) {
+      const RandomizedTransform& transform = transforms_[i];
+      transform.LinearizedPositionBatch(points, count, positions,
+                                        transformed, cell);
+      // The half-width depends only on the transform and the radius, so
+      // it is computed once per batch.
+      const double cell_z = std::ldexp(1.0, -transform.curve().total_bits());
+      const double delta = std::max(
+          transform.RangeHalfWidth(config_.radius), 0.5 * cell_z);
+      for (size_t p = 0; p < count; ++p) {
+        scratch.intervals[i * count + p] =
+            SlideClampInterval(positions[p], delta);
+      }
+    }
+    ranges.intervals = scratch.intervals.data();
+    ranges.offsets = nullptr;
+  } else {
+    // Exact Z-range decomposition: variable intervals per slot, explicit
+    // offsets. DecomposeBox allocates its result vector, so this mode
+    // does not meet the zero-allocation contract (it is the opt-in
+    // precision extension, not the serving default).
+    scratch.intervals.clear();
+    scratch.offsets.clear();
+    scratch.offsets.push_back(0);
+    double* transformed = arena.Array<double>(count * s);
+    for (size_t i = 0; i < t; ++i) {
+      const RandomizedTransform& transform = transforms_[i];
+      transform.ApplyBatch(points, count, transformed);
+      for (size_t p = 0; p < count; ++p) {
+        transform.CellBoxFromTransformed(transformed + p * s, config_.radius,
+                                         &scratch.cell_lo, &scratch.cell_hi);
+        const std::vector<ZInterval> decomposed = transform.curve().DecomposeBox(
+            scratch.cell_lo, scratch.cell_hi, config_.max_z_intervals);
+        scratch.intervals.insert(scratch.intervals.end(), decomposed.begin(),
+                                 decomposed.end());
+        scratch.offsets.push_back(
+            static_cast<uint32_t>(scratch.intervals.size()));
+      }
+    }
+    ranges.intervals = scratch.intervals.data();
+    ranges.offsets = scratch.offsets.data();
+  }
 
   const double noise_floor =
       config_.noise_fraction > 0.0
           ? config_.noise_fraction * static_cast<double>(total_samples_)
           : 0.0;
 
-  const size_t t = transforms_.size();
   // Running per-point argmax state, updated plan by plan in the same
   // std::map order as the scalar path (ties must resolve identically).
-  std::vector<double> totals(count, 0.0);
-  std::vector<PlanId> max_plans(count, kNullPlanId);
-  std::vector<double> max_counts(count, 0.0);
-  std::vector<double> per_transform(t * count);
+  double* totals = arena.Array<double>(count);
+  double* max_counts = arena.Array<double>(count);
+  PlanId* max_plans = arena.Array<PlanId>(count);
+  std::fill(totals, totals + count, 0.0);
+  std::fill(max_counts, max_counts + count, 0.0);
+  std::fill(max_plans, max_plans + count, kNullPlanId);
+  double* per_transform = arena.Array<double>(t * count);
+  double* median_scratch = arena.Array<double>(t);
+  double* probe_scratch = arena.Array<double>(4 * config_.histogram_buckets);
   for (const auto& [plan, synopsis] : synopses_) {
-    // All of this plan's histograms are walked batch-at-a-time: bucket
-    // arrays stay cache-hot across the count points of each transform.
-    synopsis.BatchTransformCounts(ranges, count, per_transform.data());
+    // All of this plan's histograms are walked batch-at-a-time: probe
+    // tables and bucket arrays stay cache-hot across the count points of
+    // each transform.
+    synopsis.BatchTransformCounts(ranges, per_transform, probe_scratch);
     for (size_t p = 0; p < count; ++p) {
       // Assemble the per-transform counts in transform order — the same
-      // vector the scalar MedianCount builds — and take the median.
-      std::vector<double> counts(t);
-      for (size_t i = 0; i < t; ++i) counts[i] = per_transform[i * count + p];
-      const double raw = Median(std::move(counts));
+      // sequence the scalar MedianCount builds — and take the median.
+      for (size_t i = 0; i < t; ++i) {
+        median_scratch[i] = per_transform[i * count + p];
+      }
+      const double raw = MedianInPlace(median_scratch, t);
       const double density = std::max(0.0, raw - noise_floor);
       totals[p] += density;
       if (density > max_counts[p]) {
@@ -263,21 +355,59 @@ std::vector<Prediction> LshHistogramsPredictor::PredictBatch(
     }
   }
 
-  std::vector<std::vector<ZInterval>> point_ranges(t);
+  // `answered` marks points that cleared the confidence gate; matching on
+  // out[p].plan alone would misfire if a synopsis were keyed kNullPlanId
+  // (Insert does not forbid it), since abstained points carry that id.
+  bool* answered = arena.Array<bool>(count);
+  std::fill(answered, answered + count, false);
   for (size_t p = 0; p < count; ++p) {
     if (max_counts[p] <= 0.0) continue;
     const double confidence =
         ConfidenceFromCounts(max_counts[p], totals[p] - max_counts[p]);
     if (confidence <= config_.confidence_threshold) continue;
-    // Cost estimation runs only for the winning plan of a confident
-    // point, exactly as in the scalar path.
-    for (size_t i = 0; i < t; ++i) point_ranges[i] = ranges[i][p];
     out[p].plan = max_plans[p];
     out[p].confidence = confidence;
-    out[p].estimated_cost =
-        synopses_.at(max_plans[p]).MedianAverageCost(point_ranges);
+    answered[p] = true;
   }
-  return out;
+
+  // Cost estimation runs only for the winning plan of a confident point,
+  // exactly as in the scalar path — but grouped by plan so each winning
+  // synopsis exports its count+cost probe tables once per batch instead
+  // of recomputing bucket extents per (point, bucket, estimate), and (in
+  // single-range mode) the grouped points run through one across-queries
+  // kernel call per transform.
+  const size_t stride = config_.histogram_buckets;
+  double* cost_probes = arena.Array<double>(5 * t * stride);
+  uint32_t* group_idx = arena.Array<uint32_t>(count);
+  double* bounds_ws = arena.Array<double>(2 * count);
+  double* counts_ws = arena.Array<double>(t * count);
+  double* costs_ws = arena.Array<double>(t * count);
+  double* group_costs = arena.Array<double>(count);
+  for (const auto& [plan, synopsis] : synopses_) {
+    size_t group = 0;
+    for (size_t p = 0; p < count; ++p) {
+      if (answered[p] && max_plans[p] == plan) {
+        group_idx[group++] = static_cast<uint32_t>(p);
+      }
+    }
+    if (group == 0) continue;
+    synopsis.ExportCostProbes(stride, cost_probes);
+    if (ranges.offsets == nullptr) {
+      synopsis.BatchAverageCostsFromProbes(ranges, group_idx, group, stride,
+                                           cost_probes, bounds_ws, counts_ws,
+                                           costs_ws, median_scratch,
+                                           group_costs);
+      for (size_t k = 0; k < group; ++k) {
+        out[group_idx[k]].estimated_cost = group_costs[k];
+      }
+    } else {
+      for (size_t k = 0; k < group; ++k) {
+        out[group_idx[k]].estimated_cost =
+            synopsis.MedianAverageCostFromProbes(ranges, group_idx[k], stride,
+                                                 cost_probes, median_scratch);
+      }
+    }
+  }
 }
 
 double LshHistogramsPredictor::EstimateCost(const std::vector<double>& x,

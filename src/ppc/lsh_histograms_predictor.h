@@ -90,6 +90,16 @@ class LshHistogramsPredictor : public PlanPredictor {
   std::vector<Prediction> PredictBatch(const double* points,
                                        size_t count) const;
 
+  /// PredictBatch into caller-provided storage (`out` holds `count`
+  /// Predictions). This is the zero-allocation serving entry point: all
+  /// scratch comes from a thread-local per-request arena plus
+  /// capacity-retaining thread-local buffers, so after a warm-up call the
+  /// whole prediction performs no heap allocation (verified by the
+  /// allocation-counting test; in interval_decomposition mode the exact
+  /// Z-range decomposition still allocates its interval lists).
+  void PredictBatchInto(const double* points, size_t count,
+                        Prediction* out) const;
+
   void Insert(const LabeledPoint& point) override;
   uint64_t SpaceBytes() const override;
   std::string Name() const override { return "APPROXIMATE-LSH-HISTOGRAMS"; }

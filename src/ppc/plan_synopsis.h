@@ -2,12 +2,39 @@
 #define PPC_PPC_PLAN_SYNOPSIS_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "lsh/zorder.h"
 #include "stats/streaming_histogram.h"
 
 namespace ppc {
+
+/// The serving fast path's view of a batch's query ranges: all intervals
+/// in one flat array, transform-major (every interval of transform 0, then
+/// transform 1, ...), with slot (i, p) = i * point_count + p addressing
+/// point p's intervals in transform i. Replaces the
+/// vector<vector<vector<ZInterval>>> nesting, whose per-slot allocations
+/// dominated the predict profile. Non-owning — the backing storage lives
+/// in the caller's per-request scratch.
+struct FlatQueryRanges {
+  const ZInterval* intervals = nullptr;
+  /// Slot offsets into `intervals`: slot k covers
+  /// [offsets[k], offsets[k+1]). nullptr means every slot holds exactly
+  /// one interval (the paper's single-range mode) and slot k is
+  /// intervals[k .. k+1).
+  const uint32_t* offsets = nullptr;
+  size_t transform_count = 0;
+  size_t point_count = 0;
+
+  /// [begin, end) of slot (transform i, point p)'s intervals.
+  std::pair<const ZInterval*, const ZInterval*> Slice(size_t i,
+                                                      size_t p) const {
+    const size_t k = i * point_count + p;
+    if (offsets == nullptr) return {intervals + k, intervals + k + 1};
+    return {intervals + offsets[k], intervals + offsets[k + 1]};
+  }
+};
 
 /// The histogram synopsis of one query plan's sample distribution: one
 /// bounded-bucket database histogram per randomized transform, keyed by
@@ -40,6 +67,48 @@ class PlanSynopsis {
   double MedianAverageCost(
       const std::vector<std::vector<ZInterval>>& ranges) const;
 
+  /// MedianAverageCost of one point's slots in a flat batch view, writing
+  /// the per-transform costs into `scratch` (>= transform_count doubles)
+  /// instead of allocating. Bit-identical to the vector overload.
+  double MedianAverageCost(const FlatQueryRanges& ranges, size_t point,
+                           double* scratch) const;
+
+  /// Exports every transform's probe table for the combined count+cost
+  /// kernel into `probes` (caller-provided, >= transform_count * 5 *
+  /// stride doubles, stride >= every histogram's bucket_count()).
+  /// Transform i's table starts at probes + i * 5 * stride and holds the
+  /// five arrays [left | right | count | cost | centroid], each `stride`
+  /// apart. Pairs with MedianAverageCostFromProbes, which amortizes the
+  /// per-bucket extent math once per (synopsis, batch) instead of once
+  /// per (point, bucket, estimate).
+  void ExportCostProbes(size_t stride, double* probes) const;
+
+  /// MedianAverageCost of one point's slots computed from a table built by
+  /// ExportCostProbes, via the runtime-dispatched
+  /// simd::HistogramRangeCountCost kernel. Bit-identical to the
+  /// MedianAverageCost overloads above (which remain the oracle): per
+  /// interval the kernel's count matches EstimateCount bit for bit and the
+  /// caller reconstructs c * EstimateAverageCost as c * (cost / c).
+  double MedianAverageCostFromProbes(const FlatQueryRanges& ranges,
+                                     size_t point, size_t stride,
+                                     const double* probes,
+                                     double* scratch) const;
+
+  /// Batched MedianAverageCostFromProbes over the `n` points
+  /// point_idx[0..n) of a single-range batch (ranges.offsets == nullptr;
+  /// callers in interval-decomposition mode use the per-point variant).
+  /// One across-queries kernel call per transform covers every selected
+  /// point; out[k] receives point_idx[k]'s median average cost,
+  /// bit-identical to the per-point form. Caller-provided workspaces:
+  /// bounds_ws >= 2 * n, counts_ws and costs_ws >= transform_count * n,
+  /// median_ws >= transform_count doubles.
+  void BatchAverageCostsFromProbes(const FlatQueryRanges& ranges,
+                                   const uint32_t* point_idx, size_t n,
+                                   size_t stride, const double* probes,
+                                   double* bounds_ws, double* counts_ws,
+                                   double* costs_ws, double* median_ws,
+                                   double* out) const;
+
   /// Batched per-transform counts for the serving fast path:
   /// `ranges_by_transform[i][p]` is point p's interval list in transform i
   /// (transform-major layout), and the summed count of that list lands in
@@ -53,6 +122,16 @@ class PlanSynopsis {
       const std::vector<std::vector<std::vector<ZInterval>>>&
           ranges_by_transform,
       size_t point_count, double* counts_out) const;
+
+  /// Flat, allocation-free variant used by the predict hot path: same
+  /// semantics and bit-identical results (the nested overload above is
+  /// the oracle), but ranges come as a FlatQueryRanges view, each
+  /// histogram's bucket extents are exported once per batch into
+  /// `probe_scratch` (caller-provided, >= 4 * max_buckets doubles, e.g.
+  /// arena-backed), and each interval is counted by the runtime-dispatched
+  /// simd::HistogramRangeCount kernel.
+  void BatchTransformCounts(const FlatQueryRanges& ranges, double* counts_out,
+                            double* probe_scratch) const;
 
   /// Samples inserted (identical across transforms; per-transform count).
   size_t SampleCount() const;

@@ -1,6 +1,8 @@
 #ifndef PPC_SERVER_NET_UTIL_H_
 #define PPC_SERVER_NET_UTIL_H_
 
+#include <sys/uio.h>
+
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -79,6 +81,22 @@ Status SetNonBlocking(int fd);
 /// closed), Unavailable when the peer is gone.
 Status WriteAll(int fd, const char* data, size_t size,
                 const Deadline& deadline);
+
+/// Upper bound on iovecs per WritevAll call (the server sends two: length
+/// prefix + payload).
+inline constexpr int kMaxWriteIovecs = 8;
+
+/// Scatter/gather WriteAll: writes every byte of `iov[0..iovcnt)` in
+/// order via sendmsg (writev cannot suppress SIGPIPE), with the same
+/// deadline, EINTR/EAGAIN, and failpoint semantics as WriteAll. This is
+/// the zero-copy send path: the frame's length prefix and its payload go
+/// out as two iovecs without being assembled into a contiguous buffer
+/// first. A partial write — including one that ends inside the length
+/// prefix — resumes exactly where it stopped, mid-iovec, never re-sending
+/// bytes; the iovec array itself is not modified (the resume state lives
+/// in a local copy). iovcnt must be in (0, kMaxWriteIovecs].
+Status WritevAll(int fd, const struct iovec* iov, int iovcnt,
+                 const Deadline& deadline);
 
 /// Compatibility shim over WriteAll: true iff every byte was written
 /// before the (default infinite) deadline.

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <mutex>
 
 #include "ppc/predictor_state.h"
@@ -75,16 +76,27 @@ struct PlanServer::Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Writes one encoded frame within the configured write deadline;
-  /// returns false (and poisons the connection) on any transport error
-  /// or on deadline expiry — a partially written frame can never be
-  /// completed coherently, so the stream is done either way.
-  bool WriteFrame(const std::string& frame) {
+  /// Writes one frame — `payload` prefixed by its u32 length — within the
+  /// configured write deadline; returns false (and poisons the
+  /// connection) on any transport error or on deadline expiry — a
+  /// partially written frame can never be completed coherently, so the
+  /// stream is done either way. The prefix and the payload go out as two
+  /// iovecs (net::WritevAll), so the frame is never copied into a
+  /// contiguous buffer.
+  bool WriteFrame(const std::string& payload) {
+    const uint32_t length = static_cast<uint32_t>(payload.size());
+    char prefix[sizeof(length)];
+    std::memcpy(prefix, &length, sizeof(length));
+    struct iovec iov[2];
+    iov[0].iov_base = prefix;
+    iov[0].iov_len = sizeof(length);
+    iov[1].iov_base = const_cast<char*>(payload.data());
+    iov[1].iov_len = payload.size();
     std::lock_guard<std::mutex> lock(write_mu);
     if (closed.load(std::memory_order_relaxed)) return false;
     const Status st =
-        net::WriteAll(fd, frame.data(), frame.size(),
-                      net::Deadline::AfterMsOrInfinite(write_deadline_ms));
+        net::WritevAll(fd, iov, 2,
+                       net::Deadline::AfterMsOrInfinite(write_deadline_ms));
     if (!st.ok()) {
       if (st.code() == StatusCode::kDeadlineExceeded &&
           timeouts_write != nullptr) {
@@ -515,13 +527,13 @@ void PlanServer::SendShedAbstain(const std::shared_ptr<Connection>& conn,
   response.id = id;
   // Identical on the wire to a genuine predictor abstention: NULL plan,
   // zero confidence, OK status.
-  std::string frame;
-  wire::EncodeResponse(response, &frame);
+  std::string payload;
+  wire::EncodeResponsePayload(response, &payload);
   // Count before the write: an observer who has seen the response (a
   // test polling the counter, an operator correlating with client logs)
   // must also see it counted.
   instruments_.shed_abstained_predicts->Increment();
-  conn->WriteFrame(frame);
+  conn->WriteFrame(payload);
 }
 
 void PlanServer::SweepUnansweredOnShutdown() {
@@ -577,9 +589,9 @@ void PlanServer::SendError(const std::shared_ptr<Connection>& conn,
   response.id = id;
   response.status = status;
   response.error = message;
-  std::string frame;
-  wire::EncodeResponse(response, &frame);
-  conn->WriteFrame(frame);
+  std::string payload;
+  wire::EncodeResponsePayload(response, &payload);
+  conn->WriteFrame(payload);
 }
 
 wire::Response PlanServer::HandleRequest(const wire::Request& request) {
@@ -696,9 +708,9 @@ void PlanServer::ProcessSingle(WorkItem* item) {
     config_.pre_dispatch_hook(item->request.type);
   }
   wire::Response response = HandleRequest(item->request);
-  std::string frame;
-  wire::EncodeResponse(response, &frame);
-  item->conn->WriteFrame(frame);
+  std::string payload;
+  wire::EncodeResponsePayload(response, &payload);
+  item->conn->WriteFrame(payload);
   const double micros = MicrosSince(item->admitted);
   switch (item->request.type) {
     case wire::MessageType::kPredict:
@@ -765,9 +777,9 @@ void PlanServer::ProcessPredictRun(WorkItem* items, size_t count) {
     // each request on the scalar path instead. The hooks already ran.
     for (size_t p = 0; p < count; ++p) {
       wire::Response response = HandleRequest(items[p].request);
-      std::string frame;
-      wire::EncodeResponse(response, &frame);
-      items[p].conn->WriteFrame(frame);
+      std::string payload;
+      wire::EncodeResponsePayload(response, &payload);
+      items[p].conn->WriteFrame(payload);
       instruments_.requests_predict->Increment();
       instruments_.predict_us->Record(MicrosSince(items[p].admitted));
       if (!response.ok()) instruments_.responses_error->Increment();
@@ -781,9 +793,9 @@ void PlanServer::ProcessPredictRun(WorkItem* items, size_t count) {
     response.predict.plan = reports.value()[p].plan;
     response.predict.confidence = reports.value()[p].confidence;
     response.predict.cache_hit = reports.value()[p].cache_hit;
-    std::string frame;
-    wire::EncodeResponse(response, &frame);
-    items[p].conn->WriteFrame(frame);
+    std::string payload;
+    wire::EncodeResponsePayload(response, &payload);
+    items[p].conn->WriteFrame(payload);
     instruments_.requests_predict->Increment();
     instruments_.predict_us->Record(MicrosSince(items[p].admitted));
   }

@@ -70,12 +70,9 @@ Status DecodeBatchBody(ByteReader* reader, Request* request) {
                                    std::to_string(kMaxPointDimensions));
   }
   request->batch_dims = dims;
-  request->batch_points.reserve(static_cast<size_t>(count) * dims);
-  for (uint64_t i = 0; i < static_cast<uint64_t>(count) * dims; ++i) {
-    PPC_ASSIGN_OR_RETURN(double v, reader->GetDouble());
-    request->batch_points.push_back(v);
-  }
-  return Status::OK();
+  request->batch_points.resize(static_cast<size_t>(count) * dims);
+  return reader->GetDoubles(request->batch_points.data(),
+                            request->batch_points.size());
 }
 
 Status RequireAtEnd(const ByteReader& reader) {
@@ -145,7 +142,8 @@ void EncodeRequest(const Request& request, std::string* out) {
     writer.PutString(request.template_name);
     writer.PutU32(request.batch_count());
     writer.PutU32(request.batch_dims);
-    for (double v : request.batch_points) writer.PutDouble(v);
+    writer.PutDoubles(request.batch_points.data(),
+                      request.batch_points.size());
   } else if (request.type == MessageType::kSnapshotApply) {
     writer.PutString(request.snapshot_blob);
   } else if (request.type == MessageType::kTopology) {
@@ -156,7 +154,7 @@ void EncodeRequest(const Request& request, std::string* out) {
   AppendFrame(writer.buffer(), out);
 }
 
-void EncodeResponse(const Response& response, std::string* out) {
+void EncodeResponsePayload(const Response& response, std::string* out) {
   ByteWriter writer;
   writer.PutU8(static_cast<uint8_t>(response.type));
   writer.PutU64(response.id);
@@ -213,7 +211,17 @@ void EncodeResponse(const Response& response, std::string* out) {
         break;
     }
   }
-  AppendFrame(writer.buffer(), out);
+  if (out->empty()) {
+    *out = writer.Take();
+  } else {
+    out->append(writer.buffer());
+  }
+}
+
+void EncodeResponse(const Response& response, std::string* out) {
+  std::string payload;
+  EncodeResponsePayload(response, &payload);
+  AppendFrame(payload, out);
 }
 
 Result<Request> DecodeRequest(const std::string& payload) {

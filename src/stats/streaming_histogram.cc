@@ -100,6 +100,21 @@ void StreamingHistogram::BucketExtent(size_t i, double* left,
   if (*right < *left) std::swap(*left, *right);
 }
 
+void StreamingHistogram::ExportProbe(double* left, double* right,
+                                     double* count, double* centroid) const {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    BucketExtent(i, left + i, right + i);
+    count[i] = buckets_[i].count;
+    centroid[i] = buckets_[i].centroid;
+  }
+}
+
+void StreamingHistogram::ExportProbeCosts(double* cost) const {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cost[i] = buckets_[i].cost_sum;
+  }
+}
+
 double StreamingHistogram::EstimateCount(double lo, double hi) const {
   if (buckets_.empty() || lo > hi) return 0.0;
   double count = 0.0;

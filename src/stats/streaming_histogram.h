@@ -45,6 +45,22 @@ class StreamingHistogram {
   /// interpolation across partially-covered buckets.
   double EstimateCount(double lo, double hi) const;
 
+  /// Exports the per-bucket probe table the vectorized range-count kernel
+  /// (simd::HistogramRangeCount) consumes: bucket extents via
+  /// BucketExtent, raw counts and centroids, one entry per bucket in
+  /// bucket order. Each output array must hold bucket_count() doubles.
+  /// The values are exactly what EstimateCount computes internally, so a
+  /// kernel fed this table reproduces EstimateCount bit for bit — the
+  /// batched path amortizes the extent computation once per (histogram,
+  /// batch) instead of once per (point, bucket).
+  void ExportProbe(double* left, double* right, double* count,
+                   double* centroid) const;
+
+  /// Companion to ExportProbe for the cost-estimating kernel
+  /// (simd::HistogramRangeCountCost): per-bucket cost sums, one entry per
+  /// bucket in bucket order. `cost` must hold bucket_count() doubles.
+  void ExportProbeCosts(double* cost) const;
+
   /// Count-weighted average cost of observations in [lo, hi]. Returns 0
   /// when the estimated count is 0.
   double EstimateAverageCost(double lo, double hi) const;

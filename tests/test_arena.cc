@@ -1,0 +1,89 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/alloc_counter.h"
+
+namespace ppc {
+namespace {
+
+TEST(ArenaTest, ReturnsAlignedWritableStorage) {
+  Arena arena;
+  double* d = arena.Array<double>(17);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % alignof(std::max_align_t), 0u);
+  for (int i = 0; i < 17; ++i) d[i] = i * 1.5;
+  uint32_t* u = arena.Array<uint32_t>(3);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(u) % alignof(std::max_align_t), 0u);
+  u[0] = u[1] = u[2] = 7;
+  // The second allocation did not stomp the first.
+  for (int i = 0; i < 17; ++i) EXPECT_EQ(d[i], i * 1.5);
+}
+
+TEST(ArenaTest, DistinctAllocationsDoNotOverlap) {
+  Arena arena;
+  char* a = arena.Array<char>(100);
+  char* b = arena.Array<char>(100);
+  std::memset(a, 0xAA, 100);
+  std::memset(b, 0xBB, 100);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(a[i]), 0xAA);
+  }
+}
+
+TEST(ArenaTest, ResetRecyclesWithoutHeapTraffic) {
+  Arena arena;
+  arena.Array<double>(256);
+  const size_t capacity = arena.CapacityBytes();
+  for (int round = 0; round < 10; ++round) {
+    arena.Reset();
+    const uint64_t before = ThreadAllocationCount();
+    double* d = arena.Array<double>(256);
+    d[0] = 1.0;
+    d[255] = 2.0;
+    EXPECT_EQ(ThreadAllocationCount(), before) << "round " << round;
+  }
+  EXPECT_EQ(arena.CapacityBytes(), capacity);
+  EXPECT_EQ(arena.BlockCount(), 1u);
+}
+
+TEST(ArenaTest, OverflowChainsBlocksThenConsolidatesToOne) {
+  Arena arena;
+  // Repeatedly outgrow the current block within one "request".
+  arena.Array<char>(100);
+  arena.Array<char>(8 * 1024);
+  arena.Array<char>(32 * 1024);
+  EXPECT_GT(arena.BlockCount(), 1u);
+  arena.Reset();
+  EXPECT_EQ(arena.BlockCount(), 1u);
+  // The consolidated block absorbs the whole previous pattern: replaying
+  // it allocates nothing.
+  const uint64_t before = ThreadAllocationCount();
+  arena.Array<char>(100);
+  arena.Array<char>(8 * 1024);
+  arena.Array<char>(32 * 1024);
+  EXPECT_EQ(ThreadAllocationCount(), before);
+  EXPECT_EQ(arena.BlockCount(), 1u);
+}
+
+TEST(ArenaTest, ZeroCountArrayIsValid) {
+  Arena arena;
+  EXPECT_NE(arena.Array<double>(0), nullptr);
+}
+
+TEST(AllocCounterTest, CountsThisThreadsAllocations) {
+  const uint64_t allocs = ThreadAllocationCount();
+  const uint64_t frees = ThreadDeallocationCount();
+  // Direct operator calls: a new/delete *expression* pair may legally be
+  // elided by the optimizer, an explicit operator call may not.
+  void* p = ::operator new(64);
+  EXPECT_GE(ThreadAllocationCount(), allocs + 1);
+  ::operator delete(p);
+  EXPECT_GE(ThreadDeallocationCount(), frees + 1);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/alloc_counter.h"
 #include "ppc/metrics.h"
 #include "ppc/plan_synopsis.h"
 #include "test_util.h"
@@ -117,6 +118,33 @@ TEST(LshHistogramsTest, PredictBatchBitIdenticalToScalarPredict) {
           << "point " << p;
     }
   }
+}
+
+TEST(LshHistogramsTest, PredictBatchIntoAllocatesNothingAfterWarmup) {
+  // The serving-path contract this PR introduces: once the thread-local
+  // arena and scratch buffers are warm, a whole batched prediction
+  // performs zero heap allocations. Two warm-up calls, not one — the
+  // arena consolidates multi-block state at the start of the second call.
+  auto cfg = BaseConfig();
+  cfg.noise_fraction = 0.002;
+  Rng rng(17);
+  LshHistogramsPredictor predictor(
+      cfg, SamplePoints(2, 2000, HalfSpacePlan, &rng));
+  Rng probe(19);
+  const size_t count = 64;
+  std::vector<double> flat;
+  for (size_t i = 0; i < count * 2; ++i) flat.push_back(probe.Uniform());
+  std::vector<Prediction> out(count);
+  predictor.PredictBatchInto(flat.data(), count, out.data());
+  predictor.PredictBatchInto(flat.data(), count, out.data());
+  const uint64_t before = ThreadAllocationCount();
+  predictor.PredictBatchInto(flat.data(), count, out.data());
+  EXPECT_EQ(ThreadAllocationCount(), before)
+      << "warm PredictBatchInto must not touch the heap";
+  // And it still answers: the warm path is the real path, not a stub.
+  size_t answered = 0;
+  for (const Prediction& p : out) answered += p.has_value() ? 1 : 0;
+  EXPECT_GT(answered, 0u);
 }
 
 TEST(LshHistogramsTest, QueryRangesBatchMatchesScalarQueryRanges) {

@@ -1,0 +1,479 @@
+#include "lsh/simd.h"
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "lsh/zorder.h"
+#include "ppc/lsh_histograms_predictor.h"
+#include "stats/streaming_histogram.h"
+
+namespace ppc {
+namespace simd {
+namespace {
+
+/// Restores the dispatch tier on scope exit so a test that forces the
+/// scalar tier cannot leak it into later tests.
+class ScopedTier {
+ public:
+  explicit ScopedTier(bool force_scalar) {
+    if (force_scalar) {
+      ::setenv("PPC_DISABLE_AVX2", "1", 1);
+    } else {
+      ::unsetenv("PPC_DISABLE_AVX2");
+    }
+    ReinitializeDispatchForTest();
+  }
+  ~ScopedTier() {
+    ::unsetenv("PPC_DISABLE_AVX2");
+    ReinitializeDispatchForTest();
+  }
+};
+
+TEST(SimdDispatchTest, EnvVariableForcesScalarTier) {
+  {
+    ScopedTier scalar(/*force_scalar=*/true);
+    EXPECT_EQ(ActiveTier(), Tier::kScalar);
+    EXPECT_STREQ(TierName(ActiveTier()), "scalar");
+  }
+  // With the variable cleared the tier tracks the CPU's actual support.
+  ScopedTier native(/*force_scalar=*/false);
+  EXPECT_EQ(ActiveTier(),
+            CpuSupportsAvx2() ? Tier::kAvx2 : Tier::kScalar);
+}
+
+TEST(SimdDispatchTest, ExplicitZeroDoesNotDisable) {
+  ::setenv("PPC_DISABLE_AVX2", "0", 1);
+  ReinitializeDispatchForTest();
+  EXPECT_EQ(ActiveTier(),
+            CpuSupportsAvx2() ? Tier::kAvx2 : Tier::kScalar);
+  ::unsetenv("PPC_DISABLE_AVX2");
+  ReinitializeDispatchForTest();
+}
+
+/// Bit-identity harness for ApplyBatch: run both tiers on the same inputs
+/// and require byte-for-byte equal output buffers. Batch sizes straddle
+/// the 4-point vector width (1, 3, 4, 5, 7, 8, 64, 65) so lane blocks,
+/// tails, and the 1-point degenerate case are all exercised.
+void ExpectApplyBatchBitIdentical(size_t r, size_t s, size_t count,
+                                  Rng* rng) {
+  std::vector<double> projections(s * r);
+  std::vector<double> shifts(s);
+  for (double& v : projections) v = rng->Gaussian();
+  for (double& v : shifts) v = rng->Uniform(-1.0, 1.0);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(r));
+  std::vector<double> points(count * r);
+  for (double& v : points) v = rng->Uniform();
+  std::vector<double> scalar(count * s, 0.0);
+  std::vector<double> avx2(count * s, 1.0);
+  ApplyBatchScalar(projections.data(), shifts.data(), scale, r, s,
+                   points.data(), count, scalar.data());
+  ApplyBatchAvx2(projections.data(), shifts.data(), scale, r, s,
+                 points.data(), count, avx2.data());
+  ASSERT_EQ(std::memcmp(scalar.data(), avx2.data(),
+                        scalar.size() * sizeof(double)),
+            0)
+      << "r=" << r << " s=" << s << " count=" << count;
+}
+
+TEST(SimdKernelTest, ApplyBatchTiersBitIdenticalOnRandomBatches) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(2026);
+  for (const size_t r : {1u, 2u, 3u, 5u, 8u}) {
+    for (const size_t count : {1u, 3u, 4u, 5u, 7u, 8u, 64u, 65u}) {
+      ExpectApplyBatchBitIdentical(r, r, count, &rng);
+      ExpectApplyBatchBitIdentical(r, 2, count, &rng);
+    }
+  }
+}
+
+TEST(SimdKernelTest, ApplyBatchTiersAgreeOnNonFiniteInputs) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  const size_t r = 2, s = 2, count = 5;
+  std::vector<double> projections = {0.5, -1.25, 2.0, 0.125};
+  std::vector<double> shifts = {0.25, -0.5};
+  std::vector<double> points(count * r, 0.5);
+  points[0] = std::numeric_limits<double>::quiet_NaN();
+  points[3] = std::numeric_limits<double>::infinity();
+  points[4] = -std::numeric_limits<double>::infinity();
+  points[7] = 0.0;
+  points[8] = 1.0;
+  std::vector<double> scalar(count * s), avx2(count * s);
+  ApplyBatchScalar(projections.data(), shifts.data(), 0.7, r, s,
+                   points.data(), count, scalar.data());
+  ApplyBatchAvx2(projections.data(), shifts.data(), 0.7, r, s,
+                 points.data(), count, avx2.data());
+  // memcmp (not EXPECT_EQ): NaN outputs must have identical bit patterns
+  // too, and NaN != NaN would pass EXPECT_NE-style checks silently.
+  EXPECT_EQ(std::memcmp(scalar.data(), avx2.data(),
+                        scalar.size() * sizeof(double)),
+            0);
+}
+
+/// Builds a randomized probe table with a mix of spread buckets and
+/// zero-width point masses, in ascending position order.
+struct ProbeTable {
+  std::vector<double> left, right, count, centroid;
+  size_t size() const { return left.size(); }
+};
+
+ProbeTable RandomProbe(size_t buckets, Rng* rng) {
+  ProbeTable t;
+  double pos = 0.0;
+  for (size_t i = 0; i < buckets; ++i) {
+    const bool point_mass = rng->Uniform() < 0.3;
+    const double width = point_mass ? 0.0 : rng->Uniform(0.001, 0.05);
+    t.left.push_back(pos);
+    t.right.push_back(pos + width);
+    t.count.push_back(rng->Uniform(0.0, 50.0));
+    t.centroid.push_back(pos + width * 0.5);
+    pos += width + rng->Uniform(0.0, 0.02);
+  }
+  return t;
+}
+
+TEST(SimdKernelTest, HistogramRangeCountTiersBitIdentical) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(777);
+  for (const size_t buckets : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u, 40u}) {
+    ProbeTable t = RandomProbe(buckets, &rng);
+    for (int q = 0; q < 50; ++q) {
+      double lo = rng.Uniform(-0.1, 1.1);
+      double hi = lo + rng.Uniform(0.0, 0.4);
+      if (q % 7 == 0) std::swap(lo, hi);  // inverted → both return 0
+      const double scalar =
+          HistogramRangeCountScalar(t.left.data(), t.right.data(),
+                                    t.count.data(), t.centroid.data(),
+                                    t.size(), lo, hi);
+      const double avx2 =
+          HistogramRangeCountAvx2(t.left.data(), t.right.data(),
+                                  t.count.data(), t.centroid.data(),
+                                  t.size(), lo, hi);
+      uint64_t sbits, abits;
+      std::memcpy(&sbits, &scalar, sizeof(sbits));
+      std::memcpy(&abits, &avx2, sizeof(abits));
+      EXPECT_EQ(sbits, abits) << "buckets=" << buckets << " lo=" << lo
+                              << " hi=" << hi;
+    }
+  }
+}
+
+TEST(SimdKernelTest, HistogramRangeCountTiersAgreeOnNaNBounds) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(31);
+  ProbeTable t = RandomProbe(9, &rng);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+           {nan, 0.5}, {0.1, nan}, {nan, nan}}) {
+    EXPECT_EQ(HistogramRangeCountScalar(t.left.data(), t.right.data(),
+                                        t.count.data(), t.centroid.data(),
+                                        t.size(), lo, hi),
+              0.0);
+    EXPECT_EQ(HistogramRangeCountAvx2(t.left.data(), t.right.data(),
+                                      t.count.data(), t.centroid.data(),
+                                      t.size(), lo, hi),
+              0.0);
+  }
+}
+
+TEST(SimdKernelTest, HistogramRangeCountCostTiersBitIdentical) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(4041);
+  for (const size_t buckets : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 13u, 40u}) {
+    ProbeTable t = RandomProbe(buckets, &rng);
+    std::vector<double> cost(buckets);
+    for (double& v : cost) v = rng.Uniform(0.0, 200.0);
+    for (int q = 0; q < 50; ++q) {
+      double lo = rng.Uniform(-0.1, 1.1);
+      double hi = lo + rng.Uniform(0.0, 0.4);
+      if (q % 7 == 0) std::swap(lo, hi);  // inverted → both return (0, 0)
+      double sc, scost, ac, acost;
+      HistogramRangeCountCostScalar(t.left.data(), t.right.data(),
+                                    t.count.data(), cost.data(),
+                                    t.centroid.data(), t.size(), lo, hi, &sc,
+                                    &scost);
+      HistogramRangeCountCostAvx2(t.left.data(), t.right.data(),
+                                  t.count.data(), cost.data(),
+                                  t.centroid.data(), t.size(), lo, hi, &ac,
+                                  &acost);
+      uint64_t a, b;
+      std::memcpy(&a, &sc, sizeof(a));
+      std::memcpy(&b, &ac, sizeof(b));
+      EXPECT_EQ(a, b) << "count: buckets=" << buckets << " lo=" << lo
+                      << " hi=" << hi;
+      std::memcpy(&a, &scost, sizeof(a));
+      std::memcpy(&b, &acost, sizeof(b));
+      EXPECT_EQ(a, b) << "cost: buckets=" << buckets << " lo=" << lo
+                      << " hi=" << hi;
+    }
+  }
+}
+
+TEST(SimdKernelTest, HistogramRangeCountCostTiersAgreeOnNaNBounds) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(67);
+  ProbeTable t = RandomProbe(9, &rng);
+  std::vector<double> cost(t.size(), 3.5);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const auto& [lo, hi] : std::vector<std::pair<double, double>>{
+           {nan, 0.5}, {0.1, nan}, {nan, nan}}) {
+    double sc, scost, ac, acost;
+    HistogramRangeCountCostScalar(t.left.data(), t.right.data(),
+                                  t.count.data(), cost.data(),
+                                  t.centroid.data(), t.size(), lo, hi, &sc,
+                                  &scost);
+    HistogramRangeCountCostAvx2(t.left.data(), t.right.data(), t.count.data(),
+                                cost.data(), t.centroid.data(), t.size(), lo,
+                                hi, &ac, &acost);
+    EXPECT_EQ(sc, 0.0);
+    EXPECT_EQ(scost, 0.0);
+    EXPECT_EQ(ac, 0.0);
+    EXPECT_EQ(acost, 0.0);
+  }
+}
+
+TEST(SimdKernelTest, CostKernelReproducesHistogramEstimates) {
+  // The combined kernel replaces the per-interval EstimateCount +
+  // EstimateAverageCost pair on the cost path; feeding it ExportProbe +
+  // ExportProbeCosts tables must reproduce both estimates bit for bit on
+  // both tiers (count directly, average cost as cost/count).
+  Rng rng(19);
+  StreamingHistogram hist(16);
+  for (int i = 0; i < 500; ++i) {
+    hist.Insert(rng.Uniform(), rng.Uniform(0.0, 10.0));
+  }
+  const size_t b = hist.bucket_count();
+  std::vector<double> probe(5 * b);
+  hist.ExportProbe(probe.data(), probe.data() + b, probe.data() + 2 * b,
+                   probe.data() + 4 * b);
+  hist.ExportProbeCosts(probe.data() + 3 * b);
+  for (int q = 0; q < 200; ++q) {
+    const double lo = rng.Uniform(-0.05, 1.0);
+    const double hi = lo + rng.Uniform(0.0, 0.3);
+    const double oracle_count = hist.EstimateCount(lo, hi);
+    const double oracle_avg = hist.EstimateAverageCost(lo, hi);
+    for (const bool scalar : {true, false}) {
+      double c, cost;
+      if (scalar) {
+        HistogramRangeCountCostScalar(probe.data(), probe.data() + b,
+                                      probe.data() + 2 * b,
+                                      probe.data() + 3 * b,
+                                      probe.data() + 4 * b, b, lo, hi, &c,
+                                      &cost);
+      } else {
+        HistogramRangeCountCost(probe.data(), probe.data() + b,
+                                probe.data() + 2 * b, probe.data() + 3 * b,
+                                probe.data() + 4 * b, b, lo, hi, &c, &cost);
+      }
+      EXPECT_EQ(oracle_count, c);
+      EXPECT_EQ(oracle_avg, c > 0.0 ? cost / c : 0.0);
+    }
+  }
+}
+
+/// Query bounds for the across-queries kernels: mostly ordinary ranges,
+/// with inverted and NaN-bound lanes mixed in so the lane masking is
+/// exercised at every position in a 4-lane block.
+std::vector<double> RandomBounds(size_t queries, Rng* rng) {
+  std::vector<double> bounds(2 * queries);
+  for (size_t q = 0; q < queries; ++q) {
+    double lo = rng->Uniform(-0.1, 1.1);
+    double hi = lo + rng->Uniform(0.0, 0.4);
+    if (q % 5 == 3) std::swap(lo, hi);
+    if (q % 7 == 2) lo = std::numeric_limits<double>::quiet_NaN();
+    if (q % 11 == 6) hi = std::numeric_limits<double>::quiet_NaN();
+    bounds[2 * q] = lo;
+    bounds[2 * q + 1] = hi;
+  }
+  return bounds;
+}
+
+TEST(SimdKernelTest, HistogramRangeCountManyTiersBitIdentical) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(808);
+  for (const size_t buckets : {1u, 3u, 8u, 40u}) {
+    ProbeTable t = RandomProbe(buckets, &rng);
+    for (const size_t queries : {1u, 3u, 4u, 5u, 7u, 32u, 33u}) {
+      const std::vector<double> bounds = RandomBounds(queries, &rng);
+      std::vector<double> scalar(queries, -1.0), avx2(queries, -2.0);
+      HistogramRangeCountManyScalar(t.left.data(), t.right.data(),
+                                    t.count.data(), t.centroid.data(),
+                                    t.size(), bounds.data(), queries,
+                                    scalar.data());
+      HistogramRangeCountManyAvx2(t.left.data(), t.right.data(),
+                                  t.count.data(), t.centroid.data(), t.size(),
+                                  bounds.data(), queries, avx2.data());
+      ASSERT_EQ(std::memcmp(scalar.data(), avx2.data(),
+                            queries * sizeof(double)),
+                0)
+          << "buckets=" << buckets << " queries=" << queries;
+      // The many-query scalar tier must itself match the single-query
+      // kernel, query by query.
+      for (size_t q = 0; q < queries; ++q) {
+        EXPECT_EQ(scalar[q],
+                  HistogramRangeCountScalar(
+                      t.left.data(), t.right.data(), t.count.data(),
+                      t.centroid.data(), t.size(), bounds[2 * q],
+                      bounds[2 * q + 1]));
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, HistogramRangeCountCostManyTiersBitIdentical) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(909);
+  for (const size_t buckets : {1u, 3u, 8u, 40u}) {
+    ProbeTable t = RandomProbe(buckets, &rng);
+    std::vector<double> cost(buckets);
+    for (double& v : cost) v = rng.Uniform(0.0, 200.0);
+    for (const size_t queries : {1u, 4u, 5u, 32u, 33u}) {
+      const std::vector<double> bounds = RandomBounds(queries, &rng);
+      std::vector<double> sc(queries), scost(queries), ac(queries),
+          acost(queries);
+      HistogramRangeCountCostManyScalar(
+          t.left.data(), t.right.data(), t.count.data(), cost.data(),
+          t.centroid.data(), t.size(), bounds.data(), queries, sc.data(),
+          scost.data());
+      HistogramRangeCountCostManyAvx2(
+          t.left.data(), t.right.data(), t.count.data(), cost.data(),
+          t.centroid.data(), t.size(), bounds.data(), queries, ac.data(),
+          acost.data());
+      ASSERT_EQ(std::memcmp(sc.data(), ac.data(), queries * sizeof(double)),
+                0)
+          << "counts: buckets=" << buckets << " queries=" << queries;
+      ASSERT_EQ(
+          std::memcmp(scost.data(), acost.data(), queries * sizeof(double)),
+          0)
+          << "costs: buckets=" << buckets << " queries=" << queries;
+    }
+  }
+}
+
+TEST(SimdKernelTest, CellIndexBatchTiersBitIdentical) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  Rng rng(515);
+  for (const size_t n : {1u, 3u, 4u, 5u, 7u, 64u, 129u}) {
+    std::vector<double> y(n);
+    for (size_t k = 0; k < n; ++k) {
+      y[k] = rng.Uniform(-3.0, 3.0);  // straddles the clamp on both ends
+    }
+    if (n >= 4) {
+      y[0] = std::numeric_limits<double>::quiet_NaN();
+      y[1] = std::numeric_limits<double>::infinity();
+      y[2] = -std::numeric_limits<double>::infinity();
+      y[3] = -0.0;
+    }
+    std::vector<double> scalar(n, 1.0), avx2(n, 2.0);
+    CellIndexBatchScalar(y.data(), n, -1.5, 3.0, 1024.0, 1023.0,
+                         scalar.data());
+    CellIndexBatchAvx2(y.data(), n, -1.5, 3.0, 1024.0, 1023.0, avx2.data());
+    // memcmp: NaN inputs must yield the same bit pattern on both tiers.
+    ASSERT_EQ(std::memcmp(scalar.data(), avx2.data(), n * sizeof(double)), 0)
+        << "n=" << n;
+  }
+}
+
+TEST(SimdKernelTest, InterleavePdepMatchesScalarBitLoop) {
+  // pdep is pure integer scatter, so native and forced-scalar dispatch
+  // must produce the same Morton code for every cell tuple.
+  Rng rng(2222);
+  for (const auto& [dims, bits] :
+       std::vector<std::pair<int, int>>{{1, 16}, {2, 15}, {3, 10}, {5, 7}}) {
+    ZOrderCurve curve(dims, bits);
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<uint32_t> cells(static_cast<size_t>(dims));
+      for (uint32_t& c : cells) {
+        c = static_cast<uint32_t>(rng.Uniform() * 4294967295.0);
+      }
+      uint64_t native, scalar;
+      {
+        ScopedTier tier(/*force_scalar=*/false);
+        native = curve.Interleave(cells.data());
+      }
+      {
+        ScopedTier tier(/*force_scalar=*/true);
+        scalar = curve.Interleave(cells.data());
+      }
+      EXPECT_EQ(native, scalar) << "dims=" << dims << " bits=" << bits;
+    }
+  }
+}
+
+TEST(SimdKernelTest, KernelReproducesStreamingHistogramEstimateCount) {
+  // The probe-table kernel exists to replace per-point EstimateCount
+  // calls; feeding it ExportProbe's table must reproduce EstimateCount
+  // bit for bit on both tiers.
+  Rng rng(9);
+  StreamingHistogram hist(16);
+  for (int i = 0; i < 500; ++i) {
+    hist.Insert(rng.Uniform(), rng.Uniform(0.0, 10.0));
+  }
+  const size_t b = hist.bucket_count();
+  std::vector<double> probe(4 * b);
+  hist.ExportProbe(probe.data(), probe.data() + b, probe.data() + 2 * b,
+                   probe.data() + 3 * b);
+  for (int q = 0; q < 200; ++q) {
+    const double lo = rng.Uniform(-0.05, 1.0);
+    const double hi = lo + rng.Uniform(0.0, 0.3);
+    const double oracle = hist.EstimateCount(lo, hi);
+    const double scalar = HistogramRangeCountScalar(
+        probe.data(), probe.data() + b, probe.data() + 2 * b,
+        probe.data() + 3 * b, b, lo, hi);
+    const double dispatched = HistogramRangeCount(
+        probe.data(), probe.data() + b, probe.data() + 2 * b,
+        probe.data() + 3 * b, b, lo, hi);
+    EXPECT_EQ(oracle, scalar);
+    EXPECT_EQ(oracle, dispatched);
+  }
+}
+
+TEST(SimdKernelTest, PredictorAnswersIdenticallyUnderForcedScalar) {
+  if (!CpuSupportsAvx2()) GTEST_SKIP() << "no AVX2 on this machine";
+  // End-to-end gate: the full predictor — transforms, Z-order, histogram
+  // probes, median — answers every batch query with identical bits
+  // whichever tier the dispatcher picked.
+  LshHistogramsPredictor::Config config;
+  config.dimensions = 3;
+  config.seed = 4242;
+  LshHistogramsPredictor predictor(config);
+  Rng rng(55);
+  for (int i = 0; i < 400; ++i) {
+    LabeledPoint point;
+    point.coords = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    point.plan = 1 + (i % 3);
+    point.cost = rng.Uniform(1.0, 5.0);
+    predictor.Insert(point);
+  }
+  const size_t count = 37;
+  std::vector<double> queries(count * 3);
+  for (double& v : queries) v = rng.Uniform();
+
+  std::vector<Prediction> avx2, scalar;
+  {
+    ScopedTier native(/*force_scalar=*/false);
+    avx2 = predictor.PredictBatch(queries.data(), count);
+  }
+  {
+    ScopedTier forced(/*force_scalar=*/true);
+    scalar = predictor.PredictBatch(queries.data(), count);
+  }
+  ASSERT_EQ(avx2.size(), count);
+  ASSERT_EQ(scalar.size(), count);
+  for (size_t p = 0; p < count; ++p) {
+    EXPECT_EQ(avx2[p].plan, scalar[p].plan) << "point " << p;
+    EXPECT_EQ(avx2[p].confidence, scalar[p].confidence) << "point " << p;
+    EXPECT_EQ(avx2[p].estimated_cost, scalar[p].estimated_cost)
+        << "point " << p;
+  }
+}
+
+}  // namespace
+}  // namespace simd
+}  // namespace ppc
