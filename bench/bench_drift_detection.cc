@@ -6,6 +6,7 @@
 // reset, after which precision recovers. Also measures the accuracy of the
 // cost-based binary correctness estimator (paper: ~72% at epsilon = 0.25).
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -76,7 +77,31 @@ void Run() {
                     : 0.0,
                 w < outcome.resets.size() ? outcome.resets[w] : 0, marker);
   }
+  // Time-to-detect: queries between the manipulation and the first
+  // reset the degraded window triggered. Post-drift floor: the worst
+  // windowed hit quality the predictor sank to before recovering.
+  long time_to_detect = -1;
+  for (size_t idx : outcome.reset_query_indices) {
+    if (idx >= kSwitchAt) {
+      time_to_detect = static_cast<long>(idx - kSwitchAt);
+      break;
+    }
+  }
+  double post_drift_precision_floor = 1.0;
+  double post_drift_recall_floor = 1.0;
+  for (size_t w = kSwitchAt / kWindow; w < outcome.windows.size(); ++w) {
+    post_drift_precision_floor =
+        std::min(post_drift_precision_floor, outcome.windows[w].Precision());
+    post_drift_recall_floor =
+        std::min(post_drift_recall_floor, outcome.windows[w].Recall());
+  }
+
   std::printf("\nhistogram resets triggered: %zu\n", online.reset_count());
+  std::printf("time to detect (queries from manipulation to first reset): "
+              "%ld\n",
+              time_to_detect);
+  std::printf("post-drift floors: precision %.3f, recall %.3f\n",
+              post_drift_precision_floor, post_drift_recall_floor);
   std::printf("negative-feedback re-optimizations: %zu\n",
               outcome.negative_feedback_events);
   std::printf("binary cost estimator accuracy: %.3f  (paper: ~0.72 at "
@@ -92,6 +117,11 @@ void Run() {
           JsonNumber(outcome.EstimatorAccuracy());
   body += ",\n  \"negative_feedback_events\": " +
           std::to_string(outcome.negative_feedback_events);
+  body += ",\n  \"time_to_detect_queries\": " + std::to_string(time_to_detect);
+  body += ",\n  \"post_drift_precision_floor\": " +
+          JsonNumber(post_drift_precision_floor);
+  body += ",\n  \"post_drift_recall_floor\": " +
+          JsonNumber(post_drift_recall_floor);
   body += ",\n  \"windows\": [";
   for (size_t w = 0; w < outcome.windows.size(); ++w) {
     if (w > 0) body += ", ";

@@ -117,6 +117,10 @@ struct OnlineOutcome {
   std::vector<double> estimated_precision;
   /// Cumulative reset count sampled at the end of each window.
   std::vector<size_t> resets;
+  /// Query index of every histogram reset, in order — drift experiments
+  /// derive time-to-detect (first reset at or after the manipulation
+  /// minus the manipulation index) from this.
+  std::vector<size_t> reset_query_indices;
 
   double EstimatorAccuracy() const {
     return estimator_total == 0 ? 0.0
@@ -136,6 +140,7 @@ inline OnlineOutcome RunOnlineWorkload(
     const std::function<const Experiment&(size_t)>& oracle_for) {
   OnlineOutcome outcome;
   std::map<PlanId, std::unique_ptr<PlanNode>> plan_trees;
+  size_t seen_resets = online->reset_count();
   for (size_t i = 0; i < workload.size(); ++i) {
     const Experiment& exp = oracle_for(i);
     const std::vector<double>& x = workload[i];
@@ -183,6 +188,11 @@ inline OnlineOutcome RunOnlineWorkload(
       ++outcome.optimizer_calls;
       online->ObserveOptimized({x, true_plan, true_cost});
       plan_trees[true_plan] = truth.value().plan->Clone();
+    }
+
+    while (seen_resets < online->reset_count()) {
+      outcome.reset_query_indices.push_back(i);
+      ++seen_resets;
     }
 
     if ((i + 1) % window_size == 0 || i + 1 == workload.size()) {

@@ -119,7 +119,8 @@ int main() {
               static_cast<unsigned long long>(cache.misses()),
               static_cast<unsigned long long>(cache.evictions()));
   for (const std::string& name : templates) {
-    const ppc::OnlinePpcPredictor* online = framework.online_predictor(name);
+    const std::shared_ptr<const ppc::OnlinePpcPredictor> online =
+        framework.online_predictor(name);
     std::printf("%s predictor: %zu samples, %zu plans, %llu synopsis bytes, "
                 "est. precision %.2f\n",
                 name.c_str(), online->predictor().TotalSamples(),

@@ -74,7 +74,8 @@ int main() {
   std::printf("\nafter 200 queries: %zu optimizer calls, %zu served from "
               "the parametric cache\n",
               optimized, cached);
-  const ppc::OnlinePpcPredictor* online = framework.online_predictor("Q1");
+  const std::shared_ptr<const ppc::OnlinePpcPredictor> online =
+      framework.online_predictor("Q1");
   std::printf("predictor state: %zu samples, %zu distinct plans, %llu bytes "
               "of histogram synopses\n",
               online->predictor().TotalSamples(),

@@ -4,13 +4,15 @@
 #   2. plain build + the entire test suite (the tier-1 gate), then a
 #      forced-scalar leg (PPC_DISABLE_AVX2=1) over the SIMD-dispatching
 #      tests so the portable kernels stay exercised,
-#   3. cluster smoke test (router + 2 shards as real processes, with a
+#   3. retune smoke: bench_drift_recovery end to end, asserting the
+#      retuning arm refits and the generation handoff serves gap-free,
+#   4. cluster smoke test (router + 2 shards as real processes, with a
 #      wire-level warm start),
-#   4. the JSON-emitting benches + validation of every BENCH_*.json,
-#   5. server smoke test (live TCP round-trips + clean shutdown),
-#   6. ASan build + the entire test suite,
-#   7. TSan build + the concurrency, metrics, server and router tests,
-#   8. chaos stage: the randomized fault-injection tests (ctest label
+#   5. the JSON-emitting benches + validation of every BENCH_*.json,
+#   6. server smoke test (live TCP round-trips + clean shutdown),
+#   7. ASan build + the entire test suite,
+#   8. TSan build + the concurrency, metrics, server and router tests,
+#   9. chaos stage: the randomized fault-injection tests (ctest label
 #      `chaos`) under both sanitizers.
 # The deterministic ctest stages exclude the chaos label (-LE chaos) so
 # their runtime stays flat; the chaos stage runs it explicitly (-L chaos).
@@ -36,8 +38,22 @@ echo "==> forced-scalar leg (PPC_DISABLE_AVX2=1): kernels, transform, predictor"
 # (they are the bit-identity oracle and the fallback on older CPUs).
 (cd build && PPC_DISABLE_AVX2=1 \
   ctest --output-on-failure -LE chaos \
-    -R 'Simd|Transform|Zorder|LshHistograms|PlanSynopsis|Predictor' \
+    -R 'Simd|Transform|Zorder|LshHistograms|PlanSynopsis|Predictor|Retune|Generation' \
     -j "$JOBS")
+
+echo "==> retune smoke (drift-triggered refit + warm generation handoff)"
+# bench_drift_recovery runs the retuning-on vs. -off arms end to end:
+# recall-collapse trigger, background refit, generation handoff under a
+# live PREDICT prober. The zero-serving-gap claim and the fact that the
+# retuning arm actually refit are asserted, not just recorded.
+(cd build && timeout 300 ./bench/bench_drift_recovery >/dev/null && \
+  python3 -c "
+import json
+d = json.load(open('BENCH_drift_recovery.json'))
+assert d['zero_serving_gap'] is True, 'probe failures during handoff'
+assert d['retune_on']['refits'] >= 1, 'retuning arm never refit'
+")
+echo "    drift-triggered refit + zero-gap handoff ok"
 
 echo "==> cluster smoke test (ppc_router + 2 ppc_server shards, real processes)"
 # bench_cluster_throughput fork/execs the ppc_server and ppc_router
@@ -53,6 +69,8 @@ echo "==> machine-readable bench output (BENCH_*.json) is valid JSON"
   cd build
   ./bench/bench_concurrent_throughput >/dev/null
   ./bench/bench_drift_detection >/dev/null
+  # bench_drift_recovery already ran in the retune smoke stage above;
+  # its BENCH_drift_recovery.json is picked up by the loop below.
   ./bench/bench_fig13_runtime >/dev/null
   ./bench/bench_server_throughput >/dev/null
   for f in BENCH_*.json; do
@@ -94,7 +112,7 @@ cmake -B build-tsan -S . -DPPC_SANITIZE=thread \
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && \
   ctest --output-on-failure -LE chaos \
-    -R 'Concurrent|MetricsRegistry|FrameworkMetrics|Server|Router|HashRing|ClientReconnect|Simd' \
+    -R 'Concurrent|MetricsRegistry|FrameworkMetrics|Server|Router|HashRing|ClientReconnect|Simd|Retune|Generation|DriftRecovery' \
     -j "$JOBS")
 
 # Chaos stage: randomized mixed traffic against a live server while a

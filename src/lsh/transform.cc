@@ -55,6 +55,33 @@ RandomizedTransform::RandomizedTransform(const TransformConfig& config,
     for (int i = 0; i < r; ++i) a[i] /= norm;
     shifts_[static_cast<size_t>(j)] = rng->Uniform(0.0, cell_width);
   }
+
+  // Fold the per-dimension range normalization x'_i = (x_i - lo_i)/span_i
+  // into the projection matrix and shifts. The kernel computes
+  //   y_j = sum_i a_ji * (x_i - 0.5) * scale + b_j,
+  // and a_ji * (x'_i - 0.5) = (a_ji/span_i) * (x_i - 0.5)
+  //                           + a_ji * ((0.5 - lo_i)/span_i - 0.5),
+  // so dividing each column by its span and absorbing the constant term
+  // into b_j reproduces the transform over normalized coordinates with
+  // zero kernel changes. The identity fit skips the fold entirely, so
+  // generation-0 transforms stay bit-identical to the historical ones.
+  if (!config.input_lo.empty()) {
+    PPC_CHECK(static_cast<int>(config.input_lo.size()) == r &&
+              static_cast<int>(config.input_hi.size()) == r);
+    for (int j = 0; j < s; ++j) {
+      double* a = projections_.data() +
+                  static_cast<size_t>(j) * static_cast<size_t>(r);
+      double correction = 0.0;
+      for (int i = 0; i < r; ++i) {
+        const double lo = config.input_lo[static_cast<size_t>(i)];
+        const double span = config.input_hi[static_cast<size_t>(i)] - lo;
+        PPC_CHECK(span > 0.0);
+        correction += a[i] * ((0.5 - lo) / span - 0.5);
+        a[i] /= span;
+      }
+      shifts_[static_cast<size_t>(j)] += scale_ * correction;
+    }
+  }
 }
 
 void RandomizedTransform::ApplyBatch(const double* points, size_t count,

@@ -19,6 +19,18 @@ struct TransformConfig {
   int output_dims = 2;
   /// Grid resolution per axis as a power of two: Delta = 2^bits_per_dim.
   int bits_per_dim = 5;
+  /// Per-dimension plan-space ranges [input_lo[i], input_hi[i]] that the
+  /// transform normalizes onto the unit cube before the paper's pipeline
+  /// runs. Empty means the identity fit ([0,1] per dimension) — the
+  /// paper's fixed construction, bit-identical to the historical
+  /// behavior. A retuning refit (DESIGN.md §17) zooms these onto the
+  /// span actually covered by recent queries; the normalization folds
+  /// into the projection matrix and shifts, so the SIMD kernels are
+  /// untouched and the query radius is interpreted in range-relative
+  /// units (a fitted transform behaves exactly like the paper's over the
+  /// normalized workload).
+  std::vector<double> input_lo;
+  std::vector<double> input_hi;
 };
 
 /// Returns the paper's default projection dimensionality for a plan space

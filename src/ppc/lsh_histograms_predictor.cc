@@ -41,7 +41,19 @@ TransformConfig MakeTransformConfig(
                        ? config.output_dims
                        : DefaultOutputDims(config.dimensions);
   tc.bits_per_dim = config.bits_per_dim;
+  tc.input_lo = config.input_lo;
+  tc.input_hi = config.input_hi;
   return tc;
+}
+
+/// Ensemble seed for a transform generation. Generation 0 must reproduce
+/// the historical ensemble exactly (bit-stable snapshots depend on it), so
+/// the perturbation vanishes there; later generations decorrelate via the
+/// golden-ratio SplitMix64 increment.
+uint64_t EnsembleSeed(const LshHistogramsPredictor::Config& config) {
+  return config.seed +
+         0x9e3779b97f4a7c15ull * static_cast<uint64_t>(
+                                     config.transform_generation);
 }
 
 /// Clamps [position - delta, position + delta] to the histogram domain
@@ -66,7 +78,7 @@ ZInterval SlideClampInterval(double position, double delta) {
 LshHistogramsPredictor::LshHistogramsPredictor(Config config)
     : config_(config),
       transforms_(MakeTransformConfig(config), config.transform_count,
-                  config.seed) {}
+                  EnsembleSeed(config)) {}
 
 LshHistogramsPredictor::LshHistogramsPredictor(
     Config config, const std::vector<LabeledPoint>& sample)
@@ -443,7 +455,11 @@ namespace {
 /// preceding byte — validated outside-in before any field is interpreted.
 constexpr uint32_t kLegacySnapshotMagic = 0x50504331;  // "PPC1"
 constexpr uint32_t kSnapshotMagic = 0x50504353;        // "PPCS"
-constexpr uint32_t kSnapshotVersion = 2;
+// v3 appends the transform generation and the fitted per-dimension input
+// ranges to the config section (adaptive retuning, DESIGN.md §17). v2
+// blobs predate transform generations and are rejected as unsupported
+// rather than silently adopted as generation 0 with unknown ranges.
+constexpr uint32_t kSnapshotVersion = 3;
 constexpr size_t kSnapshotChecksumBytes = sizeof(uint64_t);
 
 }  // namespace
@@ -463,6 +479,12 @@ std::string LshHistogramsPredictor::Serialize() const {
   config_section.PutU64(config_.seed);
   config_section.PutU8(config_.interval_decomposition ? 1 : 0);
   config_section.PutU64(config_.max_z_intervals);
+  config_section.PutU32(config_.transform_generation);
+  config_section.PutU32(static_cast<uint32_t>(config_.input_lo.size()));
+  for (size_t i = 0; i < config_.input_lo.size(); ++i) {
+    config_section.PutDouble(config_.input_lo[i]);
+    config_section.PutDouble(config_.input_hi[i]);
+  }
 
   ByteWriter data_section;
   data_section.PutU64(total_samples_);
@@ -568,6 +590,28 @@ Result<LshHistogramsPredictor> LshHistogramsPredictor::RestoreParsed(
   PPC_ASSIGN_OR_RETURN(uint8_t decomposition_byte, reader.GetU8());
   config.interval_decomposition = decomposition_byte != 0;
   PPC_ASSIGN_OR_RETURN(config.max_z_intervals, reader.GetU64());
+  PPC_ASSIGN_OR_RETURN(config.transform_generation, reader.GetU32());
+  PPC_ASSIGN_OR_RETURN(uint32_t range_count, reader.GetU32());
+  if (range_count != 0 && range_count != dimensions) {
+    return Status::InvalidArgument(
+        "snapshot input-range count mismatches dimensions");
+  }
+  config.input_lo.reserve(range_count);
+  config.input_hi.reserve(range_count);
+  for (uint32_t i = 0; i < range_count; ++i) {
+    double lo, hi;
+    PPC_ASSIGN_OR_RETURN(lo, reader.GetDouble());
+    PPC_ASSIGN_OR_RETURN(hi, reader.GetDouble());
+    // A fitted range must be a finite, non-degenerate interval: the
+    // normalization divides by (hi - lo) inside the transform fold and a
+    // bad span would otherwise trip a PPC_CHECK abort downstream.
+    if (!std::isfinite(lo) || !std::isfinite(hi) || !(hi > lo)) {
+      return Status::InvalidArgument(
+          "snapshot input range is degenerate or non-finite");
+    }
+    config.input_lo.push_back(lo);
+    config.input_hi.push_back(hi);
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument(
         "snapshot config section has trailing bytes");
@@ -625,6 +669,18 @@ Status LshHistogramsPredictor::AdoptState(
     const LshHistogramsPredictor& snapshot) {
   const Config& a = config_;
   const Config& b = snapshot.config_;
+  // Generation first, with a dedicated error: adopting histograms built
+  // under a different transform generation is the cross-generation mixing
+  // the warm handoff must prevent (a refit draws new transforms, so the
+  // incoming Z-order positions are meaningless here even when every other
+  // config field matches).
+  if (a.transform_generation != b.transform_generation) {
+    return Status::InvalidArgument(
+        "snapshot transform generation " +
+        std::to_string(b.transform_generation) +
+        " differs from local generation " +
+        std::to_string(a.transform_generation));
+  }
   // The transforms are a pure function of (config, seed); any mismatch
   // means the incoming histograms were built over different intermediate
   // spaces and would answer garbage here.
@@ -636,7 +692,8 @@ Status LshHistogramsPredictor::AdoptState(
       a.noise_fraction != b.noise_fraction ||
       a.interval_decomposition != b.interval_decomposition ||
       a.max_z_intervals != b.max_z_intervals ||
-      a.merge_policy != b.merge_policy || a.seed != b.seed) {
+      a.merge_policy != b.merge_policy || a.seed != b.seed ||
+      a.input_lo != b.input_lo || a.input_hi != b.input_hi) {
     return Status::InvalidArgument(
         "snapshot predictor configuration differs from local configuration");
   }

@@ -66,6 +66,19 @@ class LshHistogramsPredictor : public PlanPredictor {
     StreamingHistogram::MergePolicy merge_policy =
         StreamingHistogram::MergePolicy::kMinVarianceIncrease;
     uint64_t seed = 23;
+    /// Transform generation (DESIGN.md §17). Generation 0 is the
+    /// construction-time fit; each adaptive refit installs generation+1.
+    /// The ensemble seed is derived from (seed, transform_generation), so
+    /// distinct generations draw independent transforms, and histograms
+    /// from one generation can never be adopted into another.
+    uint32_t transform_generation = 0;
+    /// Per-dimension plan-space ranges the transforms normalize onto the
+    /// unit cube before hashing (see TransformConfig::input_lo). Empty =
+    /// identity, the paper's fixed fit; a refit zooms these onto the
+    /// observed workload span. Both must have exactly `dimensions`
+    /// entries when non-empty, with input_lo[i] < input_hi[i].
+    std::vector<double> input_lo;
+    std::vector<double> input_hi;
   };
 
   explicit LshHistogramsPredictor(Config config);
@@ -148,6 +161,10 @@ class LshHistogramsPredictor : public PlanPredictor {
     return synopses_.size();
   }
   const Config& config() const { return config_; }
+  /// Transform generation this predictor's ensemble was drawn for.
+  uint32_t transform_generation() const {
+    return config_.transform_generation;
+  }
 
   /// Curve intervals to query for `x`, one list per transform (a single
   /// interval in the paper's mode, a decomposition in extension mode).

@@ -86,6 +86,18 @@ MetricsCounter& MetricsRegistry::counter(const std::string& name) {
   return *slot;
 }
 
+MetricsGauge& MetricsRegistry::gauge(const std::string& name) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<MetricsGauge>();
+  return *slot;
+}
+
 LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -104,6 +116,10 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   snap.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
@@ -158,6 +174,12 @@ std::string MetricsRegistry::Snapshot::ToJson() const {
     if (i > 0) out += ", ";
     AppendJsonString(counters[i].first, &out);
     out += ": " + std::to_string(counters[i].second);
+  }
+  out += "}, \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendJsonString(gauges[i].first, &out);
+    out += ": " + JsonNumber(gauges[i].second);
   }
   out += "}, \"histograms\": {";
   for (size_t i = 0; i < histograms.size(); ++i) {

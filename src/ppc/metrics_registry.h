@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -40,6 +41,29 @@ class MetricsCounter {
 
  private:
   std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge for non-monotonic signals (windowed precision/recall,
+/// generation ids). The double payload is stored bit-cast in a uint64
+/// atomic, so Set/value are single relaxed atomic ops — same lock-free
+/// contract as MetricsCounter.
+class MetricsGauge {
+ public:
+  void Set(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double value() const {
+    const uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // 0 bits == 0.0
 };
 
 /// Fixed-bucket latency histogram over microseconds.
@@ -100,6 +124,7 @@ class MetricsRegistry {
   /// lifetime — resolve once, then increment lock-free.
   MetricsCounter& counter(const std::string& name);
   LatencyHistogram& histogram(const std::string& name);
+  MetricsGauge& gauge(const std::string& name);
 
   /// Point-in-time dump of every registered instrument, sorted by name.
   /// Instruments are read without pausing writers, so a snapshot taken
@@ -108,10 +133,12 @@ class MetricsRegistry {
   /// instruments — the standard Prometheus-style contract.
   struct Snapshot {
     std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
     std::vector<std::pair<std::string, LatencyHistogram::Snapshot>>
         histograms;
 
-    /// {"counters": {...}, "histograms": {name: {count, sum_us, ...}}}
+    /// {"counters": {...}, "gauges": {...},
+    ///  "histograms": {name: {count, sum_us, ...}}}
     std::string ToJson() const;
   };
 
@@ -121,6 +148,7 @@ class MetricsRegistry {
   /// Guards the maps only; the instruments themselves are lock-free.
   mutable std::shared_mutex mu_;
   std::map<std::string, std::unique_ptr<MetricsCounter>> counters_;
+  std::map<std::string, std::unique_ptr<MetricsGauge>> gauges_;
   std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
 };
 

@@ -13,6 +13,42 @@ OnlinePpcPredictor::OnlinePpcPredictor(Config config)
       tracker_(config.estimator_window),
       rng_(config.seed) {}
 
+OnlinePpcPredictor::OnlinePpcPredictor(Config config,
+                                       LshHistogramsPredictor predictor)
+    : config_(std::move(config)),
+      predictor_(std::move(predictor)),
+      tracker_(config_.estimator_window),
+      rng_(config_.seed) {
+  config_.predictor = predictor_.config();
+}
+
+void OnlinePpcPredictor::InheritLifetimeCounters(
+    const OnlinePpcPredictor& prev) {
+  reset_count_.store(prev.reset_count(), std::memory_order_relaxed);
+  random_invocations_.store(prev.random_invocations(),
+                            std::memory_order_relaxed);
+  positive_feedback_insertions_.store(prev.positive_feedback_insertions(),
+                                      std::memory_order_relaxed);
+  optimizer_insertions_.store(prev.optimizer_insertions(),
+                              std::memory_order_relaxed);
+  feedback_positive_.store(prev.feedback_positive(),
+                           std::memory_order_relaxed);
+  feedback_negative_.store(prev.feedback_negative(),
+                           std::memory_order_relaxed);
+}
+
+OnlinePpcPredictor::WindowedSignal OnlinePpcPredictor::GetWindowedSignal()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WindowedSignal signal;
+  signal.precision = tracker_.TemplatePrecision();
+  signal.recall = tracker_.TemplateRecall();
+  signal.beta = tracker_.Beta();
+  signal.window_full = tracker_.WindowFull();
+  signal.beta_window_full = tracker_.BetaWindowFull();
+  return signal;
+}
+
 OnlinePpcPredictor::Decision OnlinePpcPredictor::Decide(
     const std::vector<double>& x) {
   Decision decision;

@@ -91,6 +91,22 @@ class OnlinePpcPredictor {
 
   explicit OnlinePpcPredictor(Config config);
 
+  /// Builds the online layer around an already-constructed (typically
+  /// refit-and-backfilled) histogram predictor instead of a fresh empty
+  /// one — the generation-handoff path (DESIGN.md §17). The tracker
+  /// windows start empty on purpose: they must measure the new
+  /// generation's serving quality, not inherit the degraded window that
+  /// triggered the refit. `config.predictor` is overwritten with the
+  /// passed predictor's config so the two can never disagree.
+  OnlinePpcPredictor(Config config, LshHistogramsPredictor predictor);
+
+  /// Copies the lifetime event counters (resets, insertions, feedback
+  /// totals, random invocations) from `prev` so a generation handoff does
+  /// not zero the template's cumulative accounting. Call before the new
+  /// predictor is published; not synchronized against concurrent use of
+  /// *this*.
+  void InheritLifetimeCounters(const OnlinePpcPredictor& prev);
+
   /// Step 1: decide how to run the query at plan-space point `x`.
   Decision Decide(const std::vector<double>& x);
 
@@ -129,6 +145,24 @@ class OnlinePpcPredictor {
   /// Thread-safe snapshots of the tracker's estimates.
   double TemplatePrecision() const;
   double PlanPrecision(PlanId plan) const;
+
+  /// The sliding-window drift signal (Sec. IV-E), read atomically under
+  /// one lock acquisition. The fullness flags distinguish a genuinely
+  /// degraded window from warm-up noise — the retune trigger and the
+  /// drift.* gauges both act only on full windows. They gate different
+  /// estimates: `window_full` is the made-prediction (precision) window,
+  /// while `beta_window_full` is the every-query (beta/recall) window.
+  /// When the predictor answers NULL across the board the precision
+  /// window stops filling entirely, so a recall-collapse trigger gated on
+  /// `window_full` would deadlock — it must use `beta_window_full`.
+  struct WindowedSignal {
+    double precision = 0.0;
+    double recall = 0.0;
+    double beta = 0.0;
+    bool window_full = false;
+    bool beta_window_full = false;
+  };
+  WindowedSignal GetWindowedSignal() const;
 
   /// Per-template health snapshot (thread-safe): the tracker's windowed
   /// estimates plus the predictor's lifetime event counters, read under

@@ -64,6 +64,15 @@ PpcFramework::PpcFramework(const Catalog* catalog, Config config,
   instruments_.optimize_us = &metrics_.histogram("framework.optimize_us");
   instruments_.execute_us = &metrics_.histogram("framework.execute_us");
   instruments_.feedback_us = &metrics_.histogram("framework.feedback_us");
+  if (config_.retune.enabled) {
+    retune_ = std::make_unique<RetuneController>(this, config_.retune);
+  }
+}
+
+PpcFramework::~PpcFramework() {
+  // Join the refit worker before templates_ (which it reads through
+  // shared_ptr snapshots) starts dying.
+  if (retune_ != nullptr) retune_->Stop();
 }
 
 Status PpcFramework::RegisterTemplate(const QueryTemplate& tmpl) {
@@ -84,7 +93,8 @@ Status PpcFramework::RegisterTemplate(const QueryTemplate& tmpl) {
   // FNV-1a, not std::hash: the per-template seed must be identical across
   // standard libraries so experiment runs reproduce cross-platform.
   online.seed = config_.seed ^ Fnv1a64(tmpl.name);
-  state->online = std::make_unique<OnlinePpcPredictor>(online);
+  state->online.store(std::make_shared<OnlinePpcPredictor>(online),
+                      std::memory_order_release);
 
   std::unique_lock<std::shared_mutex> lock(templates_mu_);
   if (sealed()) {
@@ -128,9 +138,13 @@ Result<PpcFramework::PredictReport> PpcFramework::PredictAtPoint(
   }
   const TemplateState* state = it->second.get();
   PPC_RETURN_NOT_OK(ValidatePoint(state->tmpl, point));
+  // One generation snapshot per request: a concurrent handoff cannot pull
+  // the predictor out from under this read, and
   // LshHistogramsPredictor::Predict synchronizes internally (shared read
-  // lock), so this is safe against concurrent EXECUTE-path mutators.
-  const Prediction prediction = state->online->predictor().Predict(point);
+  // lock) against concurrent EXECUTE-path mutators.
+  const std::shared_ptr<OnlinePpcPredictor> online =
+      state->online.load(std::memory_order_acquire);
+  const Prediction prediction = online->predictor().Predict(point);
   PredictReport report;
   report.plan = prediction.plan;
   report.confidence = prediction.confidence;
@@ -163,8 +177,10 @@ Result<std::vector<PpcFramework::PredictReport>> PpcFramework::PredictBatch(
       return Status::InvalidArgument("point coordinate is not finite");
     }
   }
+  const std::shared_ptr<OnlinePpcPredictor> online =
+      state->online.load(std::memory_order_acquire);
   const std::vector<Prediction> predictions =
-      state->online->predictor().PredictBatch(points, count);
+      online->predictor().PredictBatch(points, count);
   std::vector<PredictReport> reports(count);
   for (size_t p = 0; p < count; ++p) {
     reports[p].plan = predictions[p].plan;
@@ -183,9 +199,16 @@ Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
   QueryReport report;
   instruments_.queries->Increment();
 
+  // One generation snapshot for the whole query: the decision and every
+  // feedback report land on the same predictor even if a refit installs
+  // a newer generation mid-query (late feedback to a superseded
+  // generation is harmless — it is about to be dropped).
+  const std::shared_ptr<OnlinePpcPredictor> online =
+      state->online.load(std::memory_order_acquire);
+
   // --- Predict ---
   auto predict_start = Clock::now();
-  OnlinePpcPredictor::Decision decision = state->online->Decide(point);
+  OnlinePpcPredictor::Decision decision = online->Decide(point);
   std::shared_ptr<const PlanNode> cached_plan;
   if (decision.use_prediction) {
     cached_plan = plan_cache_.Get(decision.prediction.plan);
@@ -213,7 +236,7 @@ Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
 
     // --- Negative feedback ---
     auto feedback_start = Clock::now();
-    const bool suspected = state->online->ReportPredictionExecuted(
+    const bool suspected = online->ReportPredictionExecuted(
         point, decision.prediction, report.execution_cost);
     const double feedback_micros = MicrosSince(feedback_start);
     report.predict_micros += feedback_micros;
@@ -234,19 +257,33 @@ Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
       PPC_ASSIGN_OR_RETURN(
           double true_cost,
           simulator_.Execute(state->prepared, *opt.plan, point));
-      state->online->ObserveOptimized(
-          LabeledPoint{point, opt.plan_id, true_cost});
+      const LabeledPoint truth{point, opt.plan_id, true_cost};
+      online->ObserveOptimized(truth);
+      if (retune_ != nullptr) {
+        retune_->ObserveGroundTruth(template_name, truth);
+      }
       plan_cache_.Put(opt.plan_id, std::move(opt.plan));
       // Put resets the entry's eviction rank to the default 1.0; rank the
       // corrective plan by its actual tracked precision or precision-based
       // eviction mis-prioritizes it.
       plan_cache_.SetPrecisionScore(
-          opt.plan_id, state->online->PlanPrecision(opt.plan_id));
+          opt.plan_id, online->PlanPrecision(opt.plan_id));
+    } else if (retune_ != nullptr) {
+      // A cost-validated prediction is still a (point, plan, cost)
+      // observation of the live workload. Retaining it keeps the refit
+      // reservoir tracking the recent query-point distribution even when
+      // the cache is warm and optimizer calls are rare.
+      retune_->ObserveGroundTruth(
+          template_name,
+          LabeledPoint{point, report.executed_plan, report.execution_cost});
     }
     // Refresh the cache's eviction signal for this plan.
     plan_cache_.SetPrecisionScore(
         report.executed_plan,
-        state->online->PlanPrecision(report.executed_plan));
+        online->PlanPrecision(report.executed_plan));
+    if (retune_ != nullptr) {
+      retune_->EvaluateTrigger(template_name, online->GetWindowedSignal());
+    }
     return report;
   }
 
@@ -268,35 +305,88 @@ Result<PpcFramework::QueryReport> PpcFramework::ExecuteAtPoint(
     // silently dropping it (the precision/recall windows would otherwise
     // overcount by omission).
     instruments_.predictions_evicted->Increment();
-    state->online->ReportPredictionOutcome(decision.prediction, opt.plan_id);
+    online->ReportPredictionOutcome(decision.prediction, opt.plan_id);
   }
   auto exec_start = Clock::now();
   PPC_ASSIGN_OR_RETURN(report.execution_cost,
                        simulator_.Execute(state->prepared, *opt.plan, point));
   report.execute_micros = MicrosSince(exec_start);
   instruments_.execute_us->Record(report.execute_micros);
-  state->online->ObserveOptimized(
-      LabeledPoint{point, opt.plan_id, report.execution_cost});
+  const LabeledPoint truth{point, opt.plan_id, report.execution_cost};
+  online->ObserveOptimized(truth);
+  if (retune_ != nullptr) {
+    retune_->ObserveGroundTruth(template_name, truth);
+  }
   plan_cache_.Put(opt.plan_id, std::move(opt.plan));
   // Same rank refresh as on the negative-feedback path: a re-optimized
   // plan must carry its tracked precision, not the overwrite default.
   plan_cache_.SetPrecisionScore(opt.plan_id,
-                                state->online->PlanPrecision(opt.plan_id));
+                                online->PlanPrecision(opt.plan_id));
+  if (retune_ != nullptr) {
+    retune_->EvaluateTrigger(template_name, online->GetWindowedSignal());
+  }
   return report;
 }
 
-const OnlinePpcPredictor* PpcFramework::online_predictor(
+std::shared_ptr<const OnlinePpcPredictor> PpcFramework::online_predictor(
     const std::string& template_name) const {
   std::shared_lock<std::shared_mutex> lock(templates_mu_);
   auto it = templates_.find(template_name);
-  return it == templates_.end() ? nullptr : it->second->online.get();
+  return it == templates_.end()
+             ? nullptr
+             : it->second->online.load(std::memory_order_acquire);
 }
 
-OnlinePpcPredictor* PpcFramework::mutable_online_predictor(
+std::shared_ptr<OnlinePpcPredictor> PpcFramework::mutable_online_predictor(
     const std::string& template_name) {
   std::shared_lock<std::shared_mutex> lock(templates_mu_);
   auto it = templates_.find(template_name);
-  return it == templates_.end() ? nullptr : it->second->online.get();
+  return it == templates_.end()
+             ? nullptr
+             : it->second->online.load(std::memory_order_acquire);
+}
+
+Status PpcFramework::InstallPredictorGeneration(
+    const std::string& template_name,
+    std::shared_ptr<OnlinePpcPredictor> next) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("null predictor generation");
+  }
+  std::shared_lock<std::shared_mutex> lock(templates_mu_);
+  auto it = templates_.find(template_name);
+  if (it == templates_.end()) {
+    return Status::NotFound("template " + template_name +
+                            " is not registered");
+  }
+  TemplateState* state = it->second.get();
+  if (next->config().predictor.dimensions != state->tmpl.ParameterDegree()) {
+    return Status::InvalidArgument(
+        "predictor generation has " +
+        std::to_string(next->config().predictor.dimensions) +
+        " dimensions; template " + template_name + " has degree " +
+        std::to_string(state->tmpl.ParameterDegree()));
+  }
+  const uint32_t next_generation = next->predictor().transform_generation();
+  // CAS loop: a concurrent install (refit worker racing a replication
+  // apply) can never regress the serving generation.
+  std::shared_ptr<OnlinePpcPredictor> current =
+      state->online.load(std::memory_order_acquire);
+  for (;;) {
+    if (current != nullptr &&
+        next_generation <= current->predictor().transform_generation()) {
+      return Status::InvalidArgument(
+          "predictor generation " + std::to_string(next_generation) +
+          " is not newer than serving generation " +
+          std::to_string(current->predictor().transform_generation()));
+    }
+    if (state->online.compare_exchange_strong(current, next,
+                                              std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  metrics_.gauge("drift." + template_name + ".generation")
+      .Set(static_cast<double>(next_generation));
+  return Status::OK();
 }
 
 std::vector<std::string> PpcFramework::TemplateNames() const {
@@ -309,14 +399,32 @@ std::vector<std::string> PpcFramework::TemplateNames() const {
 
 PpcFramework::FrameworkMetrics PpcFramework::MetricsSnapshot() const {
   FrameworkMetrics snap;
-  snap.registry = metrics_.TakeSnapshot();
   snap.cache = plan_cache_.GetStats();
-  std::shared_lock<std::shared_mutex> lock(templates_mu_);
-  snap.templates.reserve(templates_.size());
-  for (const auto& [name, state] : templates_) {
-    snap.templates.push_back(
-        FrameworkMetrics::TemplateMetrics{name, state->online->GetStats()});
+  {
+    std::shared_lock<std::shared_mutex> lock(templates_mu_);
+    snap.templates.reserve(templates_.size());
+    for (const auto& [name, state] : templates_) {
+      const std::shared_ptr<OnlinePpcPredictor> online =
+          state->online.load(std::memory_order_acquire);
+      snap.templates.push_back(FrameworkMetrics::TemplateMetrics{
+          name, online->GetStats(), online->predictor().transform_generation()});
+      // Refresh the drift.* gauges from the same signal read, so the
+      // registry snapshot below carries the current windowed
+      // precision/recall per template (ISSUE: the Sec. IV-E drift signal
+      // was internal-only).
+      const OnlinePpcPredictor::WindowedSignal signal =
+          online->GetWindowedSignal();
+      metrics_.gauge("drift." + name + ".precision").Set(signal.precision);
+      metrics_.gauge("drift." + name + ".recall").Set(signal.recall);
+      metrics_.gauge("drift." + name + ".beta").Set(signal.beta);
+      metrics_.gauge("drift." + name + ".window_full")
+          .Set(signal.window_full ? 1.0 : 0.0);
+      metrics_.gauge("drift." + name + ".generation")
+          .Set(static_cast<double>(
+              online->predictor().transform_generation()));
+    }
   }
+  snap.registry = metrics_.TakeSnapshot();
   return snap;
 }
 
@@ -360,6 +468,7 @@ std::string PpcFramework::FrameworkMetrics::ToJson() const {
            std::to_string(s.positive_feedback_insertions);
     out += ", \"feedback_positive\": " + std::to_string(s.feedback_positive);
     out += ", \"feedback_negative\": " + std::to_string(s.feedback_negative);
+    out += ", \"generation\": " + std::to_string(templates[i].generation);
     out += "}";
   }
   out += "]}";

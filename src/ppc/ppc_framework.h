@@ -15,6 +15,7 @@
 #include "ppc/metrics_registry.h"
 #include "ppc/online_predictor.h"
 #include "ppc/plan_cache.h"
+#include "ppc/retune/retune_controller.h"
 #include "workload/query_template.h"
 #include "workload/selectivity_mapper.h"
 
@@ -46,6 +47,10 @@ class PpcFramework {
     size_t plan_cache_capacity = 64;
     /// Execution-cost noise (lognormal sigma; 0 = deterministic).
     double execution_noise_stddev = 0.0;
+    /// Adaptive LSH retuning (DESIGN.md §17). Disabled by default: the
+    /// paper's fixed-transform behavior is the baseline, and retuning is
+    /// opt-in per deployment.
+    RetuneOptions retune;
     uint64_t seed = 97;
   };
 
@@ -87,6 +92,8 @@ class PpcFramework {
     struct TemplateMetrics {
       std::string name;
       OnlinePpcPredictor::Stats stats;
+      /// Transform generation currently serving this template.
+      uint32_t generation = 0;
     };
     std::vector<TemplateMetrics> templates;
 
@@ -97,6 +104,8 @@ class PpcFramework {
 
   PpcFramework(const Catalog* catalog, Config config,
                CostModelParams cost_params = CostModelParams());
+  /// Stops the retune worker before per-template state is torn down.
+  ~PpcFramework();
 
   /// Registers a query template (copied). Must be called before the first
   /// execution; returns FailedPrecondition once the registry is sealed.
@@ -148,14 +157,30 @@ class PpcFramework {
   Result<QueryReport> ExecuteAtPoint(const std::string& template_name,
                                      const std::vector<double>& point);
 
-  /// The online predictor of one registered template (nullptr if unknown).
-  const OnlinePpcPredictor* online_predictor(
+  /// The online predictor generation currently serving one registered
+  /// template (nullptr if unknown). Returned as a shared_ptr snapshot:
+  /// the caller's view stays valid even if a background refit installs a
+  /// newer generation concurrently (RCU-style handoff, DESIGN.md §17).
+  std::shared_ptr<const OnlinePpcPredictor> online_predictor(
       const std::string& template_name) const;
 
-  /// Mutable access to one template's online predictor, for the
+  /// Mutable snapshot of one template's serving predictor, for the
   /// replication path (PredictorState warm-start). nullptr if unknown.
-  OnlinePpcPredictor* mutable_online_predictor(
+  std::shared_ptr<OnlinePpcPredictor> mutable_online_predictor(
       const std::string& template_name);
+
+  /// Warm generation handoff: atomically replaces the template's serving
+  /// predictor with `next` (already built and back-filled). In-flight
+  /// readers keep their snapshot of the old generation; new requests see
+  /// the new one; nobody ever observes a partially built predictor.
+  /// `next` must be strictly newer (transform_generation greater than the
+  /// serving one) and dimensioned for the template — InvalidArgument
+  /// otherwise; NotFound for an unknown template.
+  Status InstallPredictorGeneration(const std::string& template_name,
+                                    std::shared_ptr<OnlinePpcPredictor> next);
+
+  /// The adaptive-retuning controller (nullptr unless config.retune.enabled).
+  RetuneController* retune_controller() { return retune_.get(); }
 
   /// Names of all registered templates, in registry (sorted) order.
   std::vector<std::string> TemplateNames() const;
@@ -183,7 +208,13 @@ class PpcFramework {
     QueryTemplate tmpl;
     PreparedTemplate prepared;
     std::unique_ptr<SelectivityMapper> mapper;
-    std::unique_ptr<OnlinePpcPredictor> online;
+    /// The serving predictor generation. Readers load one snapshot
+    /// shared_ptr per request and use it throughout; the retune worker
+    /// (and the replication apply path) atomically store a fully built
+    /// replacement — readers never block on a handoff, and the old
+    /// generation is destroyed only after its last in-flight reader
+    /// drops its reference.
+    std::atomic<std::shared_ptr<OnlinePpcPredictor>> online;
   };
 
   Result<TemplateState*> FindTemplate(const std::string& name);
@@ -193,7 +224,9 @@ class PpcFramework {
   Optimizer optimizer_;
   ExecutionSimulator simulator_;
   PlanCache plan_cache_;
-  MetricsRegistry metrics_;
+  /// Mutable so const snapshot paths (MetricsSnapshot) can refresh the
+  /// drift.* gauges; the registry is internally synchronized.
+  mutable MetricsRegistry metrics_;
   /// Serving-path instruments, resolved once at construction so the hot
   /// path never takes the registry lock. See DESIGN.md for the naming
   /// scheme.
@@ -216,6 +249,9 @@ class PpcFramework {
   std::atomic<bool> sealed_{false};
   mutable std::atomic<uint64_t> snapshot_sequence_{0};
   std::map<std::string, std::unique_ptr<TemplateState>> templates_;
+  /// Declared after templates_ (and destroyed first via the explicit
+  /// destructor's Stop()) so the refit worker can never touch dead state.
+  std::unique_ptr<RetuneController> retune_;
 };
 
 }  // namespace ppc

@@ -13,12 +13,15 @@ namespace ppc {
 
 namespace {
 
-/// Replication container format v1. Same envelope discipline as the
+/// Replication container format v2. Same envelope discipline as the
 /// predictor snapshot (magic | version | payload | trailing FNV-1a
 /// checksum), with a distinct magic so the two blob kinds can never be
-/// confused for each other on the wire.
+/// confused for each other on the wire. v2 added the per-entry transform
+/// generation; v1 blobs (no generation field) are rejected rather than
+/// guessed at — silently adopting them as generation 0 is exactly the
+/// cross-generation mixing the field exists to prevent.
 constexpr uint32_t kStateMagic = 0x50504352;  // "PPCR"
-constexpr uint32_t kStateVersion = 1;
+constexpr uint32_t kStateVersion = 2;
 constexpr size_t kChecksumBytes = sizeof(uint64_t);
 /// An adversarial count field must not drive allocation; real
 /// deployments register a handful of templates.
@@ -30,10 +33,12 @@ PredictorState PredictorState::Capture(const PpcFramework& framework) {
   PredictorState state;
   state.sequence_ = framework.NextSnapshotSequence();
   for (const std::string& name : framework.TemplateNames()) {
-    const OnlinePpcPredictor* online = framework.online_predictor(name);
+    const std::shared_ptr<const OnlinePpcPredictor> online =
+        framework.online_predictor(name);
     if (online == nullptr) continue;  // unregistered between the two reads
     TemplateEntry entry;
     entry.name = name;
+    entry.generation = online->predictor().transform_generation();
     entry.blob = online->predictor().Serialize();
     entry.content_hash = Fnv1a64(entry.blob);
     state.entries_.push_back(std::move(entry));
@@ -51,6 +56,7 @@ std::string PredictorState::SerializeEntries(
   writer.PutU32(static_cast<uint32_t>(entries.size()));
   for (const TemplateEntry& entry : entries) {
     writer.PutString(entry.name);
+    writer.PutU32(entry.generation);
     writer.PutU64(entry.content_hash);
     writer.PutString(entry.blob);
   }
@@ -128,6 +134,7 @@ Result<ParsedState> ParseState(const std::string& bytes) {
     for (uint32_t i = 0; i < count; ++i) {
       PredictorState::TemplateEntry entry;
       PPC_ASSIGN_OR_RETURN(entry.name, reader.GetString());
+      PPC_ASSIGN_OR_RETURN(entry.generation, reader.GetU32());
       PPC_ASSIGN_OR_RETURN(entry.content_hash, reader.GetU64());
       PPC_ASSIGN_OR_RETURN(entry.blob, reader.GetString());
       if (entry.content_hash != Fnv1a64(entry.blob)) {
@@ -200,7 +207,7 @@ Result<PredictorState::ApplyReport> PredictorState::ApplyTo(
     PpcFramework* framework) const {
   ApplyReport report;
   for (const TemplateEntry& entry : entries_) {
-    OnlinePpcPredictor* online =
+    const std::shared_ptr<OnlinePpcPredictor> online =
         framework->mutable_online_predictor(entry.name);
     if (online == nullptr) {
       ++report.templates_skipped;
@@ -208,7 +215,44 @@ Result<PredictorState::ApplyReport> PredictorState::ApplyTo(
     }
     PPC_ASSIGN_OR_RETURN(LshHistogramsPredictor restored,
                          LshHistogramsPredictor::Restore(entry.blob));
-    PPC_RETURN_NOT_OK(online->WarmStart(restored));
+    // The container-level generation and the one embedded in the blob
+    // must agree; a mismatch means the envelope was stitched together
+    // from pieces of different captures.
+    if (restored.transform_generation() != entry.generation) {
+      return Status::InvalidArgument(
+          "template '" + entry.name + "' entry generation " +
+          std::to_string(entry.generation) + " disagrees with blob generation " +
+          std::to_string(restored.transform_generation()));
+    }
+    const uint32_t local_generation =
+        online->predictor().transform_generation();
+    if (entry.generation == local_generation) {
+      // Same transform generation: adopt the leader's densities in place
+      // (AdoptState re-checks the full config equality, including the
+      // fitted input ranges).
+      PPC_RETURN_NOT_OK(online->WarmStart(restored));
+    } else if (entry.generation > local_generation) {
+      // The leader refit past us: follow it through the same warm
+      // handoff the local retune worker uses, so replicas never serve a
+      // mixed-generation predictor.
+      OnlinePpcPredictor::Config online_config = online->config();
+      online_config.predictor = restored.config();
+      auto next = std::make_shared<OnlinePpcPredictor>(std::move(online_config),
+                                                       std::move(restored));
+      next->InheritLifetimeCounters(*online);
+      PPC_RETURN_NOT_OK(
+          framework->InstallPredictorGeneration(entry.name, std::move(next)));
+      ++report.generations_installed;
+    } else {
+      // Never roll a serving predictor back to an older transform
+      // generation: its histograms were built in a different projected
+      // space and would silently mis-serve.
+      return Status::InvalidArgument(
+          "template '" + entry.name + "' snapshot generation " +
+          std::to_string(entry.generation) +
+          " is stale (local serving generation " +
+          std::to_string(local_generation) + ")");
+    }
     ++report.templates_applied;
   }
   return report;

@@ -31,6 +31,11 @@ class PredictorState {
  public:
   struct TemplateEntry {
     std::string name;
+    /// Transform generation the blob was captured at (PPCR v2). Carried
+    /// redundantly with the generation inside the blob so the container
+    /// can gate cross-generation mixing without parsing the opaque blob,
+    /// and the two must agree (ApplyTo verifies).
+    uint32_t generation = 0;
     /// FNV-1a of `blob`; doubles as per-entry integrity check and the
     /// change detector for delta serialization.
     uint64_t content_hash = 0;
@@ -45,6 +50,10 @@ class PredictorState {
   struct ApplyReport {
     size_t templates_applied = 0;
     size_t templates_skipped = 0;
+    /// Of the applied templates, how many arrived from a newer transform
+    /// generation and were installed via the warm generation handoff
+    /// (rather than adopted in place).
+    size_t generations_installed = 0;
   };
 
   PredictorState() = default;
@@ -55,7 +64,7 @@ class PredictorState {
   /// cut across templates — the same guarantee MetricsSnapshot gives.
   static PredictorState Capture(const PpcFramework& framework);
 
-  /// Serializes as a full snapshot (format PPCR v1, trailing FNV-1a
+  /// Serializes as a full snapshot (format PPCR v2, trailing FNV-1a
   /// checksum).
   std::string Serialize() const;
 
@@ -77,7 +86,12 @@ class PredictorState {
   /// Warm-starts `framework`'s registered predictors from this state.
   /// Templates unknown to the framework are skipped (counted); a
   /// predictor-config mismatch or corrupt per-template blob fails the
-  /// whole apply with InvalidArgument.
+  /// whole apply with InvalidArgument. Generation semantics (DESIGN.md
+  /// §17): an entry at the local transform generation is adopted in
+  /// place; an entry from a *newer* generation is installed through the
+  /// warm generation handoff (the replica follows the leader's refit); an
+  /// entry from an *older* generation is stale and fails the apply —
+  /// generations never mix.
   Result<ApplyReport> ApplyTo(PpcFramework* framework) const;
 
   /// Leader-side capture sequence (monotonic per process).

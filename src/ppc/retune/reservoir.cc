@@ -1,0 +1,39 @@
+#include "ppc/retune/reservoir.h"
+
+#include "common/macros.h"
+
+namespace ppc {
+
+RetainedPointReservoir::RetainedPointReservoir(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  PPC_CHECK(capacity >= 1);
+  points_.reserve(capacity);
+}
+
+void RetainedPointReservoir::Add(const LabeledPoint& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++observed_;
+  if (points_.size() < capacity_) {
+    points_.push_back(point);
+    return;
+  }
+  points_[static_cast<size_t>(rng_.UniformInt(
+      static_cast<uint64_t>(capacity_)))] = point;
+}
+
+std::vector<LabeledPoint> RetainedPointReservoir::SnapshotPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_;
+}
+
+size_t RetainedPointReservoir::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_.size();
+}
+
+uint64_t RetainedPointReservoir::total_observed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observed_;
+}
+
+}  // namespace ppc

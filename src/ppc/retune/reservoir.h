@@ -1,0 +1,56 @@
+#ifndef PPC_PPC_RETUNE_RESERVOIR_H_
+#define PPC_PPC_RETUNE_RESERVOIR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "clustering/predictor.h"
+#include "common/rng.h"
+
+namespace ppc {
+
+/// Bounded, seeded, recency-biased reservoir of ground-truth observations
+/// for one query template — the sample the adaptive-retuning refit fits
+/// fresh LSH transforms to and back-fills the new generation from
+/// (DESIGN.md §17).
+///
+/// Sampling discipline (Aggarwal-style biased reservoir): the reservoir
+/// fills to capacity, after which every new observation overwrites a
+/// uniformly random slot. A retained point's survival probability decays
+/// as (1 - 1/C)^k over the k observations that follow it, so the reservoir
+/// tracks the *recent* query-point distribution with expected memory of
+/// about C observations — old-regime points age out instead of anchoring
+/// the refit to a dead workload. All draws come from one seeded Rng, so a
+/// run is exactly reproducible.
+///
+/// Thread safety: Add and SnapshotPoints may be called concurrently from
+/// any threads (one mutex; Add is O(1), SnapshotPoints copies out).
+class RetainedPointReservoir {
+ public:
+  RetainedPointReservoir(size_t capacity, uint64_t seed);
+
+  /// Records one (point, plan, cost) ground-truth observation.
+  void Add(const LabeledPoint& point);
+
+  /// Copy of the currently retained points, in no particular order.
+  std::vector<LabeledPoint> SnapshotPoints() const;
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Lifetime count of observations offered via Add.
+  uint64_t total_observed() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::vector<LabeledPoint> points_;
+  uint64_t observed_ = 0;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_PPC_RETUNE_RESERVOIR_H_

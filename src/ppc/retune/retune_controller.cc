@@ -1,0 +1,251 @@
+#include "ppc/retune/retune_controller.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/hash.h"
+#include "common/macros.h"
+#include "common/math_utils.h"
+#include "ppc/ppc_framework.h"
+#include "server/failpoints.h"
+
+namespace ppc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+RetuneController::RetuneController(PpcFramework* framework,
+                                   RetuneOptions options)
+    : framework_(framework), options_(options) {
+  PPC_CHECK(framework != nullptr);
+  MetricsRegistry& metrics = framework_->metrics();
+  instruments_.triggers = &metrics.counter("server.retune.triggers");
+  instruments_.refits = &metrics.counter("server.retune.refits");
+  instruments_.skipped = &metrics.counter("server.retune.skipped");
+  instruments_.aborted = &metrics.counter("server.retune.aborted");
+  instruments_.points_backfilled =
+      &metrics.counter("server.retune.points_backfilled");
+  instruments_.generations = &metrics.counter("server.retune.generations");
+  instruments_.refit_us = &metrics.histogram("server.retune.refit_us");
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+RetuneController::~RetuneController() { Stop(); }
+
+RetuneController::TemplateSlot& RetuneController::Slot(
+    const std::string& template_name) {
+  std::lock_guard<std::mutex> lock(slots_mu_);
+  auto it = slots_.find(template_name);
+  if (it == slots_.end()) {
+    it = slots_
+             .emplace(template_name,
+                      std::make_unique<TemplateSlot>(
+                          options_.reservoir_capacity,
+                          options_.seed ^ Fnv1a64(template_name)))
+             .first;
+  }
+  return *it->second;
+}
+
+void RetuneController::ObserveGroundTruth(const std::string& template_name,
+                                          const LabeledPoint& point) {
+  TemplateSlot& slot = Slot(template_name);
+  slot.reservoir.Add(point);
+  slot.observations_since_refit.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RetuneController::EvaluateTrigger(
+    const std::string& template_name,
+    const OnlinePpcPredictor::WindowedSignal& signal) {
+  // A partial window is warm-up noise, not a drift verdict. Each trigger
+  // gates on the window that feeds its estimate: precision on the
+  // made-prediction window, recall on the every-query beta window. The
+  // distinction matters when the predictor answers NULL across the board
+  // — the precision window stops filling, and a recall trigger gated on
+  // it would never fire again.
+  const bool precision_degraded = signal.window_full &&
+                                  options_.precision_trigger > 0.0 &&
+                                  signal.precision <
+                                      options_.precision_trigger;
+  const bool recall_degraded = signal.beta_window_full &&
+                               options_.recall_trigger > 0.0 &&
+                               signal.recall < options_.recall_trigger;
+  if (!precision_degraded && !recall_degraded) return;
+
+  TemplateSlot& slot = Slot(template_name);
+  if (slot.in_flight.load(std::memory_order_acquire)) return;
+  if (slot.observations_since_refit.load(std::memory_order_relaxed) <
+      options_.cooldown_observations) {
+    return;
+  }
+  if (slot.reservoir.size() < options_.min_reservoir_points) return;
+  if (Enqueue(template_name)) instruments_.triggers->Increment();
+}
+
+bool RetuneController::ForceRetune(const std::string& template_name) {
+  return Enqueue(template_name);
+}
+
+bool RetuneController::Enqueue(const std::string& template_name) {
+  TemplateSlot& slot = Slot(template_name);
+  bool expected = false;
+  if (!slot.in_flight.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopped_) {
+      slot.in_flight.store(false, std::memory_order_release);
+      return false;
+    }
+    queue_.push_back(template_name);
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+void RetuneController::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stopped_ || !queue_.empty(); });
+    if (stopped_) return;
+    const std::string name = queue_.front();
+    queue_.pop_front();
+    worker_busy_ = true;
+    lock.unlock();
+
+    TemplateSlot& slot = Slot(name);
+    RefitTemplate(name, slot);
+    slot.in_flight.store(false, std::memory_order_release);
+
+    lock.lock();
+    worker_busy_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+bool RetuneController::RefitTemplate(const std::string& template_name,
+                                     TemplateSlot& slot) {
+  const std::shared_ptr<const OnlinePpcPredictor> current =
+      framework_->online_predictor(template_name);
+  if (current == nullptr) {
+    instruments_.skipped->Increment();
+    return false;
+  }
+  const std::vector<LabeledPoint> points = slot.reservoir.SnapshotPoints();
+  if (points.size() < options_.min_reservoir_points) {
+    instruments_.skipped->Increment();
+    return false;
+  }
+
+  // Failpoint: kStallMs holds the refit open (stretching the window in
+  // which serving runs against the old generation while the new one is
+  // being built); kError abandons the refit, which must leave the
+  // serving generation untouched.
+  const failpoints::Action fault = failpoints::Hit(failpoints::Site::kRetune);
+  failpoints::MaybeStall(fault);
+  if (fault.kind == failpoints::Kind::kError) {
+    instruments_.aborted->Increment();
+    return false;
+  }
+
+  const auto start = Clock::now();
+
+  // Fit the next generation's transforms to the retained recent points:
+  // fresh ranges (quantile fit + margin), a new generation id (which
+  // re-seeds the random transforms), and a back-fill of the reservoir so
+  // the generation starts serving warm, never empty.
+  LshHistogramsPredictor::Config next_config = current->predictor().config();
+  next_config.transform_generation += 1;
+  FitRanges(points, options_, &next_config.input_lo, &next_config.input_hi);
+
+  LshHistogramsPredictor fresh(next_config);
+  for (const LabeledPoint& point : points) fresh.Insert(point);
+
+  OnlinePpcPredictor::Config online_config = current->config();
+  online_config.predictor = fresh.config();
+  auto next =
+      std::make_shared<OnlinePpcPredictor>(online_config, std::move(fresh));
+  // The tracker windows start empty on purpose (they judge the new
+  // generation); the lifetime accounting carries over.
+  next->InheritLifetimeCounters(*current);
+
+  const Status installed =
+      framework_->InstallPredictorGeneration(template_name, next);
+  instruments_.refit_us->Record(MicrosSince(start));
+  if (!installed.ok()) {
+    instruments_.aborted->Increment();
+    return false;
+  }
+  instruments_.points_backfilled->Increment(points.size());
+  instruments_.refits->Increment();
+  instruments_.generations->Increment();
+  slot.observations_since_refit.store(0, std::memory_order_relaxed);
+  return true;
+}
+
+void RetuneController::FitRanges(const std::vector<LabeledPoint>& points,
+                                 const RetuneOptions& options,
+                                 std::vector<double>* lo,
+                                 std::vector<double>* hi) {
+  PPC_CHECK(!points.empty());
+  const size_t dims = points[0].coords.size();
+  PPC_CHECK(dims >= 1);
+  lo->assign(dims, 0.0);
+  hi->assign(dims, 1.0);
+  const double q = Clamp(options.range_fit_quantile, 0.0, 0.49);
+  std::vector<double> values(points.size());
+  for (size_t d = 0; d < dims; ++d) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      PPC_CHECK(points[i].coords.size() == dims);
+      values[i] = points[i].coords[d];
+    }
+    std::sort(values.begin(), values.end());
+    // Quantile fit: the (q, 1-q) order statistics, so a few straggling
+    // old-regime points in the reservoir cannot pin the span to the
+    // stale workload's extent.
+    const size_t lo_idx =
+        static_cast<size_t>(q * static_cast<double>(values.size() - 1));
+    const size_t hi_idx = values.size() - 1 - lo_idx;
+    double fit_lo = values[lo_idx];
+    double fit_hi = values[hi_idx];
+    const double span = fit_hi - fit_lo;
+    fit_lo -= span * options.range_margin;
+    fit_hi += span * options.range_margin;
+    if (fit_hi - fit_lo < options.min_range_span) {
+      const double center = 0.5 * (fit_lo + fit_hi);
+      fit_lo = center - 0.5 * options.min_range_span;
+      fit_hi = center + 0.5 * options.min_range_span;
+    }
+    (*lo)[d] = fit_lo;
+    (*hi)[d] = fit_hi;
+  }
+}
+
+void RetuneController::WaitIdle() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  idle_cv_.wait(lock,
+                [&] { return stopped_ || (queue_.empty() && !worker_busy_); });
+}
+
+void RetuneController::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  queue_cv_.notify_all();
+  idle_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+}  // namespace ppc

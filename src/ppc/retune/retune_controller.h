@@ -1,0 +1,170 @@
+#ifndef PPC_PPC_RETUNE_RETUNE_CONTROLLER_H_
+#define PPC_PPC_RETUNE_RETUNE_CONTROLLER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ppc/online_predictor.h"
+#include "ppc/retune/reservoir.h"
+
+namespace ppc {
+
+class PpcFramework;
+class MetricsCounter;
+class LatencyHistogram;
+
+/// Tuning knobs of the adaptive-retuning loop (DESIGN.md §17).
+struct RetuneOptions {
+  /// Master switch; the framework creates no controller when false.
+  bool enabled = false;
+  /// Refit when the windowed template precision falls below this (the
+  /// window must be full). <= 0 never triggers on precision.
+  double precision_trigger = 0.6;
+  /// Refit when the windowed template recall falls below this (window
+  /// full). <= 0 disables the recall trigger.
+  double recall_trigger = 0.0;
+  /// Per-template retained-point reservoir capacity. Also bounds how much
+  /// history a refit can back-fill.
+  size_t reservoir_capacity = 256;
+  /// A refit is skipped (and the trigger re-arms) until the reservoir
+  /// holds at least this many points — fitting ranges to a handful of
+  /// observations would thrash.
+  size_t min_reservoir_points = 64;
+  /// Ground-truth observations a template must accumulate after a refit
+  /// before the trigger can fire again — lets the new generation's window
+  /// fill before it can be judged.
+  size_t cooldown_observations = 200;
+  /// Range fitting: per-dimension [lo, hi] are the (q, 1-q) quantiles of
+  /// the retained points, so a few straggling old-regime points cannot
+  /// pin the fitted span to the stale workload's extent.
+  double range_fit_quantile = 0.05;
+  /// Fractional margin added on each side of the fitted span (and the
+  /// floor on the span itself), so boundary queries keep headroom and a
+  /// point mass cannot produce a degenerate range.
+  double range_margin = 0.10;
+  double min_range_span = 1e-3;
+  uint64_t seed = 1789;
+};
+
+/// Drift-triggered transform retuning (the Tunable-LSH idea applied to the
+/// paper's fixed randomized transforms): watches each template's
+/// sliding-window precision/recall signal, and past the configured
+/// degradation threshold hands the template to a background worker that
+/// re-fits per-dimension input ranges to the retained recent points,
+/// builds a new-generation LshHistogramsPredictor, back-fills it from the
+/// reservoir, and installs it via PpcFramework::InstallPredictorGeneration
+/// — an atomic shared_ptr flip the serving paths never block on.
+///
+/// Trigger policy: a degradation verdict AND reservoir >=
+/// min_reservoir_points AND >= cooldown_observations observations since
+/// the last refit AND no refit already in flight for the template.
+/// Degradation is precision < precision_trigger (gated on the
+/// made-prediction window being full) OR recall < recall_trigger (gated
+/// on the every-query beta window being full — the precision window
+/// stops filling when predictions go all-NULL, exactly the collapse the
+/// recall trigger exists to catch). Skips and aborts are counted, never
+/// silent (server.retune.* instruments).
+///
+/// Thread safety: ObserveGroundTruth / EvaluateTrigger are called from
+/// serving threads and are cheap (reservoir mutex, a few relaxed
+/// atomics); the refit itself runs on the single background worker.
+/// Stop() (idempotent, called by the framework destructor) drains nothing
+/// — queued refits are abandoned — and joins the worker.
+class RetuneController {
+ public:
+  RetuneController(PpcFramework* framework, RetuneOptions options);
+  ~RetuneController();
+
+  RetuneController(const RetuneController&) = delete;
+  RetuneController& operator=(const RetuneController&) = delete;
+
+  /// Feeds one (point, plan, cost) observation into the template's
+  /// reservoir. The EXECUTE path calls this for every optimizer result
+  /// and for every cost-validated served prediction — a warm cache
+  /// rarely optimizes, and reservoir retention must track the live
+  /// query-point distribution, not just the optimizer's trickle.
+  void ObserveGroundTruth(const std::string& template_name,
+                          const LabeledPoint& point);
+
+  /// Evaluates the trigger policy against a just-taken drift signal and
+  /// enqueues a background refit when it fires.
+  void EvaluateTrigger(const std::string& template_name,
+                       const OnlinePpcPredictor::WindowedSignal& signal);
+
+  /// Test/bench hook: enqueues a refit unconditionally (still subject to
+  /// min_reservoir_points inside the worker). Returns false if one is
+  /// already in flight or the controller is stopped.
+  bool ForceRetune(const std::string& template_name);
+
+  /// Blocks until the queue is empty and no refit is running.
+  void WaitIdle();
+
+  /// Stops the worker (idempotent). Pending queued refits are dropped.
+  void Stop();
+
+  /// Fits per-dimension [lo, hi] ranges from `points` per the options'
+  /// quantile/margin/min-span policy. Exposed for tests; requires a
+  /// non-empty, dimension-consistent sample.
+  static void FitRanges(const std::vector<LabeledPoint>& points,
+                        const RetuneOptions& options,
+                        std::vector<double>* lo, std::vector<double>* hi);
+
+ private:
+  struct TemplateSlot {
+    explicit TemplateSlot(size_t capacity, uint64_t seed)
+        : reservoir(capacity, seed) {}
+    RetainedPointReservoir reservoir;
+    /// Ground truth accumulated since the last completed refit (or since
+    /// start); gates the cooldown.
+    std::atomic<uint64_t> observations_since_refit{0};
+    /// Set while the template is queued or refitting; prevents duplicate
+    /// enqueues.
+    std::atomic<bool> in_flight{false};
+  };
+
+  TemplateSlot& Slot(const std::string& template_name);
+  bool Enqueue(const std::string& template_name);
+  void WorkerLoop();
+  /// One refit: snapshot reservoir, fit ranges, build + back-fill the next
+  /// generation, install. Returns true when a new generation was
+  /// installed.
+  bool RefitTemplate(const std::string& template_name, TemplateSlot& slot);
+
+  PpcFramework* const framework_;
+  const RetuneOptions options_;
+
+  /// Instruments (server.retune.*), resolved once from the framework's
+  /// registry.
+  struct {
+    MetricsCounter* triggers = nullptr;
+    MetricsCounter* refits = nullptr;
+    MetricsCounter* skipped = nullptr;
+    MetricsCounter* aborted = nullptr;
+    MetricsCounter* points_backfilled = nullptr;
+    MetricsCounter* generations = nullptr;
+    LatencyHistogram* refit_us = nullptr;
+  } instruments_;
+
+  std::mutex slots_mu_;
+  std::map<std::string, std::unique_ptr<TemplateSlot>> slots_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::string> queue_;
+  bool stopped_ = false;
+  bool worker_busy_ = false;
+  std::thread worker_;
+};
+
+}  // namespace ppc
+
+#endif  // PPC_PPC_RETUNE_RETUNE_CONTROLLER_H_

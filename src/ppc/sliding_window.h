@@ -60,6 +60,17 @@ class PrecisionRecallTracker {
   /// below `threshold` — the paper's plan-space-change signal.
   bool PrecisionBelow(double threshold) const;
 
+  /// True when the template precision window has seen a full k
+  /// observations — below that the estimates are warm-up noise, and
+  /// neither drift resets nor retune triggers should act on them.
+  bool WindowFull() const { return template_precision_.Full(); }
+
+  /// True when the beta window has seen a full k queries. The beta window
+  /// records every query (made or NULL), so it keeps filling even when
+  /// the predictor answers NULL across the board and the precision window
+  /// stalls — recall-collapse triggers must gate on this one.
+  bool BetaWindowFull() const { return beta_.Full(); }
+
   void Clear();
 
  private:

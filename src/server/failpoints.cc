@@ -47,6 +47,8 @@ const char* SiteName(Site site) {
       return "enqueue";
     case Site::kDispatch:
       return "dispatch";
+    case Site::kRetune:
+      return "retune";
     case Site::kSiteCount:
       break;
   }

@@ -29,6 +29,10 @@ enum class Site : uint32_t {
   kAccept,     ///< PlanServer::AcceptConnections.
   kEnqueue,    ///< IO-thread admission (forces the BUSY path).
   kDispatch,   ///< worker-side dispatch (artificial worker stalls).
+  kRetune,     ///< background refit worker, hit before the rebuild
+               ///< (kStallMs stretches the handoff window open so tests
+               ///< can hammer serving mid-refit; kError aborts the refit,
+               ///< which must leave the serving generation untouched).
   kSiteCount,
 };
 

@@ -24,6 +24,10 @@
 //   --scale=F              TPC-H scale factor  (default 0.002)
 //   --catalog-seed=N       TPC-H RNG seed      (default 42)
 //   --warm-start-from=H:P  leader shard to pull a snapshot from
+//   --retune=0|1           adaptive LSH retuning (default 0 = off)
+//   --retune-precision=F   windowed-precision trigger (default 0.6)
+//   --retune-reservoir=N   retained points per template (default 256)
+//   --retune-cooldown=N    observations between refits (default 200)
 
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +60,10 @@ struct Flags {
   uint64_t catalog_seed = 42;
   std::string warm_start_host;
   uint16_t warm_start_port = 0;
+  bool retune = false;
+  double retune_precision = 0.6;
+  size_t retune_reservoir = 256;
+  size_t retune_cooldown = 200;
 };
 
 std::vector<std::string> SplitCsv(const std::string& csv) {
@@ -106,6 +114,16 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->scale = std::strtod(value.c_str(), nullptr);
     } else if (key == "catalog-seed") {
       flags->catalog_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "retune") {
+      flags->retune = value != "0";
+    } else if (key == "retune-precision") {
+      flags->retune_precision = std::strtod(value.c_str(), nullptr);
+    } else if (key == "retune-reservoir") {
+      flags->retune_reservoir =
+          static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (key == "retune-cooldown") {
+      flags->retune_cooldown =
+          static_cast<size_t>(std::strtoull(value.c_str(), nullptr, 10));
     } else if (key == "warm-start-from") {
       if (!ParseHostPort(value, &flags->warm_start_host,
                          &flags->warm_start_port)) {
@@ -156,11 +174,11 @@ Status WarmStart(PpcFramework* framework, const Flags& flags) {
   PPC_ASSIGN_OR_RETURN(report, state.ApplyTo(framework));
   std::fprintf(stderr,
                "warm start from %s:%u: sequence=%llu applied=%zu "
-               "skipped=%zu (%zu bytes)\n",
+               "skipped=%zu generations_installed=%zu (%zu bytes)\n",
                flags.warm_start_host.c_str(), flags.warm_start_port,
                static_cast<unsigned long long>(state.sequence()),
                report.templates_applied, report.templates_skipped,
-               blob.size());
+               report.generations_installed, blob.size());
   return Status::OK();
 }
 
@@ -175,7 +193,12 @@ int main(int argc, char** argv) {
   tpch.seed = flags.catalog_seed;
   std::unique_ptr<ppc::Catalog> catalog = ppc::BuildTpchCatalog(tpch);
 
-  PpcFramework framework(catalog.get(), ServingConfig());
+  PpcFramework::Config serving = ServingConfig();
+  serving.retune.enabled = flags.retune;
+  serving.retune.precision_trigger = flags.retune_precision;
+  serving.retune.reservoir_capacity = flags.retune_reservoir;
+  serving.retune.cooldown_observations = flags.retune_cooldown;
+  PpcFramework framework(catalog.get(), serving);
   for (const std::string& name : flags.templates) {
     const Status registered =
         framework.RegisterTemplate(ppc::EvaluationTemplate(name));

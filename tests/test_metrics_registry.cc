@@ -46,6 +46,27 @@ TEST(MetricsRegistryTest, GetOrCreateReturnsStableInstrument) {
   LatencyHistogram& h1 = registry.histogram("y");
   LatencyHistogram& h2 = registry.histogram("y");
   EXPECT_EQ(&h1, &h2);
+  MetricsGauge& g1 = registry.gauge("z");
+  MetricsGauge& g2 = registry.gauge("z");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(MetricsRegistryTest, GaugesHoldLastSetValue) {
+  MetricsRegistry registry;
+  registry.gauge("drift.Q1.precision").Set(0.875);
+  registry.gauge("drift.Q1.precision").Set(0.25);
+  registry.gauge("drift.Q1.generation").Set(3.0);
+  auto snap = registry.TakeSnapshot();
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].first, "drift.Q1.generation");
+  EXPECT_EQ(snap.gauges[0].second, 3.0);
+  EXPECT_EQ(snap.gauges[1].first, "drift.Q1.precision");
+  EXPECT_EQ(snap.gauges[1].second, 0.25);
+  // Gauges appear in the JSON document alongside counters/histograms.
+  const std::string json = snap.ToJson();
+  EXPECT_TRUE(JsonValidator::Valid(json)) << json;
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("drift.Q1.precision"), std::string::npos);
 }
 
 TEST(MetricsRegistryTest, HistogramPercentilesWithinBucketResolution) {
@@ -207,9 +228,44 @@ TEST(FrameworkMetricsTest, SnapshotJsonHasRequiredSections) {
        {"\"counters\"", "\"histograms\"", "\"cache\"", "\"templates\"",
         "\"precision\"", "\"recall\"", "\"beta\"", "\"hits\"", "\"misses\"",
         "\"evictions\"", "\"p50_us\"", "\"p95_us\"", "\"p99_us\"",
-        "framework.predict_us", "framework.optimize_us"}) {
+        "framework.predict_us", "framework.optimize_us", "\"gauges\"",
+        "\"generation\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+}
+
+// Satellite of the retune subsystem: the sliding-window drift signal is
+// exported as drift.* gauges so an operator (or the drift benches) can
+// watch precision decay and generation handoffs from the metrics
+// endpoint alone.
+TEST(FrameworkMetricsTest, DriftGaugesTrackWindowedSignal) {
+  PpcFramework framework(&SmallTpch(), ServingConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  Rng rng(29);
+  for (int i = 0; i < 250; ++i) {
+    std::vector<double> x = {0.5 + rng.Uniform(-0.02, 0.02),
+                             0.5 + rng.Uniform(-0.02, 0.02)};
+    ASSERT_TRUE(framework.ExecuteAtPoint("Q1", x).ok());
+  }
+  const PpcFramework::FrameworkMetrics snap = framework.MetricsSnapshot();
+  auto gauge = [&](const std::string& name) -> double {
+    for (const auto& [n, v] : snap.registry.gauges) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing gauge " << name;
+    return -1.0;
+  };
+  // The gauges mirror the per-template windowed estimators exactly.
+  ASSERT_EQ(snap.templates.size(), 1u);
+  EXPECT_EQ(gauge("drift.Q1.precision"), snap.templates[0].stats.precision);
+  EXPECT_EQ(gauge("drift.Q1.recall"), snap.templates[0].stats.recall);
+  EXPECT_EQ(gauge("drift.Q1.beta"), snap.templates[0].stats.beta);
+  EXPECT_EQ(gauge("drift.Q1.window_full"), 1.0);
+  EXPECT_EQ(gauge("drift.Q1.generation"), 0.0);
+  EXPECT_EQ(snap.templates[0].generation, 0u);
+  const std::string json = snap.ToJson();
+  EXPECT_TRUE(JsonValidator::Valid(json)) << json;
+  EXPECT_NE(json.find("drift.Q1.precision"), std::string::npos);
 }
 
 TEST(FrameworkMetricsTest, OutcomeCountersPartitionQueries) {

@@ -57,6 +57,8 @@ TEST_F(PredictorStateTest, CaptureSerializeRestoreIsBitStable) {
   ASSERT_EQ(state.entries().size(), 2u);
   EXPECT_EQ(state.entries()[0].name, "Q1");
   EXPECT_EQ(state.entries()[1].name, "Q3");
+  EXPECT_EQ(state.entries()[0].generation, 0u);
+  EXPECT_EQ(state.entries()[1].generation, 0u);
   EXPECT_GT(state.sequence(), 0u);
 
   const std::string bytes = state.Serialize();
@@ -155,6 +157,68 @@ TEST_F(PredictorStateTest, RestoreRejectsMixedUpBlobKinds) {
   auto as_delta = PredictorState::RestoreDelta(base.Serialize(), base);
   ASSERT_FALSE(as_delta.ok());
   EXPECT_EQ(as_delta.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Generation threading across the replication path (DESIGN.md §17): a
+// leader that refit past generation 0 ships entries stamped with the new
+// generation; a generation-0 replica follows it through the warm handoff,
+// and a stale (older-generation) snapshot can never roll a replica back.
+TEST_F(PredictorStateTest, ApplyFollowsLeaderAcrossGenerations) {
+  PpcFramework::Config leader_cfg = BaseConfig();
+  leader_cfg.retune.enabled = true;
+  leader_cfg.retune.min_reservoir_points = 16;
+  leader_cfg.retune.reservoir_capacity = 256;
+  PpcFramework leader(&SmallTpch(), leader_cfg);
+  ASSERT_TRUE(leader.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  ASSERT_TRUE(leader.RegisterTemplate(EvaluationTemplate("Q3")).ok());
+  Train(&leader, "Q1", 2, 200, 1);
+  Train(&leader, "Q3", 3, 200, 2);
+
+  const PredictorState before = PredictorState::Capture(leader);
+  ASSERT_EQ(before.entries()[0].generation, 0u);
+
+  // Force the leader to refit Q1 (Q3 stays at generation 0).
+  ASSERT_TRUE(leader.retune_controller()->ForceRetune("Q1"));
+  leader.retune_controller()->WaitIdle();
+  ASSERT_EQ(leader.online_predictor("Q1")->predictor().transform_generation(),
+            1u);
+
+  const PredictorState after = PredictorState::Capture(leader);
+  ASSERT_EQ(after.entries()[0].name, "Q1");
+  EXPECT_EQ(after.entries()[0].generation, 1u);
+  EXPECT_EQ(after.entries()[1].generation, 0u);
+
+  // A generation-0 replica applying the refit snapshot installs Q1's new
+  // generation via the warm handoff and adopts Q3 in place.
+  PpcFramework replica(&SmallTpch(), BaseConfig());
+  ASSERT_TRUE(replica.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  ASSERT_TRUE(replica.RegisterTemplate(EvaluationTemplate("Q3")).ok());
+  auto report = after.ApplyTo(&replica);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().templates_applied, 2u);
+  EXPECT_EQ(report.value().generations_installed, 1u);
+  EXPECT_EQ(
+      replica.online_predictor("Q1")->predictor().transform_generation(), 1u);
+
+  // The replica now serves Q1 bit-identically to the refit leader.
+  Rng probe(7);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {0.5 + probe.Uniform(-0.02, 0.02),
+                                   0.5 + probe.Uniform(-0.02, 0.02)};
+    auto l = leader.PredictAtPoint("Q1", x);
+    auto r = replica.PredictAtPoint("Q1", x);
+    ASSERT_TRUE(l.ok());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().plan, l.value().plan);
+    EXPECT_EQ(r.value().confidence, l.value().confidence);
+  }
+
+  // The pre-refit capture is now stale for Q1: applying it must fail
+  // rather than silently rolling the replica back a generation.
+  auto stale = before.ApplyTo(&replica);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stale.status().message().find("stale"), std::string::npos);
 }
 
 TEST_F(PredictorStateTest, RestoreRejectsCorruption) {

@@ -1,0 +1,449 @@
+// Tests for the adaptive LSH retuning subsystem (DESIGN.md §17): the
+// retained-point reservoir, quantile range fitting, the drift-triggered
+// RetuneController, and the warm generation handoff — including the
+// TSan-targeted concurrency tests (names contain "Generation"/"Retune")
+// and a chaos variant with failpoints armed during refits.
+
+#include "ppc/retune/retune_controller.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ppc/ppc_framework.h"
+#include "ppc/retune/reservoir.h"
+#include "server/failpoints.h"
+#include "test_util.h"
+#include "workload/templates.h"
+
+namespace ppc {
+namespace {
+
+using testutil::SmallTpch;
+
+LabeledPoint MakePoint(std::vector<double> coords, PlanId plan) {
+  return LabeledPoint{std::move(coords), plan, 1.0};
+}
+
+TEST(RetainedPointReservoirTest, KeepsEverythingBelowCapacity) {
+  RetainedPointReservoir reservoir(16, 1);
+  for (int i = 0; i < 10; ++i) {
+    reservoir.Add(MakePoint({i * 0.1, 0.5}, 1));
+  }
+  EXPECT_EQ(reservoir.size(), 10u);
+  EXPECT_EQ(reservoir.total_observed(), 10u);
+  EXPECT_EQ(reservoir.SnapshotPoints().size(), 10u);
+}
+
+TEST(RetainedPointReservoirTest, StaysBoundedPastCapacity) {
+  RetainedPointReservoir reservoir(32, 2);
+  for (int i = 0; i < 500; ++i) {
+    reservoir.Add(MakePoint({0.5, 0.5}, 1));
+  }
+  EXPECT_EQ(reservoir.size(), 32u);
+  EXPECT_EQ(reservoir.capacity(), 32u);
+  EXPECT_EQ(reservoir.total_observed(), 500u);
+}
+
+TEST(RetainedPointReservoirTest, BiasesTowardRecentObservations) {
+  // 64 old-regime points, then 256 new-regime points: an old point's
+  // survival is (1 - 1/64)^256 ~ e^-4, so the snapshot must be
+  // overwhelmingly new-regime — the property that keeps a refit from
+  // anchoring to a dead workload.
+  RetainedPointReservoir reservoir(64, 3);
+  for (int i = 0; i < 64; ++i) reservoir.Add(MakePoint({0.1, 0.1}, 1));
+  for (int i = 0; i < 256; ++i) reservoir.Add(MakePoint({0.9, 0.9}, 2));
+  size_t old_regime = 0, new_regime = 0;
+  for (const LabeledPoint& p : reservoir.SnapshotPoints()) {
+    (p.plan == 1 ? old_regime : new_regime) += 1;
+  }
+  EXPECT_EQ(old_regime + new_regime, 64u);
+  EXPECT_LT(old_regime, 16u);
+  EXPECT_GT(new_regime, 48u);
+}
+
+TEST(RetainedPointReservoirTest, SeededRunsAreReproducible) {
+  RetainedPointReservoir a(16, 7);
+  RetainedPointReservoir b(16, 7);
+  for (int i = 0; i < 200; ++i) {
+    const LabeledPoint p = MakePoint({i * 0.004, 1.0 - i * 0.004}, i % 3);
+    a.Add(p);
+    b.Add(p);
+  }
+  const auto pa = a.SnapshotPoints();
+  const auto pb = b.SnapshotPoints();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].coords, pb[i].coords);
+    EXPECT_EQ(pa[i].plan, pb[i].plan);
+  }
+}
+
+TEST(FitRangesTest, ExactEndpointsWithoutQuantileOrMargin) {
+  std::vector<LabeledPoint> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back(MakePoint({i / 100.0, 0.5 + i / 1000.0}, 1));
+  }
+  RetuneOptions options;
+  options.range_fit_quantile = 0.0;
+  options.range_margin = 0.0;
+  options.min_range_span = 1e-6;
+  std::vector<double> lo, hi;
+  RetuneController::FitRanges(points, options, &lo, &hi);
+  ASSERT_EQ(lo.size(), 2u);
+  EXPECT_DOUBLE_EQ(lo[0], 0.0);
+  EXPECT_DOUBLE_EQ(hi[0], 0.99);
+  EXPECT_DOUBLE_EQ(lo[1], 0.5);
+  EXPECT_DOUBLE_EQ(hi[1], 0.599);
+}
+
+TEST(FitRangesTest, QuantileFitIgnoresStragglers) {
+  // 96 points concentrated in [0.45, 0.55] plus 4 old-regime stragglers
+  // at the domain corners: a min/max fit would span [0, 1]; the 5%
+  // quantile fit must stay near the concentration.
+  std::vector<LabeledPoint> points;
+  for (int i = 0; i < 96; ++i) {
+    points.push_back(MakePoint({0.45 + (i % 32) * 0.1 / 32.0}, 1));
+  }
+  points.push_back(MakePoint({0.0}, 2));
+  points.push_back(MakePoint({0.0}, 2));
+  points.push_back(MakePoint({1.0}, 2));
+  points.push_back(MakePoint({1.0}, 2));
+  RetuneOptions options;  // defaults: q = 0.05, margin = 0.10
+  std::vector<double> lo, hi;
+  RetuneController::FitRanges(points, options, &lo, &hi);
+  ASSERT_EQ(lo.size(), 1u);
+  EXPECT_GT(lo[0], 0.3);
+  EXPECT_LT(hi[0], 0.7);
+  EXPECT_LT(lo[0], 0.45);  // margin keeps headroom below the mass
+  EXPECT_GT(hi[0], 0.55);
+}
+
+TEST(FitRangesTest, PointMassGetsMinimumSpan) {
+  std::vector<LabeledPoint> points(50, MakePoint({0.5, 0.25}, 1));
+  RetuneOptions options;
+  options.min_range_span = 0.01;
+  std::vector<double> lo, hi;
+  RetuneController::FitRanges(points, options, &lo, &hi);
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_GE(hi[d] - lo[d], 0.01);
+  }
+  EXPECT_NEAR(0.5 * (lo[0] + hi[0]), 0.5, 1e-12);
+  EXPECT_NEAR(0.5 * (lo[1] + hi[1]), 0.25, 1e-12);
+}
+
+uint64_t CounterValue(const MetricsRegistry::Snapshot& snap,
+                      const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+PpcFramework::Config RetuneConfig() {
+  PpcFramework::Config cfg;
+  cfg.online.predictor.transform_count = 5;
+  cfg.online.predictor.histogram_buckets = 40;
+  cfg.online.predictor.radius = 0.05;
+  cfg.online.predictor.confidence_threshold = 0.8;
+  cfg.online.predictor.noise_fraction = 0.002;
+  cfg.online.estimator_window = 100;
+  cfg.plan_cache_capacity = 64;
+  cfg.retune.enabled = true;
+  cfg.retune.precision_trigger = 0.0;  // per-test below
+  cfg.retune.recall_trigger = 0.0;
+  cfg.retune.min_reservoir_points = 16;
+  cfg.retune.cooldown_observations = 50;
+  return cfg;
+}
+
+// Drives clustered EXECUTE traffic around `center`.
+void Drive(PpcFramework* framework, const std::string& tmpl, size_t dims,
+           double center, int queries, uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < queries; ++i) {
+    std::vector<double> x(dims);
+    for (double& v : x) v = center + rng.Uniform(-0.02, 0.02);
+    ASSERT_TRUE(framework->ExecuteAtPoint(tmpl, x).ok());
+  }
+}
+
+TEST(RetuneControllerTest, ForceRetuneInstallsNewGeneration) {
+  PpcFramework framework(&SmallTpch(), RetuneConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  Drive(&framework, "Q1", 2, 0.5, 200, 1);
+  ASSERT_EQ(framework.online_predictor("Q1")->predictor().transform_generation(),
+            0u);
+
+  ASSERT_TRUE(framework.retune_controller()->ForceRetune("Q1"));
+  framework.retune_controller()->WaitIdle();
+
+  const auto online = framework.online_predictor("Q1");
+  ASSERT_NE(online, nullptr);
+  EXPECT_EQ(online->predictor().transform_generation(), 1u);
+  // The new generation started warm: back-filled from the reservoir, it
+  // still answers confidently inside the trained cluster.
+  Rng probe(5);
+  int nonnull = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {0.5 + probe.Uniform(-0.02, 0.02),
+                                   0.5 + probe.Uniform(-0.02, 0.02)};
+    auto report = framework.PredictAtPoint("Q1", x);
+    ASSERT_TRUE(report.ok());
+    if (report.value().plan != kNullPlanId) ++nonnull;
+  }
+  EXPECT_GT(nonnull, 25);
+
+  const auto snap = framework.MetricsSnapshot();
+  EXPECT_EQ(CounterValue(snap.registry, "server.retune.refits"), 1u);
+  EXPECT_EQ(CounterValue(snap.registry, "server.retune.generations"), 1u);
+  EXPECT_GE(CounterValue(snap.registry, "server.retune.points_backfilled"),
+            16u);
+  ASSERT_EQ(snap.templates.size(), 1u);
+  EXPECT_EQ(snap.templates[0].generation, 1u);
+}
+
+TEST(RetuneControllerTest, RefitSkippedWhenReservoirSparse) {
+  PpcFramework::Config cfg = RetuneConfig();
+  cfg.retune.min_reservoir_points = 100000;  // unreachable
+  PpcFramework framework(&SmallTpch(), cfg);
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  Drive(&framework, "Q1", 2, 0.5, 50, 2);
+  ASSERT_TRUE(framework.retune_controller()->ForceRetune("Q1"));
+  framework.retune_controller()->WaitIdle();
+  EXPECT_EQ(framework.online_predictor("Q1")->predictor().transform_generation(),
+            0u);
+  const auto snap = framework.MetricsSnapshot();
+  EXPECT_EQ(CounterValue(snap.registry, "server.retune.skipped"), 1u);
+  EXPECT_EQ(CounterValue(snap.registry, "server.retune.refits"), 0u);
+}
+
+TEST(RetuneControllerTest, RecallCollapseTriggersRefit) {
+  // Train on one tight cluster, then move the workload onto a plan
+  // boundary (Q1's optimal plan flips near the diagonal point t ~ 0.055
+  // at this catalog scale). Straddling the boundary keeps the per-bucket
+  // densities mixed between the two plans, the confidence gate turns
+  // predictions NULL, the windowed recall collapses, and the controller
+  // must notice and refit toward the new distribution without any manual
+  // ForceRetune. (A second cluster in *unambiguous* territory would not do
+  // it — the predictor re-learns such a cluster from a single optimizer
+  // call, so recall barely dips.)
+  PpcFramework::Config cfg = RetuneConfig();
+  cfg.retune.recall_trigger = 0.5;
+  PpcFramework framework(&SmallTpch(), cfg);
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  Drive(&framework, "Q1", 2, 0.5, 250, 3);
+  Drive(&framework, "Q1", 2, 0.055, 300, 4);
+  framework.retune_controller()->WaitIdle();
+
+  const auto snap = framework.MetricsSnapshot();
+  EXPECT_GE(CounterValue(snap.registry, "server.retune.triggers"), 1u);
+  EXPECT_GE(CounterValue(snap.registry, "server.retune.refits"), 1u);
+  EXPECT_GE(
+      framework.online_predictor("Q1")->predictor().transform_generation(),
+      1u);
+}
+
+// The TSan-targeted handoff test: serving threads hammer PREDICT and
+// EXECUTE while generations are repeatedly installed underneath them. No
+// request may fail, observe a missing predictor, or lose a counter
+// update; the serving generation must advance monotonically.
+TEST(GenerationHandoffConcurrencyTest, ServingNeverBlocksOrTearsDuringHandoff) {
+  PpcFramework::Config cfg = RetuneConfig();
+  cfg.retune.min_reservoir_points = 8;
+  PpcFramework framework(&SmallTpch(), cfg);
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  framework.Seal();
+  Drive(&framework, "Q1", 2, 0.5, 100, 5);
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 300;
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> violations{0};
+
+  // Monitor: the serving snapshot must always exist and its generation
+  // must never move backwards.
+  std::thread monitor([&] {
+    uint32_t last_generation = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto online = framework.online_predictor("Q1");
+      if (online == nullptr) {
+        violations.fetch_add(1);
+        continue;
+      }
+      const uint32_t generation = online->predictor().transform_generation();
+      if (generation < last_generation) violations.fetch_add(1);
+      last_generation = generation;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(600 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const std::vector<double> x = {0.5 + rng.Uniform(-0.02, 0.02),
+                                       0.5 + rng.Uniform(-0.02, 0.02)};
+        if (i % 3 == 0) {
+          auto predict = framework.PredictAtPoint("Q1", x);
+          if (!predict.ok()) failures.fetch_add(1);
+        } else {
+          auto report = framework.ExecuteAtPoint("Q1", x);
+          if (!report.ok()) {
+            failures.fetch_add(1);
+          } else if (report.value().executed_plan == kNullPlanId) {
+            // A half-built generation would serve from empty histograms
+            // and could never name an executed plan.
+            violations.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  // Repeatedly force handoffs while the workers run.
+  int installs = 0;
+  for (int round = 0; round < 8; ++round) {
+    if (framework.retune_controller()->ForceRetune("Q1")) {
+      framework.retune_controller()->WaitIdle();
+      ++installs;
+    }
+    std::this_thread::yield();
+  }
+
+  for (auto& w : workers) w.join();
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+  framework.retune_controller()->WaitIdle();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(installs, 0);
+
+  // No lost updates across handoffs: every EXECUTE was counted exactly
+  // once, wherever the generation flip landed relative to it (PREDICTs
+  // are reads, not queries). Each thread executes 2 of every 3 requests.
+  const auto snap = framework.MetricsSnapshot();
+  const uint64_t executes =
+      100 + static_cast<uint64_t>(kThreads) * (kQueriesPerThread * 2 / 3);
+  EXPECT_EQ(CounterValue(snap.registry, "framework.queries"), executes);
+  EXPECT_EQ(CounterValue(snap.registry, "server.retune.refits"),
+            static_cast<uint64_t>(installs));
+  EXPECT_EQ(
+      framework.online_predictor("Q1")->predictor().transform_generation(),
+      static_cast<uint32_t>(installs));
+}
+
+// Chaos variant: failpoints armed at the retune site while serving runs.
+// Stalls hold the handoff window open mid-refit; errors abort refits,
+// which must leave the serving generation untouched and accounted for.
+TEST(GenerationHandoffChaosTest, ChaosRefitFaultsNeverDisturbServing) {
+  failpoints::DisarmAll();
+  PpcFramework::Config cfg = RetuneConfig();
+  cfg.retune.min_reservoir_points = 8;
+  PpcFramework framework(&SmallTpch(), cfg);
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  framework.Seal();
+  Drive(&framework, "Q1", 2, 0.5, 100, 6);
+
+  // Phase one: every other refit stalls 20ms at the site, holding the
+  // handoff window open while the serving threads keep hammering.
+  failpoints::Config fault;
+  fault.kind = failpoints::Kind::kStallMs;
+  fault.arg = 20;
+  fault.every = 2;
+  failpoints::Arm(failpoints::Site::kRetune, fault);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(700 + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::vector<double> x = {0.5 + rng.Uniform(-0.02, 0.02),
+                                       0.5 + rng.Uniform(-0.02, 0.02)};
+        if (!framework.ExecuteAtPoint("Q1", x).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+
+  int forced = 0;
+  for (int round = 0; round < 4; ++round) {
+    if (framework.retune_controller()->ForceRetune("Q1")) ++forced;
+    framework.retune_controller()->WaitIdle();
+  }
+  // Now switch the site to hard errors: refits abort, serving continues,
+  // and the generation must not move.
+  const uint32_t generation_before_errors =
+      framework.online_predictor("Q1")->predictor().transform_generation();
+  fault.kind = failpoints::Kind::kError;
+  fault.every = 1;
+  failpoints::Arm(failpoints::Site::kRetune, fault);
+  int aborted_attempts = 0;
+  for (int round = 0; round < 3; ++round) {
+    if (framework.retune_controller()->ForceRetune("Q1")) ++aborted_attempts;
+    framework.retune_controller()->WaitIdle();
+  }
+
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  failpoints::DisarmAll();
+
+  EXPECT_EQ(failures.load(), 0u);
+  const auto online = framework.online_predictor("Q1");
+  ASSERT_NE(online, nullptr);
+  EXPECT_EQ(online->predictor().transform_generation(),
+            generation_before_errors);
+  const auto snap = framework.MetricsSnapshot();
+  EXPECT_EQ(CounterValue(snap.registry, "server.retune.aborted"),
+            static_cast<uint64_t>(aborted_attempts));
+  EXPECT_EQ(CounterValue(snap.registry, "server.retune.refits"),
+            static_cast<uint64_t>(forced));
+}
+
+TEST(InstallPredictorGenerationTest, RejectsStaleAndUnknownInstalls) {
+  PpcFramework framework(&SmallTpch(), RetuneConfig());
+  ASSERT_TRUE(framework.RegisterTemplate(EvaluationTemplate("Q1")).ok());
+  Drive(&framework, "Q1", 2, 0.5, 60, 7);
+
+  const auto current = framework.online_predictor("Q1");
+  ASSERT_NE(current, nullptr);
+
+  // Same generation (not strictly newer) is rejected.
+  OnlinePpcPredictor::Config same_config = current->config();
+  auto same = std::make_shared<OnlinePpcPredictor>(same_config);
+  const Status not_newer = framework.InstallPredictorGeneration("Q1", same);
+  ASSERT_FALSE(not_newer.ok());
+  EXPECT_EQ(not_newer.code(), StatusCode::kInvalidArgument);
+
+  // Unknown template.
+  OnlinePpcPredictor::Config next_config = current->config();
+  next_config.predictor.transform_generation = 1;
+  EXPECT_EQ(framework
+                .InstallPredictorGeneration(
+                    "nope", std::make_shared<OnlinePpcPredictor>(next_config))
+                .code(),
+            StatusCode::kNotFound);
+
+  // Null predictor.
+  EXPECT_EQ(framework.InstallPredictorGeneration("Q1", nullptr).code(),
+            StatusCode::kInvalidArgument);
+
+  // A genuinely newer generation installs.
+  EXPECT_TRUE(framework
+                  .InstallPredictorGeneration(
+                      "Q1", std::make_shared<OnlinePpcPredictor>(next_config))
+                  .ok());
+  EXPECT_EQ(
+      framework.online_predictor("Q1")->predictor().transform_generation(),
+      1u);
+}
+
+}  // namespace
+}  // namespace ppc

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string_view>
 
 #include "common/bytes.h"
@@ -189,10 +190,13 @@ TEST_F(PredictorSerdeTest, RejectsTrailingGarbage) {
       LshHistogramsPredictor::Restore(original.Serialize() + "x").ok());
 }
 
-constexpr uint32_t kSnapshotMagicV2 = 0x50504353;  // "PPCS"
+constexpr uint32_t kSnapshotMagic = 0x50504353;  // "PPCS"
+constexpr uint32_t kSnapshotVersion = 3;
+// The pre-retuning format: no transform generation, no fitted input
+// ranges. Must be rejected, never silently adopted as generation 0.
 constexpr uint32_t kSnapshotVersionV2 = 2;
 
-// Assembles a format-v2 envelope (magic | version | length-prefixed
+// Assembles a versioned envelope (magic | version | length-prefixed
 // sections | FNV-1a checksum) around the given section payloads.
 std::string SnapshotEnvelope(uint32_t magic, uint32_t version,
                              const std::string& config_section,
@@ -206,12 +210,21 @@ std::string SnapshotEnvelope(uint32_t magic, uint32_t version,
   return writer.Take();
 }
 
-// Hand-builds a syntactically complete zero-plan snapshot with the given
-// configuration fields, for probing Restore's validation (a corrupted or
-// adversarial snapshot must fail with InvalidArgument, never abort).
+struct RangeSpec {
+  uint32_t count = 0;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+// Hand-builds a syntactically complete zero-plan v3 snapshot with the
+// given configuration fields, for probing Restore's validation (a
+// corrupted or adversarial snapshot must fail with InvalidArgument,
+// never abort).
 std::string SnapshotWithConfig(uint32_t dims, uint32_t transform_count,
                                uint32_t output_dims, uint32_t bits_per_dim,
-                               uint64_t buckets, uint64_t max_z) {
+                               uint64_t buckets, uint64_t max_z,
+                               uint32_t generation = 0,
+                               RangeSpec ranges = RangeSpec()) {
   ByteWriter config_section;
   config_section.PutU32(dims);
   config_section.PutU32(transform_count);
@@ -225,18 +238,28 @@ std::string SnapshotWithConfig(uint32_t dims, uint32_t transform_count,
   config_section.PutU64(23);       // seed
   config_section.PutU8(0);         // interval_decomposition
   config_section.PutU64(max_z);
+  config_section.PutU32(generation);
+  config_section.PutU32(ranges.count);
+  for (uint32_t i = 0; i < ranges.count; ++i) {
+    config_section.PutDouble(ranges.lo);
+    config_section.PutDouble(ranges.hi);
+  }
   ByteWriter data_section;
   data_section.PutU64(0);  // total_samples
   data_section.PutU32(0);  // plan_count
-  return SnapshotEnvelope(kSnapshotMagicV2, kSnapshotVersionV2,
+  return SnapshotEnvelope(kSnapshotMagic, kSnapshotVersion,
                           config_section.buffer(), data_section.buffer());
 }
 
 TEST_F(PredictorSerdeTest, RejectsOutOfRangeConfig) {
-  // The well-formed baseline restores fine.
+  // The well-formed baselines restore fine — both the identity-range
+  // generation 0 and a refit generation with fitted ranges.
   EXPECT_TRUE(
       LshHistogramsPredictor::Restore(SnapshotWithConfig(2, 5, 0, 5, 40, 8))
           .ok());
+  EXPECT_TRUE(LshHistogramsPredictor::Restore(
+                  SnapshotWithConfig(2, 5, 0, 5, 40, 8, 3, {2, 0.25, 0.75}))
+                  .ok());
   struct Case {
     const char* what;
     std::string bytes;
@@ -257,6 +280,15 @@ TEST_F(PredictorSerdeTest, RejectsOutOfRangeConfig) {
       {"zero z intervals", SnapshotWithConfig(2, 5, 0, 5, 40, 0)},
       {"huge z intervals",
        SnapshotWithConfig(2, 5, 0, 5, 40, uint64_t{1} << 40)},
+      {"range count mismatches dims",
+       SnapshotWithConfig(2, 5, 0, 5, 40, 8, 1, {1, 0.0, 1.0})},
+      {"inverted input range",
+       SnapshotWithConfig(2, 5, 0, 5, 40, 8, 1, {2, 0.8, 0.2})},
+      {"empty input range",
+       SnapshotWithConfig(2, 5, 0, 5, 40, 8, 1, {2, 0.5, 0.5})},
+      {"non-finite input range",
+       SnapshotWithConfig(2, 5, 0, 5, 40, 8, 1,
+                          {2, 0.0, std::numeric_limits<double>::infinity()})},
   };
   for (const Case& c : cases) {
     auto restored = LshHistogramsPredictor::Restore(c.bytes);
@@ -314,9 +346,37 @@ TEST_F(PredictorSerdeTest, RejectsUnknownFormatVersion) {
   const std::string config_section = reader.GetString().value();
   const std::string data_section = reader.GetString().value();
   auto restored = LshHistogramsPredictor::Restore(SnapshotEnvelope(
-      kSnapshotMagicV2, kSnapshotVersionV2 + 1, config_section, data_section));
+      kSnapshotMagic, kSnapshotVersion + 1, config_section, data_section));
   ASSERT_FALSE(restored.ok());
   EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Regression: a v2 blob (pre-generation format, no transform generation
+// and no input ranges in the config section) must be rejected as an
+// unsupported version — adopting it as "generation 0" would be a guess.
+TEST_F(PredictorSerdeTest, RejectsPreGenerationV2Snapshot) {
+  ByteWriter config_section;
+  config_section.PutU32(2);       // dimensions
+  config_section.PutU32(5);       // transform_count
+  config_section.PutU32(0);       // output_dims
+  config_section.PutU32(5);       // bits_per_dim
+  config_section.PutU64(40);      // histogram_buckets
+  config_section.PutDouble(0.1);  // radius
+  config_section.PutDouble(0.7);  // confidence_threshold
+  config_section.PutDouble(0.0);  // noise_fraction
+  config_section.PutU8(0);        // merge policy
+  config_section.PutU64(23);      // seed
+  config_section.PutU8(0);        // interval_decomposition
+  config_section.PutU64(8);       // max_z_intervals
+  ByteWriter data_section;
+  data_section.PutU64(0);  // total_samples
+  data_section.PutU32(0);  // plan_count
+  auto restored = LshHistogramsPredictor::Restore(
+      SnapshotEnvelope(kSnapshotMagic, kSnapshotVersionV2,
+                       config_section.buffer(), data_section.buffer()));
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(restored.status().message().find("version 2"), std::string::npos);
 }
 
 // Overwrites the trailing checksum with the correct FNV-1a of the bytes
@@ -427,6 +487,71 @@ TEST_F(PredictorSerdeTest, AdoptStateRejectsConfigMismatch) {
   const Status status = target.AdoptState(source);
   ASSERT_FALSE(status.ok());
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+// The exact-config gate must reject a blob from a different transform
+// generation with a dedicated error, even when every other config field
+// matches: a refit draws new random transforms, so histograms from
+// another generation index a different projected space.
+TEST_F(PredictorSerdeTest, AdoptStateRejectsCrossGenerationSnapshot) {
+  Rng rng(37);
+  LshHistogramsPredictor::Config refit = Config();
+  refit.transform_generation = 1;
+  refit.input_lo = {0.2, 0.3};
+  refit.input_hi = {0.7, 0.8};
+  LshHistogramsPredictor source(refit,
+                                SamplePoints(2, 200, HalfSpacePlan, &rng));
+  LshHistogramsPredictor target(Config());  // generation 0
+  const Status status = target.AdoptState(source);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("generation"), std::string::npos);
+  // And the same gate holds through the wire: serialize + restore + adopt.
+  auto restored = LshHistogramsPredictor::Restore(source.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().transform_generation(), 1u);
+  const Status via_wire = target.AdoptState(restored.value());
+  ASSERT_FALSE(via_wire.ok());
+  EXPECT_NE(via_wire.message().find("generation"), std::string::npos);
+}
+
+// Same transform generation but differently fitted input ranges is also
+// a different projected space — the general config gate must catch it.
+TEST_F(PredictorSerdeTest, AdoptStateRejectsInputRangeMismatch) {
+  LshHistogramsPredictor::Config fitted = Config();
+  fitted.transform_generation = 2;
+  fitted.input_lo = {0.1, 0.1};
+  fitted.input_hi = {0.9, 0.9};
+  LshHistogramsPredictor source(fitted);
+  LshHistogramsPredictor::Config other = fitted;
+  other.input_hi = {0.9, 0.95};
+  LshHistogramsPredictor target(other);
+  const Status status = target.AdoptState(source);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+// A fitted-range generation round-trips bit-stably like generation 0.
+TEST_F(PredictorSerdeTest, FittedGenerationRoundTripsBitStably) {
+  Rng rng(41);
+  LshHistogramsPredictor::Config refit = Config();
+  refit.transform_generation = 4;
+  refit.input_lo = {0.05, 0.40};
+  refit.input_hi = {0.35, 0.90};
+  LshHistogramsPredictor original(refit,
+                                  SamplePoints(2, 400, HalfSpacePlan, &rng));
+  const std::string bytes = original.Serialize();
+  auto restored = LshHistogramsPredictor::Restore(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().Serialize(), bytes);
+  Rng probe(43);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> x = {probe.Uniform(), probe.Uniform()};
+    const Prediction a = original.Predict(x);
+    const Prediction b = restored.value().Predict(x);
+    EXPECT_EQ(a.plan, b.plan);
+    EXPECT_EQ(a.confidence, b.confidence);
+  }
 }
 
 TEST_F(PredictorSerdeTest, EmptyPredictorRoundTrips) {
