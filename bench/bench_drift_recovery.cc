@@ -74,97 +74,6 @@ PpcFramework::Config ArmConfig(bool retune) {
   return cfg;
 }
 
-/// Finds the drift box by probing the optimizer: a hypercube
-/// c +- kBoxHalfWidth (on every dimension) that is single-plan
-/// *internally* while the generation-0 query radius around it lands
-/// mostly in *other* plans' territory. Single-plan-inside is the point of
-/// the scenario: a refit that zooms the transform ranges onto the box
-/// resolves it completely, while the generation-0 radius reaches past
-/// the box's plan boundary and drowns it in the neighbors' density.
-/// Falls back to 0.5 if no such box exists (which would make this bench
-/// meaningless — the chosen template is known to have one).
-double FindDriftBoxCenter(const Experiment& exp) {
-  Rng rng(99);
-  const size_t dims = static_cast<size_t>(exp.dims());
-  for (double c = 0.08; c <= 0.93; c += 0.025) {
-    PlanId inner = kNullPlanId;
-    bool pure = true;
-    for (int i = 0; i < 80 && pure; ++i) {
-      std::vector<double> x(dims);
-      for (double& v : x) v = c + rng.Uniform(-kBoxHalfWidth, kBoxHalfWidth);
-      const PlanId plan = exp.Label(x).plan;
-      if (inner == kNullPlanId) inner = plan;
-      pure = plan == inner;
-    }
-    if (!pure) continue;
-    int ring_total = 0, ring_other = 0;
-    for (int i = 0; i < 150; ++i) {
-      std::vector<double> x(dims);
-      bool outside = false;
-      for (double& v : x) {
-        const double d = rng.Uniform(-0.25, 0.25);
-        if (std::abs(d) >= kBoxHalfWidth + 0.01) outside = true;
-        v = Clamp(c + d, 0.01, 0.99);
-      }
-      if (!outside) {
-        --i;
-        continue;
-      }
-      ++ring_total;
-      if (exp.Label(x).plan != inner) ++ring_other;
-    }
-    if (static_cast<double>(ring_other) >
-        0.55 * static_cast<double>(ring_total)) {
-      return c;
-    }
-  }
-  return 0.5;
-}
-
-/// Finds the pre-drift "home" hypercube: single-plan internally AND deep
-/// inside its plan's territory (the generation-0 query radius around it
-/// stays mostly same-plan), so the fixed predictor settles at a high
-/// steady hit rate there — the baseline the recovery metric is measured
-/// against. Must also sit well away from the drift box.
-double FindHomeCenter(const Experiment& exp, double box_center) {
-  Rng rng(77);
-  const size_t dims = static_cast<size_t>(exp.dims());
-  for (double c = 0.08; c <= 0.93; c += 0.025) {
-    if (std::abs(c - box_center) < 0.3) continue;
-    PlanId inner = kNullPlanId;
-    bool pure = true;
-    for (int i = 0; i < 80 && pure; ++i) {
-      std::vector<double> x(dims);
-      for (double& v : x) v = c + rng.Uniform(-kBoxHalfWidth, kBoxHalfWidth);
-      const PlanId plan = exp.Label(x).plan;
-      if (inner == kNullPlanId) inner = plan;
-      pure = plan == inner;
-    }
-    if (!pure) continue;
-    int ring_total = 0, ring_other = 0;
-    for (int i = 0; i < 150; ++i) {
-      std::vector<double> x(dims);
-      bool outside = false;
-      for (double& v : x) {
-        const double d = rng.Uniform(-0.25, 0.25);
-        if (std::abs(d) >= kBoxHalfWidth + 0.01) outside = true;
-        v = Clamp(c + d, 0.01, 0.99);
-      }
-      if (!outside) {
-        --i;
-        continue;
-      }
-      ++ring_total;
-      if (exp.Label(x).plan != inner) ++ring_other;
-    }
-    if (static_cast<double>(ring_other) <
-        0.3 * static_cast<double>(ring_total)) {
-      return c;
-    }
-  }
-  return Clamp(box_center + 0.35, 0.05, 0.95);
-}
-
 struct WindowPoint {
   double hit_rate = 0.0;
   uint32_t generation = 0;
@@ -183,14 +92,6 @@ struct ArmOutcome {
   uint64_t probe_count = 0;
   uint64_t probe_failures = 0;
 };
-
-uint64_t CounterValue(const MetricsRegistry::Snapshot& snap,
-                      const std::string& name) {
-  for (const auto& [n, v] : snap.counters) {
-    if (n == name) return v;
-  }
-  return 0;
-}
 
 ArmOutcome RunArm(const std::string& tmpl_name, double home_center,
                   double box_center, bool retune) {
@@ -324,8 +225,8 @@ std::string ArmJson(const ArmOutcome& arm) {
 void Run() {
   PrintHeader("Adaptive retuning: adversarial-drift recovery (Q5)");
   Experiment probe("Q5");
-  const double box_center = FindDriftBoxCenter(probe);
-  const double home_center = FindHomeCenter(probe, box_center);
+  const double box_center = FindDriftBoxCenter(probe, kBoxHalfWidth);
+  const double home_center = FindHomeCenter(probe, box_center, kBoxHalfWidth);
   std::printf("drift box: center %.3f, half-width %.2f (single-plan "
               "inside; the generation-0 radius around it is majority "
               "other-plan territory); home cluster at %.3f\n",

@@ -34,6 +34,7 @@
 #include "server/client.h"
 #include "server/failpoints.h"
 #include "server/server.h"
+#include "workload/scenarios.h"
 
 namespace ppc {
 namespace bench {
@@ -223,23 +224,37 @@ PhaseStats RunClosedLoop(uint16_t port, const std::vector<Query>& workload) {
                            .count());
 }
 
-PhaseStats RunOpenLoop(uint16_t port, const std::vector<Query>& workload,
-                       double target_qps) {
+/// Open loop driven by the workload zoo's zipf_tenants scenario
+/// (docs/WORKLOADS.md): each client paces its pipelined sends by the
+/// scenario's own Poisson arrival clock (at target_qps split evenly
+/// across clients) instead of a fixed metronome, and draws
+/// (template, point) from the Zipf-skewed tenant distribution instead
+/// of round-robin — so the open-loop numbers cover skewed per-template
+/// popularity, not just the uniform happy path.
+PhaseStats RunOpenLoop(uint16_t port, double target_qps) {
   std::vector<ClientStats> stats(kClientThreads);
   std::vector<std::thread> clients;
-  const double per_client_interval_s =
-      static_cast<double>(kClientThreads) / target_qps;
+  const double per_client_rate =
+      target_qps / static_cast<double>(kClientThreads);
   const auto start = Clock::now();
   for (int t = 0; t < kClientThreads; ++t) {
-    clients.emplace_back([port, t, &workload, &stats,
-                          per_client_interval_s] {
+    clients.emplace_back([port, t, &stats, per_client_rate] {
       ClientStats& mine = stats[static_cast<size_t>(t)];
       PpcClient client;
       if (!client.Connect("127.0.0.1", port).ok()) {
         mine.failures += kOpenPerClient;
         return;
       }
-      Rng rng(2000 + static_cast<uint64_t>(t));
+      ScenarioConfig scenario_config;
+      for (const char* name : kTemplates) {
+        scenario_config.templates.push_back(
+            {name, EvaluationTemplate(name).ParameterDegree()});
+      }
+      scenario_config.seed = 2000 + static_cast<uint64_t>(t);
+      scenario_config.events_per_second = per_client_rate;
+      auto scenario = MakeScenario("zipf_tenants", scenario_config);
+      PPC_CHECK_MSG(scenario.ok(), scenario.status().ToString().c_str());
+      Rng rng(2600 + static_cast<uint64_t>(t));
       struct InFlight {
         uint64_t id;
         RequestKind kind;
@@ -260,26 +275,26 @@ PhaseStats RunOpenLoop(uint16_t port, const std::vector<Query>& workload,
           mine.latencies_us[flight.kind].push_back(MicrosSince(flight.sent));
         }
       };
-      const auto interval = std::chrono::duration_cast<Clock::duration>(
-          std::chrono::duration<double>(per_client_interval_s));
-      auto next_send = Clock::now();
+      const auto pace_start = Clock::now();
       for (size_t i = 0; i < kOpenPerClient; ++i) {
-        std::this_thread::sleep_until(next_send);
-        next_send += interval;
+        const ScenarioEvent event = scenario.value()->Next();
+        std::this_thread::sleep_until(
+            pace_start +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(event.arrival_seconds)));
         while (outstanding.size() >= kOpenLoopWindow) {
           collect(outstanding.front());
           outstanding.pop_front();
         }
-        const Query& q =
-            workload[(static_cast<size_t>(t) * kOpenPerClient + i) %
-                     workload.size()];
+        const std::string& tmpl =
+            scenario.value()->config().templates[event.template_index].name;
         const RequestKind kind = PickKind(&rng);
         const Result<uint64_t> id = [&]() -> Result<uint64_t> {
           switch (kind) {
             case kKindPredict:
-              return client.SendPredict(q.tmpl, q.point);
+              return client.SendPredict(tmpl, event.point);
             case kKindExecute:
-              return client.SendExecute(q.tmpl, q.point);
+              return client.SendExecute(tmpl, event.point);
             case kKindPing:
               return client.SendPing();
           }
@@ -597,9 +612,10 @@ void Run() {
   PrintPhase("closed loop", closed);
 
   const double target_qps = kOpenLoopFraction * closed.qps();
-  std::printf("open loop target: %.0f qps (%.0f%% of closed loop)\n",
+  std::printf("open loop target: %.0f qps (%.0f%% of closed loop), "
+              "zipf_tenants scenario arrivals\n",
               target_qps, 100.0 * kOpenLoopFraction);
-  const PhaseStats open = RunOpenLoop(server.port(), workload, target_qps);
+  const PhaseStats open = RunOpenLoop(server.port(), target_qps);
   PrintPhase("open loop", open);
 
   PPC_CHECK(closed.failures == 0);
@@ -711,6 +727,11 @@ void Run() {
   body += ",\n  \"server_workers\": " + std::to_string(kServerWorkers);
   body += ",\n  \"client_threads\": " + std::to_string(kClientThreads);
   body += ",\n  \"open_loop_target_qps\": " + JsonNumber(target_qps);
+  const ScenarioConfig::ZipfTenantsOptions zipf_defaults;
+  body += ",\n  \"open_loop_scenario\": {\"name\": \"zipf_tenants\", "
+          "\"seed_base\": 2000, \"tenant_count\": " +
+          std::to_string(zipf_defaults.tenant_count) +
+          ", \"exponent\": " + JsonNumber(zipf_defaults.exponent) + "}";
   body += ",\n  \"closed_loop\": " + PhaseJson(closed);
   body += ",\n  \"open_loop\": " + PhaseJson(open);
   body += ",\n  \"batch_comparison\": {\"batch_size\": " +

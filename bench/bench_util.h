@@ -1,6 +1,7 @@
 #ifndef PPC_BENCH_BENCH_UTIL_H_
 #define PPC_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "clustering/predictor.h"
+#include "common/math_utils.h"
 #include "ppc/metrics_registry.h"
 #include "ppc/online_predictor.h"
 #include "common/rng.h"
@@ -217,6 +219,100 @@ inline OnlineOutcome RunOnlineWorkload(
                            [&exp](size_t) -> const Experiment& {
                              return exp;
                            });
+}
+
+/// Looks up one counter in a registry snapshot (0 when absent — counters
+/// materialize lazily, so an instrument a phase never touched is simply
+/// missing from the snapshot).
+inline uint64_t CounterValue(const MetricsRegistry::Snapshot& snap,
+                             const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+/// Probes the hypercube `center` ± `half_width` (every dimension) with
+/// `rng`: 80 interior samples establish whether the box is single-plan
+/// internally, then 150 ring samples (offsets up to ±0.25, at least one
+/// coordinate outside the box) measure what fraction of the surrounding
+/// territory belongs to *other* plans. Shared by the drift benches: a
+/// drift box wants a majority-other ring (the generation-0 query radius
+/// drowns it), a home box wants a mostly-same ring (the predictor
+/// settles there).
+struct BoxProbe {
+  bool pure = false;
+  double ring_other_fraction = 0.0;
+};
+
+inline BoxProbe ProbeBox(const Experiment& exp, double center,
+                         double half_width, Rng* rng) {
+  const size_t dims = static_cast<size_t>(exp.dims());
+  BoxProbe probe;
+  PlanId inner = kNullPlanId;
+  probe.pure = true;
+  for (int i = 0; i < 80 && probe.pure; ++i) {
+    std::vector<double> x(dims);
+    for (double& v : x) v = center + rng->Uniform(-half_width, half_width);
+    const PlanId plan = exp.Label(x).plan;
+    if (inner == kNullPlanId) inner = plan;
+    probe.pure = plan == inner;
+  }
+  if (!probe.pure) return probe;
+  int ring_total = 0, ring_other = 0;
+  for (int i = 0; i < 150; ++i) {
+    std::vector<double> x(dims);
+    bool outside = false;
+    for (double& v : x) {
+      const double d = rng->Uniform(-0.25, 0.25);
+      if (std::abs(d) >= half_width + 0.01) outside = true;
+      v = Clamp(center + d, 0.01, 0.99);
+    }
+    if (!outside) {
+      --i;
+      continue;
+    }
+    ++ring_total;
+    if (exp.Label(x).plan != inner) ++ring_other;
+  }
+  probe.ring_other_fraction = ring_total == 0
+                                  ? 0.0
+                                  : static_cast<double>(ring_other) /
+                                        static_cast<double>(ring_total);
+  return probe;
+}
+
+/// Finds a drift box by probing the optimizer: a hypercube
+/// c ± half_width that is single-plan *internally* while the
+/// generation-0 query radius around it lands mostly in *other* plans'
+/// territory. Single-plan-inside is the point of the scenario: a refit
+/// that zooms the transform ranges onto the box resolves it completely,
+/// while the generation-0 radius reaches past the box's plan boundary
+/// and drowns it in the neighbors' density. Falls back to 0.5 if no
+/// such box exists (the drift benches use templates known to have one).
+inline double FindDriftBoxCenter(const Experiment& exp, double half_width) {
+  Rng rng(99);
+  for (double c = 0.08; c <= 0.93; c += 0.025) {
+    const BoxProbe probe = ProbeBox(exp, c, half_width, &rng);
+    if (probe.pure && probe.ring_other_fraction > 0.55) return c;
+  }
+  return 0.5;
+}
+
+/// Finds a pre-drift "home" hypercube: single-plan internally AND deep
+/// inside its plan's territory (the generation-0 query radius around it
+/// stays mostly same-plan), so the fixed predictor settles at a high
+/// steady hit rate there — the baseline drift recovery is measured
+/// against. Must also sit well away from the drift box.
+inline double FindHomeCenter(const Experiment& exp, double box_center,
+                             double half_width) {
+  Rng rng(77);
+  for (double c = 0.08; c <= 0.93; c += 0.025) {
+    if (std::abs(c - box_center) < 0.3) continue;
+    const BoxProbe probe = ProbeBox(exp, c, half_width, &rng);
+    if (probe.pure && probe.ring_other_fraction < 0.3) return c;
+  }
+  return Clamp(box_center + 0.35, 0.05, 0.95);
 }
 
 /// Prints a header in the format the harnesses share.

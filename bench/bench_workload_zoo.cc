@@ -1,0 +1,595 @@
+// The workload zoo (docs/WORKLOADS.md): every named scenario of
+// src/workload/scenarios.h driven end to end against a live PlanServer
+// over TCP, so the perf trajectory covers more than the happy path.
+//
+// Per scenario: a fresh framework + server pair, a determinism check
+// (two generators from the same config must emit byte-identical
+// streams), a warm-up prefix executed in-process, then the measured
+// event stream over the wire. Each scenario is aimed at the subsystem
+// it was designed to stress, and the bench asserts the stress landed:
+//
+//   * zipf_tenants / correlated_predicates — closed-loop 3:1
+//     PREDICT/EXECUTE mix; reported per-template precision/recall show
+//     popularity skew and non-axis-aligned structure in the numbers.
+//   * diurnal_flash — open-loop, paced by the scenario's arrival
+//     clock, against a deliberately small server (one slowed worker,
+//     tiny queue) so the flash crowds drive the EWMA shed ladder
+//     through its rungs; asserts `server.shed.*` transitions happened.
+//   * adversarial_drift — closed-loop EXECUTE-only against a
+//     retune-enabled framework, with the drift box probed from the
+//     optimizer exactly as in bench_drift_recovery; asserts the
+//     concentration jump produced at least one retune refit.
+//
+// Prints a table and writes BENCH_workload_zoo.json (schema in
+// EXPERIMENTS.md); scripts/check.sh runs it and validates the file.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "ppc/ppc_framework.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/scenarios.h"
+
+namespace ppc {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* const kZooTemplates[] = {"Q1", "Q3", "Q5", "Q8"};
+
+// Closed-loop scenarios: warm-up in-process, then the measured stream.
+constexpr size_t kClosedWarmup = 800;
+constexpr size_t kClosedMeasured = 3000;
+
+// diurnal_flash sizing: the base rate must undershoot the slowed
+// single worker (~1s/kWorkerDelay ≈ 6.6k requests/s) while the flash
+// rate overshoots it several times over, so the queue EWMA actually
+// climbs the ladder. Events land mostly inside flash windows.
+constexpr size_t kDiurnalWarmup = 600;
+constexpr size_t kDiurnalMeasured = 4000;
+constexpr double kDiurnalBaseRate = 800.0;
+constexpr size_t kDiurnalQueueCapacity = 8;
+constexpr auto kWorkerDelay = std::chrono::microseconds(150);
+constexpr size_t kOpenWindow = 256;  // max outstanding pipelined ids
+
+// adversarial_drift phase sizes, mirroring bench_drift_recovery: the
+// retune cooldown spans the warm-up phases so the first refit the
+// controller can schedule is a genuine post-drift one.
+constexpr size_t kDriftUniform = 600;
+constexpr size_t kDriftHome = 800;
+constexpr size_t kDriftBox = 1600;
+constexpr double kDriftBoxHalfWidth = 0.05;
+
+PpcFramework::Config ZooServingConfig() {
+  PpcFramework::Config cfg;
+  cfg.online.predictor.transform_count = 5;
+  cfg.online.predictor.histogram_buckets = 40;
+  cfg.online.predictor.radius = 0.05;
+  cfg.online.predictor.confidence_threshold = 0.8;
+  cfg.online.predictor.noise_fraction = 0.002;
+  cfg.online.estimator_window = 100;
+  cfg.plan_cache_capacity = 64;
+  return cfg;
+}
+
+/// The retune-enabled arm of bench_drift_recovery, reused verbatim so
+/// the zoo's drift scenario measures the same machinery.
+PpcFramework::Config DriftServingConfig() {
+  PpcFramework::Config cfg;
+  cfg.online.predictor.transform_count = 5;
+  cfg.online.predictor.histogram_buckets = 40;
+  cfg.online.predictor.radius = 0.2;
+  cfg.online.predictor.confidence_threshold = 0.8;
+  cfg.online.predictor.noise_fraction = 0.0005;
+  cfg.online.negative_feedback = true;
+  cfg.online.cost_error_bound = 0.25;
+  cfg.online.estimator_window = 100;
+  cfg.plan_cache_capacity = 64;
+  cfg.retune.enabled = true;
+  cfg.retune.precision_trigger = 0.75;
+  cfg.retune.recall_trigger = 0.6;
+  cfg.retune.reservoir_capacity = 128;
+  cfg.retune.min_reservoir_points = 64;
+  cfg.retune.cooldown_observations = kDriftUniform + kDriftHome - 100;
+  cfg.retune.range_fit_quantile = 0.15;
+  return cfg;
+}
+
+ScenarioConfig BaseScenarioConfig(uint64_t seed) {
+  ScenarioConfig cfg;
+  for (const char* name : kZooTemplates) {
+    cfg.templates.push_back(
+        {name, EvaluationTemplate(name).ParameterDegree()});
+  }
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Bit-exact stream equality — the determinism contract the zoo (and
+/// the check.sh smoke) advertises.
+bool SameEvent(const ScenarioEvent& a, const ScenarioEvent& b) {
+  if (a.template_index != b.template_index) return false;
+  if (std::memcmp(&a.arrival_seconds, &b.arrival_seconds,
+                  sizeof(double)) != 0) {
+    return false;
+  }
+  if (a.point.size() != b.point.size()) return false;
+  return a.point.empty() ||
+         std::memcmp(a.point.data(), b.point.data(),
+                     a.point.size() * sizeof(double)) == 0;
+}
+
+bool StreamsIdentical(const std::string& name, const ScenarioConfig& config,
+                      size_t count) {
+  auto a = MakeScenario(name, config);
+  auto b = MakeScenario(name, config);
+  PPC_CHECK_MSG(a.ok() && b.ok(), "scenario construction failed");
+  const std::vector<ScenarioEvent> ea = GenerateEvents(a.value().get(), count);
+  const std::vector<ScenarioEvent> eb = GenerateEvents(b.value().get(), count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!SameEvent(ea[i], eb[i])) return false;
+  }
+  return true;
+}
+
+struct ScenarioOutcome {
+  std::string scenario;
+  uint64_t seed = 0;
+  const char* driver = "";
+  size_t warmup_events = 0;
+  size_t measured_events = 0;
+  bool deterministic = false;
+  double seconds = 0.0;
+  size_t predicts = 0;
+  size_t executes = 0;
+  size_t busy = 0;
+  size_t failures = 0;
+  /// EXECUTEs whose served prediction stuck (used_prediction and no
+  /// negative-feedback overturn), over all measured EXECUTEs.
+  size_t hits = 0;
+  PpcFramework::FrameworkMetrics snapshot;
+
+  double qps() const {
+    const double total = static_cast<double>(predicts + executes);
+    return seconds > 0.0 ? total / seconds : 0.0;
+  }
+  double hit_rate() const {
+    return executes == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(executes);
+  }
+};
+
+/// Warm-up: the prefix executes in-process (no wire), seeding the
+/// predictors and the plan cache before measurement starts.
+void WarmUp(PpcFramework* framework, const ScenarioConfig& config,
+            const std::vector<ScenarioEvent>& events, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    const ScenarioEvent& e = events[i];
+    auto report = framework->ExecuteAtPoint(
+        config.templates[e.template_index].name, e.point);
+    PPC_CHECK_MSG(report.ok(), report.status().ToString().c_str());
+  }
+}
+
+/// Closed loop over TCP: one synchronous request per event. Every 4th
+/// event EXECUTEs (carrying feedback), the rest PREDICT —
+/// `execute_all` turns the mix into pure EXECUTE (adversarial_drift
+/// needs every event to feed the drift window).
+void DriveClosedLoop(uint16_t port, const ScenarioConfig& config,
+                     const std::vector<ScenarioEvent>& events, size_t begin,
+                     bool execute_all, ScenarioOutcome* out) {
+  PpcClient client;
+  const Status connected = client.Connect("127.0.0.1", port);
+  PPC_CHECK_MSG(connected.ok(), connected.ToString().c_str());
+  const auto start = Clock::now();
+  for (size_t i = begin; i < events.size(); ++i) {
+    const ScenarioEvent& e = events[i];
+    const std::string& tmpl = config.templates[e.template_index].name;
+    if (execute_all || (i - begin) % 4 == 0) {
+      auto result = client.Execute(tmpl, e.point);
+      if (!result.ok()) {
+        if (result.status().code() == StatusCode::kResourceExhausted) {
+          ++out->busy;
+        } else {
+          ++out->failures;
+        }
+        continue;
+      }
+      ++out->executes;
+      if (result.value().used_prediction &&
+          !result.value().negative_feedback_triggered) {
+        ++out->hits;
+      }
+    } else {
+      auto result = client.Predict(tmpl, e.point);
+      if (!result.ok()) {
+        if (result.status().code() == StatusCode::kResourceExhausted) {
+          ++out->busy;
+        } else {
+          ++out->failures;
+        }
+        continue;
+      }
+      ++out->predicts;
+    }
+  }
+  out->seconds = std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Open loop over TCP, paced by the scenario's own arrival clock with
+/// the pipelined client API (sends never wait for responses, so a
+/// flash crowd's arrival rate actually reaches the server). BUSY
+/// answers are counted, not retried — they are the ladder's last rung
+/// doing its job.
+void DriveOpenLoop(uint16_t port, const ScenarioConfig& config,
+                   const std::vector<ScenarioEvent>& events, size_t begin,
+                   ScenarioOutcome* out) {
+  PpcClient client;
+  const Status connected = client.Connect("127.0.0.1", port);
+  PPC_CHECK_MSG(connected.ok(), connected.ToString().c_str());
+
+  struct InFlight {
+    uint64_t id;
+    bool is_execute;
+  };
+  std::deque<InFlight> outstanding;
+  auto collect = [out, &client](const InFlight& flight) {
+    auto response = client.Wait(flight.id);
+    if (!response.ok()) {
+      ++out->failures;
+    } else if (response.value().status == wire::WireStatus::kBusy) {
+      ++out->busy;
+    } else if (!response.value().ok()) {
+      ++out->failures;
+    } else if (flight.is_execute) {
+      ++out->executes;
+      if (response.value().execute.used_prediction &&
+          !response.value().execute.negative_feedback_triggered) {
+        ++out->hits;
+      }
+    } else {
+      ++out->predicts;
+    }
+  };
+
+  const double time_base = events[begin].arrival_seconds;
+  const auto start = Clock::now();
+  for (size_t i = begin; i < events.size(); ++i) {
+    const ScenarioEvent& e = events[i];
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(e.arrival_seconds -
+                                                  time_base)));
+    while (outstanding.size() >= kOpenWindow) {
+      collect(outstanding.front());
+      outstanding.pop_front();
+    }
+    const std::string& tmpl = config.templates[e.template_index].name;
+    const bool is_execute = (i - begin) % 2 == 0;
+    const Result<uint64_t> id = is_execute
+                                    ? client.SendExecute(tmpl, e.point)
+                                    : client.SendPredict(tmpl, e.point);
+    if (!id.ok()) {
+      ++out->failures;
+      continue;
+    }
+    outstanding.push_back({id.value(), is_execute});
+  }
+  while (!outstanding.empty()) {
+    collect(outstanding.front());
+    outstanding.pop_front();
+  }
+  out->seconds = std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Stops the server through the wire (orderly remote shutdown), then
+/// snapshots the framework the server was fronting.
+void FinishScenario(PpcFramework* framework, PlanServer* server,
+                    ScenarioOutcome* out) {
+  {
+    PpcClient client;
+    const Status s = client.Connect("127.0.0.1", server->port());
+    PPC_CHECK_MSG(s.ok(), s.ToString().c_str());
+    const Status down = client.Shutdown();
+    PPC_CHECK_MSG(down.ok(), down.ToString().c_str());
+  }
+  server->Wait();
+  if (framework->retune_controller() != nullptr) {
+    framework->retune_controller()->WaitIdle();
+  }
+  out->snapshot = framework->MetricsSnapshot();
+}
+
+ScenarioOutcome RunClosedScenario(const std::string& name, uint64_t seed) {
+  ScenarioOutcome out;
+  out.scenario = name;
+  out.seed = seed;
+  out.driver = "closed_loop_mixed";
+  out.warmup_events = kClosedWarmup;
+  out.measured_events = kClosedMeasured;
+
+  const ScenarioConfig config = BaseScenarioConfig(seed);
+  out.deterministic =
+      StreamsIdentical(name, config, kClosedWarmup + kClosedMeasured);
+  auto generator = MakeScenario(name, config);
+  PPC_CHECK_MSG(generator.ok(), generator.status().ToString().c_str());
+  const std::vector<ScenarioEvent> events =
+      GenerateEvents(generator.value().get(), kClosedWarmup + kClosedMeasured);
+
+  PpcFramework framework(&BenchCatalog(), ZooServingConfig());
+  for (const char* tmpl : kZooTemplates) {
+    const Status s = framework.RegisterTemplate(EvaluationTemplate(tmpl));
+    PPC_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  framework.Seal();
+  WarmUp(&framework, config, events, kClosedWarmup);
+
+  PlanServer::Config server_config;
+  server_config.worker_threads = 2;
+  PlanServer server(&framework, server_config);
+  const Status started = server.Start();
+  PPC_CHECK_MSG(started.ok(), started.ToString().c_str());
+
+  DriveClosedLoop(server.port(), config, events, kClosedWarmup,
+                  /*execute_all=*/false, &out);
+  FinishScenario(&framework, &server, &out);
+  return out;
+}
+
+ScenarioOutcome RunDiurnalScenario(uint64_t seed) {
+  ScenarioOutcome out;
+  out.scenario = "diurnal_flash";
+  out.seed = seed;
+  out.driver = "open_loop_paced";
+  out.warmup_events = kDiurnalWarmup;
+  out.measured_events = kDiurnalMeasured;
+
+  ScenarioConfig config = BaseScenarioConfig(seed);
+  config.events_per_second = kDiurnalBaseRate;
+  config.diurnal_flash.period_seconds = 2.0;
+  config.diurnal_flash.amplitude = 0.6;
+  config.diurnal_flash.first_flash_at_seconds = 0.4;
+  config.diurnal_flash.flash_every_seconds = 1.2;
+  config.diurnal_flash.flash_duration_seconds = 0.3;
+  config.diurnal_flash.flash_multiplier = 20.0;
+  out.deterministic = StreamsIdentical("diurnal_flash", config,
+                                       kDiurnalWarmup + kDiurnalMeasured);
+  auto generator = MakeScenario("diurnal_flash", config);
+  PPC_CHECK_MSG(generator.ok(), generator.status().ToString().c_str());
+  const std::vector<ScenarioEvent> events = GenerateEvents(
+      generator.value().get(), kDiurnalWarmup + kDiurnalMeasured);
+
+  PpcFramework framework(&BenchCatalog(), ZooServingConfig());
+  for (const char* tmpl : kZooTemplates) {
+    const Status s = framework.RegisterTemplate(EvaluationTemplate(tmpl));
+    PPC_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+  framework.Seal();
+  WarmUp(&framework, config, events, kDiurnalWarmup);
+
+  // A deliberately small server: one worker slowed by the dispatch
+  // hook (so saturation is machine-independent) behind a tiny queue.
+  // The flash crowds overrun it; the base-rate valleys do not.
+  PlanServer::Config server_config;
+  server_config.worker_threads = 1;
+  server_config.queue_capacity = kDiurnalQueueCapacity;
+  server_config.pre_dispatch_hook = [](wire::MessageType) {
+    std::this_thread::sleep_for(kWorkerDelay);
+  };
+  PlanServer server(&framework, server_config);
+  const Status started = server.Start();
+  PPC_CHECK_MSG(started.ok(), started.ToString().c_str());
+
+  DriveOpenLoop(server.port(), config, events, kDiurnalWarmup, &out);
+  FinishScenario(&framework, &server, &out);
+  return out;
+}
+
+ScenarioOutcome RunDriftScenario(uint64_t seed) {
+  ScenarioOutcome out;
+  out.scenario = "adversarial_drift";
+  out.seed = seed;
+  out.driver = "closed_loop_execute";
+  out.warmup_events = 0;
+  out.measured_events = kDriftUniform + kDriftHome + kDriftBox;
+
+  // The drift box and home cluster are probed from the optimizer (the
+  // same probes bench_drift_recovery uses), then injected as the
+  // scenario's phase schedule: uniform background, home cluster, jump.
+  Experiment probe("Q5");
+  const double box_center = FindDriftBoxCenter(probe, kDriftBoxHalfWidth);
+  const double home_center =
+      FindHomeCenter(probe, box_center, kDriftBoxHalfWidth);
+
+  ScenarioConfig config;
+  config.templates.push_back(
+      {"Q5", EvaluationTemplate("Q5").ParameterDegree()});
+  config.seed = seed;
+  config.adversarial_drift.phases = {
+      {kDriftUniform, 0.5, 0.48},
+      {kDriftHome, home_center, kDriftBoxHalfWidth},
+      {kDriftBox, box_center, kDriftBoxHalfWidth},
+  };
+  out.deterministic =
+      StreamsIdentical("adversarial_drift", config, out.measured_events);
+  auto generator = MakeScenario("adversarial_drift", config);
+  PPC_CHECK_MSG(generator.ok(), generator.status().ToString().c_str());
+  const std::vector<ScenarioEvent> events =
+      GenerateEvents(generator.value().get(), out.measured_events);
+
+  PpcFramework framework(&BenchCatalog(), DriftServingConfig());
+  const Status registered =
+      framework.RegisterTemplate(EvaluationTemplate("Q5"));
+  PPC_CHECK_MSG(registered.ok(), registered.ToString().c_str());
+  framework.Seal();
+
+  PlanServer::Config server_config;
+  server_config.worker_threads = 2;
+  PlanServer server(&framework, server_config);
+  const Status started = server.Start();
+  PPC_CHECK_MSG(started.ok(), started.ToString().c_str());
+
+  DriveClosedLoop(server.port(), config, events, 0, /*execute_all=*/true,
+                  &out);
+  FinishScenario(&framework, &server, &out);
+  return out;
+}
+
+std::string ShedJson(const MetricsRegistry::Snapshot& snap) {
+  std::string out = "{\"enter_no_microbatch\": " +
+                    std::to_string(CounterValue(
+                        snap, "server.shed.enter_no_microbatch"));
+  out += ", \"enter_abstain\": " +
+         std::to_string(CounterValue(snap, "server.shed.enter_abstain"));
+  out += ", \"recovered\": " +
+         std::to_string(CounterValue(snap, "server.shed.recovered"));
+  out += ", \"abstained_predicts\": " +
+         std::to_string(CounterValue(snap, "server.shed.abstained_predicts"));
+  out += ", \"responses_busy\": " +
+         std::to_string(CounterValue(snap, "server.responses.busy"));
+  out += "}";
+  return out;
+}
+
+std::string RetuneJson(const MetricsRegistry::Snapshot& snap) {
+  std::string out = "{\"triggers\": " +
+                    std::to_string(CounterValue(snap, "server.retune.triggers"));
+  out += ", \"refits\": " +
+         std::to_string(CounterValue(snap, "server.retune.refits"));
+  out += ", \"skipped\": " +
+         std::to_string(CounterValue(snap, "server.retune.skipped"));
+  out += ", \"aborted\": " +
+         std::to_string(CounterValue(snap, "server.retune.aborted"));
+  out += ", \"points_backfilled\": " +
+         std::to_string(
+             CounterValue(snap, "server.retune.points_backfilled"));
+  out += ", \"generations\": " +
+         std::to_string(CounterValue(snap, "server.retune.generations"));
+  out += "}";
+  return out;
+}
+
+std::string OutcomeJson(const ScenarioOutcome& out) {
+  std::string json = "{\"scenario\": \"" + out.scenario + "\"";
+  json += ", \"seed\": " + std::to_string(out.seed);
+  json += ", \"driver\": \"" + std::string(out.driver) + "\"";
+  json += ", \"deterministic\": ";
+  json += out.deterministic ? "true" : "false";
+  json += ", \"warmup_events\": " + std::to_string(out.warmup_events);
+  json += ", \"measured_events\": " + std::to_string(out.measured_events);
+  json += ", \"seconds\": " + JsonNumber(out.seconds);
+  json += ", \"qps\": " + JsonNumber(out.qps());
+  json += ", \"predicts\": " + std::to_string(out.predicts);
+  json += ", \"executes\": " + std::to_string(out.executes);
+  json += ", \"busy\": " + std::to_string(out.busy);
+  json += ", \"failures\": " + std::to_string(out.failures);
+  json += ", \"hit_rate\": " + JsonNumber(out.hit_rate());
+  json += ", \"templates\": [";
+  for (size_t i = 0; i < out.snapshot.templates.size(); ++i) {
+    const auto& tmpl = out.snapshot.templates[i];
+    if (i > 0) json += ", ";
+    json += "{\"name\": \"" + tmpl.name + "\"";
+    json += ", \"precision\": " + JsonNumber(tmpl.stats.precision);
+    json += ", \"recall\": " + JsonNumber(tmpl.stats.recall);
+    json += ", \"resets\": " + std::to_string(tmpl.stats.resets);
+    json += ", \"generation\": " + std::to_string(tmpl.generation);
+    json += "}";
+  }
+  json += "]";
+  json += ", \"shed\": " + ShedJson(out.snapshot.registry);
+  json += ", \"retune\": " + RetuneJson(out.snapshot.registry);
+  json += "}";
+  return json;
+}
+
+void PrintOutcome(const ScenarioOutcome& out) {
+  std::printf("%-22s %8.2fs %9.0f qps  %6zu pred %6zu exec %5zu busy "
+              "%3zu fail  hit %.3f  det %s\n",
+              out.scenario.c_str(), out.seconds, out.qps(), out.predicts,
+              out.executes, out.busy, out.failures, out.hit_rate(),
+              out.deterministic ? "yes" : "no");
+}
+
+void Run() {
+  PrintHeader("Workload zoo: named scenarios against a live PlanServer");
+  std::printf("scenarios: ");
+  for (const std::string& name : ScenarioNames()) {
+    std::printf("%s ", name.c_str());
+  }
+  std::printf("\n");
+  PrintRule();
+
+  std::vector<ScenarioOutcome> outcomes;
+  outcomes.push_back(RunClosedScenario("zipf_tenants", 0xa11ce));
+  PrintOutcome(outcomes.back());
+  outcomes.push_back(RunDiurnalScenario(0xb0b));
+  PrintOutcome(outcomes.back());
+  outcomes.push_back(RunClosedScenario("correlated_predicates", 0xcafe));
+  PrintOutcome(outcomes.back());
+  outcomes.push_back(RunDriftScenario(0x10));
+  PrintOutcome(outcomes.back());
+  PrintRule();
+
+  for (const ScenarioOutcome& out : outcomes) {
+    PPC_CHECK_MSG(out.deterministic, "scenario stream not deterministic");
+    PPC_CHECK_MSG(out.failures == 0, "scenario had request failures");
+  }
+  // The stress assertions of the zoo: diurnal_flash must climb the shed
+  // ladder, adversarial_drift must force at least one retune refit.
+  const ScenarioOutcome& diurnal = outcomes[1];
+  const uint64_t shed_entries =
+      CounterValue(diurnal.snapshot.registry,
+                   "server.shed.enter_no_microbatch") +
+      CounterValue(diurnal.snapshot.registry, "server.shed.enter_abstain");
+  std::printf("diurnal_flash shed ladder: %llu rung entries, %llu abstained "
+              "predicts, %zu busy\n",
+              static_cast<unsigned long long>(shed_entries),
+              static_cast<unsigned long long>(CounterValue(
+                  diurnal.snapshot.registry,
+                  "server.shed.abstained_predicts")),
+              diurnal.busy);
+  PPC_CHECK_MSG(shed_entries >= 1,
+                "diurnal_flash did not engage the shed ladder");
+  const ScenarioOutcome& drift = outcomes[3];
+  const uint64_t refits =
+      CounterValue(drift.snapshot.registry, "server.retune.refits");
+  std::printf("adversarial_drift retune: %llu triggers, %llu refits, "
+              "%llu skipped, %llu aborted\n",
+              static_cast<unsigned long long>(CounterValue(
+                  drift.snapshot.registry, "server.retune.triggers")),
+              static_cast<unsigned long long>(refits),
+              static_cast<unsigned long long>(CounterValue(
+                  drift.snapshot.registry, "server.retune.skipped")),
+              static_cast<unsigned long long>(CounterValue(
+                  drift.snapshot.registry, "server.retune.aborted")));
+  PPC_CHECK_MSG(refits >= 1,
+                "adversarial_drift did not trigger a retune refit");
+
+  std::string body = "  \"scenarios\": [";
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    if (i > 0) body += ",";
+    body += "\n    " + OutcomeJson(outcomes[i]);
+  }
+  body += "\n  ]";
+  WriteBenchJson("workload_zoo", body);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ppc
+
+int main() {
+  ppc::bench::Run();
+  return 0;
+}

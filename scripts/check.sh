@@ -6,13 +6,16 @@
 #      tests so the portable kernels stay exercised,
 #   3. retune smoke: bench_drift_recovery end to end, asserting the
 #      retuning arm refits and the generation handoff serves gap-free,
-#   4. cluster smoke test (router + 2 shards as real processes, with a
+#   4. workload-zoo smoke: bench_workload_zoo drives all four named
+#      scenarios against live servers, asserting determinism, zero
+#      failures, a diurnal shed-ladder excursion and a drift refit,
+#   5. cluster smoke test (router + 2 shards as real processes, with a
 #      wire-level warm start),
-#   5. the JSON-emitting benches + validation of every BENCH_*.json,
-#   6. server smoke test (live TCP round-trips + clean shutdown),
-#   7. ASan build + the entire test suite,
-#   8. TSan build + the concurrency, metrics, server and router tests,
-#   9. chaos stage: the randomized fault-injection tests (ctest label
+#   6. the JSON-emitting benches + validation of every BENCH_*.json,
+#   7. server smoke test (live TCP round-trips + clean shutdown),
+#   8. ASan build + the entire test suite,
+#   9. TSan build + the concurrency, metrics, server and router tests,
+#  10. chaos stage: the randomized fault-injection tests (ctest label
 #      `chaos`) under both sanitizers.
 # The deterministic ctest stages exclude the chaos label (-LE chaos) so
 # their runtime stays flat; the chaos stage runs it explicitly (-L chaos).
@@ -55,6 +58,31 @@ assert d['retune_on']['refits'] >= 1, 'retuning arm never refit'
 ")
 echo "    drift-triggered refit + zero-gap handoff ok"
 
+echo "==> workload-zoo smoke (four named scenarios against live servers)"
+# bench_workload_zoo replays every scenario in the zoo (zipf_tenants,
+# diurnal_flash, correlated_predicates, adversarial_drift) against a
+# live PlanServer. The bench itself asserts stream determinism and zero
+# request failures; the JSON checks below re-assert the two behavioural
+# claims docs/WORKLOADS.md makes: diurnal_flash climbs the shed ladder,
+# adversarial_drift triggers at least one retune refit.
+(cd build && timeout 600 ./bench/bench_workload_zoo >/dev/null && \
+  python3 -c "
+import json
+d = json.load(open('BENCH_workload_zoo.json'))
+by_name = {s['scenario']: s for s in d['scenarios']}
+assert set(by_name) == {'zipf_tenants', 'diurnal_flash',
+                        'correlated_predicates', 'adversarial_drift'}
+for s in by_name.values():
+    assert s['deterministic'] is True, s['scenario'] + ' not deterministic'
+    assert s['failures'] == 0, s['scenario'] + ' had request failures'
+shed = by_name['diurnal_flash']['shed']
+assert shed['enter_no_microbatch'] >= 1, 'flash never entered shed rung 1'
+assert shed['enter_abstain'] >= 1, 'flash never entered shed rung 2'
+assert by_name['adversarial_drift']['retune']['refits'] >= 1, \
+    'drift scenario never refit'
+")
+echo "    four scenarios deterministic, shed ladder + drift refit ok"
+
 echo "==> cluster smoke test (ppc_router + 2 ppc_server shards, real processes)"
 # bench_cluster_throughput fork/execs the ppc_server and ppc_router
 # binaries, waits on their LISTENING readiness lines, warm-starts the
@@ -69,8 +97,9 @@ echo "==> machine-readable bench output (BENCH_*.json) is valid JSON"
   cd build
   ./bench/bench_concurrent_throughput >/dev/null
   ./bench/bench_drift_detection >/dev/null
-  # bench_drift_recovery already ran in the retune smoke stage above;
-  # its BENCH_drift_recovery.json is picked up by the loop below.
+  # bench_drift_recovery and bench_workload_zoo already ran in their
+  # smoke stages above; their BENCH_*.json are picked up by the loop
+  # below.
   ./bench/bench_fig13_runtime >/dev/null
   ./bench/bench_server_throughput >/dev/null
   for f in BENCH_*.json; do
@@ -112,7 +141,7 @@ cmake -B build-tsan -S . -DPPC_SANITIZE=thread \
 cmake --build build-tsan -j "$JOBS"
 (cd build-tsan && \
   ctest --output-on-failure -LE chaos \
-    -R 'Concurrent|MetricsRegistry|FrameworkMetrics|Server|Router|HashRing|ClientReconnect|Simd|Retune|Generation|DriftRecovery' \
+    -R 'Concurrent|MetricsRegistry|FrameworkMetrics|Server|Router|HashRing|ClientReconnect|Simd|Retune|Generation|DriftRecovery|Scenario|WorkloadZoo' \
     -j "$JOBS")
 
 # Chaos stage: randomized mixed traffic against a live server while a

@@ -5,8 +5,8 @@
    (root and docs/) must point at a file or directory that exists.
    External links (http/https/mailto) are not fetched.
 2. Doc-presence check: every class/struct declared at namespace scope in
-   the public headers of src/ppc/ and src/server/ must carry a Doxygen
-   `///` comment immediately above it.
+   the public headers of src/ppc/, src/server/ and src/workload/ must
+   carry a Doxygen `///` comment immediately above it.
 
 Exits non-zero with one line per violation.
 """
@@ -69,7 +69,7 @@ def check_markdown_links():
 
 def public_headers():
     headers = []
-    for module in ("src/ppc", "src/server"):
+    for module in ("src/ppc", "src/server", "src/workload"):
         directory = os.path.join(REPO, module)
         headers += [os.path.join(module, f)
                     for f in sorted(os.listdir(directory))

@@ -1,0 +1,169 @@
+#ifndef PPC_WORKLOAD_SCENARIOS_H_
+#define PPC_WORKLOAD_SCENARIOS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ppc {
+
+/// The workload zoo (docs/WORKLOADS.md): named, seeded scenario
+/// generators producing deterministic open-loop event streams. Where
+/// workload_generator.h reproduces the paper's two experimental
+/// workflows (uniform sampling, random trajectories), the scenarios
+/// here model the traffic shapes a production plan-prediction service
+/// actually meets — skewed multi-tenant popularity, diurnal load with
+/// flash crowds, correlated (non-axis-aligned) parameter distributions,
+/// and scheduled adversarial drift — each one aimed at a specific
+/// serving-layer failure surface (the shed ladder, the LSH grid, the
+/// retune path). Every scenario is a pure function of its seed: the
+/// same ScenarioConfig yields a byte-identical event stream, which is
+/// what makes the zoo benchmarks and the ctest smokes reproducible.
+
+/// One workload event: which template the query instance targets, where
+/// its predicate selectivities land in the plan space, and when it
+/// arrives on the (scenario-relative) open-loop clock.
+struct ScenarioEvent {
+  /// Index into ScenarioConfig::templates.
+  uint32_t template_index = 0;
+  /// Plan-space point in [0,1]^dims for that template.
+  std::vector<double> point;
+  /// Arrival offset in seconds since the stream began. Monotonically
+  /// non-decreasing; an open-loop driver paces sends by this clock
+  /// (possibly rescaled), a closed-loop driver may ignore it.
+  double arrival_seconds = 0.0;
+};
+
+/// One template slot of a scenario: the registered template's name and
+/// its plan-space dimensionality (QueryTemplate::ParameterDegree()).
+struct ScenarioTemplate {
+  std::string name;
+  int dimensions = 2;
+};
+
+/// Configuration shared by every scenario plus one knob block per named
+/// scenario (only the block matching the scenario's name is read).
+/// Defaults are the documented reference values of docs/WORKLOADS.md;
+/// the seed fully determines the stream.
+struct ScenarioConfig {
+  /// Templates the scenario emits events for. Must be non-empty;
+  /// adversarial_drift uses only templates[0] (drift is a per-template
+  /// signal — spreading it across templates dilutes every window).
+  std::vector<ScenarioTemplate> templates;
+  uint64_t seed = 0x5ca1ab1e;
+  /// Base arrival rate of the open-loop clock (events per second of
+  /// scenario time). diurnal_flash modulates it; the others use it as
+  /// the constant rate of a homogeneous Poisson process.
+  double events_per_second = 1000.0;
+
+  /// zipf_tenants: `tenant_count` tenants whose request shares follow a
+  /// Zipf law with the given exponent (tenant of rank k has weight
+  /// (k+1)^-exponent). Tenant k issues template k % |templates| at
+  /// points Gaussian-scattered (stddev `cluster_stddev`, clamped to
+  /// [0,1]) around a per-tenant cluster center drawn once from the
+  /// seed. Stresses: per-template popularity skew — cache pressure and
+  /// per-template learning rates differ by orders of magnitude.
+  struct ZipfTenantsOptions {
+    size_t tenant_count = 16;
+    double exponent = 1.1;
+    double cluster_stddev = 0.02;
+  } zipf_tenants;
+
+  /// diurnal_flash: a non-homogeneous Poisson process whose rate is
+  /// events_per_second * (1 + amplitude * sin(2*pi*t/period)), with
+  /// flash crowds — windows of `flash_duration_seconds` starting at
+  /// `first_flash_at_seconds` and every `flash_every_seconds` after —
+  /// multiplying the rate by `flash_multiplier`. Sampled exactly by
+  /// thinning against the peak rate. Templates round-robin; points
+  /// cluster (stddev `cluster_stddev`) around per-template centers
+  /// drawn from the seed. Stresses: the EWMA shed ladder and BUSY
+  /// backpressure (DESIGN.md §14) under realistic load curves.
+  struct DiurnalFlashOptions {
+    double period_seconds = 2.0;
+    /// Relative swing of the sinusoid, in [0, 1).
+    double amplitude = 0.6;
+    double first_flash_at_seconds = 1.0;
+    double flash_every_seconds = 2.0;
+    double flash_duration_seconds = 0.2;
+    double flash_multiplier = 25.0;
+    double cluster_stddev = 0.02;
+  } diurnal_flash;
+
+  /// correlated_predicates: per template, `ridge_count` "ridges" — an
+  /// anchor point and a random non-axis-aligned unit direction, both
+  /// drawn from the seed. Each event picks a ridge uniformly and emits
+  /// anchor + t*direction + per-dimension Gaussian noise with
+  /// t ~ N(0, major_stddev) and noise ~ N(0, minor_stddev): a
+  /// distribution whose principal axes do not line up with the
+  /// coordinate grid. Stresses: the grid-partitioned LSH histograms —
+  /// axis-aligned buckets smear a diagonal ridge across many cells, the
+  /// hard case the randomized transforms exist to mitigate.
+  struct CorrelatedPredicatesOptions {
+    size_t ridge_count = 2;
+    /// Spread along the ridge direction.
+    double major_stddev = 0.18;
+    /// Isotropic thickness across it.
+    double minor_stddev = 0.012;
+  } correlated_predicates;
+
+  /// adversarial_drift: a scheduled sequence of concentration phases.
+  /// Phase p emits `events` points uniform in the hypercube
+  /// [center - half_width, center + half_width]^dims (clamped to
+  /// [0,1]); when the schedule is exhausted the last phase repeats
+  /// forever. An empty schedule gets the default 3-phase shape of
+  /// bench_workload_zoo: a uniform background, a "home" box, then a
+  /// mid-run jump into a different box — the stats/concentration jump
+  /// that feeds the RetuneController (DESIGN.md §17). Stresses: drift
+  /// detection and the retune trigger/refit/handoff path.
+  struct AdversarialDriftOptions {
+    /// One concentration regime of the schedule.
+    struct Phase {
+      size_t events = 0;
+      /// Box center, same coordinate on every dimension.
+      double center = 0.5;
+      double half_width = 0.05;
+    };
+    std::vector<Phase> phases;
+  } adversarial_drift;
+};
+
+/// A deterministic, seeded stream of workload events. Implementations
+/// are pure functions of their ScenarioConfig: two generators built
+/// from equal configs yield byte-identical streams. Next() is cheap
+/// (no allocation beyond the returned point) and never fails; streams
+/// are unbounded — the caller decides how many events to draw.
+class ScenarioGenerator {
+ public:
+  virtual ~ScenarioGenerator() = default;
+
+  /// The scenario's registered name (one of ScenarioNames()).
+  virtual const std::string& name() const = 0;
+
+  /// The config the generator was built from.
+  virtual const ScenarioConfig& config() const = 0;
+
+  /// Draws the next event. Arrival times are monotone non-decreasing;
+  /// points are clamped to [0,1] per coordinate.
+  virtual ScenarioEvent Next() = 0;
+};
+
+/// Names of every registered scenario, in documentation order:
+/// zipf_tenants, diurnal_flash, correlated_predicates, adversarial_drift.
+const std::vector<std::string>& ScenarioNames();
+
+/// Builds the named scenario from `config`. InvalidArgument for an
+/// unknown name, an empty template list, a template with dimensions
+/// < 1, or a non-positive events_per_second.
+Result<std::unique_ptr<ScenarioGenerator>> MakeScenario(
+    const std::string& name, const ScenarioConfig& config);
+
+/// Draws `count` events from `generator` (convenience for benches and
+/// determinism checks).
+std::vector<ScenarioEvent> GenerateEvents(ScenarioGenerator* generator,
+                                          size_t count);
+
+}  // namespace ppc
+
+#endif  // PPC_WORKLOAD_SCENARIOS_H_

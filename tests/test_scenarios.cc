@@ -1,0 +1,295 @@
+#include "workload/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <vector>
+
+namespace ppc {
+namespace {
+
+ScenarioConfig TwoTemplateConfig(uint64_t seed) {
+  ScenarioConfig config;
+  config.templates = {{"alpha", 2}, {"beta", 3}};
+  config.seed = seed;
+  config.events_per_second = 1000.0;
+  return config;
+}
+
+std::vector<ScenarioEvent> Stream(const std::string& name,
+                                  const ScenarioConfig& config, size_t count) {
+  auto gen = MakeScenario(name, config);
+  EXPECT_TRUE(gen.ok()) << gen.status().message();
+  return GenerateEvents(gen.value().get(), count);
+}
+
+bool SameEvent(const ScenarioEvent& a, const ScenarioEvent& b) {
+  if (a.template_index != b.template_index) return false;
+  if (a.point.size() != b.point.size()) return false;
+  if (std::memcmp(&a.arrival_seconds, &b.arrival_seconds, sizeof(double)) !=
+      0) {
+    return false;
+  }
+  for (size_t i = 0; i < a.point.size(); ++i) {
+    if (std::memcmp(&a.point[i], &b.point[i], sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ScenarioRegistryTest, NamesAndConstruction) {
+  const auto names = ScenarioNames();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "zipf_tenants");
+  EXPECT_EQ(names[1], "diurnal_flash");
+  EXPECT_EQ(names[2], "correlated_predicates");
+  EXPECT_EQ(names[3], "adversarial_drift");
+  for (const auto& name : names) {
+    auto gen = MakeScenario(name, TwoTemplateConfig(7));
+    ASSERT_TRUE(gen.ok()) << name;
+    EXPECT_EQ(gen.value()->name(), name);
+  }
+}
+
+TEST(ScenarioRegistryTest, RejectsBadConfigs) {
+  EXPECT_FALSE(MakeScenario("no_such_scenario", TwoTemplateConfig(1)).ok());
+
+  ScenarioConfig empty = TwoTemplateConfig(1);
+  empty.templates.clear();
+  EXPECT_FALSE(MakeScenario("zipf_tenants", empty).ok());
+
+  ScenarioConfig zero_dims = TwoTemplateConfig(1);
+  zero_dims.templates[0].dimensions = 0;
+  EXPECT_FALSE(MakeScenario("diurnal_flash", zero_dims).ok());
+
+  ScenarioConfig bad_rate = TwoTemplateConfig(1);
+  bad_rate.events_per_second = 0.0;
+  EXPECT_FALSE(MakeScenario("correlated_predicates", bad_rate).ok());
+}
+
+// Same seed must give byte-identical streams; a different seed must not.
+TEST(ScenarioDeterminismTest, SameSeedSameStream) {
+  for (const auto& name : ScenarioNames()) {
+    const auto a = Stream(name, TwoTemplateConfig(0x5eed), 400);
+    const auto b = Stream(name, TwoTemplateConfig(0x5eed), 400);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_TRUE(SameEvent(a[i], b[i])) << name << " diverged at " << i;
+    }
+    const auto c = Stream(name, TwoTemplateConfig(0x5eed + 1), 400);
+    bool any_diff = false;
+    for (size_t i = 0; i < a.size() && !any_diff; ++i) {
+      any_diff = !SameEvent(a[i], c[i]);
+    }
+    EXPECT_TRUE(any_diff) << name << " ignored the seed";
+  }
+}
+
+TEST(ScenarioStreamTest, ArrivalsMonotoneAndPointsClamped) {
+  for (const auto& name : ScenarioNames()) {
+    const auto events = Stream(name, TwoTemplateConfig(11), 1000);
+    double last = 0.0;
+    for (const auto& event : events) {
+      ASSERT_GE(event.arrival_seconds, last) << name;
+      last = event.arrival_seconds;
+      ASSERT_LT(event.template_index, 2u) << name;
+      for (double v : event.point) {
+        ASSERT_GE(v, 0.0) << name;
+        ASSERT_LE(v, 1.0) << name;
+      }
+    }
+  }
+}
+
+TEST(ScenarioStreamTest, PointDimensionsFollowTemplate) {
+  const auto events = Stream("zipf_tenants", TwoTemplateConfig(3), 500);
+  for (const auto& event : events) {
+    const size_t want = event.template_index == 0 ? 2u : 3u;
+    ASSERT_EQ(event.point.size(), want);
+  }
+}
+
+// Empirical tenant frequencies should match the configured Zipf exponent:
+// rank-k probability proportional to (k+1)^-s. We cluster events by tenant
+// center (tenants are tight Gaussian blobs) by rounding the first coordinate.
+TEST(ZipfTenantsTest, FrequenciesMatchExponent) {
+  ScenarioConfig config = TwoTemplateConfig(0xabc);
+  config.zipf_tenants.tenant_count = 8;
+  config.zipf_tenants.exponent = 1.2;
+  config.zipf_tenants.cluster_stddev = 0.0;  // exact centers
+  const size_t kEvents = 40000;
+  const auto events = Stream("zipf_tenants", config, kEvents);
+
+  std::map<std::pair<uint32_t, int64_t>, size_t> counts;
+  for (const auto& event : events) {
+    const int64_t key = std::llround(event.point[0] * 1e6);
+    ++counts[{event.template_index, key}];
+  }
+  ASSERT_LE(counts.size(), 8u);
+  std::vector<size_t> sorted;
+  for (const auto& [key, n] : counts) sorted.push_back(n);
+  std::sort(sorted.rbegin(), sorted.rend());
+
+  double norm = 0.0;
+  for (int k = 0; k < 8; ++k) norm += std::pow(k + 1, -1.2);
+  for (size_t k = 0; k < sorted.size(); ++k) {
+    const double expected = std::pow(k + 1, -1.2) / norm;
+    const double observed =
+        static_cast<double>(sorted[k]) / static_cast<double>(kEvents);
+    EXPECT_NEAR(observed, expected, 0.02)
+        << "rank " << k << " frequency off";
+  }
+}
+
+// The diurnal curve modulates inter-arrival density: flash windows must be
+// much denser than the off-flash baseline, and the sinusoid trough must be
+// sparser than the crest.
+TEST(DiurnalFlashTest, FlashWindowsAreDenser) {
+  ScenarioConfig config = TwoTemplateConfig(0xd1a);
+  config.events_per_second = 2000.0;
+  config.diurnal_flash.period_seconds = 2.0;
+  config.diurnal_flash.amplitude = 0.5;
+  config.diurnal_flash.first_flash_at_seconds = 1.0;
+  config.diurnal_flash.flash_every_seconds = 2.0;
+  config.diurnal_flash.flash_duration_seconds = 0.2;
+  config.diurnal_flash.flash_multiplier = 10.0;
+  const auto events = Stream("diurnal_flash", config, 30000);
+
+  size_t in_flash = 0, off_flash = 0;
+  double flash_time = 0.0, off_time = 0.0;
+  const double horizon = events.back().arrival_seconds;
+  for (const auto& event : events) {
+    const double t = event.arrival_seconds;
+    const double since = t - config.diurnal_flash.first_flash_at_seconds;
+    const bool flash =
+        since >= 0.0 &&
+        std::fmod(since, config.diurnal_flash.flash_every_seconds) <
+            config.diurnal_flash.flash_duration_seconds;
+    if (flash) {
+      ++in_flash;
+    } else {
+      ++off_flash;
+    }
+  }
+  // Fraction of wall time spent in flash windows: 0.2 of every 2.0 s once
+  // flashes start at t=1.
+  for (double t = 0.0; t < horizon; t += 1e-3) {
+    const double since = t - config.diurnal_flash.first_flash_at_seconds;
+    const bool flash =
+        since >= 0.0 &&
+        std::fmod(since, config.diurnal_flash.flash_every_seconds) <
+            config.diurnal_flash.flash_duration_seconds;
+    (flash ? flash_time : off_time) += 1e-3;
+  }
+  ASSERT_GT(flash_time, 0.0);
+  ASSERT_GT(off_time, 0.0);
+  const double flash_rate = static_cast<double>(in_flash) / flash_time;
+  const double off_rate = static_cast<double>(off_flash) / off_time;
+  // Flash rate multiplier is 10x; allow generous sampling slack.
+  EXPECT_GT(flash_rate, 5.0 * off_rate);
+
+  // Sinusoid: crest quarter-periods [0, P/2) are denser than trough
+  // quarter-periods [P/2, P) when flashes are excluded.
+  size_t crest = 0, trough = 0;
+  for (const auto& event : events) {
+    const double t = event.arrival_seconds;
+    const double since = t - config.diurnal_flash.first_flash_at_seconds;
+    const bool flash =
+        since >= 0.0 &&
+        std::fmod(since, config.diurnal_flash.flash_every_seconds) <
+            config.diurnal_flash.flash_duration_seconds;
+    if (flash) continue;
+    const double phase =
+        std::fmod(t, config.diurnal_flash.period_seconds) /
+        config.diurnal_flash.period_seconds;
+    if (phase < 0.5) {
+      ++crest;
+    } else {
+      ++trough;
+    }
+  }
+  ASSERT_GT(trough, 0u);
+  EXPECT_GT(static_cast<double>(crest), 1.2 * static_cast<double>(trough));
+}
+
+// Every event must fall inside the phase box active at its position in the
+// stream, and phase boundaries must actually move the support.
+TEST(AdversarialDriftTest, FollowsPhaseSchedule) {
+  ScenarioConfig config = TwoTemplateConfig(0xd1f);
+  config.adversarial_drift.phases = {
+      {200, 0.5, 0.4}, {300, 0.8, 0.05}, {400, 0.2, 0.05}};
+  const auto events = Stream("adversarial_drift", config, 1000);
+
+  size_t index = 0;
+  for (const auto& phase : config.adversarial_drift.phases) {
+    for (size_t i = 0; i < phase.events; ++i, ++index) {
+      ASSERT_LT(index, events.size());
+      EXPECT_EQ(events[index].template_index, 0u);
+      for (double v : events[index].point) {
+        EXPECT_GE(v, std::max(0.0, phase.center - phase.half_width - 1e-12));
+        EXPECT_LE(v, std::min(1.0, phase.center + phase.half_width + 1e-12));
+      }
+    }
+  }
+  // The final phase repeats once the schedule is exhausted.
+  for (; index < events.size(); ++index) {
+    for (double v : events[index].point) {
+      EXPECT_GE(v, 0.2 - 0.05 - 1e-12);
+      EXPECT_LE(v, 0.2 + 0.05 + 1e-12);
+    }
+  }
+}
+
+// Ridges are oblique: points concentrate along a line not aligned with any
+// axis, so both coordinates must have substantial spread and be strongly
+// correlated for at least one template's dominant ridge.
+TEST(CorrelatedPredicatesTest, RidgesAreObliqueAndTight) {
+  ScenarioConfig config;
+  config.templates = {{"only", 2}};
+  config.seed = 0xc0de;
+  config.correlated_predicates.ridge_count = 1;
+  config.correlated_predicates.major_stddev = 0.15;
+  config.correlated_predicates.minor_stddev = 0.005;
+  const auto events = Stream("correlated_predicates", config, 5000);
+
+  double mx = 0.0, my = 0.0;
+  for (const auto& event : events) {
+    mx += event.point[0];
+    my += event.point[1];
+  }
+  mx /= events.size();
+  my /= events.size();
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (const auto& event : events) {
+    const double dx = event.point[0] - mx;
+    const double dy = event.point[1] - my;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+  const double corr = sxy / std::sqrt(sxx * syy);
+  // Oblique unit direction caps any single component at 0.9, so both axes
+  // see real variance and the correlation magnitude is high.
+  EXPECT_GT(std::sqrt(sxx / events.size()), 0.02);
+  EXPECT_GT(std::sqrt(syy / events.size()), 0.02);
+  EXPECT_GT(std::fabs(corr), 0.6);
+}
+
+TEST(ScenarioStreamTest, ArrivalRateMatchesConfig) {
+  // Homogeneous-rate scenarios should hit events_per_second closely.
+  for (const char* name : {"zipf_tenants", "correlated_predicates",
+                           "adversarial_drift"}) {
+    ScenarioConfig config = TwoTemplateConfig(21);
+    config.events_per_second = 500.0;
+    const auto events = Stream(name, config, 5000);
+    const double rate = 5000.0 / events.back().arrival_seconds;
+    EXPECT_NEAR(rate, 500.0, 25.0) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ppc
