@@ -8,13 +8,23 @@
 //   2. a steady phase measures routed throughput with A alone on the
 //      ring;
 //   3. shard B starts with --warm-start-from=A, pulling A's predictor
-//      snapshot over the wire before it reports ready, and joins the
-//      ring via a TOPOLOGY add;
+//      snapshot over the wire before it reports ready; an adoption
+//      probe predicts the same points shard-direct against A and B and
+//      requires byte-identical answers (B holds A's exact state), then
+//      B joins the ring via a TOPOLOGY add;
 //   4. a joined phase measures aggregate throughput and the per-shard
 //      predict hit rate. Because B adopted A's state, the templates the
-//      ring moved to B must predict as well as they did on A — the
-//      bench fails if the joiner's hit rate trails the leader's by more
-//      than five points (cold-learning would trail by far more).
+//      ring moved to B must predict as well as they did *on A in the
+//      steady phase* — the bench fails if the joiner's hit rate trails
+//      the steady-phase rate on its own templates by more than five
+//      points (cold-learning would trail by far more).
+//
+// The gap is computed per-template against the steady baseline, not as
+// leader-vs-joiner aggregates: per-template hit rates differ (template
+// dimensionality 2..6 trains at different speeds from the same warm-up),
+// and which templates land on which shard depends on the shards'
+// ephemeral ports through the hash ring — aggregate-vs-aggregate would
+// compare different template mixtures and flake on unlucky splits.
 //
 // Binary discovery: ../src/ppc_server and ../src/ppc_router relative to
 // this binary, overridable via PPC_SERVER_BIN / PPC_ROUTER_BIN.
@@ -55,8 +65,11 @@ const char* const kTemplates[] = {"Q0", "Q1", "Q2", "Q3", "Q4",
 constexpr size_t kTemplateCount = sizeof(kTemplates) / sizeof(kTemplates[0]);
 constexpr size_t kWarmupPerTemplate = 120;
 constexpr int kClientThreads = 3;
-constexpr size_t kSteadyPerClient = 600;
-constexpr size_t kJoinedPerClient = 900;
+constexpr size_t kSteadyPerClient = 1200;
+constexpr size_t kJoinedPerClient = 1800;
+/// Shard-direct probe points per template for the adoption-equality
+/// check (leader and joiner must answer each one identically).
+constexpr size_t kAdoptionProbesPerTemplate = 30;
 /// 70/30 predict/execute mix: predicts measure the hit rate, executes
 /// keep the shards learning like a live system.
 constexpr double kPredictFraction = 0.7;
@@ -220,6 +233,7 @@ struct PhaseStats {
   size_t failures = 0;
   std::vector<double> predict_latencies_us;
   ShardTally per_shard[2];
+  ShardTally per_template[kTemplateCount];
 
   size_t total() const {
     return per_shard[0].predicts + per_shard[0].executes +
@@ -278,12 +292,15 @@ PhaseStats DrivePhase(uint16_t router_port, const HashRing& ring,
           }
           stats.predict_latencies_us.push_back(us);
           ++stats.per_shard[shard].predicts;
+          ++stats.per_template[q.tmpl].predicts;
           if (predicted.value().plan != kNullPlanId) {
             ++stats.per_shard[shard].hits;
+            ++stats.per_template[q.tmpl].hits;
           }
         } else {
           if (client.Execute(name, q.point).ok()) {
             ++stats.per_shard[shard].executes;
+            ++stats.per_template[q.tmpl].executes;
           } else {
             ++stats.failures;
           }
@@ -305,8 +322,39 @@ PhaseStats DrivePhase(uint16_t router_port, const HashRing& ring,
       merged.per_shard[s].hits += stats.per_shard[s].hits;
       merged.per_shard[s].executes += stats.per_shard[s].executes;
     }
+    for (size_t t = 0; t < kTemplateCount; ++t) {
+      merged.per_template[t].predicts += stats.per_template[t].predicts;
+      merged.per_template[t].hits += stats.per_template[t].hits;
+      merged.per_template[t].executes += stats.per_template[t].executes;
+    }
   }
   return merged;
+}
+
+/// Predicts the same fresh points shard-direct against both shards and
+/// counts answers that differ. The joiner adopted the leader's exact
+/// predictor state over the wire, and PREDICT is deterministic in that
+/// state, so any mismatch means the snapshot path corrupted something —
+/// this is the adoption claim checked exactly, with no sampling noise.
+size_t AdoptionMismatches(uint16_t leader_port, uint16_t joiner_port,
+                          size_t* probes_out) {
+  PpcClient leader;
+  PpcClient joiner;
+  PPC_CHECK(leader.Connect("127.0.0.1", leader_port).ok());
+  PPC_CHECK(joiner.Connect("127.0.0.1", joiner_port).ok());
+  const std::vector<Query> probes =
+      MakeWorkload(kAdoptionProbesPerTemplate * kTemplateCount, 59);
+  size_t mismatches = 0;
+  for (const Query& q : probes) {
+    const char* name = kTemplates[q.tmpl];
+    const auto from_leader = leader.Predict(name, q.point);
+    const auto from_joiner = joiner.Predict(name, q.point);
+    PPC_CHECK_MSG(from_leader.ok() && from_joiner.ok(),
+                  "adoption probe PREDICT failed");
+    if (from_leader.value().plan != from_joiner.value().plan) ++mismatches;
+  }
+  *probes_out = probes.size();
+  return mismatches;
 }
 
 std::string TallyJson(const ShardTally& tally) {
@@ -329,7 +377,12 @@ std::string PhaseJson(PhaseStats* phase) {
          JsonNumber(Percentile(&phase->predict_latencies_us, 0.95));
   out += ", \"per_shard\": {\"leader\": " + TallyJson(phase->per_shard[0]);
   out += ", \"joiner\": " + TallyJson(phase->per_shard[1]);
-  out += "}}";
+  out += "}, \"per_template_hit_rate\": [";
+  for (size_t t = 0; t < kTemplateCount; ++t) {
+    if (t > 0) out += ", ";
+    out += JsonNumber(phase->per_template[t].hit_rate());
+  }
+  out += "]}";
   return out;
 }
 
@@ -389,6 +442,17 @@ void Run() {
   std::printf("joiner shard on :%u (warm start + ready in %.3fs)\n",
               joiner.port, warmup_seconds);
 
+  // Adoption check before any routed traffic reaches the joiner: both
+  // shards hold identical state, so they must answer identically.
+  size_t adoption_probes = 0;
+  const size_t adoption_mismatches =
+      AdoptionMismatches(leader.port, joiner.port, &adoption_probes);
+  std::printf("adoption probe: %zu/%zu identical answers\n",
+              adoption_probes - adoption_mismatches, adoption_probes);
+  PPC_CHECK_MSG(adoption_mismatches == 0,
+                "warm-started joiner answers differently from the leader "
+                "— the snapshot path corrupted the adopted state");
+
   const HashRing::Node joiner_node{"127.0.0.1", joiner.port};
   {
     PpcClient admin;
@@ -420,19 +484,47 @@ void Run() {
   PPC_CHECK_MSG(joined.failures == 0, "joined phase had failures");
   PPC_CHECK_MSG(joined.per_shard[1].predicts > 0,
                 "ring placement sent the joiner no predicts");
-  // The scale-out claim: a warm-started joiner serves at the leader's
-  // hit rate immediately. A cold shard would sit near zero until its
-  // own executes re-learned the workload.
-  const double gap = leader_rate - joiner_rate;
-  std::printf("hit-rate gap (leader - joiner): %.3f\n", gap);
-  PPC_CHECK_MSG(gap <= 0.05,
-                "warm-started joiner trails the leader by more than 5 "
-                "points — warm start is not working");
+  // The scale-out claim: a warm-started joiner serves its templates at
+  // the rate the *leader* served those same templates in the steady
+  // phase. A cold shard would sit near zero until its own executes
+  // re-learned the workload. The baseline is per-template because hit
+  // rates vary across templates and the ring's template split depends
+  // on the shards' ephemeral ports — aggregate leader-vs-joiner would
+  // compare different mixtures. In-phase executes keep training both
+  // shards, so actual rates drift *above* the steady baseline; only a
+  // genuine adoption failure pulls the joiner below it.
+  double gap_vs_steady[2] = {0.0, 0.0};
+  for (size_t s = 0; s < 2; ++s) {
+    double expected_hits = 0.0;
+    size_t predicts = 0;
+    for (size_t t = 0; t < kTemplateCount; ++t) {
+      const auto owner = joined_ring.Owner(kTemplates[t]);
+      const HashRing::Node& node = s == 0 ? leader_node : joiner_node;
+      if (!owner.ok() || !(owner.value() == node)) continue;
+      expected_hits += steady.per_template[t].hit_rate() *
+                       static_cast<double>(joined.per_template[t].predicts);
+      predicts += joined.per_template[t].predicts;
+    }
+    const double expected_rate =
+        predicts == 0 ? 0.0 : expected_hits / static_cast<double>(predicts);
+    gap_vs_steady[s] = expected_rate - joined.per_shard[s].hit_rate();
+  }
+  std::printf("hit-rate gap vs steady baseline (same templates): "
+              "leader %+.3f, joiner %+.3f\n",
+              gap_vs_steady[0], gap_vs_steady[1]);
+  PPC_CHECK_MSG(gap_vs_steady[1] <= 0.05,
+                "warm-started joiner trails the steady-phase rate on its "
+                "own templates by more than 5 points — warm start is not "
+                "working");
 
   std::string body = "\"steady\": " + PhaseJson(&steady);
   body += ",\n\"joined\": " + PhaseJson(&joined);
   body += ",\n\"warmup_seconds\": " + JsonNumber(warmup_seconds);
-  body += ",\n\"hit_rate_gap\": " + JsonNumber(gap);
+  body += ",\n\"adoption\": {\"probes\": " +
+          std::to_string(adoption_probes) +
+          ", \"mismatches\": " + std::to_string(adoption_mismatches) + "}";
+  body += ",\n\"hit_rate_gap\": " + JsonNumber(gap_vs_steady[1]);
+  body += ",\n\"leader_gap_vs_steady\": " + JsonNumber(gap_vs_steady[0]);
   body += ",\n\"client_threads\": " + std::to_string(kClientThreads);
   body += ",\n\"templates\": " + std::to_string(kTemplateCount);
   WriteBenchJson("cluster_throughput", body);

@@ -81,6 +81,16 @@ std::string PredictorState::SerializeDelta(const PredictorState& base) const {
   return SerializeEntries(changed, /*is_delta=*/true);
 }
 
+PredictorState PredictorState::Filtered(
+    const std::function<bool(const TemplateEntry&)>& keep) const {
+  PredictorState subset;
+  subset.sequence_ = sequence_;
+  for (const TemplateEntry& entry : entries_) {
+    if (keep(entry)) subset.entries_.push_back(entry);
+  }
+  return subset;
+}
+
 namespace {
 
 /// Envelope + payload parse shared by Restore and RestoreDelta; returns

@@ -2,6 +2,7 @@
 #define PPC_PPC_PREDICTOR_STATE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,17 @@ class PredictorState {
   /// state stamped with the delta's sequence.
   static Result<PredictorState> RestoreDelta(const std::string& bytes,
                                              const PredictorState& base);
+
+  /// Subset copy holding only the entries `keep` accepts, carrying the
+  /// same capture sequence. This is how the router's replica
+  /// warm-keeping ships a primary's *authoritative* templates (and only
+  /// those) to their replica shard: a full capture contains every
+  /// registered template — cold copies included — and applying it
+  /// unfiltered would overwrite the receiving shard's own warm state for
+  /// the templates it is primary for (DESIGN.md §18). Entry order (and
+  /// thus serializability) is preserved.
+  PredictorState Filtered(
+      const std::function<bool(const TemplateEntry&)>& keep) const;
 
   /// Warm-starts `framework`'s registered predictors from this state.
   /// Templates unknown to the framework are skipped (counted); a

@@ -25,7 +25,10 @@ Status PpcClient::Connect(const std::string& host, uint16_t port) {
       ++stats_.connect_retries;
       if (!BackoffBeforeRetry(attempt - 1, deadline)) break;
     }
-    Result<int> fd = net::Connect(host, port);
+    // The call deadline spans the handshake too: an unreachable peer
+    // surfaces as DeadlineExceeded here instead of blocking in connect(2)
+    // for the kernel's SYN-retry schedule.
+    Result<int> fd = net::Connect(host, port, deadline);
     if (fd.ok()) {
       fd_ = fd.value();
       ++connection_generation_;
@@ -91,7 +94,7 @@ Result<wire::Response> PpcClient::RoundTrip(wire::Request request) {
       // Only attempt to re-establish a connection we made ourselves;
       // without a remembered endpoint this is a plain usage error.
       if (host_.empty()) return Status::FailedPrecondition("not connected");
-      Result<int> fd = net::Connect(host_, port_);
+      Result<int> fd = net::Connect(host_, port_, deadline);
       if (!fd.ok()) {
         // Transient connect failures are the second retryable class
         // (besides BUSY): nothing was sent, so retrying is always safe.

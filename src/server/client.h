@@ -67,7 +67,10 @@ class PpcClient {
   PpcClient& operator=(const PpcClient&) = delete;
 
   /// Connects (retrying transient failures per the RetryPolicy) and
-  /// remembers host:port so later calls can reconnect after a loss.
+  /// remembers host:port so later calls can reconnect after a loss. The
+  /// per-call deadline bounds the whole attempt sequence including the
+  /// TCP handshake itself — an unreachable peer fails with
+  /// DeadlineExceeded instead of blocking in connect(2).
   Status Connect(const std::string& host, uint16_t port);
   void Close();
   bool connected() const { return fd_ >= 0; }

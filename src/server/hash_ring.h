@@ -24,7 +24,10 @@ namespace ppc {
 ///
 /// Placement is a pure function of (backend address, vnode index), so
 /// every router and bench process that sees the same backend set computes
-/// the same ownership — no coordination protocol needed.
+/// the same ownership — no coordination protocol needed. PlacementFor()
+/// extends ownership with a replica: the ring-successor backend distinct
+/// from the primary, which is where the router keeps a warm standby of
+/// the template's predictor state (DESIGN.md §18).
 ///
 /// Not thread-safe; the router guards its ring with the same lock as its
 /// backend table.
@@ -83,6 +86,43 @@ class HashRing {
     return it->second;
   }
 
+  /// Primary + replica placement for a key (DESIGN.md §18). The primary
+  /// is the ring owner (identical to Owner()); the replica is the first
+  /// vnode clockwise from the owning vnode that belongs to a *different*
+  /// backend — so the replica is always a distinct shard, even when
+  /// several of the primary's vnodes happen to sit adjacent on the ring.
+  /// With a single backend there is no distinct shard: `has_replica` is
+  /// false. Like Owner(), a pure function of the backend set.
+  struct Placement {
+    Node primary;
+    Node replica;
+    bool has_replica = false;
+  };
+
+  Result<Placement> PlacementFor(const std::string& key) const {
+    if (ring_.empty()) {
+      return Status::FailedPrecondition("hash ring has no backends");
+    }
+    auto it = ring_.lower_bound(Mix(Fnv1a64(key)));
+    if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+    Placement placement;
+    placement.primary = it->second;
+    // Walk the successor vnodes (wrapping) until a distinct backend shows
+    // up; bounded by the ring size, so a one-backend ring terminates with
+    // no replica instead of looping.
+    auto next = it;
+    for (size_t steps = 0; steps + 1 < ring_.size(); ++steps) {
+      ++next;
+      if (next == ring_.end()) next = ring_.begin();
+      if (!(next->second == placement.primary)) {
+        placement.replica = next->second;
+        placement.has_replica = true;
+        break;
+      }
+    }
+    return placement;
+  }
+
  private:
   /// FNV-1a diffuses short, similar strings (template names, a node's
   /// vnode labels) into *adjacent* 64-bit values — its high bits barely
@@ -104,7 +144,9 @@ class HashRing {
     return Mix(Fnv1a64(node.Address() + "#" + std::to_string(vnode)));
   }
 
-  const int vnodes_per_node_;
+  /// Non-const so rings stay copy-assignable (the router's health thread
+  /// works against a snapshot copy of the ring).
+  int vnodes_per_node_;
   std::set<Node> nodes_;
   /// vnode position -> owning backend, sorted by position (the ring).
   std::map<uint64_t, Node> ring_;

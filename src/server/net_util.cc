@@ -109,17 +109,54 @@ Result<int> Listen(const std::string& bind_address, uint16_t port,
   return fd;
 }
 
-Result<int> Connect(const std::string& host, uint16_t port) {
+Result<int> Connect(const std::string& host, uint16_t port,
+                    const Deadline& deadline) {
   PPC_ASSIGN_OR_RETURN(sockaddr_in addr, MakeAddress(host, port));
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Errno("socket");
+  // The handshake runs non-blocking so the deadline is enforceable: a
+  // blocking connect to a peer that drops SYNs would sit in the kernel's
+  // own retry schedule (minutes) with no way to bail out.
+  Status nonblocking = SetNonBlocking(fd);
+  if (!nonblocking.ok()) {
+    ::close(fd);
+    return nonblocking;
+  }
   int rc;
   do {
     rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                    sizeof(addr));
   } while (rc != 0 && errno == EINTR);
-  if (rc != 0) {
+  if (rc != 0 && errno != EINPROGRESS) {
     const Status st = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  if (rc != 0) {
+    const Status ready = PollFor(fd, POLLOUT, deadline);
+    if (!ready.ok()) {
+      ::close(fd);
+      if (ready.code() == StatusCode::kDeadlineExceeded) {
+        return Status::DeadlineExceeded("connect " + host + ":" +
+                                        std::to_string(port) + " timed out");
+      }
+      return ready;
+    }
+    // Writability only means the handshake resolved; SO_ERROR says how.
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      if (err != 0) errno = err;
+      const Status st = Errno("connect " + host + ":" + std::to_string(port));
+      ::close(fd);
+      return st;
+    }
+  }
+  // Callers expect a blocking fd; per-operation deadlines are enforced by
+  // the read/write wrappers.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    const Status st = Errno("fcntl(clear O_NONBLOCK)");
     ::close(fd);
     return st;
   }

@@ -69,8 +69,14 @@ class Deadline {
 Result<int> Listen(const std::string& bind_address, uint16_t port,
                    int backlog, uint16_t* bound_port);
 
-/// Blocking connect to `host:port`. The returned fd is blocking.
-Result<int> Connect(const std::string& host, uint16_t port);
+/// Connects to `host:port`, bounded by `deadline`: the TCP handshake runs
+/// on a non-blocking socket and is waited on with poll, so an unreachable
+/// peer (SYNs dropped, no RST) cannot hold the caller past its deadline —
+/// DeadlineExceeded is returned instead, and the caller may retry on a
+/// fresh connection. The returned fd is blocking (per-operation deadlines
+/// are enforced by the read/write wrappers above).
+Result<int> Connect(const std::string& host, uint16_t port,
+                    const Deadline& deadline = Deadline::Infinite());
 
 Status SetNonBlocking(int fd);
 

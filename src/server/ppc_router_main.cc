@@ -6,12 +6,28 @@
 // TOPOLOGY are answered locally. Prints `LISTENING <port>` to stdout
 // once ready (same readiness handshake as ppc_server).
 //
+// Health model (DESIGN.md §18): a background prober PINGs every backend,
+// consecutive failures open a per-backend circuit breaker, requests for
+// an open primary fail over to its ring-successor replica (EXECUTEs come
+// back FAILED_OVER-flagged), replicas are kept warm by periodic snapshot
+// shipping, and a returning shard is warm-started from its replicas
+// before the half-open probe re-admits it.
+//
 // Flags (--key=value):
 //   --bind=ADDR                     bind address (default 127.0.0.1)
 //   --port=N                        listen port  (default 0 = ephemeral)
 //   --backends=H:P,H:P,...          initial shard set (may be empty;
 //                                   shards can join later via TOPOLOGY)
 //   --backend-deadline-ms=N         per-forward deadline (default 5000)
+//   --probe-interval-ms=N           health-probe cadence; 0 disables the
+//                                   health thread (default 250)
+//   --probe-deadline-ms=N           per-probe deadline (default 1000)
+//   --replication-interval-ms=N     replica warm-keeping cadence; 0
+//                                   disables shipping (default 2000)
+//   --breaker-failure-threshold=N   consecutive failures that open a
+//                                   backend's breaker (default 3)
+//   --breaker-cooldown-ms=N         open-state cooldown before the
+//                                   half-open probe (default 1000)
 
 #include <csignal>
 #include <cstdio>
@@ -63,6 +79,19 @@ bool ParseFlags(int argc, char** argv, PlanRouter::Config* config) {
                                                        nullptr, 10));
     } else if (key == "backend-deadline-ms") {
       config->backend_deadline_ms = std::strtol(value.c_str(), nullptr, 10);
+    } else if (key == "probe-interval-ms") {
+      config->probe_interval_ms = std::strtol(value.c_str(), nullptr, 10);
+    } else if (key == "probe-deadline-ms") {
+      config->probe_deadline_ms = std::strtol(value.c_str(), nullptr, 10);
+    } else if (key == "replication-interval-ms") {
+      config->replication_interval_ms =
+          std::strtol(value.c_str(), nullptr, 10);
+    } else if (key == "breaker-failure-threshold") {
+      config->breaker.failure_threshold =
+          static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+    } else if (key == "breaker-cooldown-ms") {
+      config->breaker.open_cooldown_ms =
+          std::strtol(value.c_str(), nullptr, 10);
     } else if (key == "backends") {
       size_t begin = 0;
       while (begin <= value.size()) {

@@ -4,10 +4,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <map>
+#include <set>
+#include <thread>
 #include <utility>
 
+#include "ppc/predictor_state.h"
 #include "server/net_util.h"
 
 namespace ppc {
@@ -21,6 +25,17 @@ wire::WireStatus ForwardFailureStatus(const Status& status) {
   return status.code() == StatusCode::kDeadlineExceeded
              ? wire::WireStatus::kTimeout
              : wire::WireStatus::kInternal;
+}
+
+/// Whether a health-path failure looks like the *transport* (peer gone,
+/// refused dial, deadline) rather than the server rejecting the payload.
+/// Only transport failures feed the breaker: a replica that NACKs one
+/// snapshot apply (e.g. a generation conflict) is still alive and
+/// serving.
+bool IsTransportFailure(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kInternal;
 }
 
 double MicrosSince(std::chrono::steady_clock::time_point start) {
@@ -67,7 +82,13 @@ struct PlanRouter::ConnectionState {
 
 PlanRouter::PlanRouter(Config config)
     : config_(std::move(config)), ring_(config_.vnodes_per_node) {
-  for (const HashRing::Node& node : config_.backends) ring_.Add(node);
+  for (const HashRing::Node& node : config_.backends) {
+    ring_.Add(node);
+    auto& state = backend_states_[node.Address()];
+    if (state == nullptr) {
+      state = std::make_shared<BackendState>(config_.breaker);
+    }
+  }
 }
 
 PlanRouter::~PlanRouter() { Stop(); }
@@ -92,9 +113,29 @@ Status PlanRouter::Start() {
   instruments_.frames_malformed =
       &metrics_.counter("router.frames.malformed");
   instruments_.forward_us = &metrics_.histogram("router.forward_us");
+  instruments_.health_probes = &metrics_.counter("router.health.probes");
+  instruments_.health_probe_failures =
+      &metrics_.counter("router.health.probe_failures");
+  instruments_.breaker_opens = &metrics_.counter("router.breaker.opens");
+  instruments_.breaker_closes = &metrics_.counter("router.breaker.closes");
+  instruments_.failovers = &metrics_.counter("router.failovers");
+  instruments_.replication_ships =
+      &metrics_.counter("router.replication.ships");
+  instruments_.replication_skipped =
+      &metrics_.counter("router.replication.skipped");
+  instruments_.replication_ship_failures =
+      &metrics_.counter("router.replication.ship_failures");
+  instruments_.replication_templates_shipped =
+      &metrics_.counter("router.replication.templates_shipped");
+  instruments_.rejoin_warm_starts =
+      &metrics_.counter("router.rejoin.warm_starts");
+  instruments_.rejoin_failures = &metrics_.counter("router.rejoin.failures");
   running_.store(true, std::memory_order_release);
   draining_.store(false, std::memory_order_release);
   accept_thread_ = std::thread(&PlanRouter::AcceptLoop, this);
+  if (config_.probe_interval_ms > 0) {
+    health_thread_ = std::thread(&PlanRouter::HealthLoop, this);
+  }
   return Status::OK();
 }
 
@@ -106,6 +147,7 @@ void PlanRouter::Shutdown() {
 
 void PlanRouter::Wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (health_thread_.joinable()) health_thread_.join();
   // The accept thread has exited, so no new connection threads can
   // appear — joining the snapshot below drains everything.
   std::vector<std::thread> threads;
@@ -136,6 +178,33 @@ size_t PlanRouter::backend_count() const {
 std::vector<HashRing::Node> PlanRouter::backends() const {
   std::shared_lock<std::shared_mutex> lock(topology_mu_);
   return ring_.nodes();
+}
+
+std::vector<PlanRouter::BackendStatus> PlanRouter::backend_status() const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  std::vector<BackendStatus> statuses;
+  for (const HashRing::Node& node : ring_.nodes()) {
+    BackendStatus status;
+    status.node = node;
+    const auto it = backend_states_.find(node.Address());
+    if (it != backend_states_.end()) {
+      status.breaker = it->second->breaker.state();
+    }
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+void PlanRouter::RecordBackendSuccess(BackendState* state) {
+  if (state->breaker.RecordSuccess()) {
+    instruments_.breaker_closes->Increment();
+  }
+}
+
+void PlanRouter::RecordBackendFailure(BackendState* state) {
+  if (state->breaker.RecordFailure()) {
+    instruments_.breaker_opens->Increment();
+  }
 }
 
 void PlanRouter::AcceptLoop() {
@@ -242,48 +311,123 @@ bool PlanRouter::HandleFrame(ConnectionState* state,
   return SendResponse(state, response).ok();
 }
 
+Result<PlanRouter::Route> PlanRouter::ResolveRoute(
+    const std::string& template_name) const {
+  std::shared_lock<std::shared_mutex> lock(topology_mu_);
+  PPC_ASSIGN_OR_RETURN(HashRing::Placement placement,
+                       ring_.PlacementFor(template_name));
+  Route route;
+  route.primary = placement.primary;
+  route.has_replica = placement.has_replica;
+  if (placement.has_replica) route.replica = placement.replica;
+  const auto primary_it = backend_states_.find(placement.primary.Address());
+  route.primary_state = primary_it != backend_states_.end()
+                            ? primary_it->second
+                            : std::make_shared<BackendState>(config_.breaker);
+  if (placement.has_replica) {
+    const auto replica_it = backend_states_.find(placement.replica.Address());
+    route.replica_state = replica_it != backend_states_.end()
+                              ? replica_it->second
+                              : std::make_shared<BackendState>(config_.breaker);
+  }
+  return route;
+}
+
 wire::Response PlanRouter::Forward(ConnectionState* state,
                                    const wire::Request& request) {
   wire::Response response;
   response.type = request.type;
   response.id = request.id;
-  HashRing::Node owner;
-  {
-    std::shared_lock<std::shared_mutex> lock(topology_mu_);
-    Result<HashRing::Node> resolved = ring_.Owner(request.template_name);
-    if (!resolved.ok()) {
-      instruments_.forward_failures->Increment();
-      response.status = wire::WireStatus::kInternal;
-      response.error = "no backend shards on the ring";
-      return response;
-    }
-    owner = resolved.value();
-  }
-  PpcClient* client = state->ClientFor(owner, config_);
-  if (client == nullptr) {
+  Result<Route> resolved = ResolveRoute(request.template_name);
+  if (!resolved.ok()) {
     instruments_.forward_failures->Increment();
     response.status = wire::WireStatus::kInternal;
-    response.error = "shard " + owner.Address() + " is unreachable";
+    response.error = "no backend shards on the ring";
     return response;
   }
-  const auto start = std::chrono::steady_clock::now();
-  Result<wire::Response> answer = client->Call(request);
-  instruments_.forward_us->Record(MicrosSince(start));
-  if (!answer.ok()) {
-    // The client closed its connection on the failure; drop it so the
-    // next request for this shard re-dials instead of failing forever.
-    state->Drop(owner);
-    instruments_.forward_failures->Increment();
-    response.status = ForwardFailureStatus(answer.status());
-    response.error = "shard " + owner.Address() + ": " +
-                     answer.status().message();
+  const Route& route = resolved.value();
+
+  struct Attempt {
+    const HashRing::Node* node;
+    BackendState* backend;
+    bool is_primary;
+  };
+  // Candidate order: the primary unless its breaker has it out of
+  // rotation, then the replica. With no distinct replica (single-shard
+  // ring) the primary is attempted even through an open breaker —
+  // fast-failing would trade a possible answer for a certain error.
+  std::vector<Attempt> attempts;
+  if (route.primary_state->breaker.AllowRequest() || !route.has_replica) {
+    attempts.push_back({&route.primary, route.primary_state.get(), true});
+  }
+  if (route.has_replica && route.replica_state->breaker.AllowRequest()) {
+    attempts.push_back({&route.replica, route.replica_state.get(), false});
+  }
+  if (attempts.empty()) {
+    // Both breakers open: try the primary anyway rather than failing
+    // without a single attempt — it may have just come back, and the
+    // prober will re-admit it properly either way.
+    attempts.push_back({&route.primary, route.primary_state.get(), true});
+  }
+
+  Status failure = Status::Unavailable("no backend attempt made");
+  for (const Attempt& attempt : attempts) {
+    // This thread's cached connection can be stale — the shard restarted
+    // (or dropped idle peers) since the last exchange — in which case the
+    // call fails Unavailable even though the shard is healthy again.
+    // Read-only requests get one retry on a fresh dial before the
+    // failure counts against the backend; an EXECUTE is never
+    // auto-replayed once any bytes may have reached a shard.
+    const int tries = request.type == wire::MessageType::kExecute ? 1 : 2;
+    Result<wire::Response> answer = failure;
+    for (int attempt_try = 0; attempt_try < tries; ++attempt_try) {
+      PpcClient* client = state->ClientFor(*attempt.node, config_);
+      if (client == nullptr) {
+        answer = Status::Unavailable("shard " + attempt.node->Address() +
+                                     " is unreachable");
+        break;
+      }
+      const auto start = std::chrono::steady_clock::now();
+      answer = client->Call(request);
+      instruments_.forward_us->Record(MicrosSince(start));
+      if (answer.ok()) break;
+      // The client closed its connection on the failure; drop it so the
+      // next request for this shard re-dials instead of failing forever.
+      state->Drop(*attempt.node);
+      if (answer.status().code() != StatusCode::kUnavailable) break;
+    }
+    if (!answer.ok()) {
+      RecordBackendFailure(attempt.backend);
+      failure = answer.status();
+      if (request.type == wire::MessageType::kExecute &&
+          answer.status().code() == StatusCode::kDeadlineExceeded) {
+        // The EXECUTE may still be running on the timed-out shard;
+        // replaying it on the replica could run the query twice. PREDICTs
+        // are read-only and always safe to retry.
+        break;
+      }
+      continue;
+    }
+    RecordBackendSuccess(attempt.backend);
+    instruments_.requests_forwarded->Increment();
+    response = std::move(answer.value());
+    // The shard answered under the router's internal request id; the
+    // client must see its own.
+    response.id = request.id;
+    if (!attempt.is_primary) {
+      instruments_.failovers->Increment();
+      if (request.type == wire::MessageType::kExecute && response.ok()) {
+        // The answer is live, but the corrective feedback landed on the
+        // replica — clients tracking learning locality need to know.
+        response.execute.failed_over = true;
+      }
+    }
     return response;
   }
-  instruments_.requests_forwarded->Increment();
-  response = std::move(answer.value());
-  // The shard answered under the router's internal request id; the
-  // client must see its own.
-  response.id = request.id;
+  instruments_.forward_failures->Increment();
+  response.status = ForwardFailureStatus(failure);
+  response.error =
+      "shard " + route.primary.Address() + ": " + failure.message();
   return response;
 }
 
@@ -293,23 +437,53 @@ wire::Response PlanRouter::AggregateMetrics(ConnectionState* state) {
   std::string json = "{\"router\":";
   json += metrics_.TakeSnapshot().ToJson();
   json += ",\"shards\":{";
+  std::vector<std::pair<HashRing::Node, std::shared_ptr<BackendState>>>
+      targets;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mu_);
+    for (const HashRing::Node& node : ring_.nodes()) {
+      const auto it = backend_states_.find(node.Address());
+      targets.emplace_back(
+          node, it != backend_states_.end() ? it->second : nullptr);
+    }
+  }
   bool first = true;
-  for (const HashRing::Node& node : backends()) {
+  for (const auto& [node, backend] : targets) {
     if (!first) json += ",";
     first = false;
     AppendJsonString(node.Address(), &json);
     json += ":";
+    const CircuitBreaker::State breaker_state =
+        backend != nullptr ? backend->breaker.state()
+                           : CircuitBreaker::State::kClosed;
+    if (breaker_state != CircuitBreaker::State::kClosed) {
+      // Already known down: report it without burning a dial + deadline —
+      // aggregated METRICS must not become as slow as the outage itself.
+      json += "{\"up\":false,\"breaker_state\":\"";
+      json += CircuitBreaker::StateName(breaker_state);
+      json += "\"}";
+      continue;
+    }
     PpcClient* client = state->ClientFor(node, config_);
     Result<std::string> shard_json =
         client == nullptr
             ? Result<std::string>(Status::Unavailable("unreachable"))
             : client->Metrics();
     if (shard_json.ok()) {
+      if (backend != nullptr) RecordBackendSuccess(backend.get());
       // Shard payloads are themselves JSON objects; splice verbatim.
+      json += "{\"up\":true,\"breaker_state\":\"closed\",\"metrics\":";
       json += shard_json.value();
+      json += "}";
     } else {
+      // One dead shard degrades its own entry, never the aggregate.
       state->Drop(node);
-      json += "{\"error\":";
+      if (backend != nullptr) RecordBackendFailure(backend.get());
+      json += "{\"up\":false,\"breaker_state\":\"";
+      json += CircuitBreaker::StateName(
+          backend != nullptr ? backend->breaker.state()
+                             : CircuitBreaker::State::kClosed);
+      json += "\",\"error\":";
       AppendJsonString(shard_json.status().ToString(), &json);
       json += "}";
     }
@@ -327,6 +501,10 @@ wire::Response PlanRouter::ApplyTopology(const wire::Request& request) {
   std::unique_lock<std::shared_mutex> lock(topology_mu_);
   if (request.topology_op == wire::TopologyOp::kAdd) {
     ring_.Add(node);
+    auto& state = backend_states_[node.Address()];
+    if (state == nullptr) {
+      state = std::make_shared<BackendState>(config_.breaker);
+    }
     instruments_.topology_adds->Increment();
   } else {
     if (!ring_.Remove(node)) {
@@ -335,6 +513,7 @@ wire::Response PlanRouter::ApplyTopology(const wire::Request& request) {
       response.backend_count = static_cast<uint32_t>(ring_.node_count());
       return response;
     }
+    backend_states_.erase(node.Address());
     instruments_.topology_removes->Increment();
   }
   response.backend_count = static_cast<uint32_t>(ring_.node_count());
@@ -348,6 +527,264 @@ Status PlanRouter::SendResponse(ConnectionState* state,
   return net::WriteAll(
       state->fd, frame.data(), frame.size(),
       net::Deadline::AfterMsOrInfinite(config_.write_deadline_ms));
+}
+
+PpcClient* PlanRouter::HealthClientFor(HealthClients* clients,
+                                       const HashRing::Node& node) {
+  const std::string address = node.Address();
+  auto it = clients->find(address);
+  if (it != clients->end()) return it->second.get();
+  PpcClient::Options options;
+  options.call_deadline_ms = config_.probe_deadline_ms;
+  // Single attempt: the breaker, not a retry loop, owns failure policy
+  // on the health path.
+  options.retry.max_attempts = 1;
+  auto client = std::make_unique<PpcClient>(options);
+  // A failed dial is fine — the client remembers the endpoint and each
+  // later call re-attempts the connection under its own deadline.
+  (void)client->Connect(node.host, node.port);
+  return clients->emplace(address, std::move(client)).first->second.get();
+}
+
+void PlanRouter::HealthLoop() {
+  HealthClients clients;
+  ShippedHashes shipped;
+  auto last_replication = std::chrono::steady_clock::now();
+  while (!draining_.load(std::memory_order_acquire)) {
+    // Sleep one probe interval in idle_poll-sized slices so a drain is
+    // noticed promptly even under a long interval.
+    const auto tick_end =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(config_.probe_interval_ms);
+    while (!draining_.load(std::memory_order_acquire) &&
+           std::chrono::steady_clock::now() < tick_end) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::max<int64_t>(1, std::min(config_.idle_poll_ms,
+                                        config_.probe_interval_ms))));
+    }
+    if (draining_.load(std::memory_order_acquire)) break;
+
+    std::vector<std::pair<HashRing::Node, std::shared_ptr<BackendState>>>
+        targets;
+    {
+      std::shared_lock<std::shared_mutex> lock(topology_mu_);
+      for (const HashRing::Node& node : ring_.nodes()) {
+        const auto it = backend_states_.find(node.Address());
+        if (it == backend_states_.end()) continue;
+        targets.emplace_back(node, it->second);
+      }
+    }
+
+    // Forget clients and shipped-hash bookkeeping for shards no longer on
+    // the ring.
+    std::set<std::string> live;
+    for (const auto& [node, backend] : targets) live.insert(node.Address());
+    for (auto it = clients.begin(); it != clients.end();) {
+      it = live.count(it->first) ? std::next(it) : clients.erase(it);
+    }
+    for (auto it = shipped.begin(); it != shipped.end();) {
+      if (!live.count(it->first)) {
+        it = shipped.erase(it);
+        continue;
+      }
+      auto& per_replica = it->second;
+      for (auto jt = per_replica.begin(); jt != per_replica.end();) {
+        jt = live.count(jt->first) ? std::next(jt) : per_replica.erase(jt);
+      }
+      ++it;
+    }
+
+    for (const auto& [node, backend] : targets) {
+      if (draining_.load(std::memory_order_acquire)) break;
+      ProbeBackend(node, backend, &clients, &shipped);
+    }
+
+    if (config_.replication_interval_ms > 0 &&
+        !draining_.load(std::memory_order_acquire) &&
+        std::chrono::steady_clock::now() - last_replication >=
+            std::chrono::milliseconds(config_.replication_interval_ms)) {
+      ReplicateOnce(&clients, &shipped);
+      last_replication = std::chrono::steady_clock::now();
+    }
+  }
+}
+
+void PlanRouter::ProbeBackend(const HashRing::Node& node,
+                              const std::shared_ptr<BackendState>& state,
+                              HealthClients* clients, ShippedHashes* shipped) {
+  if (state->breaker.state() == CircuitBreaker::State::kClosed) {
+    instruments_.health_probes->Increment();
+    PpcClient* client = HealthClientFor(clients, node);
+    const Status alive = client->Ping();
+    if (alive.ok()) {
+      RecordBackendSuccess(state.get());
+    } else {
+      instruments_.health_probe_failures->Increment();
+      RecordBackendFailure(state.get());
+    }
+    return;
+  }
+  if (!state->breaker.TryBeginProbe()) return;  // open, still cooling down
+  // Half-open trial. The shard re-enters rotation only after a PING
+  // succeeds AND a wire-level warm start from its replicas applied
+  // cleanly — a rejoining shard must never be observable cold.
+  instruments_.health_probes->Increment();
+  PpcClient* client = HealthClientFor(clients, node);
+  const Status alive = client->Ping();
+  if (!alive.ok()) {
+    instruments_.health_probe_failures->Increment();
+    RecordBackendFailure(state.get());
+    return;
+  }
+  if (!WarmRejoin(node, clients)) {
+    instruments_.rejoin_failures->Increment();
+    RecordBackendFailure(state.get());
+    return;
+  }
+  instruments_.rejoin_warm_starts->Increment();
+  // The restart lost everything ever shipped *to* this shard, and its
+  // own outbound bookkeeping is equally stale: forget both directions so
+  // the next replication pass re-ships from scratch.
+  shipped->erase(node.Address());
+  for (auto& [primary, per_replica] : *shipped) {
+    per_replica.erase(node.Address());
+  }
+  RecordBackendSuccess(state.get());
+}
+
+bool PlanRouter::WarmRejoin(const HashRing::Node& node,
+                            HealthClients* clients) {
+  // Snapshot the ring + the other backends under the lock; the wire
+  // transfers run outside it.
+  HashRing ring_snapshot(config_.vnodes_per_node);
+  std::vector<std::pair<HashRing::Node, std::shared_ptr<BackendState>>>
+      sources;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mu_);
+    ring_snapshot = ring_;
+    for (const HashRing::Node& other : ring_.nodes()) {
+      if (other == node) continue;
+      const auto it = backend_states_.find(other.Address());
+      if (it == backend_states_.end()) continue;
+      sources.emplace_back(other, it->second);
+    }
+  }
+  const std::string rejoining = node.Address();
+  for (const auto& [source, backend] : sources) {
+    // A replica that is itself down cannot warm anyone; the templates it
+    // held for the rejoining shard restart cold (both copies were lost —
+    // there is nothing better to restore from).
+    if (backend->breaker.state() != CircuitBreaker::State::kClosed) continue;
+    PpcClient* source_client = HealthClientFor(clients, source);
+    Result<std::string> blob = source_client->FetchSnapshot();
+    if (!blob.ok()) return false;  // retry the whole rejoin next tick
+    Result<PredictorState> full = PredictorState::Restore(blob.value());
+    if (!full.ok()) return false;
+    const std::string source_address = source.Address();
+    // Only the templates this source holds *as the designated replica* of
+    // the rejoining primary — its other entries are cold or authoritative
+    // elsewhere.
+    const PredictorState subset = full.value().Filtered(
+        [&](const PredictorState::TemplateEntry& entry) {
+          Result<HashRing::Placement> placement =
+              ring_snapshot.PlacementFor(entry.name);
+          return placement.ok() && placement.value().has_replica &&
+                 placement.value().primary.Address() == rejoining &&
+                 placement.value().replica.Address() == source_address;
+        });
+    if (subset.entries().empty()) continue;
+    PpcClient* target = HealthClientFor(clients, node);
+    Result<uint32_t> applied = target->ApplySnapshot(subset.Serialize());
+    if (!applied.ok()) return false;
+  }
+  return true;
+}
+
+void PlanRouter::ReplicateOnce(HealthClients* clients,
+                               ShippedHashes* shipped) {
+  HashRing ring_snapshot(config_.vnodes_per_node);
+  std::vector<std::pair<HashRing::Node, std::shared_ptr<BackendState>>>
+      targets;
+  {
+    std::shared_lock<std::shared_mutex> lock(topology_mu_);
+    ring_snapshot = ring_;
+    for (const HashRing::Node& node : ring_.nodes()) {
+      const auto it = backend_states_.find(node.Address());
+      if (it == backend_states_.end()) continue;
+      targets.emplace_back(node, it->second);
+    }
+  }
+  if (targets.size() < 2) return;  // no distinct replica exists
+
+  for (const auto& [primary, primary_backend] : targets) {
+    if (draining_.load(std::memory_order_acquire)) return;
+    if (primary_backend->breaker.state() != CircuitBreaker::State::kClosed) {
+      continue;
+    }
+    PpcClient* source = HealthClientFor(clients, primary);
+    Result<std::string> blob = source->FetchSnapshot();
+    if (!blob.ok()) {
+      instruments_.replication_ship_failures->Increment();
+      if (IsTransportFailure(blob.status())) {
+        RecordBackendFailure(primary_backend.get());
+      }
+      continue;
+    }
+    Result<PredictorState> full = PredictorState::Restore(blob.value());
+    if (!full.ok()) {
+      instruments_.replication_ship_failures->Increment();
+      continue;
+    }
+    const std::string primary_address = primary.Address();
+    for (const auto& [replica, replica_backend] : targets) {
+      if (replica == primary) continue;
+      if (replica_backend->breaker.state() !=
+          CircuitBreaker::State::kClosed) {
+        continue;
+      }
+      const std::string replica_address = replica.Address();
+      auto& pair_hashes = (*shipped)[primary_address][replica_address];
+      // Ship only this primary's authoritative templates whose replica is
+      // this shard, and only when their content changed since the last
+      // ship — the delta semantics of SerializeDelta, expressed as a
+      // full-format subset because kSnapshotApply only accepts full
+      // snapshots (the receiving shard keeps no base to merge against).
+      const PredictorState subset = full.value().Filtered(
+          [&](const PredictorState::TemplateEntry& entry) {
+            Result<HashRing::Placement> placement =
+                ring_snapshot.PlacementFor(entry.name);
+            if (!placement.ok() || !placement.value().has_replica) {
+              return false;
+            }
+            if (placement.value().primary.Address() != primary_address ||
+                placement.value().replica.Address() != replica_address) {
+              return false;
+            }
+            const auto it = pair_hashes.find(entry.name);
+            return it == pair_hashes.end() ||
+                   it->second != entry.content_hash;
+          });
+      if (subset.entries().empty()) {
+        instruments_.replication_skipped->Increment();
+        continue;
+      }
+      PpcClient* sink = HealthClientFor(clients, replica);
+      Result<uint32_t> applied = sink->ApplySnapshot(subset.Serialize());
+      if (!applied.ok()) {
+        instruments_.replication_ship_failures->Increment();
+        if (IsTransportFailure(applied.status())) {
+          RecordBackendFailure(replica_backend.get());
+        }
+        continue;
+      }
+      instruments_.replication_ships->Increment();
+      instruments_.replication_templates_shipped->Increment(
+          subset.entries().size());
+      for (const PredictorState::TemplateEntry& entry : subset.entries()) {
+        pair_hashes[entry.name] = entry.content_hash;
+      }
+    }
+  }
 }
 
 }  // namespace ppc

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -12,48 +13,66 @@
 
 #include "common/status.h"
 #include "ppc/metrics_registry.h"
+#include "server/circuit_breaker.h"
 #include "server/client.h"
 #include "server/hash_ring.h"
 #include "server/wire_protocol.h"
 
 namespace ppc {
 
-/// The scale-out front door (DESIGN.md §15): a stateless TCP proxy that
-/// speaks the same wire protocol as PlanServer and consistent-hashes
-/// PREDICT / PREDICT_BATCH / EXECUTE requests across N shard servers by
-/// template name. Because the LSH predictor's state is strictly
-/// per-template, routing by template makes each shard authoritative for
-/// its arc of the ring: all feedback for a template lands on the shard
-/// that predicts it, so sharding changes *where* learning happens but
-/// never *what* is learned.
+/// The scale-out front door (DESIGN.md §15, §18): a fault-tolerant TCP
+/// proxy that speaks the same wire protocol as PlanServer and
+/// consistent-hashes PREDICT / PREDICT_BATCH / EXECUTE requests across N
+/// shard servers by template name. Because the LSH predictor's state is
+/// strictly per-template, routing by template makes each shard
+/// authoritative for its arc of the ring: all feedback for a template
+/// lands on the shard that predicts it, so sharding changes *where*
+/// learning happens but never *what* is learned.
+///
+/// Fault tolerance (DESIGN.md §18): every template has a primary and a
+/// ring-successor replica on a distinct shard (HashRing::PlacementFor).
+/// A per-backend circuit breaker — fed by passive forward failures and a
+/// background prober's PINGs — takes a dead shard out of rotation after
+/// `breaker.failure_threshold` consecutive failures; requests for its
+/// templates fail over to the replica, which the prober has been keeping
+/// warm by periodically shipping the primary's changed predictor state
+/// (content-hash-gated SNAPSHOT_APPLY). When the shard comes back, the
+/// prober warm-starts it from its replicas *before* recording the
+/// half-open success that re-admits it — a rejoining shard is never
+/// observable cold.
 ///
 /// Request handling:
 ///
 ///   * kPredict / kPredictBatch / kExecute — forwarded to the owning
 ///     shard; the shard's answer (wire status included) is relayed
-///     verbatim under the client's request id. Shard failures come back
-///     as INTERNAL (connection loss) or TIMEOUT (backend deadline), and
-///     the proxy connection survives — one lost shard must not sever
-///     every client.
+///     verbatim under the client's request id. When the primary is open
+///     or fails mid-call, the request is retried on the replica; an
+///     EXECUTE answered by the replica carries the FAILED_OVER flag so
+///     the client knows its corrective feedback landed off the template's
+///     home shard. An EXECUTE that *timed out* on the primary is not
+///     replayed (it may still be running there); PREDICTs are read-only
+///     and always safe to retry. Only when both copies fail does the
+///     client see INTERNAL / TIMEOUT.
 ///   * kPing — answered locally (the router's own liveness).
 ///   * kMetrics — aggregated: the router's own registry plus every
-///     shard's METRICS payload, keyed by shard address.
+///     *reachable* shard's METRICS payload, keyed by shard address with
+///     per-backend `up` / `breaker_state` fields; open backends are
+///     reported down without burning a dial on them.
 ///   * kTopology — add / remove a shard at runtime (the join path of the
 ///     warm-start protocol). Answers with the new backend count.
 ///   * kSnapshot / kSnapshotApply — BAD_REQUEST: replication is
 ///     shard-to-shard, not routed.
 ///   * kShutdown — ack, then drain the router itself.
 ///
-/// Threading model: one accept thread plus one thread per client
-/// connection (router clients are few — load generators and operators —
-/// unlike the shard servers, which own the high-fanout epoll loop). Each
+/// Threading model: one accept thread, one thread per client connection,
+/// plus one health thread (prober + replicator + rejoin driver). Each
 /// connection thread keeps its own PpcClient per shard, so backend
 /// connections never need cross-thread locking; the shared state is the
-/// ring + backend set behind a shared_mutex.
+/// ring + per-backend breakers behind a shared_mutex.
 ///
-/// Shutdown()/drain: async-signal-safe (atomic stores only). The accept
-/// and connection loops poll `idle_poll_ms`-bounded reads and exit at
-/// the next tick; in-flight forwards finish under the backend deadline.
+/// Shutdown()/drain: async-signal-safe (atomic stores only). The accept,
+/// connection and health loops poll `idle_poll_ms`-bounded ticks and exit
+/// at the next one; in-flight forwards finish under the backend deadline.
 class PlanRouter {
  public:
   struct Config {
@@ -74,6 +93,25 @@ class PlanRouter {
     int64_t idle_poll_ms = 50;
     /// Bound on writing one response frame back to a client.
     int64_t write_deadline_ms = 10000;
+
+    /// --- Health model (DESIGN.md §18). ---
+
+    /// Cadence of the background prober (active PING per backend). 0
+    /// disables the health thread entirely: no probes, no replica
+    /// warm-keeping, no automatic rejoin — breakers still open from
+    /// passive forward failures and inline failover still engages.
+    int64_t probe_interval_ms = 250;
+    /// Per-probe and per-replication-call deadline (single attempt; the
+    /// breaker, not a retry loop, owns failure policy here).
+    int64_t probe_deadline_ms = 1000;
+    /// Per-backend breaker tuning.
+    CircuitBreaker::Options breaker;
+    /// Cadence of replica warm-keeping: every interval the prober
+    /// captures each live primary's state and ships the changed
+    /// templates to their ring-successor replicas. 0 disables shipping
+    /// (failover then reaches a cold replica: available, but abstaining
+    /// until it learns).
+    int64_t replication_interval_ms = 2000;
   };
 
   explicit PlanRouter(Config config);
@@ -82,9 +120,10 @@ class PlanRouter {
   PlanRouter(const PlanRouter&) = delete;
   PlanRouter& operator=(const PlanRouter&) = delete;
 
-  /// Binds, listens, and spawns the accept thread. Does not contact the
-  /// backends — a shard is dialed lazily on its first forwarded request,
-  /// so the router can start ahead of its shards.
+  /// Binds, listens, and spawns the accept + health threads. Does not
+  /// wait on the backends — a shard is dialed lazily on its first
+  /// forwarded request or probe, so the router can start ahead of its
+  /// shards.
   Status Start();
 
   /// Initiates the drain. Async-signal-safe and idempotent.
@@ -101,6 +140,14 @@ class PlanRouter {
   size_t backend_count() const;
   std::vector<HashRing::Node> backends() const;
 
+  /// Health-model observability for tests and benches: each backend with
+  /// its current breaker state.
+  struct BackendStatus {
+    HashRing::Node node;
+    CircuitBreaker::State breaker = CircuitBreaker::State::kClosed;
+  };
+  std::vector<BackendStatus> backend_status() const;
+
   /// The router's own instruments (router.* names).
   MetricsRegistry& metrics() { return metrics_; }
 
@@ -108,6 +155,24 @@ class PlanRouter {
   /// Per-connection-thread state: the client socket's deframer plus this
   /// thread's private shard connections.
   struct ConnectionState;
+
+  /// Shared per-backend health state. Held by shared_ptr so a forward in
+  /// flight keeps its breaker alive across a concurrent topology remove.
+  struct BackendState {
+    explicit BackendState(const CircuitBreaker::Options& options)
+        : breaker(options) {}
+    CircuitBreaker breaker;
+  };
+
+  /// One resolved routing decision: placement plus the breakers of both
+  /// candidate shards, taken under a single topology read lock.
+  struct Route {
+    HashRing::Node primary;
+    HashRing::Node replica;
+    bool has_replica = false;
+    std::shared_ptr<BackendState> primary_state;
+    std::shared_ptr<BackendState> replica_state;
+  };
 
   void AcceptLoop();
   void ServeConnection(int fd);
@@ -119,6 +184,38 @@ class PlanRouter {
   wire::Response ApplyTopology(const wire::Request& request);
   Status SendResponse(ConnectionState* state, const wire::Response& response);
 
+  Result<Route> ResolveRoute(const std::string& template_name) const;
+  /// Breaker bookkeeping around one backend call outcome, with the open /
+  /// close transition counters.
+  void RecordBackendSuccess(BackendState* state);
+  void RecordBackendFailure(BackendState* state);
+
+  /// --- Health thread (prober + replicator + rejoin driver). ---
+
+  /// The health thread's private per-backend clients (probe deadline,
+  /// single attempt), keyed by address.
+  using HealthClients = std::map<std::string, std::unique_ptr<PpcClient>>;
+  /// Content hashes already shipped, keyed primary address -> replica
+  /// address -> template name. Cleared for a shard when it rejoins (its
+  /// restart lost everything previously shipped to it).
+  using ShippedHashes =
+      std::map<std::string, std::map<std::string, std::map<std::string, uint64_t>>>;
+
+  void HealthLoop();
+  PpcClient* HealthClientFor(HealthClients* clients,
+                             const HashRing::Node& node);
+  void ProbeBackend(const HashRing::Node& node,
+                    const std::shared_ptr<BackendState>& state,
+                    HealthClients* clients, ShippedHashes* shipped);
+  /// Wire-level warm start of a rejoining shard from its replicas: for
+  /// every other live backend, fetch its state and apply the subset of
+  /// templates whose placement says primary == `node`. True only when
+  /// every reachable replica's subset applied cleanly.
+  bool WarmRejoin(const HashRing::Node& node, HealthClients* clients);
+  /// One replica warm-keeping pass: capture each live primary's state,
+  /// ship changed templates to their replicas (hash-gated per pair).
+  void ReplicateOnce(HealthClients* clients, ShippedHashes* shipped);
+
   const Config config_;
 
   int listen_fd_ = -1;
@@ -126,11 +223,14 @@ class PlanRouter {
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
 
-  /// Ring + backend set, shared across connection threads.
+  /// Ring + backend set + per-backend breakers, shared across connection
+  /// threads and the health thread.
   mutable std::shared_mutex topology_mu_;
   HashRing ring_;
+  std::map<std::string, std::shared_ptr<BackendState>> backend_states_;
 
   std::thread accept_thread_;
+  std::thread health_thread_;
   std::mutex threads_mu_;
   std::vector<std::thread> connection_threads_;
 
@@ -144,6 +244,18 @@ class PlanRouter {
     MetricsCounter* topology_removes = nullptr;
     MetricsCounter* frames_malformed = nullptr;
     LatencyHistogram* forward_us = nullptr;
+    /// Health model (DESIGN.md §18).
+    MetricsCounter* health_probes = nullptr;
+    MetricsCounter* health_probe_failures = nullptr;
+    MetricsCounter* breaker_opens = nullptr;
+    MetricsCounter* breaker_closes = nullptr;
+    MetricsCounter* failovers = nullptr;
+    MetricsCounter* replication_ships = nullptr;
+    MetricsCounter* replication_skipped = nullptr;
+    MetricsCounter* replication_ship_failures = nullptr;
+    MetricsCounter* replication_templates_shipped = nullptr;
+    MetricsCounter* rejoin_warm_starts = nullptr;
+    MetricsCounter* rejoin_failures = nullptr;
   } instruments_;
 };
 

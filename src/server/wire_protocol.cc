@@ -178,6 +178,7 @@ void EncodeResponsePayload(const Response& response, std::string* out) {
         if (e.optimizer_invoked) flags |= 1u << 2;
         if (e.prediction_evicted) flags |= 1u << 3;
         if (e.negative_feedback_triggered) flags |= 1u << 4;
+        if (e.failed_over) flags |= 1u << 5;
         writer.PutU8(flags);
         writer.PutDouble(e.execution_cost);
         writer.PutDouble(e.optimize_micros);
@@ -299,6 +300,7 @@ Result<Response> DecodeResponse(const std::string& payload) {
         e.optimizer_invoked = (flags & (1u << 2)) != 0;
         e.prediction_evicted = (flags & (1u << 3)) != 0;
         e.negative_feedback_triggered = (flags & (1u << 4)) != 0;
+        e.failed_over = (flags & (1u << 5)) != 0;
         PPC_ASSIGN_OR_RETURN(e.execution_cost, reader.GetDouble());
         PPC_ASSIGN_OR_RETURN(e.optimize_micros, reader.GetDouble());
         PPC_ASSIGN_OR_RETURN(e.predict_micros, reader.GetDouble());

@@ -139,6 +139,11 @@ struct Response {
     bool optimizer_invoked = false;
     bool prediction_evicted = false;
     bool negative_feedback_triggered = false;
+    /// Set by the router (never by a shard) when the primary's breaker
+    /// forced this EXECUTE onto the replica: the answer is live, but the
+    /// corrective feedback landed on the replica's predictor, not the
+    /// template's home shard (DESIGN.md §18).
+    bool failed_over = false;
     double execution_cost = 0.0;
     double optimize_micros = 0.0;
     double predict_micros = 0.0;

@@ -388,6 +388,41 @@ TEST_F(SocketPairTest, RecvNonBlockingReportsAllOutcomes) {
             RecvOutcome::kEof);
 }
 
+TEST(ConnectTest, HonorsDeadlineWhenAcceptQueueIsFull) {
+  // A listener with backlog 1 that never accepts: once the kernel's
+  // accept queue fills, further handshakes park half-open and a blocking
+  // connect would hang on the SYN retry schedule (minutes). The deadline
+  // must cut that short with DeadlineExceeded, not EINPROGRESS noise and
+  // not an indefinite block.
+  uint16_t port = 0;
+  auto listener = Listen("127.0.0.1", 0, /*backlog=*/1, &port);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+
+  std::vector<int> fds;
+  bool saw_deadline = false;
+  for (int i = 0; i < 16 && !saw_deadline; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    auto connected = Connect("127.0.0.1", port, Deadline::AfterMs(200));
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    if (connected.ok()) {
+      fds.push_back(connected.value());
+      continue;
+    }
+    EXPECT_EQ(connected.status().code(), StatusCode::kDeadlineExceeded)
+        << connected.status().ToString();
+    // The deadline bounded the wait — it neither returned instantly with
+    // a spurious error nor sat on the kernel's retry schedule.
+    EXPECT_LT(elapsed, 2000) << "connect overstayed its deadline";
+    saw_deadline = true;
+  }
+  EXPECT_TRUE(saw_deadline)
+      << "accept queue never filled; kernel backlog larger than expected";
+  for (int fd : fds) ::close(fd);
+  ::close(listener.value());
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace ppc

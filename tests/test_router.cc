@@ -112,6 +112,122 @@ TEST(HashRingTest, AddIsIdempotentAndRemoveReportsAbsence) {
 }
 
 // ---------------------------------------------------------------------
+// Replica placement (DESIGN.md §18).
+// ---------------------------------------------------------------------
+
+TEST(HashRingTest, ReplicaIsAlwaysADistinctShard) {
+  // With few nodes and many vnodes per node, runs of *adjacent* vnodes
+  // belonging to the same backend are common on the ring — exactly the
+  // collision the successor walk must skip past. Exercise node counts
+  // from 2 up and both sparse and dense vnode settings.
+  for (const int vnodes : {1, 64, 256}) {
+    for (int node_count = 2; node_count <= 5; ++node_count) {
+      HashRing ring(vnodes);
+      for (int i = 0; i < node_count; ++i) {
+        ring.Add({"10.0.0." + std::to_string(i + 1),
+                  static_cast<uint16_t>(9001 + i)});
+      }
+      for (const std::string& key : SyntheticKeys(2000)) {
+        const auto placement = ring.PlacementFor(key);
+        ASSERT_TRUE(placement.ok());
+        ASSERT_TRUE(placement.value().has_replica)
+            << key << " with " << node_count << " nodes";
+        EXPECT_FALSE(placement.value().replica == placement.value().primary)
+            << key;
+        // The primary leg of the placement must agree with Owner().
+        EXPECT_EQ(placement.value().primary.Address(),
+                  ring.Owner(key).value().Address())
+            << key;
+      }
+    }
+  }
+}
+
+TEST(HashRingTest, SingleNodeRingHasNoReplica) {
+  HashRing ring;
+  ring.Add({"10.0.0.1", 9001});
+  const auto placement = ring.PlacementFor("Q1");
+  ASSERT_TRUE(placement.ok());
+  EXPECT_FALSE(placement.value().has_replica);
+  EXPECT_EQ(placement.value().primary.Address(), "10.0.0.1:9001");
+  HashRing empty;
+  EXPECT_EQ(empty.PlacementFor("Q1").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HashRingTest, PlacementIsDeterministicAcrossRebuilds) {
+  const std::vector<HashRing::Node> nodes = {{"10.0.0.1", 9001},
+                                             {"10.0.0.2", 9002},
+                                             {"10.0.0.3", 9003},
+                                             {"10.0.0.4", 9004}};
+  HashRing forward;
+  for (const auto& n : nodes) forward.Add(n);
+  HashRing reverse;
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) reverse.Add(*it);
+  // A third rebuild that churns through add/remove before converging on
+  // the same set — placement must be a pure function of the final set.
+  HashRing churned;
+  churned.Add({"10.9.9.9", 1234});
+  for (const auto& n : nodes) churned.Add(n);
+  ASSERT_TRUE(churned.Remove({"10.9.9.9", 1234}));
+  for (const std::string& key : SyntheticKeys(1000)) {
+    const auto a = forward.PlacementFor(key);
+    const auto b = reverse.PlacementFor(key);
+    const auto c = churned.PlacementFor(key);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(a.value().primary.Address(), b.value().primary.Address());
+    EXPECT_EQ(a.value().replica.Address(), b.value().replica.Address());
+    EXPECT_EQ(a.value().primary.Address(), c.value().primary.Address());
+    EXPECT_EQ(a.value().replica.Address(), c.value().replica.Address());
+  }
+}
+
+TEST(HashRingTest, PlacementMovementStaysNearOneOverNOnAddAndRemove) {
+  const auto keys = SyntheticKeys(4000);
+  // Adding a 5th node should re-home roughly 1/5 of the primaries; the
+  // wide tolerance absorbs vnode-placement variance without letting a
+  // broken ring (all keys move, or none do) slip through.
+  HashRing ring;
+  for (int i = 0; i < 4; ++i) {
+    ring.Add({"10.0.0." + std::to_string(i + 1),
+              static_cast<uint16_t>(9001 + i)});
+  }
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) {
+    before[key] = ring.PlacementFor(key).value().primary.Address();
+  }
+  const HashRing::Node fifth{"10.0.0.5", 9005};
+  ring.Add(fifth);
+  int moved_on_add = 0;
+  for (const std::string& key : keys) {
+    const auto placement = ring.PlacementFor(key).value();
+    if (placement.primary.Address() != before[key]) {
+      ++moved_on_add;
+      // Keys only ever move *to* the new node on an add.
+      EXPECT_TRUE(placement.primary == fifth) << key;
+    }
+  }
+  const double add_fraction =
+      static_cast<double>(moved_on_add) / static_cast<double>(keys.size());
+  EXPECT_GT(add_fraction, 0.10);
+  EXPECT_LT(add_fraction, 0.35);
+
+  // Removing it again restores the 4-node placement exactly, so the
+  // movement fraction on remove equals the fraction the node owned.
+  ASSERT_TRUE(ring.Remove(fifth));
+  int moved_on_remove = 0;
+  for (const std::string& key : keys) {
+    if (ring.PlacementFor(key).value().primary.Address() != before[key]) {
+      ++moved_on_remove;
+    }
+  }
+  EXPECT_EQ(moved_on_remove, 0)
+      << "removal must restore the prior placement bit for bit";
+}
+
+// ---------------------------------------------------------------------
 // Router end-to-end tests (two in-process shards behind a router).
 // ---------------------------------------------------------------------
 
@@ -168,6 +284,11 @@ class RouterTest : public ::testing::Test {
   void StartRouter(std::vector<int> backend_indices = {0, 1}) {
     PlanRouter::Config config;
     config.idle_poll_ms = 10;
+    // Keep these tests deterministic: no background prober, so breaker
+    // state moves only on the passive failures each test provokes. The
+    // full health model (probes, rejoin, replication) is exercised by
+    // tests/test_cluster_failover.cc.
+    config.probe_interval_ms = 0;
     for (int i : backend_indices) {
       config.backends.push_back(ShardNode(i));
     }
@@ -237,11 +358,15 @@ TEST_F(RouterTest, PingAndMetricsAreAnsweredLocally) {
   EXPECT_TRUE(JsonValidator::Valid(metrics.value())) << metrics.value();
   EXPECT_NE(metrics.value().find("\"router\""), std::string::npos);
   EXPECT_NE(metrics.value().find("\"shards\""), std::string::npos);
-  // Both shard payloads are spliced in, keyed by address.
+  // Both shard payloads are spliced in, keyed by address, with the
+  // health fields wrapped around each.
   for (int i = 0; i < kShards; ++i) {
     EXPECT_NE(metrics.value().find(ShardNode(i).Address()),
               std::string::npos);
   }
+  EXPECT_NE(metrics.value().find("\"up\":true"), std::string::npos);
+  EXPECT_NE(metrics.value().find("\"breaker_state\":\"closed\""),
+            std::string::npos);
 }
 
 TEST_F(RouterTest, RoutesEveryRequestForATemplateToOneShard) {
@@ -311,7 +436,7 @@ TEST_F(RouterTest, UnknownTemplateErrorsRelayVerbatim) {
   EXPECT_TRUE(client.Ping().ok());
 }
 
-TEST_F(RouterTest, ShardLossIsIsolatedAndTopologyRemoveRestoresService) {
+TEST_F(RouterTest, ShardLossFailsOverToReplicaAndTopologyRemoveRehomes) {
   StartRouter();
   PpcClient client;
   ASSERT_TRUE(ConnectClient(&client).ok());
@@ -331,13 +456,23 @@ TEST_F(RouterTest, ShardLossIsIsolatedAndTopologyRemoveRestoresService) {
 
   shards_[victim]->Stop();
 
-  // The victim's templates now fail with a backend error...
+  // The victim's templates keep answering: with two shards on the ring,
+  // the survivor is every template's replica, so the router fails the
+  // PREDICT over to it (cold for this template, so it may abstain — but
+  // it answers instead of surfacing the dead shard as INTERNAL).
   auto lost = client.Predict(lost_template, PointFor(lost_template));
-  EXPECT_FALSE(lost.ok());
-  // ...but the surviving shard's templates keep serving through the same
-  // router connection.
-  EXPECT_TRUE(
-      client.Predict(surviving_template, PointFor(surviving_template)).ok());
+  EXPECT_TRUE(lost.ok()) << lost.status().ToString();
+  // An EXECUTE fails over too, and carries the FAILED_OVER flag so the
+  // client knows its corrective feedback landed off the home shard.
+  auto failed_over = client.Execute(lost_template, PointFor(lost_template));
+  ASSERT_TRUE(failed_over.ok()) << failed_over.status().ToString();
+  EXPECT_TRUE(failed_over.value().failed_over);
+  // The surviving shard's own templates serve primary-side, unflagged,
+  // through the same router connection.
+  auto direct =
+      client.Execute(surviving_template, PointFor(surviving_template));
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  EXPECT_FALSE(direct.value().failed_over);
   EXPECT_TRUE(client.Ping().ok());
 
   // Draining the dead shard from the ring re-homes its templates onto

@@ -96,6 +96,7 @@ TEST(WireProtocolTest, ExecuteResponseRoundTripsAllFlags) {
   response.execute.optimizer_invoked = true;
   response.execute.prediction_evicted = true;
   response.execute.negative_feedback_triggered = true;
+  response.execute.failed_over = true;
   response.execute.execution_cost = 123.5;
   response.execute.optimize_micros = 10.0;
   response.execute.predict_micros = 2.0;
@@ -112,6 +113,7 @@ TEST(WireProtocolTest, ExecuteResponseRoundTripsAllFlags) {
   EXPECT_TRUE(e.optimizer_invoked);
   EXPECT_TRUE(e.prediction_evicted);
   EXPECT_TRUE(e.negative_feedback_triggered);
+  EXPECT_TRUE(e.failed_over);
   EXPECT_DOUBLE_EQ(e.execution_cost, 123.5);
 }
 
